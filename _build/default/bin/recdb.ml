@@ -1,0 +1,291 @@
+(* recdb — command-line interface to the recursive-database library.
+
+   Subcommands:
+     recdb instances                         list the built-in hs instances
+     recdb tree -i rado -d 3                 print a characteristic tree
+     recdb classes -t 2,1 -r 2               count ≅ₗ classes (the 68!)
+     recdb query -i triangles '{(x,y) | ...}'   evaluate an FO query
+     recdb sentence -i rado 'forall x. ...'  evaluate an FO sentence
+     recdb normalize -t 2 -r 2 '{(x,y)|...}' L⁻ normal form (Thm 2.1) *)
+
+open Cmdliner
+
+let instances_table () =
+  [
+    ("clique", Hs.Hsinstances.infinite_clique ());
+    ("empty", Hs.Hsinstances.empty_graph ());
+    ("mod2", Hs.Hsinstances.mod_cliques 2);
+    ("mod3", Hs.Hsinstances.mod_cliques 3);
+    ("triangles", Hs.Hsinstances.triangles ());
+    ( "paths3",
+      Hs.Hsinstances.disjoint_copies
+        [ Hs.Hsinstances.undirected_path_component 3 ] );
+    ( "arrows",
+      Hs.Hsinstances.disjoint_copies [ Hs.Hsinstances.directed_edge_component ]
+    );
+    ("rado", Hs.Hsinstances.rado ());
+    ("colored", Hs.Hsinstances.random_colored_graph ());
+    ("bipartite", Hs.Hsinstances.complete_bipartite ());
+    ("unary012", Hs.Hsinstances.unary_finite_set ~members:[ 0; 1; 2 ]);
+  ]
+
+let lookup_instance name =
+  match List.assoc_opt name (instances_table ()) with
+  | Some inst -> Ok inst
+  | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown instance %S; try `recdb instances'" name))
+
+let instance_arg =
+  let parse s = lookup_instance s in
+  let print ppf inst = Format.fprintf ppf "%s" (Hs.Hsdb.name inst) in
+  Arg.conv (parse, print)
+
+let db_type_arg =
+  let parse s =
+    try
+      Ok
+        (String.split_on_char ',' s
+        |> List.map String.trim
+        |> List.map int_of_string
+        |> Array.of_list)
+    with _ -> Error (`Msg "expected a comma-separated arity list, e.g. 2,1")
+  in
+  let print ppf a =
+    Format.fprintf ppf "%s"
+      (String.concat "," (List.map string_of_int (Array.to_list a)))
+  in
+  Arg.conv (parse, print)
+
+(* ------------------------------------------------------------------ *)
+
+let cmd_instances =
+  let doc = "List the built-in highly symmetric instances." in
+  let run () =
+    List.iter
+      (fun (name, inst) ->
+        Format.printf "%-10s type (%s)  |T^1| = %d, |T^2| = %d@." name
+          (String.concat ","
+             (List.map string_of_int (Array.to_list (Hs.Hsdb.db_type inst))))
+          (Hs.Hsdb.class_count inst 1)
+          (Hs.Hsdb.class_count inst 2))
+      (instances_table ())
+  in
+  Cmd.v (Cmd.info "instances" ~doc) Term.(const run $ const ())
+
+let cmd_tree =
+  let doc = "Print the first levels of an instance's characteristic tree." in
+  let inst =
+    Arg.(
+      required
+      & opt (some instance_arg) None
+      & info [ "i"; "instance" ] ~docv:"NAME" ~doc:"Instance name.")
+  in
+  let depth =
+    Arg.(value & opt int 3 & info [ "d"; "depth" ] ~docv:"N" ~doc:"Tree depth.")
+  in
+  let run inst depth = Format.printf "%a@." (Hs.Hsdb.pp_tree ~max_rank:depth) inst in
+  Cmd.v (Cmd.info "tree" ~doc) Term.(const run $ inst $ depth)
+
+let cmd_classes =
+  let doc = "Count (and optionally list) the classes of ≅ₗ for a type/rank." in
+  let db_type =
+    Arg.(
+      required
+      & opt (some db_type_arg) None
+      & info [ "t"; "type" ] ~docv:"ARITIES" ~doc:"Database type, e.g. 2,1.")
+  in
+  let rank =
+    Arg.(value & opt int 2 & info [ "r"; "rank" ] ~docv:"N" ~doc:"Tuple rank.")
+  in
+  let formulas =
+    Arg.(
+      value & flag
+      & info [ "formulas" ] ~doc:"Also print each class's describing formula.")
+  in
+  let run db_type rank formulas =
+    Format.printf "|C^%d| for type (%s): %d@." rank
+      (String.concat "," (List.map string_of_int (Array.to_list db_type)))
+      (Localiso.Diagram.count ~db_type ~rank);
+    if formulas then begin
+      let vars = Core.Completeness.Diagram_vars.default ~rank in
+      List.iteri
+        (fun i d ->
+          Format.printf "  C_%d: %s@." (i + 1)
+            (Rlogic.Ast.formula_to_string
+               (Core.Completeness.formula_of_diagram vars d)))
+        (Localiso.Diagram.enumerate ~db_type ~rank ())
+    end
+  in
+  Cmd.v (Cmd.info "classes" ~doc) Term.(const run $ db_type $ rank $ formulas)
+
+let cmd_query =
+  let doc =
+    "Evaluate a first-order query on an hs instance (quantifiers range over \
+     the characteristic tree)."
+  in
+  let inst =
+    Arg.(
+      required
+      & opt (some instance_arg) None
+      & info [ "i"; "instance" ] ~docv:"NAME" ~doc:"Instance name.")
+  in
+  let cutoff =
+    Arg.(
+      value & opt int 8
+      & info [ "c"; "cutoff" ] ~docv:"N"
+          ~doc:"Window bound for listing concrete members.")
+  in
+  let query =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"e.g. '{(x,y) | R1(x,y) && x != y}'.")
+  in
+  let run inst cutoff query =
+    match Rlogic.Parser.query query with
+    | exception Rlogic.Parser.Error msg ->
+        Format.eprintf "parse error: %s@." msg;
+        exit 1
+    | Rlogic.Ast.Undefined -> Format.printf "undefined@."
+    | Rlogic.Ast.Query { vars; _ } as q ->
+        let rank = List.length vars in
+        let reps = Hs.Fo_eval.eval_reps inst q ~rank in
+        Format.printf "class representatives: %a@." Prelude.Tupleset.pp reps;
+        Format.printf "members below %d: %a@." cutoff Prelude.Tupleset.pp
+          (Hs.Fo_eval.eval_upto inst q ~cutoff)
+  in
+  Cmd.v (Cmd.info "query" ~doc) Term.(const run $ inst $ cutoff $ query)
+
+let cmd_sentence =
+  let doc = "Evaluate a first-order sentence on an hs instance." in
+  let inst =
+    Arg.(
+      required
+      & opt (some instance_arg) None
+      & info [ "i"; "instance" ] ~docv:"NAME" ~doc:"Instance name.")
+  in
+  let sentence =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SENTENCE" ~doc:"e.g. 'forall x. exists y. R1(x,y)'.")
+  in
+  let run inst sentence =
+    match Rlogic.Parser.formula sentence with
+    | exception Rlogic.Parser.Error msg ->
+        Format.eprintf "parse error: %s@." msg;
+        exit 1
+    | f ->
+        if Rlogic.Ast.free_vars f <> [] then begin
+          Format.eprintf "not a sentence: free variables %s@."
+            (String.concat ", " (Rlogic.Ast.free_vars f));
+          exit 1
+        end
+        else Format.printf "%b@." (Hs.Fo_eval.eval_sentence inst f)
+  in
+  Cmd.v (Cmd.info "sentence" ~doc) Term.(const run $ inst $ sentence)
+
+let cmd_qlhs =
+  let doc =
+    "Run a QL_hs program (Theorem 3.1's language) on an hs instance and \
+     print Y1."
+  in
+  let inst =
+    Arg.(
+      required
+      & opt (some instance_arg) None
+      & info [ "i"; "instance" ] ~docv:"NAME" ~doc:"Instance name.")
+  in
+  let fuel =
+    Arg.(
+      value & opt int 10_000
+      & info [ "fuel" ] ~docv:"N" ~doc:"Step budget (programs may diverge).")
+  in
+  let cutoff =
+    Arg.(
+      value & opt int 8
+      & info [ "c"; "cutoff" ] ~docv:"N"
+          ~doc:"Window bound for listing concrete members.")
+  in
+  let source =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PROGRAM"
+          ~doc:
+            "e.g. 'Y1 <- ~(Rel1 & E); Y2 <- Y1!'.  Operators: & = ∩, ~ = \
+             complement, ^ = up, ! = down, %% = swap.")
+  in
+  let run inst fuel cutoff source =
+    match Ql.Ql_parser.program source with
+    | exception Ql.Ql_parser.Error msg ->
+        Format.eprintf "parse error: %s@." msg;
+        exit 1
+    | p -> begin
+        Format.printf "program:@.  %s@." (Ql.Ql_ast.program_to_string p);
+        match Ql.Ql_hs.run inst ~fuel p with
+        | Ql.Ql_interp.Halted store ->
+            let v = store.(0) in
+            Format.printf "Y1 (rank %d) representatives: %a@." v.Ql.Ql_hs.rank
+              Prelude.Tupleset.pp v.Ql.Ql_hs.reps;
+            Format.printf "members below %d: %a@." cutoff Prelude.Tupleset.pp
+              (Ql.Ql_hs.denotation inst v ~cutoff)
+        | Ql.Ql_interp.Timeout ->
+            Format.printf "did not halt within %d steps (undefined?)@." fuel
+        | Ql.Ql_interp.Ill_formed msg -> Format.printf "ill-formed: %s@." msg
+      end
+  in
+  Cmd.v (Cmd.info "qlhs" ~doc) Term.(const run $ inst $ fuel $ cutoff $ source)
+
+let cmd_normalize =
+  let doc = "Put an L⁻ query in class normal form (Theorem 2.1)." in
+  let db_type =
+    Arg.(
+      required
+      & opt (some db_type_arg) None
+      & info [ "t"; "type" ] ~docv:"ARITIES" ~doc:"Database type, e.g. 2.")
+  in
+  let query =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"A quantifier-free query.")
+  in
+  let run db_type query =
+    match Rlogic.Parser.query query with
+    | exception Rlogic.Parser.Error msg ->
+        Format.eprintf "parse error: %s@." msg;
+        exit 1
+    | q ->
+        let rank =
+          match q with
+          | Rlogic.Ast.Undefined -> 0
+          | Rlogic.Ast.Query { vars; _ } -> List.length vars
+        in
+        let reg = Localiso.Classes.make ~db_type ~rank () in
+        let lgq = Core.Completeness.lgq_of_query reg q in
+        Format.printf "selected classes: %s@."
+          (String.concat ", "
+             (List.map string_of_int (Localiso.Lgq.selected_indices lgq)));
+        Format.printf "normal form:@.%s@."
+          (Rlogic.Ast.query_to_string (Core.Completeness.normalize reg q))
+  in
+  Cmd.v (Cmd.info "normalize" ~doc) Term.(const run $ db_type $ query)
+
+let () =
+  let doc = "query languages over recursive (infinite, computable) databases" in
+  let info = Cmd.info "recdb" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            cmd_instances;
+            cmd_tree;
+            cmd_classes;
+            cmd_query;
+            cmd_sentence;
+            cmd_qlhs;
+            cmd_normalize;
+          ]))

@@ -1,0 +1,1 @@
+examples/fcf_payroll.ml: Array Fcf Fcfdb Fincof Format Hs List Prelude Ql Qlf String Tupleset

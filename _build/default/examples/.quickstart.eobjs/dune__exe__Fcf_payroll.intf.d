@@ -1,0 +1,1 @@
+examples/fcf_payroll.mli:

@@ -1,0 +1,1 @@
+examples/halting.ml: Core Format List Localiso Nonclosure Oracle_rm Rdb Rmachine Toy

@@ -1,0 +1,1 @@
+examples/halting.mli:

@@ -1,0 +1,1 @@
+examples/ql_tour.ml: Array Fincof Format Hs Prelude Ql Tupleset

@@ -1,0 +1,1 @@
+examples/ql_tour.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Core Format List Localiso Prelude Rdb Rlogic String Tupleset

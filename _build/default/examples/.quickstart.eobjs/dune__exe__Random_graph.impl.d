@@ -1,0 +1,1 @@
+examples/random_graph.ml: Format Hs List Prelude Ql Rdb Rlogic Tuple Tupleset

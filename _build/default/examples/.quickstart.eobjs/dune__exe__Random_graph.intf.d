@@ -1,0 +1,1 @@
+examples/random_graph.mli:

@@ -1,0 +1,1 @@
+examples/symmetric_zoo.ml: Format Hs Ints List Prelude Rlogic

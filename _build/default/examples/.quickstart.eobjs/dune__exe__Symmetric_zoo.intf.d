@@ -1,0 +1,1 @@
+examples/symmetric_zoo.mli:

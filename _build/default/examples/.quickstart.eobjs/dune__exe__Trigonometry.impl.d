@@ -1,0 +1,1 @@
+examples/trigonometry.ml: Format List Rdb Rlogic

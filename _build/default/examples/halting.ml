@@ -1,0 +1,62 @@
+(* The §1 non-closure example, end to end: the step-bounded halting
+   relation is recursive, but its projection is the halting set — so
+   even the simplest relational operator leaves the computable world,
+   and that is why L⁻ (no quantifiers!) is all an r-complete language
+   can afford (Theorem 2.1).
+
+   Run with: dune exec examples/halting.exe *)
+
+open Rmachine
+
+let () =
+  Format.printf "=== Step-bounded halting as a recursive database ===@.@.";
+
+  (* Gödel-numbered toy machines. *)
+  Format.printf "Machine codes:  loop = %d,  halt = %d,  slow = %d@."
+    Toy.loop_code Toy.immediate_halt_code Toy.slow_input_code;
+  Format.printf "(every natural number decodes to some machine)@.@.";
+
+  let db = Toy.halting_relation () in
+  Format.printf
+    "R(x, y, z) = \"machine y halts on input z within x steps\" — type (3),@.primitive recursive, hence a legitimate r-db.  Samples:@.";
+  List.iter
+    (fun (x, y, z) ->
+      Format.printf "  R(%d, %d, %d) = %b@." x y z
+        (Rdb.Database.mem db 0 [| x; y; z |]))
+    [
+      (3, Toy.immediate_halt_code, 0);
+      (1000, Toy.loop_code, 0);
+      (10, Toy.slow_input_code, 10);
+      (100, Toy.slow_input_code, 10);
+    ];
+
+  (* The projection splits a local-isomorphism class. *)
+  Format.printf
+    "@.The projection {(y, z) | ∃x R(x, y, z)} is the halting set.  By@.Theorem 2.1 a computable query must be a union of ≅ₗ-classes; the@.witness below shows the projection is not:@.@.";
+  let w = Nonclosure.find () in
+  let y1, z1 = w.Nonclosure.halting and y2, z2 = w.Nonclosure.looping in
+  Format.printf "  halting pair  (y₁, z₁) = (%d, %d)  — halts at x = %d@." y1
+    z1 w.Nonclosure.halt_steps;
+  Format.printf "  looping pair  (y₂, z₂) = (%d, %d)  — never halts@." y2 z2;
+  Format.printf "  locally isomorphic over R:  %b@."
+    (Localiso.Liso.check_same db [| y1; z1 |] [| y2; z2 |]);
+  Format.printf "  full witness verification:  %b@." (Nonclosure.verify w);
+
+  (* For contrast, an honest oracle machine computing a query that IS
+     recursive — and the Proposition 2.5 refutation of its genericity. *)
+  Format.printf
+    "@.The ∃-query {x | ∃y (x ≠ y ∧ (x, y) ∈ R)} as an oracle machine@.(Definition 2.4): generic, recursive — but not locally generic, so@.not computable-in-the-paper's-sense.  Proposition 2.5's construction@.builds isomorphic B₃, B₄ from the machine's own oracle log:@.@.";
+  let decide db u =
+    Oracle_rm.decider Oracle_rm.exists_forward_edge ~fuel:2000 db u
+  in
+  let b1 = Rdb.Instances.paper_b1 () and b2 = Rdb.Instances.paper_b2 () in
+  (match
+     Core.Genericity.refute ~decide ~b1 ~u:[| 0 |] ~b2 ~v:[| 2 |]
+   with
+  | None -> Format.printf "  (no certificate — unexpected)@."
+  | Some cert ->
+      Format.printf "  B₃ answer: %b,  B₄ answer: %b (on isomorphic inputs!)@."
+        cert.Core.Genericity.answer3 cert.Core.Genericity.answer4;
+      Format.printf "  certificate verifies: %b@."
+        (Core.Genericity.verify cert));
+  Format.printf "@.Done.@."

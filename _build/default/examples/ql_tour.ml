@@ -1,0 +1,91 @@
+(* A tour of QL in all three semantics, using the concrete syntax
+   (& = ∩, ~ = complement, ^ = up, ! = down, % = swap):
+
+   - the finitary QL of Chandra–Harel [CH], the baseline;
+   - QL_hs (§3.3), acting on representations of infinite hs databases;
+   - QL_f+ (§4), acting on finite/co-finite relations with indicators.
+
+   Run with: dune exec examples/ql_tour.exe *)
+
+open Prelude
+
+let parse = Ql.Ql_parser.program
+
+let () =
+  Format.printf "=== QL, three ways ===@.@.";
+
+  (* ---------------------------------------------------------------- *)
+  Format.printf "--- 1. Finite QL ([CH]) on a 4-element graph@.";
+  let edges = Tupleset.of_lists [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ] ] in
+  let src = "Y1 <- ~(Rel1 & Rel1%) & Rel1" in
+  Format.printf "source:  %s@." src;
+  let p = parse src in
+  Format.printf "parsed:  %s@." (Ql.Ql_ast.program_to_string p);
+  (match
+     Ql.Ql_finite.run ~domain:[ 0; 1; 2; 3 ] ~rels:[| (2, edges) |] ~fuel:100 p
+   with
+  | Ql.Ql_interp.Halted store ->
+      Format.printf "Y1 (one-way edges): %a@.@." Tupleset.pp
+        store.(0).Ql.Ql_finite.tuples
+  | _ -> Format.printf "did not halt@.");
+
+  (* ---------------------------------------------------------------- *)
+  Format.printf "--- 2. QL_hs on the (infinite) triangles graph@.";
+  let tri = Hs.Hsinstances.triangles () in
+  let src2 = "Y1 <- ~Rel1 & ~E" in
+  Format.printf "source:  %s@." src2;
+  (match Ql.Ql_hs.run tri ~fuel:100 (parse src2) with
+  | Ql.Ql_interp.Halted store ->
+      Format.printf "Y1 representatives: %a@." Tupleset.pp
+        store.(0).Ql.Ql_hs.reps;
+      Format.printf "denoted members below 6: %a@.@." Tupleset.pp
+        (Ql.Ql_hs.denotation tri store.(0) ~cutoff:6)
+  | _ -> Format.printf "did not halt@.");
+
+  (* A while loop with the footnote-8 |Y| = 1 test. *)
+  let src3 = "Y1 <- E!!; while |Y1| = 1 do { Y1 <- ~Y1 & Y1 }" in
+  Format.printf "source:  %s@." src3;
+  (match Ql.Ql_hs.run tri ~fuel:100 (parse src3) with
+  | Ql.Ql_interp.Halted store ->
+      Format.printf "halted; Y1 empty: %b@.@."
+        (Tupleset.is_empty store.(0).Ql.Ql_hs.reps)
+  | _ -> Format.printf "did not halt@.");
+
+  (* ---------------------------------------------------------------- *)
+  Format.printf "--- 3. QL_f+ on a finite/co-finite database@.";
+  let db =
+    Fincof.Fcfdb.make
+      [
+        Fincof.Fcf.finite ~rank:1 (Tupleset.of_lists [ [ 0 ]; [ 1 ] ]);
+        Fincof.Fcf.cofinite ~rank:1 (Tupleset.of_lists [ [ 5 ] ]);
+      ]
+  in
+  let src4 = "Y1 <- Rel1; while |Y1| < inf do { Y1 <- ~Y1 }" in
+  Format.printf "source:  %s@." src4;
+  (match Fincof.Qlf.output (Fincof.Qlf.run db ~fuel:100 (parse src4)) with
+  | Some (finite_part, cofinite) ->
+      Format.printf "Y1 co-finite: %b, finite part: %a@.@." cofinite
+        Tupleset.pp finite_part
+  | None -> Format.printf "did not halt@.");
+
+  (* ---------------------------------------------------------------- *)
+  Format.printf "--- 4. The same source, different worlds@.";
+  let src5 = "Y1 <- Rel1 & ~E" in
+  Format.printf "source:  %s@." src5;
+  let p5 = parse src5 in
+  (match
+     Ql.Ql_finite.run ~domain:[ 0; 1; 2 ]
+       ~rels:[| (2, Tupleset.of_lists [ [ 0; 0 ]; [ 0; 1 ] ]) |]
+       ~fuel:100 p5
+   with
+  | Ql.Ql_interp.Halted store ->
+      Format.printf "finite world:   %a@." Tupleset.pp
+        store.(0).Ql.Ql_finite.tuples
+  | _ -> ());
+  (* Needs a rank-2 E to intersect with: triangles again. *)
+  (match Ql.Ql_hs.run tri ~fuel:100 p5 with
+  | Ql.Ql_interp.Halted store ->
+      Format.printf "infinite world: representatives %a@." Tupleset.pp
+        store.(0).Ql.Ql_hs.reps
+  | _ -> ());
+  Format.printf "@.Done.@."

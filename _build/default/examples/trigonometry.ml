@@ -1,0 +1,55 @@
+(* The paper's §1 motivating example: "Values for the trigonometric
+   functions … can be viewed as a recursive data base, since we might be
+   interested in the sines or cosines of infinitely many angles.
+   Instead of keeping them all in a table, which is impossible, we keep
+   rules for computing the values from the angles."
+
+   Run with: dune exec examples/trigonometry.exe *)
+
+
+let scale = 1000
+
+let () =
+  Format.printf "=== Trigonometry as a recursive database ===@.@.";
+  let db = Rdb.Instances.trigonometry ~scale in
+  Format.printf
+    "SIN(d, v) holds iff v = ⌊%d·(1 + sin d°)⌋, likewise COS — rules,@.not tables; the relations are infinite but membership is computed.@.@."
+    scale;
+
+  (* Point lookups through the oracle interface. *)
+  List.iter
+    (fun d ->
+      let value rel =
+        let rec search v =
+          if Rdb.Database.mem db rel [| d; v |] then v else search (v + 1)
+        in
+        search 0
+      in
+      Format.printf "  d = %3d°:  sin-cell %4d   cos-cell %4d@." d (value 0)
+        (value 1))
+    [ 0; 30; 45; 90; 180; 270; 359; 720 ];
+
+  (* L⁻ queries against the infinite table, using relation names. *)
+  let rels = Rlogic.Parser.rels_of_database db in
+  let q =
+    Rlogic.Parser.query ~rels "{(d, v) | SIN(d, v) && COS(d, v)}"
+  in
+  Format.printf
+    "@.Angles whose scaled sine and cosine cells coincide (window 370×2001):@.";
+  let hits = ref [] in
+  for d = 0 to 369 do
+    for v = 0 to 2 * scale do
+      match Rlogic.Qf_eval.mem db q [| d; v |] with
+      | Some true -> hits := (d, v) :: !hits
+      | _ -> ()
+    done
+  done;
+  List.iter
+    (fun (d, v) -> Format.printf "  d = %d°, shared cell %d@." d v)
+    (List.rev !hits);
+
+  (* Oracle accounting: everything above was finitely many membership
+     questions (Definition 2.4's discipline). *)
+  Format.printf "@.Total oracle questions asked: %d@."
+    (Rdb.Database.oracle_calls db);
+  Format.printf "@.Done.@."

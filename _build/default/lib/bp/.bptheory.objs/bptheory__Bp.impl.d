@@ -1,0 +1,1 @@
+lib/bp/bp.ml: Array Combinat Core Hs List Localiso Prelude Printf Rdb Rlogic

@@ -1,0 +1,1 @@
+lib/bp/bp.mli: Hs Prelude Rdb Rlogic

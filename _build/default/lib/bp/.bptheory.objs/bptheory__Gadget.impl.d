@@ -1,0 +1,1 @@
+lib/bp/gadget.ml: Combinat Hashtbl List Prelude Rdb Tupleset

@@ -1,0 +1,1 @@
+lib/bp/gadget.mli: Rdb

@@ -1,0 +1,46 @@
+open Prelude
+
+let express_unary db ~rank ~window pred =
+  let db_type = Rdb.Database.db_type db in
+  if not (Array.for_all (fun a -> a <= 1) db_type) then
+    invalid_arg "Bp.express_unary: database is not unary";
+  (* Find one witness per realized ≅ₗ-class among window tuples. *)
+  let registry = Localiso.Classes.make ~db_type ~rank () in
+  let witnesses = Array.make (Localiso.Classes.size registry) None in
+  Combinat.fold_cartesian
+    (fun () u ->
+      let i = Localiso.Classes.class_of registry db u in
+      if witnesses.(i) = None then witnesses.(i) <- Some (Array.copy u))
+    () ~width:rank ~bound:window;
+  let vars = Core.Completeness.Diagram_vars.default ~rank in
+  let disjuncts =
+    Array.to_list witnesses
+    |> List.mapi (fun i w -> (i, w))
+    |> List.filter_map (fun (i, w) ->
+           match w with
+           | Some u when pred u ->
+               Some
+                 (Core.Completeness.formula_of_diagram vars
+                    (Localiso.Classes.diagram registry i))
+           | _ -> None)
+  in
+  Rlogic.Ast.Query
+    {
+      vars = Core.Completeness.Diagram_vars.names vars;
+      body = Rlogic.Ast.disj disjuncts;
+    }
+
+let express_hs t ~rank pred =
+  let r0 = Hs.Ef.r0 t ~n:rank in
+  let selected = List.filter pred (Hs.Hsdb.paths t rank) in
+  let disjuncts =
+    List.map (fun p -> Hs.Hintikka.formula t ~path:p ~r:r0) selected
+  in
+  let vars = List.init rank (fun i -> Printf.sprintf "x%d" (i + 1)) in
+  Rlogic.Ast.Query { vars; body = Rlogic.Ast.disj disjuncts }
+
+let preserves_automorphisms_hs t ~rank ~window pred =
+  Combinat.fold_cartesian
+    (fun acc u ->
+      acc && pred (Array.copy u) = pred (Hs.Hsdb.representative t u))
+    true ~width:rank ~bound:window

@@ -1,0 +1,35 @@
+(** BP-completeness (§6): expressing {e relations} that preserve the
+    automorphisms of a fixed database, rather than queries.
+
+    {ul
+    {- Theorem 6.2: for unary r-dbs, [≅_B] coincides with [≅ₗ]
+       (Proposition 6.1), so every recursive automorphism-preserving
+       relation is a union of local-isomorphism classes and L⁻
+       expresses it.}
+    {- Theorem 6.3: over a highly symmetric r-db, first-order logic L is
+       BP-complete; the synthesis direction builds a disjunction of
+       depth-r₀ Hintikka formulas of the selected representatives.}} *)
+
+val express_unary :
+  Rdb.Database.t ->
+  rank:int ->
+  window:int ->
+  (Prelude.Tuple.t -> bool) ->
+  Rlogic.Ast.query
+(** Theorem 6.2 synthesis.  [window] bounds the scan that discovers
+    which [≅ₗ]-classes are realized in B (a realized class's least
+    witness must lie in the window).  The relation predicate is
+    evaluated on one witness per realized class; the result is the
+    disjunction of those classes' describing formulas.  Requires B
+    unary (all arities ≤ 1). *)
+
+val express_hs :
+  Hs.Hsdb.t -> rank:int -> (Prelude.Tuple.t -> bool) -> Rlogic.Ast.query
+(** Theorem 6.3 synthesis: evaluate the relation on each representative
+    in [Tⁿ] and return [⋁ φ^{r₀}_p] over the selected [p], with [r₀]
+    from Proposition 3.6.  Evaluate the result with [Hs.Fo_eval]. *)
+
+val preserves_automorphisms_hs :
+  Hs.Hsdb.t -> rank:int -> window:int -> (Prelude.Tuple.t -> bool) -> bool
+(** Sample check that a relation predicate is constant on [≅_B]-classes:
+    every window tuple must agree with its representative. *)

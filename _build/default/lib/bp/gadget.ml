@@ -1,0 +1,128 @@
+open Prelude
+
+type graph = { vertices : int list; edges : (int * int) list }
+
+type t = {
+  db : Rdb.Database.t;
+  a : int;
+  b : int;
+  c : int;
+  g1_vertices : int list;
+  g2_vertices : int list;
+}
+
+let relabel g offset =
+  let table = Hashtbl.create 8 in
+  List.iteri (fun i v -> Hashtbl.replace table v (offset + i)) g.vertices;
+  let f v = Hashtbl.find table v in
+  ( List.map f g.vertices,
+    List.map (fun (x, y) -> (f x, f y)) g.edges )
+
+let build ~g1 ~g2 =
+  let a = 0 and b = 1 and c = 2 in
+  let v1, e1 = relabel g1 3 in
+  let v2, e2 = relabel g2 (3 + List.length v1) in
+  let sym edges = List.concat_map (fun (x, y) -> [ [ x; y ]; [ y; x ] ]) edges in
+  let r2 =
+    sym e1 @ sym e2
+    @ sym [ (a, b); (a, c) ]
+    @ sym (List.map (fun v -> (b, v)) v1)
+    @ sym (List.map (fun u -> (c, u)) v2)
+  in
+  let db =
+    Rdb.Database.make ~name:"gadget"
+      [|
+        Rdb.Relation.of_tupleset ~name:"R1" ~arity:1
+          (Tupleset.singleton [| a |]);
+        Rdb.Relation.of_tupleset ~name:"R2" ~arity:2 (Tupleset.of_lists r2);
+      |]
+  in
+  { db; a; b; c; g1_vertices = v1; g2_vertices = v2 }
+
+(* Edge test inside the gadget. *)
+let adj t x y = Rdb.Database.mem t.db 1 [| x; y |]
+
+let bijections_preserving t v1 v2 =
+  if List.length v1 <> List.length v2 then []
+  else
+    Combinat.permutations v2
+    |> List.filter_map (fun image ->
+           let pairs = List.combine v1 image in
+           let f x = List.assoc x pairs in
+           let preserves =
+             List.for_all
+               (fun x ->
+                 List.for_all (fun y -> adj t x y = adj t (f x) (f y)) v1)
+               v1
+           in
+           if preserves then Some pairs else None)
+
+let b_equiv_c t =
+  bijections_preserving t t.g1_vertices t.g2_vertices <> []
+
+let graphs_isomorphic g1 g2 =
+  if List.length g1.vertices <> List.length g2.vertices then false
+  else begin
+    let adj_of g =
+      let s =
+        List.concat_map (fun (x, y) -> [ (x, y); (y, x) ]) g.edges
+      in
+      fun x y -> List.mem (x, y) s
+    in
+    let adj1 = adj_of g1 and adj2 = adj_of g2 in
+    Combinat.permutations g2.vertices
+    |> List.exists (fun image ->
+           let pairs = List.combine g1.vertices image in
+           let f x = List.assoc x pairs in
+           List.for_all
+             (fun x ->
+               List.for_all
+                 (fun y -> adj1 x y = adj2 (f x) (f y))
+                 g1.vertices)
+             g1.vertices)
+  end
+
+let separating_relation t =
+  Rdb.Relation.of_tupleset ~name:"IS_B" ~arity:1 (Tupleset.singleton [| t.b |])
+
+(* All automorphisms of the gadget restricted to its support, exploiting
+   the forced structure: a is fixed; {b, c} maps to itself; the graph
+   copies follow. *)
+let support_automorphisms t =
+  let id_pairs vs = List.map (fun v -> (v, v)) vs in
+  let keep_bc =
+    let s1 = bijections_preserving t t.g1_vertices t.g1_vertices in
+    let s2 = bijections_preserving t t.g2_vertices t.g2_vertices in
+    List.concat_map
+      (fun p1 ->
+        List.map
+          (fun p2 ->
+            ((t.a, t.a) :: (t.b, t.b) :: (t.c, t.c) :: p1) @ p2)
+          s2)
+      s1
+  in
+  let swap_bc =
+    let fwd = bijections_preserving t t.g1_vertices t.g2_vertices in
+    let bwd = bijections_preserving t t.g2_vertices t.g1_vertices in
+    List.concat_map
+      (fun f ->
+        List.map
+          (fun g -> ((t.a, t.a) :: (t.b, t.c) :: (t.c, t.b) :: f) @ g)
+          bwd)
+      fwd
+  in
+  ignore id_pairs;
+  keep_bc @ swap_bc
+
+let preserves_automorphisms t rel =
+  let support =
+    t.a :: t.b :: t.c :: (t.g1_vertices @ t.g2_vertices)
+  in
+  List.for_all
+    (fun pairs ->
+      List.for_all
+        (fun x ->
+          Rdb.Relation.mem rel [| x |]
+          = Rdb.Relation.mem rel [| List.assoc x pairs |])
+        support)
+    (support_automorphisms t)

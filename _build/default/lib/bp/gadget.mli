@@ -1,0 +1,47 @@
+(** The Theorem 6.1 reduction gadget.
+
+    Given two graphs G₁ and G₂, build the r-db [B = (D, R₁, R₂)] with
+    three fresh points a, b, c where [R₁ = {a}] and R₂ contains the
+    edges of G₁ and G₂, the edges (a,b) and (a,c), and edges from b to
+    every vertex of G₁ and from c to every vertex of G₂.  Then
+    [b ≅_B c] iff [G₁ ≅ G₂], and [{b}] is a recursive relation that
+    preserves B's automorphisms exactly when they are {e not} isomorphic
+    — which is how the theorem refutes the existence of an effective
+    BP-r-complete language.
+
+    Graphs are finite here (so the equivalence checks are total); the
+    construction itself works verbatim for recursive graphs. *)
+
+type graph = { vertices : int list; edges : (int * int) list }
+(** Undirected: each listed edge stands for both directions. *)
+
+type t = {
+  db : Rdb.Database.t;  (** type (1, 2) *)
+  a : int;
+  b : int;
+  c : int;
+  g1_vertices : int list;  (** G₁'s vertices, as relabelled in D *)
+  g2_vertices : int list;
+}
+
+val build : g1:graph -> g2:graph -> t
+(** Vertices of the two graphs are relabelled apart; a, b, c are fresh. *)
+
+val b_equiv_c : t -> bool
+(** Whether some automorphism of B maps b to c — decided by the forced
+    structure of the gadget: a must be fixed (it alone is in R₁), such
+    an automorphism must swap b and c, and must hence map G₁'s relabelled
+    copy isomorphically onto G₂'s.  Searches those bijections. *)
+
+val graphs_isomorphic : graph -> graph -> bool
+(** Independent brute-force graph-isomorphism check, used to validate
+    the gadget: [b_equiv_c (build ~g1 ~g2) = graphs_isomorphic g1 g2]. *)
+
+val separating_relation : t -> Rdb.Relation.t
+(** The unary relation [{b}].  It is recursive; it preserves B's
+    automorphisms iff [not (b_equiv_c t)]. *)
+
+val preserves_automorphisms : t -> Rdb.Relation.t -> bool
+(** Whether a unary relation is constant on the automorphism orbits of
+    the (finite-support) gadget — brute-forced over the gadget's
+    automorphisms. *)

@@ -1,0 +1,1 @@
+lib/core/completeness.ml: Array Classes Combinat Diagram Ints Lgq List Localiso Prelude Printf Rlogic

@@ -1,0 +1,1 @@
+lib/core/completeness.mli: Localiso Rlogic

@@ -1,0 +1,1 @@
+lib/core/genericity.ml: Array Combinat Database Hashtbl List Localiso Prelude Printf Rdb Relation Tuple

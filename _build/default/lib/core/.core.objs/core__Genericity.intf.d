@@ -1,0 +1,1 @@
+lib/core/genericity.mli: Prelude Rdb

@@ -1,0 +1,1 @@
+lib/core/lminus_n.ml: Array Classes Combinat Completeness Lgq Localiso Prelude Rdb Tupleset

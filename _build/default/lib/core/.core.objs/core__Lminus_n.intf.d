@@ -1,0 +1,1 @@
+lib/core/lminus_n.mli: Localiso Prelude Rdb Rlogic

@@ -1,0 +1,1 @@
+lib/core/rquery.ml: Array List Localiso Prelude Rdb Tuple

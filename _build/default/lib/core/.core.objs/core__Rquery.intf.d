@@ -1,0 +1,1 @@
+lib/core/rquery.mli: Localiso Prelude Rdb

@@ -1,0 +1,105 @@
+open Prelude
+open Localiso
+
+module Diagram_vars = struct
+  type t = string array
+
+  let of_names names =
+    let arr = Array.of_list names in
+    let distinct = List.sort_uniq compare names in
+    if List.length distinct <> Array.length arr then
+      invalid_arg "Diagram_vars.of_names: duplicate names";
+    arr
+
+  let default ~rank = Array.init rank (fun i -> Printf.sprintf "x%d" (i + 1))
+  let names t = Array.to_list t
+end
+
+let var_names n = Array.to_list (Diagram_vars.default ~rank:n)
+
+let formula_of_diagram vars d =
+  let n = Diagram.rank d in
+  if Array.length vars <> n then
+    invalid_arg "Completeness.formula_of_diagram: variable count mismatch";
+  let pattern = (d : Diagram.t).pattern in
+  let m = Diagram.blocks d in
+  (* A representative position for each block: its first occurrence. *)
+  let block_pos = Array.make m 0 in
+  let filled = Array.make m false in
+  Array.iteri
+    (fun i blk ->
+      if not filled.(blk) then begin
+        filled.(blk) <- true;
+        block_pos.(blk) <- i
+      end)
+    pattern;
+  let equalities =
+    List.concat_map
+      (fun i ->
+        List.filter_map
+          (fun j ->
+            let atom = Rlogic.Ast.Eq (vars.(i), vars.(j)) in
+            if pattern.(i) = pattern.(j) then
+              (* Only record the defining equality with the block's
+                 representative position to keep formulas small. *)
+              if j = block_pos.(pattern.(i)) && i <> j then Some atom else None
+            else if i < j then Some (Rlogic.Ast.Not atom)
+            else None)
+          (Ints.range 0 n))
+      (Ints.range 0 n)
+  in
+  let memberships =
+    List.concat_map
+      (fun rel ->
+        let a = (d : Diagram.t).db_type.(rel) in
+        List.map
+          (fun w ->
+            let w = Array.of_list w in
+            let args = Array.map (fun blk -> vars.(block_pos.(blk))) w in
+            let atom = Rlogic.Ast.Mem (rel, args) in
+            if Diagram.atom d ~rel w then atom else Rlogic.Ast.Not atom)
+          (Combinat.cartesian
+             (List.init a (fun _ -> Ints.range 0 m))))
+      (Ints.range 0 (Array.length (d : Diagram.t).db_type))
+  in
+  Rlogic.Ast.conj (equalities @ memberships)
+
+let query_of_lgq = function
+  | Lgq.Undefined -> Rlogic.Ast.Undefined
+  | Lgq.Classes { registry; selected } ->
+      let rank = Classes.rank registry in
+      let vars = Diagram_vars.default ~rank in
+      let disjuncts =
+        Array.to_list selected
+        |> List.mapi (fun i b -> (i, b))
+        |> List.filter_map (fun (i, b) ->
+               if b then
+                 Some (formula_of_diagram vars (Classes.diagram registry i))
+               else None)
+      in
+      Rlogic.Ast.Query
+        { vars = Diagram_vars.names vars; body = Rlogic.Ast.disj disjuncts }
+
+let lgq_of_query registry q =
+  match q with
+  | Rlogic.Ast.Undefined -> Lgq.undefined
+  | Rlogic.Ast.Query { vars; body } ->
+      if not (Rlogic.Ast.is_quantifier_free body) then
+        invalid_arg "Completeness.lgq_of_query: not an L- query";
+      if List.length vars <> Classes.rank registry then
+        invalid_arg "Completeness.lgq_of_query: rank mismatch";
+      Lgq.of_pred registry (fun d ->
+          let b, u = Diagram.realize d in
+          match Rlogic.Qf_eval.mem b q u with
+          | Some answer -> answer
+          | None -> assert false)
+
+let normalize registry q = query_of_lgq (lgq_of_query registry q)
+
+let equivalent registry q1 q2 =
+  Lgq.equal (lgq_of_query registry q1) (lgq_of_query registry q2)
+
+let roundtrip_holds registry lgq =
+  match lgq with
+  | Lgq.Undefined -> lgq_of_query registry (query_of_lgq lgq) = Lgq.Undefined
+  | Lgq.Classes _ -> Lgq.equal (lgq_of_query registry (query_of_lgq lgq)) lgq

@@ -1,0 +1,55 @@
+(** Theorem 2.1 — L⁻ is r-complete — as algorithms, in both directions.
+
+    {ul
+    {- {e Expressibility} ({!formula_of_diagram}, {!query_of_lgq}): every
+       locally generic query, given as a class set, is compiled to the L⁻
+       formula [φᵢ₁ ∨ … ∨ φᵢₗ] of the proof, where [φᵢ] describes class
+       [C^n_i] by the containment / non-containment of all projections.}
+    {- {e Soundness} ({!lgq_of_query}): every L⁻ query is evaluated on the
+       canonical realization of each class, recovering its class set —
+       which also yields a normal form and a decision procedure for L⁻
+       query equivalence.}} *)
+
+module Diagram_vars : sig
+  type t
+  (** Variable names for the positions of a tuple. *)
+
+  val of_names : string list -> t
+  (** Position i of the tuple is named by the i-th name (names must be
+      distinct). *)
+
+  val default : rank:int -> t
+  (** [x1 … xn]. *)
+
+  val names : t -> string list
+end
+
+val var_names : int -> string list
+(** The standard variable names [x1, ..., xn]. *)
+
+val formula_of_diagram :
+  Diagram_vars.t -> Localiso.Diagram.t -> Rlogic.Ast.formula
+(** The class-describing formula φᵢ: equalities/inequalities fixing the
+    equality pattern, then one (possibly negated) membership atom per
+    relation and block vector. *)
+
+val query_of_lgq : Localiso.Lgq.t -> Rlogic.Ast.query
+(** The L⁻ expression for a locally generic query: [undefined] for the
+    undefined query, otherwise the disjunction of its classes' formulas
+    over variables [x1, ..., xn]. *)
+
+val lgq_of_query : Localiso.Classes.t -> Rlogic.Ast.query -> Localiso.Lgq.t
+(** The class set of an L⁻ query (quantifier-free; raises
+    [Invalid_argument] otherwise): evaluate on each class's realization. *)
+
+val normalize : Localiso.Classes.t -> Rlogic.Ast.query -> Rlogic.Ast.query
+(** [query_of_lgq ∘ lgq_of_query] — the canonical normal form. *)
+
+val equivalent :
+  Localiso.Classes.t -> Rlogic.Ast.query -> Rlogic.Ast.query -> bool
+(** Whether two L⁻ queries agree on all r-dbs of the registry's type —
+    decidable because both reduce to finite class sets. *)
+
+val roundtrip_holds : Localiso.Classes.t -> Localiso.Lgq.t -> bool
+(** [lgq_of_query reg (query_of_lgq q) = q] — the completeness identity
+    checked by tests and by experiment E3. *)

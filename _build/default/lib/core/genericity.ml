@@ -1,0 +1,157 @@
+open Prelude
+open Rdb
+
+type certificate = {
+  b3 : Database.t;
+  b4 : Database.t;
+  u : Tuple.t;
+  v : Tuple.t;
+  iso : int -> int;
+  support : int list;
+  answer3 : bool;
+  answer4 : bool;
+}
+
+(* A database whose relations log every oracle question. *)
+let logged_db b =
+  let getters = ref [] in
+  let rels =
+    Array.map
+      (fun r ->
+        let r', get = Relation.logged r in
+        getters := get :: !getters;
+        r')
+      (Database.relations b)
+  in
+  let all_queries () =
+    List.concat_map (fun get -> List.map fst (get ())) !getters
+  in
+  (Database.make ~name:(Database.name b) ~domain:(Database.domain b) rels,
+   all_queries)
+
+let observed_elements queries excluded =
+  let seen = Hashtbl.create 16 in
+  List.iter (fun x -> Hashtbl.replace seen x ()) excluded;
+  let out = ref [] in
+  List.iter
+    (Array.iter (fun x ->
+         if not (Hashtbl.mem seen x) then begin
+           Hashtbl.add seen x ();
+           out := x :: !out
+         end))
+    queries;
+  List.rev !out
+
+let refute ~decide ~b1 ~u ~b2 ~v =
+  if not (Localiso.Liso.check b1 u b2 v) then None
+  else begin
+    let b1', queries1 = logged_db b1 in
+    let b2', queries2 = logged_db b2 in
+    let answer1 = decide b1' u in
+    let answer2 = decide b2' v in
+    if answer1 = answer2 then None
+    else begin
+      let u_elems = Tuple.distinct_elements u in
+      let v_elems = Tuple.distinct_elements v in
+      let d_elems = observed_elements (queries1 ()) u_elems in
+      let e_elems = observed_elements (queries2 ()) v_elems in
+      let all_seen =
+        u_elems @ v_elems @ d_elems @ e_elems
+        @ List.concat_map Array.to_list (queries1 ())
+        @ List.concat_map Array.to_list (queries2 ())
+      in
+      let base = 1 + List.fold_left max 0 all_seen in
+      let e_fresh = List.mapi (fun i _ -> base + i) e_elems in
+      let d_fresh =
+        List.mapi (fun i _ -> base + List.length e_elems + i) d_elems
+      in
+      (* u.(i) ↦ v.(i) is well-defined because the equality patterns
+         coincide (local isomorphism). *)
+      let u_to_v = Hashtbl.create 8 and v_to_u = Hashtbl.create 8 in
+      Array.iteri
+        (fun i x ->
+          Hashtbl.replace u_to_v x v.(i);
+          Hashtbl.replace v_to_u v.(i) x)
+        u;
+      let table pairs =
+        let h = Hashtbl.create 8 in
+        List.iter (fun (a, b) -> Hashtbl.replace h a b) pairs;
+        h
+      in
+      let e_fresh_to_e = table (List.combine e_fresh e_elems) in
+      let d_fresh_to_d = table (List.combine d_fresh d_elems) in
+      let d_to_d_fresh = table (List.combine d_elems d_fresh) in
+      let member h x = Hashtbl.mem h x in
+      let u_set = table (List.map (fun x -> (x, ())) u_elems) in
+      let v_set = table (List.map (fun x -> (x, ())) v_elems) in
+      let d_set = table (List.map (fun x -> (x, ())) d_elems) in
+      let e_set = table (List.map (fun x -> (x, ())) e_elems) in
+      let e_fresh_set = table (List.map (fun x -> (x, ())) e_fresh) in
+      let d_fresh_set = table (List.map (fun x -> (x, ())) d_fresh) in
+      let over sets x = Array.for_all (fun c -> List.exists (fun s -> member s c) sets) x in
+      let translate tbl_special special_set other_map x =
+        Array.map
+          (fun c ->
+            if member special_set c then Hashtbl.find tbl_special c
+            else Hashtbl.find other_map c)
+          x
+      in
+      let db_type = Database.db_type b1 in
+      let s3 =
+        Array.mapi
+          (fun i a ->
+            Relation.make ~name:(Printf.sprintf "S%d" (i + 1)) ~arity:a
+              (fun x ->
+                (over [ u_set; d_set ] x && Database.mem b1 i x)
+                || (over [ u_set; e_fresh_set ] x
+                   && Database.mem b2 i
+                        (translate e_fresh_to_e e_fresh_set u_to_v x))))
+          db_type
+      in
+      let s4 =
+        Array.mapi
+          (fun i a ->
+            Relation.make ~name:(Printf.sprintf "S%d'" (i + 1)) ~arity:a
+              (fun x ->
+                (over [ v_set; e_set ] x && Database.mem b2 i x)
+                || (over [ v_set; d_fresh_set ] x
+                   && Database.mem b1 i
+                        (translate d_fresh_to_d d_fresh_set v_to_u x))))
+          db_type
+      in
+      let b3 = Database.make ~name:"B3" s3 in
+      let b4 = Database.make ~name:"B4" s4 in
+      let iso x =
+        if member u_set x then Hashtbl.find u_to_v x
+        else if member d_set x then Hashtbl.find d_to_d_fresh x
+        else if member e_fresh_set x then Hashtbl.find e_fresh_to_e x
+        else x
+      in
+      let support = u_elems @ d_elems @ e_fresh in
+      let answer3 = decide b3 u in
+      let answer4 = decide b4 v in
+      Some { b3; b4; u; v; iso; support; answer3; answer4 }
+    end
+  end
+
+let verify cert =
+  let { b3; b4; u; v; iso; support; answer3; answer4 } = cert in
+  answer3 <> answer4
+  && Array.length u = Array.length v
+  && Array.for_all2 (fun x y -> iso x = y) u v
+  &&
+  let support = Array.of_list support in
+  let n = Array.length support in
+  let db_type = Database.db_type b3 in
+  let ok = ref true in
+  Array.iteri
+    (fun i a ->
+      if !ok then
+        ok :=
+          Combinat.fold_cartesian
+            (fun acc js ->
+              let x = Array.map (fun j -> support.(j)) js in
+              acc && Database.mem b3 i x = Database.mem b4 i (Array.map iso x))
+            true ~width:a ~bound:n)
+    db_type;
+  !ok

@@ -1,0 +1,39 @@
+(** The Proposition 2.5 proof construction, executable.
+
+    Given a recursive query [decide] (accessing its input only through the
+    instrumented oracles) and a witness that it is {e not} locally generic
+    — locally isomorphic pairs (B₁,u), (B₂,v) with different answers — we
+    build the databases B₃ and B₄ of the proof from the logged computation
+    paths, together with the explicit permutation that is an isomorphism
+    B₃ ≅ B₄ taking u to v.  Replaying the query on B₃ and B₄ then yields
+    different answers on isomorphic inputs: a mechanical refutation of
+    genericity. *)
+
+type certificate = {
+  b3 : Rdb.Database.t;
+  b4 : Rdb.Database.t;
+  u : Prelude.Tuple.t;
+  v : Prelude.Tuple.t;
+  iso : int -> int;  (** the permutation of the proof, B₃ → B₄ *)
+  support : int list;
+      (** finite carrier on which [iso] moves elements and on which the
+          relation contents of B₃/B₄ live *)
+  answer3 : bool;
+  answer4 : bool;  (** [answer3 <> answer4] in a valid certificate *)
+}
+
+val refute :
+  decide:(Rdb.Database.t -> Prelude.Tuple.t -> bool) ->
+  b1:Rdb.Database.t ->
+  u:Prelude.Tuple.t ->
+  b2:Rdb.Database.t ->
+  v:Prelude.Tuple.t ->
+  certificate option
+(** [refute ~decide ~b1 ~u ~b2 ~v] returns a certificate when
+    [(B₁,u) ≅ₗ (B₂,v)] yet [decide b1 u <> decide b2 v]; [None] when the
+    precondition fails (equal answers, or not locally isomorphic). *)
+
+val verify : certificate -> bool
+(** Check the certificate: [iso] maps the B₃-restriction of every relation
+    onto the B₄-restriction over the support, fixes [u ↦ v], and the two
+    answers differ. *)

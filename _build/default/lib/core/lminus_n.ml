@@ -1,0 +1,64 @@
+open Prelude
+open Localiso
+
+type t = { n : int; registry : Classes.t; selected : bool array }
+
+let window t = t.n
+let rank t = Classes.rank t.registry
+
+let of_lgq ~n lgq =
+  if n <= 0 then invalid_arg "Lminus_n.of_lgq: empty window";
+  match lgq with
+  | Lgq.Undefined -> invalid_arg "Lminus_n.of_lgq: undefined query"
+  | Lgq.Classes { registry; selected } ->
+      { n; registry; selected = Array.copy selected }
+
+let of_query ~n registry q =
+  of_lgq ~n (Completeness.lgq_of_query registry q)
+
+let to_query t =
+  Completeness.query_of_lgq
+    (Lgq.Classes { registry = t.registry; selected = t.selected })
+
+let eval t b =
+  Combinat.fold_cartesian
+    (fun acc u ->
+      if t.selected.(Classes.class_of t.registry b u) then
+        Tupleset.add (Array.copy u) acc
+      else acc)
+    Tupleset.empty ~width:(rank t) ~bound:t.n
+
+let classify ~n ~rank registry decide =
+  if Classes.rank registry <> rank then
+    invalid_arg "Lminus_n.classify: rank mismatch";
+  let selected =
+    Array.init (Classes.size registry) (fun i ->
+        let d = Classes.diagram registry i in
+        (* Classes needing more distinct elements than the window holds
+           contribute no window tuples; leave them unselected. *)
+        if Localiso.Diagram.blocks d > n then false
+        else
+          let b, u = Classes.realization registry i in
+          decide b u)
+  in
+  { n; registry; selected }
+
+let shift_database b ~shift =
+  let rels =
+    Array.map
+      (fun r ->
+        Rdb.Relation.make
+          ~name:(Rdb.Relation.name r ^ "+shift")
+          ~arity:(Rdb.Relation.arity r)
+          (fun u ->
+            Array.for_all (fun x -> x >= shift) u
+            && Rdb.Relation.mem r (Array.map (fun x -> x - shift) u)))
+      (Rdb.Database.relations b)
+  in
+  Rdb.Database.make ~name:(Rdb.Database.name b ^ "+shift") rels
+
+let non_generic_witness t b ~shift =
+  if shift <= 0 then invalid_arg "Lminus_n.non_generic_witness: shift <= 0";
+  let before = eval t b in
+  let after = eval t (shift_database b ~shift) in
+  if Tupleset.equal before after then None else Some (before, after)

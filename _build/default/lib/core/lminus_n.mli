@@ -1,0 +1,54 @@
+(** The restricted languages of Propositions 2.6 and 2.7.
+
+    [L⁻ₙ] is L⁻ applied to databases with domain ℕ, with results
+    restricted to [{1, ..., n}] (we use [{0, ..., n-1}]): queries of the
+    form [{(x₁, ..., xₘ) | φ(x̄, B) ∧ x̄ ∈ [n]^m}] with φ quantifier-free.
+    Such queries are {e not} generic — shifting the database moves the
+    answer out of the window, which is the paper's point — but they are
+    generic {e for tuples over the window}, and Proposition 2.7 shows
+    L⁻ₙ captures exactly the recursive functions with that property.
+
+    Computationally, an L⁻ₙ query is a class-set query with a window:
+    its (finite!) output on B is the set of window tuples whose
+    [≅ₗ]-class is selected.  This module realizes both directions of the
+    proposition the same way [Completeness] realizes Theorem 2.1. *)
+
+type t
+(** A semantic L⁻ₙ query: a window bound and a class set. *)
+
+val window : t -> int
+val rank : t -> int
+
+val of_lgq : n:int -> Localiso.Lgq.t -> t
+(** Restrict a locally generic query's output to the window [n].
+    Raises [Invalid_argument] on the undefined query. *)
+
+val of_query : n:int -> Localiso.Classes.t -> Rlogic.Ast.query -> t
+(** Parse direction: the class set of a quantifier-free query, windowed
+    (the [∧ x̄ ∈ [n]^m] conjunct is carried semantically). *)
+
+val to_query : t -> Rlogic.Ast.query
+(** Synthesis direction (Proposition 2.7's completeness): the L⁻ formula
+    of the class set; together with {!window} this is the full L⁻ₙ
+    expression. *)
+
+val eval : t -> Rdb.Database.t -> Prelude.Tupleset.t
+(** The {e finite} output relation over the window — total, no cutoff
+    parameter needed, unlike unrestricted r-queries. *)
+
+val classify :
+  n:int ->
+  rank:int ->
+  Localiso.Classes.t ->
+  (Rdb.Database.t -> Prelude.Tuple.t -> bool) ->
+  t
+(** Completeness direction: capture any decision procedure that is
+    generic for window tuples (constant on [≅ₗ]-classes restricted to
+    the window) by evaluating it on class realizations. *)
+
+val non_generic_witness :
+  t -> Rdb.Database.t -> shift:int -> (Prelude.Tupleset.t * Prelude.Tupleset.t) option
+(** The paper's observation that L⁻ₙ queries are not generic: evaluate
+    the query on [B] and on the isomorphic copy of [B] shifted by
+    [shift]; returns the two (different) answers when the query output
+    is non-empty, [None] when the outputs coincide. *)

@@ -1,0 +1,63 @@
+open Prelude
+
+type outcome = Member | Nonmember | Diverges
+
+type t =
+  | Undefined_query
+  | Defined of {
+      name : string;
+      db_type : int array;
+      rank : int;
+      decide : Rdb.Database.t -> Tuple.t -> bool;
+    }
+
+let make ?(name = "Q") ~db_type ~rank decide =
+  Defined { name; db_type; rank; decide }
+
+let run q b u =
+  match q with
+  | Undefined_query -> Diverges
+  | Defined { rank; decide; _ } ->
+      if Tuple.rank u <> rank then Nonmember
+      else if decide b u then Member
+      else Nonmember
+
+let of_lgq lgq =
+  match lgq with
+  | Localiso.Lgq.Undefined -> Undefined_query
+  | Localiso.Lgq.Classes { registry; selected } ->
+      Defined
+        {
+          name = "lgq";
+          db_type = Localiso.Classes.db_type registry;
+          rank = Localiso.Classes.rank registry;
+          decide =
+            (fun b u -> selected.(Localiso.Classes.class_of registry b u));
+        }
+
+let classify registry q =
+  match q with
+  | Undefined_query -> Localiso.Lgq.undefined
+  | Defined { decide; _ } ->
+      Localiso.Lgq.of_pred registry (fun d ->
+          let b, u = Localiso.Diagram.realize d in
+          decide b u)
+
+let locally_generic_on q samples =
+  match q with
+  | Undefined_query -> None
+  | Defined { decide; _ } ->
+      let rec scan = function
+        | [] -> None
+        | (b1, u) :: rest ->
+            let conflict =
+              List.find_opt
+                (fun (b2, v) ->
+                  Localiso.Liso.check b1 u b2 v && decide b1 u <> decide b2 v)
+                rest
+            in
+            (match conflict with
+            | Some (_, v) -> Some (u, v)
+            | None -> scan rest)
+      in
+      scan samples

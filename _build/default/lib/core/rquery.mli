@@ -1,0 +1,48 @@
+(** Computable r-queries (Definitions 2.3–2.6) as black boxes.
+
+    A recursive r-query is given by a decision procedure that may access
+    the input database only through its instrumented membership oracles
+    (Definition 2.4).  [Diverges] stands for non-halting behaviour — our
+    executable rendering keeps everything total by making divergence an
+    explicit outcome. *)
+
+type outcome = Member | Nonmember | Diverges
+
+type t =
+  | Undefined_query  (** the everywhere-undefined r-query *)
+  | Defined of {
+      name : string;
+      db_type : int array;
+      rank : int;
+      decide : Rdb.Database.t -> Prelude.Tuple.t -> bool;
+    }
+
+val make :
+  ?name:string ->
+  db_type:int array ->
+  rank:int ->
+  (Rdb.Database.t -> Prelude.Tuple.t -> bool) ->
+  t
+
+val run : t -> Rdb.Database.t -> Prelude.Tuple.t -> outcome
+(** Apply the query; [Undefined_query] yields [Diverges] on every input
+    (Proposition 2.3(1): undefined queries are undefined for {e all} B). *)
+
+val of_lgq : Localiso.Lgq.t -> t
+(** The computable query denoted by a locally generic class-set query —
+    its decision procedure computes the input pair's diagram and looks it
+    up (finitely many oracle calls). *)
+
+val classify : Localiso.Classes.t -> t -> Localiso.Lgq.t
+(** Determine the class set of a query {e assumed} computable (hence, by
+    Proposition 2.5, locally generic): evaluate it on the canonical
+    realization of each class.  This is the semantic heart of the
+    completeness proof — a computable query is exactly its class set. *)
+
+val locally_generic_on :
+  t -> (Rdb.Database.t * Prelude.Tuple.t) list -> (Prelude.Tuple.t * Prelude.Tuple.t) option
+(** Sample-based local-genericity check: search the given pairs for two
+    locally isomorphic pairs on which the query answers differently.
+    [None] means no violation was found among the samples; [Some (u, v)]
+    returns a witness (the §2 ∃-query fails this on the paper's B₁/B₂
+    example). *)

@@ -1,0 +1,1 @@
+lib/fcf/fcf.ml: Array Format List Prelude Printf Ql Tuple Tupleset

@@ -1,0 +1,1 @@
+lib/fcf/fcf.mli: Format Prelude

@@ -1,0 +1,1 @@
+lib/fcf/fcfdb.ml: Array Combinat Fcf Hs Ints Lazy List Prelude Printf Rdb Tuple Tupleset

@@ -1,0 +1,1 @@
+lib/fcf/fcfdb.mli: Fcf Hs Prelude Rdb

@@ -1,0 +1,1 @@
+lib/fcf/qlf.ml: Array Fcf Fcfdb List Prelude Printf Ql Tupleset

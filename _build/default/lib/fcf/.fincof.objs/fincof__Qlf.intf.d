@@ -1,0 +1,1 @@
+lib/fcf/qlf.mli: Fcf Fcfdb Prelude Ql

@@ -1,0 +1,149 @@
+open Prelude
+
+type t =
+  | Finite of { rank : int; tuples : Tupleset.t }
+  | Cofinite of { rank : int; complement : Tupleset.t }
+
+let check_ranks ~rank s =
+  Tupleset.iter
+    (fun u ->
+      if Tuple.rank u <> rank then invalid_arg "Fcf: tuple rank mismatch")
+    s
+
+let finite ~rank tuples =
+  check_ranks ~rank tuples;
+  Finite { rank; tuples }
+
+let cofinite ~rank complement =
+  check_ranks ~rank complement;
+  if rank = 0 then
+    (* D⁰ = {()} is finite; normalize. *)
+    Finite
+      { rank = 0; tuples = Tupleset.diff (Tupleset.singleton [||]) complement }
+  else Cofinite { rank; complement }
+
+let empty ~rank = Finite { rank; tuples = Tupleset.empty }
+let full ~rank = cofinite ~rank Tupleset.empty
+
+let rank = function Finite { rank; _ } | Cofinite { rank; _ } -> rank
+let is_finite_rel = function Finite _ -> true | Cofinite _ -> false
+
+let mem t u =
+  match t with
+  | Finite { tuples; _ } -> Tupleset.mem u tuples
+  | Cofinite { rank; complement } ->
+      Tuple.rank u = rank && not (Tupleset.mem u complement)
+
+let is_empty = function
+  | Finite { tuples; _ } -> Tupleset.is_empty tuples
+  | Cofinite _ -> false
+
+let is_single = function
+  | Finite { tuples; _ } -> Tupleset.cardinal tuples = 1
+  | Cofinite _ -> false
+
+let complement = function
+  | Finite { rank; tuples } -> cofinite ~rank tuples
+  | Cofinite { rank; complement } -> Finite { rank; tuples = complement }
+
+let rank_mismatch a b =
+  raise
+    (Ql.Ql_interp.Rank_error
+       (Printf.sprintf "fcf operation on ranks %d and %d" (rank a) (rank b)))
+
+let check_compatible a b =
+  match (a, b) with
+  | Finite { tuples; _ }, _ when Tupleset.is_empty tuples -> ()
+  | _, Finite { tuples; _ } when Tupleset.is_empty tuples -> ()
+  | _ -> if rank a <> rank b then rank_mismatch a b
+
+let inter a b =
+  check_compatible a b;
+  match (a, b) with
+  | Finite fa, Finite fb ->
+      if Tupleset.is_empty fa.tuples || Tupleset.is_empty fb.tuples then
+        empty ~rank:(max fa.rank fb.rank)
+      else Finite { rank = fa.rank; tuples = Tupleset.inter fa.tuples fb.tuples }
+  | Finite fa, Cofinite cb ->
+      Finite { rank = fa.rank; tuples = Tupleset.diff fa.tuples cb.complement }
+  | Cofinite ca, Finite fb ->
+      Finite { rank = fb.rank; tuples = Tupleset.diff fb.tuples ca.complement }
+  | Cofinite ca, Cofinite cb ->
+      Cofinite
+        { rank = ca.rank; complement = Tupleset.union ca.complement cb.complement }
+
+let union a b = complement (inter (complement a) (complement b))
+let diff a b = inter a (complement b)
+
+let drop_first = function
+  | Finite { rank; tuples } ->
+      if rank < 1 then raise (Ql.Ql_interp.Rank_error "↓ on rank 0");
+      Finite
+        {
+          rank = rank - 1;
+          tuples =
+            Tupleset.fold
+              (fun u acc -> Tupleset.add (Tuple.drop_first u) acc)
+              tuples Tupleset.empty;
+        }
+  | Cofinite { rank; _ } ->
+      if rank < 1 then raise (Ql.Ql_interp.Rank_error "↓ on rank 0");
+      (* Proposition 4.2: the projection of a co-finite relation is all of
+         D^{n-1}. *)
+      full ~rank:(rank - 1)
+
+let swap_last t =
+  let swap_set s =
+    Tupleset.fold
+      (fun u acc -> Tupleset.add (Tuple.swap_last_two u) acc)
+      s Tupleset.empty
+  in
+  match t with
+  | Finite { rank; tuples } ->
+      if rank < 2 then raise (Ql.Ql_interp.Rank_error "~ on rank < 2");
+      Finite { rank; tuples = swap_set tuples }
+  | Cofinite { rank; complement } ->
+      if rank < 2 then raise (Ql.Ql_interp.Rank_error "~ on rank < 2");
+      Cofinite { rank; complement = swap_set complement }
+
+let product_df t ~df =
+  match t with
+  | Cofinite _ ->
+      raise (Ql.Ql_interp.Rank_error "↑ is defined only for finite relations")
+  | Finite { rank; tuples } ->
+      Finite
+        {
+          rank = rank + 1;
+          tuples =
+            Tupleset.fold
+              (fun u acc ->
+                List.fold_left
+                  (fun acc d -> Tupleset.add (Tuple.append u d) acc)
+                  acc df)
+              tuples Tupleset.empty;
+        }
+
+let constants t =
+  let s =
+    match t with
+    | Finite { tuples; _ } -> tuples
+    | Cofinite { complement; _ } -> complement
+  in
+  Tupleset.fold
+    (fun u acc -> List.sort_uniq compare (Array.to_list u @ acc))
+    s []
+
+let equal a b =
+  match (a, b) with
+  | Finite fa, Finite fb ->
+      (Tupleset.is_empty fa.tuples && Tupleset.is_empty fb.tuples)
+      || (fa.rank = fb.rank && Tupleset.equal fa.tuples fb.tuples)
+  | Cofinite ca, Cofinite cb ->
+      ca.rank = cb.rank && Tupleset.equal ca.complement cb.complement
+  | _ -> false
+
+let pp ppf = function
+  | Finite { rank; tuples } ->
+      Format.fprintf ppf "finite[%d]%a" rank Tupleset.pp tuples
+  | Cofinite { rank; complement } ->
+      Format.fprintf ppf "cofinite[%d]~%a" rank Tupleset.pp complement

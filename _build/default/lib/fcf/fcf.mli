@@ -1,0 +1,64 @@
+(** Finite/co-finite relations over the infinite domain ℕ (§4).
+
+    A finite relation is represented by its tuples; a co-finite one by
+    its finite complement and "a special indicator" — here, the
+    constructor.  Rank 0 is normalized to the finite representation
+    (D⁰ = [{()}] is itself finite), so values admit a canonical form
+    and structural equality agrees with semantic equality except for the
+    rank of empty relations (see {!equal}). *)
+
+type t = private
+  | Finite of { rank : int; tuples : Prelude.Tupleset.t }
+  | Cofinite of { rank : int; complement : Prelude.Tupleset.t }
+
+val finite : rank:int -> Prelude.Tupleset.t -> t
+val cofinite : rank:int -> Prelude.Tupleset.t -> t
+(** [cofinite ~rank c] is [Dⁿ − c].  At rank 0 the result is normalized
+    to a finite value. *)
+
+val empty : rank:int -> t
+val full : rank:int -> t
+val rank : t -> int
+
+val is_finite_rel : t -> bool
+(** The [|Y| < ∞] test of QL_f+. *)
+
+val mem : t -> Prelude.Tuple.t -> bool
+val is_empty : t -> bool
+val is_single : t -> bool
+
+val complement : t -> t
+(** Flip the indicator (¬e "is computed by simply flipping the indicator
+    from present to absent and vice versa"). *)
+
+val inter : t -> t -> t
+(** e ∩ f, by the §4 case analysis (e.g. finite ∩ co-finite "is computed
+    as e − (¬f)").  Raises [Ql.Ql_interp.Rank_error] on rank mismatch
+    (empty finite values are rank-polymorphic). *)
+
+val union : t -> t -> t
+val diff : t -> t -> t
+
+val drop_first : t -> t
+(** The projection e↓ (out the first coordinate).  On finite relations,
+    the image; on co-finite ones, Proposition 4.2: the result is all of
+    [D^{n-1}] — finite for n = 1 and co-finite otherwise. *)
+
+val swap_last : t -> t
+(** e~ (exchange the two rightmost coordinates) — a bijection of [Dⁿ],
+    so it acts on either representation. *)
+
+val product_df : t -> df:int list -> t
+(** The QL_f+ cylindrification [e↑ = e × Df], defined only for finite
+    [e] (§4: "is defined only if e is finite"); raises
+    [Ql.Ql_interp.Rank_error] otherwise. *)
+
+val constants : t -> int list
+(** The constants appearing in the finite part (tuples or complement),
+    sorted — the ingredients of [Df]. *)
+
+val equal : t -> t -> bool
+(** Semantic equality, treating empty finite relations of any recorded
+    rank alike. *)
+
+val pp : Format.formatter -> t -> unit

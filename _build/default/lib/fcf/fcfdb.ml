@@ -1,0 +1,130 @@
+open Prelude
+
+type t = {
+  name : string;
+  rels : Fcf.t array;
+  df : int list;
+  autos : int array list Lazy.t;
+}
+
+(* Permutations of df (as arrays over df positions) preserving every
+   relation's finite part. *)
+let compute_autos rels df =
+  let df_arr = Array.of_list df in
+  let n = Array.length df_arr in
+  let index_of x =
+    let rec go i = if df_arr.(i) = x then i else go (i + 1) in
+    go 0
+  in
+  let finite_part r =
+    match r with
+    | Fcf.Finite { tuples; _ } -> tuples
+    | Fcf.Cofinite { complement; _ } -> complement
+  in
+  let preserves sigma =
+    Array.for_all
+      (fun r ->
+        let part = finite_part r in
+        Tupleset.for_all
+          (fun u ->
+            let v = Array.map (fun x -> df_arr.(sigma.(index_of x))) u in
+            Tupleset.mem v part)
+          part)
+      rels
+  in
+  List.filter_map
+    (fun p ->
+      let sigma = Array.of_list p in
+      if preserves sigma then Some sigma else None)
+    (Combinat.permutations (Ints.range 0 n))
+
+let make ?(name = "fcf") rels =
+  let rels = Array.of_list rels in
+  let df =
+    Array.fold_left
+      (fun acc r -> List.sort_uniq compare (Fcf.constants r @ acc))
+      [] rels
+  in
+  { name; rels; df; autos = lazy (compute_autos rels df) }
+
+let relations t = t.rels
+let db_type t = Array.map Fcf.rank t.rels
+let df t = t.df
+let automorphisms t = Lazy.force t.autos
+
+let equiv t u v =
+  Tuple.rank u = Tuple.rank v
+  && Tuple.equality_pattern u = Tuple.equality_pattern v
+  &&
+  let df_arr = Array.of_list t.df in
+  let pos x =
+    let rec go i =
+      if i >= Array.length df_arr then None
+      else if df_arr.(i) = x then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  List.exists
+    (fun sigma ->
+      let ok = ref true in
+      Array.iteri
+        (fun i x ->
+          match pos x with
+          | Some px ->
+              if v.(i) <> df_arr.(sigma.(px)) then ok := false
+          | None -> if pos v.(i) <> None then ok := false)
+        u;
+      !ok)
+    (automorphisms t)
+
+let to_rdb t =
+  let rels =
+    Array.mapi
+      (fun i r ->
+        Rdb.Relation.make
+          ~name:(Printf.sprintf "R%d" (i + 1))
+          ~arity:(Fcf.rank r)
+          (fun u -> Fcf.mem r u))
+      t.rels
+  in
+  Rdb.Database.make ~name:t.name rels
+
+let to_hsdb t =
+  let db = to_rdb t in
+  let children u =
+    let used = Tuple.distinct_elements u in
+    let unused_df = List.filter (fun d -> not (List.mem d used)) t.df in
+    let fresh_outside =
+      let rec go y =
+        if (not (List.mem y t.df)) && not (List.mem y used) then y
+        else go (y + 1)
+      in
+      go 0
+    in
+    Hs.Hsdb.dedupe_extensions ~equiv:(equiv t) u
+      (used @ unused_df @ [ fresh_outside ])
+  in
+  Hs.Hsdb.make ~name:(t.name ^ "-hs") ~db ~children ~equiv:(equiv t) ()
+
+let df_from_tree ?(max_rank = 8) hs =
+  let all_distinct u =
+    List.length (Tuple.distinct_elements u) = Tuple.rank u
+  in
+  let condition d =
+    all_distinct d
+    &&
+    let elems = Array.to_list d in
+    let fresh =
+      List.filter (fun a -> not (List.mem a elems)) (Hs.Hsdb.children hs d)
+    in
+    List.length fresh = 1
+  in
+  let rec go n =
+    if n > max_rank then None
+    else
+      match List.find_opt condition (Hs.Hsdb.paths hs n) with
+      | Some d -> Some (List.sort compare (Array.to_list d))
+      | None -> go (n + 1)
+  in
+  go 0

@@ -1,0 +1,42 @@
+(** Finite/co-finite recursive databases (Definition 4.1) and the
+    Proposition 4.1 equivalence with highly symmetric databases.
+
+    [Df] is the set of constants appearing in the finite parts of the
+    relations; automorphisms are exactly the permutations that restrict
+    to an automorphism of the finite structure on [Df] and act
+    arbitrarily on the (interchangeable) elements outside it. *)
+
+type t
+
+val make : ?name:string -> Fcf.t list -> t
+(** An fcf-r-db from its relations (with indicators). *)
+
+val relations : t -> Fcf.t array
+val db_type : t -> int array
+
+val df : t -> int list
+(** The constants of the finite parts, sorted. *)
+
+val automorphisms : t -> int array list
+(** The automorphisms of the finite structure on [Df], as arrays indexed
+    by position in [df t].  Computed by brute force — keep [Df] small. *)
+
+val equiv : t -> Prelude.Tuple.t -> Prelude.Tuple.t -> bool
+(** [≅_B], decided from the finite parts only ("the isomorphisms of a
+    fcf-r-db can be computed by using only the finite parts"). *)
+
+val to_rdb : t -> Rdb.Database.t
+(** The underlying recursive database. *)
+
+val to_hsdb : t -> Hs.Hsdb.t
+(** Proposition 4.1, first direction: every fcf-r-db is an hs-r-db; the
+    characteristic tree uses the actual [Df] constants as labels for the
+    classes that touch the finite parts. *)
+
+val df_from_tree : ?max_rank:int -> Hs.Hsdb.t -> int list option
+(** Proposition 4.1, second direction: recover [Df] from a characteristic
+    tree by the proof's criterion — the shortest path [d] of pairwise
+    distinct labels such that exactly one offspring of [d] is a fresh
+    element; its labels are [Df].  Returns [None] if no such path exists
+    up to [max_rank] (default 8), e.g. when the database is not
+    finite/co-finite. *)

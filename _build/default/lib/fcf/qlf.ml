@@ -1,0 +1,41 @@
+open Prelude
+
+let algebra t =
+  let df = Fcfdb.df t in
+  let e_const () =
+    Fcf.finite ~rank:2
+      (List.fold_left
+         (fun acc a -> Tupleset.add [| a; a |] acc)
+         Tupleset.empty df)
+  in
+  let rel i =
+    let rels = Fcfdb.relations t in
+    if i < 0 || i >= Array.length rels then
+      raise (Ql.Ql_interp.Rank_error (Printf.sprintf "no relation Rel%d" (i + 1)));
+    rels.(i)
+  in
+  {
+    Ql.Ql_interp.e_const;
+    rel;
+    inter = Fcf.inter;
+    comp = Fcf.complement;
+    up = (fun v -> Fcf.product_df v ~df);
+    down = Fcf.drop_first;
+    swap = Fcf.swap_last;
+    initial = Fcf.empty ~rank:0;
+    is_empty = Fcf.is_empty;
+    is_single = Fcf.is_single;
+    is_finite = Some Fcf.is_finite_rel;
+  }
+
+let run t ~fuel program = Ql.Ql_interp.run ~algebra:(algebra t) ~fuel program
+
+let eval_term t e = Ql.Ql_interp.eval_term ~algebra:(algebra t) ~store:[||] e
+
+let output = function
+  | Ql.Ql_interp.Halted store -> begin
+      match store.(0) with
+      | Fcf.Finite { tuples; _ } -> Some (tuples, false)
+      | Fcf.Cofinite { complement; _ } -> Some (complement, true)
+    end
+  | Ql.Ql_interp.Timeout | Ql.Ql_interp.Ill_formed _ -> None

@@ -1,0 +1,23 @@
+(** QL_f+ — the finite/co-finite variant of QL (§4, Proposition 4.3).
+
+    The syntax is QL plus [while |Y| < ∞ do P]; values are
+    finite/co-finite relations with their indicator.  The changed
+    operations are [e↑ = e × Df] (defined only for finite [e]) and
+    [E = {(a, a) | a ∈ Df}]; everything else is computed on finite parts
+    with the indicator ("¬e is computed by simply flipping the
+    indicator").
+
+    The output convention of §4 — [Y1] holds the finite part and [Y2]
+    holds [{()}] iff the answer is co-finite — is what {!output}
+    implements. *)
+
+val algebra : Fcfdb.t -> Fcf.t Ql.Ql_interp.algebra
+
+val run : Fcfdb.t -> fuel:int -> Ql.Ql_ast.program -> Fcf.t Ql.Ql_interp.outcome
+
+val eval_term : Fcfdb.t -> Ql.Ql_ast.term -> Fcf.t
+(** Evaluate a closed term. *)
+
+val output : Fcf.t Ql.Ql_interp.outcome -> (Prelude.Tupleset.t * bool) option
+(** The §4 answer convention: [(finite part, is_cofinite)] of [Y1];
+    [None] if the program did not halt cleanly. *)

@@ -1,0 +1,1 @@
+lib/gm/gm.ml: Array Hashtbl Hs List Prelude Tuple Tupleset

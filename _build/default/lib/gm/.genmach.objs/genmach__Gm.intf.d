@@ -1,0 +1,1 @@
+lib/gm/gm.mli: Hs Prelude

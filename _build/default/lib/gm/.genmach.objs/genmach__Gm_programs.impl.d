@@ -1,0 +1,1 @@
+lib/gm/gm_programs.ml: Array Gm Hs Printf

@@ -1,0 +1,287 @@
+open Prelude
+
+type cell = Blank | Sym of int | Elem of int
+type head = H1 | H2
+type direction = Left | Right
+
+type simple =
+  | Write of cell
+  | Move of head * direction
+  | Seek of head * [ `Start | `Last_run | `Next_run ]
+  | Truncate
+
+type source = From_rel of int | Offspring
+
+type act =
+  | Step of simple list * int
+  | Load of source * int
+  | Store of int * int
+  | Clear of int * int
+  | Halt
+
+type view = {
+  state : int;
+  cell1 : cell;
+  cell2 : cell;
+  tuple1 : Tuple.t option;
+  tuple2 : Tuple.t option;
+  cells_equal : bool option;
+  tuples_equivalent : bool option;
+  heads_equal : bool;
+  store_empty : bool array;
+}
+
+type spec = { nstores : int; start : int; delta : view -> act }
+
+type unit_gm = {
+  ustate : int;
+  tape : cell array;
+  h1 : int;
+  h2 : int;
+  store : Tupleset.t array;
+}
+
+type result = {
+  units : unit_gm list;
+  steps : int;
+  peak_units : int;
+  collapses : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Tape helpers                                                       *)
+
+let trim_trailing_blanks tape =
+  let n = Array.length tape in
+  let rec last i = if i >= 0 && tape.(i) = Blank then last (i - 1) else i in
+  let l = last (n - 1) in
+  if l = n - 1 then tape else Array.sub tape 0 (l + 1)
+
+let clamp_heads u =
+  let n = Array.length u.tape in
+  { u with h1 = max 0 (min u.h1 n); h2 = max 0 (min u.h2 n) }
+
+let normalize u = clamp_heads { u with tape = trim_trailing_blanks u.tape }
+
+let cell_at tape i = if i >= 0 && i < Array.length tape then tape.(i) else Blank
+
+let run_at tape i =
+  (* Maximal run of Elem cells starting at position i. *)
+  let n = Array.length tape in
+  let rec collect j acc =
+    if j < n then
+      match tape.(j) with
+      | Elem x -> collect (j + 1) (x :: acc)
+      | Blank | Sym _ -> List.rev acc
+    else List.rev acc
+  in
+  match cell_at tape i with
+  | Elem _ -> Some (Tuple.of_list (collect i []))
+  | Blank | Sym _ -> None
+
+(* Start position of the last maximal Elem-run on the tape. *)
+let last_run_start tape =
+  let n = Array.length tape in
+  let rec find_last i current last =
+    if i >= n then last
+    else
+      match tape.(i) with
+      | Elem _ ->
+          let start = match current with Some s -> s | None -> i in
+          find_last (i + 1) (Some start) (Some start)
+      | Blank | Sym _ -> find_last (i + 1) None last
+  in
+  find_last 0 None None
+
+let truncate_last_run tape =
+  match last_run_start tape with
+  | None -> trim_trailing_blanks tape
+  | Some s -> trim_trailing_blanks (Array.sub tape 0 s)
+
+let write_at tape i c =
+  let n = Array.length tape in
+  if i < n then begin
+    let t = Array.copy tape in
+    t.(i) <- c;
+    t
+  end
+  else begin
+    let t = Array.make (i + 1) Blank in
+    Array.blit tape 0 t 0 n;
+    t.(i) <- c;
+    t
+  end
+
+let append_separated tape elems =
+  let suffix = Blank :: List.map (fun x -> Elem x) elems in
+  Array.append tape (Array.of_list suffix)
+
+(* ------------------------------------------------------------------ *)
+(* Observation and actions                                            *)
+
+let observe t u =
+  let c1 = cell_at u.tape u.h1 and c2 = cell_at u.tape u.h2 in
+  let t1 = run_at u.tape u.h1 and t2 = run_at u.tape u.h2 in
+  {
+    state = u.ustate;
+    cell1 = c1;
+    cell2 = c2;
+    tuple1 = t1;
+    tuple2 = t2;
+    cells_equal =
+      (match (c1, c2) with
+      | Elem x, Elem y -> Some (x = y)
+      | _ -> None);
+    tuples_equivalent =
+      (match (t1, t2) with
+      | Some a, Some b ->
+          Some (Tuple.rank a = Tuple.rank b && Hs.Hsdb.equiv t a b)
+      | _ -> None);
+    heads_equal = u.h1 = u.h2;
+    store_empty = Array.map Tupleset.is_empty u.store;
+  }
+
+let apply_simple u = function
+  | Write c -> { u with tape = write_at u.tape u.h1 c }
+  | Move (H1, Left) -> { u with h1 = max 0 (u.h1 - 1) }
+  | Move (H1, Right) -> { u with h1 = u.h1 + 1 }
+  | Move (H2, Left) -> { u with h2 = max 0 (u.h2 - 1) }
+  | Move (H2, Right) -> { u with h2 = u.h2 + 1 }
+  | Seek (h, `Start) -> if h = H1 then { u with h1 = 0 } else { u with h2 = 0 }
+  | Seek (h, `Last_run) -> begin
+      match last_run_start u.tape with
+      | None -> if h = H1 then { u with h1 = 0 } else { u with h2 = 0 }
+      | Some s -> if h = H1 then { u with h1 = s } else { u with h2 = s }
+    end
+  | Seek (h, `Next_run) ->
+      let n = Array.length u.tape in
+      let from = if h = H1 then u.h1 else u.h2 in
+      (* Skip the current run, if any, then find the next one. *)
+      let rec skip_run i =
+        if i < n then
+          match u.tape.(i) with Elem _ -> skip_run (i + 1) | _ -> i
+        else i
+      in
+      let rec find i =
+        if i >= n then n
+        else match u.tape.(i) with Elem _ -> i | _ -> find (i + 1)
+      in
+      let dest = find (skip_run from) in
+      if h = H1 then { u with h1 = dest } else { u with h2 = dest }
+  | Truncate ->
+      { u with tape = truncate_last_run u.tape; h1 = 0; h2 = 0 }
+
+exception Bad_program of string
+
+(* One synchronous step of one unit; returns its (possibly spawned)
+   successor units. *)
+let step_unit spec t u =
+    match spec.delta (observe t u) with
+    | Halt -> [ { u with ustate = -1 } ]
+    | Step (simples, q) ->
+        let u' = List.fold_left apply_simple u simples in
+        [ normalize { u' with ustate = q } ]
+    | Clear (reg, q) ->
+        if reg < 0 || reg >= Array.length u.store then
+          raise (Bad_program "Clear register out of range");
+        let store = Array.copy u.store in
+        store.(reg) <- Tupleset.empty;
+        [ normalize { u with store; ustate = q } ]
+    | Store (reg, q) -> begin
+        match run_at u.tape u.h1 with
+        | None -> raise (Bad_program "Store with no current tuple")
+        | Some tuple ->
+            let rep = Hs.Hsdb.representative t tuple in
+            let store = Array.copy u.store in
+            if reg < 0 || reg >= Array.length store then
+              raise (Bad_program "Store register out of range");
+            store.(reg) <- Tupleset.add rep store.(reg);
+            [ normalize { u with store; ustate = q } ]
+      end
+    | Load (src, q) ->
+        let tuples =
+          match src with
+          | From_rel reg ->
+              if reg < 0 || reg >= Array.length u.store then
+                raise (Bad_program "Load register out of range");
+              Tupleset.elements u.store.(reg)
+          | Offspring ->
+              (* With no current tuple, load the offspring of the tree
+                 root — the rank-1 representatives. *)
+              let tuple =
+                match run_at u.tape u.h1 with
+                | Some tuple -> tuple
+                | None -> Tuple.empty
+              in
+              let p = Hs.Hsdb.representative t tuple in
+              List.map (Tuple.append p) (Hs.Hsdb.children t p)
+        in
+        List.map
+          (fun tuple ->
+            normalize
+              {
+                u with
+                tape = append_separated u.tape (Array.to_list tuple);
+                ustate = q;
+              })
+          tuples
+
+let is_halted u = u.ustate = -1
+
+let collapse units =
+  let table = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun u ->
+      let key = (u.ustate, Array.to_list u.tape, u.h1, u.h2) in
+      match Hashtbl.find_opt table key with
+      | None ->
+          Hashtbl.add table key u;
+          order := key :: !order
+      | Some existing ->
+          Hashtbl.replace table key
+            {
+              existing with
+              store = Array.map2 Tupleset.union existing.store u.store;
+            })
+    units;
+  List.rev_map (fun key -> Hashtbl.find table key) !order
+
+let run spec t ~fuel =
+  let db_type = Hs.Hsdb.db_type t in
+  let k = Array.length db_type in
+  let initial_store =
+    Array.init (k + spec.nstores) (fun i ->
+        if i < k then Hs.Hsdb.reps t i else Tupleset.empty)
+  in
+  let start =
+    { ustate = spec.start; tape = [||]; h1 = 0; h2 = 0; store = initial_store }
+  in
+  let rec loop units steps peak collapses fuel =
+    if List.for_all is_halted units then
+      Some { units; steps; peak_units = peak; collapses }
+    else if fuel <= 0 then None
+    else begin
+      let stepped =
+        List.concat_map
+          (fun u ->
+            if is_halted u then [ u ]
+            else
+              step_unit spec t u)
+          units
+      in
+      let merged = collapse stepped in
+      let removed = List.length stepped - List.length merged in
+      loop merged (steps + 1)
+        (max peak (List.length merged))
+        (collapses + removed) (fuel - 1)
+    end
+  in
+  loop [ start ] 0 1 0 fuel
+
+let output result ~reg =
+  match result.units with
+  | [ u ] when is_halted u && Array.length u.tape = 0 ->
+      if reg >= 0 && reg < Array.length u.store then Some u.store.(reg)
+      else None
+  | _ -> None

@@ -1,0 +1,105 @@
+(** Generic machines over highly symmetric databases — GM_hs (§5,
+    after Abiteboul–Vianu [AV]).
+
+    A GM_hs is a set of {e unit machines} computing synchronously.  Each
+    unit has a finite-state control, a two-head tape over a dual
+    alphabet (machine symbols and domain elements), and a relational
+    store.  Loading a relation with n tuples spawns n copies, one tuple
+    appended to each copy's tape; units that reach the same state and
+    tape contents collapse into one, their stores merging by union.
+    Oracle access is exactly the paper's: loading offspring of the
+    current tuple from [T_B], storing a [T_B]-representative equivalent
+    to the current tuple, and transitions may test cell equality and
+    tuple equivalence ([≅_B]).
+
+    Faithfulness notes (see DESIGN.md): transitions are OCaml functions
+    of the observable view (state, scanned cells, the two tests, store
+    emptiness) — the finite-state control of the paper, uncompiled; the
+    [Seek]/[Truncate] tape actions are macro conveniences for plain
+    head-sweep subroutines. *)
+
+type cell = Blank | Sym of int | Elem of int
+type head = H1 | H2
+type direction = Left | Right
+
+type simple =
+  | Write of cell  (** write under head 1 *)
+  | Move of head * direction
+  | Seek of head * [ `Start | `Last_run | `Next_run ]
+      (** move a head to the tape start, to the beginning of the last
+          maximal run of domain elements, or to the beginning of the
+          next run strictly after the current position's run *)
+  | Truncate
+      (** erase the trailing element-run (and blanks) from the tape end
+          and reset both heads to the start *)
+
+type source =
+  | From_rel of int  (** load the representatives in store register i *)
+  | Offspring
+      (** load the tree extensions of the current tuple: for each
+          offspring label [a] of the current tuple [u], one spawned unit
+          gets [ua] appended.  With no current tuple under head 1, the
+          root's offspring (the rank-1 representatives) are loaded. *)
+
+type act =
+  | Step of simple list * int  (** tape actions, then change state *)
+  | Load of source * int  (** spawning load, then change state *)
+  | Store of int * int
+      (** store a [T_B]-representative equivalent to the current tuple
+          into store register i, then change state *)
+  | Clear of int * int
+      (** empty store register i, then change state (the [AV] relational
+          store supports assignment; used by the Theorem 5.1 loading
+          protocol's probe register) *)
+  | Halt
+
+type view = {
+  state : int;
+  cell1 : cell;
+  cell2 : cell;
+  tuple1 : Prelude.Tuple.t option;
+      (** maximal run of domain elements starting at head 1 — "the
+          current tuple" *)
+  tuple2 : Prelude.Tuple.t option;
+  cells_equal : bool option;  (** when both scanned cells are elements *)
+  tuples_equivalent : bool option;  (** the [≅_B] test, when both runs exist *)
+  heads_equal : bool;  (** whether the two heads sit on the same cell *)
+  store_empty : bool array;
+}
+
+type spec = {
+  nstores : int;
+      (** registers beyond the inputs: the store is [C₁ … C_k] followed
+          by [nstores] scratch/output registers *)
+  start : int;
+  delta : view -> act;
+}
+
+type unit_gm = {
+  ustate : int;
+  tape : cell array;
+  h1 : int;
+  h2 : int;
+  store : Prelude.Tupleset.t array;
+}
+
+exception Bad_program of string
+(** Raised when a transition is applied in a configuration it does not
+    fit (missing current tuple, bad register). *)
+
+type result = {
+  units : unit_gm list;  (** all halted units *)
+  steps : int;
+  peak_units : int;  (** maximum number of live units at any step *)
+  collapses : int;  (** units removed by collapsing, summed over steps *)
+}
+
+val run : spec -> Hs.Hsdb.t -> fuel:int -> result option
+(** Execute from a single unit in the start state with an empty tape and
+    the input representatives [C₁ … C_k] in the first store registers.
+    [None] when fuel runs out before all units halt. *)
+
+val output : result -> reg:int -> Prelude.Tupleset.t option
+(** The paper's success condition: exactly one unit remains, in a
+    halting state with an empty tape; returns that unit's register.
+    [reg] counts from 0 over the full store (inputs first). *)

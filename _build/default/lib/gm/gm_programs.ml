@@ -1,0 +1,142 @@
+open Gm
+
+let output_reg db = Array.length (Hs.Hsdb.db_type db)
+
+let bad state = raise (Bad_program (Printf.sprintf "unexpected state %d" state))
+
+let load_relation ~out ~rel =
+  let delta v =
+    match v.state with
+    | 0 -> Load (From_rel rel, 1)
+    | 1 -> Step ([ Seek (H1, `Last_run) ], 2)
+    | 2 -> Store (out, 3)
+    | 3 -> Step ([ Truncate ], 4)
+    | 4 -> Halt
+    | s -> bad s
+  in
+  { nstores = 1 + out; start = 0; delta }
+
+let union ~out ~rel1 ~rel2 =
+  let delta v =
+    match v.state with
+    | 0 -> Load (From_rel rel1, 1)
+    | 1 -> Step ([ Seek (H1, `Last_run) ], 2)
+    | 2 -> Store (out, 3)
+    | 3 -> Step ([ Truncate ], 4)
+    | 4 -> Load (From_rel rel2, 5)
+    | 5 -> Step ([ Seek (H1, `Last_run) ], 6)
+    | 6 -> Store (out, 7)
+    | 7 -> Step ([ Truncate ], 8)
+    | 8 -> Halt
+    | s -> bad s
+  in
+  { nstores = 1 + out; start = 0; delta }
+
+let inter_by_equiv ~out ~rel1 ~rel2 =
+  let delta v =
+    match v.state with
+    | 0 -> Load (From_rel rel1, 1)
+    | 1 -> Step ([ Seek (H1, `Last_run) ], 2)
+    | 2 -> Load (From_rel rel2, 3)
+    | 3 -> Step ([ Seek (H2, `Last_run) ], 4)
+    | 4 -> begin
+        (* The §5 transition condition 4: "is u ≅_B v?" on the tuples
+           under the two heads. *)
+        match v.tuples_equivalent with
+        | Some true -> Store (out, 5)
+        | Some false -> Step ([], 5)
+        | None -> raise (Bad_program "missing tuples for the ≅ test")
+      end
+    | 5 -> Step ([ Truncate ], 6)
+    | 6 -> Step ([ Truncate ], 7)
+    | 7 -> Halt
+    | s -> bad s
+  in
+  { nstores = 1 + out; start = 0; delta }
+
+let up ~out ~rel =
+  let delta v =
+    match v.state with
+    | 0 -> Load (From_rel rel, 1)
+    | 1 -> Step ([ Seek (H1, `Last_run) ], 2)
+    | 2 -> Load (Offspring, 3)
+    | 3 -> Step ([ Seek (H1, `Last_run) ], 4)
+    | 4 -> Store (out, 5)
+    | 5 -> Step ([ Truncate ], 6)
+    | 6 -> Step ([ Truncate ], 7)
+    | 7 -> Halt
+    | s -> bad s
+  in
+  { nstores = 1 + out; start = 0; delta }
+
+let load_all ~out ~probe ~rel =
+  if out = probe then invalid_arg "Gm_programs.load_all: out = probe";
+  let delta v =
+    match v.state with
+    (* outer loop entry: reset the probe register *)
+    | 0 -> Clear (probe, 1)
+    (* probe round: load one more tuple *)
+    | 1 -> Load (From_rel rel, 2)
+    | 2 -> Step ([ Seek (H2, `Last_run); Seek (H1, `Start) ], 3)
+    (* walk head 1 over the previous runs, comparing with the loaded
+       tuple under head 2 *)
+    | 3 ->
+        if v.heads_equal then Step ([], 4) (* reached the end: new *)
+        else if v.tuples_equivalent = Some true then Step ([], 5) (* old *)
+        else Step ([ Seek (H1, `Next_run) ], 3)
+    | 4 -> Store (probe, 5)
+    (* erase the probe tuple; all probe units now collapse *)
+    | 5 -> Step ([ Truncate ], 6)
+    | 6 -> if v.store_empty.(probe) then Step ([], 10) else Step ([], 7)
+    (* extension round: commit one genuinely new tuple to the tape *)
+    | 7 -> Load (From_rel rel, 8)
+    | 8 -> Step ([ Seek (H2, `Last_run); Seek (H1, `Start) ], 9)
+    | 9 ->
+        if v.heads_equal then Step ([], 0) (* new: keep it, next round *)
+        else if v.tuples_equivalent = Some true then Step ([], 12) (* old *)
+        else Step ([ Seek (H1, `Next_run) ], 9)
+    (* old tuple drawn in the extension round: erase everything and
+       halt; these units collapse into the final answer at the end *)
+    | 12 -> Step ([ Truncate; Seek (H1, `Last_run) ], 13)
+    | 13 ->
+        if v.tuple1 = None then Halt
+        else Step ([ Truncate; Seek (H1, `Last_run) ], 13)
+    (* output phase: pop the tape's runs into the output register *)
+    | 10 -> Step ([ Seek (H1, `Last_run) ], 11)
+    | 11 -> if v.tuple1 = None then Halt else Store (out, 15)
+    | 15 -> Step ([ Truncate; Seek (H1, `Last_run) ], 11)
+    | s -> bad s
+  in
+  { nstores = 1 + max out probe; start = 0; delta }
+
+let complement ~out ~probe ~rel =
+  if out = probe then invalid_arg "Gm_programs.complement: out = probe";
+  let delta v =
+    match v.state with
+    (* cover T^2: two offspring loads from the root *)
+    | 0 -> Load (Offspring, 1)
+    | 1 -> Step ([ Seek (H1, `Last_run) ], 2)
+    | 2 -> Load (Offspring, 3)
+    | 3 -> Step ([ Seek (H1, `Last_run) ], 4)
+    (* probe: is the candidate (under head 1) equivalent to any
+       representative of rel? *)
+    | 4 -> Clear (probe, 5)
+    | 5 -> Load (From_rel rel, 6)
+    | 6 -> Step ([ Seek (H2, `Last_run) ], 7)
+    | 7 -> begin
+        match v.tuples_equivalent with
+        | Some true -> Store (probe, 8)
+        | Some false -> Step ([], 8)
+        | None -> raise (Bad_program "missing tuples for the ≅ test")
+      end
+    | 8 -> Step ([ Truncate; Seek (H1, `Last_run) ], 9)
+    (* probe units have collapsed; an empty probe means the candidate is
+       outside the relation *)
+    | 9 -> if v.store_empty.(probe) then Store (out, 10) else Step ([], 10)
+    (* erase the candidate (and the leftover rank-1 prefix) and halt *)
+    | 10 -> Step ([ Truncate ], 11)
+    | 11 -> Step ([ Truncate ], 12)
+    | 12 -> Halt
+    | s -> bad s
+  in
+  { nstores = 1 + max out probe; start = 0; delta }

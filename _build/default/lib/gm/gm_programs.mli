@@ -1,0 +1,62 @@
+(** Example GM_hs programs, including the Theorem 5.1 loading protocol's
+    observable behaviour: a [Load] spawns one unit per representative,
+    the units do their local work, and erasing the tape makes them
+    collapse back into a single unit whose store holds the union of the
+    partial answers.
+
+    Every program writes its answer to an explicit output register
+    [out]; use [output_reg db] for the first scratch register (just
+    after the input relations) and give specs [nstores ≥ 1]. *)
+
+val output_reg : Hs.Hsdb.t -> int
+(** The store register just after the inputs. *)
+
+val load_relation : out:int -> rel:int -> Gm.spec
+(** Load relation [rel] and re-store it: output = [C_rel].  The point is
+    the round trip through spawning and collapse — [peak_units] reaches
+    [|C_rel|] and the final unit count is 1. *)
+
+val union : out:int -> rel1:int -> rel2:int -> Gm.spec
+(** Output = [C_rel1 ∪ C_rel2] (same-rank relations). *)
+
+val inter_by_equiv : out:int -> rel1:int -> rel2:int -> Gm.spec
+(** Output = the representatives of [rel1] whose class also constitutes
+    [rel2], decided with the [≅_B] oracle test (transition condition 4
+    of §5) on pairs of loaded tuples. *)
+
+val up : out:int -> rel:int -> Gm.spec
+(** Output = the tree extensions of [C_rel] — the GM_hs counterpart of
+    the QL_hs term [Rel↑], exercising the offspring-loading transition
+    (action (v) of §5). *)
+
+val load_all : out:int -> probe:int -> rel:int -> Gm.spec
+(** The {e full} Theorem 5.1 loading protocol: build up, on the tape,
+    the complete list of representatives of relation [rel] — one per
+    unit, in every order — and store them into [out].
+
+    Each outer round first runs a {e probe}: one more "load Cᵢ", after
+    which every spawned unit decides (by walking head 1 over the
+    previous runs and using the ≅_B test against head 2) whether its
+    loaded tuple is new; new tuples are recorded in the [probe]
+    register, the extra tuple is erased, and the probe units collapse
+    back into one.  If the merged [probe] register is empty the tape
+    already carries all of Cᵢ ("hence it can stop its loading");
+    otherwise one more load extends the tape, units that drew an
+    already-present tuple erase their tapes and halt (they collapse
+    away at the end), and the round repeats.  Finally the tape's tuples
+    are stored into [out] and erased, so all surviving units collapse
+    to a single one with an empty tape.
+
+    [probe] and [out] must be distinct scratch registers (≥ the number
+    of input relations). *)
+
+val complement : out:int -> probe:int -> rel:int -> Gm.spec
+(** Output = [Tⁿ − C_rel] for a rank-2 relation — the GM_hs counterpart
+    of the QL_hs term [¬Rel].  Built from two offspring loads (covering
+    [T²] through the tree) and a probe round per candidate: each
+    candidate representative is compared, via the ≅_B test, against
+    every representative of [rel]; the probe register collects hits, and
+    after the probe units collapse, an empty probe means "not in the
+    relation" and the candidate is stored.  Negation-by-probe is the
+    same manoeuvre the Theorem 5.1 loading protocol uses to detect
+    completion. *)

@@ -1,0 +1,1 @@
+lib/hsdb/ef.ml: Array Combinat Fun Hashtbl Hsdb List Localiso Prelude Tuple Tupleset

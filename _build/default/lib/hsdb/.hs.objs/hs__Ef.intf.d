@@ -1,0 +1,1 @@
+lib/hsdb/ef.mli: Hsdb Prelude

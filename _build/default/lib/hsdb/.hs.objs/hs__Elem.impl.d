@@ -1,0 +1,1 @@
+lib/hsdb/elem.ml: Array Hintikka Hsdb List Localiso Prelude Printf Rdb Tuple

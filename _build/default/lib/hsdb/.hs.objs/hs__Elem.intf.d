@@ -1,0 +1,1 @@
+lib/hsdb/elem.mli: Hsdb Prelude Rlogic

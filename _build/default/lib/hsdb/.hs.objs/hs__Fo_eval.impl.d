@@ -1,0 +1,1 @@
+lib/hsdb/fo_eval.ml: Array Combinat Hsdb List Prelude Rdb Rlogic Tuple Tupleset

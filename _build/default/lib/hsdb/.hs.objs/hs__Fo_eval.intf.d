@@ -1,0 +1,1 @@
+lib/hsdb/fo_eval.mli: Hsdb Prelude Rlogic

@@ -1,0 +1,1 @@
+lib/hsdb/hintikka.ml: Core Hsdb List Localiso Prelude Printf Rlogic Tuple

@@ -1,0 +1,1 @@
+lib/hsdb/hintikka.mli: Hsdb Prelude Rlogic

@@ -1,0 +1,1 @@
+lib/hsdb/hsdb.ml: Array Combinat Format Hashtbl List Localiso Prelude Printf Rdb Tuple Tupleset

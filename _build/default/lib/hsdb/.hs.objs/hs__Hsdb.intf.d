@@ -1,0 +1,1 @@
+lib/hsdb/hsdb.mli: Format Prelude Rdb

@@ -1,0 +1,1 @@
+lib/hsdb/hsinstances.ml: Array Combinat Fun Hsdb Ints List Localiso Prelude Printf Rdb String Tuple Tupleset

@@ -1,0 +1,1 @@
+lib/hsdb/hsinstances.mli: Hsdb Prelude

@@ -1,0 +1,1 @@
+lib/hsdb/lines.ml: Array Combinat Ints List Prelude Printf Rdb Tuple

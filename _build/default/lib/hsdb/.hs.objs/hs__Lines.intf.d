@@ -1,0 +1,1 @@
+lib/hsdb/lines.mli: Prelude Rdb

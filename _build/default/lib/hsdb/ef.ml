@@ -1,0 +1,136 @@
+open Prelude
+
+type partition = { items : Tuple.t array; cls : int array; nclasses : int }
+
+let partition_blocks p =
+  let blocks = Array.make p.nclasses [] in
+  Array.iteri (fun i u -> blocks.(p.cls.(i)) <- u :: blocks.(p.cls.(i))) p.items;
+  Array.to_list (Array.map List.rev blocks)
+
+let all_singletons p = p.nclasses = Array.length p.items
+
+let same_partition p q =
+  Array.length p.items = Array.length q.items
+  && p.items = q.items
+  && p.nclasses = q.nclasses
+  &&
+  (* Same grouping up to renumbering: the pairing cls_p(i) ↦ cls_q(i)
+     must be a well-defined bijection. *)
+  let fwd = Hashtbl.create 16 and bwd = Hashtbl.create 16 in
+  let ok = ref true in
+  Array.iteri
+    (fun i a ->
+      let b = q.cls.(i) in
+      (match Hashtbl.find_opt fwd a with
+      | Some b' when b' <> b -> ok := false
+      | Some _ -> ()
+      | None -> Hashtbl.add fwd a b);
+      match Hashtbl.find_opt bwd b with
+      | Some a' when a' <> a -> ok := false
+      | Some _ -> ()
+      | None -> Hashtbl.add bwd b a)
+    p.cls;
+  !ok
+
+(* Partition an item array by an arbitrary signature function. *)
+let partition_by items signature =
+  let table = Hashtbl.create 16 in
+  let next = ref 0 in
+  let cls =
+    Array.map
+      (fun u ->
+        let s = signature u in
+        match Hashtbl.find_opt table s with
+        | Some id -> id
+        | None ->
+            let id = !next in
+            incr next;
+            Hashtbl.add table s id;
+            id)
+      items
+  in
+  { items; cls; nclasses = !next }
+
+let v0 t ~n =
+  let items = Array.of_list (Hsdb.paths t n) in
+  partition_by items (fun u -> Localiso.Diagram.of_pair (Hsdb.db t) u)
+
+let class_lookup p =
+  let table = Hashtbl.create (Array.length p.items) in
+  Array.iteri (fun i u -> Hashtbl.replace table u p.cls.(i)) p.items;
+  fun u -> Hashtbl.find table u
+
+let rec vnr t ~n ~r =
+  if r < 0 then invalid_arg "Ef.vnr: negative r";
+  if r = 0 then v0 t ~n
+  else begin
+    let deeper = vnr t ~n:(n + 1) ~r:(r - 1) in
+    let lookup = class_lookup deeper in
+    let items = Array.of_list (Hsdb.paths t n) in
+    let signature u =
+      List.sort_uniq compare
+        (List.map (fun a -> lookup (Tuple.append u a)) (Hsdb.children t u))
+    in
+    partition_by items signature
+  end
+
+let down t ~n p =
+  let lookup = class_lookup p in
+  let items = Array.of_list (Hsdb.paths t n) in
+  let signature u =
+    List.sort_uniq compare
+      (List.map (fun a -> lookup (Tuple.append u a)) (Hsdb.children t u))
+  in
+  partition_by items signature
+
+let equiv_r t ~r u v =
+  let u = if Hsdb.is_path t u then u else Hsdb.representative t u in
+  let v = if Hsdb.is_path t v then v else Hsdb.representative t v in
+  let db = Hsdb.db t in
+  let rec game r u v =
+    Localiso.Diagram.equal
+      (Localiso.Diagram.of_pair db u)
+      (Localiso.Diagram.of_pair db v)
+    && (r = 0
+       ||
+       let cu = List.map (Tuple.append u) (Hsdb.children t u) in
+       let cv = List.map (Tuple.append v) (Hsdb.children t v) in
+       List.for_all (fun ua -> List.exists (fun vb -> game (r - 1) ua vb) cv) cu
+       && List.for_all
+            (fun vb -> List.exists (fun ua -> game (r - 1) ua vb) cu)
+            cv)
+  in
+  game r u v
+
+let r0 ?(cap = 12) t ~n =
+  let rec go r =
+    if r > cap then failwith "Ef.r0: cap exceeded"
+    else if all_singletons (vnr t ~n ~r) then r
+    else go (r + 1)
+  in
+  go 0
+
+let projections_cover t d =
+  let db_type = Hsdb.db_type t in
+  let n = Tuple.rank d in
+  let covered c =
+    let a = Tuple.rank c in
+    Combinat.fold_cartesian
+      (fun acc js -> acc || Hsdb.equiv t (Tuple.project d js) c)
+      false ~width:a ~bound:n
+  in
+  List.length (Tuple.distinct_elements d) = n
+  && Array.for_all
+       (fun i -> Tupleset.for_all covered (Hsdb.reps t i))
+       (Array.init (Array.length db_type) Fun.id)
+
+let find_coding_tuple ?(max_rank = 8) t =
+  let rec go n =
+    if n > max_rank then
+      failwith "Ef.find_coding_tuple: no coding tuple within max_rank"
+    else
+      match List.find_opt (projections_cover t) (Hsdb.paths t n) with
+      | Some d -> d
+      | None -> go (n + 1)
+  in
+  go 1

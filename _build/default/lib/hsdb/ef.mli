@@ -1,0 +1,55 @@
+(** Ehrenfeucht–Fraïssé machinery over highly symmetric databases
+    (§3.2): the relations [≡_r] (Definition 3.4), the partitions [V^n_r]
+    of [Tⁿ] (Definition 3.5), the Proposition 3.7 / Corollary 3.3
+    identities, the fixed [r₀] of Proposition 3.6, and the coding tuple
+    of the Theorem 3.1 proof (Step 1). *)
+
+type partition = {
+  items : Prelude.Tuple.t array;  (** the elements of [Tⁿ], in path order *)
+  cls : int array;  (** class id per item, ids dense from 0 *)
+  nclasses : int;
+}
+
+val partition_blocks : partition -> Prelude.Tuple.t list list
+(** The blocks, ordered by class id. *)
+
+val all_singletons : partition -> bool
+
+val same_partition : partition -> partition -> bool
+(** Equality as partitions (ignoring class numbering). *)
+
+val v0 : Hsdb.t -> n:int -> partition
+(** [V^n_0]: [Tⁿ] partitioned by [≡_0] — local isomorphism, i.e. equal
+    atomic diagrams. *)
+
+val vnr : Hsdb.t -> n:int -> r:int -> partition
+(** [V^n_r], computed by the Proposition 3.4 recursion: [u ≡_{r+1} v] iff
+    the [≡_r]-classes of their tree extensions coincide (both
+    directions).  Cost grows with [|T^{n+r}|]. *)
+
+val down : Hsdb.t -> n:int -> partition -> partition
+(** The [↓] operator on partitions of [T^{n+1}] (Definition 3.6):
+    partition [Tⁿ] by which blocks [Vᵢ] have some extension [ua ∈ Vᵢ].
+    Proposition 3.7: [down (V^{n+1}_r) = V^n_{r+1}]. *)
+
+val equiv_r : Hsdb.t -> r:int -> Prelude.Tuple.t -> Prelude.Tuple.t -> bool
+(** Direct game recursion for [≡_r], independent of the partition
+    machinery (used to cross-check {!vnr}).  Arbitrary tuples are mapped
+    to their tree representatives first (Proposition 3.4 allows this). *)
+
+val r0 : ?cap:int -> Hsdb.t -> n:int -> int
+(** The least [r] with [V^n_r] all singletons — since [Tⁿ] holds one
+    representative per [≅_B]-class, this is the fixed [r] of
+    Proposition 3.6 restricted to rank [n].  Raises [Failure] past
+    [cap] (default 12). *)
+
+val find_coding_tuple : ?max_rank:int -> Hsdb.t -> Prelude.Tuple.t
+(** Step 1 of the Theorem 3.1 proof: a tuple [d] of distinct elements,
+    labelling a path of [T_B], such that every representative tuple in
+    every [Cᵢ] is [≅_B]-equivalent to a projection of [d].  The database
+    relations are then recoverable from [d] by projections, which is what
+    lets QL_hs re-code the input over ℕ.  Raises [Failure] if none is
+    found up to [max_rank] (default 8). *)
+
+val projections_cover : Hsdb.t -> Prelude.Tuple.t -> bool
+(** Whether a given tuple satisfies the {!find_coding_tuple} condition. *)

@@ -1,0 +1,160 @@
+open Prelude
+
+let diagram_eq t1 u t2 v =
+  Localiso.Diagram.equal
+    (Localiso.Diagram.of_pair (Hsdb.db t1) u)
+    (Localiso.Diagram.of_pair (Hsdb.db t2) v)
+
+let rec game t1 t2 r u v =
+  diagram_eq t1 u t2 v
+  && (r = 0
+     ||
+     let cu = List.map (Tuple.append u) (Hsdb.children t1 u) in
+     let cv = List.map (Tuple.append v) (Hsdb.children t2 v) in
+     List.for_all
+       (fun ua -> List.exists (fun vb -> game t1 t2 (r - 1) ua vb) cv)
+       cu
+     && List.for_all
+          (fun vb -> List.exists (fun ua -> game t1 t2 (r - 1) ua vb) cu)
+          cv)
+
+let ef_game t1 t2 ~r =
+  if Hsdb.db_type t1 <> Hsdb.db_type t2 then
+    invalid_arg "Elem.ef_game: database types differ";
+  game t1 t2 r Tuple.empty Tuple.empty
+
+let ef_game_from t1 u t2 v ~r =
+  if Hsdb.db_type t1 <> Hsdb.db_type t2 then
+    invalid_arg "Elem.ef_game_from: database types differ";
+  if not (Hsdb.is_path t1 u && Hsdb.is_path t2 v) then
+    invalid_arg "Elem.ef_game_from: arguments must be tree paths";
+  Tuple.rank u = Tuple.rank v && game t1 t2 r u v
+
+let distinguishing_round ?(cap = 6) t1 t2 =
+  let rec go r =
+    if r > cap then None
+    else if not (ef_game t1 t2 ~r) then Some r
+    else go (r + 1)
+  in
+  go 0
+
+let separating_sentence ?(cap = 6) t1 t2 =
+  match distinguishing_round ~cap t1 t2 with
+  | None -> None
+  | Some r -> Some (Hintikka.sentence t1 ~r)
+
+(* --- the Corollary 3.1 amalgam ------------------------------------- *)
+
+(* Coding of D₃ = {a, b} ⊎ D₁ ⊎ D₂. *)
+type side = A | B | Left of int | Right of int
+
+let decode_side x =
+  if x = 0 then A
+  else if x = 1 then B
+  else if x mod 2 = 0 then Left ((x - 2) / 2)
+  else Right ((x - 3) / 2)
+
+let encode_left x = (2 * x) + 2
+let encode_right x = (2 * x) + 3
+
+let amalgam ?(cross = None) t1 t2 =
+  if Hsdb.db_type t1 <> Hsdb.db_type t2 then
+    invalid_arg "Elem.amalgam: database types differ";
+  let db_type = Hsdb.db_type t1 in
+  let db1 = Hsdb.db t1 and db2 = Hsdb.db t2 in
+  (* S_i = R_i ∪ R'_i on the re-coded domains. *)
+  let s_rels =
+    Array.mapi
+      (fun i a ->
+        Rdb.Relation.make ~name:(Printf.sprintf "S%d" (i + 1)) ~arity:a
+          (fun u ->
+            let sides = Array.map decode_side u in
+            if Array.for_all (function Left _ -> true | _ -> false) sides
+            then
+              Rdb.Database.mem db1 i
+                (Array.map (function Left x -> x | _ -> 0) sides)
+            else if
+              Array.for_all (function Right _ -> true | _ -> false) sides
+            then
+              Rdb.Database.mem db2 i
+                (Array.map (function Right x -> x | _ -> 0) sides)
+            else false))
+      db_type
+  in
+  let e_rel =
+    Rdb.Relation.make ~name:"E" ~arity:2 (fun u ->
+        match (decode_side u.(0), decode_side u.(1)) with
+        | A, Left _ -> true
+        | B, Right _ -> true
+        | _ -> false)
+  in
+  let db3 =
+    Rdb.Database.make
+      ~name:(Hsdb.name t1 ^ "+" ^ Hsdb.name t2 ^ "-amalgam")
+      (Array.append s_rels [| e_rel |])
+  in
+  (* Projections of a mixed tuple onto each side. *)
+  let project_side u keep =
+    Array.to_list u
+    |> List.filter_map (fun x ->
+           match (decode_side x, keep) with
+           | Left v, `L -> Some v
+           | Right v, `R -> Some v
+           | _ -> None)
+    |> Array.of_list
+  in
+  (* The identity-style match: sides preserved.  Positions must agree on
+     which side they live on, a/b fixed, and the per-side subtuples must
+     be equivalent in their own structures. *)
+  let match_keeping u v =
+    let ok = ref true in
+    Array.iteri
+      (fun i x ->
+        match (decode_side x, decode_side v.(i)) with
+        | A, A | B, B -> ()
+        | Left _, Left _ | Right _, Right _ -> ()
+        | _ -> ok := false)
+      u;
+    !ok
+    && Hsdb.equiv t1 (project_side u `L) (project_side v `L)
+    && Hsdb.equiv t2 (project_side u `R) (project_side v `R)
+  in
+  (* The swap-style match (only when an isomorphism B₁ ≅ B₂ exists):
+     a ↔ b, Left ↔ Right; the Left part of u must map to the Right part
+     of v under some isomorphism B₁ → B₂ and vice versa. *)
+  let match_swapping u v =
+    match cross with
+    | None -> false
+    | Some cross_equiv ->
+        let ok = ref true in
+        Array.iteri
+          (fun i x ->
+            match (decode_side x, decode_side v.(i)) with
+            | A, B | B, A -> ()
+            | Left _, Right _ | Right _, Left _ -> ()
+            | _ -> ok := false)
+          u;
+        !ok
+        && cross_equiv (project_side u `L) (project_side v `R)
+        && cross_equiv (project_side v `L) (project_side u `R)
+  in
+  let equiv u v =
+    Prelude.Tuple.rank u = Prelude.Tuple.rank v
+    && Prelude.Tuple.equality_pattern u = Prelude.Tuple.equality_pattern v
+    && (match_keeping u v || match_swapping u v)
+  in
+  let children u =
+    let left_path = project_side u `L and right_path = project_side u `R in
+    let candidates =
+      Prelude.Tuple.distinct_elements u
+      @ [ 0; 1 ]
+      @ List.map encode_left (Hsdb.children t1 left_path)
+      @ List.map encode_right (Hsdb.children t2 right_path)
+    in
+    Hsdb.dedupe_extensions ~equiv u candidates
+  in
+  ( Hsdb.make
+      ~name:(Hsdb.name t1 ^ "+" ^ Hsdb.name t2)
+      ~db:db3 ~children ~equiv (),
+    0,
+    1 )

@@ -1,0 +1,50 @@
+(** Elementary equivalence of highly symmetric databases (Corollary 3.1).
+
+    Two structures satisfy the same first-order sentences of quantifier
+    rank ≤ r iff the duplicator wins the r-round Ehrenfeucht–Fraïssé game
+    [E, Fr].  Over hs-r-dbs both players' moves can be restricted to
+    characteristic-tree offspring (Proposition 3.4 across two structures
+    of the same type), which makes the game decidable. *)
+
+val ef_game : Hsdb.t -> Hsdb.t -> r:int -> bool
+(** Whether the duplicator wins the r-round game on the two databases
+    (starting from the empty position).  Requires equal types. *)
+
+val ef_game_from :
+  Hsdb.t -> Prelude.Tuple.t -> Hsdb.t -> Prelude.Tuple.t -> r:int -> bool
+(** The game started from a pair of tree paths (the (B,u) vs (B,v)
+    formulation of Definition 3.4 when both sides are the same
+    database). *)
+
+val distinguishing_round : ?cap:int -> Hsdb.t -> Hsdb.t -> int option
+(** Least [r] at which the spoiler wins, i.e. a sentence of quantifier
+    rank [r] separates the structures; [None] if the duplicator wins all
+    rounds up to [cap] (default 6) — for hs databases that means the
+    structures are isomorphic once [cap] passes the Proposition 3.6
+    threshold. *)
+
+val separating_sentence : ?cap:int -> Hsdb.t -> Hsdb.t -> Rlogic.Ast.formula option
+(** A concrete first-order sentence true in the first database and false
+    in the second (a Hintikka sentence at the distinguishing round);
+    [None] when no separation is found up to [cap]. *)
+
+val amalgam :
+  ?cross:(Prelude.Tuple.t -> Prelude.Tuple.t -> bool) option ->
+  Hsdb.t ->
+  Hsdb.t ->
+  Hsdb.t * int * int
+(** The Corollary 3.1 proof construction: from B₁ and B₂ of the same
+    type, build [B = (D₃, S₁, ..., S_k, E)] where D₃ is the disjoint
+    union of the two domains plus two fresh points a and b, each [Sᵢ] is
+    [Rᵢ ∪ R′ᵢ], and E connects a to all of D₁ and b to all of D₂.  Then
+    [a ≅_B b] iff [B₁ ≅ B₂].
+
+    Returns (B, a, b) with a and b as domain codes (B₁'s element x is
+    coded as 2x+2, B₂'s as 2x+3).
+
+    [cross] is the cross-structure equivalence oracle: whether some
+    isomorphism B₁ → B₂ maps a given tuple to another.  Pass
+    [Some f] when the structures are isomorphic (for B₁ = B₂ built from
+    the same instance, [f] is its own [≅_B]), or [None] (the default)
+    when they are known non-isomorphic — the amalgam's automorphisms
+    then fix each side. *)

@@ -1,0 +1,73 @@
+open Prelude
+
+(* Environment: variable -> position in the current tree path. *)
+let rec eval t path env = function
+  | Rlogic.Ast.True -> true
+  | Rlogic.Ast.False -> false
+  | Rlogic.Ast.Eq (x, y) ->
+      let px = List.assoc x env and py = List.assoc y env in
+      path.(px) = path.(py)
+  | Rlogic.Ast.Mem (i, vars) ->
+      Rdb.Database.mem (Hsdb.db t) i
+        (Array.map (fun x -> path.(List.assoc x env)) vars)
+  | Rlogic.Ast.Not f -> not (eval t path env f)
+  | Rlogic.Ast.And (f, g) -> eval t path env f && eval t path env g
+  | Rlogic.Ast.Or (f, g) -> eval t path env f || eval t path env g
+  | Rlogic.Ast.Implies (f, g) -> (not (eval t path env f)) || eval t path env g
+  | Rlogic.Ast.Exists (x, f) ->
+      let pos = Tuple.rank path in
+      List.exists
+        (fun a -> eval t (Tuple.append path a) ((x, pos) :: env) f)
+        (Hsdb.children t path)
+  | Rlogic.Ast.Forall (x, f) ->
+      let pos = Tuple.rank path in
+      List.for_all
+        (fun a -> eval t (Tuple.append path a) ((x, pos) :: env) f)
+        (Hsdb.children t path)
+
+let holds t ~path ~vars f =
+  if List.length vars <> Tuple.rank path then
+    invalid_arg "Fo_eval.holds: variable/path length mismatch";
+  if not (Hsdb.is_path t path) then
+    invalid_arg "Fo_eval.holds: not a tree path";
+  eval t path (List.mapi (fun i x -> (x, i)) vars) f
+
+let mem t q u =
+  match q with
+  | Rlogic.Ast.Undefined -> None
+  | Rlogic.Ast.Query { vars; body } ->
+      if List.length vars <> Tuple.rank u then Some false
+      else
+        let path =
+          if Hsdb.is_path t u then u else Hsdb.representative t u
+        in
+        Some (holds t ~path ~vars body)
+
+let eval_sentence t f =
+  if Rlogic.Ast.free_vars f <> [] then
+    invalid_arg "Fo_eval.eval_sentence: formula has free variables";
+  holds t ~path:Tuple.empty ~vars:[] f
+
+let eval_reps t q ~rank =
+  match q with
+  | Rlogic.Ast.Undefined -> Tupleset.empty
+  | Rlogic.Ast.Query { vars; body } ->
+      if List.length vars <> rank then
+        invalid_arg "Fo_eval.eval_reps: rank mismatch";
+      Hsdb.paths t rank
+      |> List.filter (fun p -> holds t ~path:p ~vars body)
+      |> Tupleset.of_list
+
+let eval_upto t q ~cutoff =
+  match q with
+  | Rlogic.Ast.Undefined -> Tupleset.empty
+  | Rlogic.Ast.Query { vars; _ } ->
+      let rank = List.length vars in
+      let members = eval_reps t q ~rank in
+      Combinat.fold_cartesian
+        (fun acc u ->
+          let keep =
+            Tupleset.exists (fun p -> Hsdb.equiv t u p) members
+          in
+          if keep then Tupleset.add (Array.copy u) acc else acc)
+        Tupleset.empty ~width:rank ~bound:cutoff

@@ -1,0 +1,35 @@
+(** Full first-order evaluation over highly symmetric databases, with
+    quantifiers ranging over the characteristic tree only — the
+    evaluation procedure inside Theorem 6.3's proof ("it suffices to
+    evaluate the quantifiers only over the finitely many elements from
+    [T^{n+k}]").
+
+    A free tuple is first replaced by its representative (genericity
+    makes the answer invariant); each quantifier then extends the current
+    tree path by the finitely many offspring labels.  Soundness is
+    Proposition 3.4 by induction on the formula. *)
+
+val holds :
+  Hsdb.t -> path:Prelude.Tuple.t -> vars:string list -> Rlogic.Ast.formula -> bool
+(** [holds t ~path ~vars f]: evaluate [f] with the i-th variable of
+    [vars] bound to [path.(i)]; [path] must label a root path of [T_B].
+    Quantified variables extend the path through the tree. *)
+
+val mem : Hsdb.t -> Rlogic.Ast.query -> Prelude.Tuple.t -> bool option
+(** [mem t q u]: [None] for [undefined]; otherwise whether [u ∈ Q(B)].
+    [u] is arbitrary (mapped to its representative first); the formula
+    may contain quantifiers. *)
+
+val eval_sentence : Hsdb.t -> Rlogic.Ast.formula -> bool
+(** Truth of a sentence in the infinite structure B, computed in finite
+    time through the tree. *)
+
+val eval_reps : Hsdb.t -> Rlogic.Ast.query -> rank:int -> Prelude.Tupleset.t
+(** The output of the query in hs-r-query form (Definition 3.9): the set
+    of representatives in [Tⁿ] of the equivalence classes constituting
+    the answer relation. *)
+
+val eval_upto : Hsdb.t -> Rlogic.Ast.query -> cutoff:int -> Prelude.Tupleset.t
+(** Concrete members of the answer among tuples over
+    [{0, ..., cutoff-1}], decided via representatives — comparable
+    against [Rlogic.Qf_eval.eval_upto] with bounded quantifiers (E17). *)

@@ -1,0 +1,32 @@
+open Prelude
+
+let var i = Printf.sprintf "x%d" (i + 1)
+
+let rec build t u r =
+  let n = Tuple.rank u in
+  if r = 0 then
+    let d = Localiso.Diagram.of_pair (Hsdb.db t) u in
+    let vars =
+      Core.Completeness.Diagram_vars.of_names (List.init n var)
+    in
+    Core.Completeness.formula_of_diagram vars d
+  else begin
+    let y = var n in
+    let extensions =
+      List.map (fun a -> build t (Tuple.append u a) (r - 1)) (Hsdb.children t u)
+    in
+    let some_each =
+      Rlogic.Ast.conj
+        (List.map (fun f -> Rlogic.Ast.Exists (y, f)) extensions)
+    in
+    let all_covered = Rlogic.Ast.Forall (y, Rlogic.Ast.disj extensions) in
+    Rlogic.Ast.And (some_each, all_covered)
+  end
+
+let formula t ~path ~r =
+  if not (Hsdb.is_path t path) then
+    invalid_arg "Hintikka.formula: not a tree path";
+  if r < 0 then invalid_arg "Hintikka.formula: negative rank";
+  build t path r
+
+let sentence t ~r = formula t ~path:Tuple.empty ~r

@@ -1,0 +1,25 @@
+(** Hintikka (r-characteristic) formulas over highly symmetric databases.
+
+    [formula t ~path:u ~r] is the first-order formula
+    φ{^r}{_u}(x₁, ..., xₙ) of quantifier rank [r] that characterizes the
+    [≡_r]-class of [u] (§3.2): a structure pair (B′, v) satisfies it iff
+    the duplicator wins the r-round game between (B, u) and (B′, v).
+    These formulas realize the r-quantifier characterization of
+    Definition 3.4 ("u and v satisfy precisely the same first-order
+    formulas with up to r quantifiers"), and are the building blocks of
+    the Theorem 6.3 expression synthesis and the Corollary 3.1 separating
+    sentences.
+
+    At r = 0 the formula is the atomic-diagram description (the φᵢ of
+    Theorem 2.1); at r+1 it is
+    [⋀_{a ∈ T(u)} ∃y φ^r_{ua} ∧ ∀y ⋁_{a ∈ T(u)} φ^r_{ua}].
+
+    Sizes grow exponentially in [r]; callers keep [r] small. *)
+
+val formula : Hsdb.t -> path:Prelude.Tuple.t -> r:int -> Rlogic.Ast.formula
+(** Free variables [x1 ... xn] where [n = rank path]; [path] must label a
+    tree path. *)
+
+val sentence : Hsdb.t -> r:int -> Rlogic.Ast.formula
+(** [formula t ~path:() ~r] — the depth-r Hintikka sentence of the whole
+    structure. *)

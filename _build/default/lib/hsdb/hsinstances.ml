@@ -1,0 +1,440 @@
+open Prelude
+
+(* ------------------------------------------------------------------ *)
+(* Clique and empty graph: the automorphism group is the full symmetric
+   group on the domain, so tuples are equivalent iff their equality
+   patterns coincide, and T^n is the set of restricted-growth strings. *)
+
+let pattern_equiv u v =
+  Tuple.rank u = Tuple.rank v
+  && Tuple.equality_pattern u = Tuple.equality_pattern v
+
+let rgs_children u =
+  let distinct = Tuple.distinct_elements u in
+  let fresh = 1 + Array.fold_left max (-1) u in
+  distinct @ [ fresh ]
+
+let infinite_clique () =
+  Hsdb.make ~name:"clique" ~db:(Rdb.Instances.infinite_clique ())
+    ~children:rgs_children ~equiv:pattern_equiv ()
+
+let empty_graph () =
+  Hsdb.make ~name:"empty" ~db:(Rdb.Instances.empty_graph ())
+    ~children:rgs_children ~equiv:pattern_equiv ()
+
+(* ------------------------------------------------------------------ *)
+(* m infinite cliques: automorphisms permute residue classes mod m and
+   act arbitrarily within each class. *)
+
+let residue_pattern m u = Tuple.equality_pattern (Array.map (fun x -> x mod m) u)
+
+let mod_cliques m =
+  if m <= 0 then invalid_arg "Hsinstances.mod_cliques: m <= 0";
+  let equiv u v =
+    Tuple.rank u = Tuple.rank v
+    && Tuple.equality_pattern u = Tuple.equality_pattern v
+    && residue_pattern m u = residue_pattern m v
+  in
+  let children u =
+    let used = Tuple.distinct_elements u in
+    let used_residues =
+      List.sort_uniq compare (List.map (fun x -> x mod m) used)
+    in
+    let least_unused_with_residue r =
+      let rec go y = if (not (List.mem y used)) && y mod m = r then y else go (y + 1) in
+      go 0
+    in
+    let fresh_in_used =
+      List.map least_unused_with_residue used_residues
+    in
+    let fresh_residue =
+      match
+        List.find_opt (fun r -> not (List.mem r used_residues)) (Ints.range 0 m)
+      with
+      | Some r -> [ least_unused_with_residue r ]
+      | None -> []
+    in
+    used @ fresh_in_used @ fresh_residue
+  in
+  Hsdb.make
+    ~name:(Printf.sprintf "mod%d" m)
+    ~db:(Rdb.Instances.mod_cliques m) ~children ~equiv ()
+
+(* ------------------------------------------------------------------ *)
+(* Disjoint copies of finitely many finite components.                 *)
+
+type component = {
+  cname : string;
+  size : int;
+  adj : bool array array;
+  autos : int array list;
+}
+
+let component ?name ~vertices ~edges () =
+  if vertices <= 0 then invalid_arg "Hsinstances.component: empty component";
+  let adj = Array.make_matrix vertices vertices false in
+  List.iter
+    (fun (x, y) ->
+      if x < 0 || x >= vertices || y < 0 || y >= vertices then
+        invalid_arg "Hsinstances.component: edge out of range";
+      adj.(x).(y) <- true)
+    edges;
+  (* The disjoint-copies equivalence logic (permute copies + per-copy
+     automorphisms) is only the full automorphism group when each
+     component type is weakly connected — enforce it. *)
+  let reached = Array.make vertices false in
+  let rec visit v =
+    if not reached.(v) then begin
+      reached.(v) <- true;
+      for w = 0 to vertices - 1 do
+        if adj.(v).(w) || adj.(w).(v) then visit w
+      done
+    end
+  in
+  visit 0;
+  if not (Array.for_all Fun.id reached) then
+    invalid_arg "Hsinstances.component: component must be weakly connected";
+  let autos =
+    Combinat.permutations (Ints.range 0 vertices)
+    |> List.map Array.of_list
+    |> List.filter (fun sigma ->
+           let ok = ref true in
+           for i = 0 to vertices - 1 do
+             for j = 0 to vertices - 1 do
+               if adj.(i).(j) <> adj.(sigma.(i)).(sigma.(j)) then ok := false
+             done
+           done;
+           !ok)
+  in
+  let cname =
+    match name with Some n -> n | None -> Printf.sprintf "C%d" vertices
+  in
+  { cname; size = vertices; adj; autos }
+
+let undirected_path_component k =
+  let edges =
+    List.concat_map (fun i -> [ (i, i + 1); (i + 1, i) ]) (Ints.range 0 (k - 1))
+  in
+  component ~name:(Printf.sprintf "path%d" k) ~vertices:k ~edges ()
+
+let triangle_component =
+  component ~name:"triangle" ~vertices:3
+    ~edges:[ (0, 1); (1, 0); (1, 2); (2, 1); (0, 2); (2, 0) ]
+    ()
+
+let directed_edge_component =
+  component ~name:"arrow" ~vertices:2 ~edges:[ (0, 1) ] ()
+
+let components_isomorphic c1 c2 =
+  c1.size = c2.size
+  && List.exists
+       (fun sigma ->
+         let sigma = Array.of_list sigma in
+         let ok = ref true in
+         for i = 0 to c1.size - 1 do
+           for j = 0 to c1.size - 1 do
+             if c1.adj.(i).(j) <> c2.adj.(sigma.(i)).(sigma.(j)) then ok := false
+           done
+         done;
+         !ok)
+       (Combinat.permutations (Ints.range 0 c1.size))
+
+let disjoint_copies ?name comps =
+  if comps = [] then invalid_arg "Hsinstances.disjoint_copies: no components";
+  (* §3.1 requires finitely many pairwise non-isomorphic components; with
+     isomorphic duplicates the copy-permutation group would be larger than
+     the equivalence we compute. *)
+  let rec check = function
+    | [] -> ()
+    | c :: rest ->
+        if List.exists (components_isomorphic c) rest then
+          invalid_arg "Hsinstances.disjoint_copies: duplicate component types";
+        check rest
+  in
+  check comps;
+  let comps = Array.of_list comps in
+  let total = Array.fold_left (fun acc c -> acc + c.size) 0 comps in
+  let offsets = Array.make (Array.length comps) 0 in
+  let () =
+    let acc = ref 0 in
+    Array.iteri
+      (fun i c ->
+        offsets.(i) <- !acc;
+        acc := !acc + c.size)
+      comps
+  in
+  (* decode x = (copy, component index, vertex within component) *)
+  let decode x =
+    let copy = x / total and w = x mod total in
+    let rec find i =
+      if i + 1 >= Array.length comps || w < offsets.(i + 1) then i
+      else find (i + 1)
+    in
+    let i = find 0 in
+    (copy, i, w - offsets.(i))
+  in
+  let encode copy i j = (copy * total) + offsets.(i) + j in
+  let adjacent x y =
+    let cx, ix, jx = decode x and cy, iy, jy = decode y in
+    cx = cy && ix = iy && comps.(ix).adj.(jx).(jy)
+  in
+  let nm =
+    match name with
+    | Some n -> n
+    | None ->
+        "copies:"
+        ^ String.concat "+"
+            (Array.to_list (Array.map (fun c -> c.cname) comps))
+  in
+  let db =
+    Rdb.Database.make ~name:nm
+      [| Rdb.Relation.make ~name:"E" ~arity:2 (fun u -> adjacent u.(0) u.(1)) |]
+  in
+  let equiv u v =
+    Tuple.rank u = Tuple.rank v
+    && Tuple.equality_pattern u = Tuple.equality_pattern v
+    &&
+    (* Partition positions by touched component instance. *)
+    let inst_pattern w =
+      Tuple.equality_pattern
+        (Array.map
+           (fun x ->
+             let c, i, _ = decode x in
+             (c * Array.length comps) + i)
+           w)
+    in
+    let pu = inst_pattern u and pv = inst_pattern v in
+    pu = pv
+    &&
+    let nblocks = Combinat.num_blocks pu in
+    let positions_of_block b =
+      List.filter (fun p -> pu.(p) = b) (Ints.range 0 (Tuple.rank u))
+    in
+    List.for_all
+      (fun b ->
+        let ps = positions_of_block b in
+        let _, iu, _ = decode u.(List.hd ps) in
+        let _, iv, _ = decode v.(List.hd ps) in
+        iu = iv
+        && List.exists
+             (fun sigma ->
+               List.for_all
+                 (fun p ->
+                   let _, _, ju = decode u.(p) in
+                   let _, _, jv = decode v.(p) in
+                   sigma.(ju) = jv)
+                 ps)
+             comps.(iu).autos)
+      (Ints.range 0 nblocks)
+  in
+  let children u =
+    let used = Tuple.distinct_elements u in
+    let touched =
+      List.sort_uniq compare
+        (List.map
+           (fun x ->
+             let c, i, _ = decode x in
+             (c, i))
+           used)
+    in
+    let in_touched =
+      List.concat_map
+        (fun (c, i) ->
+          List.filter_map
+            (fun j ->
+              let code = encode c i j in
+              if List.mem code used then None else Some code)
+            (Ints.range 0 comps.(i).size))
+        touched
+    in
+    let fresh_copy =
+      1 + List.fold_left (fun acc x -> max acc (x / total)) (-1) used
+    in
+    let fresh =
+      List.concat_map
+        (fun i ->
+          List.map (fun j -> encode fresh_copy i j)
+            (Ints.range 0 comps.(i).size))
+        (Ints.range 0 (Array.length comps))
+    in
+    Hsdb.dedupe_extensions ~equiv u (used @ in_touched @ fresh)
+  in
+  Hsdb.make ~name:nm ~db ~children ~equiv ()
+
+let triangles () = disjoint_copies ~name:"triangles" [ triangle_component ]
+
+(* ------------------------------------------------------------------ *)
+(* The Rado graph.                                                     *)
+
+let rado ?(search_bound = 1_000_000) () =
+  let db = Rdb.Instances.rado () in
+  let adjacent x y =
+    x <> y
+    &&
+    let lo = min x y and hi = max x y in
+    Ints.bit lo hi
+  in
+  let equiv u v = Localiso.Liso.check_same db u v in
+  let children u =
+    let ds = Tuple.distinct_elements u in
+    let witness s =
+      let rec go y =
+        if y > search_bound then
+          failwith "Hsinstances.rado: witness search bound exceeded"
+        else if
+          (not (List.mem y ds))
+          && List.for_all (fun d -> adjacent y d = List.mem d s) ds
+        then y
+        else go (y + 1)
+      in
+      go 0
+    in
+    ds @ List.map witness (Combinat.subsets ds)
+  in
+  Hsdb.make ~name:"rado" ~db ~children ~equiv ()
+
+(* ------------------------------------------------------------------ *)
+(* A random structure of type (1, 2): coloured vertices, shifted-BIT
+   edges.  Bit 0 of a code is its colour; for x < y, x ~ y iff bit
+   (x + 1) of y — so a fresh witness's colour and adjacency pattern are
+   governed by disjoint bit positions and every extension type over a
+   finite set is realized. *)
+
+let random_colored_graph ?(search_bound = 1_000_000) () =
+  let colour x = Ints.bit 0 x in
+  let adjacent x y =
+    x <> y
+    &&
+    let lo = min x y and hi = max x y in
+    Ints.bit (lo + 1) hi
+  in
+  let db =
+    Rdb.Database.make ~name:"random_colored"
+      [|
+        Rdb.Relation.make ~name:"C" ~arity:1 (fun u -> colour u.(0));
+        Rdb.Relation.make ~name:"E" ~arity:2 (fun u -> adjacent u.(0) u.(1));
+      |]
+  in
+  let equiv u v = Localiso.Liso.check_same db u v in
+  let children u =
+    let ds = Tuple.distinct_elements u in
+    let witness c s =
+      let rec go y =
+        if y > search_bound then
+          failwith "Hsinstances.random_colored_graph: search bound exceeded"
+        else if
+          (not (List.mem y ds))
+          && colour y = c
+          && List.for_all (fun d -> adjacent y d = List.mem d s) ds
+        then y
+        else go (y + 1)
+      in
+      go 0
+    in
+    ds
+    @ List.concat_map
+        (fun s -> [ witness false s; witness true s ])
+        (Combinat.subsets ds)
+  in
+  Hsdb.make ~name:"random_colored" ~db ~children ~equiv ()
+
+(* ------------------------------------------------------------------ *)
+(* K_{ω,ω}: the complete bipartite graph on the parity classes.        *)
+
+let complete_bipartite () =
+  let db =
+    Rdb.Database.make ~name:"bipartite"
+      [|
+        Rdb.Relation.make ~name:"E" ~arity:2 (fun u ->
+            u.(0) mod 2 <> u.(1) mod 2);
+      |]
+  in
+  let equiv u v =
+    Tuple.rank u = Tuple.rank v
+    && Tuple.equality_pattern u = Tuple.equality_pattern v
+    && residue_pattern 2 u = residue_pattern 2 v
+  in
+  let children u =
+    let used = Tuple.distinct_elements u in
+    let used_parities =
+      List.sort_uniq compare (List.map (fun x -> x mod 2) used)
+    in
+    let least_unused_with_parity r =
+      let rec go y =
+        if (not (List.mem y used)) && y mod 2 = r then y else go (y + 1)
+      in
+      go 0
+    in
+    let fresh_in_used = List.map least_unused_with_parity used_parities in
+    let fresh_parity =
+      match
+        List.find_opt (fun r -> not (List.mem r used_parities)) [ 0; 1 ]
+      with
+      | Some r -> [ least_unused_with_parity r ]
+      | None -> []
+    in
+    used @ fresh_in_used @ fresh_parity
+  in
+  Hsdb.make ~name:"bipartite" ~db ~children ~equiv ()
+
+(* ------------------------------------------------------------------ *)
+(* A unary finite set: the simplest finite/co-finite database.         *)
+
+let unary_finite_set ~members =
+  let members = List.sort_uniq compare members in
+  let db =
+    Rdb.Database.make ~name:"unary_fcf"
+      [|
+        Rdb.Relation.of_tupleset ~name:"R" ~arity:1
+          (Tupleset.of_lists (List.map (fun x -> [ x ]) members));
+      |]
+  in
+  let in_r x = List.mem x members in
+  let equiv u v =
+    Tuple.rank u = Tuple.rank v
+    && Tuple.equality_pattern u = Tuple.equality_pattern v
+    && Array.for_all2 (fun x y -> in_r x = in_r y) u v
+  in
+  let children u =
+    let used = Tuple.distinct_elements u in
+    let unused_member =
+      List.find_opt (fun x -> not (List.mem x used)) members
+    in
+    let unused_nonmember =
+      let rec go y =
+        if (not (in_r y)) && not (List.mem y used) then y else go (y + 1)
+      in
+      go 0
+    in
+    used
+    @ (match unused_member with Some x -> [ x ] | None -> [])
+    @ [ unused_nonmember ]
+  in
+  Hsdb.make ~name:"unary_fcf" ~db ~children ~equiv ()
+
+(* ------------------------------------------------------------------ *)
+(* Analytic equivalence oracles for non-hs instances.                  *)
+
+let line_equiv u v =
+  Tuple.rank u = Tuple.rank v
+  &&
+  let pu = Array.map Rdb.Instances.line_position u in
+  let pv = Array.map Rdb.Instances.line_position v in
+  let n = Array.length pu in
+  if n = 0 then true
+  else
+    let shift = pv.(0) - pu.(0) in
+    let translated = Array.for_all2 (fun a b -> b = a + shift) pu pv in
+    let rshift = pv.(0) + pu.(0) in
+    let reflected = Array.for_all2 (fun a b -> b = rshift - a) pu pv in
+    translated || reflected
+
+let less_than_equiv u v = Tuple.equal u v
+
+let grid_marked_equiv m n =
+  let norm k =
+    let x, y = Rdb.Instances.grid_position k in
+    let a = abs x and b = abs y in
+    (min a b, max a b)
+  in
+  norm m = norm n

@@ -1,0 +1,102 @@
+(** Concrete highly symmetric recursive databases, each given by its
+    representation [C_B = (T_B, ≅_B, C₁, ..., C_k)].
+
+    The characteristic trees use canonical labels, so [Tⁿ] enumerations
+    are deterministic; every instance also carries its raw [Rdb] database
+    for cross-checking. *)
+
+val infinite_clique : unit -> Hsdb.t
+(** The full infinite clique (§3: "the full infinite clique is highly
+    symmetric").  Tuple equivalence is equality of equality patterns;
+    [Tⁿ] is the set of restricted-growth strings of length [n]. *)
+
+val empty_graph : unit -> Hsdb.t
+(** The edgeless graph — same tree and equivalence as the clique. *)
+
+val mod_cliques : int -> Hsdb.t
+(** [mod_cliques m]: ℕ split into [m] infinite cliques (x ~ y iff same
+    residue mod [m]).  Automorphisms permute the cliques and the
+    elements within each. *)
+
+type component
+(** A finite (directed) component type for {!disjoint_copies}. *)
+
+val component :
+  ?name:string -> vertices:int -> edges:(int * int) list -> unit -> component
+(** Vertex set [{0, ..., vertices-1}] and directed edge list (include
+    both directions for undirected components). *)
+
+val undirected_path_component : int -> component
+(** A path on [k] vertices (undirected). *)
+
+val triangle_component : component
+(** K₃ (undirected). *)
+
+val directed_edge_component : component
+(** Two vertices with a single directed edge 0 → 1 — the flavour of the
+    paper's §3.3 worked example, whose class representatives are single
+    directed edges. *)
+
+val disjoint_copies : ?name:string -> component list -> Hsdb.t
+(** Infinitely many disjoint copies of each given component type — the
+    general shape of highly symmetric graphs described in §3.1
+    ("finitely many pairwise non-isomorphic components, each highly
+    symmetric").  Vertex [x] encodes (copy [x / total], offset
+    [x mod total]) where [total] is the sum of component sizes, so each
+    block of [total] consecutive naturals carries one copy of every
+    type.  Tuple equivalence matches touched component instances by type
+    and checks a component isomorphism per instance; offspring are
+    produced generically from candidate extensions deduplicated by
+    [≅_B]. *)
+
+val triangles : unit -> Hsdb.t
+(** [disjoint_copies [triangle_component]] — coincides with
+    [Rdb.Instances.triangles]'s coding. *)
+
+val rado : ?search_bound:int -> unit -> Hsdb.t
+(** The Rado graph via the BIT predicate, as an hs-r-db (Proposition 3.2
+    and the recursive random structure of [HH2]): tuple equivalence is
+    local isomorphism, and offspring are least witnesses of each 1-point
+    extension type, found by search (raises [Failure] if no witness
+    appears below [search_bound]; the default is ample for ranks ≤ 4). *)
+
+val random_colored_graph : ?search_bound:int -> unit -> Hsdb.t
+(** A recursive countable random structure of type (1, 2) — Proposition
+    3.2 beyond plain graphs: vertices carry a colour (R₁ unary, bit 0 of
+    the code) and edges follow a shifted BIT predicate, so every
+    colour-and-adjacency extension type over a finite set is realized.
+    Tuple equivalence is local isomorphism; offspring are least
+    witnesses found by search. *)
+
+val complete_bipartite : unit -> Hsdb.t
+(** K_{ω,ω}: edges exactly between the two parity classes of ℕ.  Highly
+    symmetric (permute within sides, swap the sides) — same tree and
+    equivalence as {!mod_cliques}[ 2], complementary edge relation. *)
+
+val unary_finite_set : members:int list -> Hsdb.t
+(** A unary database whose relation R is the finite set [members] (its
+    complement is co-finite) — the simplest finite/co-finite hs-r-db
+    (§4).  Automorphisms permute R and its complement separately. *)
+
+(** {1 Equivalence oracles for non-highly-symmetric databases}
+
+    These have no finitely-branching characteristic tree, but their
+    automorphism equivalence is still decidable analytically; the
+    Proposition 3.1 experiments (E6) use them to show the failure of
+    high symmetry. *)
+
+val line_equiv : Prelude.Tuple.t -> Prelude.Tuple.t -> bool
+(** [≅_B] for [Rdb.Instances.successor_line]: automorphisms are the
+    translations and reflections of the line, so tuples are equivalent
+    iff their position sequences agree up to an isometry of ℤ. *)
+
+val less_than_equiv : Prelude.Tuple.t -> Prelude.Tuple.t -> bool
+(** [≅_B] for [(ℕ, <)]: the only automorphism is the identity, so
+    equivalence is equality. *)
+
+val grid_marked_equiv : int -> int -> bool
+(** Rank-1 equivalence in the grid stretched by its origin node: the
+    automorphisms fixing the origin are the dihedral symmetries, so two
+    nodes are interchangeable iff their coordinate multisets
+    {|x|, |y|} agree.  Used by the E6 experiment to exhibit the §3.1
+    claim that the grid is not highly symmetric. *)

@@ -1,0 +1,148 @@
+open Prelude
+
+type point = { line : int; pos : int }
+type structure = { nlines : int }
+
+let adjacent _s p q = p.line = q.line && abs (p.pos - q.pos) = 1
+
+let partial_iso pairs =
+  let ok = ref true in
+  List.iteri
+    (fun i (a1, b1) ->
+      List.iteri
+        (fun j (a2, b2) ->
+          if i < j then begin
+            if (a1 = a2) <> (b1 = b2) then ok := false;
+            if
+              (a1.line = a2.line && abs (a1.pos - a2.pos) = 1)
+              <> (b1.line = b2.line && abs (b1.pos - b2.pos) = 1)
+            then ok := false
+          end)
+        pairs)
+    pairs;
+  !ok
+
+(* The duplicator's classical response with threshold 2^k: mirror near
+   moves by offset from the closest pebble on the same line; answer far
+   moves with a fresh far point. *)
+let respond ~src ~dst ~dst_nlines ~k x =
+  let t = Ints.pow 2 k in
+  let near =
+    List.filter_map
+      (fun (s, d) ->
+        if s.line = x.line && abs (x.pos - s.pos) <= t then
+          Some (abs (x.pos - s.pos), s, d)
+        else None)
+      (List.combine src dst)
+  in
+  match List.sort compare near with
+  | (_, s, d) :: _ -> { line = d.line; pos = d.pos + (x.pos - s.pos) }
+  | [] ->
+      (* Far: prefer a pebble-free line; otherwise go far out on line 0. *)
+      let used_lines = List.map (fun d -> d.line) dst in
+      let free_line =
+        List.find_opt
+          (fun l -> not (List.mem l used_lines))
+          (Ints.range 0 dst_nlines)
+      in
+      (match free_line with
+      | Some l -> { line = l; pos = 0 }
+      | None ->
+          let maxpos =
+            List.fold_left (fun acc d -> max acc (abs d.pos)) 0 dst
+          in
+          { line = 0; pos = maxpos + (4 * t) + 4 })
+
+(* Spoiler candidate moves in a structure with the given pebbles:
+   everything within radius 2^k + 2 of a pebble, plus one far point per
+   line. *)
+let spoiler_moves s pebbles ~k =
+  let t = Ints.pow 2 k in
+  let near =
+    List.concat_map
+      (fun p ->
+        List.map (fun d -> { line = p.line; pos = p.pos + d })
+          (Ints.range (-(t + 2)) (t + 3)))
+      pebbles
+  in
+  let maxpos = List.fold_left (fun acc p -> max acc (abs p.pos)) 0 pebbles in
+  let far =
+    List.map
+      (fun l -> { line = l; pos = maxpos + (4 * t) + 7 })
+      (Ints.range 0 s.nlines)
+  in
+  List.sort_uniq compare (near @ far)
+
+let strategy_wins ~a ~b ~r =
+  if a.nlines < 1 || b.nlines < 1 then
+    invalid_arg "Lines.strategy_wins: empty structure";
+  (* pairs : (point in a, point in b) list *)
+  let rec play pairs k =
+    if k = 0 then partial_iso pairs
+    else begin
+      let src_a = List.map fst pairs and src_b = List.map snd pairs in
+      let moves_in_a = spoiler_moves a src_a ~k:(k - 1) in
+      let moves_in_b = spoiler_moves b src_b ~k:(k - 1) in
+      List.for_all
+        (fun x ->
+          let y = respond ~src:src_a ~dst:src_b ~dst_nlines:b.nlines ~k:(k - 1) x in
+          play (pairs @ [ (x, y) ]) (k - 1))
+        moves_in_a
+      && List.for_all
+           (fun y ->
+             let x =
+               respond ~src:src_b ~dst:src_a ~dst_nlines:a.nlines ~k:(k - 1) y
+             in
+             play (pairs @ [ (x, y) ]) (k - 1))
+           moves_in_b
+    end
+  in
+  play [] r
+
+let isomorphic s1 s2 = s1.nlines = s2.nlines
+
+(* ℤ ↔ ℕ zig-zag coding of positions. *)
+let zcode p = if p > 0 then (2 * p) - 1 else -2 * p
+let zdecode n = if n mod 2 = 1 then (n + 1) / 2 else -(n / 2)
+
+let decode s x = { line = x mod s.nlines; pos = zdecode (x / s.nlines) }
+let encode s p = (zcode p.pos * s.nlines) + p.line
+
+let to_rdb s =
+  if s.nlines < 1 then invalid_arg "Lines.to_rdb: empty structure";
+  let edge x y =
+    let p = decode s x and q = decode s y in
+    adjacent s p q
+  in
+  Rdb.Database.make
+    ~name:(Printf.sprintf "%d-lines" s.nlines)
+    [| Rdb.Relation.make ~name:"E" ~arity:2 (fun u -> edge u.(0) u.(1)) |]
+
+let equiv s u v =
+  Tuple.rank u = Tuple.rank v
+  &&
+  let pu = Array.map (decode s) u and pv = Array.map (decode s) v in
+  Tuple.equality_pattern u = Tuple.equality_pattern v
+  && Tuple.equality_pattern (Array.map (fun p -> p.line) pu)
+     = Tuple.equality_pattern (Array.map (fun p -> p.line) pv)
+  &&
+  let n = Array.length pu in
+  let line_pattern = Tuple.equality_pattern (Array.map (fun p -> p.line) pu) in
+  let nblocks = Combinat.num_blocks line_pattern in
+  List.for_all
+    (fun blk ->
+      let idxs = List.filter (fun i -> line_pattern.(i) = blk) (Ints.range 0 n) in
+      match idxs with
+      | [] -> true
+      | i0 :: _ ->
+          let shift = pv.(i0).pos - pu.(i0).pos in
+          let translated =
+            List.for_all (fun i -> pv.(i).pos = pu.(i).pos + shift) idxs
+          in
+          let rshift = pv.(i0).pos + pu.(i0).pos in
+          let reflected =
+            List.for_all (fun i -> pv.(i).pos = rshift - pu.(i).pos) idxs
+          in
+          translated || reflected)
+    (Ints.range 0 nblocks)
+

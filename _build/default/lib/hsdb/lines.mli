@@ -1,0 +1,54 @@
+(** The paper's §3.2 counterexample territory: disjoint unions of two-way
+    infinite lines.
+
+    These graphs are {e not} highly symmetric (they have no finitely
+    branching characteristic tree — distances are unbounded), yet any two
+    of them satisfy the same first-order sentences.  The paper uses the
+    pair "one line" vs "two lines" to show that, unlike finite or highly
+    symmetric structures, elementarily equivalent recursive structures
+    need not be isomorphic (contrast with Corollary 3.1), and a similar
+    structure to show that Proposition 3.5 fails without high symmetry
+    ([≡_r] for every [r] does not imply [≅_B]).
+
+    Elements are pairs (line index, ℤ-position); the duplicator's winning
+    strategy in the r-round EF game is the classical distance-truncation
+    strategy, and {!strategy_wins} {e verifies} it by exhaustive spoiler
+    play: every spoiler move sequence is answered by the strategy, and
+    the final configuration is checked to be a partial isomorphism. *)
+
+type point = { line : int; pos : int }
+
+type structure = { nlines : int }
+(** The disjoint union of [nlines] two-way infinite lines (nlines ≥ 1). *)
+
+val adjacent : structure -> point -> point -> bool
+(** Same line, positions differing by exactly 1. *)
+
+val strategy_wins : a:structure -> b:structure -> r:int -> bool
+(** Verify the duplicator's distance-truncation strategy for the r-round
+    game between the two structures: spoiler moves are enumerated
+    exhaustively up to the radius that matters (2{^r} around existing
+    pebbles, plus far-away points and fresh lines); the duplicator
+    answers by the strategy; return false if any play ends in a
+    non-partial-isomorphism.  Cost grows quickly — keep [r ≤ 3]. *)
+
+val isomorphic : structure -> structure -> bool
+(** Trivially: equal numbers of lines (connected components are
+    preserved by isomorphisms). *)
+
+val encode : structure -> point -> int
+(** The ℕ-code of a point under the interleaved zig-zag coding used by
+    {!to_rdb}. *)
+
+val decode : structure -> int -> point
+(** Inverse of {!encode}. *)
+
+val to_rdb : structure -> Rdb.Database.t
+(** The union of [nlines] lines as a recursive database over ℕ, with
+    points (l, p) coded by interleaving — so the counterexample is a
+    bona-fide r-db. *)
+
+val equiv : structure -> Prelude.Tuple.t -> Prelude.Tuple.t -> bool
+(** [≅_B] for {!to_rdb}, decided analytically: tuples are equivalent iff
+    some composition of line permutations, per-line translations and
+    reflections matches them. *)

@@ -1,0 +1,1 @@
+lib/localiso/classes.ml: Array Diagram Hashtbl Prelude Rdb

@@ -1,0 +1,1 @@
+lib/localiso/classes.mli: Diagram Prelude Rdb

@@ -1,0 +1,1 @@
+lib/localiso/diagram.ml: Array Combinat Format Fun Ints List Prelude Printf Rdb Stdlib Tuple Tupleset

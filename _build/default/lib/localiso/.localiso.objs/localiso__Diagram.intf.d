@@ -1,0 +1,1 @@
+lib/localiso/diagram.mli: Format Prelude Rdb

@@ -1,0 +1,1 @@
+lib/localiso/lgq.ml: Array Classes Combinat List Prelude Tuple Tupleset

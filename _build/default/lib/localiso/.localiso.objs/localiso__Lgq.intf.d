@@ -1,0 +1,1 @@
+lib/localiso/lgq.mli: Classes Diagram Prelude Rdb

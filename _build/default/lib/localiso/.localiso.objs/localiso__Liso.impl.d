@@ -1,0 +1,1 @@
+lib/localiso/liso.ml: Array Combinat Database Hashtbl Ints Prelude Rdb Tuple

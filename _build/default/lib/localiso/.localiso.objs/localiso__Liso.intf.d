@@ -1,0 +1,1 @@
+lib/localiso/liso.mli: Prelude Rdb

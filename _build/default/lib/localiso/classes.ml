@@ -1,0 +1,49 @@
+type t = {
+  db_type : int array;
+  rank : int;
+  diagrams : Diagram.t array;
+  by_diagram : (Diagram.t, int) Hashtbl.t;
+  realizations : (Rdb.Database.t * Prelude.Tuple.t) option array;
+}
+
+let make ?keep ~db_type ~rank () =
+  let diagrams =
+    Array.of_list (Diagram.enumerate ?keep ~db_type ~rank ())
+  in
+  let by_diagram = Hashtbl.create (Array.length diagrams) in
+  Array.iteri (fun i d -> Hashtbl.replace by_diagram d i) diagrams;
+  {
+    db_type;
+    rank;
+    diagrams;
+    by_diagram;
+    realizations = Array.make (Array.length diagrams) None;
+  }
+
+let db_type t = t.db_type
+let rank t = t.rank
+let size t = Array.length t.diagrams
+
+let diagram t i =
+  if i < 0 || i >= Array.length t.diagrams then
+    invalid_arg "Classes.diagram: index out of range";
+  t.diagrams.(i)
+
+let index_of_diagram t d = Hashtbl.find t.by_diagram d
+
+let class_of t b u =
+  if Prelude.Tuple.rank u <> t.rank then
+    invalid_arg "Classes.class_of: rank mismatch";
+  if Rdb.Database.db_type b <> t.db_type then
+    invalid_arg "Classes.class_of: database type mismatch";
+  index_of_diagram t (Diagram.of_pair b u)
+
+let realization t i =
+  match t.realizations.(i) with
+  | Some r -> r
+  | None ->
+      let r = Diagram.realize (diagram t i) in
+      t.realizations.(i) <- Some r;
+      r
+
+let to_list t = Array.to_list t.diagrams

@@ -1,0 +1,31 @@
+(** The equivalence classes [C^n = {C^n_1, ..., C^n_m}] of [≅ₗ] for a fixed
+    type and rank (§2).  A registry materializes the finitely many classes
+    once and gives constant-time class lookup for concrete pairs. *)
+
+type t
+(** A registry of all classes of one type and rank. *)
+
+val make : ?keep:(Diagram.t -> bool) -> db_type:int array -> rank:int -> unit -> t
+(** Enumerate the classes.  [keep] restricts the enumeration (e.g. to
+    irreflexive symmetric graph diagrams) — the registry then only knows
+    those classes, and lookups of pairs outside them raise [Not_found]. *)
+
+val db_type : t -> int array
+val rank : t -> int
+val size : t -> int
+(** Number of classes — 68 for type (2,1) at rank 2 (§2's example). *)
+
+val diagram : t -> int -> Diagram.t
+(** The diagram naming class [i] (0-based). Raises [Invalid_argument] if
+    out of range. *)
+
+val index_of_diagram : t -> Diagram.t -> int
+(** Position of a diagram in the registry.  Raises [Not_found]. *)
+
+val class_of : t -> Rdb.Database.t -> Prelude.Tuple.t -> int
+(** The class of the pair (B, u).  Finitely many oracle queries. *)
+
+val realization : t -> int -> Rdb.Database.t * Prelude.Tuple.t
+(** Canonical concrete pair in class [i] (memoized). *)
+
+val to_list : t -> Diagram.t list

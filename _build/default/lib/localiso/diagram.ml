@@ -1,0 +1,139 @@
+open Prelude
+
+type t = { db_type : int array; pattern : int array; atoms : bool array array }
+
+let rank d = Array.length d.pattern
+let blocks d = Combinat.num_blocks d.pattern
+let compare (a : t) (b : t) = Stdlib.compare a b
+let equal (a : t) (b : t) = a = b
+
+(* Mixed-radix encoding of a block vector [w] (each entry < m). *)
+let radix_index ~m w =
+  Array.fold_right (fun x acc -> x + (m * acc)) w 0
+
+let radix_decode ~m ~width idx =
+  let w = Array.make width 0 in
+  let rec go i idx =
+    if i < width then begin
+      w.(i) <- idx mod m;
+      go (i + 1) (idx / m)
+    end
+  in
+  go 0 idx;
+  w
+
+let is_rgs p =
+  let n = Array.length p in
+  let rec go i maxb =
+    if i = n then true
+    else if p.(i) < 0 || p.(i) > maxb + 1 then false
+    else go (i + 1) (max maxb p.(i))
+  in
+  n = 0 || (p.(0) = 0 && go 1 0)
+
+let make ~db_type ~pattern ~atoms =
+  if not (is_rgs pattern) then
+    invalid_arg "Diagram.make: pattern not in restricted-growth form";
+  if Array.length atoms <> Array.length db_type then
+    invalid_arg "Diagram.make: atom table count mismatch";
+  let m = Combinat.num_blocks pattern in
+  Array.iteri
+    (fun i table ->
+      let expect = Ints.pow m db_type.(i) in
+      if Array.length table <> expect then
+        invalid_arg "Diagram.make: atom table size mismatch")
+    atoms;
+  { db_type; pattern; atoms }
+
+let of_pair b u =
+  let db_type = Rdb.Database.db_type b in
+  let pattern = Tuple.equality_pattern u in
+  let m = Combinat.num_blocks pattern in
+  (* A representative domain element for each block. *)
+  let rep = Array.make m 0 in
+  Array.iteri (fun i blk -> rep.(blk) <- u.(i)) pattern;
+  let atoms =
+    Array.mapi
+      (fun i a ->
+        let size = Ints.pow m a in
+        Array.init size (fun idx ->
+            let w = radix_decode ~m ~width:a idx in
+            Rdb.Database.mem b i (Array.map (fun blk -> rep.(blk)) w)))
+      db_type
+  in
+  { db_type; pattern; atoms }
+
+let atom d ~rel w =
+  let m = Combinat.num_blocks d.pattern in
+  d.atoms.(rel).(radix_index ~m w)
+
+let enumerate ?(keep = fun _ -> true) ~db_type ~rank () =
+  let patterns = Combinat.restricted_growth_strings rank in
+  let results = ref [] in
+  List.iter
+    (fun pattern ->
+      let m = Combinat.num_blocks pattern in
+      let sizes = Array.to_list (Array.map (fun a -> Ints.pow m a) db_type) in
+      (* Enumerate every combination of boolean atom tables. *)
+      let rec tables = function
+        | [] -> [ [] ]
+        | size :: rest ->
+            let tails = tables rest in
+            let all_tables =
+              List.init (1 lsl size) (fun mask ->
+                  Array.init size (fun j -> (mask lsr j) land 1 = 1))
+            in
+            List.concat_map
+              (fun tbl -> List.map (fun t -> tbl :: t) tails)
+              all_tables
+      in
+      List.iter
+        (fun tbls ->
+          let d = { db_type; pattern; atoms = Array.of_list tbls } in
+          if keep d then results := d :: !results)
+        (tables sizes))
+    patterns;
+  List.rev !results
+
+let count ~db_type ~rank =
+  Combinat.restricted_growth_strings rank
+  |> List.map (fun p ->
+         let m = Combinat.num_blocks p in
+         Array.fold_left (fun acc a -> acc * Ints.pow 2 (Ints.pow m a)) 1 db_type)
+  |> Ints.sum
+
+let realize d =
+  let m = Combinat.num_blocks d.pattern in
+  let rels =
+    Array.mapi
+      (fun i a ->
+        let members = ref Tupleset.empty in
+        Array.iteri
+          (fun idx present ->
+            if present then
+              members :=
+                Tupleset.add (radix_decode ~m ~width:a idx) !members)
+          d.atoms.(i);
+        Rdb.Relation.of_tupleset ~name:(Printf.sprintf "R%d" (i + 1)) ~arity:a
+          !members)
+      d.db_type
+  in
+  (Rdb.Database.make ~name:"realized" rels, Array.copy d.pattern)
+
+let pp ppf d =
+  let m = Combinat.num_blocks d.pattern in
+  Format.fprintf ppf "@[<v>pattern %a@," Tuple.pp d.pattern;
+  Array.iteri
+    (fun i table ->
+      let a = d.db_type.(i) in
+      let members =
+        Array.to_list table
+        |> List.mapi (fun idx present ->
+               if present then Some (radix_decode ~m ~width:a idx) else None)
+        |> List.filter_map Fun.id
+      in
+      Format.fprintf ppf "R%d: %a@," (i + 1)
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space Tuple.pp)
+        members)
+    d.atoms;
+  Format.fprintf ppf "@]"

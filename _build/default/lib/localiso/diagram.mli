@@ -1,0 +1,59 @@
+(** Atomic diagrams of pairs (B, u).
+
+    The diagram of a pair records exactly the data that the local
+    isomorphism test of Proposition 2.2 inspects: the equality pattern of
+    [u], and, for every relation Rᵢ and every way of indexing into [u]
+    (equivalently, into the blocks of the equality pattern), whether the
+    projected tuple belongs to Rᵢ.
+
+    Two pairs are locally isomorphic — [(B₁,u) ≅ₗ (B₂,v)], Definition
+    2.2(3) — iff their diagrams are equal, so diagrams are canonical names
+    for the equivalence classes [C^n] of §2. *)
+
+type t = private {
+  db_type : int array;  (** the type a = (a₁, ..., a_k) *)
+  pattern : int array;
+      (** equality pattern of [u] in restricted-growth form; length = rank *)
+  atoms : bool array array;
+      (** [atoms.(i)] has [m]{^ [aᵢ]} entries ([m] = number of blocks):
+          entry at mixed-radix index of a block vector [w] says whether the
+          corresponding projection of [u] lies in Rᵢ *)
+}
+
+val rank : t -> int
+val blocks : t -> int
+(** Number of distinct elements in the underlying tuple. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val of_pair : Rdb.Database.t -> Prelude.Tuple.t -> t
+(** Compute the diagram of (B, u) with finitely many oracle queries —
+    [Σᵢ m]{^ [aᵢ]} of them, witnessing Proposition 2.2. *)
+
+val atom : t -> rel:int -> int array -> bool
+(** [atom d ~rel w] reads the membership bit for relation [rel] at the
+    block vector [w] (entries < [blocks d], length = arity of [rel]). *)
+
+val make :
+  db_type:int array -> pattern:int array -> atoms:bool array array -> t
+(** Assemble a diagram from parts (validated: pattern must be in
+    restricted-growth form, atom table sizes must match). *)
+
+val enumerate :
+  ?keep:(t -> bool) -> db_type:int array -> rank:int -> unit -> t list
+(** Enumerate {e all} diagrams of the given type and rank — the classes
+    [C^n = {C^n_1, ..., C^n_m}] of §2 — optionally filtered by [keep]
+    (e.g. restrict to irreflexive symmetric graph diagrams).  The order is
+    deterministic.  §2's worked example: type (2,1), rank 2 gives 68. *)
+
+val count : db_type:int array -> rank:int -> int
+(** The closed-form count [Σ_P Πᵢ 2]{^ [|P|^aᵢ]} over equality patterns
+    [P], matching [List.length (enumerate ...)]. *)
+
+val realize : t -> Rdb.Database.t * Prelude.Tuple.t
+(** A canonical concrete pair (B, u) whose diagram is the argument:
+    [u = (pattern)] itself (block ids as domain elements) and finite
+    relations read off the atom tables.  [of_pair (realize d) = d]. *)
+
+val pp : Format.formatter -> t -> unit

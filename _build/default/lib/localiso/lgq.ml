@@ -1,0 +1,81 @@
+open Prelude
+
+type t =
+  | Undefined
+  | Classes of { registry : Classes.t; selected : bool array }
+
+let undefined = Undefined
+
+let of_indices registry indices =
+  let selected = Array.make (Classes.size registry) false in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= Array.length selected then
+        invalid_arg "Lgq.of_indices: index out of range";
+      selected.(i) <- true)
+    indices;
+  Classes { registry; selected }
+
+let of_pred registry pred =
+  let selected =
+    Array.init (Classes.size registry) (fun i ->
+        pred (Classes.diagram registry i))
+  in
+  Classes { registry; selected }
+
+let full registry = of_pred registry (fun _ -> true)
+let empty registry = of_pred registry (fun _ -> false)
+
+let selected_indices = function
+  | Undefined -> []
+  | Classes { selected; _ } ->
+      Array.to_list selected
+      |> List.mapi (fun i b -> (i, b))
+      |> List.filter_map (fun (i, b) -> if b then Some i else None)
+
+let mem q b u =
+  match q with
+  | Undefined -> None
+  | Classes { registry; selected } ->
+      if Tuple.rank u <> Classes.rank registry then Some false
+      else Some selected.(Classes.class_of registry b u)
+
+let eval_upto q b ~cutoff =
+  match q with
+  | Undefined -> Tupleset.empty
+  | Classes { registry; selected } ->
+      Combinat.fold_cartesian
+        (fun acc u ->
+          if selected.(Classes.class_of registry b u) then
+            Tupleset.add (Array.copy u) acc
+          else acc)
+        Tupleset.empty ~width:(Classes.rank registry) ~bound:cutoff
+
+let equal a b =
+  match (a, b) with
+  | Undefined, Undefined -> true
+  | Classes x, Classes y ->
+      Classes.db_type x.registry = Classes.db_type y.registry
+      && Classes.rank x.registry = Classes.rank y.registry
+      && x.selected = y.selected
+  | _ -> false
+
+let lift2 op a b =
+  match (a, b) with
+  | Undefined, _ | _, Undefined -> Undefined
+  | Classes x, Classes y ->
+      if Classes.size x.registry <> Classes.size y.registry then
+        invalid_arg "Lgq: registry mismatch";
+      Classes
+        {
+          registry = x.registry;
+          selected = Array.map2 op x.selected y.selected;
+        }
+
+let union = lift2 ( || )
+let inter = lift2 ( && )
+
+let complement = function
+  | Undefined -> Undefined
+  | Classes { registry; selected } ->
+      Classes { registry; selected = Array.map not selected }

@@ -1,0 +1,47 @@
+(** Locally generic r-queries (Definition 2.5, Propositions 2.3–2.4).
+
+    By Proposition 2.4, a locally generic r-query is either everywhere
+    undefined or the union of some classes of [≅ₗ] of one common rank —
+    so we represent one as a class registry plus a selection bit per
+    class.  This is the semantic object that Theorem 2.1 compiles to and
+    from L⁻ formulas. *)
+
+type t =
+  | Undefined  (** the everywhere-undefined query (Proposition 2.3(1)) *)
+  | Classes of { registry : Classes.t; selected : bool array }
+
+val undefined : t
+
+val of_indices : Classes.t -> int list -> t
+(** Query selecting the classes with the given registry indices. *)
+
+val of_pred : Classes.t -> (Diagram.t -> bool) -> t
+(** Query selecting the classes whose diagram satisfies the predicate. *)
+
+val full : Classes.t -> t
+(** The query answering true on every class (the relation Dⁿ). *)
+
+val empty : Classes.t -> t
+(** The everywhere-empty (but defined) query. *)
+
+val selected_indices : t -> int list
+(** Indices of selected classes; [] for [Undefined]. *)
+
+val mem : t -> Rdb.Database.t -> Prelude.Tuple.t -> bool option
+(** [mem q b u] is [None] when the query is undefined, otherwise
+    [Some (u ∈ Q(B))].  Diverging behaviour is represented by [None]
+    rather than actual divergence. *)
+
+val eval_upto : t -> Rdb.Database.t -> cutoff:int -> Prelude.Tupleset.t
+(** The members of Q(B) among tuples over [{0, ..., cutoff-1}] — a finite
+    window on the (generally infinite) recursive output relation. *)
+
+val equal : t -> t -> bool
+(** Extensional equality (same registry object assumed for [Classes]). *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val complement : t -> t
+(** The boolean operations, defined classwise; [Undefined] is absorbing.
+    These witness "unions, intersections and complementations are both
+    generic and locally generic" (§2). *)

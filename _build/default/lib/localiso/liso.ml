@@ -1,0 +1,70 @@
+open Prelude
+open Rdb
+
+let check b1 u b2 v =
+  Database.same_type b1 b2
+  && Tuple.rank u = Tuple.rank v
+  && Tuple.equality_pattern u = Tuple.equality_pattern v
+  &&
+  let n = Tuple.rank u in
+  let db_type = Database.db_type b1 in
+  let ok = ref true in
+  Array.iteri
+    (fun i a ->
+      if !ok then
+        ok :=
+          Combinat.fold_cartesian
+            (fun acc js ->
+              acc
+              && Database.mem b1 i (Tuple.project u js)
+                 = Database.mem b2 i (Tuple.project v js))
+            true ~width:a ~bound:n)
+    db_type;
+  !ok
+
+let check_bruteforce b1 u b2 v =
+  if not (Database.same_type b1 b2) then false
+  else if Tuple.rank u <> Tuple.rank v then false
+  else begin
+    let n = Tuple.rank u in
+    (* The only candidate isomorphism is forced: h(u_i) = v_i. *)
+    let mapping = Hashtbl.create 8 in
+    let inverse = Hashtbl.create 8 in
+    let well_defined = ref true in
+    for i = 0 to n - 1 do
+      (match Hashtbl.find_opt mapping u.(i) with
+      | Some w when w <> v.(i) -> well_defined := false
+      | Some _ -> ()
+      | None -> Hashtbl.add mapping u.(i) v.(i));
+      match Hashtbl.find_opt inverse v.(i) with
+      | Some w when w <> u.(i) -> well_defined := false
+      | Some _ -> ()
+      | None -> Hashtbl.add inverse v.(i) u.(i)
+    done;
+    !well_defined
+    &&
+    let du = Tuple.distinct_elements u in
+    let b1r = Database.restrict_to b1 du in
+    let b2r = Database.restrict_to b2 (Tuple.distinct_elements v) in
+    let db_type = Database.db_type b1 in
+    let du_arr = Array.of_list du in
+    let m = Array.length du_arr in
+    let ok = ref true in
+    Array.iteri
+      (fun i a ->
+        if !ok then
+          ok :=
+            Combinat.fold_cartesian
+              (fun acc js ->
+                let xu = Array.map (fun j -> du_arr.(j)) js in
+                let xv = Array.map (fun x -> Hashtbl.find mapping x) xu in
+                acc && Database.mem b1r i xu = Database.mem b2r i xv)
+              true ~width:a ~bound:m)
+      db_type;
+    !ok
+  end
+
+let check_same b u v = check b u b v
+
+let oracle_cost ~db_type ~rank =
+  Array.fold_left (fun acc a -> acc + Ints.pow rank a) 0 db_type

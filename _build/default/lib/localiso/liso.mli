@@ -1,0 +1,26 @@
+(** The decidable local-isomorphism test (Proposition 2.2).
+
+    [(B₁, u) ≅ₗ (B₂, v)] iff the restriction of B₁ to the elements of [u]
+    and the restriction of B₂ to the elements of [v] are isomorphic by an
+    isomorphism taking [u] to [v]. *)
+
+val check :
+  Rdb.Database.t -> Prelude.Tuple.t -> Rdb.Database.t -> Prelude.Tuple.t -> bool
+(** The paper's three-part test: (i) |u| = |v|; (ii) uᵢ = uⱼ iff vᵢ = vⱼ;
+    (iii) every projection of [u] lies in Rᵢ iff the same projection of
+    [v] lies in R′ᵢ.  Returns [false] when the database types differ. *)
+
+val check_bruteforce :
+  Rdb.Database.t -> Prelude.Tuple.t -> Rdb.Database.t -> Prelude.Tuple.t -> bool
+(** Independent implementation used to cross-validate {!check} in tests:
+    constructs the (unique candidate) map uᵢ ↦ vᵢ, checks it is a
+    well-defined bijection between the restrictions, and verifies relation
+    preservation on the restricted structures. *)
+
+val check_same : Rdb.Database.t -> Prelude.Tuple.t -> Prelude.Tuple.t -> bool
+(** [check_same b u v] is [check b u b v] — the relation written [u ≅ₗ v]
+    in §3.2. *)
+
+val oracle_cost : db_type:int array -> rank:int -> int
+(** Number of oracle queries {!check} performs on each side:
+    [Σᵢ n]{^ [aᵢ]} for rank [n] — finite, witnessing decidability. *)

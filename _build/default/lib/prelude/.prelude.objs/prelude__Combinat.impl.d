@@ -1,0 +1,1 @@
+lib/prelude/combinat.ml: Array List

@@ -1,0 +1,1 @@
+lib/prelude/ints.ml: List Sys

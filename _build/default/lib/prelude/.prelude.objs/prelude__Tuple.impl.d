@@ -1,0 +1,1 @@
+lib/prelude/tuple.ml: Array Format Hashtbl List Stdlib

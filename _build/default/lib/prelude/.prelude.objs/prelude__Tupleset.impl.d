@@ -1,0 +1,1 @@
+lib/prelude/tupleset.ml: Format List Set Tuple

@@ -1,0 +1,1 @@
+lib/prelude/tupleset.mli: Format Set Tuple

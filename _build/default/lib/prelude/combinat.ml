@@ -1,0 +1,94 @@
+let index_vectors ~width ~bound =
+  if width < 0 then invalid_arg "Combinat.index_vectors: negative width";
+  if width = 0 then [ [||] ]
+  else if bound <= 0 then []
+  else begin
+    let acc = ref [] in
+    let v = Array.make width 0 in
+    let rec fill i =
+      if i = width then acc := Array.copy v :: !acc
+      else
+        for x = 0 to bound - 1 do
+          v.(i) <- x;
+          fill (i + 1)
+        done
+    in
+    fill 0;
+    List.rev !acc
+  end
+
+let fold_cartesian f init ~width ~bound =
+  if width < 0 then invalid_arg "Combinat.fold_cartesian: negative width";
+  if width = 0 then f init [||]
+  else if bound <= 0 then init
+  else begin
+    let v = Array.make width 0 in
+    let acc = ref init in
+    let rec fill i =
+      if i = width then acc := f !acc v
+      else
+        for x = 0 to bound - 1 do
+          v.(i) <- x;
+          fill (i + 1)
+        done
+    in
+    fill 0;
+    !acc
+  end
+
+let subsets l =
+  let n = List.length l in
+  if n > 30 then invalid_arg "Combinat.subsets: list too long";
+  List.init (1 lsl n) (fun mask ->
+      List.filteri (fun i _ -> (mask lsr i) land 1 = 1) l)
+
+let sublists_of_size k l =
+  let rec go k l =
+    if k = 0 then [ [] ]
+    else
+      match l with
+      | [] -> []
+      | x :: rest ->
+          List.map (fun s -> x :: s) (go (k - 1) rest) @ go k rest
+  in
+  if k < 0 then [] else go k l
+
+let permutations l =
+  let rec insert x = function
+    | [] -> [ [ x ] ]
+    | y :: rest as l -> (x :: l) :: List.map (fun s -> y :: s) (insert x rest)
+  in
+  List.fold_right (fun x acc -> List.concat_map (insert x) acc) l [ [] ]
+
+let cartesian lists =
+  let rec go = function
+    | [] -> [ [] ]
+    | l :: rest ->
+        let tails = go rest in
+        List.concat_map (fun x -> List.map (fun t -> x :: t) tails) l
+  in
+  go lists
+
+let restricted_growth_strings n =
+  if n < 0 then invalid_arg "Combinat.restricted_growth_strings: negative n";
+  if n = 0 then [ [||] ]
+  else begin
+    let acc = ref [] in
+    let p = Array.make n 0 in
+    let rec fill i maxblock =
+      if i = n then acc := Array.copy p :: !acc
+      else
+        for b = 0 to maxblock + 1 do
+          p.(i) <- b;
+          fill (i + 1) (max maxblock b)
+        done
+    in
+    p.(0) <- 0;
+    fill 1 0;
+    List.rev !acc
+  end
+
+let num_blocks p =
+  Array.fold_left (fun m b -> max m (b + 1)) 0 p
+
+let bell n = List.length (restricted_growth_strings n)

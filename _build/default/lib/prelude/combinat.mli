@@ -1,0 +1,46 @@
+(** Finite combinatorics used by the class-enumeration and EF-game
+    machinery: index vectors, subsets, set partitions (in canonical
+    restricted-growth form), permutations and Cartesian products.
+
+    All enumerations are deterministic and duplicate-free; orders are
+    documented where tests rely on them. *)
+
+val index_vectors : width:int -> bound:int -> int array list
+(** [index_vectors ~width ~bound] enumerates all vectors in
+    [\[0, bound)]{^ [width]} in lexicographic order.  [width = 0] yields the
+    single empty vector; [bound = 0] with positive width yields []. *)
+
+val subsets : 'a list -> 'a list list
+(** All subsets (as sublists preserving order), 2{^n} of them, in binary
+    counting order with the empty set first. *)
+
+val sublists_of_size : int -> 'a list -> 'a list list
+(** [sublists_of_size k l] enumerates the k-element sublists of [l]
+    preserving order. *)
+
+val permutations : 'a list -> 'a list list
+(** All permutations of a list (n! of them; callers keep n small). *)
+
+val cartesian : 'a list list -> 'a list list
+(** [cartesian \[l1; ...; lk\]] enumerates all choice lists
+    [\[x1; ...; xk\]] with [xi] drawn from [li], in lexicographic order of
+    positions. *)
+
+val restricted_growth_strings : int -> int array list
+(** [restricted_growth_strings n] enumerates all set partitions of
+    [{0, ..., n-1}] in canonical restricted-growth form: arrays [p] of
+    length [n] with [p.(0) = 0] and
+    [p.(i) <= 1 + max(p.(0..i-1))].  Equal entries mean "same block".
+    The count is the Bell number B(n). *)
+
+val bell : int -> int
+(** [bell n] is the Bell number B(n) (number of set partitions). *)
+
+val num_blocks : int array -> int
+(** Number of blocks of a restricted-growth partition array (0 for the
+    empty partition). *)
+
+val fold_cartesian : ('a -> int array -> 'a) -> 'a -> width:int -> bound:int -> 'a
+(** [fold_cartesian f init ~width ~bound] folds [f] over all index vectors
+    without materializing the list; vectors passed to [f] are reused
+    buffers, so [f] must copy if it retains them. *)

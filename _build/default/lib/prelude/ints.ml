@@ -1,0 +1,101 @@
+let cantor_pair x y =
+  if x < 0 || y < 0 then invalid_arg "Ints.cantor_pair: negative argument";
+  (* (x+y)² must stay within 63-bit range. *)
+  if x + y > 3_000_000_000 then invalid_arg "Ints.cantor_pair: overflow";
+  ((x + y) * (x + y + 1)) / 2 + y
+
+let isqrt n =
+  if n < 0 then invalid_arg "Ints.isqrt: negative argument";
+  if n < 2 then n
+  else begin
+    (* Newton iteration on integers; converges from above. *)
+    let x = ref n in
+    let y = ref ((n + 1) / 2) in
+    while !y < !x do
+      x := !y;
+      y := (!x + (n / !x)) / 2
+    done;
+    !x
+  end
+
+let cantor_unpair z =
+  if z < 0 then invalid_arg "Ints.cantor_unpair: negative argument";
+  let w = (isqrt ((8 * z) + 1) - 1) / 2 in
+  let t = (w * (w + 1)) / 2 in
+  let y = z - t in
+  let x = w - y in
+  (x, y)
+
+let pair_list l =
+  let n = List.length l in
+  let body = List.fold_right (fun x acc -> cantor_pair x acc) l 0 in
+  cantor_pair n body
+
+let unpair_list z =
+  let n, body = cantor_unpair z in
+  let rec go n body =
+    if n = 0 then []
+    else
+      let x, rest = cantor_unpair body in
+      x :: go (n - 1) rest
+  in
+  go n body
+
+let digits ~base n =
+  if base < 2 then invalid_arg "Ints.digits: base < 2";
+  if n < 0 then invalid_arg "Ints.digits: negative argument";
+  let rec go n = if n = 0 then [] else (n mod base) :: go (n / base) in
+  go n
+
+let of_digits ~base ds =
+  if base < 2 then invalid_arg "Ints.of_digits: base < 2";
+  List.fold_right
+    (fun d acc ->
+      if acc > (max_int - d) / base then
+        invalid_arg "Ints.of_digits: overflow";
+      d + (base * acc))
+    ds 0
+
+let pow b e =
+  if e < 0 then invalid_arg "Ints.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (acc * b) (b * b) (e asr 1)
+    else go acc (b * b) (e asr 1)
+  in
+  go 1 b e
+
+let bit i n =
+  if i < 0 || n < 0 then invalid_arg "Ints.bit: negative argument";
+  if i >= Sys.int_size then false else (n lsr i) land 1 = 1
+
+let range lo hi =
+  let rec go i acc = if i < lo then acc else go (i - 1) (i :: acc) in
+  go (hi - 1) []
+
+let sum = List.fold_left ( + ) 0
+let prod = List.fold_left ( * ) 1
+
+module Rng = struct
+  type t = { mutable state : int }
+
+  let make seed = { state = (seed lxor 0x9E3779B9) land max_int }
+
+  let next t =
+    (* splitmix-style mixing restricted to OCaml's 63-bit ints. *)
+    t.state <- (t.state + 0x1E3779B97F4A7C15) land max_int;
+    let z = t.state in
+    let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 land max_int in
+    let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB land max_int in
+    (z lxor (z lsr 31)) land max_int
+
+  let int t bound =
+    if bound <= 0 then invalid_arg "Ints.Rng.int: bound <= 0";
+    next t mod bound
+
+  let bool t = next t land 1 = 1
+
+  let pick t = function
+    | [] -> invalid_arg "Ints.Rng.pick: empty list"
+    | l -> List.nth l (int t (List.length l))
+end

@@ -1,0 +1,63 @@
+(** Integer utilities used throughout the reproduction: Cantor pairing for
+    Gödel numbering, integer square roots, base-b digit codecs, and small
+    deterministic pseudo-random streams (for reproducible experiments). *)
+
+val cantor_pair : int -> int -> int
+(** [cantor_pair x y] is the Cantor pairing function
+    [(x + y) * (x + y + 1) / 2 + y], a bijection ℕ² → ℕ. *)
+
+val cantor_unpair : int -> int * int
+(** Inverse of {!cantor_pair}. *)
+
+val pair_list : int list -> int
+(** Encode a list of naturals as a single natural: length paired with a
+    right fold of {!cantor_pair}.  Bijective on lists of naturals. *)
+
+val unpair_list : int -> int list
+(** Inverse of {!pair_list}. *)
+
+val isqrt : int -> int
+(** [isqrt n] is the integer square root ⌊√n⌋.  Raises [Invalid_argument]
+    on negative input. *)
+
+val digits : base:int -> int -> int list
+(** [digits ~base n] is the little-endian base-[base] digit list of [n]
+    ([digits ~base 0 = []]).  Requires [base >= 2]. *)
+
+val of_digits : base:int -> int list -> int
+(** Inverse of {!digits}. *)
+
+val pow : int -> int -> int
+(** [pow b e] is [b]{^ [e]} for [e >= 0], with overflow unchecked. *)
+
+val bit : int -> int -> bool
+(** [bit i n] is the [i]-th bit of [n] (bit 0 least significant).
+    Requires [i >= 0] and [n >= 0]. *)
+
+val range : int -> int -> int list
+(** [range lo hi] is [[lo; lo+1; ...; hi-1]] (empty if [hi <= lo]). *)
+
+val sum : int list -> int
+(** Sum of a list. *)
+
+val prod : int list -> int
+(** Product of a list (1 on empty). *)
+
+module Rng : sig
+  (** A tiny splitmix-style deterministic generator, so experiments are
+      reproducible without depending on global [Random] state. *)
+
+  type t
+
+  val make : int -> t
+  (** [make seed] creates a generator. *)
+
+  val int : t -> int -> int
+  (** [int t bound] draws a value in [\[0, bound)].  Requires [bound > 0]. *)
+
+  val bool : t -> bool
+  (** Draw a boolean. *)
+
+  val pick : t -> 'a list -> 'a
+  (** Draw a uniform element of a non-empty list. *)
+end

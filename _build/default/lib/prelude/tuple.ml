@@ -1,0 +1,71 @@
+type t = int array
+
+let empty = [||]
+let rank = Array.length
+
+let compare (u : t) (v : t) =
+  let c = Stdlib.compare (Array.length u) (Array.length v) in
+  if c <> 0 then c else Stdlib.compare u v
+
+let equal (u : t) (v : t) = u = v
+let append u a = Array.append u [| a |]
+let concat = Array.append
+
+let prefix u k =
+  if k < 0 || k > Array.length u then invalid_arg "Tuple.prefix";
+  Array.sub u 0 k
+
+let drop_first u =
+  if Array.length u = 0 then invalid_arg "Tuple.drop_first: empty tuple";
+  Array.sub u 1 (Array.length u - 1)
+
+let swap_last_two u =
+  let n = Array.length u in
+  if n < 2 then invalid_arg "Tuple.swap_last_two: rank < 2";
+  let v = Array.copy u in
+  v.(n - 1) <- u.(n - 2);
+  v.(n - 2) <- u.(n - 1);
+  v
+
+let project u js = Array.map (fun j -> u.(j)) js
+
+let distinct_elements u =
+  let seen = Hashtbl.create 8 in
+  Array.fold_left
+    (fun acc x ->
+      if Hashtbl.mem seen x then acc
+      else begin
+        Hashtbl.add seen x ();
+        x :: acc
+      end)
+    [] u
+  |> List.rev
+
+let equality_pattern u =
+  let n = Array.length u in
+  let p = Array.make n 0 in
+  let seen = Hashtbl.create 8 in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    match Hashtbl.find_opt seen u.(i) with
+    | Some b -> p.(i) <- b
+    | None ->
+        Hashtbl.add seen u.(i) !next;
+        p.(i) <- !next;
+        incr next
+  done;
+  p
+
+let of_list = Array.of_list
+let to_list = Array.to_list
+
+let pp ppf u =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Format.pp_print_int)
+    u
+
+let to_string u = Format.asprintf "%a" pp u
+
+let hash (u : t) = Hashtbl.hash u

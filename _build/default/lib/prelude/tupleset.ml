@@ -1,0 +1,24 @@
+include Set.Make (struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+end)
+
+let of_lists ls = of_list (List.map Tuple.of_list ls)
+
+let common_rank s =
+  match choose_opt s with
+  | None -> None
+  | Some u ->
+      let n = Tuple.rank u in
+      if for_all (fun v -> Tuple.rank v = n) s then Some n
+      else invalid_arg "Tupleset.common_rank: mixed ranks"
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Tuple.pp)
+    (elements s)
+
+let to_string s = Format.asprintf "%a" pp s

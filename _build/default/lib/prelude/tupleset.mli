@@ -1,0 +1,17 @@
+(** Finite sets of tuples.  Used for finite relations, QL term values
+    (finite sets of representatives), and fcf relation parts. *)
+
+include Set.S with type elt = Tuple.t
+
+val of_lists : int list list -> t
+(** Build from a list of tuples given as lists. *)
+
+val common_rank : t -> int option
+(** [common_rank s] is [Some n] if every member has rank [n] (and [s] is
+    non-empty), [None] if [s] is empty.  Raises [Invalid_argument] if the
+    ranks are mixed — term values in QL always share a rank. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{(1, 2); (3, 4)}] in element order. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/ql/coding.ml: Array Combinat Hs Prelude Tuple Tupleset

@@ -1,0 +1,1 @@
+lib/ql/coding.mli: Hs Prelude

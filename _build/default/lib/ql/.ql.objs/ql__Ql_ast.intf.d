@@ -1,0 +1,1 @@
+lib/ql/ql_ast.mli: Format

@@ -1,0 +1,1 @@
+lib/ql/ql_finite.ml: Array Combinat List Prelude Printf Ql_interp Rdb Tuple Tupleset

@@ -1,0 +1,1 @@
+lib/ql/ql_finite.mli: Prelude Ql_ast Ql_interp Rdb

@@ -1,0 +1,1 @@
+lib/ql/ql_hs.ml: Array Combinat Hs List Prelude Printf Ql_interp Tuple Tupleset

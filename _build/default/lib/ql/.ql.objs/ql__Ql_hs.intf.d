@@ -1,0 +1,1 @@
+lib/ql/ql_hs.mli: Hs Prelude Ql_ast Ql_interp

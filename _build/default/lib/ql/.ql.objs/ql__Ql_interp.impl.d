@@ -1,0 +1,1 @@
+lib/ql/ql_interp.ml: Array Ql_ast

@@ -1,0 +1,1 @@
+lib/ql/ql_interp.mli: Ql_ast

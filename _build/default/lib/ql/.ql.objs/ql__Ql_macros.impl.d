@@ -1,0 +1,1 @@
+lib/ql/ql_macros.ml: List Ql_ast

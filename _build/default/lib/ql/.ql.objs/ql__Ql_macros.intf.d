@@ -1,0 +1,1 @@
+lib/ql/ql_macros.mli: Ql_ast

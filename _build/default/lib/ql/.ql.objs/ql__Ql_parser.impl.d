@@ -1,0 +1,1 @@
+lib/ql/ql_parser.ml: Array List Printf Ql_ast String

@@ -1,0 +1,1 @@
+lib/ql/ql_parser.mli: Ql_ast

@@ -1,0 +1,34 @@
+open Prelude
+
+type coded = { d : Tuple.t; x : Tupleset.t array }
+
+let encode t ~d =
+  if not (Hs.Ef.projections_cover t d) then
+    invalid_arg "Coding.encode: d does not cover the input representatives";
+  let n = Tuple.rank d in
+  let db_type = Hs.Hsdb.db_type t in
+  let x =
+    Array.mapi
+      (fun i a ->
+        Combinat.fold_cartesian
+          (fun acc js ->
+            if Hs.Hsdb.rel_mem t i (Tuple.project d js) then
+              Tupleset.add (Array.copy js) acc
+            else acc)
+          Tupleset.empty ~width:a ~bound:n)
+      db_type
+  in
+  { d; x }
+
+let encode_auto t = encode t ~d:(Hs.Ef.find_coding_tuple t)
+
+let decode t coded answer =
+  Tupleset.fold
+    (fun js acc ->
+      Tupleset.add (Hs.Hsdb.representative t (Tuple.project coded.d js)) acc)
+    answer Tupleset.empty
+
+let run_integer_query t ?d q =
+  let d = match d with Some d -> d | None -> Hs.Ef.find_coding_tuple t in
+  let coded = encode t ~d in
+  decode t coded (q coded)

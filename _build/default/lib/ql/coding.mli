@@ -1,0 +1,40 @@
+(** The integer re-coding at the heart of the Theorem 3.1 completeness
+    proof (Steps 1–4).
+
+    Step 1 computes a tuple [d] of distinct elements whose projections
+    cover all the input representatives (implemented in [Hs.Ef]).  Step 2
+    re-codes the input as [X = (X₁, ..., X_k)] over ℕ: [Xⱼ] holds the
+    index vectors [(i₁, ..., i_{aⱼ})] whose projection [d[i₁, ..., i_{aⱼ}]]
+    belongs to [Rⱼ] — a finite relational structure over the integers
+    [{0, ..., |d|-1}], isomorphic to the restriction of B to [d]'s
+    elements and rich enough to reconstruct every [Cⱼ].  Step 3 runs the
+    query on the integer side (here: any OCaml function — standing in
+    for the Turing-machine capability of QL_hs).  Step 4 decodes the
+    integer-side answer back to representatives through [d]:
+    [Q(C_B) = ⋃ classes of d[i₁, ..., i_m]]. *)
+
+type coded = {
+  d : Prelude.Tuple.t;  (** the coding tuple (distinct elements, a tree path) *)
+  x : Prelude.Tupleset.t array;
+      (** [x.(j)]: index vectors over [{0, ..., |d|-1}] whose [d]-projection
+          lies in [Rⱼ] *)
+}
+
+val encode : Hs.Hsdb.t -> d:Prelude.Tuple.t -> coded
+(** Step 2.  Raises [Invalid_argument] if [d] fails the covering
+    condition ([Hs.Ef.projections_cover]). *)
+
+val encode_auto : Hs.Hsdb.t -> coded
+(** {!encode} with [d] found by [Hs.Ef.find_coding_tuple] (Step 1). *)
+
+val decode : Hs.Hsdb.t -> coded -> Prelude.Tupleset.t -> Prelude.Tupleset.t
+(** Step 4: map an integer-side answer (a set of index vectors, all of
+    one rank) to the set of representatives of the classes of the
+    corresponding projections of [d]. *)
+
+val run_integer_query :
+  Hs.Hsdb.t ->
+  ?d:Prelude.Tuple.t ->
+  (coded -> Prelude.Tupleset.t) ->
+  Prelude.Tupleset.t
+(** Steps 1–4 glued: encode, apply the integer-side query, decode. *)

@@ -1,0 +1,51 @@
+type term =
+  | E
+  | Rel of int
+  | Var of int
+  | Inter of term * term
+  | Comp of term
+  | Up of term
+  | Down of term
+  | Swap of term
+
+type program =
+  | Assign of int * term
+  | Seq of program * program
+  | While_empty of int * program
+  | While_single of int * program
+  | While_finite of int * program
+
+let rec max_var_term = function
+  | E | Rel _ -> -1
+  | Var i -> i
+  | Inter (e, f) -> max (max_var_term e) (max_var_term f)
+  | Comp e | Up e | Down e | Swap e -> max_var_term e
+
+let rec max_var = function
+  | Assign (i, e) -> max i (max_var_term e)
+  | Seq (p, q) -> max (max_var p) (max_var q)
+  | While_empty (i, p) | While_single (i, p) | While_finite (i, p) ->
+      max i (max_var p)
+
+let rec pp_term ppf = function
+  | E -> Format.pp_print_string ppf "E"
+  | Rel i -> Format.fprintf ppf "Rel%d" (i + 1)
+  | Var i -> Format.fprintf ppf "Y%d" (i + 1)
+  | Inter (e, f) -> Format.fprintf ppf "(%a ∩ %a)" pp_term e pp_term f
+  | Comp e -> Format.fprintf ppf "¬%a" pp_term e
+  | Up e -> Format.fprintf ppf "%a↑" pp_term e
+  | Down e -> Format.fprintf ppf "%a↓" pp_term e
+  | Swap e -> Format.fprintf ppf "%a~" pp_term e
+
+let rec pp_program ppf = function
+  | Assign (i, e) -> Format.fprintf ppf "Y%d ← %a" (i + 1) pp_term e
+  | Seq (p, q) -> Format.fprintf ppf "@[<v>%a;@,%a@]" pp_program p pp_program q
+  | While_empty (i, p) ->
+      Format.fprintf ppf "@[<v 2>while |Y%d| = 0 do@,%a@]" (i + 1) pp_program p
+  | While_single (i, p) ->
+      Format.fprintf ppf "@[<v 2>while |Y%d| = 1 do@,%a@]" (i + 1) pp_program p
+  | While_finite (i, p) ->
+      Format.fprintf ppf "@[<v 2>while |Y%d| < ∞ do@,%a@]" (i + 1) pp_program p
+
+let term_to_string e = Format.asprintf "%a" pp_term e
+let program_to_string p = Format.asprintf "%a" pp_program p

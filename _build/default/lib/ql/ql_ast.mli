@@ -1,0 +1,42 @@
+(** Abstract syntax of the query language QL of Chandra and Harel [CH],
+    shared by all three interpreters in this reproduction:
+
+    {ul
+    {- {!Ql_finite} — the original finitary semantics ([CH], the baseline
+       the paper builds on);}
+    {- {!Ql_hs} — the paper's QL_hs (§3.3), acting on representations
+       [C_B] of highly symmetric r-dbs, with the added test [|Y| = 1?]
+       (footnote 8);}
+    {- [Fcf.Qlf] — the finite/co-finite variant QL_f+ (§4), with the
+       added test [|Y| < ∞].}}
+
+    Programs denote queries; the result of a halted program is the
+    content of variable [Y1] (index 0). *)
+
+type term =
+  | E  (** the diagonal [{(a, a) | a ∈ D}] (rank 2) *)
+  | Rel of int  (** input relation Relᵢ (0-based) *)
+  | Var of int  (** program variable Yᵢ (0-based) *)
+  | Inter of term * term  (** e ∩ f — ranks must agree *)
+  | Comp of term  (** ¬e — complement within [Dⁿ] (resp. [Tⁿ]) *)
+  | Up of term  (** e↑ — extend on the right by every domain element *)
+  | Down of term  (** e↓ — project out the {e first} coordinate *)
+  | Swap of term  (** e~ — exchange the two rightmost coordinates *)
+
+type program =
+  | Assign of int * term  (** Yᵢ ← e *)
+  | Seq of program * program  (** (P; P′) *)
+  | While_empty of int * program  (** while |Yᵢ| = 0 do P *)
+  | While_single of int * program
+      (** while |Yᵢ| = 1 do P — the test added for QL_hs (footnote 8) *)
+  | While_finite of int * program
+      (** while |Yᵢ| < ∞ do P — only meaningful in QL_f+; the finite and
+          hs interpreters reject it *)
+
+val max_var : program -> int
+(** Largest variable index mentioned (-1 if none). *)
+
+val pp_term : Format.formatter -> term -> unit
+val pp_program : Format.formatter -> program -> unit
+val term_to_string : term -> string
+val program_to_string : program -> string

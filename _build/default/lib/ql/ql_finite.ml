@@ -1,0 +1,116 @@
+open Prelude
+
+type value = { rank : int; tuples : Tupleset.t }
+
+let empty = { rank = 0; tuples = Tupleset.empty }
+
+let of_tuples ~rank tuples =
+  Tupleset.iter
+    (fun u ->
+      if Tuple.rank u <> rank then
+        invalid_arg "Ql_finite.of_tuples: rank mismatch")
+    tuples;
+  { rank; tuples }
+
+let equal_value a b =
+  if Tupleset.is_empty a.tuples && Tupleset.is_empty b.tuples then true
+  else a.rank = b.rank && Tupleset.equal a.tuples b.tuples
+
+let algebra ~domain ~rels =
+  let domain = List.sort_uniq compare domain in
+  let full rank =
+    Combinat.fold_cartesian
+      (fun acc js ->
+        Tupleset.add (Array.map (List.nth domain) js) acc)
+      Tupleset.empty ~width:rank ~bound:(List.length domain)
+  in
+  let e_const () =
+    {
+      rank = 2;
+      tuples =
+        List.fold_left
+          (fun acc a -> Tupleset.add [| a; a |] acc)
+          Tupleset.empty domain;
+    }
+  in
+  let rel i =
+    if i < 0 || i >= Array.length rels then
+      raise (Ql_interp.Rank_error (Printf.sprintf "no relation Rel%d" (i + 1)));
+    let arity, tuples = rels.(i) in
+    { rank = arity; tuples }
+  in
+  let inter a b =
+    if Tupleset.is_empty a.tuples then { b with tuples = Tupleset.empty }
+    else if Tupleset.is_empty b.tuples then { a with tuples = Tupleset.empty }
+    else if a.rank <> b.rank then
+      raise
+        (Ql_interp.Rank_error
+           (Printf.sprintf "∩ of ranks %d and %d" a.rank b.rank))
+    else { a with tuples = Tupleset.inter a.tuples b.tuples }
+  in
+  let comp a = { a with tuples = Tupleset.diff (full a.rank) a.tuples } in
+  let up a =
+    {
+      rank = a.rank + 1;
+      tuples =
+        Tupleset.fold
+          (fun u acc ->
+            List.fold_left
+              (fun acc d -> Tupleset.add (Tuple.append u d) acc)
+              acc domain)
+          a.tuples Tupleset.empty;
+    }
+  in
+  let down a =
+    if a.rank < 1 then raise (Ql_interp.Rank_error "↓ on rank 0");
+    {
+      rank = a.rank - 1;
+      tuples =
+        Tupleset.fold
+          (fun u acc -> Tupleset.add (Tuple.drop_first u) acc)
+          a.tuples Tupleset.empty;
+    }
+  in
+  let swap a =
+    if a.rank < 2 then raise (Ql_interp.Rank_error "~ on rank < 2");
+    {
+      a with
+      tuples =
+        Tupleset.fold
+          (fun u acc -> Tupleset.add (Tuple.swap_last_two u) acc)
+          a.tuples Tupleset.empty;
+    }
+  in
+  {
+    Ql_interp.e_const;
+    rel;
+    inter;
+    comp;
+    up;
+    down;
+    swap;
+    initial = empty;
+    is_empty = (fun a -> Tupleset.is_empty a.tuples);
+    is_single = (fun a -> Tupleset.cardinal a.tuples = 1);
+    is_finite = None;
+  }
+
+let algebra_of_db db ~domain =
+  let rels =
+    Array.map
+      (fun r ->
+        let arity = Rdb.Relation.arity r in
+        let tuples =
+          Combinat.fold_cartesian
+            (fun acc js ->
+              let u = Array.map (List.nth domain) js in
+              if Rdb.Relation.mem r u then Tupleset.add u acc else acc)
+            Tupleset.empty ~width:arity ~bound:(List.length domain)
+        in
+        (arity, tuples))
+      (Rdb.Database.relations db)
+  in
+  algebra ~domain ~rels
+
+let run ~domain ~rels ~fuel program =
+  Ql_interp.run ~algebra:(algebra ~domain ~rels) ~fuel program

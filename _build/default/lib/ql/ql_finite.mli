@@ -1,0 +1,41 @@
+(** The finitary semantics of QL — Chandra and Harel's original language
+    [CH], which the paper's QL_hs modifies.  Values are finite relations
+    over an explicit finite domain [D]; this is the baseline the
+    experiments compare QL_hs against.
+
+    Rank bookkeeping: every value carries its rank.  The empty relation
+    is treated as rank-polymorphic on intersection (so freshly
+    initialized variables combine with anything), but complement and the
+    structural operators use the recorded rank. *)
+
+type value = { rank : int; tuples : Prelude.Tupleset.t }
+
+val empty : value
+(** The initial value of variables: the empty relation (recorded rank 0,
+    polymorphic under intersection). *)
+
+val of_tuples : rank:int -> Prelude.Tupleset.t -> value
+
+val algebra :
+  domain:int list ->
+  rels:(int * Prelude.Tupleset.t) array ->
+  value Ql_interp.algebra
+(** The QL algebra over finite domain [D = domain] with input relations
+    given as (arity, tuples).  [|Y| < ∞] is unavailable (footnote 9 — QL
+    proper has no such test). *)
+
+val algebra_of_db :
+  Rdb.Database.t -> domain:int list -> value Ql_interp.algebra
+(** Materialize a database's relations over the given finite domain and
+    build the algebra (intended for finite databases whose support lies
+    within [domain]). *)
+
+val run :
+  domain:int list ->
+  rels:(int * Prelude.Tupleset.t) array ->
+  fuel:int ->
+  Ql_ast.program ->
+  value Ql_interp.outcome
+
+val equal_value : value -> value -> bool
+(** Equality treating all empty relations alike. *)

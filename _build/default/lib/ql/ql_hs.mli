@@ -1,0 +1,42 @@
+(** QL_hs — the paper's modification of QL for highly symmetric r-dbs
+    (§3.3, Theorem 3.1).
+
+    Programs act on the representation [C_B = (T_B, ≅_B, C₁, ..., C_k)]:
+    term values are finite sets of representatives of [≅_B]-classes of a
+    common rank, all labelling paths of [T_B].  The operators follow the
+    paper's semantics exactly:
+
+    {ul
+    {- [E] is [T² ∩ {(a,a) | a ∈ D}];}
+    {- [Relᵢ] contains the input [Cᵢ];}
+    {- [e↑ = {ud | u ∈ e, ud ∈ T^{n+1}}] (offspring in the tree);}
+    {- [e↓] is the set of paths of [T^{n-1}] equivalent to tuples
+       obtained by projecting out the first coordinate;}
+    {- [e~] is the set of paths equivalent to tuples with the two
+       rightmost coordinates exchanged;}
+    {- [¬e = Tⁿ − e]; [∩] is set intersection;}
+    {- the tests [|Y| = 0?] and [|Y| = 1?] count representatives.}} *)
+
+type value = { rank : int; reps : Prelude.Tupleset.t }
+
+val empty : value
+
+val algebra : Hs.Hsdb.t -> value Ql_interp.algebra
+(** The QL_hs operations over a represented hs-r-db. *)
+
+val run : Hs.Hsdb.t -> fuel:int -> Ql_ast.program -> value Ql_interp.outcome
+
+val eval_term : Hs.Hsdb.t -> Ql_ast.term -> value
+(** Evaluate a closed term (variables read as empty). *)
+
+val denotation : Hs.Hsdb.t -> value -> cutoff:int -> Prelude.Tupleset.t
+(** The concrete relation denoted by a representative set, windowed to
+    tuples over [{0, ..., cutoff-1}]: the union of the classes of its
+    members.  Used to compare QL_hs against ground truth. *)
+
+val equal_value : value -> value -> bool
+(** Equality treating all empty values alike. *)
+
+val of_reps : Hs.Hsdb.t -> rank:int -> Prelude.Tupleset.t -> value
+(** Build a value from representative tuples (each is normalized to its
+    tree representative). *)

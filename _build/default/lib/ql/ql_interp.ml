@@ -1,0 +1,78 @@
+type 'v algebra = {
+  e_const : unit -> 'v;
+  rel : int -> 'v;
+  inter : 'v -> 'v -> 'v;
+  comp : 'v -> 'v;
+  up : 'v -> 'v;
+  down : 'v -> 'v;
+  swap : 'v -> 'v;
+  initial : 'v;
+  is_empty : 'v -> bool;
+  is_single : 'v -> bool;
+  is_finite : ('v -> bool) option;
+}
+
+exception Rank_error of string
+
+type 'v outcome = Halted of 'v array | Timeout | Ill_formed of string
+
+let rec eval_term ~algebra ~store = function
+  | Ql_ast.E -> algebra.e_const ()
+  | Ql_ast.Rel i -> algebra.rel i
+  | Ql_ast.Var i ->
+      if i < Array.length store then store.(i) else algebra.initial
+  | Ql_ast.Inter (e, f) ->
+      algebra.inter (eval_term ~algebra ~store e) (eval_term ~algebra ~store f)
+  | Ql_ast.Comp e -> algebra.comp (eval_term ~algebra ~store e)
+  | Ql_ast.Up e -> algebra.up (eval_term ~algebra ~store e)
+  | Ql_ast.Down e -> algebra.down (eval_term ~algebra ~store e)
+  | Ql_ast.Swap e -> algebra.swap (eval_term ~algebra ~store e)
+
+exception Out_of_fuel
+exception Unsupported of string
+
+let run ~algebra ~fuel program =
+  let nvars = max 1 (Ql_ast.max_var program + 1) in
+  let store = Array.make nvars algebra.initial in
+  let fuel = ref fuel in
+  let spend () =
+    decr fuel;
+    if !fuel < 0 then raise Out_of_fuel
+  in
+  let rec exec = function
+    | Ql_ast.Assign (i, e) ->
+        spend ();
+        store.(i) <- eval_term ~algebra ~store e
+    | Ql_ast.Seq (p, q) ->
+        exec p;
+        exec q
+    | Ql_ast.While_empty (i, p) ->
+        while algebra.is_empty store.(i) do
+          spend ();
+          exec p
+        done
+    | Ql_ast.While_single (i, p) ->
+        while algebra.is_single store.(i) do
+          spend ();
+          exec p
+        done
+    | Ql_ast.While_finite (i, p) -> begin
+        match algebra.is_finite with
+        | None ->
+            raise (Unsupported "the |Y| < ∞ test is not available here")
+        | Some is_finite ->
+            while is_finite store.(i) do
+              spend ();
+              exec p
+            done
+      end
+  in
+  match exec program with
+  | () -> Halted store
+  | exception Out_of_fuel -> Timeout
+  | exception Rank_error msg -> Ill_formed msg
+  | exception Unsupported msg -> Ill_formed msg
+
+let result = function
+  | Halted store -> Some store.(0)
+  | Timeout | Ill_formed _ -> None

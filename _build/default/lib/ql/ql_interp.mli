@@ -1,0 +1,45 @@
+(** The QL interpreter, generic in the value algebra.
+
+    Each of the three semantics (finite [CH], QL_hs, QL_f+) supplies the
+    same signature of operations over its own notion of "relation value";
+    the control structure (assignment, sequencing, the while tests) is
+    shared here.  All interpreters are fuelled so that tests of
+    non-halting programs stay total — a program that exhausts its fuel
+    reports [Timeout], modelling divergence (the "undefined" outcome of
+    QL program application). *)
+
+type 'v algebra = {
+  e_const : unit -> 'v;  (** the term E *)
+  rel : int -> 'v;  (** Relᵢ *)
+  inter : 'v -> 'v -> 'v;
+  comp : 'v -> 'v;
+  up : 'v -> 'v;
+  down : 'v -> 'v;
+  swap : 'v -> 'v;
+  initial : 'v;  (** value of an unassigned variable (the empty set) *)
+  is_empty : 'v -> bool;  (** the [|Y| = 0?] test *)
+  is_single : 'v -> bool;  (** the [|Y| = 1?] test *)
+  is_finite : ('v -> bool) option;
+      (** the [|Y| < ∞?] test; [None] if the language lacks it *)
+}
+
+exception Rank_error of string
+(** Raised by algebra operations on ill-ranked applications (e.g. [↓] on
+    rank 0, [∩] of different ranks). *)
+
+type 'v outcome =
+  | Halted of 'v array  (** final variable store *)
+  | Timeout  (** fuel exhausted — models divergence *)
+  | Ill_formed of string
+      (** a [Rank_error], or an unsupported test for this semantics *)
+
+val run :
+  algebra:'v algebra -> fuel:int -> Ql_ast.program -> 'v outcome
+(** Execute a program from the all-empty store.  [fuel] bounds the number
+    of assignments executed. *)
+
+val result : 'v outcome -> 'v option
+(** The contents of [Y1] if halted. *)
+
+val eval_term : algebra:'v algebra -> store:'v array -> Ql_ast.term -> 'v
+(** Evaluate a single term against a store (for tests and the REPL). *)

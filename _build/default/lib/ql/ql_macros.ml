@@ -1,0 +1,44 @@
+open Ql_ast
+
+let union e f = Comp (Inter (Comp e, Comp f))
+let diff e f = Inter (e, Comp f)
+let symmetric_closure e = union e (Swap e)
+let truth = Down (Down E)
+let falsity = Comp truth
+
+let nonempty_flag ~rank e =
+  let rec downs k acc = if k = 0 then acc else downs (k - 1) (Down acc) in
+  downs rank e
+
+let seq = function
+  | [] -> invalid_arg "Ql_macros.seq: empty sequence"
+  | p :: rest -> List.fold_left (fun acc q -> Seq (acc, q)) p rest
+
+let if_empty ~flag ~cond ~rank p =
+  (* flag := {()} iff cond nonempty; run p while flag empty, then force
+     the flag nonempty so the loop exits after one iteration. *)
+  seq
+    [
+      Assign (flag, nonempty_flag ~rank cond);
+      While_empty (flag, seq [ p; Assign (flag, truth) ]);
+    ]
+
+let if_nonempty ~flag ~cond ~rank p =
+  (* flag := {()} iff cond empty. *)
+  seq
+    [
+      Assign (flag, Comp (nonempty_flag ~rank cond));
+      While_empty (flag, seq [ p; Assign (flag, truth) ]);
+    ]
+
+let if_then_else ~flag1 ~flag2 ~cond ~rank p q =
+  seq [ if_empty ~flag:flag1 ~cond ~rank p; if_nonempty ~flag:flag2 ~cond ~rank q ]
+
+let counter_zero y = Assign (y, truth)
+let counter_incr y = Assign (y, Up (Var y))
+let counter_decr y = Assign (y, Down (Var y))
+
+let counter_add_const y k =
+  if k < 0 then invalid_arg "Ql_macros.counter_add_const: negative";
+  if k = 0 then Assign (y, Var y)
+  else seq (List.init k (fun _ -> counter_incr y))

@@ -1,0 +1,68 @@
+(** Derived QL constructs, programmed from the primitives as in [CH]
+    ("the conventional operators … can be programmed in QL_hs precisely
+    as is done in [CH]").
+
+    Variable hygiene is explicit: macros that need scratch variables take
+    them as arguments; callers pass indices not otherwise used. *)
+
+val union : Ql_ast.term -> Ql_ast.term -> Ql_ast.term
+(** e ∪ f = ¬(¬e ∩ ¬f). *)
+
+val diff : Ql_ast.term -> Ql_ast.term -> Ql_ast.term
+(** e − f = e ∩ ¬f. *)
+
+val symmetric_closure : Ql_ast.term -> Ql_ast.term
+(** e ∪ e~ (for rank-2 terms). *)
+
+val truth : Ql_ast.term
+(** The rank-0 singleton [{()}] — [E↓↓], the counter "0" of the
+    completeness proof ("E↓↓ plays the role of 0"). *)
+
+val falsity : Ql_ast.term
+(** The rank-0 empty relation ¬(E↓↓). *)
+
+val nonempty_flag : rank:int -> Ql_ast.term -> Ql_ast.term
+(** [nonempty_flag ~rank e] is [e↓…↓] ([rank] times): the rank-0
+    singleton iff [e] is non-empty.  The caller must know the static
+    rank of [e]. *)
+
+val seq : Ql_ast.program list -> Ql_ast.program
+(** Sequence a non-empty list of programs. *)
+
+val if_empty :
+  flag:int -> cond:Ql_ast.term -> rank:int -> Ql_ast.program -> Ql_ast.program
+(** [if_empty ~flag ~cond ~rank p]: run [p] once iff the rank-[rank] term
+    [cond] is empty.  Implemented with a [while |Y_flag| = 0] loop whose
+    body sets the flag ([CH]'s encoding); [flag] must be fresh. *)
+
+val if_nonempty :
+  flag:int -> cond:Ql_ast.term -> rank:int -> Ql_ast.program -> Ql_ast.program
+
+val if_then_else :
+  flag1:int ->
+  flag2:int ->
+  cond:Ql_ast.term ->
+  rank:int ->
+  Ql_ast.program ->
+  Ql_ast.program ->
+  Ql_ast.program
+(** [if_then_else ~flag1 ~flag2 ~cond ~rank p q]: [p] if [cond] is empty,
+    else [q]. *)
+
+(** {1 Counters}
+
+    Numbers are represented by ranks, as in the Theorem 3.1 proof: the
+    counter value [i] is any non-empty relation of rank [i], canonically
+    [truth↑…↑]. *)
+
+val counter_zero : int -> Ql_ast.program
+(** [Y ← truth]. *)
+
+val counter_incr : int -> Ql_ast.program
+(** [Y ← Y↑]. *)
+
+val counter_decr : int -> Ql_ast.program
+(** [Y ← Y↓]. *)
+
+val counter_add_const : int -> int -> Ql_ast.program
+(** [counter_add_const y k]: increment [Y_y] k times. *)

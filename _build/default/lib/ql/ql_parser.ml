@@ -1,0 +1,228 @@
+exception Error of string
+
+type token =
+  | TE
+  | TREL of int
+  | TVAR of int
+  | TAMP
+  | TTILDE
+  | TUP
+  | TDOWN
+  | TSWAP
+  | TLPAR
+  | TRPAR
+  | TASSIGN
+  | TSEMI
+  | TWHILE
+  | TDO
+  | TLBRACE
+  | TRBRACE
+  | TPIPE
+  | TEQ
+  | TLT
+  | TNUM of int
+  | TINF
+  | TEOF
+
+let fail pos msg = raise (Error (Printf.sprintf "at offset %d: %s" pos msg))
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  let is_digit c = c >= '0' && c <= '9' in
+  let read_num () =
+    let start = !i in
+    while !i < n && is_digit s.[!i] do incr i done;
+    int_of_string (String.sub s start (!i - start))
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '&' then (push TAMP; incr i)
+    else if c = '~' then (push TTILDE; incr i)
+    else if c = '^' then (push TUP; incr i)
+    else if c = '%' then (push TSWAP; incr i)
+    else if c = '(' then (push TLPAR; incr i)
+    else if c = ')' then (push TRPAR; incr i)
+    else if c = ';' then (push TSEMI; incr i)
+    else if c = '{' then (push TLBRACE; incr i)
+    else if c = '}' then (push TRBRACE; incr i)
+    else if c = '|' then (push TPIPE; incr i)
+    else if c = '=' then (push TEQ; incr i)
+    else if c = '<' then
+      if !i + 1 < n && s.[!i + 1] = '-' then (push TASSIGN; i := !i + 2)
+      else (push TLT; incr i)
+    else if is_digit c then push (TNUM (read_num ()))
+    else if c = 'E' then (push TE; incr i)
+    else if c = '!' then (push TDOWN; incr i)
+    else begin
+      (* keywords and indexed names *)
+      let start = !i in
+      while
+        !i < n
+        && ((s.[!i] >= 'a' && s.[!i] <= 'z') || (s.[!i] >= 'A' && s.[!i] <= 'Z'))
+      do
+        incr i
+      done;
+      let word = String.sub s start (!i - start) in
+      match word with
+      | "while" -> push TWHILE
+      | "do" -> push TDO
+      | "inf" -> push TINF
+      | "Rel" ->
+          if !i < n && is_digit s.[!i] then push (TREL (read_num () - 1))
+          else fail !i "expected a relation number after Rel"
+      | "Y" ->
+          if !i < n && is_digit s.[!i] then push (TVAR (read_num () - 1))
+          else fail !i "expected a variable number after Y"
+      | "" -> fail !i (Printf.sprintf "unexpected character %C" c)
+      | w -> fail start (Printf.sprintf "unexpected word %S" w)
+    end
+  done;
+  push TEOF;
+  Array.of_list (List.rev !toks)
+
+type state = { toks : token array; mutable pos : int }
+
+let peek st = st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+let expect st t msg = if peek st = t then advance st else fail st.pos msg
+
+(* Term parsing: postfix binds tightest, then prefix complement,
+   then left-associative intersection. *)
+let rec parse_term st =
+  let rec loop acc =
+    if peek st = TAMP then begin
+      advance st;
+      loop (Ql_ast.Inter (acc, parse_unary st))
+    end
+    else acc
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | TTILDE ->
+      advance st;
+      Ql_ast.Comp (parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec loop acc =
+    match peek st with
+    | TUP -> advance st; loop (Ql_ast.Up acc)
+    | TDOWN -> advance st; loop (Ql_ast.Down acc)
+    | TSWAP -> advance st; loop (Ql_ast.Swap acc)
+    | _ -> acc
+  in
+  loop (parse_atom st)
+
+and parse_atom st =
+  match peek st with
+  | TE -> advance st; Ql_ast.E
+  | TREL i ->
+      advance st;
+      if i < 0 then fail st.pos "relation numbers start at 1";
+      Ql_ast.Rel i
+  | TVAR i ->
+      advance st;
+      if i < 0 then fail st.pos "variable numbers start at 1";
+      Ql_ast.Var i
+  | TLPAR ->
+      advance st;
+      let e = parse_term st in
+      expect st TRPAR "expected ')'";
+      e
+  | _ -> fail st.pos "expected a term"
+
+let rec parse_program st =
+  let first = parse_statement st in
+  if peek st = TSEMI then begin
+    advance st;
+    Ql_ast.Seq (first, parse_program st)
+  end
+  else first
+
+and parse_statement st =
+  match peek st with
+  | TVAR i ->
+      advance st;
+      expect st TASSIGN "expected '<-'";
+      Ql_ast.Assign (i, parse_term st)
+  | TWHILE -> begin
+      advance st;
+      expect st TPIPE "expected '|'";
+      let i =
+        match peek st with
+        | TVAR i -> advance st; i
+        | _ -> fail st.pos "expected a variable"
+      in
+      expect st TPIPE "expected '|'";
+      match peek st with
+      | TEQ -> begin
+          advance st;
+          match peek st with
+          | TNUM 0 ->
+              advance st;
+              Ql_ast.While_empty (i, parse_block st)
+          | TNUM 1 ->
+              advance st;
+              Ql_ast.While_single (i, parse_block st)
+          | _ -> fail st.pos "expected 0 or 1"
+        end
+      | TLT ->
+          advance st;
+          expect st TINF "expected 'inf'";
+          Ql_ast.While_finite (i, parse_block st)
+      | _ -> fail st.pos "expected '=' or '<'"
+    end
+  | _ -> fail st.pos "expected an assignment or while loop"
+
+and parse_block st =
+  expect st TDO "expected 'do'";
+  expect st TLBRACE "expected '{'";
+  let p = parse_program st in
+  expect st TRBRACE "expected '}'";
+  p
+
+let term s =
+  let st = { toks = tokenize s; pos = 0 } in
+  let e = parse_term st in
+  expect st TEOF "trailing input after term";
+  e
+
+let program s =
+  let st = { toks = tokenize s; pos = 0 } in
+  let p = parse_program st in
+  expect st TEOF "trailing input after program";
+  p
+
+(* Printing in the parseable syntax.  Precedence: atoms/postfix (3),
+   prefix ~ (2), & (1). *)
+let rec print_term level e =
+  let paren needed s = if needed then "(" ^ s ^ ")" else s in
+  match e with
+  | Ql_ast.E -> "E"
+  | Ql_ast.Rel i -> Printf.sprintf "Rel%d" (i + 1)
+  | Ql_ast.Var i -> Printf.sprintf "Y%d" (i + 1)
+  | Ql_ast.Inter (a, b) ->
+      paren (level > 1) (print_term 1 a ^ " & " ^ print_term 2 b)
+  | Ql_ast.Comp a -> paren (level > 2) ("~" ^ print_term 2 a)
+  | Ql_ast.Up a -> print_term 3 a ^ "^"
+  | Ql_ast.Down a -> print_term 3 a ^ "!"
+  | Ql_ast.Swap a -> print_term 3 a ^ "%"
+
+let term_to_source e = print_term 0 e
+
+let rec program_to_source = function
+  | Ql_ast.Assign (i, e) ->
+      Printf.sprintf "Y%d <- %s" (i + 1) (term_to_source e)
+  | Ql_ast.Seq (p, q) -> program_to_source p ^ "; " ^ program_to_source q
+  | Ql_ast.While_empty (i, p) ->
+      Printf.sprintf "while |Y%d| = 0 do { %s }" (i + 1) (program_to_source p)
+  | Ql_ast.While_single (i, p) ->
+      Printf.sprintf "while |Y%d| = 1 do { %s }" (i + 1) (program_to_source p)
+  | Ql_ast.While_finite (i, p) ->
+      Printf.sprintf "while |Y%d| < inf do { %s }" (i + 1) (program_to_source p)

@@ -1,0 +1,36 @@
+(** Concrete syntax for QL terms and programs.
+
+    Terms:
+    {v
+    term  ::= "E" | "Rel" NUM | "Y" NUM
+            | term "&" term          (intersection; left associative)
+            | "~" term               (complement ¬)
+            | term "^"               (up ↑)
+            | term "!"               (down ↓)
+            | term "%"               (swap ~ of the paper; '%' avoids
+                                      clashing with our complement sign)
+            | "(" term ")"
+    v}
+    Postfix operators bind tightest, then prefix [~], then [&].
+
+    Programs:
+    {v
+    prog  ::= "Y" NUM "<-" term
+            | prog ";" prog
+            | "while" "|" "Y" NUM "|" "=" ("0" | "1") "do" "{" prog "}"
+            | "while" "|" "Y" NUM "|" "<" "inf" "do" "{" prog "}"
+    v}
+
+    The printer {!program_to_source} emits this syntax, and
+    [parse_program (program_to_source p) = p]. *)
+
+exception Error of string
+
+val term : string -> Ql_ast.term
+val program : string -> Ql_ast.program
+
+val term_to_source : Ql_ast.term -> string
+(** Parseable rendering (unlike [Ql_ast.term_to_string], which uses the
+    paper's symbols for display). *)
+
+val program_to_source : Ql_ast.program -> string

@@ -1,0 +1,1 @@
+lib/rdb/database.ml: Array List Prelude Printf Relation Tupleset

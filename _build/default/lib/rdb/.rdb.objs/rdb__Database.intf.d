@@ -1,0 +1,1 @@
+lib/rdb/database.mli: Prelude Relation

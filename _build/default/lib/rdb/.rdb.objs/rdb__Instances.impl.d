@@ -1,0 +1,1 @@
+lib/rdb/instances.ml: Array Database Float Ints List Prelude Printf Relation Tupleset

@@ -1,0 +1,1 @@
+lib/rdb/instances.mli: Database

@@ -1,0 +1,1 @@
+lib/rdb/relation.ml: Array List Prelude Printf Tuple Tupleset

@@ -1,0 +1,1 @@
+lib/rdb/relation.mli: Prelude

@@ -1,0 +1,58 @@
+open Prelude
+
+type domain = { dmem : int -> bool; dnth : int -> int }
+
+let nat_domain = { dmem = (fun _ -> true); dnth = (fun i -> i) }
+
+let domain_of_pred p =
+  let dnth i =
+    if i < 0 then invalid_arg "Database.domain: negative index";
+    let rec go seen x =
+      if p x then if seen = i then x else go (seen + 1) (x + 1)
+      else go seen (x + 1)
+    in
+    go 0 0
+  in
+  { dmem = p; dnth }
+
+type t = { name : string; domain : domain; rels : Relation.t array }
+
+let make ?(name = "B") ?(domain = nat_domain) rels = { name; domain; rels }
+let name b = b.name
+let domain b = b.domain
+let relations b = b.rels
+
+let relation b i =
+  if i < 0 || i >= Array.length b.rels then
+    invalid_arg (Printf.sprintf "Database.relation: index %d out of range" i);
+  b.rels.(i)
+
+let db_type b = Array.map Relation.arity b.rels
+let width b = Array.length b.rels
+let mem b i u = Relation.mem (relation b i) u
+
+let oracle_calls b =
+  Array.fold_left (fun acc r -> acc + Relation.calls r) 0 b.rels
+
+let reset_oracle_calls b = Array.iter Relation.reset_calls b.rels
+
+let of_finite ?(name = "B") ?(domain = nat_domain) specs =
+  let rels =
+    List.mapi
+      (fun i (arity, tuples) ->
+        Relation.of_tupleset
+          ~name:(Printf.sprintf "R%d" (i + 1))
+          ~arity
+          (Tupleset.of_lists tuples))
+      specs
+  in
+  make ~name ~domain (Array.of_list rels)
+
+let same_type b1 b2 = db_type b1 = db_type b2
+
+let restrict_to b elems =
+  let keep x = List.mem x elems in
+  let rels =
+    Array.map (fun r -> Relation.restrict r ~keep) b.rels
+  in
+  make ~name:(b.name ^ "|restricted") ~domain:b.domain rels

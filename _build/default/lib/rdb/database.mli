@@ -1,0 +1,58 @@
+(** Recursive relational databases (Definition 2.1): a named tuple of
+    recursive relations over a countable recursive domain.
+
+    The domain is ℕ by default; constructions that need fresh elements or
+    restricted domains (Proposition 2.5, Theorem 6.1) use an explicit
+    recursive subset of ℕ given by a membership test and an enumerator. *)
+
+type domain = {
+  dmem : int -> bool;  (** membership in D *)
+  dnth : int -> int;  (** [dnth i] is the i-th element of D (0-based) *)
+}
+
+val nat_domain : domain
+(** D = ℕ. *)
+
+val domain_of_pred : (int -> bool) -> domain
+(** Domain from a decidable predicate on ℕ (must be satisfied by infinitely
+    many naturals for the enumerator to be total). *)
+
+type t
+
+val make : ?name:string -> ?domain:domain -> Relation.t array -> t
+(** [make rels] builds an r-db of type [(arity rels.(0)), ...]. *)
+
+val name : t -> string
+val domain : t -> domain
+val relations : t -> Relation.t array
+val relation : t -> int -> Relation.t
+(** [relation b i] is Rᵢ, 0-based.  Raises [Invalid_argument] if out of
+    range. *)
+
+val db_type : t -> int array
+(** The type a = (a₁, ..., a_k) — the arities. *)
+
+val width : t -> int
+(** k, the number of relations. *)
+
+val mem : t -> int -> Prelude.Tuple.t -> bool
+(** [mem b i u] decides [u ∈ Rᵢ] through the instrumented oracle. *)
+
+val oracle_calls : t -> int
+(** Total number of oracle queries across all relations. *)
+
+val reset_oracle_calls : t -> unit
+
+val of_finite :
+  ?name:string -> ?domain:domain -> (int * int list list) list -> t
+(** [of_finite [(a1, tuples1); ...]] builds a database of finite relations;
+    each relation is given by its arity and tuple list.  Finite databases
+    are r-dbs, so the classical examples embed directly. *)
+
+val same_type : t -> t -> bool
+(** Whether two databases have the same type (Definition 2.2 requires it). *)
+
+val restrict_to : t -> int list -> t
+(** [restrict_to b elems] is the restriction of [b] to the given domain
+    elements — used to compare restrictions in the local-isomorphism test
+    (Definition 2.2(3)). *)

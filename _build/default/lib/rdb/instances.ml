@@ -1,0 +1,85 @@
+open Prelude
+
+let graph ?name edge =
+  let r =
+    Relation.make ~name:"E" ~arity:2 (fun u -> edge u.(0) u.(1))
+  in
+  Database.make ?name [| r |]
+
+let multiplication () =
+  let r =
+    Relation.make ~name:"MUL" ~arity:3 (fun u -> u.(2) = u.(0) * u.(1))
+  in
+  Database.make ~name:"multiplication" [| r |]
+
+let divides () =
+  let r =
+    Relation.make ~name:"DIV" ~arity:2 (fun u ->
+        u.(0) > 0 && u.(1) mod u.(0) = 0)
+  in
+  Database.make ~name:"divides" [| r |]
+
+let less_than () = graph ~name:"less_than" (fun x y -> x < y)
+
+(* Line position of node v under the paper's … 7 5 3 1 2 4 6 … coding,
+   shifted to 0-based nodes: even v sits at -v/2, odd v at (v+1)/2. *)
+let line_position v = if v mod 2 = 0 then -(v / 2) else (v + 1) / 2
+
+let successor_line () =
+  graph ~name:"line" (fun x y -> abs (line_position x - line_position y) = 1)
+
+let zdecode n = if n mod 2 = 1 then (n + 1) / 2 else -(n / 2)
+
+let grid_position n =
+  let a, b = Ints.cantor_unpair n in
+  (zdecode a, zdecode b)
+
+let grid () =
+  graph ~name:"grid" (fun m n ->
+      let x1, y1 = grid_position m and x2, y2 = grid_position n in
+      abs (x1 - x2) + abs (y1 - y2) = 1)
+
+let infinite_clique () = graph ~name:"clique" (fun x y -> x <> y)
+let empty_graph () = graph ~name:"empty" (fun _ _ -> false)
+
+let mod_cliques m =
+  if m <= 0 then invalid_arg "Instances.mod_cliques: m <= 0";
+  graph
+    ~name:(Printf.sprintf "mod%d_cliques" m)
+    (fun x y -> x <> y && x mod m = y mod m)
+
+let triangles () =
+  graph ~name:"triangles" (fun x y -> x <> y && x / 3 = y / 3)
+
+let rado () =
+  let adj x y =
+    if x = y then false
+    else
+      let lo = min x y and hi = max x y in
+      Ints.bit lo hi
+  in
+  graph ~name:"rado" adj
+
+let paper_b1 () =
+  Database.of_finite ~name:"paper_B1" [ (2, [ [ 0; 0 ]; [ 0; 1 ] ]) ]
+
+let paper_b2 () = Database.of_finite ~name:"paper_B2" [ (2, [ [ 2; 2 ] ]) ]
+
+let trigonometry ~scale =
+  if scale <= 0 then invalid_arg "Instances.trigonometry: scale <= 0";
+  let value f d =
+    let radians = float_of_int (d mod 360) *. Float.pi /. 180.0 in
+    int_of_float (floor (float_of_int scale *. (1.0 +. f radians)))
+  in
+  let table fname f =
+    Relation.make ~name:fname ~arity:2 (fun u -> u.(1) = value f u.(0))
+  in
+  Database.make ~name:"trigonometry" [| table "SIN" sin; table "COS" cos |]
+
+let finite_graph edges =
+  let s =
+    List.concat_map (fun (x, y) -> [ [ x; y ]; [ y; x ] ]) edges
+    |> Tupleset.of_lists
+  in
+  Database.make ~name:"finite_graph"
+    [| Relation.of_tupleset ~name:"E" ~arity:2 s |]

@@ -1,0 +1,71 @@
+(** A zoo of concrete recursive databases used by the examples, tests and
+    experiments.  Each value is a fresh database (instrumentation counters
+    are per-value, so callers may measure oracle traffic independently). *)
+
+val multiplication : unit -> Database.t
+(** The §2 opening example: the recursive relation
+    [{(x, y, z) | z = x·y}] (type (3)). *)
+
+val divides : unit -> Database.t
+(** [{(x, y) | x > 0 and x divides y}] (type (2)). *)
+
+val less_than : unit -> Database.t
+(** The strict order on ℕ (type (2)) — not highly symmetric. *)
+
+val line_position : int -> int
+(** The line position of node [v] under the §3 figure's coding (see
+    {!successor_line}): even nodes sit at [-v/2], odd nodes at
+    [(v+1)/2].  Exposed so equivalence oracles for this non-hs instance
+    can be defined analytically. *)
+
+val successor_line : unit -> Database.t
+(** The two-way infinite line of §3 under the coding
+    … 7–5–3–1–2–4–6 … from the paper's figure: node 0 pairs with node 1 at
+    the centre.  Undirected (both directed edges present).  Recursive but
+    {e not} highly symmetric. *)
+
+val grid_position : int -> int * int
+(** The ℤ²-position of node [n] in {!grid}: Cantor unpairing composed
+    with zig-zag decoding of each coordinate. *)
+
+val grid : unit -> Database.t
+(** The two-dimensional grid: nodes are ℤ²-points coded into ℕ, edges
+    join points at Manhattan distance 1.  The paper's §3.1 example of a
+    graph that is {e not} highly symmetric ("a grid … has an infinite
+    path as an induced subgraph"). *)
+
+val infinite_clique : unit -> Database.t
+(** The full infinite (irreflexive, undirected) clique — highly symmetric. *)
+
+val empty_graph : unit -> Database.t
+(** The graph with no edges — highly symmetric. *)
+
+val mod_cliques : int -> Database.t
+(** [mod_cliques m] partitions ℕ into [m] infinite cliques
+    (x ~ y iff x ≡ y (mod m), x ≠ y) — highly symmetric. *)
+
+val triangles : unit -> Database.t
+(** Infinitely many disjoint triangles ({0,1,2}, {3,4,5}, …) — highly
+    symmetric, the flavour of the paper's §3 example figure. *)
+
+val rado : unit -> Database.t
+(** The Rado graph via the BIT predicate: for x < y, x ~ y iff bit x of y
+    is 1 (symmetrized, irreflexive).  A recursive countable random graph,
+    hence highly symmetric (Proposition 3.2). *)
+
+val paper_b1 : unit -> Database.t
+(** §2: the database with R₁ = [{(a,a), (a,b)}] over a = 0, b = 1
+    (type (2)) — one half of the local-vs-global isomorphism example. *)
+
+val paper_b2 : unit -> Database.t
+(** §2: the database with R₂ = [{(c,c)}] over c = 2 (type (2)). *)
+
+val trigonometry : scale:int -> Database.t
+(** The §1 motivating example: a recursive database of trigonometric
+    values.  Type (2, 2): SIN = [{(d, v)}] and COS = [{(d, v)}] where [v]
+    is [⌊scale·(1 + sin(d°))⌋] (resp. cos), so v ∈ [0, 2·scale].  Keeping
+    rules instead of tables: membership is computed from the angle. *)
+
+val finite_graph : (int * int) list -> Database.t
+(** A finite undirected graph given by its edge list, embedded as an r-db
+    of type (2) (both directions of each edge are present). *)

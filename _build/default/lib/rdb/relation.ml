@@ -1,0 +1,65 @@
+open Prelude
+
+type t = {
+  name : string;
+  arity : int;
+  decide : Tuple.t -> bool;
+  counter : int ref;
+  log : (Tuple.t * bool) list ref option;
+}
+
+let make ?(name = "R") ~arity decide =
+  if arity < 0 then invalid_arg "Relation.make: negative arity";
+  { name; arity; decide; counter = ref 0; log = None }
+
+let arity r = r.arity
+let name r = r.name
+
+let mem r u =
+  if Tuple.rank u <> r.arity then
+    invalid_arg
+      (Printf.sprintf "Relation.mem: %s expects rank %d, got %d" r.name
+         r.arity (Tuple.rank u));
+  incr r.counter;
+  let answer = r.decide u in
+  (match r.log with
+  | None -> ()
+  | Some log -> log := (Array.copy u, answer) :: !log);
+  answer
+
+let calls r = !(r.counter)
+let reset_calls r = r.counter := 0
+
+let of_tupleset ?(name = "R") ~arity s =
+  Tupleset.iter
+    (fun u ->
+      if Tuple.rank u <> arity then
+        invalid_arg "Relation.of_tupleset: tuple rank mismatch")
+    s;
+  make ~name ~arity (fun u -> Tupleset.mem u s)
+
+let cofinite_of ?(name = "R") ~arity s =
+  Tupleset.iter
+    (fun u ->
+      if Tuple.rank u <> arity then
+        invalid_arg "Relation.cofinite_of: tuple rank mismatch")
+    s;
+  make ~name ~arity (fun u -> not (Tupleset.mem u s))
+
+let logged r =
+  let log = ref [] in
+  let r' =
+    {
+      name = r.name;
+      arity = r.arity;
+      decide = r.decide;
+      counter = r.counter;
+      log = Some log;
+    }
+  in
+  (r', fun () -> List.rev !log)
+
+let restrict ?name r ~keep =
+  let name = match name with Some n -> n | None -> r.name ^ "|" in
+  make ~name ~arity:r.arity (fun u ->
+      Array.for_all keep u && r.decide u)

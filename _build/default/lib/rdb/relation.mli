@@ -1,0 +1,43 @@
+(** Recursive relations (Definition 2.1): a relation of arity [a] over the
+    domain ℕ is a decision procedure on rank-[a] tuples.
+
+    Membership access is {e instrumented}: every query through {!mem} is
+    counted, and optionally logged.  Queries must go through this interface
+    — this is the paper's oracle discipline (Definition 2.4): a machine
+    computing an r-query may ask only questions of the form "is u ∈ R?".
+    The log is what the Proposition 2.5 construction consumes. *)
+
+type t
+
+val make : ?name:string -> arity:int -> (Prelude.Tuple.t -> bool) -> t
+(** [make ~arity f] wraps the decision procedure [f].  [f] is only ever
+    applied to tuples of rank [arity]. *)
+
+val arity : t -> int
+val name : t -> string
+
+val mem : t -> Prelude.Tuple.t -> bool
+(** [mem r u] decides [u ∈ R], counting (and logging) the query.
+    Raises [Invalid_argument] if [rank u <> arity r]. *)
+
+val calls : t -> int
+(** Number of {!mem} queries since creation or the last {!reset_calls}. *)
+
+val reset_calls : t -> unit
+
+val of_tupleset : ?name:string -> arity:int -> Prelude.Tupleset.t -> t
+(** A finite relation, given explicitly.  (Finite relations are recursive,
+    so finite databases embed into r-dbs.) *)
+
+val cofinite_of : ?name:string -> arity:int -> Prelude.Tupleset.t -> t
+(** The complement of a finite set of tuples of the given arity. *)
+
+val logged : t -> t * (unit -> (Prelude.Tuple.t * bool) list)
+(** [logged r] is a relation answering exactly as [r] plus a function
+    returning the queries asked so far (in order, with answers).  Used by
+    the Proposition 2.5 construction to reconstruct computation paths. *)
+
+val restrict : ?name:string -> t -> keep:(int -> bool) -> t
+(** [restrict r ~keep] is the restriction of [r] to tuples all of whose
+    components satisfy [keep] (used for "restriction of B to the elements
+    of u", Definition 2.2(3), and for the B₃ constructions). *)

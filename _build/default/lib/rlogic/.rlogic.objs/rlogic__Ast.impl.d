@@ -1,0 +1,1 @@
+lib/rlogic/ast.ml: Array Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/rlogic/ast.mli: Format

@@ -1,0 +1,1 @@
+lib/rlogic/parser.ml: Array Ast List Printf Rdb String

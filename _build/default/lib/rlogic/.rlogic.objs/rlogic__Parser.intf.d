@@ -1,0 +1,1 @@
+lib/rlogic/parser.mli: Ast Rdb

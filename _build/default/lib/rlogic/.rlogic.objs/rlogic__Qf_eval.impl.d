@@ -1,0 +1,1 @@
+lib/rlogic/qf_eval.ml: Array Ast Combinat List Prelude Rdb Tuple Tupleset

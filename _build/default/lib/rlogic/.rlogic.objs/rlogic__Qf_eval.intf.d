@@ -1,0 +1,1 @@
+lib/rlogic/qf_eval.mli: Ast Prelude Rdb

@@ -1,0 +1,132 @@
+type formula =
+  | True
+  | False
+  | Eq of string * string
+  | Mem of int * string array
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Implies of formula * formula
+  | Exists of string * formula
+  | Forall of string * formula
+
+type query =
+  | Undefined
+  | Query of { vars : string list; body : formula }
+
+let rec is_quantifier_free = function
+  | True | False | Eq _ | Mem _ -> true
+  | Not f -> is_quantifier_free f
+  | And (f, g) | Or (f, g) | Implies (f, g) ->
+      is_quantifier_free f && is_quantifier_free g
+  | Exists _ | Forall _ -> false
+
+let rec quantifier_rank = function
+  | True | False | Eq _ | Mem _ -> 0
+  | Not f -> quantifier_rank f
+  | And (f, g) | Or (f, g) | Implies (f, g) ->
+      max (quantifier_rank f) (quantifier_rank g)
+  | Exists (_, f) | Forall (_, f) -> 1 + quantifier_rank f
+
+let free_vars formula =
+  let seen = Hashtbl.create 8 in
+  let order = ref [] in
+  let note bound x =
+    if (not (List.mem x bound)) && not (Hashtbl.mem seen x) then begin
+      Hashtbl.add seen x ();
+      order := x :: !order
+    end
+  in
+  let rec go bound = function
+    | True | False -> ()
+    | Eq (x, y) ->
+        note bound x;
+        note bound y
+    | Mem (_, vars) -> Array.iter (note bound) vars
+    | Not f -> go bound f
+    | And (f, g) | Or (f, g) | Implies (f, g) ->
+        go bound f;
+        go bound g
+    | Exists (x, f) | Forall (x, f) -> go (x :: bound) f
+  in
+  go [] formula;
+  List.rev !order
+
+let conj = function
+  | [] -> True
+  | f :: rest -> List.fold_left (fun acc g -> And (acc, g)) f rest
+
+let disj = function
+  | [] -> False
+  | f :: rest -> List.fold_left (fun acc g -> Or (acc, g)) f rest
+
+let rec size = function
+  | True | False | Eq _ | Mem _ -> 1
+  | Not f -> 1 + size f
+  | And (f, g) | Or (f, g) | Implies (f, g) -> 1 + size f + size g
+  | Exists (_, f) | Forall (_, f) -> 1 + size f
+
+(* Precedence levels for printing with minimal parentheses:
+   0 implies (right assoc), 1 or, 2 and, 3 unary, 4 atoms. *)
+let rec pp_prec level ppf f =
+  let open Format in
+  let paren needed body =
+    if needed then fprintf ppf "(%t)" body else body ppf
+  in
+  match f with
+  | True -> pp_print_string ppf "true"
+  | False -> pp_print_string ppf "false"
+  | Eq (x, y) -> fprintf ppf "%s = %s" x y
+  | Not (Eq (x, y)) -> fprintf ppf "%s != %s" x y
+  | Mem (i, vars) ->
+      fprintf ppf "R%d(%a)" (i + 1)
+        (pp_print_array
+           ~pp_sep:(fun ppf () -> fprintf ppf ", ")
+           pp_print_string)
+        vars
+  | Not f -> paren (level > 3) (fun ppf -> fprintf ppf "!%a" (pp_prec 4) f)
+  | And (f, g) ->
+      paren (level > 2) (fun ppf ->
+          fprintf ppf "%a && %a" (pp_prec 2) f (pp_prec 3) g)
+  | Or (f, g) ->
+      paren (level > 1) (fun ppf ->
+          fprintf ppf "%a || %a" (pp_prec 1) f (pp_prec 2) g)
+  | Implies (f, g) ->
+      paren (level > 0) (fun ppf ->
+          fprintf ppf "%a -> %a" (pp_prec 1) f (pp_prec 0) g)
+  | Exists (x, f) ->
+      paren (level > 0) (fun ppf -> fprintf ppf "exists %s. %a" x (pp_prec 0) f)
+  | Forall (x, f) ->
+      paren (level > 0) (fun ppf -> fprintf ppf "forall %s. %a" x (pp_prec 0) f)
+
+let pp_formula ppf f = pp_prec 0 ppf f
+
+let pp_query ppf = function
+  | Undefined -> Format.pp_print_string ppf "undefined"
+  | Query { vars; body } ->
+      Format.fprintf ppf "{(%a) | %a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           Format.pp_print_string)
+        vars pp_formula body
+
+let formula_to_string f = Format.asprintf "%a" pp_formula f
+let query_to_string q = Format.asprintf "%a" pp_query q
+
+let well_formed ~db_type = function
+  | Undefined -> true
+  | Query { vars; body } ->
+      let declared = vars in
+      let rec go bound = function
+        | True | False -> true
+        | Eq (x, y) -> List.mem x bound && List.mem y bound
+        | Mem (i, args) ->
+            i >= 0
+            && i < Array.length db_type
+            && Array.length args = db_type.(i)
+            && Array.for_all (fun x -> List.mem x bound) args
+        | Not f -> go bound f
+        | And (f, g) | Or (f, g) | Implies (f, g) -> go bound f && go bound g
+        | Exists (x, f) | Forall (x, f) -> go (x :: bound) f
+      in
+      go declared body

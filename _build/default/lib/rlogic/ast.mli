@@ -1,0 +1,63 @@
+(** First-order relational calculus ASTs.
+
+    One formula type serves both languages of the paper:
+    {ul
+    {- L⁻ (§2): the quantifier-free fragment, complete for computable
+       queries over arbitrary r-dbs (Theorem 2.1);}
+    {- L (§6): full first-order logic, BP-complete for highly symmetric
+       r-dbs (Theorem 6.3).}}
+
+    Queries are set-builder expressions
+    [{(x₁, ..., xₙ) | φ(x₁, ..., xₙ, R₁, ..., R_k)}], plus the special
+    expression [undefined] for the everywhere-undefined query. *)
+
+type formula =
+  | True
+  | False
+  | Eq of string * string  (** xᵢ = xⱼ *)
+  | Mem of int * string array
+      (** [Mem (i, vars)]: (x_{j₁}, ..., x_{j_{aᵢ}}) ∈ Rᵢ, 0-based
+          relation index.  A rank-0 relation gives [Mem (i, [||])],
+          the legal atom [() ∈ R] of §2. *)
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Implies of formula * formula
+  | Exists of string * formula
+  | Forall of string * formula
+
+type query =
+  | Undefined  (** the special L⁻ expression [undefined] *)
+  | Query of { vars : string list; body : formula }
+      (** [vars] are the free variables, in output-column order; [body]
+          may mention only them and quantified variables. *)
+
+val is_quantifier_free : formula -> bool
+(** Whether a formula lies in L⁻. *)
+
+val quantifier_rank : formula -> int
+(** Maximum quantifier nesting depth (the [r] of [≡_r], §3.2). *)
+
+val free_vars : formula -> string list
+(** Free variables in order of first occurrence. *)
+
+val conj : formula list -> formula
+(** Conjunction of a list ([True] on empty), right-nested. *)
+
+val disj : formula list -> formula
+(** Disjunction of a list ([False] on empty), right-nested. *)
+
+val size : formula -> int
+(** Number of AST nodes — used by enumeration experiments. *)
+
+val pp_formula : Format.formatter -> formula -> unit
+(** Prints in the concrete syntax accepted by {!Parser} ([&&], [||], [!],
+    [->], [exists x.], [R1(x,y)], [x = y]). *)
+
+val pp_query : Format.formatter -> query -> unit
+val formula_to_string : formula -> string
+val query_to_string : query -> string
+
+val well_formed : db_type:int array -> query -> bool
+(** Arities of all [Mem] atoms match the database type, relation indices
+    are in range, and every free variable of the body is declared. *)

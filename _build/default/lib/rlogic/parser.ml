@@ -1,0 +1,226 @@
+exception Error of string
+
+type token =
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | PIPE
+  | AMPAMP
+  | PIPEPIPE
+  | BANG
+  | ARROW
+  | EQ
+  | NEQ
+  | DOT
+  | IDENT of string
+  | EOF
+
+let fail pos msg = raise (Error (Printf.sprintf "at offset %d: %s" pos msg))
+
+let tokenize s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let push t = tokens := t :: !tokens in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '\''
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '{' then (push LBRACE; incr i)
+    else if c = '}' then (push RBRACE; incr i)
+    else if c = '(' then (push LPAREN; incr i)
+    else if c = ')' then (push RPAREN; incr i)
+    else if c = ',' then (push COMMA; incr i)
+    else if c = '.' then (push DOT; incr i)
+    else if c = '=' then (push EQ; incr i)
+    else if c = '&' then
+      if !i + 1 < n && s.[!i + 1] = '&' then (push AMPAMP; i := !i + 2)
+      else fail !i "expected '&&'"
+    else if c = '|' then
+      if !i + 1 < n && s.[!i + 1] = '|' then (push PIPEPIPE; i := !i + 2)
+      else (push PIPE; incr i)
+    else if c = '!' then
+      if !i + 1 < n && s.[!i + 1] = '=' then (push NEQ; i := !i + 2)
+      else (push BANG; incr i)
+    else if c = '-' then
+      if !i + 1 < n && s.[!i + 1] = '>' then (push ARROW; i := !i + 2)
+      else fail !i "expected '->'"
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do incr i done;
+      push (IDENT (String.sub s start (!i - start)))
+    end
+    else fail !i (Printf.sprintf "unexpected character %C" c)
+  done;
+  push EOF;
+  Array.of_list (List.rev !tokens)
+
+let default_rels name =
+  let len = String.length name in
+  if len >= 2 && name.[0] = 'R' then
+    match int_of_string_opt (String.sub name 1 (len - 1)) with
+    | Some i when i >= 1 -> Some (i - 1)
+    | _ -> None
+  else None
+
+let rels_of_database db name =
+  let rels = Rdb.Database.relations db in
+  let found = ref None in
+  Array.iteri
+    (fun i r -> if !found = None && Rdb.Relation.name r = name then found := Some i)
+    rels;
+  match !found with Some i -> Some i | None -> default_rels name
+
+type state = { toks : token array; mutable pos : int; rels : string -> int option }
+
+let peek st = st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let expect st t msg =
+  if peek st = t then advance st else fail st.pos msg
+
+let ident st =
+  match peek st with
+  | IDENT x -> advance st; x
+  | _ -> fail st.pos "expected identifier"
+
+let rec parse_formula st =
+  let lhs = parse_or st in
+  if peek st = ARROW then begin
+    advance st;
+    let rhs = parse_formula st in
+    Ast.Implies (lhs, rhs)
+  end
+  else lhs
+
+and parse_or st =
+  let rec loop acc =
+    if peek st = PIPEPIPE then begin
+      advance st;
+      let rhs = parse_and st in
+      loop (Ast.Or (acc, rhs))
+    end
+    else acc
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let rec loop acc =
+    if peek st = AMPAMP then begin
+      advance st;
+      let rhs = parse_unary st in
+      loop (Ast.And (acc, rhs))
+    end
+    else acc
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | BANG ->
+      advance st;
+      Ast.Not (parse_unary st)
+  | IDENT "exists" ->
+      advance st;
+      let x = ident st in
+      expect st DOT "expected '.' after quantified variable";
+      Ast.Exists (x, parse_formula st)
+  | IDENT "forall" ->
+      advance st;
+      let x = ident st in
+      expect st DOT "expected '.' after quantified variable";
+      Ast.Forall (x, parse_formula st)
+  | IDENT "true" -> advance st; Ast.True
+  | IDENT "false" -> advance st; Ast.False
+  | LPAREN ->
+      advance st;
+      let f = parse_formula st in
+      expect st RPAREN "expected ')'";
+      f
+  | IDENT name -> begin
+      advance st;
+      match peek st with
+      | LPAREN ->
+          advance st;
+          let args =
+            if peek st = RPAREN then []
+            else begin
+              let rec more acc =
+                if peek st = COMMA then begin
+                  advance st;
+                  more (ident st :: acc)
+                end
+                else List.rev acc
+              in
+              more [ ident st ]
+            end
+          in
+          expect st RPAREN "expected ')' after atom arguments";
+          let rel =
+            match st.rels name with
+            | Some i -> i
+            | None -> fail st.pos (Printf.sprintf "unknown relation %s" name)
+          in
+          Ast.Mem (rel, Array.of_list args)
+      | EQ ->
+          advance st;
+          Ast.Eq (name, ident st)
+      | NEQ ->
+          advance st;
+          Ast.Not (Ast.Eq (name, ident st))
+      | _ -> fail st.pos "expected '(' or '=' or '!=' after identifier"
+    end
+  | _ -> fail st.pos "expected a formula"
+
+let parse_vars st =
+  expect st LPAREN "expected '(' opening the variable list";
+  if peek st = RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec more acc =
+      if peek st = COMMA then begin
+        advance st;
+        more (ident st :: acc)
+      end
+      else begin
+        expect st RPAREN "expected ')' closing the variable list";
+        List.rev acc
+      end
+    in
+    more [ ident st ]
+  end
+
+let parse_query st =
+  match peek st with
+  | IDENT "undefined" ->
+      advance st;
+      expect st EOF "trailing input after 'undefined'";
+      Ast.Undefined
+  | LBRACE ->
+      advance st;
+      let vars = parse_vars st in
+      expect st PIPE "expected '|' after the variable list";
+      let body = parse_formula st in
+      expect st RBRACE "expected '}' closing the query";
+      expect st EOF "trailing input after query";
+      Ast.Query { vars; body }
+  | _ -> fail st.pos "expected 'undefined' or '{'"
+
+let formula ?(rels = default_rels) s =
+  let st = { toks = tokenize s; pos = 0; rels } in
+  let f = parse_formula st in
+  expect st EOF "trailing input after formula";
+  f
+
+let query ?(rels = default_rels) s =
+  let st = { toks = tokenize s; pos = 0; rels } in
+  parse_query st

@@ -1,0 +1,35 @@
+(** Concrete syntax for L⁻ / L queries.
+
+    Grammar (quantifier scope extends as far right as possible):
+    {v
+    query   ::= "undefined"
+              | "{" "(" var ("," var)* ")" "|" formula "}"
+              | "{" "(" ")" "|" formula "}"          (rank-0 query)
+    formula ::= or_f ("->" formula)?
+    or_f    ::= and_f ("||" and_f)*
+    and_f   ::= unary ("&&" unary)*
+    unary   ::= "!" unary
+              | ("exists" | "forall") var "." formula
+              | "true" | "false"
+              | "(" formula ")"
+              | name "(" var ("," var)* ")"  |  name "(" ")"
+              | var "=" var | var "!=" var
+    v}
+    Relation names are resolved by the [rels] callback; the default
+    resolves ["R1"], ["R2"], … to 0-based indices. *)
+
+exception Error of string
+(** Raised with a message and position on syntax errors. *)
+
+val formula : ?rels:(string -> int option) -> string -> Ast.formula
+(** Parse a bare formula. *)
+
+val query : ?rels:(string -> int option) -> string -> Ast.query
+(** Parse a query. *)
+
+val default_rels : string -> int option
+(** ["R1" ↦ Some 0], ["R7" ↦ Some 6], anything else ↦ [None]. *)
+
+val rels_of_database : Rdb.Database.t -> string -> int option
+(** Resolve relation names against a database: its relations' names first,
+    then the [R<i>] fallback. *)

@@ -1,0 +1,68 @@
+open Prelude
+
+exception Unbound_variable of string
+
+let lookup env x =
+  match List.assoc_opt x env with
+  | Some v -> v
+  | None -> raise (Unbound_variable x)
+
+let rec eval_formula db ~env = function
+  | Ast.True -> true
+  | Ast.False -> false
+  | Ast.Eq (x, y) -> lookup env x = lookup env y
+  | Ast.Mem (i, vars) ->
+      Rdb.Database.mem db i (Array.map (lookup env) vars)
+  | Ast.Not f -> not (eval_formula db ~env f)
+  | Ast.And (f, g) -> eval_formula db ~env f && eval_formula db ~env g
+  | Ast.Or (f, g) -> eval_formula db ~env f || eval_formula db ~env g
+  | Ast.Implies (f, g) ->
+      (not (eval_formula db ~env f)) || eval_formula db ~env g
+  | Ast.Exists _ | Ast.Forall _ ->
+      invalid_arg "Qf_eval.eval_formula: quantifier in L- formula"
+
+let rec eval_bounded db ~cutoff ~env = function
+  | Ast.Exists (x, f) ->
+      let rec try_from a =
+        a < cutoff
+        && (eval_bounded db ~cutoff ~env:((x, a) :: env) f || try_from (a + 1))
+      in
+      try_from 0
+  | Ast.Forall (x, f) ->
+      let rec all_from a =
+        a >= cutoff
+        || (eval_bounded db ~cutoff ~env:((x, a) :: env) f && all_from (a + 1))
+      in
+      all_from 0
+  | Ast.Not f -> not (eval_bounded db ~cutoff ~env f)
+  | Ast.And (f, g) -> eval_bounded db ~cutoff ~env f && eval_bounded db ~cutoff ~env g
+  | Ast.Or (f, g) -> eval_bounded db ~cutoff ~env f || eval_bounded db ~cutoff ~env g
+  | Ast.Implies (f, g) ->
+      (not (eval_bounded db ~cutoff ~env f)) || eval_bounded db ~cutoff ~env g
+  | (Ast.True | Ast.False | Ast.Eq _ | Ast.Mem _) as atom ->
+      eval_formula db ~env atom
+
+let bind_tuple vars u =
+  if List.length vars <> Tuple.rank u then None
+  else Some (List.mapi (fun i x -> (x, u.(i))) vars)
+
+let mem db q u =
+  match q with
+  | Ast.Undefined -> None
+  | Ast.Query { vars; body } -> begin
+      match bind_tuple vars u with
+      | None -> Some false
+      | Some env -> Some (eval_formula db ~env body)
+    end
+
+let eval_upto db q ~cutoff =
+  match q with
+  | Ast.Undefined -> Tupleset.empty
+  | Ast.Query { vars; body } ->
+      let width = List.length vars in
+      Combinat.fold_cartesian
+        (fun acc u ->
+          let env = List.mapi (fun i x -> (x, u.(i))) vars in
+          if eval_formula db ~env body then Tupleset.add (Array.copy u) acc
+          else acc)
+        Tupleset.empty ~width ~bound:cutoff

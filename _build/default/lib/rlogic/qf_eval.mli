@@ -1,0 +1,34 @@
+(** Evaluation of L⁻ (quantifier-free) queries over r-dbs — the semantics
+    of §2 — plus a naive bounded-domain evaluator for full FO used as the
+    baseline in the Theorem 6.3 experiments.
+
+    A quantifier-free formula on a bound tuple needs only finitely many
+    oracle queries, which is why every L⁻ query is a recursive r-query
+    (first half of Theorem 2.1). *)
+
+exception Unbound_variable of string
+
+val eval_formula :
+  Rdb.Database.t -> env:(string * int) list -> Ast.formula -> bool
+(** Evaluate a {e quantifier-free} formula under an environment binding
+    variables to domain elements (later bindings shadow earlier ones).
+    Raises [Invalid_argument] on quantifiers, {!Unbound_variable} on
+    unbound variables. *)
+
+val eval_bounded :
+  Rdb.Database.t -> cutoff:int -> env:(string * int) list -> Ast.formula -> bool
+(** Full FO evaluation with quantifiers ranging over [{0, ..., cutoff-1}].
+    Not the true semantics on an infinite db — it is the approximation a
+    naive evaluator must make, against which the representative-based
+    evaluator of Theorem 6.3 is compared. *)
+
+val mem : Rdb.Database.t -> Ast.query -> Prelude.Tuple.t -> bool option
+(** [mem b q u]: [None] if [q] is [undefined]; otherwise [Some (u ∈ Q(B))].
+    The tuple is bound positionally to the query variables; rank mismatch
+    gives [Some false] only when ranks differ (a query of rank n contains
+    rank-n tuples only).  Requires [q] quantifier-free. *)
+
+val eval_upto :
+  Rdb.Database.t -> Ast.query -> cutoff:int -> Prelude.Tupleset.t
+(** Members of Q(B) among tuples over [{0, ..., cutoff-1}] (empty for
+    [undefined]).  Requires [q] quantifier-free. *)

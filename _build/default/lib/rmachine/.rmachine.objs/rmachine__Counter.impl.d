@@ -1,0 +1,1 @@
+lib/rmachine/counter.ml: Array Format List

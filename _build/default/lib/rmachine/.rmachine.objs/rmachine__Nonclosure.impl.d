@@ -1,0 +1,1 @@
+lib/rmachine/nonclosure.ml: Counter List Localiso Toy

@@ -1,0 +1,1 @@
+lib/rmachine/nonclosure.mli:

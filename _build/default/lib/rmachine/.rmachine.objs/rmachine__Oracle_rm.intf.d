@@ -1,0 +1,1 @@
+lib/rmachine/oracle_rm.mli: Prelude Rdb

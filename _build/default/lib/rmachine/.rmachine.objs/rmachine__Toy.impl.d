@@ -1,0 +1,1 @@
+lib/rmachine/toy.ml: Array Counter Ints List Prelude Rdb

@@ -1,0 +1,1 @@
+lib/rmachine/toy.mli: Counter Rdb

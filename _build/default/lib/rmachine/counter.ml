@@ -1,0 +1,74 @@
+type instr = Incr of int | Decr of int | Jz of int * int | Jmp of int | Halt
+
+type t = { ncounters : int; code : instr array }
+
+let make ~ncounters instrs =
+  if ncounters <= 0 then invalid_arg "Counter.make: no counters";
+  let check_counter i =
+    if i < 0 || i >= ncounters then
+      invalid_arg "Counter.make: counter index out of range"
+  in
+  let check_target a =
+    if a < 0 then invalid_arg "Counter.make: negative jump target"
+  in
+  List.iter
+    (function
+      | Incr i | Decr i -> check_counter i
+      | Jz (i, a) ->
+          check_counter i;
+          check_target a
+      | Jmp a -> check_target a
+      | Halt -> ())
+    instrs;
+  { ncounters; code = Array.of_list instrs }
+
+type outcome = Halted of int array | Out_of_fuel
+
+let run t ~input ~fuel =
+  let counters = Array.make t.ncounters 0 in
+  List.iteri (fun i x -> if i < t.ncounters then counters.(i) <- x) input;
+  let rec step pc fuel =
+    if fuel <= 0 then Out_of_fuel
+    else if pc < 0 || pc >= Array.length t.code then Halted counters
+    else
+      match t.code.(pc) with
+      | Halt -> Halted counters
+      | Incr i ->
+          counters.(i) <- counters.(i) + 1;
+          step (pc + 1) (fuel - 1)
+      | Decr i ->
+          counters.(i) <- max 0 (counters.(i) - 1);
+          step (pc + 1) (fuel - 1)
+      | Jz (i, a) ->
+          if counters.(i) = 0 then step a (fuel - 1) else step (pc + 1) (fuel - 1)
+      | Jmp a -> step a (fuel - 1)
+  in
+  step 0 fuel
+
+let halts_within t ~input ~steps =
+  match run t ~input ~fuel:steps with Halted _ -> true | Out_of_fuel -> false
+
+let addition =
+  (* while c1 <> 0 do (decr c1; incr c0) *)
+  make ~ncounters:2
+    [ Jz (1, 4); Decr 1; Incr 0; Jmp 0; Halt ]
+
+let busy_loop = make ~ncounters:1 [ Jmp 0 ]
+
+let halt_after k =
+  if k < 0 then invalid_arg "Counter.halt_after: negative";
+  (* Load k into counter 0 by k increments, then count it down. *)
+  let load = List.init k (fun _ -> Incr 0) in
+  make ~ncounters:1 (load @ [ Jz (0, max 0 (k + 4)); Decr 0; Jmp k ])
+
+let pp_instr ppf = function
+  | Incr i -> Format.fprintf ppf "inc c%d" i
+  | Decr i -> Format.fprintf ppf "dec c%d" i
+  | Jz (i, a) -> Format.fprintf ppf "jz c%d -> %d" i a
+  | Jmp a -> Format.fprintf ppf "jmp %d" a
+  | Halt -> Format.pp_print_string ppf "halt"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri (fun i ins -> Format.fprintf ppf "%2d: %a@," i pp_instr ins) t.code;
+  Format.fprintf ppf "@]"

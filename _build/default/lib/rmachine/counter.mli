@@ -1,0 +1,41 @@
+(** Counter machines.
+
+    Two roles in the reproduction: they are the effective machine class
+    behind the §1 non-closure example (via the Gödel numbering in
+    {!Toy}), and they witness the "QL_hs has the power of general
+    counter machines" step in the Theorem 3.1 proof — the counter
+    operations of [Ql.Ql_macros] mirror exactly this instruction set. *)
+
+type instr =
+  | Incr of int  (** increment counter i *)
+  | Decr of int  (** decrement counter i (floor at 0) *)
+  | Jz of int * int  (** jump to address if counter i is zero *)
+  | Jmp of int  (** unconditional jump *)
+  | Halt
+
+type t = { ncounters : int; code : instr array }
+
+val make : ncounters:int -> instr list -> t
+(** Validates counter indices; jump targets may point anywhere ≥ 0
+    (a target past the end halts). *)
+
+type outcome = Halted of int array  (** final counters *) | Out_of_fuel
+
+val run : t -> input:int list -> fuel:int -> outcome
+(** Execute from instruction 0 with the input loaded into the first
+    counters (the rest 0); [fuel] bounds executed instructions. *)
+
+val halts_within : t -> input:int list -> steps:int -> bool
+(** Whether the machine halts in at most [steps] instructions — the
+    primitive-recursive predicate inside the halting relation. *)
+
+val addition : t
+(** Counters (a, b) ↦ a + b in counter 0. *)
+
+val busy_loop : t
+(** Never halts. *)
+
+val halt_after : int -> t
+(** A machine that halts after roughly [k] steps regardless of input. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+(* The slow machine: on input z, loop z times, then halt by jumping
+   past the end.  Running time 3z + O(1). *)
+let slow_machine_code = Toy.slow_input_code
+
+(* An infinite family of non-halting machines with growing codes: the
+   suffix after the self-loop is unreachable padding. *)
+let loop_machine_code j =
+  Toy.encode (Counter.make ~ncounters:(j + 1) [ Counter.Jmp 0; Counter.Incr j ])
+
+type witness = {
+  halting : int * int;
+  looping : int * int;
+  halt_steps : int;
+}
+
+let find () =
+  let y1 = slow_machine_code in
+  (* z1 must be a non-halting code in the open window
+     ((y1-2)/3, 3·y1 + 1), distinct from y1, so that every atom over
+     {y1, z1} is false. *)
+  let lo = (y1 - 2) / 3 and hi = (3 * y1) + 1 in
+  let rec search j =
+    let z1 = loop_machine_code j in
+    if z1 > hi then
+      failwith "Nonclosure.find: loop-code family skipped the window"
+    else if z1 > lo && z1 <> y1 then z1
+    else search (j + 1)
+  in
+  let z1 = search 0 in
+  let halt_steps = (3 * z1) + 4 in
+  let y2 = loop_machine_code 0 and z2 = loop_machine_code 1 in
+  { halting = (y1, z1); looping = (y2, z2); halt_steps }
+
+let verify w =
+  let y1, z1 = w.halting and y2, z2 = w.looping in
+  let db = Toy.halting_relation () in
+  let atom_false (a, b, c) = not (Toy.halts_within ~x:a ~y:b ~z:c) in
+  let all_atoms (y, z) =
+    List.concat_map (fun a -> List.map (fun (b, c) -> (a, b, c)) [ (y, y); (y, z); (z, y); (z, z) ]) [ y; z ]
+  in
+  (* 1. same local isomorphism class *)
+  Localiso.Liso.check_same db [| y1; z1 |] [| y2; z2 |]
+  (* 2. all eight atoms false on both sides (redundant with 1 plus 3,
+        but checked directly) *)
+  && List.for_all atom_false (all_atoms (y1, z1))
+  && List.for_all atom_false (all_atoms (y2, z2))
+  (* 3. the halting pair is in the projection *)
+  && Toy.halts_within ~x:w.halt_steps ~y:y1 ~z:z1
+  (* 4. the looping pair stays out for a wide margin of bounds *)
+  && not (Toy.halts_within ~x:(10 * w.halt_steps) ~y:y2 ~z:z2)

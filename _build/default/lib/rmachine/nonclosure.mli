@@ -1,0 +1,44 @@
+(** The §1 non-closure phenomenon, made concrete (experiment E4).
+
+    Let R be the step-bounded halting relation ({!Toy.halting_relation})
+    and consider its projection [{(y, z) | ∃x R(x, y, z)}] — the (toy)
+    halting set.  L⁻ cannot express it: by Theorem 2.1 every computable
+    r-query is a union of [≅ₗ]-classes, and we exhibit two pairs in the
+    {e same} class of which exactly one is in the projection.  The
+    witness construction:
+
+    {ul
+    {- the "halting" pair ([y₁], [z₁]): [y₁] codes a machine whose
+       running time on input z is ≈ 3z, and [z₁] codes a non-halting
+       machine with [y₁/4 < z₁ < 3·y₁] — so every atom
+       [R(a, b, c)] with [a, b, c ∈ {y₁, z₁}] is false (the step bounds
+       on offer are always too small, or the machine consulted never
+       halts), yet [∃x R(x, y₁, z₁)] holds;}
+    {- the "looping" pair ([y₂], [z₂]): two distinct non-halting machine
+       codes — all atoms false and the projection fails.}}
+
+    Both pairs therefore have the same atomic diagram (all eight atoms
+    false, two distinct components), i.e. they are locally isomorphic. *)
+
+type witness = {
+  halting : int * int;  (** (y₁, z₁): in the projection *)
+  looping : int * int;  (** (y₂, z₂): not in the projection *)
+  halt_steps : int;  (** an x with R(x, y₁, z₁) *)
+}
+
+val find : unit -> witness
+(** Construct the witness (deterministic). *)
+
+val verify : witness -> bool
+(** Check everything: the two pairs are locally isomorphic over the
+    halting relation, [R(halt_steps, y₁, z₁)] holds, and the looping
+    side stays dead for a large margin of step bounds. *)
+
+val slow_machine_code : int
+(** The code [y₁] — a machine that halts on every input z after ≈ 3z
+    steps (but after more than [max (y₁, z)] steps for the relevant
+    range). *)
+
+val loop_machine_code : int -> int
+(** [loop_machine_code j]: the j-th member of an infinite family of
+    pairwise distinct non-halting machine codes (monotone in [j]). *)

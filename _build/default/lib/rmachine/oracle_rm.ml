@@ -1,0 +1,103 @@
+type instr =
+  | Inc of int
+  | Dec of int
+  | Jz of int * int
+  | Jmp of int
+  | Query of { rel : int; regs : int array; jump_if_member : int }
+  | Accept
+  | Reject
+
+type t = { nregs : int; code : instr array }
+
+let make ~nregs instrs =
+  if nregs <= 0 then invalid_arg "Oracle_rm.make: no registers";
+  let check_reg r =
+    if r < 0 || r >= nregs then
+      invalid_arg "Oracle_rm.make: register index out of range"
+  in
+  List.iter
+    (function
+      | Inc r | Dec r -> check_reg r
+      | Jz (r, _) -> check_reg r
+      | Jmp _ | Accept | Reject -> ()
+      | Query { regs; _ } -> Array.iter check_reg regs)
+    instrs;
+  { nregs; code = Array.of_list instrs }
+
+type outcome = Accepted | Rejected | Out_of_fuel
+
+let run t ~db ~input ~fuel =
+  let regs = Array.make t.nregs 0 in
+  Array.iteri (fun i x -> if i < t.nregs then regs.(i) <- x) input;
+  let rec step pc fuel =
+    if fuel <= 0 then Out_of_fuel
+    else if pc < 0 || pc >= Array.length t.code then Rejected
+    else
+      match t.code.(pc) with
+      | Accept -> Accepted
+      | Reject -> Rejected
+      | Inc r ->
+          regs.(r) <- regs.(r) + 1;
+          step (pc + 1) (fuel - 1)
+      | Dec r ->
+          regs.(r) <- max 0 (regs.(r) - 1);
+          step (pc + 1) (fuel - 1)
+      | Jz (r, a) ->
+          if regs.(r) = 0 then step a (fuel - 1) else step (pc + 1) (fuel - 1)
+      | Jmp a -> step a (fuel - 1)
+      | Query { rel; regs = rs; jump_if_member } ->
+          let u = Array.map (fun r -> regs.(r)) rs in
+          if Rdb.Database.mem db rel u then step jump_if_member (fuel - 1)
+          else step (pc + 1) (fuel - 1)
+  in
+  step 0 fuel
+
+let decider t ~fuel db u =
+  match run t ~db ~input:u ~fuel with
+  | Accepted -> true
+  | Rejected | Out_of_fuel -> false
+
+let member_of ~rel ~arity =
+  make ~nregs:(max 1 arity)
+    [
+      Query { rel; regs = Array.init arity Fun.id; jump_if_member = 2 };
+      Reject;
+      Accept;
+    ]
+
+let exists_forward_edge =
+  (* Registers: r0 = x (input), r1 = y (search counter),
+     r2 = max 0 (x - y), r3 = start-up scratch, then an "y > x" flag.
+     x = y exactly when r2 = 0 and the flag r3 = 0.
+     For y = 0, 1, 2, …: if (x, y) ∈ R and x ≠ y, accept; else y++.
+     Diverges (runs out of fuel) when no forward edge exists, like the
+     paper's machine on B₂. *)
+  make ~nregs:4
+    [
+      (* 0–4: r2 := x, moving x through r3 *)
+      Jz (0, 5);
+      Dec 0;
+      Inc 2;
+      Inc 3;
+      Jmp 0;
+      (* 5–8: restore x from r3 (leaving the flag r3 = 0) *)
+      Jz (3, 9);
+      Dec 3;
+      Inc 0;
+      Jmp 5;
+      (* 9: the oracle question "is (x, y) ∈ R?" *)
+      Query { rel = 0; regs = [| 0; 1 |]; jump_if_member = 16 };
+      (* 10–15: y := y + 1, maintaining r2 and the flag *)
+      Jz (2, 13);
+      Dec 2;
+      Jmp 14;
+      Inc 3;
+      Inc 1;
+      Jmp 9;
+      (* 16–20: edge found — accept iff x ≠ y (r2 ≠ 0 or flag ≠ 0) *)
+      Jz (2, 18);
+      Accept;
+      Jz (3, 20);
+      Accept;
+      Jmp 10;
+    ]

@@ -1,0 +1,45 @@
+(** Oracle machines in the sense of Definition 2.4.
+
+    The paper defines a recursive r-query by an oracle Turing machine
+    that "uses oracles for the relations of the input data base B to
+    decide whether u ∈ Q(B)", its only access to B being questions
+    "is u ∈ R?".  We realize this with register machines extended by a
+    [Query] instruction (an effectively equivalent model; see DESIGN.md):
+    all database access goes through [Rdb.Database.mem], i.e. through the
+    instrumented (and loggable) oracle interface — exactly the discipline
+    the Proposition 2.5 construction exploits. *)
+
+type instr =
+  | Inc of int
+  | Dec of int  (** floor at 0 *)
+  | Jz of int * int  (** jump if register zero *)
+  | Jmp of int
+  | Query of { rel : int; regs : int array; jump_if_member : int }
+      (** ask "is (r_{regs(0)}, …) ∈ Rel?"; jump on a positive answer *)
+  | Accept
+  | Reject
+
+type t = { nregs : int; code : instr array }
+
+val make : nregs:int -> instr list -> t
+
+type outcome = Accepted | Rejected | Out_of_fuel
+
+val run : t -> db:Rdb.Database.t -> input:int array -> fuel:int -> outcome
+(** Execute with the input tuple loaded into the first registers.
+    Falling off the end rejects. *)
+
+val decider :
+  t -> fuel:int -> Rdb.Database.t -> Prelude.Tuple.t -> bool
+(** The r-query decision procedure computed by the machine
+    ([Out_of_fuel] counts as rejection — callers choose fuel large
+    enough for their instances). *)
+
+val member_of : rel:int -> arity:int -> t
+(** Accept iff the input tuple belongs to relation [rel]. *)
+
+val exists_forward_edge : t
+(** The §2 example query [{x | ∃y (x ≠ y ∧ (x, y) ∈ R)}] as an honest
+    oracle machine over graphs: searches y = 0, 1, 2, … and accepts on
+    the first hit (diverges — runs out of fuel — when there is none,
+    like the paper's machine). *)

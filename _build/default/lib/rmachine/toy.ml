@@ -1,0 +1,79 @@
+open Prelude
+
+(* Each instruction becomes a natural number; a program becomes the
+   base-3 number whose digits are the instructions' binary digits (0/1)
+   separated by the digit 2. *)
+
+let instr_code = function
+  | Counter.Incr i -> (5 * i) + 0
+  | Counter.Decr i -> (5 * i) + 1
+  | Counter.Jz (i, a) -> (5 * Ints.cantor_pair i a) + 2
+  | Counter.Jmp a -> (5 * a) + 3
+  | Counter.Halt -> 4
+
+let instr_of_code c =
+  let arg = c / 5 in
+  match c mod 5 with
+  | 0 -> Counter.Incr arg
+  | 1 -> Counter.Decr arg
+  | 2 ->
+      let i, a = Ints.cantor_unpair arg in
+      Counter.Jz (i, a)
+  | 3 -> Counter.Jmp arg
+  | _ -> Counter.Halt
+
+let encode (m : Counter.t) =
+  let digit_chunks =
+    Array.to_list m.Counter.code
+    |> List.map (fun ins -> Ints.digits ~base:2 (instr_code ins))
+  in
+  let all_digits =
+    match digit_chunks with
+    | [] -> []
+    | first :: rest ->
+        first @ List.concat_map (fun chunk -> 2 :: chunk) rest
+  in
+  Ints.of_digits ~base:3 all_digits
+
+let decode n =
+  if n < 0 then invalid_arg "Toy.decode: negative code";
+  let digits = Ints.digits ~base:3 n in
+  let chunks =
+    List.fold_right
+      (fun d (current, done_chunks) ->
+        if d = 2 then ([], current :: done_chunks)
+        else (d :: current, done_chunks))
+      digits ([], [])
+    |> fun (last, chunks) -> last :: chunks
+  in
+  (* fold_right keeps chunk order consistent with digit order. *)
+  let instrs =
+    List.map (fun chunk -> instr_of_code (Ints.of_digits ~base:2 chunk)) chunks
+  in
+  let ncounters =
+    1
+    + List.fold_left
+        (fun acc ins ->
+          match ins with
+          | Counter.Incr i | Counter.Decr i | Counter.Jz (i, _) -> max acc i
+          | Counter.Jmp _ | Counter.Halt -> acc)
+        0 instrs
+  in
+  Counter.make ~ncounters instrs
+
+let halts_within ~x ~y ~z =
+  Counter.halts_within (decode y) ~input:[ z ] ~steps:x
+
+let halting_relation () =
+  let r =
+    Rdb.Relation.make ~name:"HALTSIN" ~arity:3 (fun u ->
+        halts_within ~x:u.(0) ~y:u.(1) ~z:u.(2))
+  in
+  Rdb.Database.make ~name:"step-bounded-halting" [| r |]
+
+let loop_code = encode Counter.busy_loop
+let immediate_halt_code = encode (Counter.make ~ncounters:1 [ Counter.Halt ])
+let slow_input_code =
+  encode
+    (Counter.make ~ncounters:1
+       [ Counter.Jz (0, 3); Counter.Decr 0; Counter.Jmp 0 ])

@@ -1,0 +1,39 @@
+(** A Gödel numbering of counter machines, and the step-bounded halting
+    relation of the paper's §1 non-closure example:
+
+    "the primitive recursive relation R, such that R(x, y, z) holds for
+    a 3-tuple of natural numbers iff the y-th Turing machine halts on
+    input z after x steps"
+
+    — with counter machines standing in for Turing machines (an
+    effectively equivalent machine class; see DESIGN.md).  Every natural
+    number decodes to some machine, so the numbering is total, and
+    {!halting_relation} is a recursive database whose projection on
+    (y, z) is the (toy) halting problem. *)
+
+val encode : Counter.t -> int
+(** Gödel number of a machine.  [decode (encode m)] has the same
+    behaviour as [m]. *)
+
+val decode : int -> Counter.t
+(** Total: every natural is the code of some machine. *)
+
+val halting_relation : unit -> Rdb.Database.t
+(** The r-db of type (3) with
+    [R = {(x, y, z) | machine y halts on input z within x steps}]. *)
+
+val halts_within : x:int -> y:int -> z:int -> bool
+(** The relation itself. *)
+
+val loop_code : int
+(** Code of a machine that never halts. *)
+
+val immediate_halt_code : int
+(** Code of a machine that halts at once. *)
+
+val slow_input_code : int
+(** Code of a 3-instruction machine whose running time on input z is
+    3z + O(1): it halts on every input, but never within z steps.
+    (Gödel codes live in 63-bit integers, so long programs do not
+    encode — slowness must come from the input, not from program
+    length; {!encode} raises [Invalid_argument] on overflow.) *)

@@ -1,0 +1,1 @@
+test/test_bp.ml: Alcotest Array Bptheory Combinat Hs List Prelude Rdb Rlogic Tuple

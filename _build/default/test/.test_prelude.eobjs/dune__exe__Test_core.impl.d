@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Classes Combinat Core Diagram Gen Ints Lazy Lgq List Localiso Prelude Printf QCheck2 Rdb Rlogic String Test Test_support Tuple Tupleset

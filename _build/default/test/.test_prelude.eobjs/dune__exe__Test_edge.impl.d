@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Array Combinat Core Fcf Fincof Gen Genmach Hs Ints List Localiso Prelude QCheck2 QCheck_alcotest Ql Rdb Rlogic Rmachine String Test Tuple Tupleset

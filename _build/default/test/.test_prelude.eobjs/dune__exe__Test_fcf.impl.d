@@ -1,0 +1,1 @@
+test/test_fcf.ml: Alcotest Array Combinat Fcf Fcfdb Fincof Gen Hs Ints List Prelude Printf QCheck2 Ql Qlf String Test Test_support Tuple Tupleset

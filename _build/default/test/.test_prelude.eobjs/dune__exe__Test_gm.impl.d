@@ -1,0 +1,1 @@
+test/test_gm.ml: Alcotest Array Genmach Hs List Prelude Printf Ql Rdb String Test_support Tupleset

@@ -1,0 +1,1 @@
+test/test_hsdb.ml: Alcotest Array Combinat Gen Hs Ints List Localiso Prelude Printf QCheck2 QCheck_alcotest Rdb Rlogic String Test Test_support Tuple Tupleset

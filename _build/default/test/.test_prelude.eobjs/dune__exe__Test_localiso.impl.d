@@ -1,0 +1,1 @@
+test/test_localiso.ml: Alcotest Array Classes Diagram Gen Lgq Liso List Localiso Prelude Printf QCheck2 Rdb String Test Test_support Tuple Tupleset

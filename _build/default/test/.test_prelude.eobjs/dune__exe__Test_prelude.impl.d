@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Combinat Gen Ints List Prelude Printf QCheck2 Test Test_support Tuple Tupleset

@@ -1,0 +1,1 @@
+test/test_ql.ml: Alcotest Array Coding Combinat Hs List Prelude Printf QCheck2 Ql Ql_ast Ql_finite Ql_hs Ql_interp Ql_macros Ql_parser Rdb Rlogic String Test_support Tuple Tupleset

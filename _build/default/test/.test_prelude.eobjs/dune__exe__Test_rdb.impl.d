@@ -1,0 +1,1 @@
+test/test_rdb.ml: Alcotest Array Database Instances Ints List Prelude Printf Rdb Relation Test_support Tuple Tupleset

@@ -1,0 +1,1 @@
+test/test_rlogic.ml: Alcotest Ast List Parser Prelude QCheck2 Qf_eval Rdb Rlogic Test Test_support Tuple Tupleset

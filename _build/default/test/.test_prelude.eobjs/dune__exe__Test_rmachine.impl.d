@@ -1,0 +1,1 @@
+test/test_rmachine.ml: Alcotest Array Core Counter List Localiso Nonclosure Oracle_rm Prelude Printf Rdb Rmachine Toy

@@ -1,0 +1,49 @@
+(* Shared generators and helpers for the test suites. *)
+
+open Prelude
+
+let tuple_testable =
+  Alcotest.testable Tuple.pp Tuple.equal
+
+let tupleset_testable =
+  Alcotest.testable Tupleset.pp Tupleset.equal
+
+(* QCheck generator: a random finite database of the given type whose
+   relation contents mention elements < [universe]. *)
+let finite_db_gen ?(universe = 4) ~db_type () =
+  let open QCheck2.Gen in
+  let tuple_gen arity = array_size (pure arity) (int_bound (universe - 1)) in
+  let relation_gen arity =
+    list_size (int_bound 6) (tuple_gen arity) >|= fun tuples ->
+    Tupleset.of_list tuples
+  in
+  let rec rels = function
+    | [] -> pure []
+    | a :: rest ->
+        relation_gen a >>= fun s ->
+        rels rest >|= fun tail -> (a, s) :: tail
+  in
+  rels (Array.to_list db_type) >|= fun specs ->
+  let rels =
+    List.mapi
+      (fun i (a, s) ->
+        Rdb.Relation.of_tupleset ~name:(Printf.sprintf "R%d" (i + 1)) ~arity:a s)
+      specs
+  in
+  Rdb.Database.make ~name:"random" (Array.of_list rels)
+
+let tuple_gen ?(universe = 4) ~rank () =
+  QCheck2.Gen.array_size (QCheck2.Gen.pure rank)
+    (QCheck2.Gen.int_bound (universe - 1))
+
+(* A random pair (db, tuple) of the given type and rank. *)
+let pair_gen ?(universe = 4) ~db_type ~rank () =
+  let open QCheck2.Gen in
+  finite_db_gen ~universe ~db_type () >>= fun db ->
+  tuple_gen ~universe ~rank () >|= fun u -> (db, u)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck2.Test.make ~count ~name gen prop
+
+(* Convert QCheck tests to alcotest cases. *)
+let to_alcotest tests = List.map QCheck_alcotest.to_alcotest tests

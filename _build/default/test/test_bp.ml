@@ -1,0 +1,183 @@
+open Prelude
+
+let check = Alcotest.check
+let t = Tuple.of_list
+
+(* Small graph zoo for the gadget. *)
+let triangle = { Bptheory.Gadget.vertices = [ 0; 1; 2 ]; edges = [ (0, 1); (1, 2); (0, 2) ] }
+let path3 = { Bptheory.Gadget.vertices = [ 0; 1; 2 ]; edges = [ (0, 1); (1, 2) ] }
+let path3b = { Bptheory.Gadget.vertices = [ 7; 8; 9 ]; edges = [ (8, 7); (8, 9) ] }
+let square = { Bptheory.Gadget.vertices = [ 0; 1; 2; 3 ]; edges = [ (0, 1); (1, 2); (2, 3); (3, 0) ] }
+let star4 = { Bptheory.Gadget.vertices = [ 0; 1; 2; 3 ]; edges = [ (0, 1); (0, 2); (0, 3) ] }
+
+(* -------------------------------------------------------------------- *)
+(* Theorem 6.1 gadget                                                   *)
+
+let test_graph_iso_checker () =
+  Alcotest.(check bool) "path ≅ relabelled path" true
+    (Bptheory.Gadget.graphs_isomorphic path3 path3b);
+  Alcotest.(check bool) "triangle ≇ path" false
+    (Bptheory.Gadget.graphs_isomorphic triangle path3);
+  Alcotest.(check bool) "square ≇ star" false
+    (Bptheory.Gadget.graphs_isomorphic square star4);
+  Alcotest.(check bool) "different sizes" false
+    (Bptheory.Gadget.graphs_isomorphic triangle square)
+
+let test_gadget_structure () =
+  let g = Bptheory.Gadget.build ~g1:triangle ~g2:path3 in
+  (* a is the only R1 element. *)
+  Alcotest.(check bool) "a in R1" true
+    (Rdb.Database.mem g.Bptheory.Gadget.db 0 (t [ g.Bptheory.Gadget.a ]));
+  Alcotest.(check bool) "b not in R1" false
+    (Rdb.Database.mem g.Bptheory.Gadget.db 0 (t [ g.Bptheory.Gadget.b ]));
+  (* a-b and a-c edges; b adjacent to all of G1. *)
+  Alcotest.(check bool) "a-b" true
+    (Rdb.Database.mem g.Bptheory.Gadget.db 1 (t [ g.Bptheory.Gadget.a; g.Bptheory.Gadget.b ]));
+  Alcotest.(check bool) "a-c" true
+    (Rdb.Database.mem g.Bptheory.Gadget.db 1 (t [ g.Bptheory.Gadget.c; g.Bptheory.Gadget.a ]));
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "b adjacent to G1" true
+        (Rdb.Database.mem g.Bptheory.Gadget.db 1 (t [ g.Bptheory.Gadget.b; v ])))
+    g.Bptheory.Gadget.g1_vertices;
+  Alcotest.(check bool) "b not adjacent to G2" false
+    (Rdb.Database.mem g.Bptheory.Gadget.db 1
+       (t [ g.Bptheory.Gadget.b; List.hd g.Bptheory.Gadget.g2_vertices ]))
+
+let test_gadget_equivalence_tracks_isomorphism () =
+  List.iter
+    (fun (g1, g2) ->
+      let gadget = Bptheory.Gadget.build ~g1 ~g2 in
+      Alcotest.(check bool) "b ≅ c iff G1 ≅ G2"
+        (Bptheory.Gadget.graphs_isomorphic g1 g2)
+        (Bptheory.Gadget.b_equiv_c gadget))
+    [
+      (triangle, triangle);
+      (triangle, path3);
+      (path3, path3b);
+      (square, star4);
+      (square, square);
+      (triangle, square);
+    ]
+
+let test_separating_relation () =
+  (* Non-isomorphic graphs: {b} preserves the automorphisms. *)
+  let g = Bptheory.Gadget.build ~g1:triangle ~g2:path3 in
+  Alcotest.(check bool) "{b} preserves automorphisms" true
+    (Bptheory.Gadget.preserves_automorphisms g (Bptheory.Gadget.separating_relation g));
+  (* Isomorphic graphs: some automorphism swaps b and c, so {b} does
+     not preserve them. *)
+  let g' = Bptheory.Gadget.build ~g1:path3 ~g2:path3b in
+  Alcotest.(check bool) "{b} breaks automorphisms" false
+    (Bptheory.Gadget.preserves_automorphisms g' (Bptheory.Gadget.separating_relation g'))
+
+(* -------------------------------------------------------------------- *)
+(* Theorem 6.2: unary BP synthesis                                      *)
+
+let test_express_unary () =
+  (* B = (EVEN): unary db of even numbers; R = "pairs of equal parity
+     elements with both even", an automorphism-preserving rank-2
+     relation. *)
+  let even =
+    Rdb.Database.make ~name:"even"
+      [| Rdb.Relation.make ~name:"EVEN" ~arity:1 (fun u -> u.(0) mod 2 = 0) |]
+  in
+  let pred u = u.(0) mod 2 = 0 && u.(1) mod 2 = 0 in
+  let q = Bptheory.Bp.express_unary even ~rank:2 ~window:6 pred in
+  Alcotest.(check bool) "quantifier free" true
+    (match q with
+    | Rlogic.Ast.Query { body; _ } -> Rlogic.Ast.is_quantifier_free body
+    | Rlogic.Ast.Undefined -> false);
+  (* The synthesized L⁻ formula computes the relation everywhere. *)
+  Combinat.fold_cartesian
+    (fun () u ->
+      check (Alcotest.option Alcotest.bool)
+        (Tuple.to_string u)
+        (Some (pred u))
+        (Rlogic.Qf_eval.mem even q (Array.copy u)))
+    () ~width:2 ~bound:9
+
+let test_express_unary_rejects_binary () =
+  let db = Rdb.Instances.infinite_clique () in
+  Alcotest.check_raises "not unary"
+    (Invalid_argument "Bp.express_unary: database is not unary") (fun () ->
+      ignore (Bptheory.Bp.express_unary db ~rank:1 ~window:4 (fun _ -> true)))
+
+(* -------------------------------------------------------------------- *)
+(* Theorem 6.3: hs BP synthesis                                         *)
+
+let test_express_hs_on_triangles () =
+  let tri = Hs.Hsinstances.triangles () in
+  (* R = "distinct and adjacent" — a union of ≅_B-classes. *)
+  let pred u = u.(0) <> u.(1) && Rdb.Database.mem (Hs.Hsdb.db tri) 0 u in
+  Alcotest.(check bool) "pred preserves automorphisms" true
+    (Bptheory.Bp.preserves_automorphisms_hs tri ~rank:2 ~window:7 pred);
+  let q = Bptheory.Bp.express_hs tri ~rank:2 pred in
+  (* Evaluate the synthesized first-order expression via the tree. *)
+  Combinat.fold_cartesian
+    (fun () u ->
+      check (Alcotest.option Alcotest.bool)
+        (Tuple.to_string u)
+        (Some (pred u))
+        (Hs.Fo_eval.mem tri q (Array.copy u)))
+    () ~width:2 ~bound:7
+
+let test_express_hs_nontrivial_r0 () =
+  (* On path-of-3 copies some classes share diagrams (r0 = 2), so the
+     synthesis genuinely needs quantified Hintikka formulas. *)
+  let p3 =
+    Hs.Hsinstances.disjoint_copies
+      [ Hs.Hsinstances.undirected_path_component 3 ]
+  in
+  (* R = "x is a middle vertex" (degree 2). *)
+  let pred u = u.(0) mod 3 = 1 in
+  Alcotest.(check bool) "pred preserves automorphisms" true
+    (Bptheory.Bp.preserves_automorphisms_hs p3 ~rank:1 ~window:9 pred);
+  let q = Bptheory.Bp.express_hs p3 ~rank:1 pred in
+  (match q with
+  | Rlogic.Ast.Query { body; _ } ->
+      Alcotest.(check bool) "uses quantifiers" false
+        (Rlogic.Ast.is_quantifier_free body)
+  | Rlogic.Ast.Undefined -> Alcotest.fail "undefined");
+  Combinat.fold_cartesian
+    (fun () u ->
+      check (Alcotest.option Alcotest.bool)
+        (Tuple.to_string u)
+        (Some (pred u))
+        (Hs.Fo_eval.mem p3 q (Array.copy u)))
+    () ~width:1 ~bound:9
+
+let test_preserves_detector () =
+  let tri = Hs.Hsinstances.triangles () in
+  (* "x < 3" is not automorphism-preserving. *)
+  Alcotest.(check bool) "non-generic relation rejected" false
+    (Bptheory.Bp.preserves_automorphisms_hs tri ~rank:1 ~window:7 (fun u -> u.(0) < 3))
+
+let () =
+  Alcotest.run "bp"
+    [
+      ( "gadget",
+        [
+          Alcotest.test_case "graph iso checker" `Quick test_graph_iso_checker;
+          Alcotest.test_case "structure" `Quick test_gadget_structure;
+          Alcotest.test_case "b ≅ c iff G1 ≅ G2 (Thm 6.1)" `Quick
+            test_gadget_equivalence_tracks_isomorphism;
+          Alcotest.test_case "separating relation" `Quick
+            test_separating_relation;
+        ] );
+      ( "unary",
+        [
+          Alcotest.test_case "express (Thm 6.2)" `Quick test_express_unary;
+          Alcotest.test_case "rejects binary" `Quick
+            test_express_unary_rejects_binary;
+        ] );
+      ( "hs",
+        [
+          Alcotest.test_case "express on triangles (Thm 6.3)" `Quick
+            test_express_hs_on_triangles;
+          Alcotest.test_case "express with nontrivial r0" `Quick
+            test_express_hs_nontrivial_r0;
+          Alcotest.test_case "preservation detector" `Quick
+            test_preserves_detector;
+        ] );
+    ]

@@ -1,0 +1,327 @@
+open Prelude
+open Localiso
+
+let t = Tuple.of_list
+let check = Alcotest.check
+let qry = Alcotest.testable Rlogic.Ast.pp_query ( = )
+
+(* -------------------------------------------------------------------- *)
+(* Completeness: Theorem 2.1                                            *)
+
+let graph_reg = lazy (Classes.make ~db_type:[| 2 |] ~rank:1 ())
+let graph_reg2 = lazy (Classes.make ~db_type:[| 2 |] ~rank:2 ())
+
+let test_formula_of_diagram () =
+  let b = Rdb.Instances.paper_b1 () in
+  let d = Diagram.of_pair b (t [ 0; 1 ]) in
+  let vars = Core.Completeness.Diagram_vars.of_names [ "x"; "y" ] in
+  let f = Core.Completeness.formula_of_diagram vars d in
+  (* The formula must hold exactly on pairs with the same diagram. *)
+  let holds db u v =
+    Rlogic.Qf_eval.eval_formula db ~env:[ ("x", u); ("y", v) ] f
+  in
+  Alcotest.(check bool) "holds on (a,b)" true (holds b 0 1);
+  Alcotest.(check bool) "fails on (b,a)" false (holds b 1 0);
+  Alcotest.(check bool) "fails on (a,a)" false (holds b 0 0);
+  Alcotest.(check bool) "quantifier free" true (Rlogic.Ast.is_quantifier_free f)
+
+let test_query_of_lgq_eval () =
+  let reg = Lazy.force graph_reg in
+  (* "x has a self loop" as a class set. *)
+  let lgq = Lgq.of_pred reg (fun d -> Diagram.atom d ~rel:0 [| 0; 0 |]) in
+  let q = Core.Completeness.query_of_lgq lgq in
+  Alcotest.(check bool) "well formed" true
+    (Rlogic.Ast.well_formed ~db_type:[| 2 |] q);
+  let b = Rdb.Instances.paper_b1 () in
+  check (Alcotest.option Alcotest.bool) "a in Q" (Some true)
+    (Rlogic.Qf_eval.mem b q (t [ 0 ]));
+  check (Alcotest.option Alcotest.bool) "b not in Q" (Some false)
+    (Rlogic.Qf_eval.mem b q (t [ 1 ]));
+  (* Compare whole windows against the semantic query. *)
+  check Test_support.tupleset_testable "window agrees"
+    (Lgq.eval_upto lgq b ~cutoff:5)
+    (Rlogic.Qf_eval.eval_upto b q ~cutoff:5)
+
+let test_query_of_undefined () =
+  check qry "undefined compiles to undefined" Rlogic.Ast.Undefined
+    (Core.Completeness.query_of_lgq Lgq.undefined)
+
+let test_lgq_of_query () =
+  let reg = Lazy.force graph_reg2 in
+  let q = Rlogic.Parser.query "{(x, y) | R1(x, y) && !R1(y, x)}" in
+  let lgq = Core.Completeness.lgq_of_query reg q in
+  let b = Rdb.Instances.less_than () in
+  (* On less_than every ordered pair (x,y), x<y qualifies. *)
+  check (Alcotest.option Alcotest.bool) "(1,2)" (Some true)
+    (Lgq.mem lgq b (t [ 1; 2 ]));
+  check (Alcotest.option Alcotest.bool) "(2,1)" (Some false)
+    (Lgq.mem lgq b (t [ 2; 1 ]));
+  check (Alcotest.option Alcotest.bool) "(1,1)" (Some false)
+    (Lgq.mem lgq b (t [ 1; 1 ]))
+
+let test_normalize_idempotent () =
+  let reg = Lazy.force graph_reg2 in
+  let q = Rlogic.Parser.query "{(x, y) | R1(x, y) || x = y}" in
+  let n1 = Core.Completeness.normalize reg q in
+  let n2 = Core.Completeness.normalize reg n1 in
+  check qry "normalize idempotent" n1 n2;
+  Alcotest.(check bool) "normal form equivalent to original" true
+    (Core.Completeness.equivalent reg q n1)
+
+let test_equivalence_decision () =
+  let reg = Lazy.force graph_reg2 in
+  let eq a b =
+    Core.Completeness.equivalent reg (Rlogic.Parser.query a)
+      (Rlogic.Parser.query b)
+  in
+  Alcotest.(check bool) "De Morgan" true
+    (eq "{(x, y) | !(R1(x, y) || x = y)}" "{(x, y) | !R1(x, y) && x != y}");
+  Alcotest.(check bool) "contrapositive" true
+    (eq "{(x, y) | R1(x, y) -> x = y}" "{(x, y) | !(x = y) -> !R1(x, y)}");
+  Alcotest.(check bool) "distinct queries differ" false
+    (eq "{(x, y) | R1(x, y)}" "{(x, y) | R1(y, x)}");
+  Alcotest.(check bool) "undefined equivalent to itself" true
+    (Core.Completeness.equivalent reg Rlogic.Ast.Undefined Rlogic.Ast.Undefined);
+  Alcotest.(check bool) "undefined differs from empty" false
+    (Core.Completeness.equivalent reg Rlogic.Ast.Undefined
+       (Rlogic.Parser.query "{(x, y) | false}"))
+
+let test_roundtrip_explicit () =
+  let reg = Lazy.force graph_reg in
+  List.iter
+    (fun indices ->
+      let lgq = Lgq.of_indices reg indices in
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip %s"
+           (String.concat "," (List.map string_of_int indices)))
+        true
+        (Core.Completeness.roundtrip_holds reg lgq))
+    [ []; [ 0 ]; [ 1 ]; [ 0; 1 ] ];
+  Alcotest.(check bool) "roundtrip undefined" true
+    (Core.Completeness.roundtrip_holds reg Lgq.undefined)
+
+(* -------------------------------------------------------------------- *)
+(* Rquery                                                               *)
+
+let test_rquery_of_lgq () =
+  let reg = Lazy.force graph_reg in
+  let lgq = Lgq.of_pred reg (fun d -> Diagram.atom d ~rel:0 [| 0; 0 |]) in
+  let q = Core.Rquery.of_lgq lgq in
+  let b = Rdb.Instances.paper_b1 () in
+  Alcotest.(check bool) "member" true
+    (Core.Rquery.run q b (t [ 0 ]) = Core.Rquery.Member);
+  Alcotest.(check bool) "nonmember" true
+    (Core.Rquery.run q b (t [ 1 ]) = Core.Rquery.Nonmember);
+  Alcotest.(check bool) "wrong rank" true
+    (Core.Rquery.run q b (t [ 1; 2 ]) = Core.Rquery.Nonmember);
+  Alcotest.(check bool) "undefined diverges" true
+    (Core.Rquery.run Core.Rquery.Undefined_query b (t [ 0 ])
+    = Core.Rquery.Diverges)
+
+let test_rquery_classify_roundtrip () =
+  let reg = Lazy.force graph_reg2 in
+  let lgq =
+    Lgq.of_pred reg (fun d ->
+        Diagram.blocks d = 2 && Diagram.atom d ~rel:0 [| 0; 1 |])
+  in
+  let q = Core.Rquery.of_lgq lgq in
+  Alcotest.(check bool) "classify inverts of_lgq" true
+    (Lgq.equal lgq (Core.Rquery.classify reg q))
+
+let test_locally_generic_detector () =
+  (* The §2 example: Q = {x | ∃y (x≠y ∧ (x,y) ∈ R)} is generic but not
+     locally generic; witnessed on (B1,(a)) vs (B2,(c)). *)
+  let decide b u =
+    List.exists
+      (fun y -> y <> u.(0) && Rdb.Database.mem b 0 (t [ u.(0); y ]))
+      (Ints.range 0 20)
+  in
+  let q = Core.Rquery.make ~db_type:[| 2 |] ~rank:1 decide in
+  let b1 = Rdb.Instances.paper_b1 () and b2 = Rdb.Instances.paper_b2 () in
+  let samples = [ (b1, t [ 0 ]); (b2, t [ 2 ]) ] in
+  match Core.Rquery.locally_generic_on q samples with
+  | Some (u, v) ->
+      check Test_support.tuple_testable "witness u" (t [ 0 ]) u;
+      check Test_support.tuple_testable "witness v" (t [ 2 ]) v
+  | None -> Alcotest.fail "expected a local-genericity violation"
+
+(* -------------------------------------------------------------------- *)
+(* Genericity: the Proposition 2.5 construction                         *)
+
+let exists_query b u =
+  List.exists
+    (fun y -> y <> u.(0) && Rdb.Database.mem b 0 (t [ u.(0); y ]))
+    (Ints.range 0 20)
+
+let test_refute_builds_certificate () =
+  let b1 = Rdb.Instances.paper_b1 () and b2 = Rdb.Instances.paper_b2 () in
+  match
+    Core.Genericity.refute ~decide:exists_query ~b1 ~u:(t [ 0 ]) ~b2
+      ~v:(t [ 2 ])
+  with
+  | None -> Alcotest.fail "expected a certificate"
+  | Some cert ->
+      Alcotest.(check bool) "answers differ" true
+        (cert.Core.Genericity.answer3 <> cert.Core.Genericity.answer4);
+      Alcotest.(check bool) "certificate verifies" true
+        (Core.Genericity.verify cert)
+
+let test_refute_rejects_generic_situations () =
+  let b1 = Rdb.Instances.paper_b1 () and b2 = Rdb.Instances.paper_b2 () in
+  (* Not locally isomorphic: (a,b) vs (c,c). *)
+  Alcotest.(check bool) "not locally isomorphic" true
+    (Core.Genericity.refute ~decide:exists_query ~b1 ~u:(t [ 0; 1 ]) ~b2
+       ~v:(t [ 2; 2 ])
+    = None);
+  (* Locally isomorphic but a locally generic query: self loop test. *)
+  let loop b u = Rdb.Database.mem b 0 (t [ u.(0); u.(0) ]) in
+  Alcotest.(check bool) "locally generic query yields no certificate" true
+    (Core.Genericity.refute ~decide:loop ~b1 ~u:(t [ 0 ]) ~b2 ~v:(t [ 2 ])
+    = None)
+
+(* -------------------------------------------------------------------- *)
+(* L⁻ₙ: Propositions 2.6 / 2.7                                          *)
+
+let test_lminus_n_eval () =
+  let reg = Lazy.force graph_reg in
+  let q = Rlogic.Parser.query "{(x) | R1(x, x)}" in
+  let ln = Core.Lminus_n.of_query ~n:3 reg q in
+  check Alcotest.int "window" 3 (Core.Lminus_n.window ln);
+  (* Divides: x | x for x > 0; output windowed to {0,1,2}. *)
+  check Test_support.tupleset_testable "self-loops in the window"
+    (Tupleset.of_lists [ [ 1 ]; [ 2 ] ])
+    (Core.Lminus_n.eval ln (Rdb.Instances.divides ()))
+
+let test_lminus_n_not_generic () =
+  (* The paper's remark: shift the database and a non-empty L⁻ₙ answer
+     changes — L⁻ₙ queries are not generic. *)
+  let reg = Lazy.force graph_reg in
+  let q = Rlogic.Parser.query "{(x) | R1(x, x)}" in
+  let ln = Core.Lminus_n.of_query ~n:3 reg q in
+  (match
+     Core.Lminus_n.non_generic_witness ln (Rdb.Instances.divides ()) ~shift:5
+   with
+  | Some (before, after) ->
+      Alcotest.(check bool) "answers differ" true
+        (not (Tupleset.equal before after));
+      Alcotest.(check bool) "shifted answer empty" true
+        (Tupleset.is_empty after)
+  | None -> Alcotest.fail "expected a non-genericity witness");
+  (* An empty answer is trivially shift-invariant. *)
+  let empty_q = Rlogic.Parser.query "{(x) | false}" in
+  let ln0 = Core.Lminus_n.of_query ~n:3 reg empty_q in
+  Alcotest.(check bool) "empty query has no witness" true
+    (Core.Lminus_n.non_generic_witness ln0 (Rdb.Instances.divides ())
+       ~shift:5
+    = None)
+
+let test_lminus_n_completeness () =
+  (* Proposition 2.7 round trip: capture a window-generic decision
+     procedure, synthesize the formula, and compare evaluations. *)
+  let reg = Lazy.force graph_reg2 in
+  let decide b u = Rdb.Database.mem b 0 u && u.(0) <> u.(1) in
+  let ln = Core.Lminus_n.classify ~n:4 ~rank:2 reg decide in
+  let q = Core.Lminus_n.to_query ln in
+  Alcotest.(check bool) "synthesized formula is quantifier free" true
+    (match q with
+    | Rlogic.Ast.Query { body; _ } -> Rlogic.Ast.is_quantifier_free body
+    | Rlogic.Ast.Undefined -> false);
+  List.iter
+    (fun db ->
+      let direct =
+        Combinat.fold_cartesian
+          (fun acc u ->
+            if decide db (Array.copy u) then Tupleset.add (Array.copy u) acc
+            else acc)
+          Tupleset.empty ~width:2 ~bound:4
+      in
+      check Test_support.tupleset_testable
+        (Rdb.Database.name db)
+        direct
+        (Core.Lminus_n.eval ln db))
+    [
+      Rdb.Instances.less_than ();
+      Rdb.Instances.triangles ();
+      Rdb.Instances.infinite_clique ();
+    ]
+
+let test_lminus_n_validation () =
+  Alcotest.check_raises "undefined rejected"
+    (Invalid_argument "Lminus_n.of_lgq: undefined query") (fun () ->
+      ignore (Core.Lminus_n.of_lgq ~n:3 Localiso.Lgq.undefined))
+
+(* -------------------------------------------------------------------- *)
+(* Properties                                                           *)
+
+let qcheck_tests =
+  let open QCheck2 in
+  let reg = Lazy.force graph_reg2 in
+  let size = Classes.size reg in
+  let selection_gen =
+    Gen.(list_size (int_bound 6) (int_bound (size - 1)))
+  in
+  let pair2 = Test_support.pair_gen ~db_type:[| 2 |] ~rank:2 () in
+  Test_support.to_alcotest
+    [
+      Test.make ~count:60 ~name:"completeness roundtrip on random class sets"
+        selection_gen
+        (fun indices ->
+          Core.Completeness.roundtrip_holds reg (Lgq.of_indices reg indices));
+      Test.make ~count:60
+        ~name:"synthesized formula evaluates its class set pointwise"
+        Gen.(pair selection_gen pair2)
+        (fun (indices, (b, u)) ->
+          let lgq = Lgq.of_indices reg indices in
+          let q = Core.Completeness.query_of_lgq lgq in
+          Rlogic.Qf_eval.mem b q u = Lgq.mem lgq b u);
+      Test.make ~count:60 ~name:"normalize is semantics preserving"
+        Gen.(pair selection_gen pair2)
+        (fun (indices, (b, u)) ->
+          let q = Core.Completeness.query_of_lgq (Lgq.of_indices reg indices) in
+          let n = Core.Completeness.normalize reg q in
+          Rlogic.Qf_eval.mem b q u = Rlogic.Qf_eval.mem b n u);
+    ]
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "completeness",
+        [
+          Alcotest.test_case "formula of diagram" `Quick test_formula_of_diagram;
+          Alcotest.test_case "query of lgq evaluates" `Quick
+            test_query_of_lgq_eval;
+          Alcotest.test_case "undefined query" `Quick test_query_of_undefined;
+          Alcotest.test_case "lgq of query" `Quick test_lgq_of_query;
+          Alcotest.test_case "normalize idempotent" `Quick
+            test_normalize_idempotent;
+          Alcotest.test_case "equivalence decision" `Quick
+            test_equivalence_decision;
+          Alcotest.test_case "explicit roundtrips" `Quick
+            test_roundtrip_explicit;
+        ] );
+      ( "rquery",
+        [
+          Alcotest.test_case "of_lgq" `Quick test_rquery_of_lgq;
+          Alcotest.test_case "classify roundtrip" `Quick
+            test_rquery_classify_roundtrip;
+          Alcotest.test_case "local genericity detector" `Quick
+            test_locally_generic_detector;
+        ] );
+      ( "lminus_n",
+        [
+          Alcotest.test_case "eval" `Quick test_lminus_n_eval;
+          Alcotest.test_case "not generic (shift)" `Quick
+            test_lminus_n_not_generic;
+          Alcotest.test_case "completeness round trip" `Quick
+            test_lminus_n_completeness;
+          Alcotest.test_case "validation" `Quick test_lminus_n_validation;
+        ] );
+      ( "genericity",
+        [
+          Alcotest.test_case "refute builds certificate" `Quick
+            test_refute_builds_certificate;
+          Alcotest.test_case "refute rejects" `Quick
+            test_refute_rejects_generic_situations;
+        ] );
+      ("properties", qcheck_tests);
+    ]

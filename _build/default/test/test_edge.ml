@@ -1,0 +1,366 @@
+(* Edge cases, failure injection, and negative tests across modules:
+   the validator must catch broken representations, constructors must
+   reject ill-formed inputs, and fuelled components must fail loudly
+   rather than spin. *)
+
+open Prelude
+
+let t = Tuple.of_list
+let check = Alcotest.check
+
+(* -------------------------------------------------------------------- *)
+(* Failure injection: Hsdb.validate catches broken representations      *)
+
+let test_validator_catches_equivalent_paths () =
+  (* A "tree" whose offspring include two fresh labels: two paths of the
+     same class — validation must complain. *)
+  let broken =
+    Hs.Hsdb.make ~name:"broken" ~db:(Rdb.Instances.empty_graph ())
+      ~children:(fun u ->
+        let fresh = 1 + Array.fold_left max (-1) u in
+        Tuple.distinct_elements u @ [ fresh; fresh + 1 ])
+      ~equiv:(fun u v ->
+        Tuple.equality_pattern u = Tuple.equality_pattern v)
+      ()
+  in
+  Alcotest.(check bool) "violations reported" true
+    (Hs.Hsdb.validate ~max_rank:2 ~window:4 broken <> [])
+
+let test_validator_catches_missing_classes () =
+  (* A tree that never extends by fresh elements cannot cover the
+     distinct-pair class. *)
+  let broken =
+    Hs.Hsdb.make ~name:"broken2" ~db:(Rdb.Instances.empty_graph ())
+      ~children:(fun u ->
+        match Tuple.distinct_elements u with [] -> [ 0 ] | ds -> ds)
+      ~equiv:(fun u v ->
+        Tuple.equality_pattern u = Tuple.equality_pattern v)
+      ()
+  in
+  Alcotest.(check bool) "missing representative reported" true
+    (List.exists
+       (fun msg ->
+         String.length msg >= 5
+         && String.sub msg 0 5 = "tuple")
+       (Hs.Hsdb.validate ~max_rank:2 ~window:3 broken))
+
+let test_validator_catches_wrong_rel_mem () =
+  (* Equivalence too coarse: merges edge and non-edge pairs, so rel_mem
+     disagrees with the raw relation. *)
+  let broken =
+    Hs.Hsdb.make ~name:"broken3" ~db:(Rdb.Instances.triangles ())
+      ~children:(fun u ->
+        let fresh = 1 + Array.fold_left max (-1) u in
+        Tuple.distinct_elements u @ [ fresh ])
+      ~equiv:(fun u v ->
+        Tuple.equality_pattern u = Tuple.equality_pattern v)
+      ()
+  in
+  Alcotest.(check bool) "violations reported" true
+    (Hs.Hsdb.validate ~max_rank:2 ~window:4 broken <> [])
+
+let test_representative_not_found () =
+  let broken =
+    Hs.Hsdb.make ~name:"broken4" ~db:(Rdb.Instances.empty_graph ())
+      ~children:(fun u -> if Tuple.rank u = 0 then [ 0 ] else [])
+      ~equiv:Tuple.equal ()
+  in
+  Alcotest.check_raises "no representative" Not_found (fun () ->
+      ignore (Hs.Hsdb.representative broken (t [ 5 ])))
+
+let test_r0_cap_exceeded () =
+  (* Two same-diagram paths that no refinement ever separates. *)
+  let broken =
+    Hs.Hsdb.make ~name:"diverging" ~db:(Rdb.Instances.empty_graph ())
+      ~children:(fun u ->
+        let fresh = 1 + Array.fold_left max (-1) u in
+        Tuple.distinct_elements u @ [ fresh; fresh + 1 ])
+      ~equiv:Tuple.equal ()
+  in
+  Alcotest.check_raises "cap" (Failure "Ef.r0: cap exceeded") (fun () ->
+      ignore (Hs.Ef.r0 ~cap:3 broken ~n:2))
+
+let test_find_coding_tuple_cap () =
+  Alcotest.check_raises "max_rank 0"
+    (Failure "Ef.find_coding_tuple: no coding tuple within max_rank")
+    (fun () ->
+      ignore
+        (Hs.Ef.find_coding_tuple ~max_rank:0 (Hs.Hsinstances.triangles ())))
+
+(* -------------------------------------------------------------------- *)
+(* Constructor validation                                               *)
+
+let test_diagram_make_validation () =
+  Alcotest.check_raises "bad pattern"
+    (Invalid_argument "Diagram.make: pattern not in restricted-growth form")
+    (fun () ->
+      ignore
+        (Localiso.Diagram.make ~db_type:[| 1 |] ~pattern:[| 1; 0 |]
+           ~atoms:[| [| false; false |] |]));
+  Alcotest.check_raises "bad table size"
+    (Invalid_argument "Diagram.make: atom table size mismatch") (fun () ->
+      ignore
+        (Localiso.Diagram.make ~db_type:[| 1 |] ~pattern:[| 0 |]
+           ~atoms:[| [| false; false |] |]))
+
+let test_lgq_of_indices_validation () =
+  let reg = Localiso.Classes.make ~db_type:[| 2 |] ~rank:1 () in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Lgq.of_indices: index out of range") (fun () ->
+      ignore (Localiso.Lgq.of_indices reg [ 99 ]))
+
+let test_diagram_vars_validation () =
+  Alcotest.check_raises "duplicate names"
+    (Invalid_argument "Diagram_vars.of_names: duplicate names") (fun () ->
+      ignore (Core.Completeness.Diagram_vars.of_names [ "x"; "x" ]))
+
+let test_relation_of_tupleset_validation () =
+  Alcotest.check_raises "rank mismatch"
+    (Invalid_argument "Relation.of_tupleset: tuple rank mismatch") (fun () ->
+      ignore
+        (Rdb.Relation.of_tupleset ~arity:2 (Tupleset.of_lists [ [ 1 ] ])))
+
+let test_domain_negative_index () =
+  let evens = Rdb.Database.domain_of_pred (fun x -> x mod 2 = 0) in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Database.domain: negative index") (fun () ->
+      ignore (evens.Rdb.Database.dnth (-1)))
+
+let test_fcf_validation () =
+  let open Fincof in
+  Alcotest.check_raises "tuple rank" (Invalid_argument "Fcf: tuple rank mismatch")
+    (fun () -> ignore (Fcf.finite ~rank:2 (Tupleset.of_lists [ [ 1 ] ])));
+  let c = Fcf.cofinite ~rank:1 Tupleset.empty in
+  Alcotest.(check bool) "swap on rank 1 is a rank error" true
+    (match Fcf.swap_last c with
+    | exception Ql.Ql_interp.Rank_error _ -> true
+    | _ -> false);
+  let f0 = Fcf.finite ~rank:0 (Tupleset.singleton [||]) in
+  Alcotest.(check bool) "drop_first on rank 0 is a rank error" true
+    (match Fcf.drop_first f0 with
+    | exception Ql.Ql_interp.Rank_error _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "inter rank mismatch is a rank error" true
+    (match
+       Fcf.inter
+         (Fcf.cofinite ~rank:1 Tupleset.empty)
+         (Fcf.cofinite ~rank:2 Tupleset.empty)
+     with
+    | exception Ql.Ql_interp.Rank_error _ -> true
+    | _ -> false)
+
+(* -------------------------------------------------------------------- *)
+(* Machine edge cases                                                   *)
+
+let test_counter_jump_past_end_halts () =
+  let m = Rmachine.Counter.make ~ncounters:1 [ Rmachine.Counter.Jmp 50 ] in
+  Alcotest.(check bool) "halts" true
+    (match Rmachine.Counter.run m ~input:[] ~fuel:10 with
+    | Rmachine.Counter.Halted _ -> true
+    | Rmachine.Counter.Out_of_fuel -> false)
+
+let test_oracle_rm_fall_off_rejects () =
+  let m = Rmachine.Oracle_rm.make ~nregs:1 [ Rmachine.Oracle_rm.Inc 0 ] in
+  Alcotest.(check bool) "rejects" true
+    (Rmachine.Oracle_rm.run m ~db:(Rdb.Instances.divides ()) ~input:(t [ 1 ])
+       ~fuel:10
+    = Rmachine.Oracle_rm.Rejected)
+
+let test_toy_encode_overflow () =
+  (* Long programs do not fit 63-bit Gödel codes; encode must fail
+     loudly (DESIGN.md substitution note). *)
+  let long = Rmachine.Counter.halt_after 60 in
+  Alcotest.check_raises "overflow" (Invalid_argument "Ints.of_digits: overflow")
+    (fun () -> ignore (Rmachine.Toy.encode long))
+
+(* -------------------------------------------------------------------- *)
+(* GM tape-level behaviour                                              *)
+
+let test_gm_tape_actions () =
+  (* Write a symbol, move, write an element, halt: inspect the unit. *)
+  let spec =
+    {
+      Genmach.Gm.nstores = 1;
+      start = 0;
+      delta =
+        (fun v ->
+          match v.Genmach.Gm.state with
+          | 0 ->
+              Genmach.Gm.Step
+                ( [
+                    Genmach.Gm.Write (Genmach.Gm.Sym 7);
+                    Genmach.Gm.Move (Genmach.Gm.H1, Genmach.Gm.Right);
+                    Genmach.Gm.Write (Genmach.Gm.Elem 3);
+                  ],
+                  1 )
+          | _ -> Genmach.Gm.Halt);
+    }
+  in
+  let tri = Hs.Hsinstances.triangles () in
+  match Genmach.Gm.run spec tri ~fuel:10 with
+  | Some { units = [ u ]; _ } ->
+      check
+        (Alcotest.list Alcotest.bool)
+        "tape contents"
+        [ true; true ]
+        [
+          u.Genmach.Gm.tape.(0) = Genmach.Gm.Sym 7;
+          u.Genmach.Gm.tape.(1) = Genmach.Gm.Elem 3;
+        ]
+  | _ -> Alcotest.fail "expected one halted unit"
+
+let test_gm_bad_store_register () =
+  let spec =
+    {
+      Genmach.Gm.nstores = 1;
+      start = 0;
+      delta = (fun _ -> Genmach.Gm.Clear (99, 1));
+    }
+  in
+  Alcotest.check_raises "bad register"
+    (Genmach.Gm.Bad_program "Clear register out of range") (fun () ->
+      ignore (Genmach.Gm.run spec (Hs.Hsinstances.triangles ()) ~fuel:10))
+
+(* -------------------------------------------------------------------- *)
+(* Parser fuzz: random token soup either parses or raises Parser.Error  *)
+
+let test_parser_fuzz () =
+  let rng = Ints.Rng.make 2024 in
+  let tokens =
+    [|
+      "x"; "y"; "R1"; "("; ")"; ","; "&&"; "||"; "!"; "->"; "="; "!=";
+      "exists"; "forall"; "."; "true"; "false"; "{"; "}"; "|";
+    |]
+  in
+  for _ = 1 to 2000 do
+    let n = 1 + Ints.Rng.int rng 12 in
+    let s =
+      String.concat " "
+        (List.init n (fun _ -> tokens.(Ints.Rng.int rng (Array.length tokens))))
+    in
+    match Rlogic.Parser.query s with
+    | _ -> ()
+    | exception Rlogic.Parser.Error _ -> ()
+    (* anything else (Match_failure, Stack_overflow, ...) fails the test *)
+  done
+
+let test_parser_error_positions () =
+  (match Rlogic.Parser.formula "x = " with
+  | exception Rlogic.Parser.Error msg ->
+      Alcotest.(check bool) "mentions offset" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected parse error");
+  match Rlogic.Parser.formula "x & y" with
+  | exception Rlogic.Parser.Error msg ->
+      Alcotest.(check bool) "single & rejected" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected parse error"
+
+(* -------------------------------------------------------------------- *)
+(* Random well-ranked QL terms: QL_hs on the hs view of an fcf database *)
+(* agrees with QL_f+ on the fcf view (Corollary 4.1 as a property).     *)
+
+let qcheck_qlhs_vs_qlf =
+  let open QCheck2 in
+  let fcf_db =
+    Fincof.Fcfdb.make
+      [
+        Fincof.Fcf.finite ~rank:1 (Tupleset.of_lists [ [ 0 ]; [ 1 ] ]);
+        Fincof.Fcf.cofinite ~rank:2 (Tupleset.of_lists [ [ 2; 2 ] ]);
+      ]
+  in
+  let hs_db = Fincof.Fcfdb.to_hsdb fcf_db in
+  (* Generator for (term, rank): avoids ill-ranked applications.  Up is
+     excluded because QL_f+ restricts it to finite values, and E is
+     excluded because §4 deliberately redefines it over Df — so
+     E-containing terms denote different relations in the two languages
+     (e.g. E↓ is Df in QL_f+ but all of D in QL_hs) even though the two
+     languages express the same queries. *)
+  let rec gen_term depth =
+    let open Gen in
+    let base =
+      oneofl [ (Ql.Ql_ast.Rel 0, 1); (Ql.Ql_ast.Rel 1, 2) ]
+    in
+    if depth = 0 then base
+    else
+      oneof
+        [
+          base;
+          (gen_term (depth - 1) >|= fun (e, r) -> (Ql.Ql_ast.Comp e, r));
+          ( gen_term (depth - 1) >>= fun (e, r) ->
+            gen_term (depth - 1) >|= fun (f, r') ->
+            if r = r' then (Ql.Ql_ast.Inter (e, f), r)
+            else (Ql.Ql_ast.Comp e, r) );
+          ( gen_term (depth - 1) >|= fun (e, r) ->
+            if r >= 2 then (Ql.Ql_ast.Swap e, r) else (e, r) );
+          ( gen_term (depth - 1) >|= fun (e, r) ->
+            if r >= 1 then (Ql.Ql_ast.Down e, r - 1) else (e, r) );
+        ]
+  in
+  QCheck_alcotest.to_alcotest
+    (Test.make ~count:200 ~name:"QL_hs vs QL_f+ on an fcf database"
+       (gen_term 4)
+       (fun (term, _rank) ->
+         let fcf_value = Fincof.Qlf.eval_term fcf_db term in
+         let hs_value = Ql.Ql_hs.eval_term hs_db term in
+         let cutoff = 6 in
+         let fcf_window =
+           Combinat.fold_cartesian
+             (fun acc u ->
+               if Fincof.Fcf.mem fcf_value (Array.copy u) then
+                 Tupleset.add (Array.copy u) acc
+               else acc)
+             Tupleset.empty
+             ~width:(Fincof.Fcf.rank fcf_value)
+             ~bound:cutoff
+         in
+         Tupleset.equal fcf_window
+           (Ql.Ql_hs.denotation hs_db hs_value ~cutoff)))
+
+let () =
+  Alcotest.run "edge"
+    [
+      ( "failure-injection",
+        [
+          Alcotest.test_case "validator: equivalent paths" `Quick
+            test_validator_catches_equivalent_paths;
+          Alcotest.test_case "validator: missing classes" `Quick
+            test_validator_catches_missing_classes;
+          Alcotest.test_case "validator: wrong rel_mem" `Quick
+            test_validator_catches_wrong_rel_mem;
+          Alcotest.test_case "representative not found" `Quick
+            test_representative_not_found;
+          Alcotest.test_case "r0 cap" `Quick test_r0_cap_exceeded;
+          Alcotest.test_case "coding tuple cap" `Quick
+            test_find_coding_tuple_cap;
+        ] );
+      ( "constructor-validation",
+        [
+          Alcotest.test_case "diagram" `Quick test_diagram_make_validation;
+          Alcotest.test_case "lgq indices" `Quick test_lgq_of_indices_validation;
+          Alcotest.test_case "diagram vars" `Quick test_diagram_vars_validation;
+          Alcotest.test_case "relation" `Quick
+            test_relation_of_tupleset_validation;
+          Alcotest.test_case "domain" `Quick test_domain_negative_index;
+          Alcotest.test_case "fcf" `Quick test_fcf_validation;
+        ] );
+      ( "machines",
+        [
+          Alcotest.test_case "counter jump past end" `Quick
+            test_counter_jump_past_end_halts;
+          Alcotest.test_case "oracle rm falls off" `Quick
+            test_oracle_rm_fall_off_rejects;
+          Alcotest.test_case "toy encode overflow" `Quick
+            test_toy_encode_overflow;
+          Alcotest.test_case "gm tape actions" `Quick test_gm_tape_actions;
+          Alcotest.test_case "gm bad register" `Quick
+            test_gm_bad_store_register;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "fuzz" `Quick test_parser_fuzz;
+          Alcotest.test_case "error positions" `Quick
+            test_parser_error_positions;
+        ] );
+      ("properties", [ qcheck_qlhs_vs_qlf ]);
+    ]

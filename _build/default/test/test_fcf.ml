@@ -1,0 +1,358 @@
+open Prelude
+open Fincof
+
+let t = Tuple.of_list
+let check = Alcotest.check
+let fcf_testable = Alcotest.testable Fcf.pp Fcf.equal
+
+let fin rank lists = Fcf.finite ~rank (Tupleset.of_lists lists)
+let cof rank lists = Fcf.cofinite ~rank (Tupleset.of_lists lists)
+
+(* -------------------------------------------------------------------- *)
+(* The fcf relation algebra                                             *)
+
+let test_mem () =
+  let f = fin 1 [ [ 0 ]; [ 2 ] ] in
+  let c = cof 1 [ [ 0 ]; [ 2 ] ] in
+  Alcotest.(check bool) "finite member" true (Fcf.mem f (t [ 0 ]));
+  Alcotest.(check bool) "finite non-member" false (Fcf.mem f (t [ 1 ]));
+  Alcotest.(check bool) "cofinite member" true (Fcf.mem c (t [ 1 ]));
+  Alcotest.(check bool) "cofinite excluded" false (Fcf.mem c (t [ 2 ]))
+
+let test_complement_involution () =
+  let f = fin 2 [ [ 0; 1 ] ] in
+  check fcf_testable "double complement" f (Fcf.complement (Fcf.complement f));
+  Alcotest.(check bool) "indicator flipped" true
+    (not (Fcf.is_finite_rel (Fcf.complement f)))
+
+let test_rank0_normalization () =
+  (* D⁰ = {()}: co-finite values of rank 0 normalize to finite ones. *)
+  let full0 = Fcf.cofinite ~rank:0 Tupleset.empty in
+  Alcotest.(check bool) "full rank-0 is finite" true (Fcf.is_finite_rel full0);
+  Alcotest.(check bool) "and a singleton" true (Fcf.is_single full0);
+  let empty0 = Fcf.cofinite ~rank:0 (Tupleset.singleton [||]) in
+  Alcotest.(check bool) "empty rank-0" true (Fcf.is_empty empty0)
+
+let test_inter_cases () =
+  let f = fin 1 [ [ 0 ]; [ 1 ]; [ 2 ] ] in
+  let c = cof 1 [ [ 1 ]; [ 5 ] ] in
+  check fcf_testable "finite ∩ cofinite = e − ¬f"
+    (fin 1 [ [ 0 ]; [ 2 ] ])
+    (Fcf.inter f c);
+  check fcf_testable "cofinite ∩ cofinite"
+    (cof 1 [ [ 1 ]; [ 5 ]; [ 9 ] ])
+    (Fcf.inter c (cof 1 [ [ 9 ] ]));
+  check fcf_testable "union of cofinites is cofinite"
+    (cof 1 [ [ 1 ] ])
+    (Fcf.union c (cof 1 [ [ 1 ]; [ 3 ] ]))
+
+let test_prop_42_projection () =
+  (* Proposition 4.2: R↓ = D^{n-1} for co-finite R. *)
+  let c2 = cof 2 [ [ 0; 1 ]; [ 2; 2 ] ] in
+  check fcf_testable "projection of cofinite rank 2 is full D^1"
+    (Fcf.full ~rank:1) (Fcf.drop_first c2);
+  let c1 = cof 1 [ [ 4 ] ] in
+  let projected = Fcf.drop_first c1 in
+  Alcotest.(check bool) "projection of cofinite rank 1 is finite" true
+    (Fcf.is_finite_rel projected);
+  Alcotest.(check bool) "namely {()}" true (Fcf.is_single projected);
+  (* Finite projection is the image. *)
+  check fcf_testable "finite projection"
+    (fin 1 [ [ 1 ]; [ 2 ] ])
+    (Fcf.drop_first (fin 2 [ [ 0; 1 ]; [ 5; 2 ] ]))
+
+let test_swap_and_product () =
+  check fcf_testable "swap finite"
+    (fin 2 [ [ 1; 0 ] ])
+    (Fcf.swap_last (fin 2 [ [ 0; 1 ] ]));
+  check fcf_testable "swap cofinite complement"
+    (cof 2 [ [ 1; 0 ] ])
+    (Fcf.swap_last (cof 2 [ [ 0; 1 ] ]));
+  check fcf_testable "product with Df"
+    (fin 2 [ [ 7; 0 ]; [ 7; 1 ] ])
+    (Fcf.product_df (fin 1 [ [ 7 ] ]) ~df:[ 0; 1 ]);
+  Alcotest.(check bool) "product of cofinite rejected" true
+    (match Fcf.product_df (cof 1 []) ~df:[ 0 ] with
+    | exception Ql.Ql_interp.Rank_error _ -> true
+    | _ -> false)
+
+let test_constants () =
+  check (Alcotest.list Alcotest.int) "constants of finite" [ 0; 1; 5 ]
+    (Fcf.constants (fin 2 [ [ 0; 1 ]; [ 5; 0 ] ]));
+  check (Alcotest.list Alcotest.int) "constants of cofinite" [ 3 ]
+    (Fcf.constants (cof 1 [ [ 3 ] ]))
+
+(* Windowed semantic cross-check of the algebra. *)
+let qcheck_algebra =
+  let open QCheck2 in
+  let gen_fcf =
+    Gen.(
+      pair bool (list_size (int_bound 4) (int_bound 4)) >|= fun (fin_p, xs) ->
+      let s =
+        List.fold_left
+          (fun acc x -> Tupleset.add [| x |] acc)
+          Tupleset.empty xs
+      in
+      if fin_p then Fcf.finite ~rank:1 s else Fcf.cofinite ~rank:1 s)
+  in
+  let window = Ints.range 0 8 in
+  let agree op sem a b =
+    List.for_all
+      (fun x -> Fcf.mem (op a b) (t [ x ]) = sem (Fcf.mem a (t [ x ])) (Fcf.mem b (t [ x ])))
+      window
+  in
+  Test_support.to_alcotest
+    [
+      Test.make ~count:200 ~name:"inter pointwise" Gen.(pair gen_fcf gen_fcf)
+        (fun (a, b) -> agree Fcf.inter ( && ) a b);
+      Test.make ~count:200 ~name:"union pointwise" Gen.(pair gen_fcf gen_fcf)
+        (fun (a, b) -> agree Fcf.union ( || ) a b);
+      Test.make ~count:200 ~name:"complement pointwise" gen_fcf (fun a ->
+          List.for_all
+            (fun x -> Fcf.mem (Fcf.complement a) (t [ x ]) = not (Fcf.mem a (t [ x ])))
+            window);
+      Test.make ~count:200 ~name:"closure under ops" Gen.(pair gen_fcf gen_fcf)
+        (fun (a, b) ->
+          (* fcf relations are closed under ∩, ∪, ¬ — each result is
+             still representable, which the constructors guarantee. *)
+          ignore (Fcf.inter a b);
+          ignore (Fcf.union a b);
+          ignore (Fcf.complement a);
+          true);
+    ]
+
+(* Rank-2 windowed semantic cross-check, including drop_first and
+   swap_last. *)
+let qcheck_algebra_rank2 =
+  let open QCheck2 in
+  let gen_fcf2 =
+    Gen.(
+      pair bool (list_size (int_bound 4) (pair (int_bound 3) (int_bound 3)))
+      >|= fun (fin_p, pairs) ->
+      let s =
+        List.fold_left
+          (fun acc (x, y) -> Tupleset.add [| x; y |] acc)
+          Tupleset.empty pairs
+      in
+      if fin_p then Fcf.finite ~rank:2 s else Fcf.cofinite ~rank:2 s)
+  in
+  let window = Ints.range 0 7 in
+  Test_support.to_alcotest
+    [
+      Test.make ~count:200 ~name:"rank-2 inter/union pointwise"
+        Gen.(pair gen_fcf2 gen_fcf2)
+        (fun (a, b) ->
+          List.for_all
+            (fun x ->
+              List.for_all
+                (fun y ->
+                  Fcf.mem (Fcf.inter a b) (t [ x; y ])
+                  = (Fcf.mem a (t [ x; y ]) && Fcf.mem b (t [ x; y ]))
+                  && Fcf.mem (Fcf.union a b) (t [ x; y ])
+                     = (Fcf.mem a (t [ x; y ]) || Fcf.mem b (t [ x; y ])))
+                window)
+            window);
+      Test.make ~count:200 ~name:"swap_last is a semantic transpose" gen_fcf2
+        (fun a ->
+          List.for_all
+            (fun x ->
+              List.for_all
+                (fun y ->
+                  Fcf.mem (Fcf.swap_last a) (t [ x; y ]) = Fcf.mem a (t [ y; x ]))
+                window)
+            window);
+      Test.make ~count:200
+        ~name:"drop_first is sound (and complete for finite)" gen_fcf2
+        (fun a ->
+          let projected = Fcf.drop_first a in
+          List.for_all
+            (fun y ->
+              (* soundness: a member column implies a witness for finite
+                 relations; for co-finite ones Prop 4.2 gives totality. *)
+              match a with
+              | Fcf.Finite _ ->
+                  Fcf.mem projected (t [ y ])
+                  = List.exists (fun x -> Fcf.mem a (t [ x; y ])) window
+              | Fcf.Cofinite _ -> Fcf.mem projected (t [ y ]))
+            window);
+    ]
+
+(* -------------------------------------------------------------------- *)
+(* Fcfdb                                                                *)
+
+let sample_db () =
+  Fcfdb.make
+    [ fin 1 [ [ 0 ]; [ 1 ] ]; cof 2 [ [ 2; 2 ] ] ]
+
+let test_df () =
+  check (Alcotest.list Alcotest.int) "df" [ 0; 1; 2 ] (Fcfdb.df (sample_db ()))
+
+let test_automorphisms () =
+  (* Permutations of {0,1,2} preserving R1 = {0,1} and the excluded pair
+     (2,2): identity and the swap of 0,1. *)
+  check Alcotest.int "two automorphisms" 2
+    (List.length (Fcfdb.automorphisms (sample_db ())))
+
+let test_equiv () =
+  let db = sample_db () in
+  Alcotest.(check bool) "0 ~ 1" true (Fcfdb.equiv db (t [ 0 ]) (t [ 1 ]));
+  Alcotest.(check bool) "0 !~ 2" false (Fcfdb.equiv db (t [ 0 ]) (t [ 2 ]));
+  Alcotest.(check bool) "outside elements interchangeable" true
+    (Fcfdb.equiv db (t [ 5 ]) (t [ 9 ]));
+  Alcotest.(check bool) "df vs outside" false
+    (Fcfdb.equiv db (t [ 0 ]) (t [ 9 ]));
+  Alcotest.(check bool) "pairs with pattern" true
+    (Fcfdb.equiv db (t [ 0; 7 ]) (t [ 1; 4 ]));
+  Alcotest.(check bool) "pattern mismatch" false
+    (Fcfdb.equiv db (t [ 0; 0 ]) (t [ 0; 1 ]))
+
+let test_to_hsdb_valid () =
+  let hs = Fcfdb.to_hsdb (sample_db ()) in
+  match Hs.Hsdb.validate ~max_rank:2 ~window:6 hs with
+  | [] -> ()
+  | issues -> Alcotest.fail (String.concat "\n" issues)
+
+let test_to_hsdb_matches_unary_instance () =
+  let via_fcf =
+    Fcfdb.to_hsdb (Fcfdb.make [ fin 1 [ [ 0 ]; [ 1 ]; [ 2 ] ] ])
+  in
+  let direct = Hs.Hsinstances.unary_finite_set ~members:[ 0; 1; 2 ] in
+  List.iter
+    (fun n ->
+      check Alcotest.int
+        (Printf.sprintf "class count rank %d" n)
+        (Hs.Hsdb.class_count direct n)
+        (Hs.Hsdb.class_count via_fcf n))
+    [ 1; 2; 3 ]
+
+let test_df_from_tree () =
+  (* Proposition 4.1, second direction. *)
+  let db = sample_db () in
+  check
+    (Alcotest.option (Alcotest.list Alcotest.int))
+    "recovered Df" (Some [ 0; 1; 2 ])
+    (Fcfdb.df_from_tree (Fcfdb.to_hsdb db));
+  let empty_df = Fcfdb.make [ fin 2 [] ] in
+  check
+    (Alcotest.option (Alcotest.list Alcotest.int))
+    "empty Df" (Some [])
+    (Fcfdb.df_from_tree (Fcfdb.to_hsdb empty_df))
+
+(* -------------------------------------------------------------------- *)
+(* QL_f+                                                                *)
+
+let test_qlf_e_term () =
+  let db = sample_db () in
+  check fcf_testable "E over Df"
+    (fin 2 [ [ 0; 0 ]; [ 1; 1 ]; [ 2; 2 ] ])
+    (Qlf.eval_term db Ql.Ql_ast.E)
+
+let test_qlf_terms () =
+  let db = sample_db () in
+  check fcf_testable "Rel1" (fin 1 [ [ 0 ]; [ 1 ] ])
+    (Qlf.eval_term db (Ql.Ql_ast.Rel 0));
+  check fcf_testable "complement is cofinite" (cof 1 [ [ 0 ]; [ 1 ] ])
+    (Qlf.eval_term db (Ql.Ql_ast.Comp (Ql.Ql_ast.Rel 0)));
+  check fcf_testable "projection of cofinite (Prop 4.2)" (Fcf.full ~rank:1)
+    (Qlf.eval_term db (Ql.Ql_ast.Down (Ql.Ql_ast.Rel 1)));
+  check fcf_testable "up = product with Df"
+    (fin 2
+       [ [ 0; 0 ]; [ 0; 1 ]; [ 0; 2 ]; [ 1; 0 ]; [ 1; 1 ]; [ 1; 2 ] ])
+    (Qlf.eval_term db (Ql.Ql_ast.Up (Ql.Ql_ast.Rel 0)))
+
+let test_qlf_while_finite () =
+  let db = sample_db () in
+  (* Complement Y1 while it is finite: one iteration, ends co-finite. *)
+  let p =
+    Ql.Ql_macros.seq
+      [
+        Ql.Ql_ast.Assign (0, Ql.Ql_ast.Rel 0);
+        Ql.Ql_ast.While_finite (0, Ql.Ql_ast.Assign (0, Ql.Ql_ast.Comp (Ql.Ql_ast.Var 0)));
+      ]
+  in
+  match Qlf.output (Qlf.run db ~fuel:100 p) with
+  | Some (finite_part, is_cofinite) ->
+      Alcotest.(check bool) "cofinite answer" true is_cofinite;
+      check Test_support.tupleset_testable "finite part is the complement"
+        (Tupleset.of_lists [ [ 0 ]; [ 1 ] ])
+        finite_part
+  | None -> Alcotest.fail "expected halt"
+
+let test_qlf_vs_qlhs () =
+  (* Corollary 4.1 flavour: a QL program runs on the fcf representation
+     and on the hs representation with the same denotation. *)
+  let db = sample_db () in
+  let hs = Fcfdb.to_hsdb db in
+  let terms =
+    [
+      Ql.Ql_ast.Rel 0;
+      Ql.Ql_ast.Comp (Ql.Ql_ast.Rel 0);
+      Ql.Ql_ast.Rel 1;
+      Ql.Ql_macros.union (Ql.Ql_ast.Up (Ql.Ql_ast.Rel 0)) (Ql.Ql_ast.Rel 1);
+      Ql.Ql_ast.Swap (Ql.Ql_ast.Rel 1);
+    ]
+  in
+  List.iter
+    (fun term ->
+      let fcf_value = Qlf.eval_term db term in
+      let hs_value = Ql.Ql_hs.eval_term hs term in
+      let cutoff = 5 in
+      let fcf_window =
+        Combinat.fold_cartesian
+          (fun acc u ->
+            if Fcf.mem fcf_value (Array.copy u) then
+              Tupleset.add (Array.copy u) acc
+            else acc)
+          Tupleset.empty
+          ~width:(Fcf.rank fcf_value)
+          ~bound:cutoff
+      in
+      check Test_support.tupleset_testable
+        (Ql.Ql_ast.term_to_string term)
+        fcf_window
+        (Ql.Ql_hs.denotation hs hs_value ~cutoff))
+    terms
+
+let test_qlf_timeout () =
+  let db = sample_db () in
+  let p = Ql.Ql_ast.While_empty (1, Ql.Ql_ast.Assign (0, Ql.Ql_ast.Rel 0)) in
+  Alcotest.(check bool) "diverges" true (Qlf.run db ~fuel:20 p = Ql.Ql_interp.Timeout)
+
+let () =
+  Alcotest.run "fcf"
+    [
+      ( "algebra",
+        [
+          Alcotest.test_case "mem" `Quick test_mem;
+          Alcotest.test_case "complement involution" `Quick
+            test_complement_involution;
+          Alcotest.test_case "rank-0 normalization" `Quick
+            test_rank0_normalization;
+          Alcotest.test_case "intersection cases" `Quick test_inter_cases;
+          Alcotest.test_case "Prop 4.2 projection" `Quick
+            test_prop_42_projection;
+          Alcotest.test_case "swap and product" `Quick test_swap_and_product;
+          Alcotest.test_case "constants" `Quick test_constants;
+        ] );
+      ("algebra-properties", qcheck_algebra);
+      ("algebra-properties-rank2", qcheck_algebra_rank2);
+      ( "fcfdb",
+        [
+          Alcotest.test_case "df" `Quick test_df;
+          Alcotest.test_case "automorphisms" `Quick test_automorphisms;
+          Alcotest.test_case "equiv" `Quick test_equiv;
+          Alcotest.test_case "to_hsdb valid" `Quick test_to_hsdb_valid;
+          Alcotest.test_case "to_hsdb matches unary instance" `Quick
+            test_to_hsdb_matches_unary_instance;
+          Alcotest.test_case "df from tree (Prop 4.1)" `Quick
+            test_df_from_tree;
+        ] );
+      ( "qlf",
+        [
+          Alcotest.test_case "E term" `Quick test_qlf_e_term;
+          Alcotest.test_case "terms" `Quick test_qlf_terms;
+          Alcotest.test_case "while |Y|<inf" `Quick test_qlf_while_finite;
+          Alcotest.test_case "agrees with QL_hs" `Quick test_qlf_vs_qlhs;
+          Alcotest.test_case "timeout" `Quick test_qlf_timeout;
+        ] );
+    ]

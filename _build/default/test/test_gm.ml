@@ -1,0 +1,221 @@
+open Prelude
+
+let check = Alcotest.check
+
+let tri = Hs.Hsinstances.triangles ()
+
+(* A two-relation hs db: triangle edges plus "same triangle or equal";
+   R2 is definable from R1, so the automorphism group (and hence the
+   tree and equivalence) is that of the triangles instance. *)
+let tri2 =
+  let r1 = Rdb.Relation.make ~name:"E" ~arity:2 (fun u -> u.(0) <> u.(1) && u.(0) / 3 = u.(1) / 3) in
+  let r2 = Rdb.Relation.make ~name:"SAME" ~arity:2 (fun u -> u.(0) / 3 = u.(1) / 3) in
+  let db = Rdb.Database.make ~name:"triangles2" [| r1; r2 |] in
+  Hs.Hsdb.make ~name:"triangles2" ~db
+    ~children:(Hs.Hsdb.children tri)
+    ~equiv:(Hs.Hsdb.equiv tri) ()
+
+let run_ok spec inst =
+  match Genmach.Gm.run spec inst ~fuel:200 with
+  | Some result -> result
+  | None -> Alcotest.fail "GM ran out of fuel"
+
+let output_exn result ~reg =
+  match Genmach.Gm.output result ~reg with
+  | Some s -> s
+  | None -> Alcotest.fail "GM did not end as a single empty-tape unit"
+
+let test_tri2_valid () =
+  match Hs.Hsdb.validate ~max_rank:2 ~window:6 tri2 with
+  | [] -> ()
+  | issues -> Alcotest.fail (String.concat "\n" issues)
+
+let test_load_relation () =
+  (* tri2's SAME relation has two representatives, so the load really
+     spawns, and erasing the tapes really collapses. *)
+  let out = Genmach.Gm_programs.output_reg tri2 in
+  let result = run_ok (Genmach.Gm_programs.load_relation ~out ~rel:1) tri2 in
+  check Test_support.tupleset_testable "output = C2" (Hs.Hsdb.reps tri2 1)
+    (output_exn result ~reg:out);
+  check Alcotest.int "peak units = |C2|"
+    (Tupleset.cardinal (Hs.Hsdb.reps tri2 1))
+    result.Genmach.Gm.peak_units;
+  Alcotest.(check bool) "spawning happened" true (result.Genmach.Gm.peak_units > 1);
+  Alcotest.(check bool) "collapses happened" true (result.Genmach.Gm.collapses > 0);
+  check Alcotest.int "single final unit" 1 (List.length result.Genmach.Gm.units)
+
+let test_union () =
+  let out = Genmach.Gm_programs.output_reg tri2 in
+  let result = run_ok (Genmach.Gm_programs.union ~out ~rel1:0 ~rel2:1) tri2 in
+  check Test_support.tupleset_testable "C1 ∪ C2"
+    (Tupleset.union (Hs.Hsdb.reps tri2 0) (Hs.Hsdb.reps tri2 1))
+    (output_exn result ~reg:out)
+
+let test_inter_by_equiv () =
+  let out = Genmach.Gm_programs.output_reg tri2 in
+  let result = run_ok (Genmach.Gm_programs.inter_by_equiv ~out ~rel1:0 ~rel2:1) tri2 in
+  check Test_support.tupleset_testable "C1 ∩ C2 (by ≅)"
+    (Tupleset.inter (Hs.Hsdb.reps tri2 0) (Hs.Hsdb.reps tri2 1))
+    (output_exn result ~reg:out)
+
+let test_up_matches_qlhs () =
+  let out = Genmach.Gm_programs.output_reg tri in
+  let result = run_ok (Genmach.Gm_programs.up ~out ~rel:0) tri in
+  let via_qlhs = (Ql.Ql_hs.eval_term tri (Ql.Ql_ast.Up (Ql.Ql_ast.Rel 0))).Ql.Ql_hs.reps in
+  check Test_support.tupleset_testable "GM up = QL_hs up" via_qlhs
+    (output_exn result ~reg:out)
+
+let test_gm_agrees_with_qlhs_union () =
+  let out = Genmach.Gm_programs.output_reg tri2 in
+  let gm_result = run_ok (Genmach.Gm_programs.union ~out ~rel1:0 ~rel2:1) tri2 in
+  let ql_value =
+    Ql.Ql_hs.eval_term tri2 (Ql.Ql_macros.union (Ql.Ql_ast.Rel 0) (Ql.Ql_ast.Rel 1))
+  in
+  check Test_support.tupleset_testable "GM = QL_hs on union"
+    ql_value.Ql.Ql_hs.reps
+    (output_exn gm_result ~reg:out)
+
+let test_fuel_exhaustion () =
+  (* A spec that never halts. *)
+  let spec =
+    { Genmach.Gm.nstores = 1; start = 0; delta = (fun v -> Genmach.Gm.Step ([], v.Genmach.Gm.state)) }
+  in
+  Alcotest.(check bool) "out of fuel" true (Genmach.Gm.run spec tri ~fuel:20 = None)
+
+let test_genericity_of_outputs () =
+  (* Every stored tuple is a tree path: GM_hs outputs are unions of
+     classes. *)
+  let out = Genmach.Gm_programs.output_reg tri in
+  let result = run_ok (Genmach.Gm_programs.up ~out ~rel:0) tri in
+  Tupleset.iter
+    (fun p ->
+      Alcotest.(check bool) "output is a path" true (Hs.Hsdb.is_path tri p))
+    (output_exn result ~reg:out)
+
+let test_load_all_protocol () =
+  (* The full Theorem 5.1 loading protocol, on relations with 1, 2 and 3
+     representatives. *)
+  let full =
+    (* triangles plus the full binary relation: its C has all three
+       rank-2 representatives, so the protocol explores 3! tape orders. *)
+    let r1 =
+      Rdb.Relation.make ~name:"E" ~arity:2 (fun u ->
+          u.(0) <> u.(1) && u.(0) / 3 = u.(1) / 3)
+    in
+    let r2 = Rdb.Relation.make ~name:"ALL" ~arity:2 (fun _ -> true) in
+    Hs.Hsdb.make ~name:"triangles_full"
+      ~db:(Rdb.Database.make [| r1; r2 |])
+      ~children:(Hs.Hsdb.children tri)
+      ~equiv:(Hs.Hsdb.equiv tri) ()
+  in
+  List.iter
+    (fun (label, inst, rel) ->
+      let out = Genmach.Gm_programs.output_reg inst in
+      let probe = out + 1 in
+      match
+        Genmach.Gm.run
+          (Genmach.Gm_programs.load_all ~out ~probe ~rel)
+          inst ~fuel:5000
+      with
+      | None -> Alcotest.fail (label ^ ": out of fuel")
+      | Some result -> begin
+          match Genmach.Gm.output result ~reg:out with
+          | None -> Alcotest.fail (label ^ ": no single-unit output")
+          | Some got ->
+              check Test_support.tupleset_testable label
+                (Hs.Hsdb.reps inst rel) got
+        end)
+    [
+      ("one rep", tri, 0);
+      ("two reps", tri2, 1);
+      ("three reps", full, 1);
+    ]
+
+let test_load_all_collapse_counts () =
+  (* With k representatives the protocol explores every insertion
+     order; spawning and collapse are both substantial. *)
+  let out = Genmach.Gm_programs.output_reg tri2 in
+  match
+    Genmach.Gm.run
+      (Genmach.Gm_programs.load_all ~out ~probe:(out + 1) ~rel:1)
+      tri2 ~fuel:5000
+  with
+  | None -> Alcotest.fail "out of fuel"
+  | Some result ->
+      Alcotest.(check bool) "multiple units in flight" true
+        (result.Genmach.Gm.peak_units >= 3);
+      Alcotest.(check bool) "collapses happened" true
+        (result.Genmach.Gm.collapses >= 3)
+
+let test_complement_program () =
+  (* GM_hs computes ¬Rel via probe-based negation; must agree with the
+     QL_hs complement on both the one-relation and two-relation
+     instances. *)
+  List.iter
+    (fun (inst, rel) ->
+      let out = Genmach.Gm_programs.output_reg inst in
+      let probe = out + 1 in
+      let result =
+        match
+          Genmach.Gm.run
+            (Genmach.Gm_programs.complement ~out ~probe ~rel)
+            inst ~fuel:2000
+        with
+        | Some r -> r
+        | None -> Alcotest.fail "complement ran out of fuel"
+      in
+      let expected =
+        (Ql.Ql_hs.eval_term inst (Ql.Ql_ast.Comp (Ql.Ql_ast.Rel rel)))
+          .Ql.Ql_hs.reps
+      in
+      match Genmach.Gm.output result ~reg:out with
+      | Some got ->
+          check Test_support.tupleset_testable
+            (Printf.sprintf "%s rel %d" (Hs.Hsdb.name inst) rel)
+            expected got
+      | None -> Alcotest.fail "no single-unit output")
+    [ (tri, 0); (tri2, 0); (tri2, 1); (Hs.Hsinstances.rado (), 0) ]
+
+let test_load_all_rejects_same_registers () =
+  Alcotest.check_raises "out = probe"
+    (Invalid_argument "Gm_programs.load_all: out = probe") (fun () ->
+      ignore (Genmach.Gm_programs.load_all ~out:1 ~probe:1 ~rel:0))
+
+let test_empty_load_kills_unit () =
+  (* Loading an empty relation spawns zero units: the machine vanishes
+     (and the run ends with no units). *)
+  let empty_inst = Hs.Hsinstances.empty_graph () in
+  let out = Genmach.Gm_programs.output_reg empty_inst in
+  let result = run_ok (Genmach.Gm_programs.load_relation ~out ~rel:0) empty_inst in
+  check Alcotest.int "no units left" 0 (List.length result.Genmach.Gm.units);
+  Alcotest.(check bool) "no single-unit output" true
+    (Genmach.Gm.output result ~reg:out = None)
+
+let () =
+  Alcotest.run "gm"
+    [
+      ( "programs",
+        [
+          Alcotest.test_case "tri2 valid" `Quick test_tri2_valid;
+          Alcotest.test_case "load relation" `Quick test_load_relation;
+          Alcotest.test_case "union" `Quick test_union;
+          Alcotest.test_case "intersection by equivalence" `Quick
+            test_inter_by_equiv;
+          Alcotest.test_case "up matches QL_hs" `Quick test_up_matches_qlhs;
+          Alcotest.test_case "union matches QL_hs" `Quick
+            test_gm_agrees_with_qlhs_union;
+          Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion;
+          Alcotest.test_case "outputs are class reps" `Quick
+            test_genericity_of_outputs;
+          Alcotest.test_case "empty load kills unit" `Quick
+            test_empty_load_kills_unit;
+          Alcotest.test_case "Thm 5.1 loading protocol" `Quick
+            test_load_all_protocol;
+          Alcotest.test_case "loading protocol spawn/collapse" `Quick
+            test_load_all_collapse_counts;
+          Alcotest.test_case "loading protocol validation" `Quick
+            test_load_all_rejects_same_registers;
+          Alcotest.test_case "complement via probe" `Quick
+            test_complement_program;
+        ] );
+    ]

@@ -1,0 +1,206 @@
+open Prelude
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+let test_cantor_examples () =
+  check int "pair(0,0)" 0 (Ints.cantor_pair 0 0);
+  check int "pair(1,0)" 1 (Ints.cantor_pair 1 0);
+  check int "pair(0,1)" 2 (Ints.cantor_pair 0 1);
+  let x, y = Ints.cantor_unpair 7 in
+  check int "unpair(7) repaired" 7 (Ints.cantor_pair x y)
+
+let test_isqrt () =
+  check int "isqrt 0" 0 (Ints.isqrt 0);
+  check int "isqrt 1" 1 (Ints.isqrt 1);
+  check int "isqrt 15" 3 (Ints.isqrt 15);
+  check int "isqrt 16" 4 (Ints.isqrt 16);
+  check int "isqrt 1_000_000" 1000 (Ints.isqrt 1_000_000);
+  Alcotest.check_raises "negative" (Invalid_argument "Ints.isqrt: negative argument")
+    (fun () -> ignore (Ints.isqrt (-1)))
+
+let test_digits () =
+  check (Alcotest.list int) "digits 10 base 2" [ 0; 1; 0; 1 ]
+    (Ints.digits ~base:2 10);
+  check int "of_digits inverse" 12345
+    (Ints.of_digits ~base:10 (Ints.digits ~base:10 12345));
+  check (Alcotest.list int) "digits 0" [] (Ints.digits ~base:7 0)
+
+let test_pow_bit () =
+  check int "2^10" 1024 (Ints.pow 2 10);
+  check int "7^0" 1 (Ints.pow 7 0);
+  check Alcotest.bool "bit 1 of 2" true (Ints.bit 1 2);
+  check Alcotest.bool "bit 0 of 2" false (Ints.bit 0 2);
+  check Alcotest.bool "huge bit index" false (Ints.bit 200 5)
+
+let test_range_sum () =
+  check (Alcotest.list int) "range 2 5" [ 2; 3; 4 ] (Ints.range 2 5);
+  check (Alcotest.list int) "empty range" [] (Ints.range 3 3);
+  check int "sum" 9 (Ints.sum [ 2; 3; 4 ]);
+  check int "prod empty" 1 (Ints.prod [])
+
+let test_rng_deterministic () =
+  let r1 = Ints.Rng.make 42 and r2 = Ints.Rng.make 42 in
+  let draws r = List.init 20 (fun _ -> Ints.Rng.int r 1000) in
+  check (Alcotest.list int) "same seed, same stream" (draws r1) (draws r2)
+
+let test_index_vectors () =
+  check int "3^2 vectors" 9
+    (List.length (Combinat.index_vectors ~width:2 ~bound:3));
+  check int "width 0" 1 (List.length (Combinat.index_vectors ~width:0 ~bound:5));
+  check int "bound 0" 0 (List.length (Combinat.index_vectors ~width:2 ~bound:0));
+  let vs = Combinat.index_vectors ~width:2 ~bound:2 in
+  check
+    (Alcotest.list (Alcotest.list int))
+    "lexicographic"
+    [ [ 0; 0 ]; [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ]
+    (List.map Array.to_list vs)
+
+let test_fold_cartesian_matches_list () =
+  let via_fold =
+    Combinat.fold_cartesian
+      (fun acc v -> Array.to_list v :: acc)
+      [] ~width:3 ~bound:3
+    |> List.rev
+  in
+  let via_list =
+    List.map Array.to_list (Combinat.index_vectors ~width:3 ~bound:3)
+  in
+  check (Alcotest.list (Alcotest.list int)) "same enumeration" via_list via_fold
+
+let test_subsets () =
+  check int "2^4 subsets" 16 (List.length (Combinat.subsets [ 1; 2; 3; 4 ]));
+  check int "empty set" 1 (List.length (Combinat.subsets []))
+
+let test_sublists_of_size () =
+  check int "4 choose 2" 6
+    (List.length (Combinat.sublists_of_size 2 [ 1; 2; 3; 4 ]));
+  check int "choose 0" 1 (List.length (Combinat.sublists_of_size 0 [ 1; 2 ]));
+  check int "choose too many" 0 (List.length (Combinat.sublists_of_size 3 [ 1 ]))
+
+let test_permutations () =
+  check int "4!" 24 (List.length (Combinat.permutations [ 1; 2; 3; 4 ]));
+  check int "0!" 1 (List.length (Combinat.permutations []))
+
+let test_bell_numbers () =
+  List.iteri
+    (fun n expected ->
+      check int (Printf.sprintf "Bell(%d)" n) expected (Combinat.bell n))
+    [ 1; 1; 2; 5; 15; 52 ]
+
+let test_rgs_canonical () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        "starts at 0" true
+        (Array.length p = 0 || p.(0) = 0))
+    (Combinat.restricted_growth_strings 4)
+
+let test_tuple_basics () =
+  let u = Tuple.of_list [ 3; 1; 3; 2 ] in
+  check int "rank" 4 (Tuple.rank u);
+  check (Alcotest.list int) "distinct" [ 3; 1; 2 ] (Tuple.distinct_elements u);
+  check (Alcotest.list int) "pattern" [ 0; 1; 0; 2 ]
+    (Array.to_list (Tuple.equality_pattern u));
+  check Test_support.tuple_testable "swap last two"
+    (Tuple.of_list [ 3; 1; 2; 3 ])
+    (Tuple.swap_last_two u);
+  check Test_support.tuple_testable "drop first"
+    (Tuple.of_list [ 1; 3; 2 ])
+    (Tuple.drop_first u);
+  check Test_support.tuple_testable "project"
+    (Tuple.of_list [ 2; 3 ])
+    (Tuple.project u [| 3; 0 |]);
+  check Alcotest.string "pp" "(3, 1, 3, 2)" (Tuple.to_string u);
+  check Alcotest.string "pp empty" "()" (Tuple.to_string Tuple.empty)
+
+let test_tuple_order () =
+  Alcotest.(check bool)
+    "rank dominates" true
+    (Tuple.compare (Tuple.of_list [ 9 ]) (Tuple.of_list [ 0; 0 ]) < 0);
+  Alcotest.(check bool)
+    "lex within rank" true
+    (Tuple.compare (Tuple.of_list [ 0; 1 ]) (Tuple.of_list [ 0; 2 ]) < 0)
+
+let test_tupleset () =
+  let s = Tupleset.of_lists [ [ 1; 2 ]; [ 3; 4 ]; [ 1; 2 ] ] in
+  check int "dedup" 2 (Tupleset.cardinal s);
+  check (Alcotest.option int) "common rank" (Some 2) (Tupleset.common_rank s);
+  check (Alcotest.option int) "empty rank" None
+    (Tupleset.common_rank Tupleset.empty);
+  Alcotest.check_raises "mixed ranks"
+    (Invalid_argument "Tupleset.common_rank: mixed ranks") (fun () ->
+      ignore (Tupleset.common_rank (Tupleset.of_lists [ [ 1 ]; [ 1; 2 ] ])))
+
+let qcheck_tests =
+  let open QCheck2 in
+  Test_support.to_alcotest
+    [
+      Test.make ~count:200 ~name:"cantor pair/unpair roundtrip"
+        Gen.(pair (int_bound 10_000) (int_bound 10_000))
+        (fun (x, y) -> Ints.cantor_unpair (Ints.cantor_pair x y) = (x, y));
+      Test.make ~count:200 ~name:"cantor unpair/pair roundtrip"
+        Gen.(int_bound 1_000_000)
+        (fun z ->
+          let x, y = Ints.cantor_unpair z in
+          Ints.cantor_pair x y = z);
+      Test.make ~count:200 ~name:"pair_list roundtrip"
+        (* Nested Cantor pairing grows doubly exponentially, so stay
+           within 3 components below 20 to avoid 63-bit overflow. *)
+        Gen.(list_size (int_bound 3) (int_bound 20))
+        (fun l -> Ints.unpair_list (Ints.pair_list l) = l);
+      Test.make ~count:200 ~name:"isqrt correct"
+        Gen.(int_bound 10_000_000)
+        (fun n ->
+          let r = Ints.isqrt n in
+          r * r <= n && (r + 1) * (r + 1) > n);
+      Test.make ~count:200 ~name:"equality pattern is RGS"
+        Gen.(array_size (int_bound 6) (int_bound 3))
+        (fun u ->
+          let p = Prelude.Tuple.equality_pattern u in
+          Array.length p = Array.length u
+          && (Array.length p = 0 || p.(0) = 0));
+      Test.make ~count:200 ~name:"pattern reflects equalities"
+        Gen.(array_size (pure 5) (int_bound 2))
+        (fun u ->
+          let p = Prelude.Tuple.equality_pattern u in
+          let ok = ref true in
+          for i = 0 to 4 do
+            for j = 0 to 4 do
+              if (u.(i) = u.(j)) <> (p.(i) = p.(j)) then ok := false
+            done
+          done;
+          !ok);
+    ]
+
+let () =
+  Alcotest.run "prelude"
+    [
+      ( "ints",
+        [
+          Alcotest.test_case "cantor examples" `Quick test_cantor_examples;
+          Alcotest.test_case "isqrt" `Quick test_isqrt;
+          Alcotest.test_case "digits" `Quick test_digits;
+          Alcotest.test_case "pow/bit" `Quick test_pow_bit;
+          Alcotest.test_case "range/sum" `Quick test_range_sum;
+          Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+        ] );
+      ( "combinat",
+        [
+          Alcotest.test_case "index vectors" `Quick test_index_vectors;
+          Alcotest.test_case "fold_cartesian" `Quick
+            test_fold_cartesian_matches_list;
+          Alcotest.test_case "subsets" `Quick test_subsets;
+          Alcotest.test_case "sublists of size" `Quick test_sublists_of_size;
+          Alcotest.test_case "permutations" `Quick test_permutations;
+          Alcotest.test_case "bell numbers" `Quick test_bell_numbers;
+          Alcotest.test_case "rgs canonical" `Quick test_rgs_canonical;
+        ] );
+      ( "tuple",
+        [
+          Alcotest.test_case "basics" `Quick test_tuple_basics;
+          Alcotest.test_case "order" `Quick test_tuple_order;
+          Alcotest.test_case "tupleset" `Quick test_tupleset;
+        ] );
+      ("properties", qcheck_tests);
+    ]

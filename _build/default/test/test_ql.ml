@@ -1,0 +1,458 @@
+open Prelude
+open Ql
+
+let t = Tuple.of_list
+let check = Alcotest.check
+
+(* -------------------------------------------------------------------- *)
+(* AST                                                                  *)
+
+let test_max_var () =
+  let p =
+    Ql_ast.Seq
+      ( Ql_ast.Assign (2, Ql_ast.Var 5),
+        Ql_ast.While_empty (1, Ql_ast.Assign (0, Ql_ast.E)) )
+  in
+  check Alcotest.int "max var" 5 (Ql_ast.max_var p)
+
+let test_pp () =
+  check Alcotest.string "term" "(Rel1 ∩ ¬Y2↑)"
+    (Ql_ast.term_to_string
+       (Ql_ast.Inter (Ql_ast.Rel 0, Ql_ast.Comp (Ql_ast.Up (Ql_ast.Var 1)))));
+  Alcotest.(check bool) "program prints" true
+    (String.length
+       (Ql_ast.program_to_string
+          (Ql_ast.While_single (0, Ql_ast.Assign (0, Ql_ast.E))))
+    > 0)
+
+(* -------------------------------------------------------------------- *)
+(* Concrete syntax                                                      *)
+
+let test_parse_terms () =
+  let f = Alcotest.testable (fun ppf e -> Ql_ast.pp_term ppf e) ( = ) in
+  check f "atoms and postfix"
+    (Ql_ast.Down (Ql_ast.Up Ql_ast.E))
+    (Ql_parser.term "E^!");
+  check f "complement binds over postfix"
+    (Ql_ast.Comp (Ql_ast.Swap (Ql_ast.Rel 0)))
+    (Ql_parser.term "~Rel1%");
+  check f "intersection left assoc"
+    (Ql_ast.Inter (Ql_ast.Inter (Ql_ast.Rel 0, Ql_ast.Var 1), Ql_ast.E))
+    (Ql_parser.term "Rel1 & Y2 & E");
+  check f "parens"
+    (Ql_ast.Comp (Ql_ast.Inter (Ql_ast.Rel 0, Ql_ast.E)))
+    (Ql_parser.term "~(Rel1 & E)")
+
+let test_parse_programs () =
+  let p = Ql_parser.program "Y1 <- Rel1; while |Y2| = 0 do { Y2 <- E^ }" in
+  (match p with
+  | Ql_ast.Seq (Ql_ast.Assign (0, Ql_ast.Rel 0), Ql_ast.While_empty (1, _)) ->
+      ()
+  | _ -> Alcotest.fail "unexpected parse");
+  let p2 = Ql_parser.program "while |Y1| < inf do { Y1 <- ~Y1 }" in
+  (match p2 with
+  | Ql_ast.While_finite (0, Ql_ast.Assign (0, Ql_ast.Comp (Ql_ast.Var 0))) ->
+      ()
+  | _ -> Alcotest.fail "unexpected parse");
+  match Ql_parser.program "Y1 <-" with
+  | exception Ql_parser.Error _ -> ()
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_parser_printer_fixpoint () =
+  (* print ∘ parse ∘ print = print (Seq re-associates, so compare
+     sources). *)
+  List.iter
+    (fun src ->
+      let p = Ql_parser.program src in
+      let printed = Ql_parser.program_to_source p in
+      check Alcotest.string src printed
+        (Ql_parser.program_to_source (Ql_parser.program printed)))
+    [
+      "Y1 <- Rel1 & ~E";
+      "Y1 <- E; Y2 <- Y1^; Y3 <- Y2!%";
+      "while |Y1| = 1 do { Y1 <- ~Y1 & Y1 }";
+      "Y1 <- ~(Rel1 & E)^";
+    ]
+
+let gen_ql_term =
+  let open QCheck2.Gen in
+  let base = oneofl [ Ql_ast.E; Ql_ast.Rel 0; Ql_ast.Var 0; Ql_ast.Var 1 ] in
+  let rec go n =
+    if n = 0 then base
+    else
+      oneof
+        [
+          base;
+          map (fun e -> Ql_ast.Comp e) (go (n - 1));
+          map (fun e -> Ql_ast.Up e) (go (n - 1));
+          map (fun e -> Ql_ast.Down e) (go (n - 1));
+          map (fun e -> Ql_ast.Swap e) (go (n - 1));
+          map2 (fun e f -> Ql_ast.Inter (e, f)) (go (n - 1)) (go (n - 1));
+        ]
+  in
+  go 4
+
+let qcheck_parser_tests =
+  Test_support.to_alcotest
+    [
+      QCheck2.Test.make ~count:300 ~name:"term source roundtrip" gen_ql_term
+        (fun e -> Ql_parser.term (Ql_parser.term_to_source e) = e);
+    ]
+
+(* -------------------------------------------------------------------- *)
+(* Finite semantics                                                     *)
+
+let finite_edges = Tupleset.of_lists [ [ 0; 1 ]; [ 1; 2 ] ]
+let domain = [ 0; 1; 2 ]
+let algebra = Ql_finite.algebra ~domain ~rels:[| (2, finite_edges) |]
+
+let eval e = Ql_interp.eval_term ~algebra ~store:[||] e
+
+let test_finite_e () =
+  let v = eval Ql_ast.E in
+  check Alcotest.int "rank" 2 v.Ql_finite.rank;
+  check Test_support.tupleset_testable "diagonal"
+    (Tupleset.of_lists [ [ 0; 0 ]; [ 1; 1 ]; [ 2; 2 ] ])
+    v.Ql_finite.tuples
+
+let test_finite_comp () =
+  let v = eval (Ql_ast.Comp (Ql_ast.Rel 0)) in
+  check Alcotest.int "9-2 tuples" 7 (Tupleset.cardinal v.Ql_finite.tuples)
+
+let test_finite_up_down_swap () =
+  let up = eval (Ql_ast.Up (Ql_ast.Rel 0)) in
+  check Alcotest.int "up rank" 3 up.Ql_finite.rank;
+  check Alcotest.int "up size" 6 (Tupleset.cardinal up.Ql_finite.tuples);
+  let down = eval (Ql_ast.Down (Ql_ast.Rel 0)) in
+  check Test_support.tupleset_testable "targets"
+    (Tupleset.of_lists [ [ 1 ]; [ 2 ] ])
+    down.Ql_finite.tuples;
+  let swap = eval (Ql_ast.Swap (Ql_ast.Rel 0)) in
+  check Test_support.tupleset_testable "reversed"
+    (Tupleset.of_lists [ [ 1; 0 ]; [ 2; 1 ] ])
+    swap.Ql_finite.tuples
+
+let test_finite_macros () =
+  let sym = eval (Ql_macros.symmetric_closure (Ql_ast.Rel 0)) in
+  check Test_support.tupleset_testable "symmetric closure"
+    (Tupleset.of_lists [ [ 0; 1 ]; [ 1; 0 ]; [ 1; 2 ]; [ 2; 1 ] ])
+    sym.Ql_finite.tuples;
+  let d = eval (Ql_macros.diff (Ql_ast.Rel 0) (Ql_ast.Swap (Ql_ast.Rel 0))) in
+  check Test_support.tupleset_testable "diff"
+    finite_edges d.Ql_finite.tuples;
+  let truth = eval Ql_macros.truth in
+  check Alcotest.int "truth rank" 0 truth.Ql_finite.rank;
+  check Alcotest.int "truth is singleton" 1
+    (Tupleset.cardinal truth.Ql_finite.tuples);
+  let falsity = eval Ql_macros.falsity in
+  Alcotest.(check bool) "falsity empty" true
+    (Tupleset.is_empty falsity.Ql_finite.tuples)
+
+let test_finite_rank_errors () =
+  let run_term e =
+    Ql_interp.run ~algebra ~fuel:10 (Ql_ast.Assign (0, e))
+  in
+  let is_ill = function Ql_interp.Ill_formed _ -> true | _ -> false in
+  Alcotest.(check bool) "inter rank mismatch" true
+    (is_ill (run_term (Ql_ast.Inter (Ql_ast.E, Ql_macros.truth))));
+  Alcotest.(check bool) "down on rank 0" true
+    (is_ill (run_term (Ql_ast.Down Ql_macros.truth)));
+  Alcotest.(check bool) "swap on rank 1" true
+    (is_ill (run_term (Ql_ast.Swap (Ql_ast.Down Ql_ast.E))));
+  Alcotest.(check bool) "unknown relation" true
+    (is_ill (run_term (Ql_ast.Rel 7)))
+
+let test_finite_while_and_fuel () =
+  (* Y2 starts empty: loop body runs once, sets Y1 and the guard. *)
+  let p =
+    Ql_ast.While_empty
+      ( 1,
+        Ql_macros.seq
+          [
+            Ql_ast.Assign (0, Ql_ast.Rel 0);
+            Ql_ast.Assign (1, Ql_macros.truth);
+          ] )
+  in
+  (match Ql_interp.run ~algebra ~fuel:100 p with
+  | Ql_interp.Halted store ->
+      check Test_support.tupleset_testable "Y1 = edges" finite_edges
+        store.(0).Ql_finite.tuples
+  | _ -> Alcotest.fail "expected halt");
+  (* Diverging loop: guard never becomes nonempty. *)
+  let loop = Ql_ast.While_empty (1, Ql_ast.Assign (0, Ql_ast.Rel 0)) in
+  Alcotest.(check bool) "timeout" true
+    (Ql_interp.run ~algebra ~fuel:50 loop = Ql_interp.Timeout)
+
+let test_finite_while_single () =
+  (* Y1 := truth (singleton); flip it to empty inside the |Y|=1 loop. *)
+  let p =
+    Ql_macros.seq
+      [
+        Ql_ast.Assign (0, Ql_macros.truth);
+        Ql_ast.While_single (0, Ql_ast.Assign (0, Ql_macros.falsity));
+      ]
+  in
+  match Ql_interp.run ~algebra ~fuel:100 p with
+  | Ql_interp.Halted store ->
+      Alcotest.(check bool) "ends empty" true
+        (Tupleset.is_empty store.(0).Ql_finite.tuples)
+  | _ -> Alcotest.fail "expected halt"
+
+let test_finite_if_then_else () =
+  (* cond = Rel1 is nonempty, so the else branch must run. *)
+  let p =
+    Ql_macros.if_then_else ~flag1:2 ~flag2:3 ~cond:(Ql_ast.Rel 0) ~rank:2
+      (Ql_ast.Assign (0, Ql_macros.truth))
+      (Ql_ast.Assign (0, Ql_ast.E))
+  in
+  (match Ql_interp.run ~algebra ~fuel:100 p with
+  | Ql_interp.Halted store ->
+      check Alcotest.int "else branch ran (rank 2)" 2 store.(0).Ql_finite.rank
+  | _ -> Alcotest.fail "expected halt");
+  (* Empty condition: then branch. *)
+  let p2 =
+    Ql_macros.if_then_else ~flag1:2 ~flag2:3
+      ~cond:(Ql_macros.diff (Ql_ast.Rel 0) (Ql_ast.Rel 0))
+      ~rank:2
+      (Ql_ast.Assign (0, Ql_macros.truth))
+      (Ql_ast.Assign (0, Ql_ast.E))
+  in
+  match Ql_interp.run ~algebra ~fuel:100 p2 with
+  | Ql_interp.Halted store ->
+      check Alcotest.int "then branch ran (rank 0)" 0 store.(0).Ql_finite.rank
+  | _ -> Alcotest.fail "expected halt"
+
+let test_while_finite_unsupported () =
+  let p = Ql_ast.While_finite (0, Ql_ast.Assign (0, Ql_ast.E)) in
+  Alcotest.(check bool) "finite algebra lacks the test" true
+    (match Ql_interp.run ~algebra ~fuel:10 p with
+    | Ql_interp.Ill_formed _ -> true
+    | _ -> false)
+
+let test_counters_finite () =
+  let p =
+    Ql_macros.seq
+      [
+        Ql_macros.counter_zero 0;
+        Ql_macros.counter_add_const 0 3;
+        Ql_macros.counter_decr 0;
+      ]
+  in
+  match Ql_interp.run ~algebra ~fuel:100 p with
+  | Ql_interp.Halted store ->
+      check Alcotest.int "counter value 2 = rank 2" 2 store.(0).Ql_finite.rank;
+      Alcotest.(check bool) "nonempty" true
+        (not (Tupleset.is_empty store.(0).Ql_finite.tuples))
+  | _ -> Alcotest.fail "expected halt"
+
+(* -------------------------------------------------------------------- *)
+(* QL_hs semantics                                                      *)
+
+let tri = Hs.Hsinstances.triangles ()
+let arrows = Hs.Hsinstances.disjoint_copies [ Hs.Hsinstances.directed_edge_component ]
+let clique = Hs.Hsinstances.infinite_clique ()
+
+let denote inst term ~cutoff =
+  Ql_hs.denotation inst (Ql_hs.eval_term inst term) ~cutoff
+
+let ground inst query ~cutoff =
+  Hs.Fo_eval.eval_upto inst (Rlogic.Parser.query query) ~cutoff
+
+let test_hs_e_term () =
+  let v = Ql_hs.eval_term clique Ql_ast.E in
+  check Alcotest.int "rank 2" 2 v.Ql_hs.rank;
+  check Test_support.tupleset_testable "single diagonal rep"
+    (Tupleset.of_lists [ [ 0; 0 ] ])
+    v.Ql_hs.reps;
+  check Test_support.tupleset_testable "denotes equality"
+    (ground clique "{(x, y) | x = y}" ~cutoff:4)
+    (denote clique Ql_ast.E ~cutoff:4)
+
+let test_hs_rel_and_comp () =
+  check Test_support.tupleset_testable "edges"
+    (ground tri "{(x, y) | R1(x, y)}" ~cutoff:6)
+    (denote tri (Ql_ast.Rel 0) ~cutoff:6);
+  check Test_support.tupleset_testable "non-edges"
+    (ground tri "{(x, y) | !R1(x, y)}" ~cutoff:6)
+    (denote tri (Ql_ast.Comp (Ql_ast.Rel 0)) ~cutoff:6)
+
+let test_hs_swap () =
+  check Test_support.tupleset_testable "reversed arrows"
+    (ground arrows "{(x, y) | R1(y, x)}" ~cutoff:6)
+    (denote arrows (Ql_ast.Swap (Ql_ast.Rel 0)) ~cutoff:6)
+
+let test_hs_down_is_projection () =
+  (* e↓ projects out the first coordinate: targets of arrows. *)
+  check Test_support.tupleset_testable "arrow targets"
+    (ground arrows "{(y) | exists x. R1(x, y)}" ~cutoff:6)
+    (denote arrows (Ql_ast.Down (Ql_ast.Rel 0)) ~cutoff:6)
+
+let test_hs_up_is_cylinder () =
+  check Test_support.tupleset_testable "cylinder over edges"
+    (ground tri "{(x, y, z) | R1(x, y)}" ~cutoff:5)
+    (denote tri (Ql_ast.Up (Ql_ast.Rel 0)) ~cutoff:5)
+
+let test_hs_macros_on_arrows () =
+  check Test_support.tupleset_testable "symmetric closure"
+    (ground arrows "{(x, y) | R1(x, y) || R1(y, x)}" ~cutoff:6)
+    (denote arrows (Ql_macros.symmetric_closure (Ql_ast.Rel 0)) ~cutoff:6);
+  check Test_support.tupleset_testable "union with equality"
+    (ground tri "{(x, y) | R1(x, y) || x = y}" ~cutoff:6)
+    (denote tri (Ql_macros.union (Ql_ast.Rel 0) Ql_ast.E) ~cutoff:6)
+
+let test_hs_program_runs () =
+  let p =
+    Ql_macros.seq
+      [
+        Ql_ast.Assign (1, Ql_ast.Rel 0);
+        Ql_ast.Assign (0, Ql_macros.diff (Ql_ast.Comp (Ql_ast.Var 1)) Ql_ast.E);
+      ]
+  in
+  match Ql_hs.run tri ~fuel:100 p with
+  | Ql_interp.Halted store ->
+      check Test_support.tupleset_testable
+        "distinct non-adjacent pairs"
+        (ground tri "{(x, y) | !R1(x, y) && x != y}" ~cutoff:6)
+        (Ql_hs.denotation tri store.(0) ~cutoff:6)
+  | _ -> Alcotest.fail "expected halt"
+
+let test_hs_while_single () =
+  (* C1 of the arrow instance is a single representative: the |Y|=1 loop
+     fires and replaces it with its complement. *)
+  let p =
+    Ql_macros.seq
+      [
+        Ql_ast.Assign (0, Ql_ast.Rel 0);
+        Ql_ast.While_single
+          (0, Ql_ast.Assign (0, Ql_macros.diff (Ql_ast.Var 0) (Ql_ast.Rel 0)));
+      ]
+  in
+  match Ql_hs.run arrows ~fuel:100 p with
+  | Ql_interp.Halted store ->
+      Alcotest.(check bool) "loop fired once, emptied Y1" true
+        (Tupleset.is_empty store.(0).Ql_hs.reps)
+  | _ -> Alcotest.fail "expected halt"
+
+let test_hs_genericity_invariant () =
+  (* Every QL_hs term value is a set of tree paths — i.e. class
+     representatives, so results are unions of classes (genericity). *)
+  List.iter
+    (fun term ->
+      let v = Ql_hs.eval_term tri term in
+      Tupleset.iter
+        (fun p ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s yields paths" (Ql_ast.term_to_string term))
+            true (Hs.Hsdb.is_path tri p))
+        v.Ql_hs.reps)
+    [
+      Ql_ast.E;
+      Ql_ast.Rel 0;
+      Ql_ast.Comp (Ql_ast.Rel 0);
+      Ql_ast.Up (Ql_ast.Rel 0);
+      Ql_ast.Down (Ql_ast.Rel 0);
+      Ql_ast.Swap (Ql_ast.Rel 0);
+      Ql_macros.union (Ql_ast.Rel 0) Ql_ast.E;
+    ]
+
+let test_hs_counters () =
+  let p =
+    Ql_macros.seq [ Ql_macros.counter_zero 0; Ql_macros.counter_add_const 0 2 ]
+  in
+  match Ql_hs.run clique ~fuel:100 p with
+  | Ql_interp.Halted store ->
+      check Alcotest.int "counter 2" 2 store.(0).Ql_hs.rank;
+      Alcotest.(check bool) "nonempty" true
+        (not (Tupleset.is_empty store.(0).Ql_hs.reps))
+  | _ -> Alcotest.fail "expected halt"
+
+(* -------------------------------------------------------------------- *)
+(* The Theorem 3.1 coding pipeline                                      *)
+
+let test_coding_identity () =
+  let answer = Coding.run_integer_query tri (fun c -> c.Coding.x.(0)) in
+  check Test_support.tupleset_testable "identity query returns C1"
+    (Hs.Hsdb.reps tri 0) answer
+
+let test_coding_swap () =
+  let swap_idx js = Tuple.swap_last_two js in
+  let q c = Tupleset.map swap_idx c.Coding.x.(0) in
+  let via_coding = Coding.run_integer_query arrows q in
+  let direct = (Ql_hs.eval_term arrows (Ql_ast.Swap (Ql_ast.Rel 0))).Ql_hs.reps in
+  check Test_support.tupleset_testable "swap via integers = QL_hs swap"
+    direct via_coding
+
+let test_coding_rejects_bad_d () =
+  Alcotest.check_raises "bad coding tuple"
+    (Invalid_argument "Coding.encode: d does not cover the input representatives")
+    (fun () -> ignore (Coding.encode tri ~d:(t [ 0 ])))
+
+let test_encode_structure () =
+  let c = Coding.encode_auto tri in
+  Alcotest.(check bool) "d is a path" true (Hs.Hsdb.is_path tri c.Coding.d);
+  Alcotest.(check bool) "covers" true
+    (Hs.Ef.projections_cover tri c.Coding.d);
+  (* X1 holds exactly the index pairs whose projections are edges. *)
+  let n = Tuple.rank c.Coding.d in
+  let expected =
+    Combinat.fold_cartesian
+      (fun acc js ->
+        if
+          Rdb.Database.mem (Hs.Hsdb.db tri) 0 (Tuple.project c.Coding.d js)
+        then Tupleset.add (Array.copy js) acc
+        else acc)
+      Tupleset.empty ~width:2 ~bound:n
+  in
+  check Test_support.tupleset_testable "X1 contents" expected c.Coding.x.(0)
+
+let () =
+  Alcotest.run "ql"
+    [
+      ( "ast",
+        [
+          Alcotest.test_case "max var" `Quick test_max_var;
+          Alcotest.test_case "pretty printing" `Quick test_pp;
+        ] );
+      ( "syntax",
+        Alcotest.test_case "terms" `Quick test_parse_terms
+        :: Alcotest.test_case "programs" `Quick test_parse_programs
+        :: Alcotest.test_case "printer fixpoint" `Quick
+             test_parser_printer_fixpoint
+        :: qcheck_parser_tests );
+      ( "finite",
+        [
+          Alcotest.test_case "E" `Quick test_finite_e;
+          Alcotest.test_case "complement" `Quick test_finite_comp;
+          Alcotest.test_case "up/down/swap" `Quick test_finite_up_down_swap;
+          Alcotest.test_case "macros" `Quick test_finite_macros;
+          Alcotest.test_case "rank errors" `Quick test_finite_rank_errors;
+          Alcotest.test_case "while + fuel" `Quick test_finite_while_and_fuel;
+          Alcotest.test_case "while |Y|=1" `Quick test_finite_while_single;
+          Alcotest.test_case "if-then-else" `Quick test_finite_if_then_else;
+          Alcotest.test_case "|Y|<inf unsupported" `Quick
+            test_while_finite_unsupported;
+          Alcotest.test_case "counters" `Quick test_counters_finite;
+        ] );
+      ( "hs",
+        [
+          Alcotest.test_case "E term" `Quick test_hs_e_term;
+          Alcotest.test_case "rel and comp" `Quick test_hs_rel_and_comp;
+          Alcotest.test_case "swap" `Quick test_hs_swap;
+          Alcotest.test_case "down is projection" `Quick
+            test_hs_down_is_projection;
+          Alcotest.test_case "up is cylinder" `Quick test_hs_up_is_cylinder;
+          Alcotest.test_case "macros" `Quick test_hs_macros_on_arrows;
+          Alcotest.test_case "program" `Quick test_hs_program_runs;
+          Alcotest.test_case "while |Y|=1" `Quick test_hs_while_single;
+          Alcotest.test_case "genericity invariant" `Quick
+            test_hs_genericity_invariant;
+          Alcotest.test_case "counters" `Quick test_hs_counters;
+        ] );
+      ( "coding",
+        [
+          Alcotest.test_case "identity query" `Quick test_coding_identity;
+          Alcotest.test_case "swap query" `Quick test_coding_swap;
+          Alcotest.test_case "rejects bad d" `Quick test_coding_rejects_bad_d;
+          Alcotest.test_case "encode structure" `Quick test_encode_structure;
+        ] );
+    ]

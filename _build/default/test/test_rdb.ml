@@ -1,0 +1,204 @@
+open Prelude
+open Rdb
+
+let check = Alcotest.check
+let t = Tuple.of_list
+
+let test_relation_instrumentation () =
+  let r = Relation.make ~name:"EVEN" ~arity:1 (fun u -> u.(0) mod 2 = 0) in
+  check Alcotest.int "no calls yet" 0 (Relation.calls r);
+  Alcotest.(check bool) "4 even" true (Relation.mem r (t [ 4 ]));
+  Alcotest.(check bool) "5 odd" false (Relation.mem r (t [ 5 ]));
+  check Alcotest.int "two calls" 2 (Relation.calls r);
+  Relation.reset_calls r;
+  check Alcotest.int "reset" 0 (Relation.calls r)
+
+let test_relation_arity_check () =
+  let r = Relation.make ~arity:2 (fun _ -> true) in
+  Alcotest.check_raises "wrong rank"
+    (Invalid_argument "Relation.mem: R expects rank 2, got 1") (fun () ->
+      ignore (Relation.mem r (t [ 1 ])))
+
+let test_relation_logging () =
+  let r = Relation.make ~arity:1 (fun u -> u.(0) > 2) in
+  let r', get = Relation.logged r in
+  ignore (Relation.mem r' (t [ 1 ]));
+  ignore (Relation.mem r' (t [ 5 ]));
+  let log = get () in
+  check Alcotest.int "two entries" 2 (List.length log);
+  let u, ans = List.nth log 0 in
+  check Test_support.tuple_testable "first query" (t [ 1 ]) u;
+  Alcotest.(check bool) "first answer" false ans
+
+let test_finite_and_cofinite () =
+  let s = Tupleset.of_lists [ [ 1 ]; [ 2 ] ] in
+  let fin = Relation.of_tupleset ~arity:1 s in
+  let cof = Relation.cofinite_of ~arity:1 s in
+  Alcotest.(check bool) "finite member" true (Relation.mem fin (t [ 1 ]));
+  Alcotest.(check bool) "finite non-member" false (Relation.mem fin (t [ 9 ]));
+  Alcotest.(check bool) "cofinite complement" false (Relation.mem cof (t [ 1 ]));
+  Alcotest.(check bool) "cofinite member" true (Relation.mem cof (t [ 9 ]))
+
+let test_database_basics () =
+  let b = Instances.multiplication () in
+  check (Alcotest.array Alcotest.int) "type" [| 3 |] (Database.db_type b);
+  Alcotest.(check bool) "6=2*3" true (Database.mem b 0 (t [ 2; 3; 6 ]));
+  Alcotest.(check bool) "7<>2*3" false (Database.mem b 0 (t [ 2; 3; 7 ]));
+  check Alcotest.int "oracle calls counted" 2 (Database.oracle_calls b);
+  Database.reset_oracle_calls b;
+  check Alcotest.int "reset" 0 (Database.oracle_calls b)
+
+let test_restrict_to () =
+  let b = Instances.infinite_clique () in
+  let br = Database.restrict_to b [ 1; 2 ] in
+  Alcotest.(check bool) "inside" true (Database.mem br 0 (t [ 1; 2 ]));
+  Alcotest.(check bool) "outside" false (Database.mem br 0 (t [ 1; 3 ]))
+
+let test_domain_of_pred () =
+  let evens = Database.domain_of_pred (fun x -> x mod 2 = 0) in
+  check Alcotest.int "0th even" 0 (evens.Database.dnth 0);
+  check Alcotest.int "3rd even" 6 (evens.Database.dnth 3);
+  Alcotest.(check bool) "mem" true (evens.Database.dmem 4);
+  Alcotest.(check bool) "not mem" false (evens.Database.dmem 5)
+
+let test_instances_sanity () =
+  let b = Instances.divides () in
+  Alcotest.(check bool) "3 | 9" true (Database.mem b 0 (t [ 3; 9 ]));
+  Alcotest.(check bool) "3 does not divide 10" false (Database.mem b 0 (t [ 3; 10 ]));
+  Alcotest.(check bool) "0 divides nothing" false (Database.mem b 0 (t [ 0; 0 ]));
+  let lt = Instances.less_than () in
+  Alcotest.(check bool) "1 < 2" true (Database.mem lt 0 (t [ 1; 2 ]));
+  Alcotest.(check bool) "2 not< 2" false (Database.mem lt 0 (t [ 2; 2 ]))
+
+let test_line_instance () =
+  let b = Instances.successor_line () in
+  (* Paper nodes shifted down by one: paper's 1–2 edge is our 0–1. *)
+  Alcotest.(check bool) "centre edge" true (Database.mem b 0 (t [ 0; 1 ]));
+  Alcotest.(check bool) "symmetric" true (Database.mem b 0 (t [ 1; 0 ]));
+  (* paper's 3–1 edge is our 2–0 *)
+  Alcotest.(check bool) "left edge" true (Database.mem b 0 (t [ 2; 0 ]));
+  (* paper's 2–4 edge is our 1–3 *)
+  Alcotest.(check bool) "right edge" true (Database.mem b 0 (t [ 1; 3 ]));
+  Alcotest.(check bool) "no self loop" false (Database.mem b 0 (t [ 1; 1 ]));
+  Alcotest.(check bool) "no skip edge" false (Database.mem b 0 (t [ 0; 3 ]));
+  (* Every node has degree exactly 2 (scan a window). *)
+  let degree v =
+    List.length
+      (List.filter
+         (fun w -> Database.mem b 0 (t [ v; w ]))
+         (Ints.range 0 50))
+  in
+  List.iter
+    (fun v -> check Alcotest.int (Printf.sprintf "degree of %d" v) 2 (degree v))
+    (Ints.range 0 20)
+
+let test_grid () =
+  let g = Rdb.Instances.grid () in
+  (* grid_position is injective on a window. *)
+  let positions = List.map Rdb.Instances.grid_position (Ints.range 0 50) in
+  check Alcotest.int "injective coding" 50
+    (List.length (List.sort_uniq compare positions));
+  (* Every node has degree exactly 4 (scan a generous window). *)
+  let degree v =
+    List.length
+      (List.filter (fun w -> Rdb.Database.mem g 0 (t [ v; w ])) (Ints.range 0 200))
+  in
+  List.iter
+    (fun v -> check Alcotest.int (Printf.sprintf "degree of %d" v) 4 (degree v))
+    [ 0; 1; 2; 5; 10 ];
+  Alcotest.(check bool) "no self loop" false (Rdb.Database.mem g 0 (t [ 3; 3 ]))
+
+let test_clique_and_empty () =
+  let c = Instances.infinite_clique () in
+  let e = Instances.empty_graph () in
+  Alcotest.(check bool) "clique edge" true (Database.mem c 0 (t [ 5; 9 ]));
+  Alcotest.(check bool) "clique irreflexive" false (Database.mem c 0 (t [ 5; 5 ]));
+  Alcotest.(check bool) "empty has no edge" false (Database.mem e 0 (t [ 5; 9 ]))
+
+let test_mod_cliques () =
+  let b = Instances.mod_cliques 3 in
+  Alcotest.(check bool) "same residue" true (Database.mem b 0 (t [ 1; 7 ]));
+  Alcotest.(check bool) "different residue" false (Database.mem b 0 (t [ 1; 8 ]));
+  Alcotest.(check bool) "irreflexive" false (Database.mem b 0 (t [ 4; 4 ]))
+
+let test_triangles () =
+  let b = Instances.triangles () in
+  Alcotest.(check bool) "within triangle" true (Database.mem b 0 (t [ 3; 5 ]));
+  Alcotest.(check bool) "across triangles" false (Database.mem b 0 (t [ 2; 3 ]))
+
+let test_rado_extension_axiom () =
+  (* 1-extension axiom: for any pair of distinct points, some fresh point
+     is adjacent to the first and not the second, and vice versa. *)
+  let b = Instances.rado () in
+  let adj x y = Database.mem b 0 (t [ x; y ]) in
+  Alcotest.(check bool) "symmetric" true (adj 1 2 = adj 2 1);
+  Alcotest.(check bool) "irreflexive" false (adj 3 3);
+  let witness p =
+    List.exists p (Ints.range 0 2000)
+  in
+  Alcotest.(check bool) "adj to 0 not 1" true
+    (witness (fun y -> y <> 0 && y <> 1 && adj y 0 && not (adj y 1)));
+  Alcotest.(check bool) "adj to both 0 and 1" true
+    (witness (fun y -> y <> 0 && y <> 1 && adj y 0 && adj y 1));
+  Alcotest.(check bool) "adj to neither" true
+    (witness (fun y -> y <> 0 && y <> 1 && (not (adj y 0)) && not (adj y 1)))
+
+let test_trigonometry () =
+  let b = Instances.trigonometry ~scale:1000 in
+  (* sin 90° = 1 -> value 2000; sin 0° = 0 -> 1000; cos 0° = 1 -> 2000 *)
+  Alcotest.(check bool) "sin 90" true (Database.mem b 0 (t [ 90; 2000 ]));
+  Alcotest.(check bool) "sin 0" true (Database.mem b 0 (t [ 0; 1000 ]));
+  Alcotest.(check bool) "cos 0" true (Database.mem b 1 (t [ 0; 2000 ]));
+  Alcotest.(check bool) "sin 90 wrong value" false
+    (Database.mem b 0 (t [ 90; 1999 ]));
+  (* function: exactly one value per angle *)
+  let values d =
+    List.filter (fun v -> Database.mem b 0 (t [ d; v ])) (Ints.range 0 2001)
+  in
+  check Alcotest.int "single value per angle" 1 (List.length (values 37))
+
+let test_paper_b1_b2 () =
+  let b1 = Instances.paper_b1 () and b2 = Instances.paper_b2 () in
+  Alcotest.(check bool) "(a,a) in R1" true (Database.mem b1 0 (t [ 0; 0 ]));
+  Alcotest.(check bool) "(a,b) in R1" true (Database.mem b1 0 (t [ 0; 1 ]));
+  Alcotest.(check bool) "(b,a) not in R1" false (Database.mem b1 0 (t [ 1; 0 ]));
+  Alcotest.(check bool) "(c,c) in R2" true (Database.mem b2 0 (t [ 2; 2 ]))
+
+let test_finite_graph () =
+  let g = Instances.finite_graph [ (0, 1); (1, 2) ] in
+  Alcotest.(check bool) "edge both ways" true
+    (Database.mem g 0 (t [ 1; 0 ]) && Database.mem g 0 (t [ 0; 1 ]));
+  Alcotest.(check bool) "absent edge" false (Database.mem g 0 (t [ 0; 2 ]))
+
+let () =
+  Alcotest.run "rdb"
+    [
+      ( "relation",
+        [
+          Alcotest.test_case "instrumentation" `Quick
+            test_relation_instrumentation;
+          Alcotest.test_case "arity check" `Quick test_relation_arity_check;
+          Alcotest.test_case "logging" `Quick test_relation_logging;
+          Alcotest.test_case "finite/cofinite" `Quick test_finite_and_cofinite;
+        ] );
+      ( "database",
+        [
+          Alcotest.test_case "basics" `Quick test_database_basics;
+          Alcotest.test_case "restrict_to" `Quick test_restrict_to;
+          Alcotest.test_case "domain_of_pred" `Quick test_domain_of_pred;
+        ] );
+      ( "instances",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_instances_sanity;
+          Alcotest.test_case "line" `Quick test_line_instance;
+          Alcotest.test_case "grid" `Quick test_grid;
+          Alcotest.test_case "clique/empty" `Quick test_clique_and_empty;
+          Alcotest.test_case "mod cliques" `Quick test_mod_cliques;
+          Alcotest.test_case "triangles" `Quick test_triangles;
+          Alcotest.test_case "rado extension axiom" `Quick
+            test_rado_extension_axiom;
+          Alcotest.test_case "trigonometry" `Quick test_trigonometry;
+          Alcotest.test_case "paper B1/B2" `Quick test_paper_b1_b2;
+          Alcotest.test_case "finite graph" `Quick test_finite_graph;
+        ] );
+    ]

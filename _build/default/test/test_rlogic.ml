@@ -1,0 +1,260 @@
+open Rlogic
+open Prelude
+
+let t = Tuple.of_list
+let check = Alcotest.check
+let fmla = Alcotest.testable Ast.pp_formula ( = )
+let qry = Alcotest.testable Ast.pp_query ( = )
+
+(* -------------------------------------------------------------------- *)
+(* Parser                                                               *)
+
+let test_parse_atoms () =
+  check fmla "equality" (Ast.Eq ("x", "y")) (Parser.formula "x = y");
+  check fmla "inequality" (Ast.Not (Ast.Eq ("x", "y"))) (Parser.formula "x != y");
+  check fmla "membership"
+    (Ast.Mem (0, [| "x"; "y" |]))
+    (Parser.formula "R1(x, y)");
+  check fmla "nullary atom" (Ast.Mem (2, [||])) (Parser.formula "R3()");
+  check fmla "true" Ast.True (Parser.formula "true");
+  check fmla "false" Ast.False (Parser.formula "false")
+
+let test_parse_precedence () =
+  check fmla "and binds tighter than or"
+    (Ast.Or (Ast.True, Ast.And (Ast.False, Ast.True)))
+    (Parser.formula "true || false && true");
+  check fmla "not binds tightest"
+    (Ast.And (Ast.Not Ast.True, Ast.False))
+    (Parser.formula "!true && false");
+  check fmla "implies lowest, right assoc"
+    (Ast.Implies (Ast.True, Ast.Implies (Ast.False, Ast.True)))
+    (Parser.formula "true -> false -> true");
+  check fmla "left assoc and"
+    (Ast.And (Ast.And (Ast.True, Ast.False), Ast.True))
+    (Parser.formula "true && false && true");
+  check fmla "parens override"
+    (Ast.And (Ast.True, Ast.Or (Ast.False, Ast.True)))
+    (Parser.formula "true && (false || true)")
+
+let test_parse_quantifiers () =
+  check fmla "exists scope extends right"
+    (Ast.Exists ("z", Ast.And (Ast.Eq ("z", "x"), Ast.True)))
+    (Parser.formula "exists z. z = x && true");
+  check fmla "nested quantifiers"
+    (Ast.Forall ("a", Ast.Exists ("b", Ast.Mem (0, [| "a"; "b" |]))))
+    (Parser.formula "forall a. exists b. R1(a, b)")
+
+let test_parse_query () =
+  check qry "undefined" Ast.Undefined (Parser.query "undefined");
+  check qry "simple query"
+    (Ast.Query { vars = [ "x"; "y" ]; body = Ast.Mem (0, [| "x"; "y" |]) })
+    (Parser.query "{(x, y) | R1(x, y)}");
+  check qry "rank 0 query"
+    (Ast.Query { vars = []; body = Ast.Mem (0, [||]) })
+    (Parser.query "{() | R1()}")
+
+let test_parse_errors () =
+  let fails s =
+    match Parser.query s with
+    | exception Parser.Error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "missing brace" true (fails "{(x) | true");
+  Alcotest.(check bool) "lone ampersand" true (fails "{(x) | true & true}");
+  Alcotest.(check bool) "unknown relation" true (fails "{(x) | FOO(x)}");
+  Alcotest.(check bool) "trailing garbage" true (fails "undefined zzz");
+  Alcotest.(check bool) "bad char" true (fails "{(x) | x # y}")
+
+let test_rels_of_database () =
+  let db = Rdb.Instances.trigonometry ~scale:10 in
+  let rels = Parser.rels_of_database db in
+  check (Alcotest.option Alcotest.int) "SIN resolves" (Some 0) (rels "SIN");
+  check (Alcotest.option Alcotest.int) "COS resolves" (Some 1) (rels "COS");
+  check (Alcotest.option Alcotest.int) "R2 fallback" (Some 1) (rels "R2");
+  check (Alcotest.option Alcotest.int) "unknown" None (rels "TAN")
+
+(* -------------------------------------------------------------------- *)
+(* Ast utilities                                                        *)
+
+let test_free_vars () =
+  let f = Parser.formula "exists z. R1(x, z) && y = x" in
+  check (Alcotest.list Alcotest.string) "free vars in order" [ "x"; "y" ]
+    (Ast.free_vars f)
+
+let test_quantifier_rank () =
+  check Alcotest.int "qf" 0 (Ast.quantifier_rank (Parser.formula "x = y"));
+  check Alcotest.int "nested" 2
+    (Ast.quantifier_rank (Parser.formula "exists a. forall b. a = b"));
+  check Alcotest.int "max of branches" 1
+    (Ast.quantifier_rank (Parser.formula "(exists a. a = x) && y = x"))
+
+let test_is_quantifier_free () =
+  Alcotest.(check bool) "qf" true
+    (Ast.is_quantifier_free (Parser.formula "x = y && R1(x, x)"));
+  Alcotest.(check bool) "not qf" false
+    (Ast.is_quantifier_free (Parser.formula "exists z. z = z"))
+
+let test_conj_disj () =
+  check fmla "conj empty" Ast.True (Ast.conj []);
+  check fmla "disj empty" Ast.False (Ast.disj []);
+  check fmla "conj singleton" (Ast.Eq ("x", "x")) (Ast.conj [ Ast.Eq ("x", "x") ])
+
+let test_well_formed () =
+  let db_type = [| 2; 1 |] in
+  let wf s = Ast.well_formed ~db_type (Parser.query s) in
+  Alcotest.(check bool) "good" true (wf "{(x, y) | R1(x, y) && R2(x)}");
+  Alcotest.(check bool) "bad arity" false (wf "{(x) | R1(x)}");
+  Alcotest.(check bool) "bad index" false (wf "{(x) | R3(x)}");
+  Alcotest.(check bool) "unbound var" false (wf "{(x) | x = y}");
+  Alcotest.(check bool) "quantified var ok" true (wf "{(x) | exists y. x = y}");
+  Alcotest.(check bool) "undefined wf" true (Ast.well_formed ~db_type Ast.Undefined)
+
+(* -------------------------------------------------------------------- *)
+(* Printer / parser roundtrip                                           *)
+
+let test_print_parse_examples () =
+  List.iter
+    (fun s ->
+      let f = Parser.formula s in
+      check fmla ("roundtrip " ^ s) f (Parser.formula (Ast.formula_to_string f)))
+    [
+      "x = y && y != z || R1(x, x)";
+      "!(x = y) && !R1(x, y)";
+      "exists z. forall w. R1(z, w) -> z = w";
+      "true -> false -> true";
+      "(true || false) && true";
+      "R2(x) && R1(x, y) || !R2(y)";
+    ]
+
+(* Random formula generator over small var/rel vocabulary. *)
+let gen_formula =
+  let open QCheck2.Gen in
+  let var = oneofl [ "x"; "y"; "z" ] in
+  let atom =
+    oneof
+      [
+        pure Ast.True;
+        pure Ast.False;
+        map2 (fun a b -> Ast.Eq (a, b)) var var;
+        map2 (fun a b -> Ast.Mem (0, [| a; b |])) var var;
+        map (fun a -> Ast.Mem (1, [| a |])) var;
+      ]
+  in
+  let rec go n =
+    if n = 0 then atom
+    else
+      oneof
+        [
+          atom;
+          map (fun f -> Ast.Not f) (go (n - 1));
+          map2 (fun f g -> Ast.And (f, g)) (go (n - 1)) (go (n - 1));
+          map2 (fun f g -> Ast.Or (f, g)) (go (n - 1)) (go (n - 1));
+          map2 (fun f g -> Ast.Implies (f, g)) (go (n - 1)) (go (n - 1));
+          map2 (fun v f -> Ast.Exists (v, f)) var (go (n - 1));
+          map2 (fun v f -> Ast.Forall (v, f)) var (go (n - 1));
+        ]
+  in
+  go 4
+
+let qcheck_tests =
+  let open QCheck2 in
+  Test_support.to_alcotest
+    [
+      Test.make ~count:300 ~name:"print/parse roundtrip" gen_formula (fun f ->
+          Parser.formula (Ast.formula_to_string f) = f);
+      Test.make ~count:300 ~name:"printed formula reparses with same size"
+        gen_formula (fun f ->
+          Ast.size (Parser.formula (Ast.formula_to_string f)) = Ast.size f);
+    ]
+
+(* -------------------------------------------------------------------- *)
+(* Evaluation                                                           *)
+
+let test_eval_multiplication () =
+  let db = Rdb.Instances.multiplication () in
+  let q = Parser.query "{(x, y, z) | R1(x, y, z) && x = y}" in
+  (* squares *)
+  check (Alcotest.option Alcotest.bool) "3*3=9" (Some true)
+    (Qf_eval.mem db q (t [ 3; 3; 9 ]));
+  check (Alcotest.option Alcotest.bool) "2*3=6 but x<>y" (Some false)
+    (Qf_eval.mem db q (t [ 2; 3; 6 ]));
+  check (Alcotest.option Alcotest.bool) "rank mismatch" (Some false)
+    (Qf_eval.mem db q (t [ 3; 9 ]))
+
+let test_eval_undefined () =
+  let db = Rdb.Instances.multiplication () in
+  check (Alcotest.option Alcotest.bool) "undefined" None
+    (Qf_eval.mem db Ast.Undefined (t [ 1 ]))
+
+let test_eval_upto () =
+  let db = Rdb.Instances.divides () in
+  let q = Parser.query "{(x) | R1(x, x)}" in
+  (* x divides x for x > 0 *)
+  check Test_support.tupleset_testable "divisors of self"
+    (Tupleset.of_lists [ [ 1 ]; [ 2 ]; [ 3 ] ])
+    (Qf_eval.eval_upto db q ~cutoff:4)
+
+let test_eval_bounded_quantifiers () =
+  let db = Rdb.Instances.divides () in
+  (* x is prime-like below cutoff: has no divisor 2 <= d < x. Expressed
+     via: exists y. R1(y, x) && y != 1 && y != x  — composite detector. *)
+  let f = Parser.formula "exists y. R1(y, x) && y != one && y != x" in
+  let composite x =
+    Qf_eval.eval_bounded db ~cutoff:20 ~env:[ ("x", x); ("one", 1) ] f
+  in
+  Alcotest.(check bool) "4 composite" true (composite 4);
+  Alcotest.(check bool) "5 prime" false (composite 5);
+  Alcotest.(check bool) "12 composite" true (composite 12);
+  Alcotest.(check bool) "13 prime" false (composite 13)
+
+let test_eval_unbound_variable () =
+  let db = Rdb.Instances.divides () in
+  Alcotest.check_raises "unbound" (Qf_eval.Unbound_variable "zz") (fun () ->
+      ignore (Qf_eval.eval_formula db ~env:[] (Parser.formula "zz = zz")))
+
+let test_eval_quantifier_rejected () =
+  let db = Rdb.Instances.divides () in
+  Alcotest.check_raises "quantifier in L-"
+    (Invalid_argument "Qf_eval.eval_formula: quantifier in L- formula")
+    (fun () ->
+      ignore
+        (Qf_eval.eval_formula db ~env:[]
+           (Parser.formula "exists z. z = z")))
+
+let () =
+  Alcotest.run "rlogic"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "atoms" `Quick test_parse_atoms;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "quantifiers" `Quick test_parse_quantifiers;
+          Alcotest.test_case "queries" `Quick test_parse_query;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "db relation names" `Quick test_rels_of_database;
+        ] );
+      ( "ast",
+        [
+          Alcotest.test_case "free vars" `Quick test_free_vars;
+          Alcotest.test_case "quantifier rank" `Quick test_quantifier_rank;
+          Alcotest.test_case "is quantifier free" `Quick
+            test_is_quantifier_free;
+          Alcotest.test_case "conj/disj" `Quick test_conj_disj;
+          Alcotest.test_case "well formed" `Quick test_well_formed;
+        ] );
+      ( "roundtrip",
+        Alcotest.test_case "examples" `Quick test_print_parse_examples
+        :: qcheck_tests );
+      ( "eval",
+        [
+          Alcotest.test_case "multiplication" `Quick test_eval_multiplication;
+          Alcotest.test_case "undefined" `Quick test_eval_undefined;
+          Alcotest.test_case "eval upto" `Quick test_eval_upto;
+          Alcotest.test_case "bounded quantifiers" `Quick
+            test_eval_bounded_quantifiers;
+          Alcotest.test_case "unbound variable" `Quick
+            test_eval_unbound_variable;
+          Alcotest.test_case "quantifier rejected" `Quick
+            test_eval_quantifier_rejected;
+        ] );
+    ]
