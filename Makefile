@@ -1,0 +1,17 @@
+.PHONY: all build test bench check clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe -- tables
+
+check: build test bench
+
+clean:
+	dune clean

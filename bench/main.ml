@@ -809,6 +809,14 @@ let e23 () =
     ];
   row "  (T_B answers are memoized: repeated tree walks add no questions)@."
 
+(* ------------------------------------------------------------------ *)
+(* E24: the serving engine — memoized oracles and the worker pool      *)
+
+let e24 () =
+  section "E24"
+    "lib/engine: oracle-call savings from the LRU, worker-pool batches";
+  Engine_bench.run ~out:"BENCH_engine.json" ()
+
 let tables () =
   e1 ();
   e2 ();
@@ -832,7 +840,8 @@ let tables () =
   e20 ();
   e21 ();
   e22 ();
-  e23 ()
+  e23 ();
+  e24 ()
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing benches — one per experiment's core algorithm.      *)
@@ -867,6 +876,22 @@ let bench_tests () =
       ~g2:{ Bptheory.Gadget.vertices = [ 0; 1; 2 ]; edges = [ (1, 0); (1, 2) ] }
   in
   let w = Rmachine.Nonclosure.find () in
+  let lru = Oracle_cache.wrap (Rdb.Database.relation clique_db 0) in
+  let lru_rel = Oracle_cache.relation lru in
+  ignore (Rdb.Relation.mem lru_rel [| 1; 2 |]);
+  let engine = Engine.create () in
+  let engine_req =
+    {
+      Request.id = 0;
+      payload =
+        Request.Sentence
+          {
+            instance = "triangles";
+            sentence = "exists x. exists y. R1(x, y)";
+          };
+    }
+  in
+  ignore (Engine.handle engine engine_req);
   [
     Test.make ~name:"e1/liso_check"
       (Staged.stage (fun () ->
@@ -944,6 +969,10 @@ let bench_tests () =
            ignore
              (Hs.Lines.strategy_wins ~a:{ Hs.Lines.nlines = 1 }
                 ~b:{ Hs.Lines.nlines = 2 } ~r:3)));
+    Test.make ~name:"e24/lru_hit"
+      (Staged.stage (fun () -> ignore (Rdb.Relation.mem lru_rel [| 1; 2 |])));
+    Test.make ~name:"e24/engine_sentence"
+      (Staged.stage (fun () -> ignore (Engine.handle engine engine_req)));
     Test.make ~name:"e22/amalgam_equiv"
       (Staged.stage
          (let am, a, b =

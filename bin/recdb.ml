@@ -6,31 +6,30 @@
      recdb classes -t 2,1 -r 2               count ≅ₗ classes (the 68!)
      recdb query -i triangles '{(x,y) | ...}'   evaluate an FO query
      recdb sentence -i rado 'forall x. ...'  evaluate an FO sentence
-     recdb normalize -t 2 -r 2 '{(x,y)|...}' L⁻ normal form (Thm 2.1) *)
+     recdb normalize -t 2 -r 2 '{(x,y)|...}' L⁻ normal form (Thm 2.1)
+     recdb serve-batch FILE                  JSON-lines requests -> results
+     recdb bench-engine                      cache + worker-pool benchmark
+
+   Exit codes: 0 success, 1 runtime error (parse failure, unknown
+   instance, ...), 124 command-line misuse (unknown subcommand or
+   flag — Cmdliner's convention). *)
 
 open Cmdliner
 
-let instances_table () =
-  [
-    ("clique", Hs.Hsinstances.infinite_clique ());
-    ("empty", Hs.Hsinstances.empty_graph ());
-    ("mod2", Hs.Hsinstances.mod_cliques 2);
-    ("mod3", Hs.Hsinstances.mod_cliques 3);
-    ("triangles", Hs.Hsinstances.triangles ());
-    ( "paths3",
-      Hs.Hsinstances.disjoint_copies
-        [ Hs.Hsinstances.undirected_path_component 3 ] );
-    ( "arrows",
-      Hs.Hsinstances.disjoint_copies [ Hs.Hsinstances.directed_edge_component ]
-    );
-    ("rado", Hs.Hsinstances.rado ());
-    ("colored", Hs.Hsinstances.random_colored_graph ());
-    ("bipartite", Hs.Hsinstances.complete_bipartite ());
-    ("unary012", Hs.Hsinstances.unary_finite_set ~members:[ 0; 1; 2 ]);
-  ]
+(* The instance registry lives in the engine library; build each
+   instance at most once, lazily, and share it across uses. *)
+let instances_table =
+  lazy
+    (List.map
+       (fun name ->
+         ( name,
+           match Engine.build_instance name with
+           | Some inst -> inst
+           | None -> assert false ))
+       (Engine.instance_names ()))
 
 let lookup_instance name =
-  match List.assoc_opt name (instances_table ()) with
+  match List.assoc_opt name (Lazy.force instances_table) with
   | Some inst -> Ok inst
   | None ->
       Error
@@ -70,7 +69,7 @@ let cmd_instances =
              (List.map string_of_int (Array.to_list (Hs.Hsdb.db_type inst))))
           (Hs.Hsdb.class_count inst 1)
           (Hs.Hsdb.class_count inst 2))
-      (instances_table ())
+      (Lazy.force instances_table)
   in
   Cmd.v (Cmd.info "instances" ~doc) Term.(const run $ const ())
 
@@ -274,6 +273,151 @@ let cmd_normalize =
   in
   Cmd.v (Cmd.info "normalize" ~doc) Term.(const run $ db_type $ query)
 
+(* ------------------------------------------------------------------ *)
+(* The serving engine                                                  *)
+
+let read_lines path =
+  let ic =
+    if path = "-" then stdin
+    else
+      try open_in path
+      with Sys_error msg ->
+        Format.eprintf "cannot read %s: %s@." path msg;
+        exit 1
+  in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        if path <> "-" then close_in ic;
+        List.rev acc
+  in
+  go []
+
+let cmd_serve_batch =
+  let doc =
+    "Serve a batch of requests: JSON-lines in, JSON-lines (result + stats) \
+     out.  Each input line is an object like {\"id\":1,\"op\":\"sentence\",\
+     \"instance\":\"triangles\",\"sentence\":\"exists x. exists y. R1(x, \
+     y)\"}; see also ops query, classes, tree, program."
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Request file, or - for stdin.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains; 1 serves sequentially in-process.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ] ~doc:"Dump the process metrics table to stderr.")
+  in
+  let no_stats =
+    Arg.(
+      value & flag
+      & info [ "no-stats" ]
+          ~doc:
+            "Omit per-request stats from the output (the deterministic part \
+             only).")
+  in
+  let run file jobs metrics no_stats =
+    if jobs < 1 then begin
+      Format.eprintf "jobs must be >= 1@.";
+      exit 1
+    end;
+    let lines = read_lines file in
+    (* Decode every line first; a bad line becomes an error response
+       with the line number as its id, so output stays 1:1 with input. *)
+    let decoded =
+      List.mapi
+        (fun i line ->
+          if String.trim line = "" then None
+          else
+            Some
+              (match Request.of_line ~default_id:(i + 1) line with
+              | Ok req -> Either.Right req
+              | Error msg ->
+                  Either.Left
+                    {
+                      Request.id = i + 1;
+                      result = Error (Request.Bad_request msg);
+                      stats = Request.zero_stats;
+                    }))
+        lines
+      |> List.filter_map Fun.id
+    in
+    let requests =
+      List.filter_map
+        (function Either.Right r -> Some r | Either.Left _ -> None)
+        decoded
+    in
+    let responses =
+      if jobs = 1 then Engine.handle_all (Engine.create ()) requests
+      else begin
+        let pool = Pool.create ~domains:jobs () in
+        let rs = Pool.run_batch pool requests in
+        Pool.shutdown pool;
+        rs
+      end
+    in
+    (* Re-interleave served responses with decode failures, in input
+       order. *)
+    let rec emit decoded responses =
+      match (decoded, responses) with
+      | [], [] -> ()
+      | Either.Left bad :: rest, responses ->
+          print_endline
+            (Json.to_string
+               (Request.response_to_json ~stats:(not no_stats) bad));
+          emit rest responses
+      | Either.Right _ :: rest, r :: responses ->
+          print_endline
+            (Json.to_string (Request.response_to_json ~stats:(not no_stats) r));
+          emit rest responses
+      | _ -> assert false
+    in
+    emit decoded responses;
+    if metrics then prerr_string (Metrics.dump_text ())
+  in
+  Cmd.v
+    (Cmd.info "serve-batch" ~doc)
+    Term.(const run $ file $ jobs $ metrics $ no_stats)
+
+let cmd_bench_engine =
+  let doc =
+    "Benchmark the engine: oracle-call savings from the LRU cache on \
+     repeated evaluation, and batch throughput on 1/2/4 worker domains."
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Also write results as JSON.")
+  in
+  let repeats =
+    Arg.(
+      value & opt int 25
+      & info [ "repeats" ] ~docv:"N" ~doc:"Cache-workload repetitions.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 1000
+      & info [ "requests" ] ~docv:"N" ~doc:"Batch size for the pool runs.")
+  in
+  let run out repeats requests =
+    Format.printf "engine benchmark:@.";
+    Engine_bench.run ?out ~repeats ~requests ()
+  in
+  Cmd.v
+    (Cmd.info "bench-engine" ~doc)
+    Term.(const run $ out $ repeats $ requests)
+
 let () =
   let doc = "query languages over recursive (infinite, computable) databases" in
   let info = Cmd.info "recdb" ~version:"1.0.0" ~doc in
@@ -288,4 +432,6 @@ let () =
             cmd_sentence;
             cmd_qlhs;
             cmd_normalize;
+            cmd_serve_batch;
+            cmd_bench_engine;
           ]))

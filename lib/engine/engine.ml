@@ -1,0 +1,248 @@
+(* ------------------------------------------------------------------ *)
+(* The instance registry — the single source of truth for the names
+   servable by engines and by the recdb CLI.                           *)
+
+let builders : (string * (unit -> Hs.Hsdb.t)) list =
+  [
+    ("clique", fun () -> Hs.Hsinstances.infinite_clique ());
+    ("empty", fun () -> Hs.Hsinstances.empty_graph ());
+    ("mod2", fun () -> Hs.Hsinstances.mod_cliques 2);
+    ("mod3", fun () -> Hs.Hsinstances.mod_cliques 3);
+    ("triangles", fun () -> Hs.Hsinstances.triangles ());
+    ( "paths3",
+      fun () ->
+        Hs.Hsinstances.disjoint_copies
+          [ Hs.Hsinstances.undirected_path_component 3 ] );
+    ( "arrows",
+      fun () ->
+        Hs.Hsinstances.disjoint_copies
+          [ Hs.Hsinstances.directed_edge_component ] );
+    ("rado", fun () -> Hs.Hsinstances.rado ());
+    ("colored", fun () -> Hs.Hsinstances.random_colored_graph ());
+    ("bipartite", fun () -> Hs.Hsinstances.complete_bipartite ());
+    ("unary012", fun () -> Hs.Hsinstances.unary_finite_set ~members:[ 0; 1; 2 ]);
+  ]
+
+let instance_names () = List.map fst builders
+
+let build_instance name =
+  Option.map (fun build -> build ()) (List.assoc_opt name builders)
+
+(* ------------------------------------------------------------------ *)
+(* Engine state                                                        *)
+
+type entry = {
+  hs : Hs.Hsdb.t;  (* instance whose Rᵢ oracles go through the LRU *)
+  raw_db : Rdb.Database.t;  (* original relations: genuine questions *)
+  caches : Oracle_cache.t array;
+}
+
+type t = {
+  entries : (string * entry Lazy.t) list;
+  m_requests : Metrics.counter;
+  m_errors : Metrics.counter;
+  m_oracle_calls : Metrics.counter;
+  m_cache_hits : Metrics.counter;
+  m_latency : Metrics.histogram;
+}
+
+let make_entry ~cache_capacity build () =
+  let base = build () in
+  let raw_db = Hs.Hsdb.db base in
+  let cached_db, caches = Oracle_cache.wrap_db ~capacity:cache_capacity raw_db in
+  let hs =
+    Hs.Hsdb.make ~name:(Hs.Hsdb.name base) ~db:cached_db
+      ~children:(Hs.Hsdb.children base) ~equiv:(Hs.Hsdb.equiv base) ()
+  in
+  { hs; raw_db; caches }
+
+let create ?(cache_capacity = 4096) () =
+  {
+    entries =
+      List.map
+        (fun (name, build) ->
+          (name, Lazy.from_fun (make_entry ~cache_capacity build)))
+        builders;
+    m_requests = Metrics.counter "engine.requests";
+    m_errors = Metrics.counter "engine.errors";
+    m_oracle_calls = Metrics.counter "engine.oracle_calls";
+    m_cache_hits = Metrics.counter "engine.cache_hits";
+    m_latency = Metrics.histogram "engine.latency";
+  }
+
+let cache_stats t =
+  List.fold_left
+    (fun acc (_, entry) ->
+      if Lazy.is_val entry then
+        let s = Oracle_cache.total_stats (Lazy.force entry).caches in
+        Oracle_cache.
+          {
+            hits = acc.hits + s.hits;
+            misses = acc.misses + s.misses;
+            evictions = acc.evictions + s.evictions;
+          }
+      else acc)
+    Oracle_cache.{ hits = 0; misses = 0; evictions = 0 }
+    t.entries
+
+(* ------------------------------------------------------------------ *)
+(* Request evaluation                                                  *)
+
+(* Guard rails for the combinatorial operations: class enumeration and
+   tree expansion are exponential in rank/arity, so a serving engine
+   bounds them rather than letting one request starve the pool. *)
+let max_rank = 4
+let max_arity = 4
+let max_width = 4
+let max_depth = 6
+let max_cutoff = 32
+
+let eval_classes ~db_type ~rank =
+  if rank < 0 || rank > max_rank then
+    Error
+      (Request.Bad_request (Printf.sprintf "rank must be in 0..%d" max_rank))
+  else if Array.length db_type = 0 || Array.length db_type > max_width then
+    Error
+      (Request.Bad_request
+         (Printf.sprintf "type must have 1..%d relations" max_width))
+  else if Array.exists (fun a -> a < 0 || a > max_arity) db_type then
+    Error
+      (Request.Bad_request
+         (Printf.sprintf "arities must be in 0..%d" max_arity))
+  else Ok (Request.Count (Localiso.Diagram.count ~db_type ~rank))
+
+let eval_payload entry (payload : Request.payload) :
+    (Request.outcome, Request.error) result =
+  match payload with
+  | Request.Classes { db_type; rank } -> eval_classes ~db_type ~rank
+  | Request.Sentence { sentence; _ } -> (
+      match Rlogic.Parser.formula sentence with
+      | exception Rlogic.Parser.Error msg -> Error (Request.Parse_error msg)
+      | f -> (
+          match Rlogic.Ast.free_vars f with
+          | [] -> Ok (Request.Bool (Hs.Fo_eval.eval_sentence entry.hs f))
+          | vars -> Error (Request.Not_a_sentence vars)))
+  | Request.Query { query; cutoff; _ } -> (
+      match Rlogic.Parser.query query with
+      | exception Rlogic.Parser.Error msg -> Error (Request.Parse_error msg)
+      | Rlogic.Ast.Undefined -> Ok Request.Undefined
+      | Rlogic.Ast.Query { vars; _ } as q ->
+          if cutoff < 0 || cutoff > max_cutoff then
+            Error
+              (Request.Bad_request
+                 (Printf.sprintf "cutoff must be in 0..%d" max_cutoff))
+          else
+            let rank = List.length vars in
+            let reps = Hs.Fo_eval.eval_reps entry.hs q ~rank in
+            let members = Hs.Fo_eval.eval_upto entry.hs q ~cutoff in
+            Ok
+              (Request.Rel
+                 {
+                   rank;
+                   reps = Prelude.Tupleset.elements reps;
+                   members = Prelude.Tupleset.elements members;
+                 }))
+  | Request.Tree { depth; _ } ->
+      if depth < 1 || depth > max_depth then
+        Error
+          (Request.Bad_request
+             (Printf.sprintf "depth must be in 1..%d" max_depth))
+      else
+        Ok
+          (Request.Levels
+             (List.map
+                (fun n -> Hs.Hsdb.paths entry.hs n)
+                (Prelude.Ints.range 1 (depth + 1))))
+  | Request.Program { program; fuel; cutoff; _ } -> (
+      match Ql.Ql_parser.program program with
+      | exception Ql.Ql_parser.Error msg -> Error (Request.Parse_error msg)
+      | p ->
+          if cutoff < 0 || cutoff > max_cutoff then
+            Error
+              (Request.Bad_request
+                 (Printf.sprintf "cutoff must be in 0..%d" max_cutoff))
+          else if fuel < 0 then
+            Error (Request.Bad_request "fuel must be non-negative")
+          else (
+            match Ql.Ql_hs.run entry.hs ~fuel p with
+            | Ql.Ql_interp.Halted store ->
+                let v = store.(0) in
+                Ok
+                  (Request.Rel
+                     {
+                       rank = v.Ql.Ql_hs.rank;
+                       reps = Prelude.Tupleset.elements v.Ql.Ql_hs.reps;
+                       members =
+                         Prelude.Tupleset.elements
+                           (Ql.Ql_hs.denotation entry.hs v ~cutoff);
+                     })
+            | Ql.Ql_interp.Timeout -> Error (Request.Timeout fuel)
+            | Ql.Ql_interp.Ill_formed msg -> Error (Request.Ill_formed msg)))
+
+let snapshot entry =
+  let tb, eq = Hs.Hsdb.oracle_calls entry.hs in
+  ( Rdb.Database.oracle_calls entry.raw_db,
+    tb,
+    eq,
+    (Oracle_cache.total_stats entry.caches).Oracle_cache.hits )
+
+let handle t (req : Request.t) : Request.response =
+  let t0 = Unix.gettimeofday () in
+  let finish result entry_opt pre =
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let stats =
+      match (entry_opt, pre) with
+      | Some entry, Some (o0, tb0, eq0, h0) ->
+          let o1, tb1, eq1, h1 = snapshot entry in
+          {
+            Request.oracle_calls = o1 - o0;
+            tb_calls = tb1 - tb0;
+            equiv_calls = eq1 - eq0;
+            cache_hits = h1 - h0;
+            wall_s;
+          }
+      | _ -> { Request.zero_stats with wall_s }
+    in
+    Metrics.incr t.m_requests;
+    if Result.is_error result then Metrics.incr t.m_errors;
+    Metrics.incr ~by:stats.Request.oracle_calls t.m_oracle_calls;
+    Metrics.incr ~by:stats.Request.cache_hits t.m_cache_hits;
+    Metrics.observe t.m_latency wall_s;
+    { Request.id = req.Request.id; result; stats }
+  in
+  match Request.payload_instance req.Request.payload with
+  | Some name when not (List.mem_assoc name t.entries) ->
+      finish (Error (Request.Unknown_instance name)) None None
+  | instance ->
+      let entry_opt =
+        match instance with
+        | Some name -> (
+            (* Forcing the lazy entry constructs the instance; treat a
+               construction failure as a request error, not a crash. *)
+            match Lazy.force (List.assoc name t.entries) with
+            | entry -> Some entry
+            | exception _ -> None)
+        | None -> None
+      in
+      if Option.is_some instance && Option.is_none entry_opt then
+        finish
+          (Error (Request.Ill_formed "instance construction failed"))
+          None None
+      else
+        let pre = Option.map snapshot entry_opt in
+        let result =
+          match entry_opt with
+          | Some entry -> (
+              try eval_payload entry req.Request.payload
+              with e -> Error (Request.Ill_formed (Printexc.to_string e)))
+          | None -> (
+              match req.Request.payload with
+              | Request.Classes { db_type; rank } ->
+                  eval_classes ~db_type ~rank
+              | _ ->
+                  (* unreachable: instance payloads resolved above *)
+                  Error (Request.Ill_formed "no instance resolved"))
+        in
+        finish result entry_opt pre
+
+let handle_all t reqs = List.map (handle t) reqs

@@ -1,0 +1,42 @@
+(** The query-serving engine: named instances, memoized oracles,
+    per-request accounting.
+
+    An engine owns a private copy of every built-in hs instance, rebuilt
+    so that all raw relation oracles sit behind an {!Oracle_cache} LRU.
+    Instances are constructed lazily, on first touch.  {!handle} turns a
+    {!Request.t} into a {!Request.response}, measuring the request's
+    oracle traffic (raw Rᵢ questions, T_B questions, ≅_B questions,
+    cache hits) by snapshotting the instrumented counters around the
+    evaluation, and records process-wide {!Metrics}
+    ([engine.requests], [engine.errors], [engine.oracle_calls],
+    [engine.cache_hits], [engine.latency]).
+
+    A single engine is {b not} thread-safe — the hs-level memo tables
+    ([Hsdb]'s tree caches) are plain hashtables.  Concurrency comes from
+    {!Pool}, which gives each worker domain its own engine.  Everything
+    an engine computes is a deterministic function of the request, so
+    distinct engines always produce byte-identical results. *)
+
+type t
+
+val create : ?cache_capacity:int -> unit -> t
+(** [cache_capacity] is the per-relation LRU bound (default 4096). *)
+
+val handle : t -> Request.t -> Request.response
+
+val handle_all : t -> Request.t list -> Request.response list
+(** Sequential evaluation, in order — the reference for {!Pool}'s
+    byte-identity guarantee. *)
+
+val cache_stats : t -> Oracle_cache.stats
+(** Aggregate LRU statistics over every instance this engine has
+    touched. *)
+
+(** {2 The instance registry} *)
+
+val instance_names : unit -> string list
+(** Names servable by every engine (the CLI's instance table). *)
+
+val build_instance : string -> Hs.Hsdb.t option
+(** A fresh, {e uncached} copy of a built-in instance — what
+    [bin/recdb] uses for the one-shot subcommands. *)

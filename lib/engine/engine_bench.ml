@@ -1,0 +1,231 @@
+type cache_result = {
+  repeats : int;
+  uncached_oracle_calls : int;
+  cached_oracle_calls : int;
+  cache_hits : int;
+  reduction : float;
+}
+
+type batch_run = {
+  domains : int;
+  wall_s : float;
+  speedup : float;
+  identical : bool;
+}
+
+type batch_result = {
+  requests : int;
+  sequential_s : float;
+  runs : batch_run list;
+}
+
+(* The E17 workload: Theorem 6.3's representative-based FO evaluation,
+   four sentences on the triangles instance. *)
+let e17_sentences =
+  [
+    "forall x. forall y. x != y -> R1(x, y)";
+    "exists x. exists y. R1(x, y)";
+    "forall x. forall y. R1(x, y) -> (exists z. R1(x, z) && R1(y, z))";
+    "exists x. forall y. y != x -> R1(x, y)";
+  ]
+
+let cache_workload ?(repeats = 25) () =
+  (* Uncached: a fresh instance, atoms hit the raw oracles every time. *)
+  let base =
+    match Engine.build_instance "triangles" with
+    | Some b -> b
+    | None -> failwith "triangles not registered"
+  in
+  let formulas = List.map Rlogic.Parser.formula e17_sentences in
+  Rdb.Database.reset_oracle_calls (Hs.Hsdb.db base);
+  for _ = 1 to repeats do
+    List.iter (fun f -> ignore (Hs.Fo_eval.eval_sentence base f)) formulas
+  done;
+  let uncached = Rdb.Database.oracle_calls (Hs.Hsdb.db base) in
+  (* Cached: the same traffic as engine requests; raw questions are the
+     LRU misses only. *)
+  let engine = Engine.create () in
+  let reqs =
+    List.concat_map
+      (fun _ ->
+        List.map
+          (fun sentence ->
+            {
+              Request.id = 0;
+              payload = Request.Sentence { instance = "triangles"; sentence };
+            })
+          e17_sentences)
+      (Prelude.Ints.range 0 repeats)
+  in
+  let responses = Engine.handle_all engine reqs in
+  let cached =
+    List.fold_left
+      (fun acc r -> acc + r.Request.stats.Request.oracle_calls)
+      0 responses
+  in
+  let hits =
+    List.fold_left
+      (fun acc r -> acc + r.Request.stats.Request.cache_hits)
+      0 responses
+  in
+  {
+    repeats;
+    uncached_oracle_calls = uncached;
+    cached_oracle_calls = cached;
+    cache_hits = hits;
+    reduction =
+      (if cached = 0 then Float.infinity
+       else float_of_int uncached /. float_of_int cached);
+  }
+
+(* ------------------------------------------------------------------ *)
+
+(* All five instances are graphs (db type (2)), so the same sentences
+   and queries are well-formed on each. *)
+let batch_instances = [ "triangles"; "mod2"; "mod3"; "paths3"; "clique" ]
+
+let batch_sentences =
+  [
+    "forall x. forall y. R1(x, y) -> (exists z. R1(x, z) && R1(y, z))";
+    "exists x. forall y. y != x -> R1(x, y)";
+    "forall x. exists y. forall z. exists w. R1(x, y) || z = w";
+    "exists x. exists y. exists z. R1(x, y) && R1(y, z) && R1(x, z)";
+  ]
+
+(* Queries dominate the batch cost: eval_upto sweeps cutoff² concrete
+   tuples through the ≅_B oracle, a few hundred µs each, which keeps
+   the pool's per-job dispatch overhead well under 1%. *)
+let batch_queries =
+  [
+    "{(x,y) | R1(x,y) && x != y}";
+    "{(x,y) | exists z. R1(x,z) && R1(z,y)}";
+    "{(x) | forall y. R1(x,y) -> (exists z. R1(y,z))}";
+    "{(x,y) | R1(x,y) || R1(y,x)}";
+  ]
+
+let build_batch n =
+  let ninst = List.length batch_instances in
+  let nsent = List.length batch_sentences in
+  let nquer = List.length batch_queries in
+  List.map
+    (fun i ->
+      let instance = List.nth batch_instances (i mod ninst) in
+      let payload =
+        match i mod 10 with
+        | 9 ->
+            (* an instance-free CPU-bound request for variety *)
+            Request.Classes { db_type = [| 2; 1 |]; rank = 2 }
+        | 0 | 1 | 2 | 3 ->
+            let sentence = List.nth batch_sentences (i / ninst mod nsent) in
+            Request.Sentence { instance; sentence }
+        | _ ->
+            let query = List.nth batch_queries (i / ninst mod nquer) in
+            Request.Query { instance; query; cutoff = 10 }
+      in
+      { Request.id = i + 1; payload })
+    (Prelude.Ints.range 0 n)
+
+let results_fingerprint responses =
+  String.concat "\n"
+    (List.map
+       (fun r -> Json.to_string (Request.response_to_json ~stats:false r))
+       responses)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let batch_workload ?(requests = 1000) ?(domains_list = [ 1; 2; 4 ]) () =
+  let batch = build_batch requests in
+  let sequential, sequential_s =
+    time (fun () ->
+        let engine = Engine.create () in
+        Engine.handle_all engine batch)
+  in
+  let reference = results_fingerprint sequential in
+  let runs =
+    List.map
+      (fun domains ->
+        let pool = Pool.create ~domains () in
+        let responses, wall_s = time (fun () -> Pool.run_batch pool batch) in
+        Pool.shutdown pool;
+        {
+          domains;
+          wall_s;
+          speedup = sequential_s /. wall_s;
+          identical = String.equal reference (results_fingerprint responses);
+        })
+      domains_list
+  in
+  { requests; sequential_s; runs }
+
+(* ------------------------------------------------------------------ *)
+
+let to_json (c : cache_result) (b : batch_result) =
+  Json.Obj
+    [
+      ( "cache",
+        Json.Obj
+          [
+            ("workload", Json.String "E17 x triangles");
+            ("repeats", Json.Int c.repeats);
+            ("uncached_oracle_calls", Json.Int c.uncached_oracle_calls);
+            ("cached_oracle_calls", Json.Int c.cached_oracle_calls);
+            ("cache_hits", Json.Int c.cache_hits);
+            ("reduction_factor", Json.Float c.reduction);
+          ] );
+      ( "batch",
+        Json.Obj
+          [
+            ("requests", Json.Int b.requests);
+            ("available_cores", Json.Int (Domain.recommended_domain_count ()));
+            ("sequential_s", Json.Float b.sequential_s);
+            ( "runs",
+              Json.List
+                (List.map
+                   (fun r ->
+                     Json.Obj
+                       [
+                         ("domains", Json.Int r.domains);
+                         ("wall_s", Json.Float r.wall_s);
+                         ("speedup", Json.Float r.speedup);
+                         ("identical", Json.Bool r.identical);
+                       ])
+                   b.runs) );
+          ] );
+    ]
+
+let run ?out ?repeats ?requests () =
+  let c = cache_workload ?repeats () in
+  Format.printf
+    "  cache (E17 workload, %d repeats): %d raw oracle calls uncached, %d \
+     cached (%d hits) — %.1fx fewer@."
+    c.repeats c.uncached_oracle_calls c.cached_oracle_calls c.cache_hits
+    c.reduction;
+  let b = batch_workload ?requests () in
+  let cores = Domain.recommended_domain_count () in
+  Format.printf "  batch of %d requests (%d core%s): sequential %.3fs@."
+    b.requests cores
+    (if cores = 1 then "" else "s")
+    b.sequential_s;
+  List.iter
+    (fun r ->
+      Format.printf
+        "    %d domain%s: %.3fs (%.2fx vs sequential), byte-identical: %b@."
+        r.domains
+        (if r.domains = 1 then "" else "s")
+        r.wall_s r.speedup r.identical)
+    b.runs;
+  if cores = 1 then
+    Format.printf
+      "    (single-core host: wall-clock speedup is capped at 1.0x; the pool \
+       run checks correctness and overhead)@.";
+  match out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Json.to_string (to_json c b));
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "  wrote %s@." path

@@ -1,0 +1,40 @@
+(** The engine benchmark: cached-vs-uncached repeated evaluation on the
+    E17 workload, and 1/2/4-domain batch throughput.  Shared between
+    [bench/main.exe] (which writes [BENCH_engine.json]) and
+    [recdb bench-engine]. *)
+
+type cache_result = {
+  repeats : int;
+  uncached_oracle_calls : int;  (** raw Rᵢ questions, no cache *)
+  cached_oracle_calls : int;  (** raw Rᵢ questions through the LRU *)
+  cache_hits : int;
+  reduction : float;  (** uncached / cached *)
+}
+
+type batch_run = {
+  domains : int;
+  wall_s : float;
+  speedup : float;  (** sequential wall / this wall *)
+  identical : bool;  (** results byte-identical to sequential *)
+}
+
+type batch_result = {
+  requests : int;
+  sequential_s : float;
+  runs : batch_run list;
+}
+
+val cache_workload : ?repeats:int -> unit -> cache_result
+(** Evaluate E17's four sentences on [triangles] [repeats] times
+    (default 25), once against raw oracles and once through an engine's
+    LRU. *)
+
+val batch_workload : ?requests:int -> ?domains_list:int list -> unit -> batch_result
+(** Build a mixed batch (default 1000 requests over five instances),
+    evaluate it sequentially, then on pools of [domains_list] (default
+    [[1; 2; 4]]) domains, checking byte-identity each time. *)
+
+val to_json : cache_result -> batch_result -> Json.t
+
+val run : ?out:string -> ?repeats:int -> ?requests:int -> unit -> unit
+(** Print the tables; when [out] is given, also write the JSON there. *)

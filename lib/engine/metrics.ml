@@ -1,0 +1,150 @@
+type counter = { cell : int Atomic.t }
+
+(* Bucket upper bounds in seconds, log-spaced (factor ~2.5) from 1µs to
+   ~100s, plus a catch-all +inf bucket.  Fixed boundaries keep
+   [observe] allocation-free and mergeable across domains. *)
+let bounds =
+  [|
+    1e-6; 2.5e-6; 6.3e-6; 1.6e-5; 4e-5; 1e-4; 2.5e-4; 6.3e-4; 1.6e-3; 4e-3;
+    1e-2; 2.5e-2; 6.3e-2; 0.16; 0.4; 1.0; 2.5; 6.3; 16.0; 40.0; 100.0;
+  |]
+
+type histogram = {
+  buckets : int Atomic.t array;  (* length = Array.length bounds + 1 *)
+  total : int Atomic.t;
+}
+
+let registry_lock = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  Mutex.lock registry_lock;
+  let c =
+    match Hashtbl.find_opt counters name with
+    | Some c -> c
+    | None ->
+        let c = { cell = Atomic.make 0 } in
+        Hashtbl.add counters name c;
+        c
+  in
+  Mutex.unlock registry_lock;
+  c
+
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.cell by)
+let counter_value c = Atomic.get c.cell
+
+let histogram name =
+  Mutex.lock registry_lock;
+  let h =
+    match Hashtbl.find_opt histograms name with
+    | Some h -> h
+    | None ->
+        let h =
+          {
+            buckets =
+              Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+            total = Atomic.make 0;
+          }
+        in
+        Hashtbl.add histograms name h;
+        h
+  in
+  Mutex.unlock registry_lock;
+  h
+
+let bucket_index v =
+  let v = if v < 0.0 then 0.0 else v in
+  let rec go i =
+    if i >= Array.length bounds then Array.length bounds
+    else if v <= bounds.(i) then i
+    else go (i + 1)
+  in
+  go 0
+
+let observe h v =
+  Atomic.incr h.buckets.(bucket_index v);
+  Atomic.incr h.total
+
+let histogram_count h = Atomic.get h.total
+
+let quantile h q =
+  let total = Atomic.get h.total in
+  if total = 0 then nan
+  else begin
+    let target =
+      let t = int_of_float (ceil (q *. float_of_int total)) in
+      if t < 1 then 1 else if t > total then total else t
+    in
+    let acc = ref 0 and result = ref nan and i = ref 0 in
+    while Float.is_nan !result && !i < Array.length h.buckets do
+      acc := !acc + Atomic.get h.buckets.(!i);
+      if !acc >= target then
+        result :=
+          (if !i < Array.length bounds then bounds.(!i) else infinity);
+      i := !i + 1
+    done;
+    !result
+  end
+
+let sorted_values table =
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let dump_text () =
+  Mutex.lock registry_lock;
+  let cs = sorted_values counters and hs = sorted_values histograms in
+  Mutex.unlock registry_lock;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "metrics:\n";
+  List.iter
+    (fun (name, c) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-36s %12d\n" name (counter_value c)))
+    cs;
+  List.iter
+    (fun (name, h) ->
+      let n = histogram_count h in
+      if n = 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "  %-36s %12s\n" name "(empty)")
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "  %-36s count %6d  p50 <= %gs  p99 <= %gs\n" name
+             n (quantile h 0.5) (quantile h 0.99)))
+    hs;
+  Buffer.contents buf
+
+let dump_json () =
+  Mutex.lock registry_lock;
+  let cs = sorted_values counters and hs = sorted_values histograms in
+  Mutex.unlock registry_lock;
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (List.map (fun (name, c) -> (name, Json.Int (counter_value c))) cs)
+      );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (name, h) ->
+               ( name,
+                 Json.Obj
+                   [
+                     ("count", Json.Int (histogram_count h));
+                     ("p50", Json.Float (quantile h 0.5));
+                     ("p99", Json.Float (quantile h 0.99));
+                   ] ))
+             hs) );
+    ]
+
+let reset_all () =
+  Mutex.lock registry_lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.iter (fun b -> Atomic.set b 0) h.buckets;
+      Atomic.set h.total 0)
+    histograms;
+  Mutex.unlock registry_lock

@@ -1,0 +1,42 @@
+(** A process-wide metrics registry: named monotonic counters and
+    latency histograms, dumpable as a text table and as JSON.
+
+    Registration is get-or-create by name, so any module can say
+    [Metrics.counter "engine.requests"] and increment it without
+    coordination.  All mutation is domain-safe ([Atomic.t] cells behind
+    a registry mutex used only at creation time), so {!Pool} workers
+    update shared metrics freely. *)
+
+type counter
+type histogram
+
+val counter : string -> counter
+(** Get or create the counter with this name. *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val histogram : string -> histogram
+(** Get or create a latency histogram (unit: seconds).  Buckets are
+    log-spaced from 1µs to ~100s. *)
+
+val observe : histogram -> float -> unit
+(** Record one observation (seconds; negative values clamp to 0). *)
+
+val histogram_count : histogram -> int
+
+val quantile : histogram -> float -> float
+(** [quantile h q] for [q] in [0,1]: upper bound of the bucket containing
+    the q-th observation — an approximation from bucket boundaries.
+    Returns [nan] on an empty histogram. *)
+
+val dump_text : unit -> string
+(** Human-readable table: counters sorted by name, then histograms with
+    count/p50/p99/max-bucket. *)
+
+val dump_json : unit -> Json.t
+(** [{"counters": {...}, "histograms": {name: {"count": n, "p50": s,
+    "p99": s}}}] with names sorted. *)
+
+val reset_all : unit -> unit
+(** Zero every registered counter and histogram (names stay registered). *)

@@ -1,0 +1,162 @@
+open Prelude
+
+module H = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+(* Intrusive doubly-linked list in recency order; [lru.head] is the
+   most recently used node, [lru.tail] the eviction candidate. *)
+type node = {
+  key : Tuple.t;
+  answer : bool;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type lru = {
+  mutable head : node option;
+  mutable tail : node option;
+  table : node H.t;
+}
+
+type stats = { hits : int; misses : int; evictions : int }
+
+type t = {
+  base : Rdb.Relation.t;
+  mutable cached : Rdb.Relation.t;  (* set right after creation *)
+  cap : int;
+  lock : Mutex.t;
+  lru : lru;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+}
+
+let unlink lru node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> lru.head <- node.next);
+  (match node.next with
+  | Some s -> s.prev <- node.prev
+  | None -> lru.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front lru node =
+  node.next <- lru.head;
+  (match lru.head with Some h -> h.prev <- Some node | None -> ());
+  lru.head <- Some node;
+  if lru.tail = None then lru.tail <- Some node
+
+let lookup c u =
+  Mutex.lock c.lock;
+  match H.find_opt c.lru.table u with
+  | Some node ->
+      (* Hit: refresh recency, answer without consulting the oracle. *)
+      unlink c.lru node;
+      push_front c.lru node;
+      Mutex.unlock c.lock;
+      Atomic.incr c.hits;
+      node.answer
+  | None ->
+      (* Miss: a genuine oracle question, counted by the underlying
+         relation's instrumentation.  The lock is held across the call
+         so concurrent probes of the same tuple ask at most once. *)
+      let answer =
+        match Rdb.Relation.mem c.base u with
+        | answer -> answer
+        | exception e ->
+            Mutex.unlock c.lock;
+            raise e
+      in
+      Atomic.incr c.misses;
+      if H.length c.lru.table >= c.cap then begin
+        match c.lru.tail with
+        | Some victim ->
+            unlink c.lru victim;
+            H.remove c.lru.table victim.key;
+            Atomic.incr c.evictions
+        | None -> ()
+      end;
+      let node = { key = Array.copy u; answer; prev = None; next = None } in
+      H.replace c.lru.table node.key node;
+      push_front c.lru node;
+      Mutex.unlock c.lock;
+      answer
+
+let wrap ?(capacity = 4096) base =
+  if capacity < 1 then invalid_arg "Oracle_cache.wrap: capacity < 1";
+  let c =
+    {
+      base;
+      cached = base;
+      cap = capacity;
+      lock = Mutex.create ();
+      lru = { head = None; tail = None; table = H.create (min capacity 1024) };
+      hits = Atomic.make 0;
+      misses = Atomic.make 0;
+      evictions = Atomic.make 0;
+    }
+  in
+  c.cached <-
+    Rdb.Relation.make
+      ~name:(Rdb.Relation.name base ^ "+lru")
+      ~arity:(Rdb.Relation.arity base)
+      (fun u -> lookup c u);
+  c
+
+let relation c = c.cached
+let underlying c = c.base
+
+let stats c =
+  {
+    hits = Atomic.get c.hits;
+    misses = Atomic.get c.misses;
+    evictions = Atomic.get c.evictions;
+  }
+
+let reset_stats c =
+  Atomic.set c.hits 0;
+  Atomic.set c.misses 0;
+  Atomic.set c.evictions 0
+
+let clear c =
+  Mutex.lock c.lock;
+  H.reset c.lru.table;
+  c.lru.head <- None;
+  c.lru.tail <- None;
+  Mutex.unlock c.lock
+
+let length c =
+  Mutex.lock c.lock;
+  let n = H.length c.lru.table in
+  Mutex.unlock c.lock;
+  n
+
+let capacity c = c.cap
+
+let wrap_db ?capacity db =
+  let caches =
+    Array.map (fun r -> wrap ?capacity r) (Rdb.Database.relations db)
+  in
+  let db' =
+    Rdb.Database.make ~name:(Rdb.Database.name db)
+      ~domain:(Rdb.Database.domain db)
+      (Array.map relation caches)
+  in
+  (db', caches)
+
+let total_stats caches =
+  Array.fold_left
+    (fun (acc : stats) c ->
+      let s = stats c in
+      {
+        hits = acc.hits + s.hits;
+        misses = acc.misses + s.misses;
+        evictions = acc.evictions + s.evictions;
+      })
+    { hits = 0; misses = 0; evictions = 0 }
+    caches

@@ -1,0 +1,123 @@
+(* Each job carries its batch's completion cell so run_batch can block
+   on its own condition variable; the queue itself is a plain FIFO
+   under one mutex. *)
+
+type batch = {
+  results : Request.response option array;
+  mutable remaining : int;
+  b_lock : Mutex.t;
+  b_done : Condition.t;
+}
+
+type job = { request : Request.t; index : int; owner : batch }
+
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : job Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+  n : int;
+}
+
+let worker pool cache_capacity () =
+  let engine = Engine.create ?cache_capacity () in
+  let rec loop () =
+    Mutex.lock pool.lock;
+    let rec next () =
+      match Queue.take_opt pool.queue with
+      | Some job -> Some job
+      | None ->
+          if pool.stopping then None
+          else begin
+            Condition.wait pool.nonempty pool.lock;
+            next ()
+          end
+    in
+    let job = next () in
+    Mutex.unlock pool.lock;
+    match job with
+    | None -> ()
+    | Some { request; index; owner } ->
+        let response = Engine.handle engine request in
+        Mutex.lock owner.b_lock;
+        owner.results.(index) <- Some response;
+        owner.remaining <- owner.remaining - 1;
+        if owner.remaining = 0 then Condition.broadcast owner.b_done;
+        Mutex.unlock owner.b_lock;
+        loop ()
+  in
+  loop ()
+
+let create ?domains ?cache_capacity () =
+  let n =
+    match domains with
+    | Some n ->
+        if n < 1 then invalid_arg "Pool.create: domains < 1";
+        n
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let pool =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [];
+      n;
+    }
+  in
+  pool.workers <-
+    List.init n (fun _ -> Domain.spawn (worker pool cache_capacity));
+  pool
+
+let size pool = pool.n
+
+let run_batch pool requests =
+  let reqs = Array.of_list requests in
+  let m = Array.length reqs in
+  if m = 0 then []
+  else begin
+    let owner =
+      {
+        results = Array.make m None;
+        remaining = m;
+        b_lock = Mutex.create ();
+        b_done = Condition.create ();
+      }
+    in
+    Mutex.lock pool.lock;
+    if pool.stopping then begin
+      Mutex.unlock pool.lock;
+      invalid_arg "Pool.run_batch: pool is shut down"
+    end;
+    Array.iteri
+      (fun index request -> Queue.add { request; index; owner } pool.queue)
+      reqs;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.lock;
+    Mutex.lock owner.b_lock;
+    while owner.remaining > 0 do
+      Condition.wait owner.b_done owner.b_lock
+    done;
+    Mutex.unlock owner.b_lock;
+    Array.to_list
+      (Array.map
+         (function
+           | Some r -> r
+           | None -> assert false (* remaining = 0 implies all filled *))
+         owner.results)
+  end
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  if not pool.stopping then begin
+    pool.stopping <- true;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.lock;
+    List.iter Domain.join pool.workers;
+    Mutex.lock pool.lock;
+    pool.workers <- [];
+    Mutex.unlock pool.lock
+  end
+  else Mutex.unlock pool.lock

@@ -1,0 +1,38 @@
+(** A Domain-based worker pool serving request batches in parallel.
+
+    [create ~domains ()] spawns [domains] worker domains, each owning a
+    private {!Engine.t} (engines are not thread-safe; private engines
+    make locking unnecessary on the hot path).  Work arrives through a
+    shared queue; {!run_batch} blocks until every request of the batch
+    has been answered and returns the responses {e in request order}.
+
+    Correctness guarantee: every response's [result] is byte-identical
+    (as JSON, stats excluded) to what {!Engine.handle_all} produces
+    sequentially, whatever the interleaving — request evaluation is a
+    deterministic function of the request, and workers share no mutable
+    evaluation state.  Only the [stats] fields differ run to run (wall
+    times; cache hit counts depend on which worker served earlier
+    requests for the same instance).
+
+    Batches may be submitted from several client threads concurrently;
+    jobs interleave fairly in queue order.  {!shutdown} drains nothing:
+    it waits for in-flight jobs, stops the workers and joins their
+    domains.  Submitting to a pool after {!shutdown} raises. *)
+
+type t
+
+val create : ?domains:int -> ?cache_capacity:int -> unit -> t
+(** [domains] defaults to [Domain.recommended_domain_count () - 1],
+    clamped to at least 1.  Raises [Invalid_argument] on [domains < 1].
+    [cache_capacity] is passed to each worker's engine. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val run_batch : t -> Request.t list -> Request.response list
+(** Evaluate all requests, in parallel, preserving order.  Raises
+    [Invalid_argument] if the pool has been shut down. *)
+
+val shutdown : t -> unit
+(** Graceful: waits for queued jobs, then joins all workers.
+    Idempotent. *)

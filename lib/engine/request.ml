@@ -1,0 +1,222 @@
+open Prelude
+
+type payload =
+  | Sentence of { instance : string; sentence : string }
+  | Query of { instance : string; query : string; cutoff : int }
+  | Classes of { db_type : int array; rank : int }
+  | Tree of { instance : string; depth : int }
+  | Program of { instance : string; program : string; fuel : int; cutoff : int }
+
+type t = { id : int; payload : payload }
+
+type outcome =
+  | Bool of bool
+  | Count of int
+  | Rel of { rank : int; reps : Tuple.t list; members : Tuple.t list }
+  | Levels of Tuple.t list list
+  | Undefined
+
+type error =
+  | Parse_error of string
+  | Unknown_instance of string
+  | Not_a_sentence of string list
+  | Timeout of int
+  | Ill_formed of string
+  | Bad_request of string
+
+type stats = {
+  oracle_calls : int;
+  tb_calls : int;
+  equiv_calls : int;
+  cache_hits : int;
+  wall_s : float;
+}
+
+let zero_stats =
+  { oracle_calls = 0; tb_calls = 0; equiv_calls = 0; cache_hits = 0; wall_s = 0.0 }
+
+type response = {
+  id : int;
+  result : (outcome, error) Stdlib.result;
+  stats : stats;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+
+let field_string j key =
+  match Json.member key j with
+  | Some (Json.String s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" key)
+  | None -> Error (Printf.sprintf "missing field %S" key)
+
+let field_int_default j key default =
+  match Json.member key j with
+  | Some (Json.Int i) -> Ok i
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" key)
+  | None -> Ok default
+
+let ( let* ) = Stdlib.Result.bind
+
+let of_json ?(default_id = 0) j =
+  let* id = field_int_default j "id" default_id in
+  let* op = field_string j "op" in
+  let* payload =
+    match op with
+    | "sentence" ->
+        let* instance = field_string j "instance" in
+        let* sentence = field_string j "sentence" in
+        Ok (Sentence { instance; sentence })
+    | "query" ->
+        let* instance = field_string j "instance" in
+        let* query = field_string j "query" in
+        let* cutoff = field_int_default j "cutoff" 6 in
+        Ok (Query { instance; query; cutoff })
+    | "classes" ->
+        let* rank = field_int_default j "rank" 2 in
+        let* db_type =
+          match Json.member "type" j with
+          | Some (Json.List xs) ->
+              let ints = List.filter_map Json.to_int xs in
+              if List.length ints <> List.length xs || ints = [] then
+                Error "field \"type\" must be a non-empty list of arities"
+              else Ok (Array.of_list ints)
+          | Some _ | None -> Error "missing field \"type\" (list of arities)"
+        in
+        Ok (Classes { db_type; rank })
+    | "tree" ->
+        let* instance = field_string j "instance" in
+        let* depth = field_int_default j "depth" 3 in
+        Ok (Tree { instance; depth })
+    | "program" ->
+        let* instance = field_string j "instance" in
+        let* program = field_string j "program" in
+        let* fuel = field_int_default j "fuel" 10_000 in
+        let* cutoff = field_int_default j "cutoff" 6 in
+        Ok (Program { instance; program; fuel; cutoff })
+    | other -> Error (Printf.sprintf "unknown op %S" other)
+  in
+  Ok { id; payload }
+
+let of_line ?default_id line =
+  match Json.parse line with
+  | Error e -> Error (Printf.sprintf "bad JSON: %s" e)
+  | Ok j -> of_json ?default_id j
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+
+let to_json { id; payload } =
+  let fields =
+    match payload with
+    | Sentence { instance; sentence } ->
+        [
+          ("op", Json.String "sentence");
+          ("instance", Json.String instance);
+          ("sentence", Json.String sentence);
+        ]
+    | Query { instance; query; cutoff } ->
+        [
+          ("op", Json.String "query");
+          ("instance", Json.String instance);
+          ("query", Json.String query);
+          ("cutoff", Json.Int cutoff);
+        ]
+    | Classes { db_type; rank } ->
+        [
+          ("op", Json.String "classes");
+          ( "type",
+            Json.List (Array.to_list (Array.map (fun a -> Json.Int a) db_type))
+          );
+          ("rank", Json.Int rank);
+        ]
+    | Tree { instance; depth } ->
+        [
+          ("op", Json.String "tree");
+          ("instance", Json.String instance);
+          ("depth", Json.Int depth);
+        ]
+    | Program { instance; program; fuel; cutoff } ->
+        [
+          ("op", Json.String "program");
+          ("instance", Json.String instance);
+          ("program", Json.String program);
+          ("fuel", Json.Int fuel);
+          ("cutoff", Json.Int cutoff);
+        ]
+  in
+  Json.Obj (("id", Json.Int id) :: fields)
+
+let tuple_json u =
+  Json.List (Array.to_list (Array.map (fun x -> Json.Int x) u))
+
+let tuples_json us = Json.List (List.map tuple_json us)
+
+let outcome_to_json = function
+  | Bool b -> Json.Obj [ ("kind", Json.String "bool"); ("value", Json.Bool b) ]
+  | Count n -> Json.Obj [ ("kind", Json.String "count"); ("value", Json.Int n) ]
+  | Rel { rank; reps; members } ->
+      Json.Obj
+        [
+          ("kind", Json.String "relation");
+          ("rank", Json.Int rank);
+          ("reps", tuples_json reps);
+          ("members", tuples_json members);
+        ]
+  | Levels levels ->
+      Json.Obj
+        [
+          ("kind", Json.String "tree");
+          ("levels", Json.List (List.map tuples_json levels));
+        ]
+  | Undefined -> Json.Obj [ ("kind", Json.String "undefined") ]
+
+let error_to_string = function
+  | Parse_error m -> Printf.sprintf "parse error: %s" m
+  | Unknown_instance i -> Printf.sprintf "unknown instance %S" i
+  | Not_a_sentence vars ->
+      Printf.sprintf "not a sentence: free variables %s"
+        (String.concat ", " vars)
+  | Timeout fuel -> Printf.sprintf "did not halt within %d steps" fuel
+  | Ill_formed m -> Printf.sprintf "ill-formed: %s" m
+  | Bad_request m -> Printf.sprintf "bad request: %s" m
+
+let error_to_json e =
+  let tag =
+    match e with
+    | Parse_error _ -> "parse_error"
+    | Unknown_instance _ -> "unknown_instance"
+    | Not_a_sentence _ -> "not_a_sentence"
+    | Timeout _ -> "timeout"
+    | Ill_formed _ -> "ill_formed"
+    | Bad_request _ -> "bad_request"
+  in
+  Json.Obj
+    [ ("kind", Json.String tag); ("message", Json.String (error_to_string e)) ]
+
+let stats_to_json s =
+  Json.Obj
+    [
+      ("oracle_calls", Json.Int s.oracle_calls);
+      ("tb_calls", Json.Int s.tb_calls);
+      ("equiv_calls", Json.Int s.equiv_calls);
+      ("cache_hits", Json.Int s.cache_hits);
+      ("wall_s", Json.Float s.wall_s);
+    ]
+
+let response_to_json ?(stats = true) r =
+  let result_field =
+    match r.result with
+    | Ok o -> ("ok", outcome_to_json o)
+    | Error e -> ("error", error_to_json e)
+  in
+  let base = [ ("id", Json.Int r.id); result_field ] in
+  Json.Obj (if stats then base @ [ ("stats", stats_to_json r.stats) ] else base)
+
+let payload_instance = function
+  | Sentence { instance; _ }
+  | Query { instance; _ }
+  | Tree { instance; _ }
+  | Program { instance; _ } ->
+      Some instance
+  | Classes _ -> None

@@ -1,0 +1,92 @@
+(** The engine's typed request/response ABI.
+
+    A request names an operation over the library — evaluate an FO
+    sentence or query on a named hs instance, count ≅ₗ classes, expand a
+    characteristic tree, run a QL_hs program with fuel — plus a
+    deterministic id used to match responses to requests.  Responses
+    carry a structured outcome or error and per-request cost accounting
+    in the paper's oracle model: raw oracle questions (to the Rᵢ),
+    questions to the T_B and ≅_B oracles, cache hits, and wall time.
+
+    The JSON wire format (one value per line, "JSON-lines"):
+
+    {v
+    {"id":1,"op":"sentence","instance":"triangles","sentence":"exists x. exists y. R1(x, y)"}
+    {"id":2,"op":"query","instance":"rado","query":"{(x,y) | R1(x,y)}","cutoff":4}
+    {"id":3,"op":"classes","type":[2,1],"rank":2}
+    {"id":4,"op":"tree","instance":"mod2","depth":2}
+    {"id":5,"op":"program","instance":"triangles","program":"Y1 <- ~(Rel1 & E)","fuel":1000,"cutoff":4}
+    v}
+
+    Everything except the result's [stats] field is a deterministic
+    function of the request — that is the {!Pool} byte-identity
+    contract, checked by [to_json ~stats:false]. *)
+
+type payload =
+  | Sentence of { instance : string; sentence : string }
+      (** Truth of an FO sentence in the infinite structure. *)
+  | Query of { instance : string; query : string; cutoff : int }
+      (** FO query: class representatives + concrete members below
+          [cutoff]. *)
+  | Classes of { db_type : int array; rank : int }
+      (** |Cⁿ| for a database type — the paper's 68. *)
+  | Tree of { instance : string; depth : int }
+      (** Levels T¹..T^depth of the characteristic tree. *)
+  | Program of { instance : string; program : string; fuel : int; cutoff : int }
+      (** Run a QL_hs program; report Y1. *)
+
+type t = { id : int; payload : payload }
+
+type outcome =
+  | Bool of bool
+  | Count of int
+  | Rel of {
+      rank : int;
+      reps : Prelude.Tuple.t list;
+      members : Prelude.Tuple.t list;
+    }
+  | Levels of Prelude.Tuple.t list list  (** T¹, T², ... *)
+  | Undefined  (** the query/program denotes the undefined relation *)
+
+type error =
+  | Parse_error of string
+  | Unknown_instance of string
+  | Not_a_sentence of string list  (** free variables *)
+  | Timeout of int  (** fuel spent *)
+  | Ill_formed of string
+  | Bad_request of string
+
+type stats = {
+  oracle_calls : int;  (** genuine questions to the Rᵢ oracles *)
+  tb_calls : int;  (** questions to the T_B (children) oracle *)
+  equiv_calls : int;  (** questions to the ≅_B oracle *)
+  cache_hits : int;  (** lookups answered by the LRU, not the oracle *)
+  wall_s : float;
+}
+
+val zero_stats : stats
+
+type response = {
+  id : int;
+  result : (outcome, error) Stdlib.result;
+  stats : stats;
+}
+
+val of_json : ?default_id:int -> Json.t -> (t, string) Stdlib.result
+(** Decode one request object.  A missing ["id"] falls back to
+    [default_id] (callers pass the 1-based line number, keeping ids
+    deterministic). *)
+
+val of_line : ?default_id:int -> string -> (t, string) Stdlib.result
+(** Parse + decode one JSON line. *)
+
+val to_json : t -> Json.t
+(** Round-trips through {!of_json}. *)
+
+val response_to_json : ?stats:bool -> response -> Json.t
+(** [~stats:false] omits the stats field — the deterministic part used
+    for byte-identity comparison. *)
+
+val error_to_string : error -> string
+val payload_instance : payload -> string option
+(** The instance a request touches, if any. *)

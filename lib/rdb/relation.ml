@@ -4,13 +4,13 @@ type t = {
   name : string;
   arity : int;
   decide : Tuple.t -> bool;
-  counter : int ref;
+  counter : int Atomic.t;
   log : (Tuple.t * bool) list ref option;
 }
 
 let make ?(name = "R") ~arity decide =
   if arity < 0 then invalid_arg "Relation.make: negative arity";
-  { name; arity; decide; counter = ref 0; log = None }
+  { name; arity; decide; counter = Atomic.make 0; log = None }
 
 let arity r = r.arity
 let name r = r.name
@@ -20,15 +20,15 @@ let mem r u =
     invalid_arg
       (Printf.sprintf "Relation.mem: %s expects rank %d, got %d" r.name
          r.arity (Tuple.rank u));
-  incr r.counter;
+  Atomic.incr r.counter;
   let answer = r.decide u in
   (match r.log with
   | None -> ()
   | Some log -> log := (Array.copy u, answer) :: !log);
   answer
 
-let calls r = !(r.counter)
-let reset_calls r = r.counter := 0
+let calls r = Atomic.get r.counter
+let reset_calls r = Atomic.set r.counter 0
 
 let of_tupleset ?(name = "R") ~arity s =
   Tupleset.iter

@@ -21,7 +21,9 @@ val mem : t -> Prelude.Tuple.t -> bool
     Raises [Invalid_argument] if [rank u <> arity r]. *)
 
 val calls : t -> int
-(** Number of {!mem} queries since creation or the last {!reset_calls}. *)
+(** Number of {!mem} queries since creation or the last {!reset_calls}.
+    The counter is an [Atomic.t], so relations may be shared between
+    domains without losing counts. *)
 
 val reset_calls : t -> unit
 

@@ -1,0 +1,337 @@
+open Prelude
+
+let check = Alcotest.check
+let t = Tuple.of_list
+
+(* ------------------------------------------------------------------ *)
+(* Oracle_cache                                                        *)
+
+let triangles () =
+  match Engine.build_instance "triangles" with
+  | Some b -> b
+  | None -> Alcotest.fail "triangles not registered"
+
+let test_cache_identical () =
+  (* 200 random probes, each twice: the cached view must agree with an
+     independent uncached copy of the same instance on every answer. *)
+  let cached =
+    Oracle_cache.wrap ~capacity:64
+      (Rdb.Database.relation (Hs.Hsdb.db (triangles ())) 0)
+  in
+  let reference = Rdb.Database.relation (Hs.Hsdb.db (triangles ())) 0 in
+  let rel = Oracle_cache.relation cached in
+  let rng = Random.State.make [| 0x5eed |] in
+  for _ = 1 to 200 do
+    let u = t [ Random.State.int rng 40; Random.State.int rng 40 ] in
+    let expect = Rdb.Relation.mem reference u in
+    Alcotest.(check bool) "first lookup" expect (Rdb.Relation.mem rel u);
+    Alcotest.(check bool) "repeat lookup" expect (Rdb.Relation.mem rel u)
+  done;
+  let s = Oracle_cache.stats cached in
+  check Alcotest.int "hits + misses = lookups" 400 (s.hits + s.misses);
+  check Alcotest.int "misses are the genuine questions" s.misses
+    (Rdb.Relation.calls (Oracle_cache.underlying cached));
+  check Alcotest.int "wrapper counts every lookup" 400
+    (Rdb.Relation.calls rel)
+
+let test_cache_hit_is_not_a_question () =
+  (* Definitions 2.4 / 3.9: only lookups that reach the oracle count.
+     A repeated lookup must not increment the underlying counter. *)
+  let c =
+    Oracle_cache.wrap (Rdb.Relation.make ~arity:1 (fun u -> u.(0) mod 2 = 0))
+  in
+  let rel = Oracle_cache.relation c in
+  Alcotest.(check bool) "4 even" true (Rdb.Relation.mem rel (t [ 4 ]));
+  Alcotest.(check bool) "4 even again" true (Rdb.Relation.mem rel (t [ 4 ]));
+  Alcotest.(check bool) "5 odd" false (Rdb.Relation.mem rel (t [ 5 ]));
+  Alcotest.(check bool) "5 odd again" false (Rdb.Relation.mem rel (t [ 5 ]));
+  check Alcotest.int "two genuine questions" 2
+    (Rdb.Relation.calls (Oracle_cache.underlying c));
+  let s = Oracle_cache.stats c in
+  check Alcotest.int "two hits" 2 s.hits;
+  check Alcotest.int "two misses" 2 s.misses
+
+let test_cache_eviction () =
+  let c =
+    Oracle_cache.wrap ~capacity:8
+      (Rdb.Relation.make ~arity:1 (fun u -> u.(0) > 10))
+  in
+  let rel = Oracle_cache.relation c in
+  check Alcotest.int "capacity" 8 (Oracle_cache.capacity c);
+  for i = 0 to 19 do
+    ignore (Rdb.Relation.mem rel (t [ i ]))
+  done;
+  check Alcotest.int "length bounded by capacity" 8 (Oracle_cache.length c);
+  check Alcotest.int "evictions" 12 (Oracle_cache.stats c).evictions;
+  (* The 8 most recent keys survived: re-probing them is all hits. *)
+  Oracle_cache.reset_stats c;
+  for i = 12 to 19 do
+    ignore (Rdb.Relation.mem rel (t [ i ]))
+  done;
+  let s = Oracle_cache.stats c in
+  check Alcotest.int "recent keys all hit" 8 s.hits;
+  check Alcotest.int "no misses on survivors" 0 s.misses;
+  (* The evicted keys are gone: probing one is a miss again. *)
+  ignore (Rdb.Relation.mem rel (t [ 0 ]));
+  check Alcotest.int "evicted key misses" 1 (Oracle_cache.stats c).misses;
+  Oracle_cache.clear c;
+  check Alcotest.int "clear empties" 0 (Oracle_cache.length c)
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+
+let test_json_roundtrip () =
+  let samples =
+    [
+      {|{"id":1,"op":"sentence","instance":"triangles","sentence":"exists x. exists y. R1(x, y)"}|};
+      {|{"id":3,"op":"classes","type":[2,1],"rank":2}|};
+      {|[1,-2,3.5,true,false,null,"a\nb"]|};
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Error e -> Alcotest.failf "parse %s: %s" s e
+      | Ok v -> (
+          match Json.parse (Json.to_string v) with
+          | Error e -> Alcotest.failf "reparse: %s" e
+          | Ok v' ->
+              Alcotest.(check string)
+                "print/parse stable" (Json.to_string v) (Json.to_string v')))
+    samples;
+  (match Json.parse "{\"a\":1} trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted")
+
+let test_request_roundtrip () =
+  let lines =
+    [
+      {|{"id":2,"op":"query","instance":"rado","query":"{(x,y) | R1(x,y)}","cutoff":4}|};
+      {|{"id":4,"op":"tree","instance":"mod2","depth":2}|};
+      {|{"id":5,"op":"program","instance":"triangles","program":"Y1 <- ~(Rel1 & E)","fuel":1000,"cutoff":4}|};
+    ]
+  in
+  List.iter
+    (fun line ->
+      match Request.of_line line with
+      | Error e -> Alcotest.failf "decode %s: %s" line e
+      | Ok r -> (
+          match Request.of_json (Request.to_json r) with
+          | Error e -> Alcotest.failf "re-decode: %s" e
+          | Ok r' ->
+              Alcotest.(check string)
+                "request round-trips"
+                (Json.to_string (Request.to_json r))
+                (Json.to_string (Request.to_json r'))))
+    lines
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+
+let sentence_req id instance sentence =
+  { Request.id; payload = Request.Sentence { instance; sentence } }
+
+let test_engine_outcomes () =
+  let e = Engine.create () in
+  (let r =
+     Engine.handle e
+       (sentence_req 1 "triangles" "exists x. exists y. R1(x, y)")
+   in
+   match r.result with
+   | Ok (Request.Bool b) -> Alcotest.(check bool) "edge exists" true b
+   | _ -> Alcotest.fail "expected Bool");
+  (let r =
+     Engine.handle e
+       { Request.id = 2;
+         payload = Request.Classes { db_type = [| 2; 1 |]; rank = 2 } }
+   in
+   match r.result with
+   | Ok (Request.Count n) ->
+       check Alcotest.int "the paper's 68 classes" 68 n
+   | _ -> Alcotest.fail "expected Count")
+
+let test_engine_errors () =
+  let e = Engine.create () in
+  let expect_error name req pred =
+    match (Engine.handle e req).result with
+    | Ok _ -> Alcotest.failf "%s: expected an error" name
+    | Error err ->
+        if not (pred err) then
+          Alcotest.failf "%s: wrong error %s" name
+            (Request.error_to_string err)
+  in
+  expect_error "unknown instance"
+    (sentence_req 1 "nope" "exists x. R1(x, x)")
+    (function Request.Unknown_instance _ -> true | _ -> false);
+  expect_error "parse error"
+    (sentence_req 2 "triangles" "exists x. R1(x")
+    (function Request.Parse_error _ -> true | _ -> false);
+  expect_error "free variables"
+    (sentence_req 3 "triangles" "R1(x, y)")
+    (function Request.Not_a_sentence _ -> true | _ -> false);
+  expect_error "guard rail on rank"
+    { Request.id = 4;
+      payload = Request.Classes { db_type = [| 2; 1 |]; rank = 99 } }
+    (function Request.Bad_request _ -> true | _ -> false)
+
+let test_engine_cache_reduces_questions () =
+  let e = Engine.create () in
+  let req = sentence_req 1 "triangles" "exists x. exists y. R1(x, y)" in
+  let first = Engine.handle e req in
+  let second = Engine.handle e req in
+  Alcotest.(check bool)
+    "second run needs no new raw questions" true
+    (second.stats.Request.oracle_calls < first.stats.Request.oracle_calls
+    || second.stats.Request.oracle_calls = 0);
+  Alcotest.(check bool)
+    "second run hits the cache" true
+    (second.stats.Request.cache_hits > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+
+let mixed_batch n =
+  let instances = [ "triangles"; "mod2"; "mod3"; "paths3" ] in
+  List.map
+    (fun i ->
+      let instance = List.nth instances (i mod List.length instances) in
+      let payload =
+        match i mod 3 with
+        | 0 ->
+            Request.Sentence
+              { instance; sentence = "exists x. exists y. R1(x, y)" }
+        | 1 ->
+            Request.Query
+              { instance; query = "{(x,y) | R1(x,y) && x != y}"; cutoff = 6 }
+        | _ -> Request.Classes { db_type = [| 2 |]; rank = 2 }
+      in
+      { Request.id = i + 1; payload })
+    (Ints.range 0 n)
+
+let fingerprint responses =
+  String.concat "\n"
+    (List.map
+       (fun r -> Json.to_string (Request.response_to_json ~stats:false r))
+       responses)
+
+let test_pool_matches_sequential () =
+  let batch = mixed_batch 60 in
+  let sequential = Engine.handle_all (Engine.create ()) batch in
+  let pool = Pool.create ~domains:4 () in
+  check Alcotest.int "four workers" 4 (Pool.size pool);
+  let parallel = Pool.run_batch pool batch in
+  Pool.shutdown pool;
+  check Alcotest.int "same length" (List.length sequential)
+    (List.length parallel);
+  List.iter2
+    (fun (s : Request.response) (p : Request.response) ->
+      check Alcotest.int "ids in request order" s.id p.id)
+    sequential parallel;
+  Alcotest.(check string)
+    "byte-identical to sequential" (fingerprint sequential)
+    (fingerprint parallel)
+
+let test_pool_shutdown () =
+  let pool = Pool.create ~domains:2 () in
+  ignore (Pool.run_batch pool (mixed_batch 6));
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.run_batch: pool is shut down") (fun () ->
+      ignore (Pool.run_batch pool (mixed_batch 3)))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let test_metrics_reconcile () =
+  (* Process-wide counters, reset here, must equal the sums of the
+     per-request stats of everything handled afterwards. *)
+  Metrics.reset_all ();
+  let e = Engine.create () in
+  let responses = Engine.handle_all e (mixed_batch 30) in
+  let sum f =
+    List.fold_left (fun acc (r : Request.response) -> acc + f r.stats) 0
+      responses
+  in
+  check Alcotest.int "requests counted" 30
+    (Metrics.counter_value (Metrics.counter "engine.requests"));
+  check Alcotest.int "oracle calls reconcile"
+    (sum (fun s -> s.Request.oracle_calls))
+    (Metrics.counter_value (Metrics.counter "engine.oracle_calls"));
+  check Alcotest.int "cache hits reconcile"
+    (sum (fun s -> s.Request.cache_hits))
+    (Metrics.counter_value (Metrics.counter "engine.cache_hits"));
+  check Alcotest.int "latency histogram count" 30
+    (Metrics.histogram_count (Metrics.histogram "engine.latency"));
+  (* The dumps render without raising and mention our counters. *)
+  let text = Metrics.dump_text () in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool)
+    "text dump lists engine.requests" true
+    (contains text "engine.requests")
+
+let test_metrics_quantile () =
+  Metrics.reset_all ();
+  let h = Metrics.histogram "test.latency" in
+  Alcotest.(check bool) "empty is nan" true (Float.is_nan (Metrics.quantile h 0.5));
+  for _ = 1 to 99 do
+    Metrics.observe h 0.0000015
+  done;
+  Metrics.observe h 5.0;
+  Alcotest.(check bool)
+    "p50 in the fast bucket" true
+    (Metrics.quantile h 0.5 < 0.001);
+  Alcotest.(check bool)
+    "p100 sees the outlier" true
+    (Metrics.quantile h 1.0 >= 5.0)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "oracle_cache",
+        [
+          Alcotest.test_case "identical to uncached on 200 random probes"
+            `Quick test_cache_identical;
+          Alcotest.test_case "a hit is not a fresh oracle question" `Quick
+            test_cache_hit_is_not_a_question;
+          Alcotest.test_case "eviction respects capacity" `Quick
+            test_cache_eviction;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "print/parse round-trip" `Quick
+            test_json_roundtrip;
+          Alcotest.test_case "request wire format round-trip" `Quick
+            test_request_roundtrip;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "outcomes (sentence, classes=68)" `Quick
+            test_engine_outcomes;
+          Alcotest.test_case "typed errors" `Quick test_engine_errors;
+          Alcotest.test_case "repeat requests hit the cache" `Quick
+            test_engine_cache_reduces_questions;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "4-domain batch equals sequential" `Quick
+            test_pool_matches_sequential;
+          Alcotest.test_case "graceful, idempotent shutdown" `Quick
+            test_pool_shutdown;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "totals reconcile with per-request stats"
+            `Quick test_metrics_reconcile;
+          Alcotest.test_case "histogram quantiles" `Quick
+            test_metrics_quantile;
+        ] );
+    ]
