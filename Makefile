@@ -1,4 +1,4 @@
-.PHONY: all build test bench check clean
+.PHONY: all build test bench resilience-smoke check clean
 
 all: build
 
@@ -11,7 +11,14 @@ test:
 bench:
 	dune exec bench/main.exe -- tables
 
-check: build test bench
+# The E25 smoke: kill workers mid-batch and verify containment (exit 1
+# on any violation), then a scaled-down resilience benchmark so the
+# budget/deadline/fault paths all run.
+resilience-smoke:
+	dune exec bin/recdb.exe -- crash-test --requests 100 -j 3 --every 20
+	dune exec bin/recdb.exe -- bench-resilience --trials 2 --requests 500 --fault-requests 100
+
+check: build test bench resilience-smoke
 
 clean:
 	dune clean

@@ -817,6 +817,15 @@ let e24 () =
     "lib/engine: oracle-call savings from the LRU, worker-pool batches";
   Engine_bench.run ~out:"BENCH_engine.json" ()
 
+(* ------------------------------------------------------------------ *)
+(* E25: resilience — budgets, deadlines, injected faults               *)
+
+let e25 () =
+  section "E25"
+    "lib/engine resilience: guard overhead, budget/deadline trips, \
+     retry under faults";
+  ignore (Engine_bench.run_resilience ~out:"BENCH_resilience.json" ())
+
 let tables () =
   e1 ();
   e2 ();
@@ -841,7 +850,8 @@ let tables () =
   e21 ();
   e22 ();
   e23 ();
-  e24 ()
+  e24 ();
+  e25 ()
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing benches — one per experiment's core algorithm.      *)

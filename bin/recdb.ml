@@ -9,6 +9,8 @@
      recdb normalize -t 2 -r 2 '{(x,y)|...}' L⁻ normal form (Thm 2.1)
      recdb serve-batch FILE                  JSON-lines requests -> results
      recdb bench-engine                      cache + worker-pool benchmark
+     recdb crash-test                        kill workers mid-batch, verify containment
+     recdb bench-resilience                  budget/deadline/fault benchmark (E25)
 
    Exit codes: 0 success, 1 runtime error (parse failure, unknown
    instance, ...), 124 command-line misuse (unknown subcommand or
@@ -294,6 +296,24 @@ let read_lines path =
   in
   go []
 
+(* Resilience flags shared by serve-batch: None everywhere means "no
+   guard installed" (the pre-resilience hot path, byte for byte). *)
+let engine_config_of_flags ~deadline_ms ~max_oracle_calls ~inject =
+  match (deadline_ms, max_oracle_calls, inject) with
+  | None, None, None -> None
+  | _ ->
+      Some
+        {
+          Engine.default_config with
+          limits =
+            {
+              Resilience.max_oracle_calls;
+              deadline_s = Option.map (fun ms -> ms /. 1000.0) deadline_ms;
+            };
+          faults =
+            Option.map (fun seed -> Faulty_oracle.config ~seed ()) inject;
+        }
+
 let cmd_serve_batch =
   let doc =
     "Serve a batch of requests: JSON-lines in, JSON-lines (result + stats) \
@@ -326,7 +346,36 @@ let cmd_serve_batch =
             "Omit per-request stats from the output (the deterministic part \
              only).")
   in
-  let run file jobs metrics no_stats =
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request wall-clock deadline; a request that runs over \
+             returns a deadline_exceeded error instead of hanging the batch.")
+  in
+  let max_oracle_calls =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-oracle-calls" ] ~docv:"N"
+          ~doc:
+            "Per-request oracle-question budget (raw, T_B and \
+             \xe2\x89\x85_B questions all count); overruns return \
+             budget_exceeded.")
+  in
+  let inject =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "inject" ] ~docv:"SEED"
+          ~doc:
+            "Deterministically inject transient oracle outages (seeded; \
+             absorbed by bounded retry, surviving ones become \
+             oracle_unavailable errors).")
+  in
+  let run file jobs metrics no_stats deadline_ms max_oracle_calls inject =
     if jobs < 1 then begin
       Format.eprintf "jobs must be >= 1@.";
       exit 1
@@ -342,11 +391,12 @@ let cmd_serve_batch =
             Some
               (match Request.of_line ~default_id:(i + 1) line with
               | Ok req -> Either.Right req
-              | Error msg ->
+              | Error err ->
+                  (* typed per-line error; the batch continues *)
                   Either.Left
                     {
                       Request.id = i + 1;
-                      result = Error (Request.Bad_request msg);
+                      result = Error err;
                       stats = Request.zero_stats;
                     }))
         lines
@@ -357,10 +407,11 @@ let cmd_serve_batch =
         (function Either.Right r -> Some r | Either.Left _ -> None)
         decoded
     in
+    let config = engine_config_of_flags ~deadline_ms ~max_oracle_calls ~inject in
     let responses =
-      if jobs = 1 then Engine.handle_all (Engine.create ()) requests
+      if jobs = 1 then Engine.handle_all (Engine.create ?config ()) requests
       else begin
-        let pool = Pool.create ~domains:jobs () in
+        let pool = Pool.create ~domains:jobs ?engine_config:config () in
         let rs = Pool.run_batch pool requests in
         Pool.shutdown pool;
         rs
@@ -387,7 +438,133 @@ let cmd_serve_batch =
   in
   Cmd.v
     (Cmd.info "serve-batch" ~doc)
-    Term.(const run $ file $ jobs $ metrics $ no_stats)
+    Term.(
+      const run $ file $ jobs $ metrics $ no_stats $ deadline_ms
+      $ max_oracle_calls $ inject)
+
+let cmd_crash_test =
+  let doc =
+    "Chaos-test the worker pool: serve a mixed batch while deliberately \
+     killing the worker domain on every Nth request, then verify \
+     containment — one response per request, crashed requests carry a \
+     typed worker_crash error, and every other response is byte-identical \
+     to a clean sequential run.  Exits 1 on any violation."
+  in
+  let requests =
+    Arg.(
+      value & opt int 200
+      & info [ "requests" ] ~docv:"N" ~doc:"Batch size.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 3
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let every =
+    Arg.(
+      value & opt int 25
+      & info [ "every" ] ~docv:"K"
+          ~doc:"Kill the serving worker on requests with id divisible by K.")
+  in
+  let run requests jobs every =
+    if requests < 1 || jobs < 1 || every < 1 then begin
+      Format.eprintf "requests, jobs and every must all be >= 1@.";
+      exit 1
+    end;
+    let batch = Engine_bench.build_batch requests in
+    let reference = Engine.handle_all (Engine.create ()) batch in
+    let pool =
+      Pool.create ~domains:jobs
+        ~crash_on:(fun r -> r.Request.id mod every = 0)
+        ()
+    in
+    let responses = Pool.run_batch pool batch in
+    let deaths = Pool.worker_deaths pool in
+    Pool.shutdown pool;
+    let violations = ref [] in
+    let violation fmt =
+      Format.kasprintf (fun s -> violations := s :: !violations) fmt
+    in
+    if List.length responses <> requests then
+      violation "%d responses for %d requests" (List.length responses)
+        requests
+    else
+      List.iter2
+        (fun (r : Request.response) (ref_r : Request.response) ->
+          if r.id <> ref_r.id then
+            violation "response id %d out of order (expected %d)" r.id
+              ref_r.id
+          else if r.id mod every = 0 then (
+            match r.result with
+            | Error (Request.Worker_crash _) -> ()
+            | _ ->
+                violation "request %d should have died with worker_crash"
+                  r.id)
+          else
+            let s r =
+              Json.to_string (Request.response_to_json ~stats:false r)
+            in
+            if not (String.equal (s r) (s ref_r)) then
+              violation "request %d differs from the sequential run" r.id)
+        responses reference;
+    let crashed =
+      List.length
+        (List.filter
+           (fun (r : Request.response) ->
+             match r.result with
+             | Error (Request.Worker_crash _) -> true
+             | _ -> false)
+           responses)
+    in
+    Format.printf
+      "crash-test: %d requests on %d workers, crashing every %dth id: %d \
+       worker deaths, %d crashed responses, %d clean@."
+      requests jobs every deaths crashed (requests - crashed);
+    match !violations with
+    | [] -> Format.printf "containment holds: all clean responses identical \
+                           to a sequential run@."
+    | vs ->
+        List.iter (Format.eprintf "violation: %s@.") (List.rev vs);
+        exit 1
+  in
+  Cmd.v (Cmd.info "crash-test" ~doc) Term.(const run $ requests $ jobs $ every)
+
+let cmd_bench_resilience =
+  let doc =
+    "Benchmark the resilience layer (E25): budget-guard overhead on \
+     repeated evaluation, deadline/budget trips on a diverging request, \
+     and retry determinism under injected faults."
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Also write results as JSON.")
+  in
+  let trials =
+    Arg.(
+      value & opt int 3
+      & info [ "trials" ] ~docv:"N" ~doc:"Timing trials (best is kept).")
+  in
+  let requests =
+    Arg.(
+      value & opt int 2000
+      & info [ "requests" ] ~docv:"N"
+          ~doc:"Batch size for the overhead measurement.")
+  in
+  let fault_requests =
+    Arg.(
+      value & opt int 200
+      & info [ "fault-requests" ] ~docv:"N"
+          ~doc:"Batch size for the fault-injection run.")
+  in
+  let run out trials requests fault_requests =
+    ignore
+      (Engine_bench.run_resilience ?out ~trials ~requests ~fault_requests ())
+  in
+  Cmd.v
+    (Cmd.info "bench-resilience" ~doc)
+    Term.(const run $ out $ trials $ requests $ fault_requests)
 
 let cmd_bench_engine =
   let doc =
@@ -434,4 +611,6 @@ let () =
             cmd_normalize;
             cmd_serve_batch;
             cmd_bench_engine;
+            cmd_crash_test;
+            cmd_bench_resilience;
           ]))

@@ -31,6 +31,19 @@ let build_instance name =
 (* ------------------------------------------------------------------ *)
 (* Engine state                                                        *)
 
+type config = {
+  limits : Resilience.limits;
+  retry : Resilience.retry;
+  faults : Faulty_oracle.config option;
+}
+
+let default_config =
+  {
+    limits = Resilience.no_limits;
+    retry = Resilience.default_retry;
+    faults = None;
+  }
+
 type entry = {
   hs : Hs.Hsdb.t;  (* instance whose Rᵢ oracles go through the LRU *)
   raw_db : Rdb.Database.t;  (* original relations: genuine questions *)
@@ -39,35 +52,104 @@ type entry = {
 
 type t = {
   entries : (string * entry Lazy.t) list;
+  config : config;
+  res : Resilience.t;
+  faults : Faulty_oracle.t option;
   m_requests : Metrics.counter;
   m_errors : Metrics.counter;
   m_oracle_calls : Metrics.counter;
   m_cache_hits : Metrics.counter;
   m_latency : Metrics.histogram;
+  m_retries : Metrics.counter;
+  m_budget_hits : Metrics.counter;
+  m_deadline_hits : Metrics.counter;
+  m_fault_failures : Metrics.counter;
 }
 
-let make_entry ~cache_capacity build () =
+(* The guarded oracle chain.  Per genuine question the guard is one
+   Resilience.tick (a decrement + compare) and, when fault injection is
+   on, one schedule hash — and it sits {e below} the LRU, so cache hits
+   skip it entirely.  The aborting tick fires before the underlying
+   oracle is consulted: a budget hit never asks (and never counts) the
+   question that would have exceeded the quota. *)
+let make_entry ~cache_capacity ~guarded ~res ~faults build () =
   let base = build () in
   let raw_db = Hs.Hsdb.db base in
-  let cached_db, caches = Oracle_cache.wrap_db ~capacity:cache_capacity raw_db in
-  let hs =
-    Hs.Hsdb.make ~name:(Hs.Hsdb.name base) ~db:cached_db
-      ~children:(Hs.Hsdb.children base) ~equiv:(Hs.Hsdb.equiv base) ()
-  in
-  { hs; raw_db; caches }
+  if not guarded then begin
+    let cached_db, caches =
+      Oracle_cache.wrap_db ~capacity:cache_capacity raw_db
+    in
+    let hs =
+      Hs.Hsdb.make ~name:(Hs.Hsdb.name base) ~db:cached_db
+        ~children:(Hs.Hsdb.children base) ~equiv:(Hs.Hsdb.equiv base) ()
+    in
+    { hs; raw_db; caches }
+  end
+  else begin
+    let pre oracle =
+      Resilience.tick res;
+      match faults with
+      | None -> ()
+      | Some fo -> Faulty_oracle.pre fo ~oracle
+    in
+    let guarded_db =
+      Rdb.Database.make
+        ~name:(Rdb.Database.name raw_db)
+        ~domain:(Rdb.Database.domain raw_db)
+        (Array.map
+           (fun r ->
+             let oracle = Rdb.Relation.name r in
+             Rdb.Relation.make ~name:oracle ~arity:(Rdb.Relation.arity r)
+               (fun u ->
+                 pre oracle;
+                 Rdb.Relation.mem r u))
+           (Rdb.Database.relations raw_db))
+    in
+    let cached_db, caches =
+      Oracle_cache.wrap_db ~capacity:cache_capacity guarded_db
+    in
+    let hs =
+      Hs.Hsdb.make ~name:(Hs.Hsdb.name base) ~db:cached_db
+        ~children:(fun u ->
+          pre "T_B";
+          Hs.Hsdb.children base u)
+        ~equiv:(fun u v ->
+          pre "equiv_B";
+          Hs.Hsdb.equiv base u v)
+        ()
+    in
+    { hs; raw_db; caches }
+  end
 
-let create ?(cache_capacity = 4096) () =
+let create ?(cache_capacity = 4096) ?(config = default_config) () =
+  let res = Resilience.create () in
+  let faults = Option.map Faulty_oracle.make config.faults in
+  (* Pay the per-question guard only when resilience is configured; a
+     plain engine keeps PR 1's unguarded hot path (E25 measures the
+     difference). *)
+  let guarded =
+    (not (Resilience.unlimited config.limits)) || Option.is_some faults
+  in
   {
     entries =
       List.map
         (fun (name, build) ->
-          (name, Lazy.from_fun (make_entry ~cache_capacity build)))
+          ( name,
+            Lazy.from_fun (make_entry ~cache_capacity ~guarded ~res ~faults build)
+          ))
         builders;
+    config;
+    res;
+    faults;
     m_requests = Metrics.counter "engine.requests";
     m_errors = Metrics.counter "engine.errors";
     m_oracle_calls = Metrics.counter "engine.oracle_calls";
     m_cache_hits = Metrics.counter "engine.cache_hits";
     m_latency = Metrics.histogram "engine.latency";
+    m_retries = Metrics.counter "engine.retries";
+    m_budget_hits = Metrics.counter "engine.budget_hits";
+    m_deadline_hits = Metrics.counter "engine.deadline_hits";
+    m_fault_failures = Metrics.counter "engine.fault_failures";
   }
 
 let cache_stats t =
@@ -88,28 +170,18 @@ let cache_stats t =
 (* ------------------------------------------------------------------ *)
 (* Request evaluation                                                  *)
 
-(* Guard rails for the combinatorial operations: class enumeration and
-   tree expansion are exponential in rank/arity, so a serving engine
-   bounds them rather than letting one request starve the pool. *)
-let max_rank = 4
-let max_arity = 4
-let max_width = 4
-let max_depth = 6
-let max_cutoff = 32
+(* Guard rails for the combinatorial operations (shared with parse-time
+   validation through Request.Bounds): class enumeration and tree
+   expansion are exponential in rank/arity, so a serving engine bounds
+   them rather than letting one request starve the pool.  Requests
+   built in OCaml bypass Request.of_json, so the checks run here too. *)
+let max_depth = Request.Bounds.max_depth
+let max_cutoff = Request.Bounds.max_cutoff
 
 let eval_classes ~db_type ~rank =
-  if rank < 0 || rank > max_rank then
-    Error
-      (Request.Bad_request (Printf.sprintf "rank must be in 0..%d" max_rank))
-  else if Array.length db_type = 0 || Array.length db_type > max_width then
-    Error
-      (Request.Bad_request
-         (Printf.sprintf "type must have 1..%d relations" max_width))
-  else if Array.exists (fun a -> a < 0 || a > max_arity) db_type then
-    Error
-      (Request.Bad_request
-         (Printf.sprintf "arities must be in 0..%d" max_arity))
-  else Ok (Request.Count (Localiso.Diagram.count ~db_type ~rank))
+  match Request.validate_payload (Request.Classes { db_type; rank }) with
+  | Error e -> Error e
+  | Ok () -> Ok (Request.Count (Localiso.Diagram.count ~db_type ~rank))
 
 let eval_payload entry (payload : Request.payload) :
     (Request.outcome, Request.error) result =
@@ -161,8 +233,10 @@ let eval_payload entry (payload : Request.payload) :
             Error
               (Request.Bad_request
                  (Printf.sprintf "cutoff must be in 0..%d" max_cutoff))
-          else if fuel < 0 then
-            Error (Request.Bad_request "fuel must be non-negative")
+          else if fuel < 1 || fuel > Request.Bounds.max_fuel then
+            Error
+              (Request.Bad_request
+                 (Printf.sprintf "fuel must be in 1..%d" Request.Bounds.max_fuel))
           else (
             match Ql.Ql_hs.run entry.hs ~fuel p with
             | Ql.Ql_interp.Halted store ->
@@ -186,8 +260,14 @@ let snapshot entry =
     eq,
     (Oracle_cache.total_stats entry.caches).Oracle_cache.hits )
 
+(* Every handle call is total: the budget/deadline guard turns unbounded
+   evaluations into typed errors, transient oracle outages are retried
+   with deterministic exponential backoff and surface as typed errors
+   when they persist, and any other escaping exception becomes
+   [Ill_formed] — a request can never kill its worker. *)
 let handle t (req : Request.t) : Request.response =
   let t0 = Unix.gettimeofday () in
+  let retries = ref 0 in
   let finish result entry_opt pre =
     let wall_s = Unix.gettimeofday () -. t0 in
     let stats =
@@ -199,9 +279,10 @@ let handle t (req : Request.t) : Request.response =
             tb_calls = tb1 - tb0;
             equiv_calls = eq1 - eq0;
             cache_hits = h1 - h0;
+            retries = !retries;
             wall_s;
           }
-      | _ -> { Request.zero_stats with wall_s }
+      | _ -> { Request.zero_stats with retries = !retries; wall_s }
     in
     Metrics.incr t.m_requests;
     if Result.is_error result then Metrics.incr t.m_errors;
@@ -209,6 +290,39 @@ let handle t (req : Request.t) : Request.response =
     Metrics.incr ~by:stats.Request.cache_hits t.m_cache_hits;
     Metrics.observe t.m_latency wall_s;
     { Request.id = req.Request.id; result; stats }
+  in
+  let total_eval eval =
+    Resilience.arm t.res t.config.limits;
+    let rec attempt n =
+      match eval () with
+      | result -> result
+      | exception Resilience.Budget_hit { limit } ->
+          Metrics.incr t.m_budget_hits;
+          Error (Request.Budget_exceeded { limit })
+      | exception Resilience.Deadline_hit { deadline_s; _ } ->
+          Metrics.incr t.m_deadline_hits;
+          Error (Request.Deadline_exceeded { deadline_s })
+      | exception Faulty_oracle.Oracle_unavailable _
+        when n < t.config.retry.max_retries -> (
+          incr retries;
+          Metrics.incr t.m_retries;
+          if t.config.retry.backoff_s > 0.0 then
+            Unix.sleepf (t.config.retry.backoff_s *. Float.of_int (1 lsl n));
+          (* The backoff may have consumed the deadline; report that as
+             a deadline hit rather than burning further attempts. *)
+          match Resilience.check_deadline t.res with
+          | () -> attempt (n + 1)
+          | exception Resilience.Deadline_hit { deadline_s; _ } ->
+              Metrics.incr t.m_deadline_hits;
+              Error (Request.Deadline_exceeded { deadline_s }))
+      | exception Faulty_oracle.Oracle_unavailable { oracle; _ } ->
+          Metrics.incr t.m_fault_failures;
+          Error (Request.Oracle_unavailable { oracle; attempts = n + 1 })
+      | exception e -> Error (Request.Ill_formed (Printexc.to_string e))
+    in
+    let result = attempt 0 in
+    Resilience.disarm t.res;
+    result
   in
   match Request.payload_instance req.Request.payload with
   | Some name when not (List.mem_assoc name t.entries) ->
@@ -232,13 +346,12 @@ let handle t (req : Request.t) : Request.response =
         let pre = Option.map snapshot entry_opt in
         let result =
           match entry_opt with
-          | Some entry -> (
-              try eval_payload entry req.Request.payload
-              with e -> Error (Request.Ill_formed (Printexc.to_string e)))
+          | Some entry ->
+              total_eval (fun () -> eval_payload entry req.Request.payload)
           | None -> (
               match req.Request.payload with
               | Request.Classes { db_type; rank } ->
-                  eval_classes ~db_type ~rank
+                  total_eval (fun () -> eval_classes ~db_type ~rank)
               | _ ->
                   (* unreachable: instance payloads resolved above *)
                   Error (Request.Ill_formed "no instance resolved"))
@@ -246,3 +359,6 @@ let handle t (req : Request.t) : Request.response =
         finish result entry_opt pre
 
 let handle_all t reqs = List.map (handle t) reqs
+
+let faults_injected t =
+  match t.faults with None -> 0 | Some fo -> Faulty_oracle.faults_injected fo

@@ -19,10 +19,35 @@
 
 type t
 
-val create : ?cache_capacity:int -> unit -> t
+(** Resilience configuration: per-request evaluation limits, retry
+    policy for transient oracle outages, and (optionally) deterministic
+    fault injection.  With {!default_config} — no limits, no faults —
+    the oracle hot path carries no guard at all; configuring either
+    installs a cheap per-question check (E25 measures its overhead). *)
+type config = {
+  limits : Resilience.limits;
+  retry : Resilience.retry;
+  faults : Faulty_oracle.config option;
+}
+
+val default_config : config
+
+val create : ?cache_capacity:int -> ?config:config -> unit -> t
 (** [cache_capacity] is the per-relation LRU bound (default 4096). *)
 
 val handle : t -> Request.t -> Request.response
+(** Total: never raises and never hangs under a configured deadline or
+    budget — unbounded evaluations surface as [Budget_exceeded] /
+    [Deadline_exceeded], persistent injected outages as
+    [Oracle_unavailable] (after [config.retry.max_retries] bounded
+    retries with deterministic exponential backoff), and any other
+    escaping exception as [Ill_formed].
+
+    Budget/deadline outcomes depend on this engine's cache and memo
+    state (a warm engine asks fewer questions before tripping), so they
+    are deterministic for a fixed engine history but not across
+    differently-warmed engines — see the {!Pool} byte-identity
+    caveat. *)
 
 val handle_all : t -> Request.t list -> Request.response list
 (** Sequential evaluation, in order — the reference for {!Pool}'s
@@ -31,6 +56,10 @@ val handle_all : t -> Request.t list -> Request.response list
 val cache_stats : t -> Oracle_cache.stats
 (** Aggregate LRU statistics over every instance this engine has
     touched. *)
+
+val faults_injected : t -> int
+(** Faults this engine's injector has raised so far (0 when fault
+    injection is off). *)
 
 (** {2 The instance registry} *)
 

@@ -161,6 +161,266 @@ let batch_workload ?(requests = 1000) ?(domains_list = [ 1; 2; 4 ]) () =
   { requests; sequential_s; runs }
 
 (* ------------------------------------------------------------------ *)
+(* E25: the resilience layer.  Three questions: what does the
+   per-question budget guard cost on the E24 repeated-evaluation
+   workload; do budgets/deadlines actually turn a pathologically
+   expensive request into a fast typed error; and does bounded retry
+   absorb injected faults without changing any answer. *)
+
+type overhead_result = {
+  o_requests : int;
+  trials : int;
+  plain_s : float;  (* best of [trials], unguarded engine *)
+  guarded_s : float;  (* best of [trials], generous limits armed *)
+  overhead_frac : float;  (* guarded_s /. plain_s -. 1. *)
+}
+
+type bound_probe = {
+  bound : string;  (* "deadline" | "budget" *)
+  configured : float;  (* seconds, or question quota *)
+  error_kind : string;  (* the typed error actually returned *)
+  probe_wall_s : float;
+  questions_spent : int;  (* oracle + T_B + ≅_B questions at abort *)
+  within_bound : bool;
+}
+
+type fault_result = {
+  f_requests : int;
+  seed : int;
+  fault_period : int;
+  faults_injected : int;
+  retries : int;
+  failures : int;  (* requests lost to Oracle_unavailable *)
+  deterministic : bool;  (* non-faulted results byte-identical to clean *)
+}
+
+(* Generous enough that nothing trips: the guard runs, the limits
+   never bind — this is the steady-state cost a budgeted production
+   configuration pays on every question. *)
+let generous_limits =
+  Resilience.
+    { max_oracle_calls = Some 1_000_000_000; deadline_s = Some 3600.0 }
+
+let overhead_workload ?(o_requests = 2000) ?(trials = 3) () =
+  let run_once config =
+    (* fresh engine per run: memo tables cold, so every run asks the
+       same (substantial) number of questions *)
+    let reqs = build_batch o_requests in
+    let engine = Engine.create ?config () in
+    snd (time (fun () -> ignore (Engine.handle_all engine reqs)))
+  in
+  let best config =
+    List.fold_left
+      (fun acc _ -> Float.min acc (run_once config))
+      Float.infinity
+      (Prelude.Ints.range 0 trials)
+  in
+  let plain_s = best None in
+  let guarded_s =
+    best (Some { Engine.default_config with limits = generous_limits })
+  in
+  {
+    o_requests;
+    trials;
+    plain_s;
+    guarded_s;
+    overhead_frac = (guarded_s /. plain_s) -. 1.0;
+  }
+
+(* The most expensive request the parse-time bounds still admit:
+   expanding paths3's characteristic tree (|T¹| = 2, |T²| = 9) to the
+   maximum depth asks thousands of T_B questions.  Nothing truly
+   diverging is expressible any more — {!Request.Bounds} caps every
+   scalar field precisely so that unboundedness can only arise from
+   evaluation, where budgets and deadlines catch it; this request is
+   the probe that shows they do. *)
+let pathological_request =
+  { Request.id = 0; payload = Request.Tree { instance = "paths3"; depth = 6 } }
+
+let questions (s : Request.stats) =
+  s.Request.oracle_calls + s.Request.tb_calls + s.Request.equiv_calls
+
+let deadline_probe ?(deadline_s = 0.02) () =
+  let config =
+    {
+      Engine.default_config with
+      limits = { max_oracle_calls = None; deadline_s = Some deadline_s };
+    }
+  in
+  let r = Engine.handle (Engine.create ~config ()) pathological_request in
+  let kind =
+    match r.Request.result with
+    | Error (Request.Deadline_exceeded _) -> "deadline_exceeded"
+    | Error e -> Request.error_to_string e
+    | Ok _ -> "ok"
+  in
+  {
+    bound = "deadline";
+    configured = deadline_s;
+    error_kind = kind;
+    probe_wall_s = r.Request.stats.Request.wall_s;
+    questions_spent = questions r.Request.stats;
+    (* generous slack: the clock is probed every few questions, and a
+       single question can be slow *)
+    within_bound = r.Request.stats.Request.wall_s < (10.0 *. deadline_s) +. 1.0;
+  }
+
+let budget_probe ?(max_oracle_calls = 500) () =
+  let config =
+    {
+      Engine.default_config with
+      limits =
+        { max_oracle_calls = Some max_oracle_calls; deadline_s = None };
+    }
+  in
+  let r = Engine.handle (Engine.create ~config ()) pathological_request in
+  let kind =
+    match r.Request.result with
+    | Error (Request.Budget_exceeded _) -> "budget_exceeded"
+    | Error e -> Request.error_to_string e
+    | Ok _ -> "ok"
+  in
+  {
+    bound = "budget";
+    configured = float_of_int max_oracle_calls;
+    error_kind = kind;
+    probe_wall_s = r.Request.stats.Request.wall_s;
+    questions_spent = questions r.Request.stats;
+    (* the cost ledger stays exact: never more questions than the quota *)
+    within_bound = questions r.Request.stats <= max_oracle_calls;
+  }
+
+let fault_workload ?(requests = 200) ?(seed = 42) ?(fault_period = 150) () =
+  let batch = build_batch requests in
+  let clean = Engine.handle_all (Engine.create ()) batch in
+  let reference =
+    List.map
+      (fun r -> Json.to_string (Request.response_to_json ~stats:false r))
+      clean
+  in
+  let config =
+    {
+      Engine.default_config with
+      retry = { Resilience.max_retries = 3; backoff_s = 0.0 };
+      faults = Some (Faulty_oracle.config ~seed ~fault_period ());
+    }
+  in
+  let engine = Engine.create ~config () in
+  let responses = Engine.handle_all engine batch in
+  let retries =
+    List.fold_left
+      (fun acc (r : Request.response) -> acc + r.stats.Request.retries)
+      0 responses
+  in
+  let failures =
+    List.length
+      (List.filter
+         (fun (r : Request.response) ->
+           match r.result with
+           | Error (Request.Oracle_unavailable _) -> true
+           | _ -> false)
+         responses)
+  in
+  let deterministic =
+    List.for_all2
+      (fun (r : Request.response) ref_line ->
+        match r.result with
+        | Error (Request.Oracle_unavailable _) -> true (* faulted: exempt *)
+        | _ ->
+            String.equal
+              (Json.to_string (Request.response_to_json ~stats:false r))
+              ref_line)
+      responses reference
+  in
+  {
+    f_requests = requests;
+    seed;
+    fault_period;
+    faults_injected = Engine.faults_injected engine;
+    retries;
+    failures;
+    deterministic;
+  }
+
+let resilience_to_json (o : overhead_result) (probes : bound_probe list)
+    (f : fault_result) =
+  Json.Obj
+    [
+      ( "overhead",
+        Json.Obj
+          [
+            ("workload", Json.String "E24 mixed batch, fresh engine");
+            ("requests", Json.Int o.o_requests);
+            ("trials", Json.Int o.trials);
+            ("plain_s", Json.Float o.plain_s);
+            ("guarded_s", Json.Float o.guarded_s);
+            ("overhead_frac", Json.Float o.overhead_frac);
+          ] );
+      ( "bounds",
+        Json.List
+          (List.map
+             (fun p ->
+               Json.Obj
+                 [
+                   ("bound", Json.String p.bound);
+                   ("configured", Json.Float p.configured);
+                   ("error_kind", Json.String p.error_kind);
+                   ("wall_s", Json.Float p.probe_wall_s);
+                   ("questions_spent", Json.Int p.questions_spent);
+                   ("within_bound", Json.Bool p.within_bound);
+                 ])
+             probes) );
+      ( "faults",
+        Json.Obj
+          [
+            ("requests", Json.Int f.f_requests);
+            ("seed", Json.Int f.seed);
+            ("fault_period", Json.Int f.fault_period);
+            ("faults_injected", Json.Int f.faults_injected);
+            ("retries", Json.Int f.retries);
+            ("failures", Json.Int f.failures);
+            ("deterministic", Json.Bool f.deterministic);
+          ] );
+    ]
+
+let run_resilience ?out ?trials ?requests ?fault_requests () =
+  Format.printf "resilience benchmark (E25):@.";
+  let o = overhead_workload ?o_requests:requests ?trials () in
+  Format.printf
+    "  budget-check overhead on the E24 mixed batch (%d requests, best of \
+     %d): plain %.4fs, guarded %.4fs — %+.2f%%@."
+    o.o_requests o.trials o.plain_s o.guarded_s (100.0 *. o.overhead_frac);
+  let d = deadline_probe () in
+  Format.printf
+    "  deadline %gms on tree(paths3,6): %s after %.0fms, %d questions \
+     (within bound: %b)@."
+    (d.configured *. 1000.) d.error_kind
+    (d.probe_wall_s *. 1000.)
+    d.questions_spent d.within_bound;
+  let b = budget_probe () in
+  Format.printf
+    "  budget %.0f questions on tree(paths3,6): %s after %.0fms, %d questions \
+     asked (ledger exact: %b)@."
+    b.configured b.error_kind
+    (b.probe_wall_s *. 1000.)
+    b.questions_spent b.within_bound;
+  let f = fault_workload ?requests:fault_requests () in
+  Format.printf
+    "  faults (seed %d, ~1/%d): %d injected over %d requests, %d retries, %d \
+     lost, non-faulted results identical to clean run: %b@."
+    f.seed f.fault_period f.faults_injected f.f_requests f.retries f.failures
+    f.deterministic;
+  (match out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Json.to_string (resilience_to_json o [ d; b ] f));
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "  wrote %s@." path);
+  (o, [ d; b ], f)
+
+(* ------------------------------------------------------------------ *)
 
 let to_json (c : cache_result) (b : batch_result) =
   Json.Obj

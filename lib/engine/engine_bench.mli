@@ -24,6 +24,11 @@ type batch_result = {
   runs : batch_run list;
 }
 
+val build_batch : int -> Request.t list
+(** The mixed workload (sentences, queries, a class count every tenth
+    request, over five instances) used by the batch and fault
+    workloads — also what [recdb crash-test] serves. *)
+
 val cache_workload : ?repeats:int -> unit -> cache_result
 (** Evaluate E17's four sentences on [triangles] [repeats] times
     (default 25), once against raw oracles and once through an engine's
@@ -38,3 +43,51 @@ val to_json : cache_result -> batch_result -> Json.t
 
 val run : ?out:string -> ?repeats:int -> ?requests:int -> unit -> unit
 (** Print the tables; when [out] is given, also write the JSON there. *)
+
+(** {2 E25: the resilience layer} *)
+
+type overhead_result = {
+  o_requests : int;
+  trials : int;
+  plain_s : float;  (** best of [trials], unguarded engine *)
+  guarded_s : float;  (** best of [trials], generous limits armed *)
+  overhead_frac : float;  (** [guarded_s /. plain_s -. 1.] *)
+}
+
+type bound_probe = {
+  bound : string;  (** ["deadline"] or ["budget"] *)
+  configured : float;  (** seconds, or question quota *)
+  error_kind : string;  (** the typed error actually returned *)
+  probe_wall_s : float;
+  questions_spent : int;  (** oracle + T_B + ≅_B questions at abort *)
+  within_bound : bool;
+}
+
+type fault_result = {
+  f_requests : int;
+  seed : int;
+  fault_period : int;
+  faults_injected : int;
+  retries : int;
+  failures : int;  (** requests lost to [Oracle_unavailable] *)
+  deterministic : bool;
+      (** non-faulted results byte-identical to a clean run *)
+}
+
+val resilience_to_json :
+  overhead_result -> bound_probe list -> fault_result -> Json.t
+
+val run_resilience :
+  ?out:string ->
+  ?trials:int ->
+  ?requests:int ->
+  ?fault_requests:int ->
+  unit ->
+  overhead_result * bound_probe list * fault_result
+(** The E25 benchmark: budget-guard overhead on the E24 mixed batch
+    ([requests], default 2000, on a fresh engine; best of [trials],
+    default 3), deadline and budget trips on the heaviest expressible
+    request ([tree(paths3, 6)]), and retry-under-faults determinism on
+    a mixed batch of [fault_requests] (default 200).  Prints a summary;
+    when [out] is given, also writes the JSON there
+    ([BENCH_resilience.json]). *)

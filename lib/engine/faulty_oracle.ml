@@ -1,0 +1,61 @@
+exception Oracle_unavailable of { oracle : string; call : int }
+
+type config = {
+  seed : int;
+  fault_period : int;
+  latency_period : int;
+  latency_s : float;
+}
+
+let config ?(fault_period = 97) ?(latency_period = 0) ?(latency_s = 0.0005)
+    ~seed () =
+  if fault_period < 0 then invalid_arg "Faulty_oracle.config: fault_period < 0";
+  if latency_period < 0 then
+    invalid_arg "Faulty_oracle.config: latency_period < 0";
+  { seed; fault_period; latency_period; latency_s }
+
+type t = {
+  cfg : config;
+  mutable counter : int;
+  mutable injected : int;
+  mutable stalls : int;
+  m_faults : Metrics.counter;
+}
+
+let make cfg =
+  {
+    cfg;
+    counter = 0;
+    injected = 0;
+    stalls = 0;
+    m_faults = Metrics.counter "engine.faults_injected";
+  }
+
+(* A splitmix-style finalizer over (seed, n): deterministic, stateless,
+   and well-mixed enough that "hash mod period = 0" injects faults at
+   the configured rate without any periodic beat against the workload.
+   Constants are truncated to OCaml's 63-bit ints. *)
+let mix seed n =
+  let z = ref (((seed + 1) * 0x2545F4914F6CDD1D) + (n * 0x9E3779B97F4A7C)) in
+  z := !z lxor (!z lsr 29);
+  z := !z * 0x106689D45497FDB5;
+  z := !z lxor (!z lsr 32);
+  !z land max_int
+
+let pre t ~oracle =
+  let n = t.counter in
+  t.counter <- n + 1;
+  if t.cfg.latency_period > 0 && mix (t.cfg.seed lxor 0x1aec) n mod t.cfg.latency_period = 0
+  then begin
+    t.stalls <- t.stalls + 1;
+    Unix.sleepf t.cfg.latency_s
+  end;
+  if t.cfg.fault_period > 0 && mix t.cfg.seed n mod t.cfg.fault_period = 0
+  then begin
+    t.injected <- t.injected + 1;
+    Metrics.incr t.m_faults;
+    raise (Oracle_unavailable { oracle; call = n })
+  end
+
+let faults_injected t = t.injected
+let stalls_injected t = t.stalls

@@ -1,6 +1,16 @@
 (* Each job carries its batch's completion cell so run_batch can block
    on its own condition variable; the queue itself is a plain FIFO
-   under one mutex. *)
+   under one mutex.
+
+   Crash containment: Engine.handle is total, but the pool does not
+   trust that — a per-job catch turns any escaping exception into a
+   per-request error response, and a worker whose domain nonetheless
+   dies (e.g. the crash-injection hook, or an exception from outside
+   the per-job region) fails only its in-flight request, respawns a
+   replacement, and leaves the rest of the batch untouched.  A batch
+   therefore always yields exactly one response per request. *)
+
+exception Injected_crash
 
 type batch = {
   results : Request.response option array;
@@ -11,45 +21,128 @@ type batch = {
 
 type job = { request : Request.t; index : int; owner : batch }
 
+type slot = { mutable inflight : job option }
+
 type t = {
   lock : Mutex.t;
   nonempty : Condition.t;
   queue : job Queue.t;
   mutable stopping : bool;
-  mutable workers : unit Domain.t list;
+  mutable domains : unit Domain.t list;
+      (* every domain ever spawned, replacements included; joined at
+         shutdown (dead domains join instantly) *)
+  slots : slot array;
   n : int;
+  alive : int Atomic.t;
+  deaths : int Atomic.t;
+  respawns_left : int Atomic.t;
+  cache_capacity : int option;
+  engine_config : Engine.config option;
+  crash_on : (Request.t -> bool) option;
+  m_deaths : Metrics.counter;
+  m_respawns : Metrics.counter;
 }
 
-let worker pool cache_capacity () =
-  let engine = Engine.create ?cache_capacity () in
-  let rec loop () =
-    Mutex.lock pool.lock;
-    let rec next () =
-      match Queue.take_opt pool.queue with
-      | Some job -> Some job
-      | None ->
-          if pool.stopping then None
-          else begin
-            Condition.wait pool.nonempty pool.lock;
-            next ()
-          end
-    in
-    let job = next () in
-    Mutex.unlock pool.lock;
-    match job with
-    | None -> ()
-    | Some { request; index; owner } ->
-        let response = Engine.handle engine request in
-        Mutex.lock owner.b_lock;
-        owner.results.(index) <- Some response;
-        owner.remaining <- owner.remaining - 1;
-        if owner.remaining = 0 then Condition.broadcast owner.b_done;
-        Mutex.unlock owner.b_lock;
-        loop ()
-  in
-  loop ()
+let deliver owner index response =
+  Mutex.lock owner.b_lock;
+  if owner.results.(index) = None then begin
+    owner.results.(index) <- Some response;
+    owner.remaining <- owner.remaining - 1;
+    if owner.remaining = 0 then Condition.broadcast owner.b_done
+  end;
+  Mutex.unlock owner.b_lock
 
-let create ?domains ?cache_capacity () =
+let crash_response (request : Request.t) msg =
+  {
+    Request.id = request.Request.id;
+    result = Error (Request.Worker_crash msg);
+    stats = Request.zero_stats;
+  }
+
+(* Fail every queued job; called when a dying worker is (or may be) the
+   last one standing, so blocked run_batch callers are released instead
+   of hanging forever on work nobody will serve. *)
+let drain_queue_with_errors pool msg =
+  Mutex.lock pool.lock;
+  let jobs = Queue.fold (fun acc j -> j :: acc) [] pool.queue in
+  Queue.clear pool.queue;
+  Mutex.unlock pool.lock;
+  List.iter
+    (fun { request; index; owner } ->
+      deliver owner index (crash_response request msg))
+    jobs
+
+let rec worker_main pool slot_idx () =
+  let slot = pool.slots.(slot_idx) in
+  (try
+     let engine =
+       Engine.create ?cache_capacity:pool.cache_capacity
+         ?config:pool.engine_config ()
+     in
+     let rec loop () =
+       Mutex.lock pool.lock;
+       let rec next () =
+         match Queue.take_opt pool.queue with
+         | Some job -> Some job
+         | None ->
+             if pool.stopping then None
+             else begin
+               Condition.wait pool.nonempty pool.lock;
+               next ()
+             end
+       in
+       let job = next () in
+       Mutex.unlock pool.lock;
+       match job with
+       | None -> ()
+       | Some ({ request; index; owner } as job) ->
+           slot.inflight <- Some job;
+           (match pool.crash_on with
+           | Some p when p request -> raise Injected_crash
+           | _ -> ());
+           let response =
+             (* Engine.handle is total; this catch is the containment
+                backstop for bugs and asynchronous exceptions. *)
+             match Engine.handle engine request with
+             | r -> r
+             | exception e ->
+                 crash_response request
+                   ("request raised " ^ Printexc.to_string e)
+           in
+           slot.inflight <- None;
+           deliver owner index response;
+           loop ()
+     in
+     loop ()
+   with e ->
+     (* The worker is dying.  Contain the damage: fail only the
+        in-flight request, then hand the slot to a replacement. *)
+     let msg = Printexc.to_string e in
+     Atomic.incr pool.deaths;
+     Metrics.incr pool.m_deaths;
+     (match slot.inflight with
+     | Some { request; index; owner } ->
+         deliver owner index (crash_response request msg)
+     | None -> ());
+     slot.inflight <- None;
+     Mutex.lock pool.lock;
+     let respawn =
+       (not pool.stopping) && Atomic.fetch_and_add pool.respawns_left (-1) > 0
+     in
+     if respawn then begin
+       Metrics.incr pool.m_respawns;
+       Atomic.incr pool.alive;
+       pool.domains <- Domain.spawn (worker_main pool slot_idx) :: pool.domains
+     end;
+     Mutex.unlock pool.lock;
+     if (not respawn) && Atomic.get pool.alive <= 1 then
+       (* we are the last worker and not coming back: nobody will serve
+          the queue, so fail it rather than strand the batch *)
+       drain_queue_with_errors pool ("worker died without replacement: " ^ msg));
+  Atomic.decr pool.alive
+
+let create ?domains ?cache_capacity ?engine_config ?crash_on
+    ?(max_respawns = 1000) () =
   let n =
     match domains with
     | Some n ->
@@ -63,15 +156,29 @@ let create ?domains ?cache_capacity () =
       nonempty = Condition.create ();
       queue = Queue.create ();
       stopping = false;
-      workers = [];
+      domains = [];
+      slots = Array.init n (fun _ -> { inflight = None });
       n;
+      alive = Atomic.make 0;
+      deaths = Atomic.make 0;
+      respawns_left = Atomic.make max_respawns;
+      cache_capacity;
+      engine_config;
+      crash_on;
+      m_deaths = Metrics.counter "pool.worker_deaths";
+      m_respawns = Metrics.counter "pool.respawns";
     }
   in
-  pool.workers <-
-    List.init n (fun _ -> Domain.spawn (worker pool cache_capacity));
+  Mutex.lock pool.lock;
+  for slot_idx = 0 to n - 1 do
+    Atomic.incr pool.alive;
+    pool.domains <- Domain.spawn (worker_main pool slot_idx) :: pool.domains
+  done;
+  Mutex.unlock pool.lock;
   pool
 
 let size pool = pool.n
+let worker_deaths pool = Atomic.get pool.deaths
 
 let run_batch pool requests =
   let reqs = Array.of_list requests in
@@ -109,15 +216,36 @@ let run_batch pool requests =
          owner.results)
   end
 
-let shutdown pool =
+let shutdown_result ?(timeout_s = infinity) pool =
   Mutex.lock pool.lock;
-  if not pool.stopping then begin
-    pool.stopping <- true;
-    Condition.broadcast pool.nonempty;
-    Mutex.unlock pool.lock;
-    List.iter Domain.join pool.workers;
-    Mutex.lock pool.lock;
-    pool.workers <- [];
-    Mutex.unlock pool.lock
-  end
-  else Mutex.unlock pool.lock
+  pool.stopping <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.lock;
+  let deadline =
+    if timeout_s = infinity then infinity
+    else Unix.gettimeofday () +. timeout_s
+  in
+  let rec wait () =
+    if Atomic.get pool.alive = 0 then begin
+      (* All workers have left their loops; joining reaps the domains
+         (dead replacements' predecessors join instantly). *)
+      Mutex.lock pool.lock;
+      let ds = pool.domains in
+      pool.domains <- [];
+      Mutex.unlock pool.lock;
+      List.iter Domain.join ds;
+      `Clean
+    end
+    else if Unix.gettimeofday () > deadline then
+      (* Some worker is stuck in a request; leave its domain behind
+         rather than hang the caller (the queue is closed, so it can
+         serve nothing further). *)
+      `Timed_out (Atomic.get pool.alive)
+    else begin
+      Unix.sleepf 0.002;
+      wait ()
+    end
+  in
+  wait ()
+
+let shutdown ?timeout_s pool = ignore (shutdown_result ?timeout_s pool)

@@ -1,4 +1,5 @@
-(** A Domain-based worker pool serving request batches in parallel.
+(** A crash-contained, Domain-based worker pool serving request batches
+    in parallel.
 
     [create ~domains ()] spawns [domains] worker domains, each owning a
     private {!Engine.t} (engines are not thread-safe; private engines
@@ -6,33 +7,83 @@
     shared queue; {!run_batch} blocks until every request of the batch
     has been answered and returns the responses {e in request order}.
 
-    Correctness guarantee: every response's [result] is byte-identical
-    (as JSON, stats excluded) to what {!Engine.handle_all} produces
+    {b Containment.}  A batch always yields exactly one response per
+    request.  {!Engine.handle} is total, and the pool adds two further
+    layers: an exception escaping a request becomes that request's
+    [Worker_crash] error response, and a worker whose domain dies
+    outright (see [crash_on]) fails only its in-flight request — the
+    pool detects the death, spawns a replacement into the same slot
+    (counted by [pool.worker_deaths] / [pool.respawns] metrics and
+    {!worker_deaths}), and the rest of the batch completes normally.
+    If the last worker dies with respawns exhausted, queued jobs are
+    failed with [Worker_crash] rather than stranding the caller.
+
+    Correctness guarantee: with no fault injection and no evaluation
+    limits configured, every response's [result] is byte-identical (as
+    JSON, stats excluded) to what {!Engine.handle_all} produces
     sequentially, whatever the interleaving — request evaluation is a
     deterministic function of the request, and workers share no mutable
     evaluation state.  Only the [stats] fields differ run to run (wall
     times; cache hit counts depend on which worker served earlier
-    requests for the same instance).
+    requests for the same instance).  Under injected faults the
+    guarantee weakens to: every non-faulted result (anything but
+    [Oracle_unavailable] / [Worker_crash]) is still byte-identical to
+    sequential, because injection never changes an oracle's answer —
+    the chaos test asserts exactly this.  Budget/deadline errors depend
+    on each worker's cache warmth and so may differ from a sequential
+    run; they are typed partial answers, not nondeterministic values.
 
     Batches may be submitted from several client threads concurrently;
     jobs interleave fairly in queue order.  {!shutdown} drains nothing:
     it waits for in-flight jobs, stops the workers and joins their
-    domains.  Submitting to a pool after {!shutdown} raises. *)
+    domains, giving up after [timeout_s] if a worker is stuck.
+    Submitting to a pool after {!shutdown} raises. *)
 
 type t
 
-val create : ?domains:int -> ?cache_capacity:int -> unit -> t
+exception Injected_crash
+(** What the [crash_on] hook raises inside a worker — deliberately
+    outside the per-job containment, so it kills the whole domain and
+    exercises the death-detection/respawn path. *)
+
+val create :
+  ?domains:int ->
+  ?cache_capacity:int ->
+  ?engine_config:Engine.config ->
+  ?crash_on:(Request.t -> bool) ->
+  ?max_respawns:int ->
+  unit ->
+  t
 (** [domains] defaults to [Domain.recommended_domain_count () - 1],
     clamped to at least 1.  Raises [Invalid_argument] on [domains < 1].
-    [cache_capacity] is passed to each worker's engine. *)
+    [cache_capacity] and [engine_config] are passed to each worker's
+    engine (fault-injection seeds are shared; schedules still differ
+    per worker because call sequences do).  [crash_on] is the
+    chaos-testing hook: a worker about to serve a matching request dies
+    instead (see {!Injected_crash}).  [max_respawns] (default 1000)
+    bounds replacement spawns so a deterministic crash-on-everything
+    configuration cannot fork-bomb. *)
 
 val size : t -> int
-(** Number of worker domains. *)
+(** Number of worker slots. *)
+
+val worker_deaths : t -> int
+(** Workers this pool has lost (and, up to [max_respawns],
+    replaced). *)
 
 val run_batch : t -> Request.t list -> Request.response list
-(** Evaluate all requests, in parallel, preserving order.  Raises
+(** Evaluate all requests, in parallel, preserving order; exactly one
+    response per request, whatever faults or crashes occur.  Raises
     [Invalid_argument] if the pool has been shut down. *)
 
-val shutdown : t -> unit
-(** Graceful: waits for queued jobs, then joins all workers.
-    Idempotent. *)
+val shutdown : ?timeout_s:float -> t -> unit
+(** Graceful: waits for queued jobs, then joins all workers (including
+    dead workers' replacements).  Idempotent.  With [timeout_s], gives
+    up waiting after that many seconds (see {!shutdown_result}). *)
+
+val shutdown_result :
+  ?timeout_s:float -> t -> [ `Clean | `Timed_out of int ]
+(** Like {!shutdown} but reports the outcome: [`Timed_out n] means [n]
+    workers were still busy when the timeout expired — their domains
+    are abandoned (the queue is closed, so they can serve nothing
+    further) rather than hanging the caller. *)

@@ -23,17 +23,83 @@ type error =
   | Timeout of int
   | Ill_formed of string
   | Bad_request of string
+  | Budget_exceeded of { limit : int }
+  | Deadline_exceeded of { deadline_s : float }
+  | Oracle_unavailable of { oracle : string; attempts : int }
+  | Worker_crash of string
 
 type stats = {
   oracle_calls : int;
   tb_calls : int;
   equiv_calls : int;
   cache_hits : int;
+  retries : int;
   wall_s : float;
 }
 
 let zero_stats =
-  { oracle_calls = 0; tb_calls = 0; equiv_calls = 0; cache_hits = 0; wall_s = 0.0 }
+  {
+    oracle_calls = 0;
+    tb_calls = 0;
+    equiv_calls = 0;
+    cache_hits = 0;
+    retries = 0;
+    wall_s = 0.0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Guard rails, shared by parse-time validation (here) and the engine's
+   evaluation-time checks: class enumeration and tree expansion are
+   exponential in rank/arity, so a serving stack bounds them at the
+   door rather than letting one request starve a worker. *)
+
+module Bounds = struct
+  let max_rank = 4
+  let max_arity = 4
+  let max_width = 4
+  let max_depth = 6
+  let max_cutoff = 32
+  let max_fuel = 10_000_000
+end
+
+let validate_payload = function
+  | Sentence _ -> Ok ()
+  | Query { cutoff; _ } ->
+      if cutoff < 0 || cutoff > Bounds.max_cutoff then
+        Error
+          (Bad_request
+             (Printf.sprintf "cutoff must be in 0..%d" Bounds.max_cutoff))
+      else Ok ()
+  | Classes { db_type; rank } ->
+      if rank < 0 || rank > Bounds.max_rank then
+        Error
+          (Bad_request (Printf.sprintf "rank must be in 0..%d" Bounds.max_rank))
+      else if Array.length db_type = 0 || Array.length db_type > Bounds.max_width
+      then
+        Error
+          (Bad_request
+             (Printf.sprintf "type must have 1..%d relations" Bounds.max_width))
+      else if Array.exists (fun a -> a < 0 || a > Bounds.max_arity) db_type then
+        Error
+          (Bad_request
+             (Printf.sprintf "arities must be in 0..%d" Bounds.max_arity))
+      else Ok ()
+  | Tree { depth; _ } ->
+      if depth < 1 || depth > Bounds.max_depth then
+        Error
+          (Bad_request
+             (Printf.sprintf "depth must be in 1..%d" Bounds.max_depth))
+      else Ok ()
+  | Program { fuel; cutoff; _ } ->
+      if fuel < 1 || fuel > Bounds.max_fuel then
+        Error
+          (Bad_request
+             (Printf.sprintf "fuel must be in 1..%d" Bounds.max_fuel))
+      else if cutoff < 0 || cutoff > Bounds.max_cutoff then
+        Error
+          (Bad_request
+             (Printf.sprintf "cutoff must be in 0..%d" Bounds.max_cutoff))
+      else Ok ()
 
 type response = {
   id : int;
@@ -47,13 +113,14 @@ type response = {
 let field_string j key =
   match Json.member key j with
   | Some (Json.String s) -> Ok s
-  | Some _ -> Error (Printf.sprintf "field %S must be a string" key)
-  | None -> Error (Printf.sprintf "missing field %S" key)
+  | Some _ -> Error (Bad_request (Printf.sprintf "field %S must be a string" key))
+  | None -> Error (Bad_request (Printf.sprintf "missing field %S" key))
 
 let field_int_default j key default =
   match Json.member key j with
   | Some (Json.Int i) -> Ok i
-  | Some _ -> Error (Printf.sprintf "field %S must be an integer" key)
+  | Some _ ->
+      Error (Bad_request (Printf.sprintf "field %S must be an integer" key))
   | None -> Ok default
 
 let ( let* ) = Stdlib.Result.bind
@@ -79,9 +146,11 @@ let of_json ?(default_id = 0) j =
           | Some (Json.List xs) ->
               let ints = List.filter_map Json.to_int xs in
               if List.length ints <> List.length xs || ints = [] then
-                Error "field \"type\" must be a non-empty list of arities"
+                Error
+                  (Bad_request "field \"type\" must be a non-empty list of arities")
               else Ok (Array.of_list ints)
-          | Some _ | None -> Error "missing field \"type\" (list of arities)"
+          | Some _ | None ->
+              Error (Bad_request "missing field \"type\" (list of arities)")
         in
         Ok (Classes { db_type; rank })
     | "tree" ->
@@ -94,13 +163,14 @@ let of_json ?(default_id = 0) j =
         let* fuel = field_int_default j "fuel" 10_000 in
         let* cutoff = field_int_default j "cutoff" 6 in
         Ok (Program { instance; program; fuel; cutoff })
-    | other -> Error (Printf.sprintf "unknown op %S" other)
+    | other -> Error (Bad_request (Printf.sprintf "unknown op %S" other))
   in
+  let* () = validate_payload payload in
   Ok { id; payload }
 
 let of_line ?default_id line =
   match Json.parse line with
-  | Error e -> Error (Printf.sprintf "bad JSON: %s" e)
+  | Error e -> Error (Parse_error (Printf.sprintf "bad JSON: %s" e))
   | Ok j -> of_json ?default_id j
 
 (* ------------------------------------------------------------------ *)
@@ -180,6 +250,13 @@ let error_to_string = function
   | Timeout fuel -> Printf.sprintf "did not halt within %d steps" fuel
   | Ill_formed m -> Printf.sprintf "ill-formed: %s" m
   | Bad_request m -> Printf.sprintf "bad request: %s" m
+  | Budget_exceeded { limit } ->
+      Printf.sprintf "oracle budget of %d questions exhausted" limit
+  | Deadline_exceeded { deadline_s } ->
+      Printf.sprintf "deadline of %gs exceeded" deadline_s
+  | Oracle_unavailable { oracle; attempts } ->
+      Printf.sprintf "oracle %s unavailable after %d attempts" oracle attempts
+  | Worker_crash m -> Printf.sprintf "worker crashed: %s" m
 
 let error_to_json e =
   let tag =
@@ -190,6 +267,10 @@ let error_to_json e =
     | Timeout _ -> "timeout"
     | Ill_formed _ -> "ill_formed"
     | Bad_request _ -> "bad_request"
+    | Budget_exceeded _ -> "budget_exceeded"
+    | Deadline_exceeded _ -> "deadline_exceeded"
+    | Oracle_unavailable _ -> "oracle_unavailable"
+    | Worker_crash _ -> "worker_crash"
   in
   Json.Obj
     [ ("kind", Json.String tag); ("message", Json.String (error_to_string e)) ]
@@ -201,6 +282,7 @@ let stats_to_json s =
       ("tb_calls", Json.Int s.tb_calls);
       ("equiv_calls", Json.Int s.equiv_calls);
       ("cache_hits", Json.Int s.cache_hits);
+      ("retries", Json.Int s.retries);
       ("wall_s", Json.Float s.wall_s);
     ]
 

@@ -55,16 +55,51 @@ type error =
   | Timeout of int  (** fuel spent *)
   | Ill_formed of string
   | Bad_request of string
+  | Budget_exceeded of { limit : int }
+      (** The per-request oracle-question quota ran out; exact
+          cost-so-far is in the response's [stats] (the aborting check
+          fires before the over-budget question is asked, so the ledger
+          stays exact — see DESIGN.md). *)
+  | Deadline_exceeded of { deadline_s : float }
+      (** The per-request wall-clock deadline passed; elapsed time is
+          the response's [stats.wall_s].  Only the armed bound is
+          encoded so the error JSON stays deterministic. *)
+  | Oracle_unavailable of { oracle : string; attempts : int }
+      (** An injected transient outage persisted through every retry. *)
+  | Worker_crash of string
+      (** The {!Pool} worker serving this request died; the batch's
+          other requests were unaffected. *)
 
 type stats = {
   oracle_calls : int;  (** genuine questions to the Rᵢ oracles *)
   tb_calls : int;  (** questions to the T_B (children) oracle *)
   equiv_calls : int;  (** questions to the ≅_B oracle *)
   cache_hits : int;  (** lookups answered by the LRU, not the oracle *)
+  retries : int;  (** re-attempts after transient oracle outages *)
   wall_s : float;
 }
 
 val zero_stats : stats
+
+(** Shared guard rails: parse-time validation ({!of_json}) and the
+    engine's evaluation-time checks both read these bounds, so a
+    request that decodes cleanly can never reach an unbounded
+    combinatorial blow-up through its {e scalar} fields (evaluation
+    itself is bounded separately, by budgets and deadlines). *)
+module Bounds : sig
+  val max_rank : int
+  val max_arity : int
+  val max_width : int
+  val max_depth : int
+  val max_cutoff : int
+  val max_fuel : int
+end
+
+val validate_payload : payload -> (unit, error) Stdlib.result
+(** [Error (Bad_request _)] when a scalar field (fuel, cutoff, depth,
+    rank, arities) is outside {!Bounds} — negative or zero fuel, absurd
+    ranks, etc.  Applied by {!of_json} so malformed requests are
+    rejected at parse time instead of evaluated. *)
 
 type response = {
   id : int;
@@ -72,13 +107,17 @@ type response = {
   stats : stats;
 }
 
-val of_json : ?default_id:int -> Json.t -> (t, string) Stdlib.result
+val of_json : ?default_id:int -> Json.t -> (t, error) Stdlib.result
 (** Decode one request object.  A missing ["id"] falls back to
     [default_id] (callers pass the 1-based line number, keeping ids
-    deterministic). *)
+    deterministic).  Structural problems and out-of-range fields are
+    [Bad_request]; the decoded payload has passed
+    {!validate_payload}. *)
 
-val of_line : ?default_id:int -> string -> (t, string) Stdlib.result
-(** Parse + decode one JSON line. *)
+val of_line : ?default_id:int -> string -> (t, error) Stdlib.result
+(** Parse + decode one JSON line.  Malformed JSON is [Parse_error];
+    either way the caller gets a typed error it can turn into a
+    per-line error response instead of aborting a batch. *)
 
 val to_json : t -> Json.t
 (** Round-trips through {!of_json}. *)

@@ -16,18 +16,23 @@ let name t = t.name
 let db t = t.db
 let db_type t = Rdb.Database.db_type t.db
 
+(* Counters increment only after the underlying oracle answers: a call
+   aborted mid-flight (a budget/deadline check or an injected fault in
+   lib/engine raises from inside the raw oracle closure) was never a
+   completed question and must not inflate the Def. 3.9 ledger. *)
 let children t u =
   match Hashtbl.find_opt t.children_cache u with
   | Some labels -> labels
   | None ->
-      incr t.children_calls;
       let labels = t.children_raw u in
+      incr t.children_calls;
       Hashtbl.replace t.children_cache (Array.copy u) labels;
       labels
 
 let equiv t u v =
+  let answer = t.equiv_raw u v in
   incr t.equiv_calls;
-  t.equiv_raw u v
+  answer
 
 let oracle_calls t = (!(t.children_calls), !(t.equiv_calls))
 

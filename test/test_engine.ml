@@ -114,10 +114,11 @@ let test_request_roundtrip () =
   List.iter
     (fun line ->
       match Request.of_line line with
-      | Error e -> Alcotest.failf "decode %s: %s" line e
+      | Error e ->
+          Alcotest.failf "decode %s: %s" line (Request.error_to_string e)
       | Ok r -> (
           match Request.of_json (Request.to_json r) with
-          | Error e -> Alcotest.failf "re-decode: %s" e
+          | Error e -> Alcotest.failf "re-decode: %s" (Request.error_to_string e)
           | Ok r' ->
               Alcotest.(check string)
                 "request round-trips"
