@@ -1,4 +1,4 @@
-.PHONY: all build test bench resilience-smoke check clean
+.PHONY: all build test bench resilience-smoke parallel-smoke check clean
 
 all: build
 
@@ -18,7 +18,13 @@ resilience-smoke:
 	dune exec bin/recdb.exe -- crash-test --requests 100 -j 3 --every 20
 	dune exec bin/recdb.exe -- bench-resilience --trials 2 --requests 500 --fault-requests 100
 
-check: build test bench resilience-smoke
+# The E26 smoke: a tiny bench-parallel run — exits 1 unless every
+# measured pool run is byte-identical to sequential, asks no more
+# questions than the sequential engine, and loses no worker.
+parallel-smoke:
+	dune exec bin/recdb.exe -- bench-parallel --requests 120
+
+check: build test bench resilience-smoke parallel-smoke
 
 clean:
 	dune clean

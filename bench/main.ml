@@ -826,6 +826,15 @@ let e25 () =
      retry under faults";
   ignore (Engine_bench.run_resilience ~out:"BENCH_resilience.json" ())
 
+(* ------------------------------------------------------------------ *)
+(* E26: parallel serving — work stealing and the shared memo layer     *)
+
+let e26 () =
+  section "E26"
+    "lib/engine parallel serving: work-stealing dispatch, shared memo \
+     layer, per-domain speedup";
+  ignore (Engine_bench.run_parallel ~out:"BENCH_parallel.json" ())
+
 let tables () =
   e1 ();
   e2 ();
@@ -851,7 +860,8 @@ let tables () =
   e22 ();
   e23 ();
   e24 ();
-  e25 ()
+  e25 ();
+  e26 ()
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing benches — one per experiment's core algorithm.      *)

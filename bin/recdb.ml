@@ -9,6 +9,7 @@
      recdb normalize -t 2 -r 2 '{(x,y)|...}' L⁻ normal form (Thm 2.1)
      recdb serve-batch FILE                  JSON-lines requests -> results
      recdb bench-engine                      cache + worker-pool benchmark
+     recdb bench-parallel                    shared-memo parallel serving benchmark (E26)
      recdb crash-test                        kill workers mid-batch, verify containment
      recdb bench-resilience                  budget/deadline/fault benchmark (E25)
 
@@ -566,6 +567,75 @@ let cmd_bench_resilience =
     (Cmd.info "bench-resilience" ~doc)
     Term.(const run $ out $ trials $ requests $ fault_requests)
 
+let cmd_bench_parallel =
+  let doc =
+    "Benchmark parallel serving with the shared memo layer (E26): \
+     cold/warm batch throughput per domain count (counts above \
+     Domain.recommended_domain_count are reported as skipped), \
+     byte-identity of every pool response to the sequential reference, \
+     and the cross-worker question bound (pool-wide genuine oracle \
+     questions never exceed the sequential count).  Exits 1 if any \
+     measured run is not byte-identical, exceeds the question bound, or \
+     loses a worker."
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Also write results as JSON.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 600
+      & info [ "requests" ] ~docv:"N" ~doc:"Batch size (default 600).")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8 ]
+      & info [ "domains" ] ~docv:"N,..."
+          ~doc:"Domain counts to measure (default 1,2,4,8).")
+  in
+  let run out requests domains_list =
+    let p = Engine_bench.run_parallel ?out ~requests ~domains_list () in
+    let violations =
+      List.concat_map
+        (fun (r : Engine_bench.parallel_run) ->
+          if r.Engine_bench.p_skipped then []
+          else
+            (if r.Engine_bench.p_identical then []
+             else
+               [
+                 Printf.sprintf "%d domains: results differ from sequential"
+                   r.Engine_bench.p_domains;
+               ])
+            @ (if r.Engine_bench.questions_ok then []
+               else
+                 [
+                   Printf.sprintf
+                     "%d domains: %d questions > sequential %d"
+                     r.Engine_bench.p_domains r.Engine_bench.p_questions
+                     p.Engine_bench.seq_questions;
+                 ])
+            @
+            if r.Engine_bench.p_deaths = 0 then []
+            else
+              [
+                Printf.sprintf "%d domains: %d worker death(s)"
+                  r.Engine_bench.p_domains r.Engine_bench.p_deaths;
+              ])
+        p.Engine_bench.p_runs
+    in
+    match violations with
+    | [] -> Format.printf "parallel serving: OK@."
+    | vs ->
+        List.iter (Format.eprintf "violation: %s@.") vs;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench-parallel" ~doc)
+    Term.(const run $ out $ requests $ domains)
+
 let cmd_bench_engine =
   let doc =
     "Benchmark the engine: oracle-call savings from the LRU cache on \
@@ -611,6 +681,7 @@ let () =
             cmd_normalize;
             cmd_serve_batch;
             cmd_bench_engine;
+            cmd_bench_parallel;
             cmd_crash_test;
             cmd_bench_resilience;
           ]))

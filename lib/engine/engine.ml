@@ -46,6 +46,7 @@ let default_config =
 
 type entry = {
   hs : Hs.Hsdb.t;  (* instance whose Rᵢ oracles go through the LRU *)
+  base : Hs.Hsdb.t;  (* the raw instance: its counters are the ledger *)
   raw_db : Rdb.Database.t;  (* original relations: genuine questions *)
   caches : Oracle_cache.t array;
 }
@@ -53,6 +54,7 @@ type entry = {
 type t = {
   entries : (string * entry Lazy.t) list;
   config : config;
+  shared : Shared_memo.t option;
   res : Resilience.t;
   faults : Faulty_oracle.t option;
   m_requests : Metrics.counter;
@@ -66,62 +68,109 @@ type t = {
   m_fault_failures : Metrics.counter;
 }
 
-(* The guarded oracle chain.  Per genuine question the guard is one
-   Resilience.tick (a decrement + compare) and, when fault injection is
-   on, one schedule hash — and it sits {e below} the LRU, so cache hits
-   skip it entirely.  The aborting tick fires before the underlying
-   oracle is consulted: a budget hit never asks (and never counts) the
-   question that would have exceeded the quota. *)
-let make_entry ~cache_capacity ~guarded ~res ~faults build () =
+(* The oracle chain, innermost first: the raw instance (whose
+   instrumented counters are this worker's Def. 3.9 ledger), the
+   per-question guard (budget tick + fault hook, present only when
+   resilience is configured), the cross-worker {!Shared_memo} (hits
+   are not questions and skip the guard — the check fires only before
+   a question that will actually be asked), and the per-worker striped
+   LRU on top.  Without [shared] and without a guard this is PR 1's
+   hot path, byte for byte. *)
+let make_entry ~cache_capacity ~guarded ~res ~faults ~shared name build () =
   let base = build () in
   let raw_db = Hs.Hsdb.db base in
-  if not guarded then begin
-    let cached_db, caches =
-      Oracle_cache.wrap_db ~capacity:cache_capacity raw_db
-    in
-    let hs =
-      Hs.Hsdb.make ~name:(Hs.Hsdb.name base) ~db:cached_db
-        ~children:(Hs.Hsdb.children base) ~equiv:(Hs.Hsdb.equiv base) ()
-    in
-    { hs; raw_db; caches }
-  end
-  else begin
-    let pre oracle =
-      Resilience.tick res;
-      match faults with
-      | None -> ()
-      | Some fo -> Faulty_oracle.pre fo ~oracle
-    in
-    let guarded_db =
-      Rdb.Database.make
-        ~name:(Rdb.Database.name raw_db)
-        ~domain:(Rdb.Database.domain raw_db)
-        (Array.map
-           (fun r ->
-             let oracle = Rdb.Relation.name r in
-             Rdb.Relation.make ~name:oracle ~arity:(Rdb.Relation.arity r)
-               (fun u ->
-                 pre oracle;
-                 Rdb.Relation.mem r u))
-           (Rdb.Database.relations raw_db))
-    in
-    let cached_db, caches =
-      Oracle_cache.wrap_db ~capacity:cache_capacity guarded_db
-    in
-    let hs =
-      Hs.Hsdb.make ~name:(Hs.Hsdb.name base) ~db:cached_db
-        ~children:(fun u ->
-          pre "T_B";
-          Hs.Hsdb.children base u)
-        ~equiv:(fun u v ->
-          pre "equiv_B";
-          Hs.Hsdb.equiv base u v)
-        ()
-    in
-    { hs; raw_db; caches }
-  end
+  let pre oracle =
+    Resilience.tick res;
+    match faults with
+    | None -> ()
+    | Some fo -> Faulty_oracle.pre fo ~oracle
+  in
+  let guard_rel r =
+    if not guarded then r
+    else
+      let oracle = Rdb.Relation.name r in
+      Rdb.Relation.make ~name:oracle ~arity:(Rdb.Relation.arity r) (fun u ->
+          pre oracle;
+          Rdb.Relation.mem r u)
+  in
+  let relations = Rdb.Database.relations raw_db in
+  let memo =
+    Option.map
+      (fun st -> Shared_memo.instance st ~name ~nrels:(Array.length relations))
+      shared
+  in
+  let source_db =
+    match memo with
+    | None ->
+        if not guarded then raw_db
+        else
+          Rdb.Database.make
+            ~name:(Rdb.Database.name raw_db)
+            ~domain:(Rdb.Database.domain raw_db)
+            (Array.map guard_rel relations)
+    | Some m ->
+        Rdb.Database.make
+          ~name:(Rdb.Database.name raw_db)
+          ~domain:(Rdb.Database.domain raw_db)
+          (Array.mapi
+             (fun i r ->
+               let g = guard_rel r in
+               Rdb.Relation.make ~name:(Rdb.Relation.name r)
+                 ~arity:(Rdb.Relation.arity r)
+                 (fun u ->
+                   Shared_memo.rel m i u ~compute:(fun () ->
+                       Rdb.Relation.mem g u)))
+             relations)
+  in
+  let cached_db, caches =
+    Oracle_cache.wrap_db ~capacity:cache_capacity source_db
+  in
+  let children_fn, equiv_fn =
+    match memo with
+    | None ->
+        if not guarded then (Hs.Hsdb.children base, Hs.Hsdb.equiv base)
+        else
+          ( (fun u ->
+              pre "T_B";
+              Hs.Hsdb.children base u),
+            fun u v ->
+              pre "equiv_B";
+              Hs.Hsdb.equiv base u v )
+    | Some m ->
+        let children u =
+          Shared_memo.children m u ~compute:(fun () ->
+              if guarded then pre "T_B";
+              Hs.Hsdb.children base u)
+        in
+        (* A private first-level ≅_B memo: Hsdb does not memoize equiv,
+           so without it every probe of a warm worker would still take
+           a shared stripe lock.  Private hits are not questions (the
+           base counter, our ledger, is untouched). *)
+        let equiv_local : ((Prelude.Tuple.t * Prelude.Tuple.t), bool) Hashtbl.t
+            =
+          Hashtbl.create 1024
+        in
+        let equiv u v =
+          match Hashtbl.find_opt equiv_local (u, v) with
+          | Some b -> b
+          | None ->
+              let b =
+                Shared_memo.equiv m u v ~compute:(fun () ->
+                    if guarded then pre "equiv_B";
+                    Hs.Hsdb.equiv base u v)
+              in
+              Hashtbl.add equiv_local (Array.copy u, Array.copy v) b;
+              b
+        in
+        (children, equiv)
+  in
+  let hs =
+    Hs.Hsdb.make ~name:(Hs.Hsdb.name base) ~db:cached_db ~children:children_fn
+      ~equiv:equiv_fn ()
+  in
+  { hs; base; raw_db; caches }
 
-let create ?(cache_capacity = 4096) ?(config = default_config) () =
+let create ?(cache_capacity = 4096) ?(config = default_config) ?shared () =
   let res = Resilience.create () in
   let faults = Option.map Faulty_oracle.make config.faults in
   (* Pay the per-question guard only when resilience is configured; a
@@ -135,10 +184,12 @@ let create ?(cache_capacity = 4096) ?(config = default_config) () =
       List.map
         (fun (name, build) ->
           ( name,
-            Lazy.from_fun (make_entry ~cache_capacity ~guarded ~res ~faults build)
-          ))
+            Lazy.from_fun
+              (make_entry ~cache_capacity ~guarded ~res ~faults ~shared name
+                 build) ))
         builders;
     config;
+    shared;
     res;
     faults;
     m_requests = Metrics.counter "engine.requests";
@@ -183,22 +234,75 @@ let eval_classes ~db_type ~rank =
   | Error e -> Error e
   | Ok () -> Ok (Request.Count (Localiso.Diagram.count ~db_type ~rank))
 
-let eval_payload entry (payload : Request.payload) :
+(* Compiled-plan memoization: parses are pure functions of the source
+   text, so their results — including parse {e failures} — are shared
+   across workers.  Key prefixes keep the three syntactic categories
+   apart in the one plan table; the impossible-variant fallbacks just
+   re-parse. *)
+let parse_sentence shared s =
+  let compute () =
+    match Rlogic.Parser.formula s with
+    | f -> Ok f
+    | exception Rlogic.Parser.Error msg -> Error msg
+  in
+  match shared with
+  | None -> compute ()
+  | Some st -> (
+      match
+        Shared_memo.plan st ~key:("s:" ^ s) ~compute:(fun () ->
+            Shared_memo.Sentence_plan (compute ()))
+      with
+      | Shared_memo.Sentence_plan r -> r
+      | _ -> compute ())
+
+let parse_query shared s =
+  let compute () =
+    match Rlogic.Parser.query s with
+    | q -> Ok q
+    | exception Rlogic.Parser.Error msg -> Error msg
+  in
+  match shared with
+  | None -> compute ()
+  | Some st -> (
+      match
+        Shared_memo.plan st ~key:("q:" ^ s) ~compute:(fun () ->
+            Shared_memo.Query_plan (compute ()))
+      with
+      | Shared_memo.Query_plan r -> r
+      | _ -> compute ())
+
+let parse_program shared s =
+  let compute () =
+    match Ql.Ql_parser.program s with
+    | p -> Ok p
+    | exception Ql.Ql_parser.Error msg -> Error msg
+  in
+  match shared with
+  | None -> compute ()
+  | Some st -> (
+      match
+        Shared_memo.plan st ~key:("p:" ^ s) ~compute:(fun () ->
+            Shared_memo.Program_plan (compute ()))
+      with
+      | Shared_memo.Program_plan r -> r
+      | _ -> compute ())
+
+let eval_payload ~shared entry (payload : Request.payload) :
     (Request.outcome, Request.error) result =
   match payload with
   | Request.Classes { db_type; rank } -> eval_classes ~db_type ~rank
   | Request.Sentence { sentence; _ } -> (
-      match Rlogic.Parser.formula sentence with
-      | exception Rlogic.Parser.Error msg -> Error (Request.Parse_error msg)
-      | f -> (
+      match parse_sentence shared sentence with
+      | Error msg -> Error (Request.Parse_error msg)
+      | Ok f -> (
           match Rlogic.Ast.free_vars f with
           | [] -> Ok (Request.Bool (Hs.Fo_eval.eval_sentence entry.hs f))
           | vars -> Error (Request.Not_a_sentence vars)))
   | Request.Query { query; cutoff; _ } -> (
-      match Rlogic.Parser.query query with
-      | exception Rlogic.Parser.Error msg -> Error (Request.Parse_error msg)
-      | Rlogic.Ast.Undefined -> Ok Request.Undefined
-      | Rlogic.Ast.Query { vars; _ } as q ->
+      match parse_query shared query with
+      | Error msg -> Error (Request.Parse_error msg)
+      | Ok Rlogic.Ast.Undefined -> Ok Request.Undefined
+      | Ok (Rlogic.Ast.Query { vars; _ } as q) ->
           if cutoff < 0 || cutoff > max_cutoff then
             Error
               (Request.Bad_request
@@ -226,9 +330,9 @@ let eval_payload entry (payload : Request.payload) :
                 (fun n -> Hs.Hsdb.paths entry.hs n)
                 (Prelude.Ints.range 1 (depth + 1))))
   | Request.Program { program; fuel; cutoff; _ } -> (
-      match Ql.Ql_parser.program program with
-      | exception Ql.Ql_parser.Error msg -> Error (Request.Parse_error msg)
-      | p ->
+      match parse_program shared program with
+      | Error msg -> Error (Request.Parse_error msg)
+      | Ok p ->
           if cutoff < 0 || cutoff > max_cutoff then
             Error
               (Request.Bad_request
@@ -253,8 +357,14 @@ let eval_payload entry (payload : Request.payload) :
             | Ql.Ql_interp.Timeout -> Error (Request.Timeout fuel)
             | Ql.Ql_interp.Ill_formed msg -> Error (Request.Ill_formed msg)))
 
+(* Def. 3.9 accounting reads the {e base} instance's counters, not the
+   wrapper's: the wrapper's T_B/≅_B counters tick on every consult of
+   the memo chain, while the base's tick only when a question actually
+   reaches the raw oracles.  For an unshared engine the two are equal
+   (every wrapper miss is a base ask), so sequential stats are
+   unchanged; for a shared engine only the base counters are honest. *)
 let snapshot entry =
-  let tb, eq = Hs.Hsdb.oracle_calls entry.hs in
+  let tb, eq = Hs.Hsdb.oracle_calls entry.base in
   ( Rdb.Database.oracle_calls entry.raw_db,
     tb,
     eq,
@@ -347,7 +457,26 @@ let handle t (req : Request.t) : Request.response =
         let result =
           match entry_opt with
           | Some entry ->
-              total_eval (fun () -> eval_payload entry req.Request.payload)
+              (* Whole-request memo: everything but [stats] is a
+                 deterministic function of the payload (the Request
+                 wire-format contract), so a completed result can be
+                 replayed for any worker.  Budget/deadline/fault aborts
+                 raise {e through} the compute closure and are caught
+                 by [total_eval] outside it — nondeterministic outcomes
+                 are never stored. *)
+              let eval () =
+                match t.shared with
+                | None -> eval_payload ~shared:None entry req.Request.payload
+                | Some st ->
+                    let key =
+                      Json.to_string
+                        (Request.to_json
+                           { Request.id = 0; payload = req.Request.payload })
+                    in
+                    Shared_memo.result st ~key ~compute:(fun () ->
+                        eval_payload ~shared:t.shared entry req.Request.payload)
+              in
+              total_eval eval
           | None -> (
               match req.Request.payload with
               | Request.Classes { db_type; rank } ->
@@ -359,6 +488,18 @@ let handle t (req : Request.t) : Request.response =
         finish result entry_opt pre
 
 let handle_all t reqs = List.map (handle t) reqs
+
+let question_count t =
+  List.fold_left
+    (fun acc (_, entry) ->
+      if Lazy.is_val entry then (
+        let e = Lazy.force entry in
+        let tb, eq = Hs.Hsdb.oracle_calls e.base in
+        acc + Rdb.Database.oracle_calls e.raw_db + tb + eq)
+      else acc)
+    0 t.entries
+
+let shared_stats t = Option.map Shared_memo.stats t.shared
 
 let faults_injected t =
   match t.faults with None -> 0 | Some fo -> Faulty_oracle.faults_injected fo

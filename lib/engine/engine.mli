@@ -15,7 +15,17 @@
     ([Hsdb]'s tree caches) are plain hashtables.  Concurrency comes from
     {!Pool}, which gives each worker domain its own engine.  Everything
     an engine computes is a deterministic function of the request, so
-    distinct engines always produce byte-identical results. *)
+    distinct engines always produce byte-identical results.
+
+    Engines in a pool may additionally share a {!Shared_memo.t} (passed
+    to {!create}): a read-mostly second memo level consulted between a
+    worker's private tables and its raw oracles, so expensive
+    cross-request answers (T_B children, ≅_B verdicts, relation
+    membership, compiled plans, whole results) computed by one worker
+    are hits for every other.  Results stay byte-identical — the shared
+    values are deterministic functions of their keys — and Def. 3.9
+    accounting stays exact, because each worker's genuine questions are
+    still counted on its own base instance (see {!Shared_memo}). *)
 
 type t
 
@@ -32,8 +42,11 @@ type config = {
 
 val default_config : config
 
-val create : ?cache_capacity:int -> ?config:config -> unit -> t
-(** [cache_capacity] is the per-relation LRU bound (default 4096). *)
+val create :
+  ?cache_capacity:int -> ?config:config -> ?shared:Shared_memo.t -> unit -> t
+(** [cache_capacity] is the per-relation LRU bound (default 4096).
+    [shared] plugs this engine into a cross-worker memo layer; omit it
+    (the default) for the fully private sequential engine. *)
 
 val handle : t -> Request.t -> Request.response
 (** Total: never raises and never hangs under a configured deadline or
@@ -56,6 +69,17 @@ val handle_all : t -> Request.t list -> Request.response list
 val cache_stats : t -> Oracle_cache.stats
 (** Aggregate LRU statistics over every instance this engine has
     touched. *)
+
+val question_count : t -> int
+(** Total genuine oracle questions this engine has asked, in the
+    Def. 3.9 sense: raw Rᵢ questions + T_B questions + ≅_B questions,
+    summed over every instance touched.  Memo hits — private or shared
+    — are not questions and are not counted. *)
+
+val shared_stats : t -> Shared_memo.stats option
+(** Hit/miss statistics of the shared memo layer, when one was passed
+    to {!create}.  The layer may be shared with other engines; the
+    numbers are layer-wide, not per-engine. *)
 
 val faults_injected : t -> int
 (** Faults this engine's injector has raised so far (0 when fault

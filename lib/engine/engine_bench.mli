@@ -13,6 +13,10 @@ type cache_result = {
 
 type batch_run = {
   domains : int;
+  skipped : bool;
+      (** [domains] exceeds [Domain.recommended_domain_count ()]: the
+          row is reported as skipped ("insufficient cores") instead of
+          as a meaningless slowdown measurement *)
   wall_s : float;
   speedup : float;  (** sequential wall / this wall *)
   identical : bool;  (** results byte-identical to sequential *)
@@ -20,6 +24,7 @@ type batch_run = {
 
 type batch_result = {
   requests : int;
+  recommended_domains : int;  (** [Domain.recommended_domain_count ()] *)
   sequential_s : float;
   runs : batch_run list;
 }
@@ -37,7 +42,9 @@ val cache_workload : ?repeats:int -> unit -> cache_result
 val batch_workload : ?requests:int -> ?domains_list:int list -> unit -> batch_result
 (** Build a mixed batch (default 1000 requests over five instances),
     evaluate it sequentially, then on pools of [domains_list] (default
-    [[1; 2; 4]]) domains, checking byte-identity each time. *)
+    [[1; 2; 4]]) domains, checking byte-identity each time.  Domain
+    counts above [Domain.recommended_domain_count ()] are skipped, not
+    measured. *)
 
 val to_json : cache_result -> batch_result -> Json.t
 
@@ -91,3 +98,48 @@ val run_resilience :
     a mixed batch of [fault_requests] (default 200).  Prints a summary;
     when [out] is given, also writes the JSON there
     ([BENCH_resilience.json]). *)
+
+(** {2 E26: parallel serving with the shared memo layer} *)
+
+type parallel_run = {
+  p_domains : int;
+  p_skipped : bool;  (** more domains than cores — not measured *)
+  cold_s : float;  (** fresh pool, cold memos *)
+  warm_s : float;  (** same pool, same batch again *)
+  cold_speedup : float;  (** sequential cold / pool cold *)
+  warm_speedup : float;  (** sequential warm / pool warm *)
+  p_identical : bool;
+      (** both pool passes byte-identical to the sequential reference *)
+  p_questions : int;
+      (** genuine questions across all workers after the cold pass *)
+  questions_ok : bool;  (** [p_questions <= seq_questions] *)
+  p_deaths : int;  (** worker deaths (must be 0) *)
+}
+
+type parallel_result = {
+  p_requests : int;
+  p_recommended : int;  (** [Domain.recommended_domain_count ()] *)
+  seq_cold_s : float;
+  seq_warm_s : float;
+  seq_questions : int;  (** Def. 3.9 questions of the sequential cold run *)
+  p_runs : parallel_run list;
+}
+
+val parallel_workload :
+  ?requests:int -> ?domains_list:int list -> unit -> parallel_result
+(** The E26 workload: the mixed batch (default 600 requests) evaluated
+    cold and warm on one sequential engine, then cold and warm on
+    shared-memo pools of each domain count in [domains_list] (default
+    [[1; 2; 4; 8]], counts above the recommendation skipped), checking
+    byte-identity, the cross-worker question bound, and that no worker
+    died. *)
+
+val parallel_to_json : parallel_result -> Json.t
+
+val run_parallel :
+  ?out:string -> ?requests:int -> ?domains_list:int list -> unit ->
+  parallel_result
+(** Print the E26 tables; when [out] is given, also write the JSON
+    there ([BENCH_parallel.json]).  Returns the result so callers (the
+    [recdb bench-parallel] smoke gate) can fail on an identity or
+    containment violation. *)

@@ -1,11 +1,5 @@
 open Prelude
-
-module H = Hashtbl.Make (struct
-  type t = Tuple.t
-
-  let equal = Tuple.equal
-  let hash = Tuple.hash
-end)
+module H = Tuple.Tbl
 
 (* Intrusive doubly-linked list in recency order; [lru.head] is the
    most recently used node, [lru.tail] the eviction candidate. *)
@@ -22,14 +16,22 @@ type lru = {
   table : node H.t;
 }
 
+(* One stripe = one independent LRU under its own mutex.  A lookup
+   touches exactly one stripe (chosen by the tuple's hash), so probes
+   of different stripes never contend, and — critically — the stripe
+   mutex is NEVER held across the underlying oracle call: the miss
+   path unlocks, asks, relocks and re-checks.  One slow oracle
+   question therefore cannot stall concurrent hits, not even hits on
+   the same stripe. *)
+type stripe = { m : Mutex.t; lru : lru; cap : int }
+
 type stats = { hits : int; misses : int; evictions : int }
 
 type t = {
   base : Rdb.Relation.t;
   mutable cached : Rdb.Relation.t;  (* set right after creation *)
   cap : int;
-  lock : Mutex.t;
-  lru : lru;
+  stripes : stripe array;
   hits : int Atomic.t;
   misses : int Atomic.t;
   evictions : int Atomic.t;
@@ -51,51 +53,90 @@ let push_front lru node =
   lru.head <- Some node;
   if lru.tail = None then lru.tail <- Some node
 
+let stripe_of c u = c.stripes.(Tuple.hash u mod Array.length c.stripes)
+
+let insert_locked s node =
+  let evicted =
+    if H.length s.lru.table >= s.cap then
+      match s.lru.tail with
+      | Some victim ->
+          unlink s.lru victim;
+          H.remove s.lru.table victim.key;
+          true
+      | None -> false
+    else false
+  in
+  H.replace s.lru.table node.key node;
+  push_front s.lru node;
+  evicted
+
 let lookup c u =
-  Mutex.lock c.lock;
-  match H.find_opt c.lru.table u with
+  let s = stripe_of c u in
+  Mutex.lock s.m;
+  match H.find_opt s.lru.table u with
   | Some node ->
       (* Hit: refresh recency, answer without consulting the oracle. *)
-      unlink c.lru node;
-      push_front c.lru node;
-      Mutex.unlock c.lock;
+      unlink s.lru node;
+      push_front s.lru node;
+      Mutex.unlock s.m;
       Atomic.incr c.hits;
       node.answer
   | None ->
       (* Miss: a genuine oracle question, counted by the underlying
-         relation's instrumentation.  The lock is held across the call
-         so concurrent probes of the same tuple ask at most once. *)
-      let answer =
-        match Rdb.Relation.mem c.base u with
-        | answer -> answer
-        | exception e ->
-            Mutex.unlock c.lock;
-            raise e
-      in
+         relation's instrumentation.  The stripe is UNLOCKED across the
+         call — a slow question never blocks concurrent hits — at the
+         price that concurrent probes of the same cold tuple may each
+         ask (the answers are equal; the re-check below keeps the
+         table consistent and the first insertion wins). *)
+      Mutex.unlock s.m;
+      let answer = Rdb.Relation.mem c.base u in
       Atomic.incr c.misses;
-      if H.length c.lru.table >= c.cap then begin
-        match c.lru.tail with
-        | Some victim ->
-            unlink c.lru victim;
-            H.remove c.lru.table victim.key;
-            Atomic.incr c.evictions
-        | None -> ()
-      end;
-      let node = { key = Array.copy u; answer; prev = None; next = None } in
-      H.replace c.lru.table node.key node;
-      push_front c.lru node;
-      Mutex.unlock c.lock;
+      Mutex.lock s.m;
+      (match H.find_opt s.lru.table u with
+      | Some node ->
+          (* Raced with another domain's identical question: keep the
+             existing node, just refresh its recency. *)
+          unlink s.lru node;
+          push_front s.lru node;
+          Mutex.unlock s.m
+      | None ->
+          let node =
+            { key = Array.copy u; answer; prev = None; next = None }
+          in
+          let evicted = insert_locked s node in
+          Mutex.unlock s.m;
+          if evicted then Atomic.incr c.evictions);
       answer
 
-let wrap ?(capacity = 4096) base =
+(* Default striping: serving-sized caches get concurrency, small caches
+   (tests, tight memory budgets) keep one stripe and therefore exact
+   global LRU recency order. *)
+let auto_stripes capacity = if capacity >= 1024 then 8 else 1
+
+let wrap ?(capacity = 4096) ?stripes base =
   if capacity < 1 then invalid_arg "Oracle_cache.wrap: capacity < 1";
+  let n =
+    match stripes with
+    | None -> auto_stripes capacity
+    | Some n ->
+        if n < 1 then invalid_arg "Oracle_cache.wrap: stripes < 1";
+        min n capacity
+  in
+  let stripe i =
+    (* distribute the capacity exactly: the stripe caps sum to [capacity] *)
+    let cap = (capacity / n) + (if i < capacity mod n then 1 else 0) in
+    {
+      m = Mutex.create ();
+      lru = { head = None; tail = None; table = H.create (min cap 1024) };
+      cap;
+    }
+  in
   let c =
     {
       base;
       cached = base;
       cap = capacity;
-      lock = Mutex.create ();
-      lru = { head = None; tail = None; table = H.create (min capacity 1024) };
+      stripes = Array.init n stripe;
       hits = Atomic.make 0;
       misses = Atomic.make 0;
       evictions = Atomic.make 0;
@@ -124,23 +165,30 @@ let reset_stats c =
   Atomic.set c.evictions 0
 
 let clear c =
-  Mutex.lock c.lock;
-  H.reset c.lru.table;
-  c.lru.head <- None;
-  c.lru.tail <- None;
-  Mutex.unlock c.lock
+  Array.iter
+    (fun s ->
+      Mutex.lock s.m;
+      H.reset s.lru.table;
+      s.lru.head <- None;
+      s.lru.tail <- None;
+      Mutex.unlock s.m)
+    c.stripes
 
 let length c =
-  Mutex.lock c.lock;
-  let n = H.length c.lru.table in
-  Mutex.unlock c.lock;
-  n
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.m;
+      let n = H.length s.lru.table in
+      Mutex.unlock s.m;
+      acc + n)
+    0 c.stripes
 
 let capacity c = c.cap
+let stripe_count c = Array.length c.stripes
 
-let wrap_db ?capacity db =
+let wrap_db ?capacity ?stripes db =
   let caches =
-    Array.map (fun r -> wrap ?capacity r) (Rdb.Database.relations db)
+    Array.map (fun r -> wrap ?capacity ?stripes r) (Rdb.Database.relations db)
   in
   let db' =
     Rdb.Database.make ~name:(Rdb.Database.name db)

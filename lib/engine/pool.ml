@@ -1,14 +1,26 @@
-(* Each job carries its batch's completion cell so run_batch can block
-   on its own condition variable; the queue itself is a plain FIFO
-   under one mutex.
+(* Chunked, work-stealing dispatch.
+
+   run_batch splits a batch into at most [n] contiguous chunks and
+   deposits them round-robin into per-worker deques; each enqueued
+   chunk costs one Condition.signal (not a broadcast), and a worker
+   whose own deque runs dry steals the upper half of a victim's front
+   chunk.  The shared state a worker touches per job is one deque
+   mutex (almost always uncontended — its own) and one atomic
+   decrement; the global lock is only taken to sleep when the whole
+   pool is out of work.
+
+   Each job carries its batch's completion cell so run_batch can block
+   on its own condition variable.
 
    Crash containment: Engine.handle is total, but the pool does not
    trust that — a per-job catch turns any escaping exception into a
    per-request error response, and a worker whose domain nonetheless
    dies (e.g. the crash-injection hook, or an exception from outside
    the per-job region) fails only its in-flight request, respawns a
-   replacement, and leaves the rest of the batch untouched.  A batch
-   therefore always yields exactly one response per request. *)
+   replacement into the same slot (the slot's deque, queued chunks
+   included, survives the death), and leaves the rest of the batch
+   untouched.  A batch therefore always yields exactly one response
+   per request. *)
 
 exception Injected_crash
 
@@ -21,26 +33,42 @@ type batch = {
 
 type job = { request : Request.t; index : int; owner : batch }
 
-type slot = { mutable inflight : job option }
+(* A chunk is a live slice of a batch's job array: jobs.(next..limit-1)
+   are unclaimed.  Chunks are mutated only under the lock of the deque
+   currently holding them. *)
+type chunk = { jobs : job array; mutable next : int; mutable limit : int }
+
+type deque = { d_lock : Mutex.t; chunks : chunk Queue.t }
+
+type slot = {
+  mutable inflight : job option;
+  mutable engine : Engine.t option;
+  deque : deque;
+}
 
 type t = {
-  lock : Mutex.t;
+  lock : Mutex.t;  (* sleep/wake protocol + spawn/stopping state *)
   nonempty : Condition.t;
-  queue : job Queue.t;
   mutable stopping : bool;
   mutable domains : unit Domain.t list;
       (* every domain ever spawned, replacements included; joined at
          shutdown (dead domains join instantly) *)
+  mutable rr : int;  (* round-robin cursor for chunk placement *)
   slots : slot array;
   n : int;
+  pending : int Atomic.t;  (* jobs enqueued and not yet claimed *)
   alive : int Atomic.t;
   deaths : int Atomic.t;
   respawns_left : int Atomic.t;
+  retired_questions : int Atomic.t;
+      (* Def. 3.9 questions asked by engines of dead workers *)
+  shared : Shared_memo.t option;
   cache_capacity : int option;
   engine_config : Engine.config option;
   crash_on : (Request.t -> bool) option;
   m_deaths : Metrics.counter;
   m_respawns : Metrics.counter;
+  m_steals : Metrics.counter;
 }
 
 let deliver owner index response =
@@ -59,67 +87,159 @@ let crash_response (request : Request.t) msg =
     stats = Request.zero_stats;
   }
 
-(* Fail every queued job; called when a dying worker is (or may be) the
-   last one standing, so blocked run_batch callers are released instead
-   of hanging forever on work nobody will serve. *)
-let drain_queue_with_errors pool msg =
-  Mutex.lock pool.lock;
-  let jobs = Queue.fold (fun acc j -> j :: acc) [] pool.queue in
-  Queue.clear pool.queue;
-  Mutex.unlock pool.lock;
-  List.iter
-    (fun { request; index; owner } ->
-      deliver owner index (crash_response request msg))
-    jobs
+(* Claim the next job from the deque's front chunk, dropping exhausted
+   chunks.  The pending decrement happens after the claim, so [pending]
+   may transiently overcount (never undercount a sleeping worker out of
+   existing work — the wake check reads it under [pool.lock], and
+   enqueuers increment before signalling). *)
+let take_from pool deque =
+  Mutex.lock deque.d_lock;
+  let rec go () =
+    match Queue.peek_opt deque.chunks with
+    | None -> None
+    | Some c ->
+        if c.next >= c.limit then begin
+          ignore (Queue.pop deque.chunks);
+          go ()
+        end
+        else begin
+          let job = c.jobs.(c.next) in
+          c.next <- c.next + 1;
+          if c.next >= c.limit then ignore (Queue.pop deque.chunks);
+          Some job
+        end
+  in
+  let job = go () in
+  Mutex.unlock deque.d_lock;
+  if Option.is_some job then Atomic.decr pool.pending;
+  job
+
+(* Steal the upper half of the victim's front non-empty chunk — the
+   whole remainder when only one job is left.  At most one deque lock
+   is ever held at a time (the thief deposits into its own deque after
+   releasing the victim's), so thieves cannot deadlock. *)
+let steal_from victim =
+  Mutex.lock victim.d_lock;
+  let rec go () =
+    match Queue.peek_opt victim.chunks with
+    | None -> None
+    | Some c ->
+        let len = c.limit - c.next in
+        if len <= 0 then begin
+          ignore (Queue.pop victim.chunks);
+          go ()
+        end
+        else begin
+          let mid = c.next + (len / 2) in
+          let stolen = { jobs = c.jobs; next = mid; limit = c.limit } in
+          c.limit <- mid;
+          if c.next >= c.limit then ignore (Queue.pop victim.chunks);
+          Some stolen
+        end
+  in
+  let r = go () in
+  Mutex.unlock victim.d_lock;
+  r
+
+let try_steal pool self =
+  let n = pool.n in
+  let rec scan k =
+    if k >= n - 1 then false
+    else
+      let v = (self + 1 + k) mod n in
+      match steal_from pool.slots.(v).deque with
+      | Some chunk ->
+          let d = pool.slots.(self).deque in
+          Mutex.lock d.d_lock;
+          Queue.add chunk d.chunks;
+          Mutex.unlock d.d_lock;
+          Metrics.incr pool.m_steals;
+          true
+      | None -> scan (k + 1)
+  in
+  n > 1 && scan 0
+
+(* Fail every queued job in every deque; called when a dying worker is
+   (or may be) the last one standing, so blocked run_batch callers are
+   released instead of hanging forever on work nobody will serve. *)
+let drain_deques_with_errors pool msg =
+  Array.iter
+    (fun slot ->
+      let rec go () =
+        match take_from pool slot.deque with
+        | Some { request; index; owner } ->
+            deliver owner index (crash_response request msg);
+            go ()
+        | None -> ()
+      in
+      go ())
+    pool.slots
 
 let rec worker_main pool slot_idx () =
   let slot = pool.slots.(slot_idx) in
   (try
      let engine =
        Engine.create ?cache_capacity:pool.cache_capacity
-         ?config:pool.engine_config ()
+         ?config:pool.engine_config ?shared:pool.shared ()
+     in
+     slot.engine <- Some engine;
+     let serve ({ request; index; owner } as job) =
+       slot.inflight <- Some job;
+       (match pool.crash_on with
+       | Some p when p request -> raise Injected_crash
+       | _ -> ());
+       let response =
+         (* Engine.handle is total; this catch is the containment
+            backstop for bugs and asynchronous exceptions. *)
+         match Engine.handle engine request with
+         | r -> r
+         | exception e ->
+             crash_response request ("request raised " ^ Printexc.to_string e)
+       in
+       slot.inflight <- None;
+       deliver owner index response
      in
      let rec loop () =
-       Mutex.lock pool.lock;
-       let rec next () =
-         match Queue.take_opt pool.queue with
-         | Some job -> Some job
-         | None ->
-             if pool.stopping then None
-             else begin
-               Condition.wait pool.nonempty pool.lock;
-               next ()
-             end
-       in
-       let job = next () in
-       Mutex.unlock pool.lock;
-       match job with
-       | None -> ()
-       | Some ({ request; index; owner } as job) ->
-           slot.inflight <- Some job;
-           (match pool.crash_on with
-           | Some p when p request -> raise Injected_crash
-           | _ -> ());
-           let response =
-             (* Engine.handle is total; this catch is the containment
-                backstop for bugs and asynchronous exceptions. *)
-             match Engine.handle engine request with
-             | r -> r
-             | exception e ->
-                 crash_response request
-                   ("request raised " ^ Printexc.to_string e)
-           in
-           slot.inflight <- None;
-           deliver owner index response;
+       match take_from pool slot.deque with
+       | Some job ->
+           serve job;
            loop ()
+       | None ->
+           if try_steal pool slot_idx then loop ()
+           else begin
+             Mutex.lock pool.lock;
+             if Atomic.get pool.pending > 0 then begin
+               (* unclaimed work exists (or is being claimed right this
+                  instant): rescan instead of sleeping *)
+               Mutex.unlock pool.lock;
+               loop ()
+             end
+             else if pool.stopping then Mutex.unlock pool.lock
+             else begin
+               (* pending was 0 under the lock, and enqueuers increment
+                  pending and signal under the same lock — the wakeup
+                  cannot be lost *)
+               Condition.wait pool.nonempty pool.lock;
+               Mutex.unlock pool.lock;
+               loop ()
+             end
+           end
      in
      loop ()
    with e ->
      (* The worker is dying.  Contain the damage: fail only the
-        in-flight request, then hand the slot to a replacement. *)
+        in-flight request, then hand the slot (deque included — its
+        queued chunks survive) to a replacement. *)
      let msg = Printexc.to_string e in
      Atomic.incr pool.deaths;
      Metrics.incr pool.m_deaths;
+     (match slot.engine with
+     | Some engine ->
+         ignore
+           (Atomic.fetch_and_add pool.retired_questions
+              (Engine.question_count engine));
+         slot.engine <- None
+     | None -> ());
      (match slot.inflight with
      | Some { request; index; owner } ->
          deliver owner index (crash_response request msg)
@@ -137,12 +257,13 @@ let rec worker_main pool slot_idx () =
      Mutex.unlock pool.lock;
      if (not respawn) && Atomic.get pool.alive <= 1 then
        (* we are the last worker and not coming back: nobody will serve
-          the queue, so fail it rather than strand the batch *)
-       drain_queue_with_errors pool ("worker died without replacement: " ^ msg));
+          the deques, so fail them rather than strand the batch *)
+       drain_deques_with_errors pool
+         ("worker died without replacement: " ^ msg));
   Atomic.decr pool.alive
 
 let create ?domains ?cache_capacity ?engine_config ?crash_on
-    ?(max_respawns = 1000) () =
+    ?(max_respawns = 1000) ?(share = true) () =
   let n =
     match domains with
     | Some n ->
@@ -154,19 +275,29 @@ let create ?domains ?cache_capacity ?engine_config ?crash_on
     {
       lock = Mutex.create ();
       nonempty = Condition.create ();
-      queue = Queue.create ();
       stopping = false;
       domains = [];
-      slots = Array.init n (fun _ -> { inflight = None });
+      rr = 0;
+      slots =
+        Array.init n (fun _ ->
+            {
+              inflight = None;
+              engine = None;
+              deque = { d_lock = Mutex.create (); chunks = Queue.create () };
+            });
       n;
+      pending = Atomic.make 0;
       alive = Atomic.make 0;
       deaths = Atomic.make 0;
       respawns_left = Atomic.make max_respawns;
+      retired_questions = Atomic.make 0;
+      shared = (if share then Some (Shared_memo.create ()) else None);
       cache_capacity;
       engine_config;
       crash_on;
       m_deaths = Metrics.counter "pool.worker_deaths";
       m_respawns = Metrics.counter "pool.respawns";
+      m_steals = Metrics.counter "pool.steals";
     }
   in
   Mutex.lock pool.lock;
@@ -193,15 +324,38 @@ let run_batch pool requests =
         b_done = Condition.create ();
       }
     in
+    let jobs = Array.mapi (fun index request -> { request; index; owner }) reqs in
+    (* Near-equal contiguous chunks, at most one per worker; stealing
+       rebalances whatever this static split gets wrong. *)
+    let n_chunks = min pool.n m in
+    let chunks =
+      Array.init n_chunks (fun i ->
+          { jobs; next = i * m / n_chunks; limit = (i + 1) * m / n_chunks })
+    in
     Mutex.lock pool.lock;
     if pool.stopping then begin
       Mutex.unlock pool.lock;
       invalid_arg "Pool.run_batch: pool is shut down"
     end;
+    (* Rotate the placement cursor so successive small batches spread
+       over different workers instead of always loading slot 0. *)
+    let start = pool.rr in
+    pool.rr <- (pool.rr + n_chunks) mod pool.n;
     Array.iteri
-      (fun index request -> Queue.add { request; index; owner } pool.queue)
-      reqs;
-    Condition.broadcast pool.nonempty;
+      (fun i chunk ->
+        let d = pool.slots.((start + i) mod pool.n).deque in
+        Mutex.lock d.d_lock;
+        Queue.add chunk d.chunks;
+        Mutex.unlock d.d_lock)
+      chunks;
+    ignore (Atomic.fetch_and_add pool.pending m);
+    (* One wakeup per chunk — an idle worker per unit of parallelism —
+       instead of a broadcast storm.  Signals that land while every
+       worker is busy are no-ops, which is fine: a busy worker rescans
+       the deques (own, then steal) before it ever sleeps. *)
+    for _ = 1 to n_chunks do
+      Condition.signal pool.nonempty
+    done;
     Mutex.unlock pool.lock;
     Mutex.lock owner.b_lock;
     while owner.remaining > 0 do
@@ -215,6 +369,17 @@ let run_batch pool requests =
            | None -> assert false (* remaining = 0 implies all filled *))
          owner.results)
   end
+
+let oracle_questions pool =
+  Array.fold_left
+    (fun acc slot ->
+      match slot.engine with
+      | Some e -> acc + Engine.question_count e
+      | None -> acc)
+    (Atomic.get pool.retired_questions)
+    pool.slots
+
+let shared_stats pool = Option.map Shared_memo.stats pool.shared
 
 let shutdown_result ?(timeout_s = infinity) pool =
   Mutex.lock pool.lock;
@@ -238,7 +403,7 @@ let shutdown_result ?(timeout_s = infinity) pool =
     end
     else if Unix.gettimeofday () > deadline then
       (* Some worker is stuck in a request; leave its domain behind
-         rather than hang the caller (the queue is closed, so it can
+         rather than hang the caller (the pool is stopping, so it can
          serve nothing further). *)
       `Timed_out (Atomic.get pool.alive)
     else begin

@@ -1,11 +1,28 @@
 (** A crash-contained, Domain-based worker pool serving request batches
-    in parallel.
+    in parallel, with chunked work-stealing dispatch and a shared
+    read-mostly memo layer.
 
     [create ~domains ()] spawns [domains] worker domains, each owning a
     private {!Engine.t} (engines are not thread-safe; private engines
-    make locking unnecessary on the hot path).  Work arrives through a
-    shared queue; {!run_batch} blocks until every request of the batch
-    has been answered and returns the responses {e in request order}.
+    make locking unnecessary on the hot path).  By default every worker
+    engine is plugged into one {!Shared_memo.t}, so expensive
+    cross-request answers computed by one worker are memo hits for the
+    others — see {!Shared_memo} for why this preserves both
+    byte-identity and the paper's Def. 3.9 question accounting.
+
+    {b Dispatch.}  {!run_batch} splits a batch into at most [domains]
+    contiguous chunks and deposits them round-robin into per-worker
+    deques, waking one idle worker per chunk (a {e signal}, not a
+    broadcast — no thundering herd on small batches).  A worker whose
+    own deque runs dry steals the upper half of another worker's front
+    chunk, so a static split that turns out unbalanced (requests have
+    wildly different costs) still finishes at the pace of the pool, not
+    of the unluckiest worker.  Per job the shared state touched is one
+    deque mutex and one atomic counter; the global lock is only taken
+    to go to sleep, and the sleep check re-reads the pending-job count
+    under the same lock the enqueuer signals under, so wakeups cannot
+    be lost.  {!run_batch} blocks until every request of the batch has
+    been answered and returns the responses {e in request order}.
 
     {b Containment.}  A batch always yields exactly one response per
     request.  {!Engine.handle} is total, and the pool adds two further
@@ -14,29 +31,32 @@
     outright (see [crash_on]) fails only its in-flight request — the
     pool detects the death, spawns a replacement into the same slot
     (counted by [pool.worker_deaths] / [pool.respawns] metrics and
-    {!worker_deaths}), and the rest of the batch completes normally.
-    If the last worker dies with respawns exhausted, queued jobs are
-    failed with [Worker_crash] rather than stranding the caller.
+    {!worker_deaths}), and the rest of the batch completes normally:
+    the slot's deque, queued chunks included, survives the death.  If
+    the last worker dies with respawns exhausted, every queued job in
+    every deque is failed with [Worker_crash] rather than stranding the
+    caller.
 
     Correctness guarantee: with no fault injection and no evaluation
     limits configured, every response's [result] is byte-identical (as
     JSON, stats excluded) to what {!Engine.handle_all} produces
     sequentially, whatever the interleaving — request evaluation is a
-    deterministic function of the request, and workers share no mutable
-    evaluation state.  Only the [stats] fields differ run to run (wall
-    times; cache hit counts depend on which worker served earlier
-    requests for the same instance).  Under injected faults the
-    guarantee weakens to: every non-faulted result (anything but
-    [Oracle_unavailable] / [Worker_crash]) is still byte-identical to
-    sequential, because injection never changes an oracle's answer —
-    the chaos test asserts exactly this.  Budget/deadline errors depend
-    on each worker's cache warmth and so may differ from a sequential
-    run; they are typed partial answers, not nondeterministic values.
+    deterministic function of the request, and the only cross-worker
+    mutable state, the shared memo, stores only completed deterministic
+    answers.  Only the [stats] fields differ run to run (wall times;
+    cache hit counts depend on which worker served earlier requests for
+    the same instance).  Under injected faults the guarantee weakens
+    to: every non-faulted result (anything but [Oracle_unavailable] /
+    [Worker_crash]) is still byte-identical to sequential, because
+    injection never changes an oracle's answer — the chaos test asserts
+    exactly this.  Budget/deadline errors depend on each worker's cache
+    warmth and so may differ from a sequential run; they are typed
+    partial answers, not nondeterministic values.
 
     Batches may be submitted from several client threads concurrently;
-    jobs interleave fairly in queue order.  {!shutdown} drains nothing:
-    it waits for in-flight jobs, stops the workers and joins their
-    domains, giving up after [timeout_s] if a worker is stuck.
+    their chunks interleave across the deques.  {!shutdown} drains
+    nothing: it waits for in-flight jobs, stops the workers and joins
+    their domains, giving up after [timeout_s] if a worker is stuck.
     Submitting to a pool after {!shutdown} raises. *)
 
 type t
@@ -52,6 +72,7 @@ val create :
   ?engine_config:Engine.config ->
   ?crash_on:(Request.t -> bool) ->
   ?max_respawns:int ->
+  ?share:bool ->
   unit ->
   t
 (** [domains] defaults to [Domain.recommended_domain_count () - 1],
@@ -62,7 +83,9 @@ val create :
     chaos-testing hook: a worker about to serve a matching request dies
     instead (see {!Injected_crash}).  [max_respawns] (default 1000)
     bounds replacement spawns so a deterministic crash-on-everything
-    configuration cannot fork-bomb. *)
+    configuration cannot fork-bomb.  [share] (default [true]) gives all
+    workers one {!Shared_memo.t}; pass [false] to measure or test fully
+    independent workers. *)
 
 val size : t -> int
 (** Number of worker slots. *)
@@ -76,6 +99,17 @@ val run_batch : t -> Request.t list -> Request.response list
     response per request, whatever faults or crashes occur.  Raises
     [Invalid_argument] if the pool has been shut down. *)
 
+val oracle_questions : t -> int
+(** Total genuine oracle questions (Def. 3.9: raw Rᵢ + T_B + ≅_B)
+    asked so far across all worker engines, dead ones included.  Exact
+    when the pool is quiescent (no batch in flight); a snapshot
+    otherwise.  With sharing on, this is the number the E26 bench
+    compares against the sequential engine's {!Engine.question_count}. *)
+
+val shared_stats : t -> Shared_memo.stats option
+(** Hit/miss statistics of the pool's shared memo layer ([None] when
+    created with [~share:false]). *)
+
 val shutdown : ?timeout_s:float -> t -> unit
 (** Graceful: waits for queued jobs, then joins all workers (including
     dead workers' replacements).  Idempotent.  With [timeout_s], gives
@@ -85,5 +119,5 @@ val shutdown_result :
   ?timeout_s:float -> t -> [ `Clean | `Timed_out of int ]
 (** Like {!shutdown} but reports the outcome: [`Timed_out n] means [n]
     workers were still busy when the timeout expired — their domains
-    are abandoned (the queue is closed, so they can serve nothing
+    are abandoned (the pool is stopping, so they can serve nothing
     further) rather than hanging the caller. *)

@@ -1,0 +1,230 @@
+open Prelude
+
+(* ------------------------------------------------------------------ *)
+(* A small read-preferring rw-lock.  Critical sections here are single
+   hashtable probes/inserts, so the point is not reader throughput on
+   long sections — it is that a stripe's readers never serialize behind
+   each other, and that writers (rare once the table is warm: the
+   tables are read-mostly by design) drain quickly. *)
+
+module Rw = struct
+  type t = {
+    m : Mutex.t;
+    c : Condition.t;
+    mutable readers : int;
+    mutable writer : bool;
+  }
+
+  let create () =
+    { m = Mutex.create (); c = Condition.create (); readers = 0; writer = false }
+
+  let read_lock t =
+    Mutex.lock t.m;
+    while t.writer do
+      Condition.wait t.c t.m
+    done;
+    t.readers <- t.readers + 1;
+    Mutex.unlock t.m
+
+  let read_unlock t =
+    Mutex.lock t.m;
+    t.readers <- t.readers - 1;
+    if t.readers = 0 then Condition.broadcast t.c;
+    Mutex.unlock t.m
+
+  let write_lock t =
+    Mutex.lock t.m;
+    while t.writer || t.readers > 0 do
+      Condition.wait t.c t.m
+    done;
+    t.writer <- true;
+    Mutex.unlock t.m
+
+  let write_unlock t =
+    Mutex.lock t.m;
+    t.writer <- false;
+    Condition.broadcast t.c;
+    Mutex.unlock t.m
+end
+
+(* ------------------------------------------------------------------ *)
+(* A lock-striped, rw-locked memo table.  The compute closure runs with
+   NO lock held: a slow oracle question never blocks other keys, at
+   the price that two workers racing on the same cold key may both
+   compute (each worker's own instrumentation counts its own genuine
+   questions; the first insertion wins and everyone returns it).  A
+   compute that raises (budget trip, injected fault) stores nothing. *)
+
+type table_stats = { hits : int; misses : int }
+
+module Make_table (K : Hashtbl.HashedType) = struct
+  module H = Hashtbl.Make (K)
+
+  type 'v t = {
+    stripes : (Rw.t * 'v H.t) array;
+    hits : int Atomic.t;
+    misses : int Atomic.t;
+  }
+
+  let create ?(stripes = 8) () =
+    {
+      stripes = Array.init stripes (fun _ -> (Rw.create (), H.create 64));
+      hits = Atomic.make 0;
+      misses = Atomic.make 0;
+    }
+
+  let find_or_compute t k compute =
+    let lock, tbl = t.stripes.(K.hash k mod Array.length t.stripes) in
+    Rw.read_lock lock;
+    let found = H.find_opt tbl k in
+    Rw.read_unlock lock;
+    match found with
+    | Some v ->
+        Atomic.incr t.hits;
+        v
+    | None ->
+        let v = compute () in
+        Atomic.incr t.misses;
+        Rw.write_lock lock;
+        let v =
+          match H.find_opt tbl k with
+          | Some v0 -> v0 (* lost the race: the first insertion wins *)
+          | None ->
+              H.add tbl k v;
+              v
+        in
+        Rw.write_unlock lock;
+        v
+
+  let stats t =
+    { hits = Atomic.get t.hits; misses = Atomic.get t.misses }
+end
+
+module Tuple_key = struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end
+
+module Pair_key = struct
+  type t = Tuple.t * Tuple.t
+
+  let equal (u1, v1) (u2, v2) = Tuple.equal u1 u2 && Tuple.equal v1 v2
+  let hash (u, v) = Tuple.hash_pair u v
+end
+
+module String_key = struct
+  type t = string
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+end
+
+module Ttbl = Make_table (Tuple_key)
+module Ptbl = Make_table (Pair_key)
+module Stbl = Make_table (String_key)
+
+(* ------------------------------------------------------------------ *)
+
+type plan =
+  | Sentence_plan of (Rlogic.Ast.formula, string) result
+  | Query_plan of (Rlogic.Ast.query, string) result
+  | Program_plan of (Ql.Ql_ast.program, string) result
+
+type instance_memo = {
+  children_tbl : int list Ttbl.t;
+  equiv_tbl : bool Ptbl.t;
+  rel_tbls : bool Ttbl.t array;
+}
+
+type result_value = (Request.outcome, Request.error) Stdlib.result
+
+type t = {
+  instances : (string, instance_memo) Hashtbl.t;
+  instances_lock : Mutex.t;
+  plans : plan Stbl.t;
+  results : result_value Stbl.t;
+}
+
+let create () =
+  {
+    instances = Hashtbl.create 16;
+    instances_lock = Mutex.create ();
+    plans = Stbl.create ();
+    results = Stbl.create ();
+  }
+
+let instance t ~name ~nrels =
+  Mutex.lock t.instances_lock;
+  let m =
+    match Hashtbl.find_opt t.instances name with
+    | Some m -> m
+    | None ->
+        let m =
+          {
+            children_tbl = Ttbl.create ();
+            equiv_tbl = Ptbl.create ();
+            rel_tbls = Array.init nrels (fun _ -> Ttbl.create ());
+          }
+        in
+        Hashtbl.add t.instances name m;
+        m
+  in
+  Mutex.unlock t.instances_lock;
+  m
+
+(* Keys are copied on insertion-by-compute?  No: the engine hands us
+   tuples it owns and never mutates (Hsdb copies defensively on its
+   side), and the first-insertion-wins rule means a key is stored at
+   most once — we copy defensively anyway to stay safe against callers
+   reusing scratch buffers. *)
+let children m u ~compute =
+  Ttbl.find_or_compute m.children_tbl (Array.copy u) compute
+
+let equiv m u v ~compute =
+  Ptbl.find_or_compute m.equiv_tbl (Array.copy u, Array.copy v) compute
+
+let rel m i u ~compute = Ttbl.find_or_compute m.rel_tbls.(i) (Array.copy u) compute
+let plan t ~key ~compute = Stbl.find_or_compute t.plans key compute
+let result t ~key ~compute = Stbl.find_or_compute t.results key compute
+
+(* Declared after the accessors above so the [t] record's field labels
+   are not shadowed by these (deliberately same-named) stat labels. *)
+type stats = {
+  children : table_stats;
+  equiv : table_stats;
+  rels : table_stats;
+  plans : table_stats;
+  results : table_stats;
+}
+
+let stats t =
+  Mutex.lock t.instances_lock;
+  let memos = Hashtbl.fold (fun _ m acc -> m :: acc) t.instances [] in
+  Mutex.unlock t.instances_lock;
+  let add a b = { hits = a.hits + b.hits; misses = a.misses + b.misses } in
+  let zero = { hits = 0; misses = 0 } in
+  let children =
+    List.fold_left (fun acc m -> add acc (Ttbl.stats m.children_tbl)) zero memos
+  in
+  let equiv =
+    List.fold_left (fun acc m -> add acc (Ptbl.stats m.equiv_tbl)) zero memos
+  in
+  let rels =
+    List.fold_left
+      (fun acc m ->
+        Array.fold_left (fun acc tbl -> add acc (Ttbl.stats tbl)) acc m.rel_tbls)
+      zero memos
+  in
+  {
+    children;
+    equiv;
+    rels;
+    plans = Stbl.stats t.plans;
+    results = Stbl.stats t.results;
+  }
+
+let total_hits t =
+  let s = stats t in
+  s.children.hits + s.equiv.hits + s.rels.hits + s.plans.hits + s.results.hits

@@ -1,0 +1,99 @@
+(** The cross-worker, read-mostly memo layer.
+
+    A {!Pool} gives every worker domain its own {!Engine.t} (engines
+    are not thread-safe), which in PR 1 meant every worker re-asked the
+    expensive cross-request questions from cold: each domain paid its
+    own Rado level-3 expansion, its own E17 representative-set
+    evaluation, its own sentence parses.  This module is the shared
+    second level those private engines consult between their own memo
+    tables and the raw oracles, so worker N's first request warms
+    worker M's second.
+
+    It holds exactly the results that are expensive and deterministic:
+
+    - characteristic-tree [children] answers (the T_B oracle), keyed by
+      [(instance, tuple)];
+    - [≅_B] answers (the equiv oracle), keyed by [(instance, u, v)];
+    - raw relation membership answers, keyed by
+      [(instance, relation, tuple)];
+    - compiled plans — parsed sentences, queries and QL programs —
+      keyed by the source text;
+    - whole request results (E17 representative sets and members,
+      sentence truth, tree levels, program outputs), keyed by the
+      request's canonical payload JSON [(instance, sentence, rank,
+      cutoff, ...)].
+
+    {b Locking.}  Every table is lock-striped, each stripe under a
+    read-preferring rw-lock; lookups on a warm table are pure reads.
+    No lock is ever held across a [compute] closure, so one slow
+    oracle question cannot stall unrelated lookups.  Two workers
+    racing on the same cold key may both compute; the first insertion
+    wins and both return it.
+
+    {b Cost-model correctness (Def. 3.9).}  A memo hit is not an
+    oracle question — exactly the E23/E24 argument, lifted across
+    workers.  The compute closures are supplied per call by the
+    {e asking} worker and close over that worker's own instrumented
+    instance (and, in guarded engines, that worker's budget tick), so
+    every genuine question is still counted exactly once, on the
+    worker that asked it, and a budget check still fires before the
+    question it would abort.  Summed over workers, genuine questions
+    never exceed — and after warm-up fall far below — what sequential
+    evaluation asks.  A compute that raises (budget trip, deadline,
+    injected fault) stores nothing, so only completed, deterministic
+    answers are ever shared. *)
+
+type t
+
+val create : unit -> t
+
+(** Per-instance handle: obtained once when a worker builds its entry
+    for a named instance, then consulted on the oracle hot paths. *)
+type instance_memo
+
+val instance : t -> name:string -> nrels:int -> instance_memo
+(** The shared tables for instance [name], created on first demand
+    ([nrels] sizes the per-relation table array). *)
+
+val children :
+  instance_memo -> Prelude.Tuple.t -> compute:(unit -> int list) -> int list
+
+val equiv :
+  instance_memo ->
+  Prelude.Tuple.t ->
+  Prelude.Tuple.t ->
+  compute:(unit -> bool) ->
+  bool
+
+val rel : instance_memo -> int -> Prelude.Tuple.t -> compute:(unit -> bool) -> bool
+(** [rel m i u ~compute] — membership of [u] in relation [i]. *)
+
+(** A compiled plan: the parse result for a sentence, query or QL
+    program ([Error msg] memoizes a deterministic parse failure). *)
+type plan =
+  | Sentence_plan of (Rlogic.Ast.formula, string) result
+  | Query_plan of (Rlogic.Ast.query, string) result
+  | Program_plan of (Ql.Ql_ast.program, string) result
+
+val plan : t -> key:string -> compute:(unit -> plan) -> plan
+
+type result_value = (Request.outcome, Request.error) Stdlib.result
+
+val result : t -> key:string -> compute:(unit -> result_value) -> result_value
+(** Whole-request result memo.  Callers must only route payloads whose
+    evaluation is a deterministic function of the key through here —
+    {!Engine} does, and lets budget/deadline/fault aborts raise through
+    [compute] so nondeterministic outcomes are never stored. *)
+
+type table_stats = { hits : int; misses : int }
+
+type stats = {
+  children : table_stats;
+  equiv : table_stats;
+  rels : table_stats;
+  plans : table_stats;
+  results : table_stats;
+}
+
+val stats : t -> stats
+val total_hits : t -> int

@@ -68,4 +68,38 @@ let pp ppf u =
 
 let to_string u = Format.asprintf "%a" pp u
 
-let hash (u : t) = Hashtbl.hash u
+(* FNV-1a over the components (plus the rank, so prefixes of a tuple
+   hash apart from it).  Specialized to int arrays: no polymorphic
+   traversal, no allocation — cache lookups hash the same tuples over
+   and over, and this is the inner loop of every memo table. *)
+let fnv_prime = 0x100000001b3
+let fnv_basis = 0x3bf29ce484222325 (* FNV offset basis, truncated to 63-bit *)
+
+let hash (u : t) =
+  let h = ref fnv_basis in
+  for i = 0 to Array.length u - 1 do
+    h := (!h lxor u.(i)) * fnv_prime
+  done;
+  (!h lxor Array.length u) land max_int
+
+let hash_pair (u : t) (v : t) =
+  (* Asymmetric combine: hash_pair u v <> hash_pair v u in general, as
+     required for keys of non-symmetric binary memo tables. *)
+  ((hash u * fnv_prime) lxor hash v) land max_int
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+module Hashed = struct
+  type tuple = t
+  type t = { tuple : tuple; hash : int }
+
+  let make tuple = { tuple; hash = hash tuple }
+  let tuple h = h.tuple
+  let equal a b = a.hash = b.hash && equal a.tuple b.tuple
+  let hash h = h.hash
+end

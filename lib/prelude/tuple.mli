@@ -56,4 +56,28 @@ val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
 val hash : t -> int
-(** A hash compatible with {!equal}. *)
+(** A hash compatible with {!equal} — a specialized FNV-1a over the
+    components (no polymorphic traversal), non-negative, folding in the
+    rank so a tuple hashes apart from its prefixes. *)
+
+val hash_pair : t -> t -> int
+(** A hash for the ordered pair [(u, v)], compatible with
+    componentwise {!equal}; asymmetric, for keys of binary memo tables
+    (e.g. ≅_B answer caches). *)
+
+module Tbl : Hashtbl.S with type key = t
+(** Hashtables keyed by tuples under {!equal}/{!hash} — the key type of
+    every oracle memo table. *)
+
+(** A tuple bundled with its memoized hash: computing the hash once at
+    key-creation time instead of on every probe/resize of a hashtable.
+    Used for hot cache keys (striped LRU stripes, shared memo tables). *)
+module Hashed : sig
+  type tuple = t
+  type t
+
+  val make : tuple -> t
+  val tuple : t -> tuple
+  val equal : t -> t -> bool
+  val hash : t -> int
+end

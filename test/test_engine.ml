@@ -77,6 +77,173 @@ let test_cache_eviction () =
   Oracle_cache.clear c;
   check Alcotest.int "clear empties" 0 (Oracle_cache.length c)
 
+let test_cache_narrow_miss () =
+  (* Regression for the wide critical section: the miss path used to
+     hold the cache mutex across the oracle call, so one slow question
+     stalled every concurrent lookup.  Here a miss blocks inside the
+     oracle while another domain does a hit on the same (single) stripe
+     — the hit must answer while the miss is still in flight.  If the
+     lock were ever re-widened this test deadlocks rather than fails,
+     which CI reports just as loudly. *)
+  let entered = Atomic.make false in
+  let release = Atomic.make false in
+  let rel =
+    Rdb.Relation.make ~arity:1 (fun u ->
+        if u.(0) = 99 then begin
+          Atomic.set entered true;
+          while not (Atomic.get release) do
+            Domain.cpu_relax ()
+          done
+        end;
+        u.(0) mod 2 = 0)
+  in
+  let c = Oracle_cache.wrap ~capacity:16 rel in
+  check Alcotest.int "single stripe below 1024" 1 (Oracle_cache.stripe_count c);
+  let cached = Oracle_cache.relation c in
+  Alcotest.(check bool) "warm the hit key" true (Rdb.Relation.mem cached (t [ 4 ]));
+  let blocked = Domain.spawn (fun () -> Rdb.Relation.mem cached (t [ 99 ])) in
+  while not (Atomic.get entered) do
+    Domain.cpu_relax ()
+  done;
+  (* The miss is now blocked inside its oracle question. *)
+  Alcotest.(check bool)
+    "hit answers while the miss is blocked" true
+    (Rdb.Relation.mem cached (t [ 4 ]));
+  Alcotest.(check bool)
+    "the miss really was still in flight" false (Atomic.get release);
+  Atomic.set release true;
+  Alcotest.(check bool) "blocked miss eventually answers" false
+    (Domain.join blocked);
+  let s = Oracle_cache.stats c in
+  check Alcotest.int "one hit" 1 s.hits;
+  check Alcotest.int "two misses" 2 s.misses
+
+(* ------------------------------------------------------------------ *)
+(* LRU properties (QCheck)                                             *)
+
+(* A reference LRU: distinct keys, most recent first. *)
+let model_probe recent k =
+  k :: List.filter (fun k' -> k' <> k) recent
+
+let take n xs =
+  let rec go n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: xs -> x :: go (n - 1) xs
+  in
+  go n xs
+
+let qcheck_lru_true_recency =
+  let open QCheck2 in
+  QCheck_alcotest.to_alcotest
+    (Test.make ~count:200 ~name:"eviction order is true recency"
+       Gen.(list_size (int_range 0 60) (int_range 0 25))
+       (fun probes ->
+         let cap = 8 in
+         let c =
+           Oracle_cache.wrap ~capacity:cap
+             (Rdb.Relation.make ~arity:1 (fun u -> u.(0) mod 3 = 0))
+         in
+         let rel = Oracle_cache.relation c in
+         List.iter (fun k -> ignore (Rdb.Relation.mem rel (t [ k ]))) probes;
+         let recent = List.fold_left model_probe [] probes in
+         let expected_in = take cap recent in
+         let expected_out =
+           List.filteri (fun i _ -> i >= cap) recent
+         in
+         Oracle_cache.length c = List.length expected_in
+         && begin
+              (* survivors all hit (hits don't change membership) ... *)
+              Oracle_cache.reset_stats c;
+              List.iter
+                (fun k -> ignore (Rdb.Relation.mem rel (t [ k ])))
+                expected_in;
+              let s = Oracle_cache.stats c in
+              s.hits = List.length expected_in && s.misses = 0
+            end
+         && begin
+              (* ... and every evicted key misses (each probed once;
+                 re-inserting one can only evict survivors, never
+                 resurrect another evicted key) *)
+              Oracle_cache.reset_stats c;
+              List.iter
+                (fun k -> ignore (Rdb.Relation.mem rel (t [ k ])))
+                expected_out;
+              (Oracle_cache.stats c).misses = List.length expected_out
+            end))
+
+let qcheck_lru_capacity_and_stats =
+  let open QCheck2 in
+  QCheck_alcotest.to_alcotest
+    (Test.make ~count:200
+       ~name:"capacity never exceeded; hits + misses = lookups; misses = \
+              genuine questions (any striping)"
+       Gen.(
+         triple (int_range 1 12) (int_range 1 4)
+           (list_size (int_range 0 80) (int_range 0 40)))
+       (fun (capacity, stripes, probes) ->
+         let c =
+           Oracle_cache.wrap ~capacity ~stripes
+             (Rdb.Relation.make ~arity:1 (fun u -> u.(0) mod 2 = 0))
+         in
+         let rel = Oracle_cache.relation c in
+         List.iter (fun k -> ignore (Rdb.Relation.mem rel (t [ k ]))) probes;
+         let s = Oracle_cache.stats c in
+         Oracle_cache.length c <= capacity
+         && s.hits + s.misses = List.length probes
+         && s.misses = Rdb.Relation.calls (Oracle_cache.underlying c)))
+
+let qcheck_lru_clear_reasks_once =
+  let open QCheck2 in
+  QCheck_alcotest.to_alcotest
+    (Test.make ~count:100
+       ~name:"clear forgets everything; each tuple re-asked exactly once"
+       Gen.(list_size (int_range 1 30) (int_range 0 100))
+       (fun keys ->
+         let keys = List.sort_uniq compare keys in
+         let n = List.length keys in
+         let c =
+           Oracle_cache.wrap ~capacity:64
+             (Rdb.Relation.make ~arity:1 (fun u -> u.(0) mod 5 = 0))
+         in
+         let rel = Oracle_cache.relation c in
+         List.iter (fun k -> ignore (Rdb.Relation.mem rel (t [ k ]))) keys;
+         Oracle_cache.clear c;
+         Oracle_cache.reset_stats c;
+         (* first pass after clear: one genuine question per tuple *)
+         List.iter (fun k -> ignore (Rdb.Relation.mem rel (t [ k ]))) keys;
+         (* second pass: all hits, no further questions *)
+         List.iter (fun k -> ignore (Rdb.Relation.mem rel (t [ k ]))) keys;
+         let s = Oracle_cache.stats c in
+         s.misses = n && s.hits = n
+         && Rdb.Relation.calls (Oracle_cache.underlying c) = 2 * n))
+
+let test_cache_concurrent_stats () =
+  (* Under concurrent lookups every probe is classified exactly once:
+     hits + misses = total lookups, and misses = genuine questions. *)
+  let c =
+    Oracle_cache.wrap ~capacity:64 ~stripes:4
+      (Rdb.Relation.make ~arity:1 (fun u -> u.(0) mod 2 = 0))
+  in
+  let rel = Oracle_cache.relation c in
+  let per_domain = 300 in
+  let worker seed () =
+    let rng = Random.State.make [| seed |] in
+    for _ = 1 to per_domain do
+      ignore (Rdb.Relation.mem rel (t [ Random.State.int rng 50 ]))
+    done
+  in
+  let ds = List.map (fun seed -> Domain.spawn (worker seed)) [ 1; 2; 3; 4 ] in
+  List.iter Domain.join ds;
+  let s = Oracle_cache.stats c in
+  check Alcotest.int "hits + misses = lookups" (4 * per_domain)
+    (s.hits + s.misses);
+  check Alcotest.int "misses = genuine questions" s.misses
+    (Rdb.Relation.calls (Oracle_cache.underlying c));
+  Alcotest.(check bool)
+    "capacity respected" true
+    (Oracle_cache.length c <= Oracle_cache.capacity c)
+
 (* ------------------------------------------------------------------ *)
 (* Json                                                                *)
 
@@ -232,6 +399,78 @@ let test_pool_matches_sequential () =
     "byte-identical to sequential" (fingerprint sequential)
     (fingerprint parallel)
 
+let test_pool_many_small_batches () =
+  (* The wakeup discipline (one signal per chunk, pending counter
+     re-checked under the enqueuer's lock) must not lose a single
+     wakeup: a lost one deadlocks this loop of tiny batches, which is
+     exactly the shape that used to broadcast-storm.  Batches are also
+     submitted from concurrent client domains. *)
+  let pool = Pool.create ~domains:3 () in
+  let reference = Engine.create () in
+  for i = 1 to 40 do
+    let batch = mixed_batch (1 + (i mod 4)) in
+    let rs = Pool.run_batch pool batch in
+    check Alcotest.int "one response per request" (List.length batch)
+      (List.length rs)
+  done;
+  let submit n =
+    Domain.spawn (fun () ->
+        let batch = mixed_batch n in
+        (batch, Pool.run_batch pool batch))
+  in
+  let ds = List.map submit [ 5; 9; 13 ] in
+  List.iter
+    (fun d ->
+      let batch, rs = Domain.join d in
+      Alcotest.(check string)
+        "concurrent batch byte-identical to sequential"
+        (fingerprint (Engine.handle_all reference batch))
+        (fingerprint rs))
+    ds;
+  check Alcotest.int "no worker deaths" 0 (Pool.worker_deaths pool);
+  Pool.shutdown pool
+
+let test_pool_shared_memo_accounting () =
+  (* Def. 3.9 across workers: with the shared memo layer on, the whole
+     pool never asks more genuine questions than one sequential engine
+     serving the same cold batch — sharing dedups, it never inflates —
+     and the answers are still byte-identical. *)
+  let batch = mixed_batch 60 in
+  let sequential_engine = Engine.create () in
+  let sequential = Engine.handle_all sequential_engine batch in
+  let seq_questions = Engine.question_count sequential_engine in
+  let pool = Pool.create ~domains:2 () in
+  let parallel = Pool.run_batch pool batch in
+  let pool_questions = Pool.oracle_questions pool in
+  let shared = Pool.shared_stats pool in
+  Pool.shutdown pool;
+  Alcotest.(check string)
+    "byte-identical to sequential" (fingerprint sequential)
+    (fingerprint parallel);
+  Alcotest.(check bool)
+    (Printf.sprintf "pool questions (%d) <= sequential questions (%d)"
+       pool_questions seq_questions)
+    true
+    (pool_questions <= seq_questions);
+  (match shared with
+  | None -> Alcotest.fail "sharing should be on by default"
+  | Some s ->
+      Alcotest.(check bool)
+        "the duplicate-heavy batch hits the shared layer" true
+        (s.Shared_memo.results.Shared_memo.hits > 0
+        || s.Shared_memo.children.Shared_memo.hits > 0
+        || s.Shared_memo.rels.Shared_memo.hits > 0));
+  (* An unshared pool still serves identically — sharing is a pure
+     optimization. *)
+  let pool' = Pool.create ~domains:2 ~share:false () in
+  let parallel' = Pool.run_batch pool' batch in
+  Alcotest.(check bool) "unshared pool has no stats" true
+    (Pool.shared_stats pool' = None);
+  Pool.shutdown pool';
+  Alcotest.(check string)
+    "unshared pool byte-identical too" (fingerprint sequential)
+    (fingerprint parallel')
+
 let test_pool_shutdown () =
   let pool = Pool.create ~domains:2 () in
   ignore (Pool.run_batch pool (mixed_batch 6));
@@ -305,6 +544,13 @@ let () =
             test_cache_hit_is_not_a_question;
           Alcotest.test_case "eviction respects capacity" `Quick
             test_cache_eviction;
+          Alcotest.test_case "a blocked miss never stalls a concurrent hit"
+            `Quick test_cache_narrow_miss;
+          Alcotest.test_case "stats exact under concurrent lookups" `Quick
+            test_cache_concurrent_stats;
+          qcheck_lru_true_recency;
+          qcheck_lru_capacity_and_stats;
+          qcheck_lru_clear_reasks_once;
         ] );
       ( "json",
         [
@@ -325,6 +571,10 @@ let () =
         [
           Alcotest.test_case "4-domain batch equals sequential" `Quick
             test_pool_matches_sequential;
+          Alcotest.test_case "many small batches lose no wakeups" `Quick
+            test_pool_many_small_batches;
+          Alcotest.test_case "shared memo: fewer questions, same bytes"
+            `Quick test_pool_shared_memo_accounting;
           Alcotest.test_case "graceful, idempotent shutdown" `Quick
             test_pool_shutdown;
         ] );

@@ -168,7 +168,22 @@ let test_chaos_seeds () =
     in
     let pool = Pool.create ~domains:3 ~engine_config:config () in
     let responses = Pool.run_batch pool chaos_batch in
-    Pool.shutdown pool;
+    (* No lost wakeups: a storm of tiny follow-up batches — one signal
+       each under the chunked dispatch — must all complete (a lost
+       signal hangs right here), and shutdown must then reap every
+       worker cleanly. *)
+    for k = 1 to 5 do
+      let tiny = [ List.nth chaos_batch (k mod List.length chaos_batch) ] in
+      check Alcotest.int
+        (Printf.sprintf "seed %d: tiny batch %d served" seed k)
+        1
+        (List.length (Pool.run_batch pool tiny))
+    done;
+    (match Pool.shutdown_result ~timeout_s:30.0 pool with
+    | `Clean -> ()
+    | `Timed_out n ->
+        Alcotest.failf "seed %d: %d workers stuck at shutdown (lost wakeup?)"
+          seed n);
     check Alcotest.int
       (Printf.sprintf "seed %d: one response per request" seed)
       (List.length chaos_batch) (List.length responses);
