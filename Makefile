@@ -1,4 +1,4 @@
-.PHONY: all build test bench resilience-smoke parallel-smoke check clean
+.PHONY: all build test bench resilience-smoke parallel-smoke server-smoke check clean
 
 all: build
 
@@ -24,7 +24,13 @@ resilience-smoke:
 parallel-smoke:
 	dune exec bin/recdb.exe -- bench-parallel --requests 120
 
-check: build test bench resilience-smoke parallel-smoke
+# The E27 smoke: serve a few hundred requests over a loopback socket
+# (ephemeral port) with the load generator — exits 1 unless everything
+# sent is answered with zero errors, zero sheds and a clean drain.
+server-smoke:
+	dune exec bin/recdb.exe -- server-smoke
+
+check: build test bench resilience-smoke parallel-smoke server-smoke
 
 clean:
 	dune clean

@@ -279,23 +279,35 @@ let cmd_normalize =
 (* ------------------------------------------------------------------ *)
 (* The serving engine                                                  *)
 
-let read_lines path =
-  let ic =
-    if path = "-" then stdin
-    else
-      try open_in path
-      with Sys_error msg ->
-        Format.eprintf "cannot read %s: %s@." path msg;
-        exit 1
-  in
-  let rec go acc =
-    match input_line ic with
-    | line -> go (line :: acc)
-    | exception End_of_file ->
-        if path <> "-" then close_in ic;
-        List.rev acc
-  in
-  go []
+let open_requests path =
+  if path = "-" then stdin
+  else
+    try open_in path
+    with Sys_error msg ->
+      Format.eprintf "cannot read %s: %s@." path msg;
+      exit 1
+
+(* The file/socket-shared latency summary: the engine's own histogram,
+   read with the same Metrics.quantile the load generator uses, so
+   serve-batch and loadgen print comparable numbers. *)
+let latency_summary ~served ~errors =
+  let h = Metrics.histogram "engine.latency" in
+  if Metrics.histogram_count h = 0 then
+    Format.eprintf "served %d request%s (%d error%s)@." served
+      (if served = 1 then "" else "s")
+      errors
+      (if errors = 1 then "" else "s")
+  else
+    Format.eprintf
+      "served %d request%s (%d error%s); latency p50 %.3gms p95 %.3gms p99 \
+       %.3gms@."
+      served
+      (if served = 1 then "" else "s")
+      errors
+      (if errors = 1 then "" else "s")
+      (1e3 *. Metrics.quantile h 0.50)
+      (1e3 *. Metrics.quantile h 0.95)
+      (1e3 *. Metrics.quantile h 0.99)
 
 (* Resilience flags shared by serve-batch: None everywhere means "no
    guard installed" (the pre-resilience hot path, byte for byte). *)
@@ -381,60 +393,75 @@ let cmd_serve_batch =
       Format.eprintf "jobs must be >= 1@.";
       exit 1
     end;
-    let lines = read_lines file in
-    (* Decode every line first; a bad line becomes an error response
-       with the line number as its id, so output stays 1:1 with input. *)
-    let decoded =
-      List.mapi
-        (fun i line ->
-          if String.trim line = "" then None
-          else
-            Some
-              (match Request.of_line ~default_id:(i + 1) line with
-              | Ok req -> Either.Right req
-              | Error err ->
-                  (* typed per-line error; the batch continues *)
-                  Either.Left
-                    {
-                      Request.id = i + 1;
-                      result = Error err;
-                      stats = Request.zero_stats;
-                    }))
-        lines
-      |> List.filter_map Fun.id
-    in
-    let requests =
-      List.filter_map
-        (function Either.Right r -> Some r | Either.Left _ -> None)
-        decoded
-    in
+    let ic = open_requests file in
     let config = engine_config_of_flags ~deadline_ms ~max_oracle_calls ~inject in
-    let responses =
-      if jobs = 1 then Engine.handle_all (Engine.create ?config ()) requests
+    (* One engine (or pool) for the whole run, created up front so
+       caches stay warm across chunks exactly as they did across one
+       big batch. *)
+    let serve, finish =
+      if jobs = 1 then begin
+        let engine = Engine.create ?config () in
+        (Engine.handle_all engine, fun () -> ())
+      end
       else begin
         let pool = Pool.create ~domains:jobs ?engine_config:config () in
-        let rs = Pool.run_batch pool requests in
-        Pool.shutdown pool;
-        rs
+        (Pool.run_batch pool, fun () -> Pool.shutdown pool)
       end
     in
-    (* Re-interleave served responses with decode failures, in input
-       order. *)
-    let rec emit decoded responses =
-      match (decoded, responses) with
-      | [], [] -> ()
-      | Either.Left bad :: rest, responses ->
-          print_endline
-            (Json.to_string
-               (Request.response_to_json ~stats:(not no_stats) bad));
-          emit rest responses
-      | Either.Right _ :: rest, r :: responses ->
-          print_endline
-            (Json.to_string (Request.response_to_json ~stats:(not no_stats) r));
-          emit rest responses
-      | _ -> assert false
+    let served = ref 0 in
+    let errors = ref 0 in
+    let print_response r =
+      incr served;
+      if Result.is_error r.Request.result then incr errors;
+      print_endline
+        (Json.to_string (Request.response_to_json ~stats:(not no_stats) r))
     in
-    emit decoded responses;
+    (* Stream the input instead of materializing it: decode up to
+       [chunk_size] requests (Request.decode_line — the same per-line
+       step the socket path runs), serve them, print in input order,
+       repeat.  Memory is O(chunk), so request files larger than RAM
+       serve fine; -j 1 streams strictly line by line. *)
+    let chunk_size = if jobs = 1 then 1 else 256 in
+    let rec fill acc n line_no =
+      if n >= chunk_size then (List.rev acc, line_no, false)
+      else
+        match input_line ic with
+        | line -> (
+            let line_no = line_no + 1 in
+            match Request.decode_line ~default_id:line_no line with
+            | `Empty -> fill acc n line_no
+            | `Error resp -> fill (Either.Left resp :: acc) (n + 1) line_no
+            | `Request req -> fill (Either.Right req :: acc) (n + 1) line_no)
+        | exception End_of_file -> (List.rev acc, line_no, true)
+    in
+    let rec stream line_no =
+      let decoded, line_no, eof = fill [] 0 line_no in
+      let requests =
+        List.filter_map
+          (function Either.Right r -> Some r | Either.Left _ -> None)
+          decoded
+      in
+      let responses = serve requests in
+      (* Re-interleave served responses with decode failures, in input
+         order. *)
+      let rec emit decoded responses =
+        match (decoded, responses) with
+        | [], [] -> ()
+        | Either.Left bad :: rest, responses ->
+            print_response bad;
+            emit rest responses
+        | Either.Right _ :: rest, r :: responses ->
+            print_response r;
+            emit rest responses
+        | _ -> assert false
+      in
+      emit decoded responses;
+      if not eof then stream line_no
+    in
+    stream 0;
+    finish ();
+    if file <> "-" then close_in ic;
+    latency_summary ~served:!served ~errors:!errors;
     if metrics then prerr_string (Metrics.dump_text ())
   in
   Cmd.v
@@ -442,6 +469,278 @@ let cmd_serve_batch =
     Term.(
       const run $ file $ jobs $ metrics $ no_stats $ deadline_ms
       $ max_oracle_calls $ inject)
+
+(* ------------------------------------------------------------------ *)
+(* The TCP front-end                                                   *)
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind or dial.")
+
+let window_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "window" ] ~docv:"N"
+        ~doc:
+          "Admission window: global in-flight bound; requests arriving \
+           beyond it are shed with a typed overloaded error instead of \
+           queueing unboundedly.")
+
+let per_conn_window_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "per-conn-window" ] ~docv:"N"
+        ~doc:
+          "Per-connection bound on responses owed; past it the server \
+           stops reading that socket and lets TCP push back.")
+
+let cmd_serve =
+  let doc =
+    "Serve the JSON-lines request ABI over TCP: one request per line in, \
+     one response per line out, correlated by id (responses may return \
+     out of order per connection).  Same semantics as serve-batch — plus \
+     admission control (typed overloaded sheds), per-connection \
+     backpressure, and graceful drain on SIGINT/SIGTERM."
+  in
+  let port =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"TCP port; 0 picks an ephemeral port (printed to stderr).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (default: cores - 1, at least 1).")
+  in
+  let max_line =
+    Arg.(
+      value
+      & opt int Frame.default_max_line
+      & info [ "max-line" ] ~docv:"BYTES"
+          ~doc:
+            "Frame bound; longer lines are discarded and answered with a \
+             typed parse error.")
+  in
+  let no_stats =
+    Arg.(
+      value & flag
+      & info [ "no-stats" ]
+          ~doc:"Omit per-request stats (the deterministic part only).")
+  in
+  let drain_timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "drain-timeout" ] ~docv:"S"
+          ~doc:
+            "Seconds to wait for in-flight requests on shutdown before \
+             aborting the stragglers.")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request deadline.")
+  in
+  let max_oracle_calls =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-oracle-calls" ] ~docv:"N"
+          ~doc:"Per-request oracle-question budget.")
+  in
+  let inject =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "inject" ] ~docv:"SEED"
+          ~doc:"Seeded transient oracle-outage injection.")
+  in
+  let run host port jobs window per_conn_window max_line no_stats
+      drain_timeout deadline_ms max_oracle_calls inject =
+    if window < 1 || per_conn_window < 1 || max_line < 1 then begin
+      Format.eprintf "window, per-conn-window and max-line must be >= 1@.";
+      exit 1
+    end;
+    let config = engine_config_of_flags ~deadline_ms ~max_oracle_calls ~inject in
+    let server =
+      Server.start ~host ~port ?domains:jobs ~window ~per_conn_window
+        ~max_line ~stats:(not no_stats) ?engine_config:config ()
+    in
+    Format.eprintf
+      "recdb: listening on %s:%d (admission window %d, per-connection \
+       window %d, %d worker domain%s)@."
+      host (Server.port server) window per_conn_window
+      (Pool.size (Server.pool server))
+      (if Pool.size (Server.pool server) = 1 then "" else "s");
+    let stop = Atomic.make false in
+    let on_signal _ = Atomic.set stop true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    while not (Atomic.get stop) do
+      Unix.sleepf 0.05
+    done;
+    let adm = Server.admission server in
+    Format.eprintf "recdb: draining (%d in flight)...@."
+      (Admission.inflight adm);
+    let outcome = Server.drain ~timeout_s:drain_timeout server in
+    Format.eprintf
+      "recdb: served %d connection(s), admitted %d request(s), shed %d@."
+      (Server.connections server)
+      (Admission.admitted adm) (Admission.shed adm);
+    match outcome with
+    | `Clean -> Format.eprintf "recdb: drained clean@."
+    | `Forced n ->
+        Format.eprintf "recdb: drain timed out; %d connection(s) aborted@." n;
+        exit 1
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ host_arg $ port $ jobs $ window_arg $ per_conn_window_arg
+      $ max_line $ no_stats $ drain_timeout $ deadline_ms $ max_oracle_calls
+      $ inject)
+
+let cmd_loadgen =
+  let doc =
+    "Drive a running recdb server with concurrent connections and report \
+     throughput and p50/p95/p99 latency.  Closed loop by default (each \
+     connection keeps --pipeline requests outstanding); --rate switches \
+     to open loop at a fixed per-connection send rate."
+  in
+  let port =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let connections =
+    Arg.(
+      value & opt int 4
+      & info [ "c"; "connections" ] ~docv:"N" ~doc:"Concurrent connections.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 400
+      & info [ "n"; "requests" ] ~docv:"N" ~doc:"Total requests to send.")
+  in
+  let pipeline =
+    Arg.(
+      value & opt int 1
+      & info [ "pipeline" ] ~docv:"K"
+          ~doc:"Closed-loop window per connection.")
+  in
+  let rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:"Open loop: requests/second per connection.")
+  in
+  let run host port connections requests pipeline rate =
+    let report =
+      Loadgen.run ~host ~port ~connections ~requests ~pipeline ?rate ()
+    in
+    Format.printf "%a@." Loadgen.pp_report report;
+    if report.Loadgen.lost > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "loadgen" ~doc)
+    Term.(const run $ host_arg $ port $ connections $ requests $ pipeline $ rate)
+
+let cmd_bench_server =
+  let doc =
+    "Benchmark the TCP front-end (E27): byte-identity of socket-served \
+     vs. batch-served responses, loopback throughput and latency \
+     quantiles per connection count, and the shed rate at 2x the \
+     admission window (typed overloaded errors; the in-flight high-water \
+     mark never exceeds the window; a shed asks zero oracle questions).  \
+     Exits 1 on any violation."
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Also write results as JSON.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 400
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per measurement.")
+  in
+  let conns =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8 ]
+      & info [ "connections" ] ~docv:"N,..."
+          ~doc:"Connection counts for the throughput rows.")
+  in
+  let run out requests conns_list =
+    let result = Net_bench.run ?out ~requests ~conns_list () in
+    match Net_bench.violations result with
+    | [] -> Format.printf "server bench: OK@."
+    | vs ->
+        List.iter (Format.eprintf "violation: %s@.") vs;
+        exit 1
+  in
+  Cmd.v (Cmd.info "bench-server" ~doc)
+    Term.(const run $ out $ requests $ conns)
+
+let cmd_server_smoke =
+  let doc =
+    "CI smoke: start a server on an ephemeral loopback port, run the load \
+     generator against it, and verify every request is answered with zero \
+     errors, zero sheds, and a clean drain.  Exits 1 otherwise."
+  in
+  let requests =
+    Arg.(
+      value & opt int 300
+      & info [ "requests" ] ~docv:"N" ~doc:"Total requests.")
+  in
+  let connections =
+    Arg.(
+      value & opt int 4
+      & info [ "c"; "connections" ] ~docv:"N" ~doc:"Concurrent connections.")
+  in
+  let run requests connections =
+    let server = Server.start ~window:256 ~per_conn_window:64 () in
+    let report =
+      Loadgen.run ~port:(Server.port server) ~connections ~requests
+        ~pipeline:4 ()
+    in
+    let outcome = Server.drain ~timeout_s:30.0 server in
+    Format.printf "server-smoke: %a@." Loadgen.pp_report report;
+    let failures =
+      (if report.Loadgen.answered <> report.Loadgen.sent then
+         [
+           Printf.sprintf "%d answered of %d sent" report.Loadgen.answered
+             report.Loadgen.sent;
+         ]
+       else [])
+      @ (if report.Loadgen.errors > 0 then
+           [ Printf.sprintf "%d error responses" report.Loadgen.errors ]
+         else [])
+      @ (if report.Loadgen.shed > 0 then
+           [ Printf.sprintf "%d sheds under nominal load" report.Loadgen.shed ]
+         else [])
+      @ (if report.Loadgen.lost > 0 then
+           [ Printf.sprintf "%d requests lost" report.Loadgen.lost ]
+         else [])
+      @
+      match outcome with
+      | `Clean -> []
+      | `Forced n -> [ Printf.sprintf "drain aborted %d connection(s)" n ]
+    in
+    match failures with
+    | [] -> Format.printf "server-smoke: clean shutdown, zero errors@."
+    | fs ->
+        List.iter (Format.eprintf "server-smoke failure: %s@.") fs;
+        exit 1
+  in
+  Cmd.v (Cmd.info "server-smoke" ~doc) Term.(const run $ requests $ connections)
 
 let cmd_crash_test =
   let doc =
@@ -680,8 +979,12 @@ let () =
             cmd_qlhs;
             cmd_normalize;
             cmd_serve_batch;
+            cmd_serve;
+            cmd_loadgen;
             cmd_bench_engine;
             cmd_bench_parallel;
+            cmd_bench_server;
+            cmd_server_smoke;
             cmd_crash_test;
             cmd_bench_resilience;
           ]))

@@ -29,6 +29,9 @@ type batch = {
   mutable remaining : int;
   b_lock : Mutex.t;
   b_done : Condition.t;
+  on_done : (Request.response option array -> unit) option;
+      (* async completion (Pool.submit): runs on the delivering worker,
+         after the batch lock is released *)
 }
 
 type job = { request : Request.t; index : int; owner : batch }
@@ -73,12 +76,23 @@ type t = {
 
 let deliver owner index response =
   Mutex.lock owner.b_lock;
-  if owner.results.(index) = None then begin
-    owner.results.(index) <- Some response;
-    owner.remaining <- owner.remaining - 1;
-    if owner.remaining = 0 then Condition.broadcast owner.b_done
-  end;
-  Mutex.unlock owner.b_lock
+  let completed =
+    if owner.results.(index) = None then begin
+      owner.results.(index) <- Some response;
+      owner.remaining <- owner.remaining - 1;
+      if owner.remaining = 0 then begin
+        Condition.broadcast owner.b_done;
+        true
+      end
+      else false
+    end
+    else false
+  in
+  Mutex.unlock owner.b_lock;
+  if completed then
+    match owner.on_done with
+    | Some f -> f owner.results
+    | None -> ()
 
 let crash_response (request : Request.t) msg =
   {
@@ -311,6 +325,42 @@ let create ?domains ?cache_capacity ?engine_config ?crash_on
 let size pool = pool.n
 let worker_deaths pool = Atomic.get pool.deaths
 
+(* Near-equal contiguous chunks, at most one per worker, placed
+   round-robin; stealing rebalances whatever this static split gets
+   wrong.  Raises [Invalid_argument caller] on a stopped pool. *)
+let dispatch pool ~caller jobs =
+  let m = Array.length jobs in
+  let n_chunks = min pool.n m in
+  let chunks =
+    Array.init n_chunks (fun i ->
+        { jobs; next = i * m / n_chunks; limit = (i + 1) * m / n_chunks })
+  in
+  Mutex.lock pool.lock;
+  if pool.stopping then begin
+    Mutex.unlock pool.lock;
+    invalid_arg (caller ^ ": pool is shut down")
+  end;
+  (* Rotate the placement cursor so successive small batches spread
+     over different workers instead of always loading slot 0. *)
+  let start = pool.rr in
+  pool.rr <- (pool.rr + n_chunks) mod pool.n;
+  Array.iteri
+    (fun i chunk ->
+      let d = pool.slots.((start + i) mod pool.n).deque in
+      Mutex.lock d.d_lock;
+      Queue.add chunk d.chunks;
+      Mutex.unlock d.d_lock)
+    chunks;
+  ignore (Atomic.fetch_and_add pool.pending m);
+  (* One wakeup per chunk — an idle worker per unit of parallelism —
+     instead of a broadcast storm.  Signals that land while every
+     worker is busy are no-ops, which is fine: a busy worker rescans
+     the deques (own, then steal) before it ever sleeps. *)
+  for _ = 1 to n_chunks do
+    Condition.signal pool.nonempty
+  done;
+  Mutex.unlock pool.lock
+
 let run_batch pool requests =
   let reqs = Array.of_list requests in
   let m = Array.length reqs in
@@ -322,41 +372,11 @@ let run_batch pool requests =
         remaining = m;
         b_lock = Mutex.create ();
         b_done = Condition.create ();
+        on_done = None;
       }
     in
     let jobs = Array.mapi (fun index request -> { request; index; owner }) reqs in
-    (* Near-equal contiguous chunks, at most one per worker; stealing
-       rebalances whatever this static split gets wrong. *)
-    let n_chunks = min pool.n m in
-    let chunks =
-      Array.init n_chunks (fun i ->
-          { jobs; next = i * m / n_chunks; limit = (i + 1) * m / n_chunks })
-    in
-    Mutex.lock pool.lock;
-    if pool.stopping then begin
-      Mutex.unlock pool.lock;
-      invalid_arg "Pool.run_batch: pool is shut down"
-    end;
-    (* Rotate the placement cursor so successive small batches spread
-       over different workers instead of always loading slot 0. *)
-    let start = pool.rr in
-    pool.rr <- (pool.rr + n_chunks) mod pool.n;
-    Array.iteri
-      (fun i chunk ->
-        let d = pool.slots.((start + i) mod pool.n).deque in
-        Mutex.lock d.d_lock;
-        Queue.add chunk d.chunks;
-        Mutex.unlock d.d_lock)
-      chunks;
-    ignore (Atomic.fetch_and_add pool.pending m);
-    (* One wakeup per chunk — an idle worker per unit of parallelism —
-       instead of a broadcast storm.  Signals that land while every
-       worker is busy are no-ops, which is fine: a busy worker rescans
-       the deques (own, then steal) before it ever sleeps. *)
-    for _ = 1 to n_chunks do
-      Condition.signal pool.nonempty
-    done;
-    Mutex.unlock pool.lock;
+    dispatch pool ~caller:"Pool.run_batch" jobs;
     Mutex.lock owner.b_lock;
     while owner.remaining > 0 do
       Condition.wait owner.b_done owner.b_lock
@@ -369,6 +389,23 @@ let run_batch pool requests =
            | None -> assert false (* remaining = 0 implies all filled *))
          owner.results)
   end
+
+let submit pool request on_response =
+  let owner =
+    {
+      results = Array.make 1 None;
+      remaining = 1;
+      b_lock = Mutex.create ();
+      b_done = Condition.create ();
+      on_done =
+        Some
+          (fun results ->
+            match results.(0) with
+            | Some r -> on_response r
+            | None -> assert false (* on_done fires only when filled *));
+    }
+  in
+  dispatch pool ~caller:"Pool.submit" [| { request; index = 0; owner } |]
 
 let oracle_questions pool =
   Array.fold_left

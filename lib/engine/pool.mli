@@ -99,6 +99,19 @@ val run_batch : t -> Request.t list -> Request.response list
     response per request, whatever faults or crashes occur.  Raises
     [Invalid_argument] if the pool has been shut down. *)
 
+val submit : t -> Request.t -> (Request.response -> unit) -> unit
+(** [submit pool request k] enqueues one request and returns
+    immediately; [k] is called exactly once with the response, on the
+    worker domain that served it (or on the drain path after a fatal
+    worker death — either way, exactly once).  This is the socket
+    front-end's entry point ([lib/net]): one connection can keep many
+    requests in flight without one blocked {!run_batch} thread per
+    request.  [k] must be quick and must not raise — it runs inside the
+    worker's serving loop (the server's [k] pushes onto a per-connection
+    writer queue whose capacity the admission window already bounds, so
+    it never blocks).  Raises [Invalid_argument] if the pool has been
+    shut down. *)
+
 val oracle_questions : t -> int
 (** Total genuine oracle questions (Def. 3.9: raw Rᵢ + T_B + ≅_B)
     asked so far across all worker engines, dead ones included.  Exact

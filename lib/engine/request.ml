@@ -27,6 +27,7 @@ type error =
   | Deadline_exceeded of { deadline_s : float }
   | Oracle_unavailable of { oracle : string; attempts : int }
   | Worker_crash of string
+  | Overloaded of { limit : int }
 
 type stats = {
   oracle_calls : int;
@@ -173,6 +174,14 @@ let of_line ?default_id line =
   | Error e -> Error (Parse_error (Printf.sprintf "bad JSON: %s" e))
   | Ok j -> of_json ?default_id j
 
+let decode_line ~default_id line =
+  if String.trim line = "" then `Empty
+  else
+    match of_line ~default_id line with
+    | Ok req -> `Request req
+    | Error err ->
+        `Error { id = default_id; result = Error err; stats = zero_stats }
+
 (* ------------------------------------------------------------------ *)
 (* Encoding                                                            *)
 
@@ -257,6 +266,9 @@ let error_to_string = function
   | Oracle_unavailable { oracle; attempts } ->
       Printf.sprintf "oracle %s unavailable after %d attempts" oracle attempts
   | Worker_crash m -> Printf.sprintf "worker crashed: %s" m
+  | Overloaded { limit } ->
+      Printf.sprintf "server overloaded: admission window of %d in-flight \
+                      requests is full" limit
 
 let error_to_json e =
   let tag =
@@ -271,6 +283,7 @@ let error_to_json e =
     | Deadline_exceeded _ -> "deadline_exceeded"
     | Oracle_unavailable _ -> "oracle_unavailable"
     | Worker_crash _ -> "worker_crash"
+    | Overloaded _ -> "overloaded"
   in
   Json.Obj
     [ ("kind", Json.String tag); ("message", Json.String (error_to_string e)) ]

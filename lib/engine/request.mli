@@ -69,6 +69,12 @@ type error =
   | Worker_crash of string
       (** The {!Pool} worker serving this request died; the batch's
           other requests were unaffected. *)
+  | Overloaded of { limit : int }
+      (** Shed at the server's admission door: the global in-flight
+          window ([limit] requests) was full when this request arrived.
+          A shed request never reaches an engine, so it asks {e zero}
+          oracle questions — a typed, honest partial answer in the
+          spirit of Def. 2.4, not a silent queueing delay. *)
 
 type stats = {
   oracle_calls : int;  (** genuine questions to the Rᵢ oracles *)
@@ -118,6 +124,17 @@ val of_line : ?default_id:int -> string -> (t, error) Stdlib.result
 (** Parse + decode one JSON line.  Malformed JSON is [Parse_error];
     either way the caller gets a typed error it can turn into a
     per-line error response instead of aborting a batch. *)
+
+val decode_line :
+  default_id:int ->
+  string ->
+  [ `Empty | `Request of t | `Error of response ]
+(** The per-line serving step shared by [recdb serve-batch] and the
+    socket front-end ({!Conn} in [lib/net]): blank lines are skipped,
+    a decodable line becomes a request, and a malformed line becomes a
+    ready-made error {e response} (typed [Parse_error]/[Bad_request],
+    id = [default_id], zero stats) so one bad line never aborts a
+    batch or kills a connection. *)
 
 val to_json : t -> Json.t
 (** Round-trips through {!of_json}. *)

@@ -1,0 +1,54 @@
+type t = {
+  lock : Mutex.t;
+  window : int;
+  mutable inflight : int;
+  mutable high_water : int;
+  mutable admitted : int;
+  mutable shed : int;
+  m_admitted : Metrics.counter;
+  m_shed : Metrics.counter;
+}
+
+let create ~window =
+  if window < 1 then invalid_arg "Admission.create: window < 1";
+  {
+    lock = Mutex.create ();
+    window;
+    inflight = 0;
+    high_water = 0;
+    admitted = 0;
+    shed = 0;
+    m_admitted = Metrics.counter "server.admitted";
+    m_shed = Metrics.counter "server.shed";
+  }
+
+let try_admit t =
+  Mutex.lock t.lock;
+  let ok = t.inflight < t.window in
+  if ok then begin
+    t.inflight <- t.inflight + 1;
+    if t.inflight > t.high_water then t.high_water <- t.inflight;
+    t.admitted <- t.admitted + 1
+  end
+  else t.shed <- t.shed + 1;
+  Mutex.unlock t.lock;
+  if ok then Metrics.incr t.m_admitted else Metrics.incr t.m_shed;
+  ok
+
+let release t =
+  Mutex.lock t.lock;
+  t.inflight <- t.inflight - 1;
+  Mutex.unlock t.lock
+
+let window t = t.window
+
+let read_field t f =
+  Mutex.lock t.lock;
+  let v = f t in
+  Mutex.unlock t.lock;
+  v
+
+let inflight t = read_field t (fun t -> t.inflight)
+let high_water t = read_field t (fun t -> t.high_water)
+let admitted t = read_field t (fun t -> t.admitted)
+let shed t = read_field t (fun t -> t.shed)

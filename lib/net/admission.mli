@@ -1,0 +1,39 @@
+(** Admission control: a bounded global in-flight window.
+
+    The server admits a request only while fewer than [window] admitted
+    requests are unanswered {e across all connections}; beyond that it
+    {e sheds} — the client gets an immediate typed
+    [Request.Overloaded] response instead of an unbounded queue
+    building behind the pool.  Shedding happens {e before} the request
+    reaches any engine, so a shed request asks zero oracle questions
+    and leaves the Def. 3.9 ledger untouched (see DESIGN.md) — the
+    "honest incomplete answer" discipline of the completeness setting
+    carried over to overload.
+
+    All operations are thread-safe (one small mutex); [try_admit] and
+    [release] are the only calls on the hot path. *)
+
+type t
+
+val create : window:int -> t
+(** Raises [Invalid_argument] when [window < 1]. *)
+
+val try_admit : t -> bool
+(** Take one in-flight slot if the window has room; on [false] the
+    caller must shed (the refusal is counted). *)
+
+val release : t -> unit
+(** Return a slot taken by a successful [try_admit] — called exactly
+    once per admitted request, when its response has been handed to
+    the connection's writer. *)
+
+val window : t -> int
+val inflight : t -> int
+val high_water : t -> int
+(** Maximum simultaneous in-flight ever observed — the E27 bench
+    asserts [high_water <= window]. *)
+
+val admitted : t -> int
+val shed : t -> int
+(** Totals over the server's lifetime (also exported as the
+    [server.admitted] / [server.shed] metrics). *)

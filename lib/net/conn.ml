@@ -1,0 +1,225 @@
+type config = {
+  admission : Admission.t;
+  submit : Request.t -> (Request.response -> unit) -> unit;
+  stats : bool;
+  max_line : int;
+  per_conn_window : int;
+}
+
+type t = {
+  cfg : config;
+  fd : Unix.file_descr;
+  lock : Mutex.t;
+  can_read : Condition.t;  (* pending dropped below the window *)
+  can_write : Condition.t;  (* queue non-empty, input done, or abort *)
+  queue : Request.response Queue.t;
+  mutable pending : int;  (* responses owed: queued + still in the pool *)
+  mutable input_done : bool;
+  mutable dead : bool;  (* write side failed: compute, account, drop *)
+  mutable aborted : bool;
+  mutable closed : bool;
+  mutable live_threads : int;  (* reader + writer still running *)
+  mutable reader_thread : Thread.t option;
+  mutable writer_thread : Thread.t option;
+  m_bad_frames : Metrics.counter;
+}
+
+let parse_error_response id msg =
+  {
+    Request.id;
+    result = Error (Request.Parse_error msg);
+    stats = Request.zero_stats;
+  }
+
+(* Called with one owed-response slot already taken (see [owe]). *)
+let enqueue t resp =
+  Mutex.lock t.lock;
+  Queue.add resp t.queue;
+  Condition.signal t.can_write;
+  Mutex.unlock t.lock
+
+(* Reader side: reserve an owed-response slot before a submit/enqueue,
+   so the writer queue's depth is bounded by [per_conn_window] and pool
+   callbacks always find room. *)
+let owe t =
+  Mutex.lock t.lock;
+  t.pending <- t.pending + 1;
+  Mutex.unlock t.lock
+
+let thread_exited t =
+  Mutex.lock t.lock;
+  t.live_threads <- t.live_threads - 1;
+  Mutex.unlock t.lock
+
+let reader_loop t =
+  let reader = Frame.reader ~max_line:t.cfg.max_line t.fd in
+  let bad t resp =
+    Metrics.incr t.m_bad_frames;
+    owe t;
+    enqueue t resp
+  in
+  let rec loop line_no =
+    (* Per-connection backpressure: while a full window of responses is
+       owed, stop reading the socket and let TCP push back. *)
+    Mutex.lock t.lock;
+    while
+      t.pending >= t.cfg.per_conn_window && (not t.dead) && not t.aborted
+    do
+      Condition.wait t.can_read t.lock
+    done;
+    let stop = t.dead || t.aborted in
+    Mutex.unlock t.lock;
+    if stop then ()
+    else
+      let line_no = line_no + 1 in
+      match Frame.read reader with
+      | Frame.Eof -> ()
+      | Frame.Truncated partial ->
+          (* EOF mid-frame; answer if there were actual bytes, then the
+             next read's Eof ends the loop. *)
+          if String.trim partial <> "" then
+            bad t
+              (parse_error_response line_no
+                 "truncated frame: connection closed before newline")
+      | Frame.Oversized n ->
+          bad t
+            (parse_error_response line_no
+               (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit"
+                  n t.cfg.max_line));
+          loop line_no
+      | Frame.Line line ->
+          (match Request.decode_line ~default_id:line_no line with
+          | `Empty -> ()
+          | `Error resp -> bad t resp
+          | `Request req ->
+              if Admission.try_admit t.cfg.admission then begin
+                owe t;
+                t.cfg.submit req (fun resp ->
+                    (* runs on a pool worker: enqueue never blocks
+                       (the owed slot is reserved), then the in-flight
+                       window slot comes free *)
+                    enqueue t resp;
+                    Admission.release t.cfg.admission)
+              end
+              else
+                bad t
+                  {
+                    Request.id = req.Request.id;
+                    result =
+                      Error
+                        (Request.Overloaded
+                           { limit = Admission.window t.cfg.admission });
+                    stats = Request.zero_stats;
+                  });
+          loop line_no
+  in
+  loop 0;
+  Mutex.lock t.lock;
+  t.input_done <- true;
+  Condition.signal t.can_write;
+  Mutex.unlock t.lock;
+  thread_exited t
+
+let writer_loop t =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while
+      (not t.aborted)
+      && Queue.is_empty t.queue
+      && not (t.input_done && t.pending = 0)
+    do
+      Condition.wait t.can_write t.lock
+    done;
+    if t.aborted then Mutex.unlock t.lock
+    else
+      match Queue.take_opt t.queue with
+      | None -> Mutex.unlock t.lock (* input done and nothing owed *)
+      | Some resp ->
+          let dead = t.dead in
+          Mutex.unlock t.lock;
+          (if not dead then
+             try
+               Frame.write_line t.fd
+                 (Json.to_string
+                    (Request.response_to_json ~stats:t.cfg.stats resp))
+             with Unix.Unix_error _ | Sys_error _ ->
+               (* Peer gone mid-request: from here on results are
+                  still computed and accounted, just dropped. *)
+               Mutex.lock t.lock;
+               t.dead <- true;
+               Condition.broadcast t.can_read;
+               Mutex.unlock t.lock);
+          Mutex.lock t.lock;
+          t.pending <- t.pending - 1;
+          Condition.signal t.can_read;
+          if t.input_done && t.pending = 0 then Condition.signal t.can_write;
+          Mutex.unlock t.lock;
+          loop ()
+  in
+  loop ();
+  (* All owed responses are out (or dropped): close our send side so a
+     half-closed client sees EOF now, not at reap time.  The fd itself
+     stays open until [join]. *)
+  (try Unix.shutdown t.fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+  thread_exited t
+
+let serve cfg fd =
+  if cfg.per_conn_window < 1 then
+    invalid_arg "Conn.serve: per_conn_window < 1";
+  let t =
+    {
+      cfg;
+      fd;
+      lock = Mutex.create ();
+      can_read = Condition.create ();
+      can_write = Condition.create ();
+      queue = Queue.create ();
+      pending = 0;
+      input_done = false;
+      dead = false;
+      aborted = false;
+      closed = false;
+      live_threads = 2;
+      reader_thread = None;
+      writer_thread = None;
+      m_bad_frames = Metrics.counter "server.bad_frames";
+    }
+  in
+  t.reader_thread <- Some (Thread.create reader_loop t);
+  t.writer_thread <- Some (Thread.create writer_loop t);
+  t
+
+let stop_reading t =
+  try Unix.shutdown t.fd Unix.SHUTDOWN_RECEIVE
+  with Unix.Unix_error _ -> ()
+
+let abort t =
+  Mutex.lock t.lock;
+  t.aborted <- true;
+  t.dead <- true;
+  Condition.broadcast t.can_read;
+  Condition.broadcast t.can_write;
+  Mutex.unlock t.lock;
+  try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+let finished t =
+  Mutex.lock t.lock;
+  let fin = t.live_threads = 0 in
+  Mutex.unlock t.lock;
+  fin
+
+let join t =
+  (match t.reader_thread with
+  | Some th ->
+      Thread.join th;
+      t.reader_thread <- None
+  | None -> ());
+  (match t.writer_thread with
+  | Some th ->
+      Thread.join th;
+      t.writer_thread <- None
+  | None -> ());
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,60 @@
+(** One client connection: a reader thread and a writer thread around
+    a bounded response queue.
+
+    {b Protocol.}  The reader consumes JSON-lines frames
+    ({!Request.decode_line} — the same per-line step [serve-batch]
+    uses), asks {!Admission} for a slot, and either submits the request
+    to the pool or enqueues an immediate typed [Overloaded] response.
+    Responses are written as the pool finishes them, so they may come
+    back {e out of request order}; the [id] field is the correlation
+    key, exactly as the batch ABI documents.  Malformed, oversized and
+    truncated frames become typed [Parse_error] responses (id = line
+    number) and the connection {e keeps serving}.
+
+    {b Backpressure.}  Two bounds, two mechanisms.  Globally,
+    {!Admission} sheds.  Per connection, the reader pauses while this
+    connection is owed [per_conn_window] responses not yet written —
+    it simply stops reading the socket, so TCP pushes back on the
+    client.  The pause also caps the writer queue: pool callbacks can
+    never block a worker domain on a slow client (there is always
+    room), which is what makes {!Pool.submit}'s "callback must not
+    block" contract safe to rely on.
+
+    {b Disconnects.}  If the peer vanishes mid-request, in-flight
+    requests are {e not} cancelled: the results are computed, their
+    oracle questions accounted exactly as batch mode accounts them
+    (Def. 3.9 is about what was asked, not who listened), the admission
+    slots released, and the responses dropped on the dead socket.  The
+    connection finishes when every owed response has been written or
+    dropped. *)
+
+type config = {
+  admission : Admission.t;
+  submit : Request.t -> (Request.response -> unit) -> unit;
+      (** normally [Pool.submit pool] *)
+  stats : bool;  (** include the [stats] field in responses *)
+  max_line : int;
+  per_conn_window : int;  (** >= 1; owed responses before the reader pauses *)
+}
+
+type t
+
+val serve : config -> Unix.file_descr -> t
+(** Take ownership of [fd] (closed by {!join}) and start the two
+    threads. *)
+
+val stop_reading : t -> unit
+(** Graceful drain: half-close the receive side so the reader sees EOF
+    after the frames already in flight; admitted requests are still
+    answered and written.  Idempotent. *)
+
+val abort : t -> unit
+(** Hard stop (drain timeout): shut both directions and make both
+    threads exit promptly; owed responses are dropped.  Idempotent. *)
+
+val finished : t -> bool
+(** Both threads have returned (every owed response written or
+    dropped). *)
+
+val join : t -> unit
+(** Wait for both threads, then close the socket.  Idempotent. *)

@@ -1,0 +1,116 @@
+let default_max_line = 1 lsl 20
+
+type reader = {
+  fd : Unix.file_descr;
+  max_line : int;
+  chunk : Bytes.t;
+  mutable buf : string;  (* bytes read from the socket, not yet consumed *)
+  mutable pos : int;
+  mutable eof : bool;
+  acc : Buffer.t;  (* the current, incomplete line *)
+}
+
+type input =
+  | Line of string
+  | Oversized of int
+  | Truncated of string
+  | Eof
+
+let reader ?(max_line = default_max_line) fd =
+  {
+    fd;
+    max_line;
+    chunk = Bytes.create 65536;
+    buf = "";
+    pos = 0;
+    eof = false;
+    acc = Buffer.create 256;
+  }
+
+(* Refill the consume buffer; false at EOF.  A read error means the
+   peer dropped the connection — for framing purposes that is EOF. *)
+let rec refill r =
+  match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+  | 0 ->
+      r.eof <- true;
+      false
+  | n ->
+      r.buf <- Bytes.sub_string r.chunk 0 n;
+      r.pos <- 0;
+      true
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> refill r
+  | exception Unix.Unix_error (_, _, _) ->
+      r.eof <- true;
+      false
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let read r =
+  Buffer.clear r.acc;
+  let rec go () =
+    if r.pos >= String.length r.buf then
+      if r.eof || not (refill r) then
+        if Buffer.length r.acc = 0 then Eof
+        else Truncated (Buffer.contents r.acc)
+      else go ()
+    else
+      match String.index_from_opt r.buf r.pos '\n' with
+      | Some i ->
+          let total = Buffer.length r.acc + (i - r.pos) in
+          if total > r.max_line then begin
+            r.pos <- i + 1;
+            Buffer.clear r.acc;
+            Oversized (total + 1)
+          end
+          else begin
+            Buffer.add_substring r.acc r.buf r.pos (i - r.pos);
+            r.pos <- i + 1;
+            Line (strip_cr (Buffer.contents r.acc))
+          end
+      | None ->
+          let avail = String.length r.buf - r.pos in
+          if Buffer.length r.acc + avail > r.max_line then begin
+            (* Over budget with no newline in sight: stop buffering and
+               swallow bytes until the frame ends, so a hostile line
+               costs O(chunk) memory, not O(line). *)
+            let n = Buffer.length r.acc + avail in
+            r.pos <- String.length r.buf;
+            Buffer.clear r.acc;
+            discard n
+          end
+          else begin
+            Buffer.add_substring r.acc r.buf r.pos avail;
+            r.pos <- String.length r.buf;
+            go ()
+          end
+  and discard n =
+    if r.pos >= String.length r.buf then
+      if r.eof || not (refill r) then Oversized n else discard n
+    else
+      match String.index_from_opt r.buf r.pos '\n' with
+      | Some i ->
+          let n = n + (i - r.pos) + 1 in
+          r.pos <- i + 1;
+          Oversized n
+      | None ->
+          let n = n + (String.length r.buf - r.pos) in
+          r.pos <- String.length r.buf;
+          discard n
+  in
+  go ()
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      let w =
+        try Unix.write_substring fd s off (n - off)
+        with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      in
+      go (off + w)
+  in
+  go 0
+
+let write_line fd s = write_all fd (s ^ "\n")

@@ -1,0 +1,42 @@
+(** Wire framing for the JSON-lines ABI: a buffered line reader with an
+    explicit frame-size bound, and a write-fully helper.
+
+    The protocol is the one {!Request} documents — one JSON value per
+    line, [\n]-terminated (a trailing [\r] is tolerated and stripped).
+    The reader never trusts the peer: a line longer than [max_line]
+    bytes is {e discarded to the next newline} and reported as
+    {!input.Oversized} rather than buffered, so a hostile or broken
+    client cannot balloon server memory, and the connection can resync
+    on the next frame instead of dying.  EOF in the middle of a line is
+    {!input.Truncated} — the caller turns both into typed
+    [Parse_error] responses ({!Conn}). *)
+
+type reader
+
+val default_max_line : int
+(** 1 MiB — generous for this ABI (requests are short; the bound exists
+    for adversarial input, not legitimate use). *)
+
+val reader : ?max_line:int -> Unix.file_descr -> reader
+(** A buffered reader over [fd].  Read errors on a dropped connection
+    (ECONNRESET and friends) are reported as {!input.Eof}: for a
+    server, a peer that vanished and a peer that closed cleanly need
+    the same handling. *)
+
+type input =
+  | Line of string  (** one complete frame, newline stripped *)
+  | Oversized of int
+      (** a frame longer than [max_line]; payload discarded, [int] is
+          the byte count dropped (newline included).  The stream is
+          positioned at the next frame. *)
+  | Truncated of string
+      (** EOF arrived before the terminating newline; the partial
+          bytes.  Necessarily the last input before {!Eof}. *)
+  | Eof
+
+val read : reader -> input
+
+val write_line : Unix.file_descr -> string -> unit
+(** Write [s] plus a newline, fully (one buffer, looped past short
+    writes and EINTR).  Raises [Unix.Unix_error] — e.g. [EPIPE] — when
+    the peer is gone; callers treat that as "client disconnected". *)

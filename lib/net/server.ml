@@ -1,0 +1,162 @@
+type t = {
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  pool : Pool.t;
+  admission : Admission.t;
+  conn_cfg : Conn.config;
+  lock : Mutex.t;
+  mutable conns : Conn.t list;
+  mutable accepted : int;
+  mutable drained : bool;
+  mutable accept_thread : Thread.t option;
+  m_connections : Metrics.counter;
+}
+
+(* A server must survive clients that disappear mid-write; the default
+   SIGPIPE disposition would kill the process instead. *)
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ())
+
+(* The loop polls with a short select timeout rather than blocking in
+   accept(2): on Linux, closing the listening socket from another
+   thread does not wake a blocked accept, so drain could never join
+   this thread.  The [drained] flag is checked between polls. *)
+let accept_loop t =
+  let stopping () =
+    Mutex.lock t.lock;
+    let s = t.drained in
+    Mutex.unlock t.lock;
+    s
+  in
+  let rec loop () =
+    if stopping () then ()
+    else
+      match Unix.select [ t.listen_fd ] [] [] 0.05 with
+      | [], _, _ -> loop ()
+      | _ -> (
+          match Unix.accept t.listen_fd with
+          | fd, _addr ->
+              (try Unix.setsockopt fd Unix.TCP_NODELAY true
+               with Unix.Unix_error _ -> ());
+              let conn = Conn.serve t.conn_cfg fd in
+              Mutex.lock t.lock;
+              t.accepted <- t.accepted + 1;
+              (* Reap finished connections in passing so a long-lived
+                 server does not accumulate one record per client ever
+                 served. *)
+              let finished, live = List.partition Conn.finished t.conns in
+              t.conns <- conn :: live;
+              Mutex.unlock t.lock;
+              List.iter Conn.join finished;
+              Metrics.incr t.m_connections;
+              loop ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error (_, _, _) ->
+          (* the listening socket was closed or is broken beyond
+             accepting: either way the loop is over *)
+          ()
+  in
+  loop ()
+
+let start ?(host = "127.0.0.1") ?(port = 0) ?domains ?(window = 64)
+    ?(per_conn_window = 16) ?(max_line = Frame.default_max_line)
+    ?(stats = true) ?cache_capacity ?engine_config () =
+  Lazy.force ignore_sigpipe;
+  let pool = Pool.create ?domains ?cache_capacity ?engine_config () in
+  let admission = Admission.create ~window in
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd
+       (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.listen listen_fd 128
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     Pool.shutdown ~timeout_s:5.0 pool;
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  let t =
+    {
+      listen_fd;
+      bound_port;
+      pool;
+      admission;
+      conn_cfg =
+        {
+          Conn.admission;
+          submit = Pool.submit pool;
+          stats;
+          max_line;
+          per_conn_window;
+        };
+      lock = Mutex.create ();
+      conns = [];
+      accepted = 0;
+      drained = false;
+      accept_thread = None;
+      m_connections = Metrics.counter "server.connections";
+    }
+  in
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t
+
+let port t = t.bound_port
+let admission t = t.admission
+let pool t = t.pool
+
+let connections t =
+  Mutex.lock t.lock;
+  let n = t.accepted in
+  Mutex.unlock t.lock;
+  n
+
+let drain ?(timeout_s = 30.0) t =
+  Mutex.lock t.lock;
+  let already = t.drained in
+  t.drained <- true;
+  Mutex.unlock t.lock;
+  if already then `Clean
+  else begin
+    (* 1. Stop accepting: the accept loop notices [drained] at its next
+       poll; only then is the listening socket closed. *)
+    (match t.accept_thread with
+    | Some th ->
+        Thread.join th;
+        t.accept_thread <- None
+    | None -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    Mutex.lock t.lock;
+    let conns = t.conns in
+    t.conns <- [];
+    Mutex.unlock t.lock;
+    (* 2. Half-close every connection: readers see EOF once the frames
+       already sent are consumed; admitted requests keep running and
+       their responses are still written. *)
+    List.iter Conn.stop_reading conns;
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    let rec wait () =
+      if List.for_all Conn.finished conns then `Clean
+      else if Unix.gettimeofday () > deadline then begin
+        (* 3. Timeout: abort the stragglers — both their threads exit
+           promptly and any remaining owed responses are dropped. *)
+        let stuck = List.filter (fun c -> not (Conn.finished c)) conns in
+        List.iter Conn.abort stuck;
+        `Forced (List.length stuck)
+      end
+      else begin
+        Unix.sleepf 0.002;
+        wait ()
+      end
+    in
+    let outcome = wait () in
+    List.iter Conn.join conns;
+    Pool.shutdown ~timeout_s:5.0 t.pool;
+    outcome
+  end

@@ -1,0 +1,64 @@
+(** The TCP serving front-end: a listener speaking the JSON-lines ABI,
+    per-connection {!Conn} reader/writer threads feeding a shared
+    {!Pool}, and an {!Admission} window in front of it all.
+
+    The serving semantics are {e exactly} batch mode's: every admitted
+    request is evaluated by the same engines, asks the same oracle
+    questions, and serializes to the same response JSON as
+    [recdb serve-batch] on the same line — the E27 bench and the unit
+    suite assert byte-identity (modulo [id]-correlation order, which
+    the socket path deliberately relaxes per connection).  The only
+    responses the wire can produce that batch mode cannot are the
+    typed wire errors: [Parse_error] for broken frames and
+    [Overloaded] for shed requests, neither of which touches an
+    engine.
+
+    Lifecycle: {!start} binds, listens and returns immediately;
+    {!drain} stops accepting, lets in-flight requests finish (bounded
+    by a timeout, like {!Pool.shutdown}), then closes everything. *)
+
+type t
+
+val start :
+  ?host:string ->
+  ?port:int ->
+  ?domains:int ->
+  ?window:int ->
+  ?per_conn_window:int ->
+  ?max_line:int ->
+  ?stats:bool ->
+  ?cache_capacity:int ->
+  ?engine_config:Engine.config ->
+  unit ->
+  t
+(** Bind [host] (default ["127.0.0.1"]) : [port] (default 0 — an
+    ephemeral port; read it back with {!port}), spawn the pool
+    ([domains] as {!Pool.create}) and the accept loop.  [window]
+    (default 64) is the global in-flight admission bound;
+    [per_conn_window] (default 16) the per-connection owed-response
+    bound; [max_line] (default {!Frame.default_max_line}) the frame
+    bound; [stats] (default [true]) whether responses carry the
+    [stats] field.  [engine_config] arms the same per-request
+    budget/deadline/fault machinery as batch serving.  Raises
+    [Unix.Unix_error] if the address cannot be bound. *)
+
+val port : t -> int
+(** The actually-bound port — what a client should dial, and the whole
+    point of [?port:0] for tests and smoke runs. *)
+
+val admission : t -> Admission.t
+val pool : t -> Pool.t
+(** Exposed for accounting assertions (E27, unit tests): the pool's
+    {!Pool.oracle_questions} is the server's Def. 3.9 ledger. *)
+
+val connections : t -> int
+(** Connections accepted so far. *)
+
+val drain : ?timeout_s:float -> t -> [ `Clean | `Forced of int ]
+(** Graceful shutdown: stop accepting, half-close every connection's
+    receive side, wait for all owed responses to be written, then
+    close sockets and shut the pool down.  [`Forced n] means [n]
+    connections were still unfinished at [timeout_s] (default 30) and
+    were aborted — their remaining responses dropped, like
+    {!Pool.shutdown}'s timeout.  Idempotent; [`Clean] after the
+    first call. *)
