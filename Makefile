@@ -1,4 +1,4 @@
-.PHONY: all build test bench resilience-smoke parallel-smoke server-smoke check clean
+.PHONY: all build test bench resilience-smoke parallel-smoke server-smoke obs-smoke check clean
 
 all: build
 
@@ -30,7 +30,15 @@ parallel-smoke:
 server-smoke:
 	dune exec bin/recdb.exe -- server-smoke
 
-check: build test bench resilience-smoke parallel-smoke server-smoke
+# The E28 smoke: a small bench-obs run (tracing overhead, byte-identity
+# with tracing on, exact ledger slices, a worked budget-trip trace),
+# then obs-smoke — a traced server scraped over /metrics and /traces,
+# exiting 1 unless the exposition is well-formed and every trace parses.
+obs-smoke:
+	dune exec bin/recdb.exe -- bench-obs --requests 300 --trials 2 -o BENCH_obs_smoke.json
+	dune exec bin/recdb.exe -- obs-smoke
+
+check: build test bench resilience-smoke parallel-smoke server-smoke obs-smoke
 
 clean:
 	dune clean

@@ -287,12 +287,14 @@ let open_requests path =
       Format.eprintf "cannot read %s: %s@." path msg;
       exit 1
 
-(* The file/socket-shared latency summary: the engine's own histogram,
-   read with the same Metrics.quantile the load generator uses, so
-   serve-batch and loadgen print comparable numbers. *)
+(* The file/socket-shared latency summary: the engine's own histogram
+   is an Obs.Histogram sketch — the very same type the load generator
+   aggregates into — so serve-batch and loadgen print quantiles from
+   identical bucket math (1% relative error, not sorted-array
+   percentiles). *)
 let latency_summary ~served ~errors =
   let h = Metrics.histogram "engine.latency" in
-  if Metrics.histogram_count h = 0 then
+  if Obs.Histogram.count h = 0 then
     Format.eprintf "served %d request%s (%d error%s)@." served
       (if served = 1 then "" else "s")
       errors
@@ -305,9 +307,39 @@ let latency_summary ~served ~errors =
       (if served = 1 then "" else "s")
       errors
       (if errors = 1 then "" else "s")
-      (1e3 *. Metrics.quantile h 0.50)
-      (1e3 *. Metrics.quantile h 0.95)
-      (1e3 *. Metrics.quantile h 0.99)
+      (1e3 *. Obs.Histogram.quantile h 0.50)
+      (1e3 *. Obs.Histogram.quantile h 0.95)
+      (1e3 *. Obs.Histogram.quantile h 0.99)
+
+(* Tracing flags shared by serve-batch and serve: --trace samples every
+   request, --trace-sample N one in N; absent, tracing is off and the
+   hot path is the single-branch no-op. *)
+let trace_flag =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Trace every request: span trees (queue wait, dispatch, parse, \
+           retries) with exact Def. 3.9 ledger slices, dumped as JSON lines \
+           to stderr at exit (serve-batch) or served at /traces (serve, \
+           with --metrics-port).")
+
+let trace_sample_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "trace-sample" ] ~docv:"N"
+        ~doc:"Trace one request in N (overrides --trace; 1 means all).")
+
+let sampling_of_flags ~trace ~trace_sample =
+  match (trace_sample, trace) with
+  | Some n, _ when n < 1 ->
+      Format.eprintf "trace-sample must be >= 1@.";
+      exit 1
+  | Some 1, _ -> Some Obs.Trace.All
+  | Some n, _ -> Some (Obs.Trace.Every n)
+  | None, true -> Some Obs.Trace.All
+  | None, false -> None
 
 (* Resilience flags shared by serve-batch: None everywhere means "no
    guard installed" (the pre-resilience hot path, byte for byte). *)
@@ -388,24 +420,35 @@ let cmd_serve_batch =
              absorbed by bounded retry, surviving ones become \
              oracle_unavailable errors).")
   in
-  let run file jobs metrics no_stats deadline_ms max_oracle_calls inject =
+  let run file jobs metrics no_stats deadline_ms max_oracle_calls inject trace
+      trace_sample =
     if jobs < 1 then begin
       Format.eprintf "jobs must be >= 1@.";
       exit 1
     end;
     let ic = open_requests file in
     let config = engine_config_of_flags ~deadline_ms ~max_oracle_calls ~inject in
+    let sampling = sampling_of_flags ~trace ~trace_sample in
     (* One engine (or pool) for the whole run, created up front so
        caches stay warm across chunks exactly as they did across one
        big batch. *)
-    let serve, finish =
+    let serve, collect_traces, finish =
       if jobs = 1 then begin
-        let engine = Engine.create ?config () in
-        (Engine.handle_all engine, fun () -> ())
+        let trace =
+          Option.map (fun sampling -> Obs.Trace.make ~sampling ()) sampling
+        in
+        let engine = Engine.create ?config ?trace () in
+        ( Engine.handle_all engine,
+          (fun () -> Engine.traces engine),
+          fun () -> () )
       end
       else begin
-        let pool = Pool.create ~domains:jobs ?engine_config:config () in
-        (Pool.run_batch pool, fun () -> Pool.shutdown pool)
+        let pool =
+          Pool.create ~domains:jobs ?engine_config:config ?tracing:sampling ()
+        in
+        ( Pool.run_batch pool,
+          (fun () -> Pool.traces pool),
+          fun () -> Pool.shutdown pool )
       end
     in
     let served = ref 0 in
@@ -459,16 +502,18 @@ let cmd_serve_batch =
       if not eof then stream line_no
     in
     stream 0;
+    let traces = collect_traces () in
     finish ();
     if file <> "-" then close_in ic;
     latency_summary ~served:!served ~errors:!errors;
+    List.iter (fun tr -> prerr_endline (Obs.Trace.to_json_string tr)) traces;
     if metrics then prerr_string (Metrics.dump_text ())
   in
   Cmd.v
     (Cmd.info "serve-batch" ~doc)
     Term.(
       const run $ file $ jobs $ metrics $ no_stats $ deadline_ms
-      $ max_oracle_calls $ inject)
+      $ max_oracle_calls $ inject $ trace_flag $ trace_sample_arg)
 
 (* ------------------------------------------------------------------ *)
 (* The TCP front-end                                                   *)
@@ -561,16 +606,31 @@ let cmd_serve =
       & info [ "inject" ] ~docv:"SEED"
           ~doc:"Seeded transient oracle-outage injection.")
   in
+  let metrics_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve the Prometheus text exposition on a second listener: \
+             /metrics is every registered metric (engine counters, latency \
+             histograms, admission and cache gauges), /traces the recent \
+             sampled span trees as JSON lines.  0 picks an ephemeral port \
+             (printed to stderr).")
+  in
   let run host port jobs window per_conn_window max_line no_stats
-      drain_timeout deadline_ms max_oracle_calls inject =
+      drain_timeout deadline_ms max_oracle_calls inject metrics_port trace
+      trace_sample =
     if window < 1 || per_conn_window < 1 || max_line < 1 then begin
       Format.eprintf "window, per-conn-window and max-line must be >= 1@.";
       exit 1
     end;
     let config = engine_config_of_flags ~deadline_ms ~max_oracle_calls ~inject in
+    let tracing = sampling_of_flags ~trace ~trace_sample in
     let server =
       Server.start ~host ~port ?domains:jobs ~window ~per_conn_window
-        ~max_line ~stats:(not no_stats) ?engine_config:config ()
+        ~max_line ~stats:(not no_stats) ?engine_config:config ?tracing
+        ?metrics_port ()
     in
     Format.eprintf
       "recdb: listening on %s:%d (admission window %d, per-connection \
@@ -578,6 +638,9 @@ let cmd_serve =
       host (Server.port server) window per_conn_window
       (Pool.size (Server.pool server))
       (if Pool.size (Server.pool server) = 1 then "" else "s");
+    (match Server.metrics_port server with
+    | Some mp -> Format.eprintf "recdb: metrics on %s:%d/metrics@." host mp
+    | None -> ());
     let stop = Atomic.make false in
     let on_signal _ = Atomic.set stop true in
     Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
@@ -603,7 +666,7 @@ let cmd_serve =
     Term.(
       const run $ host_arg $ port $ jobs $ window_arg $ per_conn_window_arg
       $ max_line $ no_stats $ drain_timeout $ deadline_ms $ max_oracle_calls
-      $ inject)
+      $ inject $ metrics_port $ trace_flag $ trace_sample_arg)
 
 let cmd_loadgen =
   let doc =
@@ -935,6 +998,219 @@ let cmd_bench_parallel =
     (Cmd.info "bench-parallel" ~doc)
     Term.(const run $ out $ requests $ domains)
 
+let cmd_bench_obs =
+  let doc =
+    "Benchmark the observability subsystem (E28): tracing overhead on the \
+     batch workload with sampling off / 1-in-64 / full (off and sampled \
+     must stay under 5%), byte-identity of every response in every mode \
+     (observation must not change a served byte), ledger exactness (every \
+     traced request's span slices sum to its response's question count), \
+     and a worked span tree for a budget-tripped request.  Exits 1 on any \
+     violation."
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Also write results as JSON.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 2000
+      & info [ "requests" ] ~docv:"N" ~doc:"Batch size per trial.")
+  in
+  let trials =
+    Arg.(
+      value & opt int 3
+      & info [ "trials" ] ~docv:"N" ~doc:"Timing trials (best is kept).")
+  in
+  let run out requests trials =
+    let r = Engine_bench.run_obs ?out ~requests ~trials () in
+    match r.Engine_bench.ob_violations with
+    | [] -> Format.printf "obs bench: OK@."
+    | vs ->
+        List.iter (Format.eprintf "violation: %s@.") vs;
+        exit 1
+  in
+  Cmd.v (Cmd.info "bench-obs" ~doc) Term.(const run $ out $ requests $ trials)
+
+let cmd_stats =
+  let doc =
+    "One-shot scrape of a running server's metrics listener: fetch a path \
+     (default /metrics, the Prometheus text exposition; /traces for recent \
+     span trees) and print the body.  The server must be running with \
+     --metrics-port."
+  in
+  let port =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "p"; "port" ] ~docv:"PORT" ~doc:"The server's metrics port.")
+  in
+  let path =
+    Arg.(
+      value & opt string "/metrics"
+      & info [ "path" ] ~docv:"PATH" ~doc:"Route to fetch.")
+  in
+  let run host port path =
+    match Expo_server.get ~host ~port ~path () with
+    | Ok body -> print_string body
+    | Error reason ->
+        Format.eprintf "stats: %s@." reason;
+        exit 1
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ host_arg $ port $ path)
+
+(* The exposition format checks obs-smoke runs against a scrape body:
+   every family the serving stack is known to register must be present,
+   and every histogram's cumulative le-ladder must be monotone. *)
+let check_exposition body =
+  let failures = ref [] in
+  let fail fmt = Format.kasprintf (fun s -> failures := s :: !failures) fmt in
+  let lines = String.split_on_char '\n' body in
+  let required =
+    [
+      "engine_requests_total";
+      "engine_latency_seconds";
+      "server_frames_dropped_oversized_total";
+      "server_frames_parse_error_total";
+      "server_scrapes_total";
+      "admission_window";
+      "admission_admitted_total";
+      "pool_oracle_questions";
+      "pool_cache_hits";
+    ]
+  in
+  List.iter
+    (fun name ->
+      let present =
+        List.exists
+          (fun l ->
+            String.length l > String.length name
+            && String.sub l 0 (String.length name) = name
+            && (l.[String.length name] = ' ' || l.[String.length name] = '_'
+               || l.[String.length name] = '{'))
+          lines
+      in
+      if not present then fail "missing metric family %s" name)
+    required;
+  (* Bucket monotonicity: within one histogram, counts never decrease
+     down the le ladder, and the +Inf bucket equals _count. *)
+  let bucket_of l =
+    match String.index_opt l '{' with
+    | Some i when String.length l > 7 && String.sub l 0 1 <> "#" -> (
+        let name = String.sub l 0 i in
+        match String.rindex_opt l ' ' with
+        | Some sp -> (
+            try
+              Some (name, int_of_string (String.sub l (sp + 1)
+                                            (String.length l - sp - 1)))
+            with _ -> None)
+        | None -> None)
+    | _ -> None
+  in
+  let last : (string * int) option ref = ref None in
+  List.iter
+    (fun l ->
+      match bucket_of l with
+      | Some (name, v) -> (
+          (match !last with
+          | Some (prev_name, prev_v) when prev_name = name && v < prev_v ->
+              fail "histogram %s: bucket count %d < previous %d" name v prev_v
+          | _ -> ());
+          last := Some (name, v))
+      | None -> last := None)
+    lines;
+  List.rev !failures
+
+let cmd_obs_smoke =
+  let doc =
+    "CI smoke for the observability subsystem: start a server with tracing \
+     sampled and a metrics listener on an ephemeral port, drive it with the \
+     load generator, then scrape /metrics (asserting the exposition is \
+     well-formed: required families present, histogram buckets monotone) \
+     and /traces (asserting every line parses as JSON and carries a span \
+     tree).  Exits 1 on any failure."
+  in
+  let requests =
+    Arg.(
+      value & opt int 200
+      & info [ "requests" ] ~docv:"N" ~doc:"Total requests.")
+  in
+  let run requests =
+    let server =
+      Server.start ~window:256 ~per_conn_window:64
+        ~tracing:(Obs.Trace.Every 4) ~metrics_port:0 ()
+    in
+    let mport =
+      match Server.metrics_port server with
+      | Some p -> p
+      | None ->
+          Format.eprintf "obs-smoke: no metrics listener came up@.";
+          exit 1
+    in
+    let report =
+      Loadgen.run ~port:(Server.port server) ~connections:4 ~requests
+        ~pipeline:4 ()
+    in
+    let metrics_body = Expo_server.get ~port:mport ~path:"/metrics" () in
+    let traces_body = Expo_server.get ~port:mport ~path:"/traces" () in
+    let missing_route = Expo_server.get ~port:mport ~path:"/nonsense" () in
+    let outcome = Server.drain ~timeout_s:30.0 server in
+    let failures =
+      (if report.Loadgen.answered <> report.Loadgen.sent then
+         [
+           Printf.sprintf "%d answered of %d sent" report.Loadgen.answered
+             report.Loadgen.sent;
+         ]
+       else [])
+      @ (if report.Loadgen.errors > 0 then
+           [ Printf.sprintf "%d error responses" report.Loadgen.errors ]
+         else [])
+      @ (match metrics_body with
+        | Error reason -> [ Printf.sprintf "/metrics scrape failed: %s" reason ]
+        | Ok body ->
+            List.map (Printf.sprintf "/metrics: %s") (check_exposition body))
+      @ (match traces_body with
+        | Error reason -> [ Printf.sprintf "/traces scrape failed: %s" reason ]
+        | Ok body ->
+            let lines =
+              List.filter
+                (fun l -> String.trim l <> "")
+                (String.split_on_char '\n' body)
+            in
+            (if lines = [] then [ "/traces: no sampled traces collected" ]
+             else [])
+            @ List.concat_map
+                (fun l ->
+                  match Json.parse l with
+                  | Ok (Json.Obj kvs)
+                    when List.mem_assoc "root" kvs
+                         && List.mem_assoc "questions" kvs -> []
+                  | Ok _ -> [ Printf.sprintf "/traces: not a span tree: %s" l ]
+                  | Error e ->
+                      [ Printf.sprintf "/traces: unparseable line (%s)" e ])
+                lines)
+      @ (match missing_route with
+        | Error _ -> []
+        | Ok _ -> [ "/nonsense answered 200; expected 404" ])
+      @
+      match outcome with
+      | `Clean -> []
+      | `Forced n -> [ Printf.sprintf "drain aborted %d connection(s)" n ]
+    in
+    match failures with
+    | [] ->
+        Format.printf
+          "obs-smoke: %d requests, exposition well-formed, traces parse, \
+           clean drain@."
+          report.Loadgen.answered
+    | fs ->
+        List.iter (Format.eprintf "obs-smoke failure: %s@.") fs;
+        exit 1
+  in
+  Cmd.v (Cmd.info "obs-smoke" ~doc) Term.(const run $ requests)
+
 let cmd_bench_engine =
   let doc =
     "Benchmark the engine: oracle-call savings from the LRU cache on \
@@ -987,4 +1263,7 @@ let () =
             cmd_server_smoke;
             cmd_crash_test;
             cmd_bench_resilience;
+            cmd_bench_obs;
+            cmd_stats;
+            cmd_obs_smoke;
           ]))

@@ -49,6 +49,9 @@ type entry = {
   base : Hs.Hsdb.t;  (* the raw instance: its counters are the ledger *)
   raw_db : Rdb.Database.t;  (* original relations: genuine questions *)
   caches : Oracle_cache.t array;
+  ledger : Obs.Trace.ledger;
+      (* read-only snapshot closure over exactly the counters [snapshot]
+         reads, so traced span slices sum to the request's stats *)
 }
 
 type t = {
@@ -57,6 +60,7 @@ type t = {
   shared : Shared_memo.t option;
   res : Resilience.t;
   faults : Faulty_oracle.t option;
+  trace : Obs.Trace.t option;
   m_requests : Metrics.counter;
   m_errors : Metrics.counter;
   m_oracle_calls : Metrics.counter;
@@ -168,9 +172,36 @@ let make_entry ~cache_capacity ~guarded ~res ~faults ~shared name build () =
     Hs.Hsdb.make ~name:(Hs.Hsdb.name base) ~db:cached_db ~children:children_fn
       ~equiv:equiv_fn ()
   in
-  { hs; base; raw_db; caches }
+  (* The trace ledger reads the same counters [snapshot] reads — raw
+     per-relation calls, the base instance's T_B/≅_B calls, cache hits —
+     plus the cross-worker memo's hit count.  The first [nrels + 2]
+     labels are Def. 3.9 questions; the last two are observations.
+     Reading never asks anything, so tracing cannot change a served
+     byte. *)
+  let ledger =
+    let nrels = Array.length relations in
+    let labels =
+      Array.append
+        (Array.map (fun r -> "q.rel." ^ Rdb.Relation.name r) relations)
+        [| "q.tb"; "q.equiv"; "cache_hits"; "shared_hits" |]
+    in
+    let read () =
+      let a = Array.make (nrels + 4) 0 in
+      Array.iteri (fun i r -> a.(i) <- Rdb.Relation.calls r) relations;
+      let tb, eq = Hs.Hsdb.oracle_calls base in
+      a.(nrels) <- tb;
+      a.(nrels + 1) <- eq;
+      a.(nrels + 2) <- (Oracle_cache.total_stats caches).Oracle_cache.hits;
+      a.(nrels + 3) <-
+        (match shared with None -> 0 | Some st -> Shared_memo.total_hits st);
+      a
+    in
+    { Obs.Trace.labels; questions = nrels + 2; read }
+  in
+  { hs; base; raw_db; caches; ledger }
 
-let create ?(cache_capacity = 4096) ?(config = default_config) ?shared () =
+let create ?(cache_capacity = 4096) ?(config = default_config) ?shared ?trace
+    () =
   let res = Resilience.create () in
   let faults = Option.map Faulty_oracle.make config.faults in
   (* Pay the per-question guard only when resilience is configured; a
@@ -192,6 +223,7 @@ let create ?(cache_capacity = 4096) ?(config = default_config) ?shared () =
     shared;
     res;
     faults;
+    trace;
     m_requests = Metrics.counter "engine.requests";
     m_errors = Metrics.counter "engine.errors";
     m_oracle_calls = Metrics.counter "engine.oracle_calls";
@@ -287,19 +319,49 @@ let parse_program shared s =
       | Shared_memo.Program_plan r -> r
       | _ -> compute ())
 
-let eval_payload ~shared entry (payload : Request.payload) :
+(* Tracing shims: one branch when no ctx is attached or the current
+   request is not sampled. *)
+let span tr name ?(attrs = []) f =
+  match tr with
+  | Some c when Obs.Trace.active c ->
+      Obs.Trace.with_span c name (fun () ->
+          if attrs <> [] then Obs.Trace.annotate c attrs;
+          f ())
+  | _ -> f ()
+
+let payload_op : Request.payload -> string = function
+  | Request.Sentence _ -> "sentence"
+  | Request.Query _ -> "query"
+  | Request.Classes _ -> "classes"
+  | Request.Tree _ -> "tree"
+  | Request.Program _ -> "program"
+
+let error_kind : Request.error -> string = function
+  | Request.Parse_error _ -> "parse_error"
+  | Request.Unknown_instance _ -> "unknown_instance"
+  | Request.Not_a_sentence _ -> "not_a_sentence"
+  | Request.Timeout _ -> "timeout"
+  | Request.Ill_formed _ -> "ill_formed"
+  | Request.Bad_request _ -> "bad_request"
+  | Request.Budget_exceeded _ -> "budget_exceeded"
+  | Request.Deadline_exceeded _ -> "deadline_exceeded"
+  | Request.Oracle_unavailable _ -> "oracle_unavailable"
+  | Request.Worker_crash _ -> "worker_crash"
+  | Request.Overloaded _ -> "overloaded"
+
+let eval_payload ~tr ~shared entry (payload : Request.payload) :
     (Request.outcome, Request.error) result =
   match payload with
   | Request.Classes { db_type; rank } -> eval_classes ~db_type ~rank
   | Request.Sentence { sentence; _ } -> (
-      match parse_sentence shared sentence with
+      match span tr "parse" (fun () -> parse_sentence shared sentence) with
       | Error msg -> Error (Request.Parse_error msg)
       | Ok f -> (
           match Rlogic.Ast.free_vars f with
           | [] -> Ok (Request.Bool (Hs.Fo_eval.eval_sentence entry.hs f))
           | vars -> Error (Request.Not_a_sentence vars)))
   | Request.Query { query; cutoff; _ } -> (
-      match parse_query shared query with
+      match span tr "parse" (fun () -> parse_query shared query) with
       | Error msg -> Error (Request.Parse_error msg)
       | Ok Rlogic.Ast.Undefined -> Ok Request.Undefined
       | Ok (Rlogic.Ast.Query { vars; _ } as q) ->
@@ -330,7 +392,7 @@ let eval_payload ~shared entry (payload : Request.payload) :
                 (fun n -> Hs.Hsdb.paths entry.hs n)
                 (Prelude.Ints.range 1 (depth + 1))))
   | Request.Program { program; fuel; cutoff; _ } -> (
-      match parse_program shared program with
+      match span tr "parse" (fun () -> parse_program shared program) with
       | Error msg -> Error (Request.Parse_error msg)
       | Ok p ->
           if cutoff < 0 || cutoff > max_cutoff then
@@ -370,12 +432,37 @@ let snapshot entry =
     eq,
     (Oracle_cache.total_stats entry.caches).Oracle_cache.hits )
 
+(* Open the root span (the sampling decision lives in [begin_request]):
+   op/instance attrs, the entry's ledger when one is resolved, and a
+   synthetic child for the pool queue wait that preceded this call —
+   rendered at a negative offset, because it happened before the engine
+   saw the request. *)
+let trace_begin t (req : Request.t) ~instance entry_opt queued_s =
+  match t.trace with
+  | None -> ()
+  | Some c -> (
+      let ledger =
+        match entry_opt with
+        | Some e -> e.ledger
+        | None -> Obs.Trace.null_ledger
+      in
+      Obs.Trace.begin_request c ~req_id:req.Request.id
+        ~attrs:
+          (("op", payload_op req.Request.payload)
+          ::
+          (match instance with Some i -> [ ("instance", i) ] | None -> []))
+        ledger;
+      match queued_s with
+      | Some q when Obs.Trace.active c ->
+          Obs.Trace.synthetic c "queue" ~start_s:(-.q) ~dur_s:q ~attrs:[]
+      | _ -> ())
+
 (* Every handle call is total: the budget/deadline guard turns unbounded
    evaluations into typed errors, transient oracle outages are retried
    with deterministic exponential backoff and surface as typed errors
    when they persist, and any other escaping exception becomes
    [Ill_formed] — a request can never kill its worker. *)
-let handle t (req : Request.t) : Request.response =
+let handle ?queued_s t (req : Request.t) : Request.response =
   let t0 = Unix.gettimeofday () in
   let retries = ref 0 in
   let finish result entry_opt pre =
@@ -394,6 +481,18 @@ let handle t (req : Request.t) : Request.response =
           }
       | _ -> { Request.zero_stats with retries = !retries; wall_s }
     in
+    (match t.trace with
+    | Some c when Obs.Trace.active c ->
+        Obs.Trace.end_request
+          ~attrs:
+            ((match result with
+             | Ok _ -> [ ("status", "ok") ]
+             | Error e -> [ ("status", "error"); ("error", error_kind e) ])
+            @
+            if !retries > 0 then [ ("retries", string_of_int !retries) ]
+            else [])
+          c
+    | _ -> ());
     Metrics.incr t.m_requests;
     if Result.is_error result then Metrics.incr t.m_errors;
     Metrics.incr ~by:stats.Request.oracle_calls t.m_oracle_calls;
@@ -404,7 +503,7 @@ let handle t (req : Request.t) : Request.response =
   let total_eval eval =
     Resilience.arm t.res t.config.limits;
     let rec attempt n =
-      match eval () with
+      match span t.trace "attempt" ~attrs:[ ("n", string_of_int n) ] eval with
       | result -> result
       | exception Resilience.Budget_hit { limit } ->
           Metrics.incr t.m_budget_hits;
@@ -417,7 +516,8 @@ let handle t (req : Request.t) : Request.response =
           incr retries;
           Metrics.incr t.m_retries;
           if t.config.retry.backoff_s > 0.0 then
-            Unix.sleepf (t.config.retry.backoff_s *. Float.of_int (1 lsl n));
+            span t.trace "backoff" ~attrs:[ ("n", string_of_int n) ] (fun () ->
+                Unix.sleepf (t.config.retry.backoff_s *. Float.of_int (1 lsl n)));
           (* The backoff may have consumed the deadline; report that as
              a deadline hit rather than burning further attempts. *)
           match Resilience.check_deadline t.res with
@@ -436,6 +536,7 @@ let handle t (req : Request.t) : Request.response =
   in
   match Request.payload_instance req.Request.payload with
   | Some name when not (List.mem_assoc name t.entries) ->
+      trace_begin t req ~instance:(Some name) None queued_s;
       finish (Error (Request.Unknown_instance name)) None None
   | instance ->
       let entry_opt =
@@ -448,11 +549,18 @@ let handle t (req : Request.t) : Request.response =
             | exception _ -> None)
         | None -> None
       in
-      if Option.is_some instance && Option.is_none entry_opt then
+      if Option.is_some instance && Option.is_none entry_opt then begin
+        trace_begin t req ~instance None queued_s;
         finish
           (Error (Request.Ill_formed "instance construction failed"))
           None None
-      else
+      end
+      else begin
+        (* The trace opens after the lazy entry is forced, mirroring the
+           [pre] snapshot below: construction-time oracle activity is
+           charged to neither the stats nor the root span, so the two
+           stay equal. *)
+        trace_begin t req ~instance entry_opt queued_s;
         let pre = Option.map snapshot entry_opt in
         let result =
           match entry_opt with
@@ -466,7 +574,9 @@ let handle t (req : Request.t) : Request.response =
                  are never stored. *)
               let eval () =
                 match t.shared with
-                | None -> eval_payload ~shared:None entry req.Request.payload
+                | None ->
+                    eval_payload ~tr:t.trace ~shared:None entry
+                      req.Request.payload
                 | Some st ->
                     let key =
                       Json.to_string
@@ -474,7 +584,8 @@ let handle t (req : Request.t) : Request.response =
                            { Request.id = 0; payload = req.Request.payload })
                     in
                     Shared_memo.result st ~key ~compute:(fun () ->
-                        eval_payload ~shared:t.shared entry req.Request.payload)
+                        eval_payload ~tr:t.trace ~shared:t.shared entry
+                          req.Request.payload)
               in
               total_eval eval
           | None -> (
@@ -486,8 +597,12 @@ let handle t (req : Request.t) : Request.response =
                   Error (Request.Ill_formed "no instance resolved"))
         in
         finish result entry_opt pre
+      end
 
 let handle_all t reqs = List.map (handle t) reqs
+
+let traces t =
+  match t.trace with None -> [] | Some c -> Obs.Trace.traces c
 
 let question_count t =
   List.fold_left

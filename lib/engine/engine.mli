@@ -43,12 +43,29 @@ type config = {
 val default_config : config
 
 val create :
-  ?cache_capacity:int -> ?config:config -> ?shared:Shared_memo.t -> unit -> t
+  ?cache_capacity:int ->
+  ?config:config ->
+  ?shared:Shared_memo.t ->
+  ?trace:Obs.Trace.t ->
+  unit ->
+  t
 (** [cache_capacity] is the per-relation LRU bound (default 4096).
     [shared] plugs this engine into a cross-worker memo layer; omit it
-    (the default) for the fully private sequential engine. *)
+    (the default) for the fully private sequential engine.
 
-val handle : t -> Request.t -> Request.response
+    [trace] attaches an observability context ({!Obs.Trace}): each
+    sampled request gets a span tree — root, queue wait, parse, one
+    span per retry attempt, backoffs — whose ledger slices snapshot
+    exactly the counters the response's [stats] read, so the question
+    slots of a trace sum to [stats.oracle_calls + tb_calls +
+    equiv_calls] on every traced request.  The ledger only {e reads}
+    counters, so tracing never asks an oracle question and never
+    changes a served byte (E28 measures the overhead and asserts the
+    byte-identity).  The ctx must be private to this engine (spans are
+    not thread-safe); only the completed-trace ring inside it is
+    concurrent. *)
+
+val handle : ?queued_s:float -> t -> Request.t -> Request.response
 (** Total: never raises and never hangs under a configured deadline or
     budget — unbounded evaluations surface as [Budget_exceeded] /
     [Deadline_exceeded], persistent injected outages as
@@ -60,7 +77,11 @@ val handle : t -> Request.t -> Request.response
     state (a warm engine asks fewer questions before tripping), so they
     are deterministic for a fixed engine history but not across
     differently-warmed engines — see the {!Pool} byte-identity
-    caveat. *)
+    caveat.
+
+    [queued_s] is the time this request waited before the engine saw it
+    (the pool's queue wait); it is recorded on the trace (when a ctx is
+    attached and samples this request) and affects nothing else. *)
 
 val handle_all : t -> Request.t list -> Request.response list
 (** Sequential evaluation, in order — the reference for {!Pool}'s
@@ -69,6 +90,10 @@ val handle_all : t -> Request.t list -> Request.response list
 val cache_stats : t -> Oracle_cache.stats
 (** Aggregate LRU statistics over every instance this engine has
     touched. *)
+
+val traces : t -> Obs.Trace.trace list
+(** Completed traces in this engine's ring (oldest first; empty when no
+    ctx was attached to {!create}). *)
 
 val question_count : t -> int
 (** Total genuine oracle questions this engine has asked, in the

@@ -670,3 +670,227 @@ let run_parallel ?out ?requests ?domains_list () =
       close_out oc;
       Format.printf "  wrote %s@." path);
   p
+
+(* ------------------------------------------------------------------ *)
+(* E28: the observability subsystem.  Three claims: (1) tracing is
+   cheap — off costs nothing (it is the absence of a ctx), 1-in-64
+   sampling and even full tracing stay within a few percent on the E24
+   mixed batch; (2) tracing is inert — responses are byte-identical
+   with tracing on, because span ledgers only *read* counters; (3) the
+   ledger is exact — on every traced request the question slots of the
+   span tree sum to precisely the response's stats, and a
+   budget-tripped request's trace shows where every question went. *)
+
+type obs_mode_run = {
+  om_mode : string;  (* "off" | "sampled" | "full" *)
+  om_wall_s : float;  (* best of trials *)
+  om_overhead_frac : float;  (* vs off; 0. for off itself *)
+  om_identical : bool;  (* responses byte-identical to the off run *)
+  om_traced : int;  (* traces collected in the last trial *)
+}
+
+type obs_result = {
+  ob_requests : int;
+  ob_trials : int;
+  ob_modes : obs_mode_run list;
+  ledger_checked : int;  (* traced requests matched against stats *)
+  ledger_exact : bool;  (* every one summed exactly *)
+  budget_error : string;  (* error kind of the worked budget-trip probe *)
+  budget_questions : int;  (* its trace's question total *)
+  budget_trace : string;  (* the worked span tree, one-line JSON *)
+  ob_violations : string list;
+}
+
+let obs_modes = [ "off"; "sampled"; "full" ]
+
+let obs_workload ?(requests = 2000) ?(trials = 3) () =
+  let batch = build_batch requests in
+  let ctx_of mode () =
+    match mode with
+    | "off" -> None
+    | "sampled" ->
+        Some (Obs.Trace.make ~capacity:256 ~sampling:(Obs.Trace.Every 64) ())
+    | _ ->
+        (* full: ring sized to the batch so the ledger check sees every
+           request, not just the last 256 *)
+        Some (Obs.Trace.make ~capacity:requests ~sampling:Obs.Trace.All ())
+  in
+  let run_once mode =
+    (* fresh engine per run: cold memo tables make the runs comparable *)
+    let trace = ctx_of mode () in
+    let engine = Engine.create ?trace () in
+    let responses, wall_s = time (fun () -> Engine.handle_all engine batch) in
+    (responses, wall_s, Engine.traces engine)
+  in
+  (* Best-of-trials wall clock per mode; responses/traces kept from the
+     last trial (they are deterministic across trials anyway). *)
+  let measure mode =
+    List.fold_left
+      (fun (w, _, _) _ ->
+        let r, w', trs = run_once mode in
+        (Float.min w w', r, trs))
+      (Float.infinity, [], [])
+      (Prelude.Ints.range 0 trials)
+  in
+  let runs = List.map (fun m -> (m, measure m)) obs_modes in
+  let off_wall, off_responses, _ = List.assoc "off" runs in
+  let reference = results_fingerprint off_responses in
+  let modes =
+    List.map
+      (fun (m, (w, responses, traces)) ->
+        {
+          om_mode = m;
+          om_wall_s = w;
+          om_overhead_frac = (if m = "off" then 0.0 else (w /. off_wall) -. 1.0);
+          om_identical = String.equal reference (results_fingerprint responses);
+          om_traced = List.length traces;
+        })
+      runs
+  in
+  (* Ledger exactness, on the full run: every traced request's question
+     slots sum to its response's stats. *)
+  let _, full_responses, full_traces = List.assoc "full" runs in
+  let stats_by_id = Hashtbl.create (List.length full_responses) in
+  List.iter
+    (fun (r : Request.response) ->
+      Hashtbl.replace stats_by_id r.Request.id (questions r.Request.stats))
+    full_responses;
+  let checked = ref 0 and exact = ref true in
+  List.iter
+    (fun tr ->
+      match Hashtbl.find_opt stats_by_id tr.Obs.Trace.req_id with
+      | None -> ()
+      | Some q ->
+          incr checked;
+          if Obs.Trace.trace_questions tr <> q then exact := false)
+    full_traces;
+  (* The worked example: a budget-tripped tree expansion, fully traced,
+     so the Budget_exceeded error comes with an exact breakdown of
+     where its quota went. *)
+  let budget_error, budget_questions, budget_trace =
+    let config =
+      {
+        Engine.default_config with
+        limits =
+          Resilience.{ max_oracle_calls = Some 200; deadline_s = None };
+      }
+    in
+    let trace = Obs.Trace.make ~capacity:4 ~sampling:Obs.Trace.All () in
+    let engine = Engine.create ~config ~trace () in
+    let r = Engine.handle engine pathological_request in
+    let kind =
+      match r.Request.result with
+      | Error (Request.Budget_exceeded _) -> "budget_exceeded"
+      | Error e -> Request.error_to_string e
+      | Ok _ -> "ok"
+    in
+    match Engine.traces engine with
+    | tr :: _ ->
+        (kind, Obs.Trace.trace_questions tr, Obs.Trace.to_json_string tr)
+    | [] -> (kind, 0, "")
+  in
+  (* Acceptance: overheads under 5% (with an absolute-slack escape for
+     sub-50ms smoke runs where one scheduler hiccup dwarfs the work),
+     byte-identity in every mode, ledger exact, probe actually
+     tripped. *)
+  let violations = ref [] in
+  let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  List.iter
+    (fun m ->
+      if m.om_mode <> "full" then begin
+        let delta = m.om_wall_s -. off_wall in
+        if m.om_overhead_frac >= 0.05 && delta >= 0.05 then
+          violate "%s tracing overhead %.1f%% (>= 5%%, +%.3fs)" m.om_mode
+            (100. *. m.om_overhead_frac) delta
+      end;
+      if not m.om_identical then
+        violate "%s responses differ from untraced run" m.om_mode)
+    modes;
+  if not !exact then violate "a traced request's ledger did not sum to its stats";
+  if !checked = 0 then violate "no traced request could be checked";
+  if budget_error <> "budget_exceeded" then
+    violate "budget probe returned %s, not budget_exceeded" budget_error;
+  if budget_questions > 200 then
+    violate "budget-tripped trace shows %d questions > quota 200"
+      budget_questions;
+  {
+    ob_requests = requests;
+    ob_trials = trials;
+    ob_modes = modes;
+    ledger_checked = !checked;
+    ledger_exact = !exact;
+    budget_error;
+    budget_questions;
+    budget_trace;
+    ob_violations = List.rev !violations;
+  }
+
+let obs_to_json (r : obs_result) =
+  Json.Obj
+    [
+      ("workload", Json.String "E24 mixed batch, sequential engine");
+      ("requests", Json.Int r.ob_requests);
+      ("trials", Json.Int r.ob_trials);
+      ( "modes",
+        Json.Obj
+          (List.map
+             (fun m ->
+               ( m.om_mode,
+                 Json.Obj
+                   [
+                     ("wall_s", Json.Float m.om_wall_s);
+                     ("overhead_frac", Json.Float m.om_overhead_frac);
+                     ("identical", Json.Bool m.om_identical);
+                     ("traced", Json.Int m.om_traced);
+                   ] ))
+             r.ob_modes) );
+      ( "ledger",
+        Json.Obj
+          [
+            ("checked", Json.Int r.ledger_checked);
+            ("exact", Json.Bool r.ledger_exact);
+          ] );
+      ( "budget_trip",
+        Json.Obj
+          [
+            ("error", Json.String r.budget_error);
+            ("questions", Json.Int r.budget_questions);
+            ( "trace",
+              match Json.parse r.budget_trace with
+              | Ok j -> j
+              | Error _ -> Json.String r.budget_trace );
+          ] );
+      ("violations", Json.List (List.map (fun s -> Json.String s) r.ob_violations));
+    ]
+
+let run_obs ?out ?requests ?trials () =
+  Format.printf "observability benchmark (E28):@.";
+  let r = obs_workload ?requests ?trials () in
+  Format.printf "  E24 mixed batch, %d requests, best of %d:@." r.ob_requests
+    r.ob_trials;
+  List.iter
+    (fun m ->
+      Format.printf
+        "    %-7s %.4fs  (%+.2f%% vs off), byte-identical: %b, traces: %d@."
+        m.om_mode m.om_wall_s
+        (100. *. m.om_overhead_frac)
+        m.om_identical m.om_traced)
+    r.ob_modes;
+  Format.printf
+    "  ledger slices: %d traced requests checked against stats, all exact: \
+     %b@."
+    r.ledger_checked r.ledger_exact;
+  Format.printf
+    "  budget trip (tree(paths3,6), quota 200): %s, trace accounts for %d \
+     questions@."
+    r.budget_error r.budget_questions;
+  List.iter (fun v -> Format.printf "  VIOLATION: %s@." v) r.ob_violations;
+  (match out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Json.to_string (obs_to_json r));
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "  wrote %s@." path);
+  r

@@ -143,3 +143,43 @@ val run_parallel :
     there ([BENCH_parallel.json]).  Returns the result so callers (the
     [recdb bench-parallel] smoke gate) can fail on an identity or
     containment violation. *)
+
+(** {2 E28: the observability subsystem} *)
+
+type obs_mode_run = {
+  om_mode : string;  (** ["off"], ["sampled"] (1-in-64) or ["full"] *)
+  om_wall_s : float;  (** best of trials *)
+  om_overhead_frac : float;  (** vs the off run; [0.] for off itself *)
+  om_identical : bool;  (** responses byte-identical to the off run *)
+  om_traced : int;  (** traces collected in the last trial *)
+}
+
+type obs_result = {
+  ob_requests : int;
+  ob_trials : int;
+  ob_modes : obs_mode_run list;
+  ledger_checked : int;  (** traced requests matched against stats *)
+  ledger_exact : bool;
+      (** every traced request's question slots summed exactly to its
+          response's [oracle_calls + tb_calls + equiv_calls] *)
+  budget_error : string;  (** error kind of the worked budget-trip probe *)
+  budget_questions : int;  (** its trace's question total (≤ the quota) *)
+  budget_trace : string;  (** the worked span tree, one-line JSON *)
+  ob_violations : string list;  (** empty = all acceptance checks pass *)
+}
+
+val obs_workload : ?requests:int -> ?trials:int -> unit -> obs_result
+(** The E28 workload: the E24 mixed batch ([requests], default 2000) on
+    a fresh sequential engine, [trials] (default 3) runs per tracing
+    mode (off / 1-in-64 / full), checking overhead (< 5%, with an
+    absolute slack for sub-50ms smoke runs), byte-identity of responses
+    in every mode, ledger exactness on every traced request of the full
+    run, and a worked budget-tripped trace ([tree(paths3, 6)] under a
+    200-question quota). *)
+
+val obs_to_json : obs_result -> Json.t
+
+val run_obs : ?out:string -> ?requests:int -> ?trials:int -> unit -> obs_result
+(** Print the E28 tables; when [out] is given, also write the JSON
+    there ([BENCH_obs.json]).  Returns the result so [recdb bench-obs]
+    can exit nonzero on a violation. *)

@@ -1,18 +1,12 @@
 type counter = { cell : int Atomic.t }
 
-(* Bucket upper bounds in seconds, log-spaced (factor ~2.5) from 1µs to
-   ~100s, plus a catch-all +inf bucket.  Fixed boundaries keep
-   [observe] allocation-free and mergeable across domains. *)
-let bounds =
-  [|
-    1e-6; 2.5e-6; 6.3e-6; 1.6e-5; 4e-5; 1e-4; 2.5e-4; 6.3e-4; 1.6e-3; 4e-3;
-    1e-2; 2.5e-2; 6.3e-2; 0.16; 0.4; 1.0; 2.5; 6.3; 16.0; 40.0; 100.0;
-  |]
-
-type histogram = {
-  buckets : int Atomic.t array;  (* length = Array.length bounds + 1 *)
-  total : int Atomic.t;
-}
+(* Histograms are Obs.Histogram sketches: log-spaced buckets with a 1%
+   relative-error bound at every scale, lock-free observation, shared
+   freely across domains.  (They replaced a fixed-21-boundary histogram
+   whose error at any given scale was whatever the hand-picked
+   boundaries gave — and, before that, sorted-array percentile code
+   duplicated per consumer.) *)
+type histogram = Obs.Histogram.t
 
 let registry_lock = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 16
@@ -40,61 +34,29 @@ let histogram name =
     match Hashtbl.find_opt histograms name with
     | Some h -> h
     | None ->
-        let h =
-          {
-            buckets =
-              Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
-            total = Atomic.make 0;
-          }
-        in
+        let h = Obs.Histogram.create () in
         Hashtbl.add histograms name h;
         h
   in
   Mutex.unlock registry_lock;
   h
 
-let bucket_index v =
-  let v = if v < 0.0 then 0.0 else v in
-  let rec go i =
-    if i >= Array.length bounds then Array.length bounds
-    else if v <= bounds.(i) then i
-    else go (i + 1)
-  in
-  go 0
-
-let observe h v =
-  Atomic.incr h.buckets.(bucket_index v);
-  Atomic.incr h.total
-
-let histogram_count h = Atomic.get h.total
-
-let quantile h q =
-  let total = Atomic.get h.total in
-  if total = 0 then nan
-  else begin
-    let target =
-      let t = int_of_float (ceil (q *. float_of_int total)) in
-      if t < 1 then 1 else if t > total then total else t
-    in
-    let acc = ref 0 and result = ref nan and i = ref 0 in
-    while Float.is_nan !result && !i < Array.length h.buckets do
-      acc := !acc + Atomic.get h.buckets.(!i);
-      if !acc >= target then
-        result :=
-          (if !i < Array.length bounds then bounds.(!i) else infinity);
-      i := !i + 1
-    done;
-    !result
-  end
+let observe h v = Obs.Histogram.observe h v
+let histogram_count h = Obs.Histogram.count h
+let quantile h q = Obs.Histogram.quantile h q
 
 let sorted_values table =
   Hashtbl.fold (fun name v acc -> (name, v) :: acc) table []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let dump_text () =
+let snapshot () =
   Mutex.lock registry_lock;
   let cs = sorted_values counters and hs = sorted_values histograms in
   Mutex.unlock registry_lock;
+  (cs, hs)
+
+let dump_text () =
+  let cs, hs = snapshot () in
   let buf = Buffer.create 256 in
   Buffer.add_string buf "metrics:\n";
   List.iter
@@ -110,15 +72,13 @@ let dump_text () =
           (Printf.sprintf "  %-36s %12s\n" name "(empty)")
       else
         Buffer.add_string buf
-          (Printf.sprintf "  %-36s count %6d  p50 <= %gs  p99 <= %gs\n" name
-             n (quantile h 0.5) (quantile h 0.99)))
+          (Printf.sprintf "  %-36s count %6d  p50 ~ %gs  p99 ~ %gs\n" name n
+             (quantile h 0.5) (quantile h 0.99)))
     hs;
   Buffer.contents buf
 
 let dump_json () =
-  Mutex.lock registry_lock;
-  let cs = sorted_values counters and hs = sorted_values histograms in
-  Mutex.unlock registry_lock;
+  let cs, hs = snapshot () in
   Json.Obj
     [
       ( "counters",
@@ -142,9 +102,26 @@ let dump_json () =
 let reset_all () =
   Mutex.lock registry_lock;
   Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
-  Hashtbl.iter
-    (fun _ h ->
-      Array.iter (fun b -> Atomic.set b 0) h.buckets;
-      Atomic.set h.total 0)
-    histograms;
+  Hashtbl.iter (fun _ h -> Obs.Histogram.reset h) histograms;
   Mutex.unlock registry_lock
+
+(* The whole registry is one exposition source: anything any module
+   ever counted or timed shows up on the scrape endpoint with no
+   per-metric wiring. *)
+let () =
+  ignore
+    (Obs.Expo.register "metrics" (fun () ->
+         let cs, hs = snapshot () in
+         List.map
+           (fun (name, c) ->
+             Obs.Expo.Counter
+               {
+                 name;
+                 help = "recdb counter " ^ name;
+                 value = counter_value c;
+               })
+           cs
+         @ List.map
+             (fun (name, h) ->
+               Obs.Expo.Histo { name; help = "recdb histogram " ^ name; h })
+             hs))

@@ -1,5 +1,7 @@
 (** A process-wide metrics registry: named monotonic counters and
-    latency histograms, dumpable as a text table and as JSON.
+    latency histograms, dumpable as a text table and as JSON, and
+    exported whole as an {!Obs.Expo} source (so a server's scrape
+    endpoint sees every registered name with no per-metric wiring).
 
     Registration is get-or-create by name, so any module can say
     [Metrics.counter "engine.requests"] and increment it without
@@ -8,7 +10,10 @@
     update shared metrics freely. *)
 
 type counter
-type histogram
+
+type histogram = Obs.Histogram.t
+(** Histograms are {!Obs.Histogram} sketches: log-bucketed with a 1%
+    relative-error bound at every scale from 1ns to 10⁴s. *)
 
 val counter : string -> counter
 (** Get or create the counter with this name. *)
@@ -17,8 +22,7 @@ val incr : ?by:int -> counter -> unit
 val counter_value : counter -> int
 
 val histogram : string -> histogram
-(** Get or create a latency histogram (unit: seconds).  Buckets are
-    log-spaced from 1µs to ~100s. *)
+(** Get or create a latency histogram (unit: seconds). *)
 
 val observe : histogram -> float -> unit
 (** Record one observation (seconds; negative values clamp to 0). *)
@@ -26,13 +30,12 @@ val observe : histogram -> float -> unit
 val histogram_count : histogram -> int
 
 val quantile : histogram -> float -> float
-(** [quantile h q] for [q] in [0,1]: upper bound of the bucket containing
-    the q-th observation — an approximation from bucket boundaries.
-    Returns [nan] on an empty histogram. *)
+(** [quantile h q] for [q] in [0,1]: the value at rank ⌈q·count⌉,
+    within 1% relative error.  Returns [nan] on an empty histogram. *)
 
 val dump_text : unit -> string
 (** Human-readable table: counters sorted by name, then histograms with
-    count/p50/p99/max-bucket. *)
+    count/p50/p99. *)
 
 val dump_json : unit -> Json.t
 (** [{"counters": {...}, "histograms": {name: {"count": n, "p50": s,

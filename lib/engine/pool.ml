@@ -34,7 +34,14 @@ type batch = {
          after the batch lock is released *)
 }
 
-type job = { request : Request.t; index : int; owner : batch }
+type job = {
+  request : Request.t;
+  index : int;
+  owner : batch;
+  enqueued_at : float;
+      (* wall clock at enqueue when tracing is on (the trace's queue-wait
+         span), 0. otherwise — no gettimeofday on the untraced path *)
+}
 
 (* A chunk is a live slice of a batch's job array: jobs.(next..limit-1)
    are unclaimed.  Chunks are mutated only under the lock of the deque
@@ -69,6 +76,10 @@ type t = {
   cache_capacity : int option;
   engine_config : Engine.config option;
   crash_on : (Request.t -> bool) option;
+  tracing : Obs.Trace.sampling;
+  trace_ctxs : Obs.Trace.t option array;
+      (* one ctx per slot, owned by whichever worker currently holds the
+         slot (a replacement inherits its predecessor's ring) *)
   m_deaths : Metrics.counter;
   m_respawns : Metrics.counter;
   m_steals : Metrics.counter;
@@ -181,7 +192,7 @@ let drain_deques_with_errors pool msg =
     (fun slot ->
       let rec go () =
         match take_from pool slot.deque with
-        | Some { request; index; owner } ->
+        | Some { request; index; owner; _ } ->
             deliver owner index (crash_response request msg);
             go ()
         | None -> ()
@@ -194,18 +205,24 @@ let rec worker_main pool slot_idx () =
   (try
      let engine =
        Engine.create ?cache_capacity:pool.cache_capacity
-         ?config:pool.engine_config ?shared:pool.shared ()
+         ?config:pool.engine_config ?shared:pool.shared
+         ?trace:pool.trace_ctxs.(slot_idx) ()
      in
      slot.engine <- Some engine;
-     let serve ({ request; index; owner } as job) =
+     let serve ({ request; index; owner; enqueued_at } as job) =
        slot.inflight <- Some job;
        (match pool.crash_on with
        | Some p when p request -> raise Injected_crash
        | _ -> ());
+       let queued_s =
+         if enqueued_at > 0.0 then
+           Some (Float.max 0.0 (Unix.gettimeofday () -. enqueued_at))
+         else None
+       in
        let response =
          (* Engine.handle is total; this catch is the containment
             backstop for bugs and asynchronous exceptions. *)
-         match Engine.handle engine request with
+         match Engine.handle ?queued_s engine request with
          | r -> r
          | exception e ->
              crash_response request ("request raised " ^ Printexc.to_string e)
@@ -255,7 +272,7 @@ let rec worker_main pool slot_idx () =
          slot.engine <- None
      | None -> ());
      (match slot.inflight with
-     | Some { request; index; owner } ->
+     | Some { request; index; owner; _ } ->
          deliver owner index (crash_response request msg)
      | None -> ());
      slot.inflight <- None;
@@ -277,7 +294,8 @@ let rec worker_main pool slot_idx () =
   Atomic.decr pool.alive
 
 let create ?domains ?cache_capacity ?engine_config ?crash_on
-    ?(max_respawns = 1000) ?(share = true) () =
+    ?(max_respawns = 1000) ?(share = true) ?(tracing = Obs.Trace.Off)
+    ?(trace_capacity = 256) () =
   let n =
     match domains with
     | Some n ->
@@ -309,6 +327,12 @@ let create ?domains ?cache_capacity ?engine_config ?crash_on
       cache_capacity;
       engine_config;
       crash_on;
+      tracing;
+      trace_ctxs =
+        Array.init n (fun _ ->
+            if tracing = Obs.Trace.Off then None
+            else
+              Some (Obs.Trace.make ~capacity:trace_capacity ~sampling:tracing ()));
       m_deaths = Metrics.counter "pool.worker_deaths";
       m_respawns = Metrics.counter "pool.respawns";
       m_steals = Metrics.counter "pool.steals";
@@ -324,6 +348,18 @@ let create ?domains ?cache_capacity ?engine_config ?crash_on
 
 let size pool = pool.n
 let worker_deaths pool = Atomic.get pool.deaths
+let tracing pool = pool.tracing
+
+(* Enqueue timestamp for the trace's queue-wait span; 0. (no clock
+   read) when tracing is off. *)
+let stamp pool =
+  if pool.tracing = Obs.Trace.Off then 0.0 else Unix.gettimeofday ()
+
+let traces pool =
+  Array.to_list pool.trace_ctxs
+  |> List.concat_map (function None -> [] | Some c -> Obs.Trace.traces c)
+  |> List.sort (fun a b ->
+         compare a.Obs.Trace.at_s b.Obs.Trace.at_s)
 
 (* Near-equal contiguous chunks, at most one per worker, placed
    round-robin; stealing rebalances whatever this static split gets
@@ -375,7 +411,10 @@ let run_batch pool requests =
         on_done = None;
       }
     in
-    let jobs = Array.mapi (fun index request -> { request; index; owner }) reqs in
+    let enqueued_at = stamp pool in
+    let jobs =
+      Array.mapi (fun index request -> { request; index; owner; enqueued_at }) reqs
+    in
     dispatch pool ~caller:"Pool.run_batch" jobs;
     Mutex.lock owner.b_lock;
     while owner.remaining > 0 do
@@ -405,7 +444,8 @@ let submit pool request on_response =
             | None -> assert false (* on_done fires only when filled *));
     }
   in
-  dispatch pool ~caller:"Pool.submit" [| { request; index = 0; owner } |]
+  dispatch pool ~caller:"Pool.submit"
+    [| { request; index = 0; owner; enqueued_at = stamp pool } |]
 
 let oracle_questions pool =
   Array.fold_left
@@ -417,6 +457,26 @@ let oracle_questions pool =
     pool.slots
 
 let shared_stats pool = Option.map Shared_memo.stats pool.shared
+
+(* Aggregate LRU stats over the live workers' engines.  [slot.engine]
+   is written once by each worker at startup; this read races only
+   with a death/respawn and at worst misses one engine's numbers for a
+   moment — fine for a scrape. *)
+let cache_stats pool =
+  Array.fold_left
+    (fun acc slot ->
+      match slot.engine with
+      | Some e ->
+          let s = Engine.cache_stats e in
+          Oracle_cache.
+            {
+              hits = acc.hits + s.hits;
+              misses = acc.misses + s.misses;
+              evictions = acc.evictions + s.evictions;
+            }
+      | None -> acc)
+    Oracle_cache.{ hits = 0; misses = 0; evictions = 0 }
+    pool.slots
 
 let shutdown_result ?(timeout_s = infinity) pool =
   Mutex.lock pool.lock;

@@ -73,6 +73,8 @@ val create :
   ?crash_on:(Request.t -> bool) ->
   ?max_respawns:int ->
   ?share:bool ->
+  ?tracing:Obs.Trace.sampling ->
+  ?trace_capacity:int ->
   unit ->
   t
 (** [domains] defaults to [Domain.recommended_domain_count () - 1],
@@ -85,7 +87,15 @@ val create :
     bounds replacement spawns so a deterministic crash-on-everything
     configuration cannot fork-bomb.  [share] (default [true]) gives all
     workers one {!Shared_memo.t}; pass [false] to measure or test fully
-    independent workers. *)
+    independent workers.
+
+    [tracing] (default [Off]) gives every worker engine a private
+    {!Obs.Trace} ctx with the given sampling; sampled requests produce
+    span trees (queue wait, parse, retry attempts) with exact Def. 3.9
+    ledger slices, collected by {!traces}.  [trace_capacity] (default
+    256) bounds each worker's completed-trace ring.  With tracing on,
+    jobs carry their enqueue timestamp so traces show the queue wait;
+    nothing else changes — responses stay byte-identical (E28). *)
 
 val size : t -> int
 (** Number of worker slots. *)
@@ -93,6 +103,13 @@ val size : t -> int
 val worker_deaths : t -> int
 (** Workers this pool has lost (and, up to [max_respawns],
     replaced). *)
+
+val tracing : t -> Obs.Trace.sampling
+(** The sampling mode this pool was created with. *)
+
+val traces : t -> Obs.Trace.trace list
+(** Completed traces across all worker rings, ordered by start time.
+    Empty when created with [tracing:Off]. *)
 
 val run_batch : t -> Request.t list -> Request.response list
 (** Evaluate all requests, in parallel, preserving order; exactly one
@@ -122,6 +139,10 @@ val oracle_questions : t -> int
 val shared_stats : t -> Shared_memo.stats option
 (** Hit/miss statistics of the pool's shared memo layer ([None] when
     created with [~share:false]). *)
+
+val cache_stats : t -> Oracle_cache.stats
+(** Aggregate per-worker LRU statistics across the live worker engines
+    (a racy snapshot, exact when the pool is quiescent). *)
 
 val shutdown : ?timeout_s:float -> t -> unit
 (** Graceful: waits for queued jobs, then joins all workers (including

@@ -22,6 +22,11 @@ type t = {
   mutable reader_thread : Thread.t option;
   mutable writer_thread : Thread.t option;
   m_bad_frames : Metrics.counter;
+  (* [bad_frames] totals every answered-with-an-error line (sheds
+     included); these two break out the frame-level drop causes so a
+     scrape can tell an oversized flood from garbage JSON. *)
+  m_frames_oversized : Metrics.counter;
+  m_frames_parse : Metrics.counter;
 }
 
 let parse_error_response id msg =
@@ -77,11 +82,14 @@ let reader_loop t =
       | Frame.Truncated partial ->
           (* EOF mid-frame; answer if there were actual bytes, then the
              next read's Eof ends the loop. *)
-          if String.trim partial <> "" then
+          if String.trim partial <> "" then begin
+            Metrics.incr t.m_frames_parse;
             bad t
               (parse_error_response line_no
                  "truncated frame: connection closed before newline")
+          end
       | Frame.Oversized n ->
+          Metrics.incr t.m_frames_oversized;
           bad t
             (parse_error_response line_no
                (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit"
@@ -90,7 +98,9 @@ let reader_loop t =
       | Frame.Line line ->
           (match Request.decode_line ~default_id:line_no line with
           | `Empty -> ()
-          | `Error resp -> bad t resp
+          | `Error resp ->
+              Metrics.incr t.m_frames_parse;
+              bad t resp
           | `Request req ->
               if Admission.try_admit t.cfg.admission then begin
                 owe t;
@@ -183,6 +193,8 @@ let serve cfg fd =
       reader_thread = None;
       writer_thread = None;
       m_bad_frames = Metrics.counter "server.bad_frames";
+      m_frames_oversized = Metrics.counter "server.frames_dropped_oversized";
+      m_frames_parse = Metrics.counter "server.frames_parse_error";
     }
   in
   t.reader_thread <- Some (Thread.create reader_loop t);

@@ -13,11 +13,6 @@ type report = {
   p99_s : float;
 }
 
-(* One histogram per run so successive runs (the E27 rows) do not
-   pollute each other's quantiles; the registry keeps the few extra
-   names. *)
-let run_seq = Atomic.make 0
-
 type conn_state = {
   fd : Unix.file_descr;
   share : int;  (* requests this connection must send *)
@@ -27,7 +22,7 @@ type conn_state = {
   mutable outstanding : int;
   mutable conn_dead : bool;  (* receiver saw EOF: stop sending *)
   sends : (int, float) Hashtbl.t;  (* id -> send time *)
-  hist : Metrics.histogram;
+  hist : Obs.Histogram.t;
   (* per-connection tallies, merged after join *)
   mutable c_sent : int;
   mutable c_answered : int;
@@ -96,7 +91,7 @@ let receiver st =
               (match Hashtbl.find_opt st.sends id with
               | Some sent_at ->
                   Hashtbl.remove st.sends id;
-                  Metrics.observe st.hist (Unix.gettimeofday () -. sent_at)
+                  Obs.Histogram.observe st.hist (Unix.gettimeofday () -. sent_at)
               | None -> ());
               st.c_answered <- st.c_answered + 1;
               st.outstanding <- st.outstanding - 1;
@@ -126,10 +121,10 @@ let run ?(host = "127.0.0.1") ~port ?(connections = 4) ?(requests = 400)
         let batch = Array.of_list (Engine_bench.build_batch requests) in
         fun i -> batch.(i mod Array.length batch)
   in
-  let hist =
-    Metrics.histogram
-      (Printf.sprintf "loadgen.latency.run%d" (Atomic.fetch_and_add run_seq 1))
-  in
+  (* A private per-run histogram (shared by this run's receiver threads),
+     so successive runs — the E27 rows — never pollute each other's
+     quantiles; nothing leaks into the process-wide registry. *)
+  let hist = Obs.Histogram.create () in
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
   let connections = max 1 (min connections requests) in
   let states =
@@ -199,9 +194,9 @@ let run ?(host = "127.0.0.1") ~port ?(connections = 4) ?(requests = 400)
     lost = sent - answered;
     wall_s;
     throughput = (if wall_s > 0. then float_of_int answered /. wall_s else 0.);
-    p50_s = Metrics.quantile hist 0.50;
-    p95_s = Metrics.quantile hist 0.95;
-    p99_s = Metrics.quantile hist 0.99;
+    p50_s = Obs.Histogram.quantile hist 0.50;
+    p95_s = Obs.Histogram.quantile hist 0.95;
+    p99_s = Obs.Histogram.quantile hist 0.99;
   }
 
 let report_to_json r =

@@ -10,6 +10,10 @@ type t = {
   mutable drained : bool;
   mutable accept_thread : Thread.t option;
   m_connections : Metrics.counter;
+  expo : Expo_server.t option;  (* the /metrics side-channel listener *)
+  expo_source : Obs.Expo.source;
+      (* this server's gauges in the process-wide exposition registry;
+         unregistered on drain (tests start many servers per process) *)
 }
 
 (* A server must survive clients that disappear mid-write; the default
@@ -63,9 +67,13 @@ let accept_loop t =
 
 let start ?(host = "127.0.0.1") ?(port = 0) ?domains ?(window = 64)
     ?(per_conn_window = 16) ?(max_line = Frame.default_max_line)
-    ?(stats = true) ?cache_capacity ?engine_config () =
+    ?(stats = true) ?cache_capacity ?engine_config ?tracing ?trace_capacity
+    ?metrics_port () =
   Lazy.force ignore_sigpipe;
-  let pool = Pool.create ?domains ?cache_capacity ?engine_config () in
+  let pool =
+    Pool.create ?domains ?cache_capacity ?engine_config ?tracing
+      ?trace_capacity ()
+  in
   let admission = Admission.create ~window in
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
@@ -81,6 +89,68 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?domains ?(window = 64)
     match Unix.getsockname listen_fd with
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> assert false
+  in
+  (* This server's live gauges, contributed to the process-wide
+     exposition registry alongside the Metrics counters/histograms the
+     serving layers already record. *)
+  let expo_source =
+    Obs.Expo.register "server" (fun () ->
+        let cs = Pool.cache_stats pool in
+        let g name help value =
+          Obs.Expo.Gauge { name; help; value = float_of_int value }
+        in
+        [
+          g "admission_window" "global in-flight admission bound"
+            (Admission.window admission);
+          g "admission_inflight" "requests currently admitted"
+            (Admission.inflight admission);
+          g "admission_high_water" "max concurrently admitted so far"
+            (Admission.high_water admission);
+          Obs.Expo.Counter
+            {
+              name = "admission_admitted";
+              help = "requests admitted";
+              value = Admission.admitted admission;
+            };
+          Obs.Expo.Counter
+            {
+              name = "admission_shed";
+              help = "requests shed at the admission door";
+              value = Admission.shed admission;
+            };
+          g "pool_size" "worker slots" (Pool.size pool);
+          g "pool_oracle_questions"
+            "Def. 3.9 questions asked across all worker engines"
+            (Pool.oracle_questions pool);
+          g "pool_cache_hits" "per-worker LRU hits" cs.Oracle_cache.hits;
+          g "pool_cache_misses" "per-worker LRU misses" cs.Oracle_cache.misses;
+          g "pool_cache_evictions" "per-worker LRU evictions"
+            cs.Oracle_cache.evictions;
+        ])
+  in
+  let expo =
+    match metrics_port with
+    | None -> None
+    | Some mp -> (
+        let routes =
+          let metrics () =
+            ("text/plain; version=0.0.4", Obs.Expo.render_all ())
+          in
+          let traces () =
+            ( "application/json",
+              String.concat ""
+                (List.map
+                   (fun tr -> Obs.Trace.to_json_string tr ^ "\n")
+                   (Pool.traces pool)) )
+          in
+          [ ("/metrics", metrics); ("/", metrics); ("/traces", traces) ]
+        in
+        try Some (Expo_server.start ~host ~port:mp ~routes ())
+        with e ->
+          Obs.Expo.unregister expo_source;
+          (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+          Pool.shutdown ~timeout_s:5.0 pool;
+          raise e)
   in
   let t =
     {
@@ -102,12 +172,15 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?domains ?(window = 64)
       drained = false;
       accept_thread = None;
       m_connections = Metrics.counter "server.connections";
+      expo;
+      expo_source;
     }
   in
   t.accept_thread <- Some (Thread.create accept_loop t);
   t
 
 let port t = t.bound_port
+let metrics_port t = Option.map Expo_server.port t.expo
 let admission t = t.admission
 let pool t = t.pool
 
@@ -124,6 +197,11 @@ let drain ?(timeout_s = 30.0) t =
   Mutex.unlock t.lock;
   if already then `Clean
   else begin
+    (* 0. Retire the observability side-channel: stop the /metrics
+       listener and pull this server's gauges out of the process-wide
+       registry (the next server to start registers its own). *)
+    (match t.expo with Some e -> Expo_server.stop e | None -> ());
+    Obs.Expo.unregister t.expo_source;
     (* 1. Stop accepting: the accept loop notices [drained] at its next
        poll; only then is the listening socket closed. *)
     (match t.accept_thread with

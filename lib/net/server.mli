@@ -29,6 +29,9 @@ val start :
   ?stats:bool ->
   ?cache_capacity:int ->
   ?engine_config:Engine.config ->
+  ?tracing:Obs.Trace.sampling ->
+  ?trace_capacity:int ->
+  ?metrics_port:int ->
   unit ->
   t
 (** Bind [host] (default ["127.0.0.1"]) : [port] (default 0 — an
@@ -39,12 +42,27 @@ val start :
     bound; [max_line] (default {!Frame.default_max_line}) the frame
     bound; [stats] (default [true]) whether responses carry the
     [stats] field.  [engine_config] arms the same per-request
-    budget/deadline/fault machinery as batch serving.  Raises
-    [Unix.Unix_error] if the address cannot be bound. *)
+    budget/deadline/fault machinery as batch serving.
+
+    [tracing]/[trace_capacity] are passed to {!Pool.create}: sampled
+    requests produce span trees with exact Def. 3.9 ledger slices,
+    readable via [Pool.traces (pool t)] or the [/traces] route below.
+
+    [metrics_port] starts a second listener ({!Expo_server}) on that
+    port (0 = ephemeral; read back with {!metrics_port}) serving
+    [/metrics] — the Prometheus text exposition of every registered
+    {!Obs.Expo} source: the whole Metrics registry plus this server's
+    admission/pool/cache gauges — and [/traces], recent traces as JSON
+    lines.  Omitted (the default), no extra socket is opened.
+
+    Raises [Unix.Unix_error] if an address cannot be bound. *)
 
 val port : t -> int
 (** The actually-bound port — what a client should dial, and the whole
     point of [?port:0] for tests and smoke runs. *)
+
+val metrics_port : t -> int option
+(** The metrics listener's bound port, when [metrics_port] was given. *)
 
 val admission : t -> Admission.t
 val pool : t -> Pool.t

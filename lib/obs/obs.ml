@@ -1,0 +1,601 @@
+(* The observability substrate: ring buffers, log-bucketed histograms,
+   span tracing, and Prometheus-style text exposition.
+
+   Everything here is passive.  The tracing layer never calls back into
+   the thing it observes — span ledgers are computed from counter
+   snapshots the *observed* layer hands over (a [unit -> int array]
+   closure reading already-instrumented counters), so turning tracing
+   on can never ask an oracle question or change a served byte.  That
+   invariant is what lets the serving stack (engine, pool, TCP
+   front-end) thread a ctx through its hot paths unconditionally and
+   pay only a branch when tracing is off. *)
+
+(* ------------------------------------------------------------------ *)
+
+module Ring = struct
+  (* A fixed-capacity overwrite-oldest buffer for completed traces.
+
+     Writers claim a slot with one [fetch_and_add] and store into it —
+     no lock, no unbounded growth, O(1) per push.  Each slot is its own
+     ['a option Atomic.t], so a concurrent reader sees either the old
+     value or the new one, never a torn mix.  [snapshot] is best-effort
+     by design: a slot claimed but not yet stored reads as its previous
+     occupant (or [None] when fresh); exactness is not worth a lock on
+     the trace hot path. *)
+
+  type 'a t = {
+    slots : 'a option Atomic.t array;
+    next : int Atomic.t;  (* total pushes ever; slot = next mod capacity *)
+  }
+
+  let create capacity =
+    if capacity < 1 then invalid_arg "Ring.create: capacity < 1";
+    {
+      slots = Array.init capacity (fun _ -> Atomic.make None);
+      next = Atomic.make 0;
+    }
+
+  let capacity t = Array.length t.slots
+
+  let push t v =
+    let i = Atomic.fetch_and_add t.next 1 in
+    Atomic.set t.slots.(i mod Array.length t.slots) (Some v)
+
+  let written t = Atomic.get t.next
+
+  (* Oldest-to-newest among the slots still live.  Taken while writers
+     race, some slots may still hold an older generation's value (or
+     none); the caller gets whatever was stored at read time. *)
+  let snapshot t =
+    let cap = Array.length t.slots in
+    let n = Atomic.get t.next in
+    let first = max 0 (n - cap) in
+    List.filter_map
+      (fun i -> Atomic.get t.slots.(i mod cap))
+      (List.init (n - first) (fun k -> first + k))
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Histogram = struct
+  (* An HDR-style log-bucketed histogram with bounded relative error
+     (the DDSketch bucket scheme).
+
+     Bucket [i] covers the value range (γ^(i-1), γ^i] with
+     γ = (1+α)/(1-α), and reports the estimate 2·γ^i/(γ+1): for any
+     value v in the bucket, |estimate - v| ≤ α·v.  So any quantile is
+     reported with relative error at most α (default 1%), at any scale
+     from [min_value] to [max_value] — unlike a sorted-array percentile
+     (exact but O(n) memory and unmergeable across threads) or a
+     fixed-boundary histogram (whose error is whatever the hand-picked
+     boundaries happen to give at that scale).
+
+     Values below [min_value] land in an underflow bucket reported as
+     [min_value]; values above [max_value] land in an overflow bucket
+     reported as [max_value]; the relative-error bound holds for values
+     inside the range.  All cells are [Atomic.t], so concurrent
+     observers (pool workers, load-generator threads) share one
+     histogram freely; an observation costs one [log], two
+     fetch-and-adds and an increment. *)
+
+  type t = {
+    alpha : float;
+    gamma : float;
+    lgamma : float;  (* log gamma *)
+    min_value : float;
+    max_value : float;
+    i_min : int;  (* bucket index of min_value *)
+    buckets : int Atomic.t array;
+        (* slot 0 = underflow, slots 1..n = log buckets, slot n+1 =
+           overflow *)
+    total : int Atomic.t;
+    sum_ns : int Atomic.t;  (* running sum in integer nanoseconds *)
+  }
+
+  let index_of t v = int_of_float (Float.ceil (log v /. t.lgamma))
+
+  let create ?(alpha = 0.01) ?(min_value = 1e-9) ?(max_value = 1e4) () =
+    if not (alpha > 0.0 && alpha < 1.0) then
+      invalid_arg "Histogram.create: alpha must be in (0,1)";
+    if not (0.0 < min_value && min_value < max_value) then
+      invalid_arg "Histogram.create: need 0 < min_value < max_value";
+    let gamma = (1.0 +. alpha) /. (1.0 -. alpha) in
+    let lgamma = log gamma in
+    let i_min = int_of_float (Float.ceil (log min_value /. lgamma)) in
+    let i_max = int_of_float (Float.ceil (log max_value /. lgamma)) in
+    {
+      alpha;
+      gamma;
+      lgamma;
+      min_value;
+      max_value;
+      i_min;
+      buckets = Array.init (i_max - i_min + 3) (fun _ -> Atomic.make 0);
+      total = Atomic.make 0;
+      sum_ns = Atomic.make 0;
+    }
+
+  let alpha t = t.alpha
+
+  let slot_of t v =
+    if v <= t.min_value then 0
+    else if v > t.max_value then Array.length t.buckets - 1
+    else
+      let s = index_of t v - t.i_min + 1 in
+      (* log rounding at a bucket edge can land one off; clamp into the
+         log range *)
+      max 1 (min (Array.length t.buckets - 2) s)
+
+  (* The DDSketch midpoint: within alpha of every value in the slot. *)
+  let estimate_of t slot =
+    if slot = 0 then t.min_value
+    else if slot = Array.length t.buckets - 1 then t.max_value
+    else 2.0 *. (t.gamma ** float_of_int (slot - 1 + t.i_min)) /. (t.gamma +. 1.0)
+
+  let observe t v =
+    let v = if Float.is_nan v || v < 0.0 then 0.0 else v in
+    Atomic.incr t.buckets.(slot_of t v);
+    Atomic.incr t.total;
+    ignore (Atomic.fetch_and_add t.sum_ns (int_of_float (v *. 1e9)))
+
+  let count t = Atomic.get t.total
+  let sum_s t = float_of_int (Atomic.get t.sum_ns) *. 1e-9
+
+  (* The value at rank ⌈q·count⌉ (clamped to [1, count]), reported as
+     its bucket's estimate: within relative error alpha of the exact
+     rank statistic.  nan on an empty histogram. *)
+  let quantile t q =
+    let total = Atomic.get t.total in
+    if total = 0 then nan
+    else begin
+      let target =
+        let r = int_of_float (Float.ceil (q *. float_of_int total)) in
+        max 1 (min total r)
+      in
+      let acc = ref 0 and slot = ref (-1) and i = ref 0 in
+      while !slot < 0 && !i < Array.length t.buckets do
+        acc := !acc + Atomic.get t.buckets.(!i);
+        if !acc >= target then slot := !i;
+        incr i
+      done;
+      estimate_of t (if !slot < 0 then Array.length t.buckets - 1 else !slot)
+    end
+
+  (* Observations ≤ bound, for cumulative (Prometheus "le") buckets: a
+     value v in log slot i satisfies v ≤ γ^i, so slots up to
+     ⌊log_γ bound⌋ are definitely ≤ bound.  Approximate at the boundary
+     with the same α as everything else. *)
+  let count_below t bound =
+    if bound <= t.min_value then Atomic.get t.buckets.(0)
+    else begin
+      let limit =
+        if bound > t.max_value then Array.length t.buckets - 1
+        else
+          let i = int_of_float (Float.floor (log bound /. t.lgamma)) in
+          max 0 (min (Array.length t.buckets - 2) (i - t.i_min + 1))
+      in
+      let acc = ref 0 in
+      for s = 0 to limit do
+        acc := !acc + Atomic.get t.buckets.(s)
+      done;
+      !acc
+    end
+
+  let reset t =
+    Array.iter (fun b -> Atomic.set b 0) t.buckets;
+    Atomic.set t.total 0;
+    Atomic.set t.sum_ns 0
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Trace = struct
+  (* Per-request span trees with exact Def. 3.9 ledger slices.
+
+     The observed layer opens a request with a [ledger] — labels plus a
+     snapshot closure over its own instrumented counters (raw Rᵢ
+     relation counters, T_B/≅_B counters, cache-hit counters).  Every
+     span entry/exit snapshots those counters; a span's [self] slice is
+     its own delta minus its children's, so the slices over a whole
+     tree sum *exactly* to the root delta — which is exactly the
+     engine's per-request stats, because both read the same counters.
+     Nothing here can create a question: the ledger closure only reads.
+
+     A ctx belongs to one thread of execution at a time (each engine
+     owns one); only the completed-trace ring is shared. *)
+
+  type sampling = Off | Every of int | All
+
+  type span = {
+    name : string;
+    start_s : float;  (* offset from the trace's start *)
+    mutable dur_s : float;
+    mutable attrs : (string * string) list;
+    mutable self : int array;  (* own ledger slice, parallel to labels *)
+    mutable children : span list;  (* in start order *)
+  }
+
+  type trace = {
+    seq : int;  (* request ordinal in this ctx, 0-based *)
+    req_id : int;
+    at_s : float;  (* absolute wall-clock at trace start *)
+    labels : string array;
+    questions : int;  (* labels.(0 .. questions-1) are Def. 3.9 questions *)
+    root : span;
+  }
+
+  type ledger = {
+    labels : string array;
+    questions : int;
+    read : unit -> int array;  (* must return [Array.length labels] cells *)
+  }
+
+  let null_ledger = { labels = [||]; questions = 0; read = (fun () -> [||]) }
+
+  type frame = {
+    f_span : span;
+    enter : int array;
+    mutable child_total : int array;  (* summed deltas of closed children *)
+  }
+
+  type t = {
+    sampling : sampling;
+    ring : trace Ring.t;
+    mutable seen : int;  (* requests offered (sampled or not) *)
+    mutable active : bool;
+    mutable t0 : float;
+    mutable req_id : int;
+    mutable ledger : ledger;
+    mutable stack : frame list;  (* innermost first; last is the root *)
+  }
+
+  let make ?(capacity = 256) ~sampling () =
+    {
+      sampling;
+      ring = Ring.create capacity;
+      seen = 0;
+      active = false;
+      t0 = 0.0;
+      req_id = 0;
+      ledger = null_ledger;
+      stack = [];
+    }
+
+  let sampling t = t.sampling
+  let active t = t.active
+  let enabled t = t.sampling <> Off
+
+  let begin_request t ~req_id ?(attrs = []) ledger =
+    let n = t.seen in
+    t.seen <- n + 1;
+    let sampled =
+      match t.sampling with
+      | Off -> false
+      | All -> true
+      | Every k -> k > 0 && n mod k = 0
+    in
+    if sampled then begin
+      t.active <- true;
+      t.t0 <- Unix.gettimeofday ();
+      t.req_id <- req_id;
+      t.ledger <- ledger;
+      t.stack <-
+        [
+          {
+            f_span =
+              {
+                name = "request";
+                start_s = 0.0;
+                dur_s = 0.0;
+                attrs;
+                self = [||];
+                children = [];
+              };
+            enter = ledger.read ();
+            child_total = Array.make (Array.length ledger.labels) 0;
+          };
+        ]
+    end
+
+  let enter t name =
+    if t.active then
+      t.stack <-
+        {
+          f_span =
+            {
+              name;
+              start_s = Unix.gettimeofday () -. t.t0;
+              dur_s = 0.0;
+              attrs = [];
+              self = [||];
+              children = [];
+            };
+          enter = t.ledger.read ();
+          child_total = Array.make (Array.length t.ledger.labels) 0;
+        }
+        :: t.stack
+
+  let annotate t attrs =
+    if t.active then
+      match t.stack with
+      | f :: _ -> f.f_span.attrs <- f.f_span.attrs @ attrs
+      | [] -> ()
+
+  (* Close the innermost span: its own slice is its delta minus what
+     its children already claimed. *)
+  let close_frame t f ~now ~snap =
+    let n = Array.length snap in
+    let delta = Array.init n (fun i -> snap.(i) - f.enter.(i)) in
+    f.f_span.self <- Array.init n (fun i -> delta.(i) - f.child_total.(i));
+    f.f_span.dur_s <- now -. t.t0 -. f.f_span.start_s;
+    delta
+
+  let leave ?(attrs = []) t =
+    if t.active then
+      match t.stack with
+      | [] | [ _ ] -> ()  (* the root closes in end_request *)
+      | f :: (parent :: _ as rest) ->
+          f.f_span.attrs <- f.f_span.attrs @ attrs;
+          let delta =
+            close_frame t f ~now:(Unix.gettimeofday ()) ~snap:(t.ledger.read ())
+          in
+          Array.iteri
+            (fun i d -> parent.child_total.(i) <- parent.child_total.(i) + d)
+            delta;
+          parent.f_span.children <- parent.f_span.children @ [ f.f_span ];
+          t.stack <- rest
+
+  let with_span t name f =
+    if not t.active then f ()
+    else begin
+      enter t name;
+      match f () with
+      | v ->
+          leave t;
+          v
+      | exception e ->
+          leave ~attrs:[ ("raised", Printexc.to_string e) ] t;
+          raise e
+    end
+
+  (* A span supplied whole by the caller (e.g. the pool's queue wait,
+     measured before the engine ever saw the request). *)
+  let synthetic t name ~start_s ~dur_s ~attrs =
+    if t.active then
+      match t.stack with
+      | f :: _ ->
+          f.f_span.children <-
+            f.f_span.children
+            @ [ { name; start_s; dur_s; attrs; self = [||]; children = [] } ]
+      | [] -> ()
+
+  let end_request ?(attrs = []) t =
+    if t.active then begin
+      (* Close any spans an exception left open, then the root. *)
+      while List.length t.stack > 1 do
+        leave t
+      done;
+      (match t.stack with
+      | [ root ] ->
+          root.f_span.attrs <- root.f_span.attrs @ attrs;
+          ignore
+            (close_frame t root ~now:(Unix.gettimeofday ())
+               ~snap:(t.ledger.read ()));
+          Ring.push t.ring
+            {
+              seq = t.seen - 1;
+              req_id = t.req_id;
+              at_s = t.t0;
+              labels = t.ledger.labels;
+              questions = t.ledger.questions;
+              root = root.f_span;
+            }
+      | _ -> ());
+      t.stack <- [];
+      t.active <- false;
+      t.ledger <- null_ledger
+    end
+
+  let traces t = Ring.snapshot t.ring
+
+  (* Sum of the Def. 3.9 question slots over the whole tree — by
+     construction equal to the root's counter delta, i.e. to the
+     engine's per-request question count. *)
+  let rec span_questions ~questions span =
+    let own = ref 0 in
+    Array.iteri (fun i v -> if i < questions then own := !own + v) span.self;
+    List.fold_left
+      (fun acc c -> acc + span_questions ~questions c)
+      !own span.children
+
+  let trace_questions (tr : trace) =
+    span_questions ~questions:tr.questions tr.root
+
+  (* ---------------------------------------------------------------- *)
+  (* JSON rendering.  Self-contained (Obs sits below the engine's Json
+     module): escaping covers the control/quote/backslash cases that
+     can occur in span names, attrs and relation labels. *)
+
+  let escape buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  let add_str buf s =
+    Buffer.add_char buf '"';
+    escape buf s;
+    Buffer.add_char buf '"'
+
+  let rec add_span buf ~labels span =
+    Buffer.add_string buf "{\"span\":";
+    add_str buf span.name;
+    Buffer.add_string buf (Printf.sprintf ",\"start_ms\":%.3f" (span.start_s *. 1e3));
+    Buffer.add_string buf (Printf.sprintf ",\"dur_ms\":%.3f" (span.dur_s *. 1e3));
+    if span.attrs <> [] then begin
+      Buffer.add_string buf ",\"attrs\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_str buf k;
+          Buffer.add_char buf ':';
+          add_str buf v)
+        span.attrs;
+      Buffer.add_char buf '}'
+    end;
+    let nonzero =
+      List.filter
+        (fun i -> i < Array.length span.self && span.self.(i) <> 0)
+        (List.init (Array.length labels) Fun.id)
+    in
+    if nonzero <> [] then begin
+      Buffer.add_string buf ",\"ledger\":{";
+      List.iteri
+        (fun k i ->
+          if k > 0 then Buffer.add_char buf ',';
+          add_str buf labels.(i);
+          Buffer.add_string buf (Printf.sprintf ":%d" span.self.(i)))
+        nonzero;
+      Buffer.add_char buf '}'
+    end;
+    if span.children <> [] then begin
+      Buffer.add_string buf ",\"children\":[";
+      List.iteri
+        (fun i c ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_span buf ~labels c)
+        span.children;
+      Buffer.add_char buf ']'
+    end;
+    Buffer.add_char buf '}'
+
+  let to_json_string (tr : trace) =
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf
+      (Printf.sprintf "{\"trace\":%d,\"req_id\":%d,\"questions\":%d,\"root\":"
+         tr.seq tr.req_id (trace_questions tr));
+    add_span buf ~labels:tr.labels tr.root;
+    Buffer.add_char buf '}';
+    Buffer.contents buf
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Expo = struct
+  (* Prometheus text exposition (format 0.0.4): counters, gauges, and
+     cumulative-bucket histograms rendered from [Histogram.t].  A
+     global source registry lets each layer contribute its families
+     without the renderer knowing any of them: the engine's Metrics
+     registry registers itself, a server registers its admission/pool
+     gauges, and the scrape endpoint just calls [render_all]. *)
+
+  type metric =
+    | Counter of { name : string; help : string; value : int }
+    | Gauge of { name : string; help : string; value : float }
+    | Histo of { name : string; help : string; h : Histogram.t }
+
+  let sanitize name =
+    let b = Bytes.of_string name in
+    Bytes.iteri
+      (fun i c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+        | _ -> Bytes.set b i '_')
+      b;
+    let s = Bytes.to_string b in
+    match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s
+
+  (* The classic le ladder, microseconds to tens of seconds — scraping
+     tools expect a fixed, monotone bucket list, not our ~1500 internal
+     sketch buckets. *)
+  let le_bounds =
+    [
+      1e-4; 2.5e-4; 5e-4; 1e-3; 2.5e-3; 5e-3; 1e-2; 2.5e-2; 5e-2; 0.1; 0.25;
+      0.5; 1.0; 2.5; 5.0; 10.0;
+    ]
+
+  let fmt_float v =
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.9g" v
+
+  let add_metric buf m =
+    match m with
+    | Counter { name; help; value } ->
+        let name = sanitize name in
+        let name =
+          if
+            String.length name >= 6
+            && String.sub name (String.length name - 6) 6 = "_total"
+          then name
+          else name ^ "_total"
+        in
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);
+        Buffer.add_string buf (Printf.sprintf "%s %d\n" name value)
+    | Gauge { name; help; value } ->
+        let name = sanitize name in
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
+        Buffer.add_string buf (Printf.sprintf "%s %s\n" name (fmt_float value))
+    | Histo { name; help; h } ->
+        let name = sanitize name ^ "_seconds" in
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+        List.iter
+          (fun le ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (fmt_float le)
+                 (Histogram.count_below h le)))
+          le_bounds;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name (Histogram.count h));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum %s\n" name (fmt_float (Histogram.sum_s h)));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count %d\n" name (Histogram.count h))
+
+  let render metrics =
+    let buf = Buffer.create 1024 in
+    List.iter (add_metric buf) metrics;
+    Buffer.contents buf
+
+  (* The source registry.  Sources render in registration order;
+     [unregister] exists because servers come and go within one process
+     (every test starts its own). *)
+
+  type source = int
+
+  let registry_lock = Mutex.create ()
+  let next_id = ref 0
+  let sources : (int * string * (unit -> metric list)) list ref = ref []
+
+  let register name f =
+    Mutex.lock registry_lock;
+    let id = !next_id in
+    next_id := id + 1;
+    sources := !sources @ [ (id, name, f) ];
+    Mutex.unlock registry_lock;
+    id
+
+  let unregister id =
+    Mutex.lock registry_lock;
+    sources := List.filter (fun (i, _, _) -> i <> id) !sources;
+    Mutex.unlock registry_lock
+
+  let render_all () =
+    Mutex.lock registry_lock;
+    let ss = !sources in
+    Mutex.unlock registry_lock;
+    (* Collect outside the lock: a source closure may itself take locks
+       (the Metrics registry mutex). *)
+    render (List.concat_map (fun (_, _, f) -> f ()) ss)
+end

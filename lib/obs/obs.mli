@@ -1,0 +1,206 @@
+(** The observability substrate: ring buffers, bounded-relative-error
+    latency histograms, per-request span tracing, and Prometheus-style
+    text exposition.
+
+    This library sits {e below} [lib/engine] on purpose.  Observation
+    must not be able to ask oracle questions (Def. 3.9 would stop being
+    exact the moment a probe could reach a relation), so [Obs] knows
+    nothing about relations, engines or sockets: the layers above hand
+    it read-only counter snapshots and pre-measured durations.  Turning
+    tracing on can therefore never change a served byte — E28 asserts
+    exactly that. *)
+
+module Ring : sig
+  (** A fixed-capacity overwrite-oldest buffer, safe for concurrent
+      writers: a push is one atomic slot claim plus one atomic store,
+      no lock.  [snapshot] is best-effort while writers race (a claimed
+      slot may briefly read as its previous occupant). *)
+
+  type 'a t
+
+  val create : int -> 'a t
+  (** Raises [Invalid_argument] on capacity < 1. *)
+
+  val capacity : 'a t -> int
+  val push : 'a t -> 'a -> unit
+
+  val written : 'a t -> int
+  (** Total pushes ever (not bounded by capacity). *)
+
+  val snapshot : 'a t -> 'a list
+  (** The surviving values, oldest first; at most [capacity]. *)
+end
+
+module Histogram : sig
+  (** HDR-style log-bucketed histograms (the DDSketch bucket scheme):
+      bucket [i] covers ((γ^(i-1), γ^i]) with γ = (1+α)/(1-α), and any
+      recorded value is reported — by {!quantile} — within relative
+      error α (default 1%).  Memory is fixed (~1.5k counters for
+      1ns..10000s), observations are lock-free ([Atomic.t] cells), and
+      one histogram may be shared by any number of threads/domains. *)
+
+  type t
+
+  val create : ?alpha:float -> ?min_value:float -> ?max_value:float -> unit -> t
+  (** [alpha] is the relative-error bound (default 0.01); values in
+      seconds between [min_value] (default 1e-9) and [max_value]
+      (default 1e4) are tracked with that error; values outside clamp
+      to the range ends.  Raises [Invalid_argument] on a non-sensical
+      configuration. *)
+
+  val alpha : t -> float
+
+  val observe : t -> float -> unit
+  (** Record one value (seconds; nan and negatives clamp to 0). *)
+
+  val count : t -> int
+  val sum_s : t -> float
+
+  val quantile : t -> float -> float
+  (** [quantile t q] for q ∈ [0,1]: the value at rank ⌈q·count⌉, within
+      relative error [alpha].  [nan] when empty. *)
+
+  val count_below : t -> float -> int
+  (** Observations ≤ bound (cumulative, for Prometheus [le] buckets),
+      with the same boundary error as everything else. *)
+
+  val reset : t -> unit
+end
+
+module Trace : sig
+  (** Per-request span trees carrying exact Def. 3.9 ledger slices.
+
+      A {e ledger} is a set of labelled counters the observed layer
+      already maintains (raw Rᵢ calls, T_B/≅_B calls, cache hits …),
+      exposed as one snapshot closure.  Entering and leaving a span
+      snapshots the counters; a span's [self] slice is its own delta
+      minus its children's, so the slices of a whole tree sum exactly
+      to the root's delta — the engine's per-request question count —
+      with no second bookkeeping that could drift.  The first
+      [questions] labels are the ones that are Def. 3.9 questions;
+      later labels (cache hits, memo hits) are observations, not
+      questions, and are excluded from {!trace_questions}.
+
+      A ctx belongs to one thread of execution at a time (each engine
+      owns its own); completed traces go to a concurrent {!Ring}. *)
+
+  type sampling =
+    | Off  (** tracing disabled: every hook is a single branch *)
+    | Every of int  (** trace request n when n mod k = 0 (1-in-k) *)
+    | All
+
+  type span = {
+    name : string;
+    start_s : float;  (** offset from the trace's start *)
+    mutable dur_s : float;
+    mutable attrs : (string * string) list;
+    mutable self : int array;  (** own ledger slice, parallel to labels *)
+    mutable children : span list;
+  }
+
+  type trace = {
+    seq : int;  (** request ordinal in this ctx (sampled or not) *)
+    req_id : int;
+    at_s : float;  (** absolute wall clock at trace start *)
+    labels : string array;
+    questions : int;  (** labels.(0..questions-1) are Def. 3.9 questions *)
+    root : span;
+  }
+
+  type ledger = {
+    labels : string array;
+    questions : int;
+    read : unit -> int array;
+  }
+
+  val null_ledger : ledger
+  (** No counters (e.g. a request that touches no instance). *)
+
+  type t
+
+  val make : ?capacity:int -> sampling:sampling -> unit -> t
+  (** [capacity] bounds the completed-trace ring (default 256). *)
+
+  val sampling : t -> sampling
+
+  val enabled : t -> bool
+  (** Sampling is not [Off] — i.e. the owner should bother measuring
+      things (like queue wait) that only a trace would consume. *)
+
+  val active : t -> bool
+  (** A sampled request is currently open. *)
+
+  val begin_request :
+    t -> req_id:int -> ?attrs:(string * string) list -> ledger -> unit
+  (** Open the root span, applying the sampling decision.  A no-op
+      (one branch) when this request is not sampled. *)
+
+  val enter : t -> string -> unit
+  val leave : ?attrs:(string * string) list -> t -> unit
+
+  val with_span : t -> string -> (unit -> 'a) -> 'a
+  (** Exception-safe [enter]/[leave]; an escaping exception is recorded
+      as a [raised] attr and re-raised. *)
+
+  val annotate : t -> (string * string) list -> unit
+  (** Append attrs to the innermost open span. *)
+
+  val synthetic :
+    t ->
+    string ->
+    start_s:float ->
+    dur_s:float ->
+    attrs:(string * string) list ->
+    unit
+  (** Attach a pre-measured child span (e.g. the pool's queue wait,
+      which happened before the engine saw the request). *)
+
+  val end_request : ?attrs:(string * string) list -> t -> unit
+  (** Close any spans an exception left open, close the root, and push
+      the completed trace to the ring. *)
+
+  val traces : t -> trace list
+  (** Ring snapshot, oldest first. *)
+
+  val trace_questions : trace -> int
+  (** Sum of the question slots over the whole tree = the root's
+      counter delta = the engine's per-request question count. *)
+
+  val span_questions : questions:int -> span -> int
+
+  val to_json_string : trace -> string
+  (** One-line JSON: [{"trace":n,"req_id":i,"questions":q,"root":
+      {"span":...,"start_ms":...,"dur_ms":...,"attrs":{...},
+      "ledger":{label:count,...},"children":[...]}}].  Zero ledger
+      entries are omitted. *)
+end
+
+module Expo : sig
+  (** Prometheus text exposition (format 0.0.4) over a process-wide
+      source registry.  Each layer registers a closure producing its
+      metric families; the scrape endpoint calls {!render_all}.  Names
+      are sanitized ([.] → [_]); counters get a [_total] suffix,
+      histograms a [_seconds] suffix with cumulative [le] buckets,
+      [_sum] and [_count]. *)
+
+  type metric =
+    | Counter of { name : string; help : string; value : int }
+    | Gauge of { name : string; help : string; value : float }
+    | Histo of { name : string; help : string; h : Histogram.t }
+
+  val render : metric list -> string
+
+  type source
+
+  val register : string -> (unit -> metric list) -> source
+  (** Sources render in registration order.  The closure runs on the
+      scraping thread and must be safe to call concurrently with the
+      process (read atomics, take only its own locks). *)
+
+  val unregister : source -> unit
+
+  val render_all : unit -> string
+
+  val sanitize : string -> string
+  val le_bounds : float list
+end
