@@ -1,4 +1,4 @@
-.PHONY: all build test bench resilience-smoke parallel-smoke server-smoke obs-smoke check clean
+.PHONY: all build test bench resilience-smoke parallel-smoke server-smoke obs-smoke rql-smoke check clean
 
 all: build
 
@@ -38,7 +38,17 @@ obs-smoke:
 	dune exec bin/recdb.exe -- bench-obs --requests 300 --trials 2 -o BENCH_obs_smoke.json
 	dune exec bin/recdb.exe -- obs-smoke
 
-check: build test bench resilience-smoke parallel-smoke server-smoke obs-smoke
+# The E29 smoke: a small bench-rql run — exits 1 unless the cost-based
+# planner asks fewer questions than naive evaluation, the warm re-serve
+# re-plans nothing and asks nothing new, and every mode is
+# byte-identical — then the golden-file check: parse, plan and serve the
+# committed RQL request file over a loopback socket and diff the
+# responses against the committed expected output.
+rql-smoke:
+	dune exec bin/recdb.exe -- bench-rql --requests 80 -o BENCH_rql_smoke.json
+	dune exec bin/recdb.exe -- rql-smoke
+
+check: build test bench resilience-smoke parallel-smoke server-smoke obs-smoke rql-smoke
 
 clean:
 	dune clean

@@ -1240,6 +1240,253 @@ let cmd_bench_engine =
     (Cmd.info "bench-engine" ~doc)
     Term.(const run $ out $ repeats $ requests)
 
+let cmd_rql =
+  let doc =
+    "Evaluate an RQL query (let/fix bindings over FO formulas, see \
+     README) on an hs instance; omit QUERY for a read-eval-print loop."
+  in
+  let inst =
+    Arg.(
+      value & opt string "paths3"
+      & info [ "i"; "instance" ] ~docv:"NAME" ~doc:"Instance name.")
+  in
+  let cutoff =
+    Arg.(
+      value & opt int 4
+      & info [ "c"; "cutoff" ] ~docv:"N"
+          ~doc:"Window bound for listing concrete members.")
+  in
+  let naive =
+    Arg.(
+      value & flag
+      & info [ "naive" ]
+          ~doc:
+            "Disable the cost-based planner: literal compilation, full \
+             fixpoint rounds, scan-based membership.  Same answers, more \
+             oracle questions.")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ] ~doc:"Print the compiled plan before evaluating.")
+  in
+  let query =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY"
+          ~doc:
+            "e.g. 'fix p(x,y) = R1(x,y) || exists z. (R1(x,z) && p(z,y)); \
+             query {(x,y) | p(x,y)}'.  Omit to enter a REPL (one query \
+             per line, blank line or EOF to quit).")
+  in
+  let run inst cutoff naive explain query =
+    if not (List.mem inst (Engine.instance_names ())) then begin
+      Format.eprintf "unknown instance %S; try `recdb instances'@." inst;
+      exit 1
+    end;
+    let planner = if naive then Request.Plan_naive else Request.Plan_cost in
+    let mode = if naive then Rql.Rql_plan.Naive else Rql.Rql_plan.Planned in
+    (* One engine for the whole run: in the REPL, later queries reuse
+       earlier plans and materialized definitions. *)
+    let engine = Engine.create () in
+    let next_id = ref 0 in
+    let pp_tuples ppf ts =
+      Format.fprintf ppf "{%s}"
+        (String.concat ", " (List.map Prelude.Tuple.to_string ts))
+    in
+    let eval_one text =
+      incr next_id;
+      if explain then begin
+        match Rql.Rql_plan.plan_of_text ~mode text with
+        | exception Rql.Rql_plan.Error _ -> () (* reported below *)
+        | plan -> Format.printf "%s@." (Rql.Rql_plan.describe plan)
+      end;
+      let before = Engine.question_count engine in
+      let r =
+        Engine.handle engine
+          {
+            Request.id = !next_id;
+            payload = Request.Rql { instance = inst; text; cutoff; planner };
+          }
+      in
+      (match r.Request.result with
+      | Ok (Request.Bool b) -> Format.printf "%b@." b
+      | Ok (Request.Rel { rank; reps; members }) ->
+          Format.printf "rank %d class representatives: %a@." rank pp_tuples
+            reps;
+          (* the window bound may be the inline [cutoff N], not [-c] *)
+          Format.printf "concrete members: %a@." pp_tuples members
+      | Ok (Request.Levels levels) ->
+          List.iteri
+            (fun i level ->
+              Format.printf "T^%d: %a@." (i + 1) pp_tuples level)
+            levels
+      | Ok Request.Undefined -> Format.printf "undefined@."
+      | Ok (Request.Count n) -> Format.printf "%d@." n
+      | Error e -> Format.printf "error: %s@." (Request.error_to_string e));
+      Format.printf "-- %d oracle questions@."
+        (Engine.question_count engine - before);
+      Result.is_ok r.Request.result
+    in
+    match query with
+    | Some text -> if not (eval_one text) then exit 1
+    | None ->
+        (* REPL: one query per line; exit status reflects the last. *)
+        let interactive = Unix.isatty Unix.stdin in
+        let rec loop ok =
+          if interactive then (
+            Format.printf "rql(%s)> " inst;
+            Format.print_flush ());
+          match input_line stdin with
+          | "" -> ok
+          | line -> loop (eval_one line)
+          | exception End_of_file -> ok
+        in
+        if not (loop true) then exit 1
+  in
+  Cmd.v (Cmd.info "rql" ~doc)
+    Term.(const run $ inst $ cutoff $ naive $ explain $ query)
+
+let cmd_bench_rql =
+  let doc =
+    "Benchmark the RQL planner (E29): Def. 3.9 questions naive vs \
+     cost-planned on a mixed fixpoint workload, plan-cache behaviour on \
+     a warm re-serve, byte-identity across all modes.  Exits 1 on any \
+     violation."
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Also write results as JSON.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 120
+      & info [ "requests" ] ~docv:"N" ~doc:"Workload size.")
+  in
+  let run out requests =
+    let r = Engine_bench.run_rql ?out ~requests () in
+    if r.Engine_bench.r_violations <> [] then exit 1
+  in
+  Cmd.v (Cmd.info "bench-rql" ~doc) Term.(const run $ out $ requests)
+
+let cmd_rql_smoke =
+  let doc =
+    "CI smoke for the RQL front-end: start a server on an ephemeral \
+     loopback port, send the committed golden request file over a \
+     socket, and diff the responses (sorted by id, stats stripped) \
+     against the committed expected output.  Exits 1 on any difference."
+  in
+  let requests_file =
+    Arg.(
+      value
+      & opt string "test/golden/rql_requests.jsonl"
+      & info [ "requests" ] ~docv:"FILE" ~doc:"Golden request file.")
+  in
+  let expected_file =
+    Arg.(
+      value
+      & opt string "test/golden/rql_expected.jsonl"
+      & info [ "expected" ] ~docv:"FILE" ~doc:"Expected response file.")
+  in
+  let update =
+    Arg.(
+      value & flag
+      & info [ "update" ]
+          ~doc:"Rewrite the expected file with the observed responses.")
+  in
+  let read_lines path =
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | line -> go (if String.trim line = "" then acc else line :: acc)
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+    in
+    go []
+  in
+  let run requests_file expected_file update =
+    let requests = read_lines requests_file in
+    if requests = [] then begin
+      Format.eprintf "rql-smoke: no requests in %s@." requests_file;
+      exit 1
+    end;
+    (* stats vary with memo state; the golden contract is the
+       deterministic part of each response only. *)
+    let server = Server.start ~window:64 ~per_conn_window:32 ~stats:false () in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd
+      (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server));
+    List.iter (fun line -> Frame.write_line fd line) requests;
+    Unix.shutdown fd Unix.SHUTDOWN_SEND;
+    let reader = Frame.reader fd in
+    let rec collect acc =
+      match Frame.read reader with
+      | Frame.Line line -> collect (line :: acc)
+      | Frame.Oversized _ | Frame.Truncated _ -> collect acc
+      | Frame.Eof -> List.rev acc
+    in
+    let responses = collect [] in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    (match Server.drain ~timeout_s:30.0 server with
+    | `Clean -> ()
+    | `Forced n ->
+        Format.eprintf "rql-smoke: drain aborted %d connection(s)@." n;
+        exit 1);
+    (* The server may answer out of order across the pipeline; the
+       golden file is committed sorted by id. *)
+    let id_of line =
+      match Json.parse line with
+      | Ok j -> (
+          match Json.member "id" j with Some (Json.Int i) -> i | _ -> -1)
+      | Error _ -> -1
+    in
+    let observed =
+      List.sort (fun a b -> compare (id_of a) (id_of b)) responses
+    in
+    if update then begin
+      let oc = open_out expected_file in
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        observed;
+      close_out oc;
+      Format.printf "rql-smoke: wrote %d responses to %s@."
+        (List.length observed) expected_file
+    end
+    else begin
+      let expected = read_lines expected_file in
+      let rec diff i e o acc =
+        match (e, o) with
+        | [], [] -> List.rev acc
+        | e :: es, o :: os ->
+            diff (i + 1) es os
+              (if String.equal e o then acc
+               else Printf.sprintf "line %d:\n  expected: %s\n  got:      %s" i e o :: acc)
+        | e :: es, [] ->
+            diff (i + 1) es []
+              (Printf.sprintf "line %d missing (expected %s)" i e :: acc)
+        | [], o :: os ->
+            diff (i + 1) [] os
+              (Printf.sprintf "line %d unexpected: %s" i o :: acc)
+      in
+      match diff 1 expected observed [] with
+      | [] ->
+          Format.printf
+            "rql-smoke: %d responses match %s, clean drain@."
+            (List.length observed) expected_file
+      | diffs ->
+          List.iter (Format.eprintf "rql-smoke difference: %s@.") diffs;
+          exit 1
+    end
+  in
+  Cmd.v (Cmd.info "rql-smoke" ~doc)
+    Term.(const run $ requests_file $ expected_file $ update)
+
 let () =
   let doc = "query languages over recursive (infinite, computable) databases" in
   let info = Cmd.info "recdb" ~version:"1.0.0" ~doc in
@@ -1253,6 +1500,7 @@ let () =
             cmd_query;
             cmd_sentence;
             cmd_qlhs;
+            cmd_rql;
             cmd_normalize;
             cmd_serve_batch;
             cmd_serve;
@@ -1266,4 +1514,6 @@ let () =
             cmd_bench_obs;
             cmd_stats;
             cmd_obs_smoke;
+            cmd_bench_rql;
+            cmd_rql_smoke;
           ]))

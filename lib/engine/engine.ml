@@ -319,6 +319,85 @@ let parse_program shared s =
       | Shared_memo.Program_plan r -> r
       | _ -> compute ())
 
+(* RQL plans go through a two-level cache layered on Shared_memo.plan:
+   a raw-text key (a hit skips even lexing) wrapping a normalized-text
+   key (a hit shares one compiled plan across whitespace/alpha-renaming
+   variants).  Nesting find_or_compute is safe — no lock is held across
+   a compute closure.  Plans are mode-tagged so a naive plan can never
+   answer for a cost-based one; errors are memoized as errors, never as
+   successes.  The counters are registry singletons (shared by every
+   engine in the process, like all "engine.*" metrics). *)
+let m_rql_plan_raw_hits = Metrics.counter "engine.rql_plan_raw_hits"
+let m_rql_plan_norm_hits = Metrics.counter "engine.rql_plan_norm_hits"
+let m_rql_plan_compiles = Metrics.counter "engine.rql_plan_compiles"
+
+let rql_mode = function
+  | Request.Plan_naive -> Rql.Rql_plan.Naive
+  | Request.Plan_cost -> Rql.Rql_plan.Planned
+
+let compile_rql ~mode text =
+  match
+    Rql.Rql_plan.plan_of_text ~max_rank:Request.Bounds.max_rank ~max_cutoff
+      ~max_depth ~mode text
+  with
+  | p -> Ok p
+  | exception Rql.Rql_plan.Error msg -> Error msg
+
+(* Returns the plan (or memoized static error) plus the cache level the
+   answer came from: "raw", "norm", "miss" or "off". *)
+let plan_rql shared ~mode text =
+  match shared with
+  | None -> (compile_rql ~mode text, "off")
+  | Some st -> (
+      let mode_tag =
+        match mode with Rql.Rql_plan.Naive -> "n" | Rql.Rql_plan.Planned -> "c"
+      in
+      let raw_computed = ref false in
+      let norm_hit = ref false in
+      let result =
+        Shared_memo.plan st
+          ~key:("ra:" ^ mode_tag ^ ":" ^ text)
+          ~compute:(fun () ->
+            raw_computed := true;
+            match Rql.Rql_plan.parse text with
+            | exception Rql.Rql_plan.Error msg ->
+                Shared_memo.Rql_plan (Error msg)
+            | ast ->
+                let norm = Rql.Rql_plan.normalize ast in
+                let norm_computed = ref false in
+                let p =
+                  Shared_memo.plan st
+                    ~key:("rn:" ^ mode_tag ^ ":" ^ norm)
+                    ~compute:(fun () ->
+                      norm_computed := true;
+                      Metrics.incr m_rql_plan_compiles;
+                      Shared_memo.Rql_plan
+                        (match
+                           Rql.Rql_plan.compile
+                             ~max_rank:Request.Bounds.max_rank ~max_cutoff
+                             ~max_depth ~mode ast
+                         with
+                        | p -> Ok p
+                        | exception Rql.Rql_plan.Error msg -> Error msg))
+                in
+                if not !norm_computed then begin
+                  norm_hit := true;
+                  Metrics.incr m_rql_plan_norm_hits
+                end;
+                p)
+      in
+      let level =
+        if not !raw_computed then begin
+          Metrics.incr m_rql_plan_raw_hits;
+          "raw"
+        end
+        else if !norm_hit then "norm"
+        else "miss"
+      in
+      match result with
+      | Shared_memo.Rql_plan r -> (r, level)
+      | _ -> (compile_rql ~mode text, level))
+
 (* Tracing shims: one branch when no ctx is attached or the current
    request is not sampled. *)
 let span tr name ?(attrs = []) f =
@@ -335,6 +414,7 @@ let payload_op : Request.payload -> string = function
   | Request.Classes _ -> "classes"
   | Request.Tree _ -> "tree"
   | Request.Program _ -> "program"
+  | Request.Rql _ -> "rql"
 
 let error_kind : Request.error -> string = function
   | Request.Parse_error _ -> "parse_error"
@@ -418,6 +498,55 @@ let eval_payload ~tr ~shared entry (payload : Request.payload) :
                      })
             | Ql.Ql_interp.Timeout -> Error (Request.Timeout fuel)
             | Ql.Ql_interp.Ill_formed msg -> Error (Request.Ill_formed msg)))
+  | Request.Rql { instance; text; cutoff; planner } -> (
+      let mode = rql_mode planner in
+      let planned =
+        span tr "plan" (fun () ->
+            let r, level = plan_rql shared ~mode text in
+            (match tr with
+            | Some c when Obs.Trace.active c ->
+                Obs.Trace.annotate c
+                  (("plan_cache", level)
+                  ::
+                  (match r with
+                  | Ok p ->
+                      [
+                        ( "est_questions",
+                          Printf.sprintf "%.1f" p.Rql.Rql_plan.est_planned );
+                      ]
+                  | Error _ -> []))
+            | _ -> ());
+            r)
+      in
+      match planned with
+      | Error msg -> Error (Request.Parse_error msg)
+      | Ok plan ->
+          if cutoff < 0 || cutoff > max_cutoff then
+            Error
+              (Request.Bad_request
+                 (Printf.sprintf "cutoff must be in 0..%d" max_cutoff))
+          else (
+            (* Cross-request definition sharing is a planner saving, so
+               only cost-based plans get the memo hook; the naive
+               baseline materializes every definition itself.  A hit
+               returns a deterministic set and asks zero questions. *)
+            let memo =
+              match (shared, mode) with
+              | Some st, Rql.Rql_plan.Planned ->
+                  Some
+                    (fun ~key ~compute ->
+                      Shared_memo.rql_def st
+                        ~key:(instance ^ "\000" ^ key)
+                        ~compute)
+              | _ -> None
+            in
+            match Rql.Rql_eval.run ?memo ~cutoff entry.hs plan with
+            | Rql.Rql_eval.Bool b -> Ok (Request.Bool b)
+            | Rql.Rql_eval.Rel { rank; reps; members } ->
+                Ok (Request.Rel { rank; reps; members })
+            | Rql.Rql_eval.Levels levels -> Ok (Request.Levels levels)
+            | exception Rql.Rql_eval.Error msg ->
+                Error (Request.Ill_formed msg)))
 
 (* Def. 3.9 accounting reads the {e base} instance's counters, not the
    wrapper's: the wrapper's T_B/≅_B counters tick on every consult of

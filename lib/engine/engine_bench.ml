@@ -894,3 +894,196 @@ let run_obs ?out ?requests ?trials () =
       close_out oc;
       Format.printf "  wrote %s@." path);
   r
+
+(* ------------------------------------------------------------------ *)
+(* E29: the RQL front-end.  Three claims: (1) the cost-based planner
+   asks measurably fewer Def. 3.9 questions than naive evaluation of
+   the same queries; (2) a plan-cache-warm re-serve skips parsing and
+   planning entirely (zero new plan-table misses) and, with the shared
+   definition memo, asks zero new genuine questions; (3) every mode
+   returns byte-identical answers — the planner may only shrink the
+   ledger, never change a served byte. *)
+
+let rql_instances = [ "triangles"; "mod2"; "paths3"; "arrows"; "bipartite" ]
+
+(* Query targets carry no inline cutoff, so the request-level cutoff
+   applies — the warm pass shrinks it by one, forcing a fresh
+   whole-request evaluation whose member window is a subset of the cold
+   pass's (hence answerable entirely from warm memos). *)
+let rql_texts =
+  [
+    "fix conn(x, y) = R1(x, y) || exists z. (R1(x, z) && conn(z, y)); \
+     query {(x, y) | conn(x, y)}";
+    (* whitespace/alpha variant of the previous query: same normalized
+       text, so the cold pass already shares its compiled plan *)
+    "fix r(u,v)=R1(u,v)||exists w.(R1(u,w)&&r(w,v));query {(u,v)|r(u,v)}";
+    "fix dead(x, y) = R1(x, y) || exists z. (R1(x, z) && dead(z, y)); \
+     let live(x) = exists y. R1(x, y); query {(x) | live(x)}";
+    "let e(x, y) = R1(x, y) || R1(y, x); let ee(x, y) = e(x, y); \
+     sentence exists x. exists y. ee(x, y)";
+    "fix p(x, y) = R1(x, y) || exists z. (R1(x, z) && p(z, y)); \
+     fix q(u, v) = R1(u, v) || exists w. (R1(u, w) && q(w, v)); \
+     sentence exists x. exists y. (p(x, y) && q(y, x))";
+    "sentence forall x. forall y. (R1(x, y) -> exists z. R1(y, z))";
+    "query {(x, y) | R1(x, y) && x != y}";
+    "tree 2";
+  ]
+
+let build_rql_batch ?(cutoff = 4) ~planner n =
+  let ninst = List.length rql_instances in
+  let ntext = List.length rql_texts in
+  List.map
+    (fun i ->
+      let instance = List.nth rql_instances (i mod ninst) in
+      let text = List.nth rql_texts (i / ninst mod ntext) in
+      { Request.id = i + 1;
+        payload = Request.Rql { instance; text; cutoff; planner } })
+    (Prelude.Ints.range 0 n)
+
+type rql_result = {
+  r_requests : int;
+  naive_questions : int;
+  planned_questions : int;
+  question_ratio : float;  (* naive / planned *)
+  cold_plan_misses : int;
+  cold_plan_hits : int;
+  warm_plan_misses : int;  (* must be 0: nothing re-parsed or re-planned *)
+  warm_plan_hits : int;
+  warm_new_questions : int;  (* must be 0: answered from warm memos *)
+  r_identical : bool;  (* naive = planned, cold and warm *)
+  r_violations : string list;
+}
+
+let rql_workload ?(requests = 120) () =
+  let serve () =
+    let shared = Shared_memo.create () in
+    let engine = Engine.create ~shared () in
+    (engine, fun batch -> Engine.handle_all engine batch)
+  in
+  let naive_engine, naive_serve = serve () in
+  let planned_engine, planned_serve = serve () in
+  let cold_naive = build_rql_batch ~planner:Request.Plan_naive requests in
+  let cold_planned = build_rql_batch ~planner:Request.Plan_cost requests in
+  let warm_naive =
+    build_rql_batch ~cutoff:3 ~planner:Request.Plan_naive requests
+  in
+  let warm_planned =
+    build_rql_batch ~cutoff:3 ~planner:Request.Plan_cost requests
+  in
+  let rn = naive_serve cold_naive in
+  let naive_questions = Engine.question_count naive_engine in
+  let rp = planned_serve cold_planned in
+  let planned_questions = Engine.question_count planned_engine in
+  let plan_stats () =
+    match Engine.shared_stats planned_engine with
+    | Some s -> s.Shared_memo.plans
+    | None -> { Shared_memo.hits = 0; misses = 0 }
+  in
+  let cold_plans = plan_stats () in
+  let wn = naive_serve warm_naive in
+  let wp = planned_serve warm_planned in
+  let warm_plans = plan_stats () in
+  let warm_new_questions =
+    Engine.question_count planned_engine - planned_questions
+  in
+  let identical_cold =
+    String.equal (results_fingerprint rn) (results_fingerprint rp)
+  in
+  let identical_warm =
+    String.equal (results_fingerprint wn) (results_fingerprint wp)
+  in
+  let errors =
+    List.filter
+      (fun (r : Request.response) -> Stdlib.Result.is_error r.Request.result)
+      (rn @ rp @ wn @ wp)
+  in
+  let question_ratio =
+    if planned_questions = 0 then Float.infinity
+    else float_of_int naive_questions /. float_of_int planned_questions
+  in
+  let violations = ref [] in
+  let violate fmt =
+    Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+  in
+  (match errors with
+  | [] -> ()
+  | (e : Request.response) :: _ ->
+      violate "%d error responses in an all-valid workload (first: %s)"
+        (List.length errors)
+        (match e.Request.result with
+        | Error err -> Request.error_to_string err
+        | Ok _ -> assert false));
+  if not identical_cold then
+    violate "planned cold responses differ from naive";
+  if not identical_warm then
+    violate "planned warm responses differ from naive";
+  if planned_questions >= naive_questions then
+    violate "planner saved nothing: %d planned vs %d naive questions"
+      planned_questions naive_questions;
+  if warm_plans.Shared_memo.misses > cold_plans.Shared_memo.misses then
+    violate "warm pass re-planned: %d new plan-table misses"
+      (warm_plans.Shared_memo.misses - cold_plans.Shared_memo.misses);
+  if warm_new_questions > 0 then
+    violate "warm pass asked %d new genuine questions" warm_new_questions;
+  {
+    r_requests = requests;
+    naive_questions;
+    planned_questions;
+    question_ratio;
+    cold_plan_misses = cold_plans.Shared_memo.misses;
+    cold_plan_hits = cold_plans.Shared_memo.hits;
+    warm_plan_misses = warm_plans.Shared_memo.misses - cold_plans.Shared_memo.misses;
+    warm_plan_hits = warm_plans.Shared_memo.hits - cold_plans.Shared_memo.hits;
+    warm_new_questions;
+    r_identical = identical_cold && identical_warm;
+    r_violations = List.rev !violations;
+  }
+
+let rql_to_json (r : rql_result) =
+  Json.Obj
+    [
+      ("workload", Json.String "mixed RQL batch over five instances");
+      ("requests", Json.Int r.r_requests);
+      ( "questions",
+        Json.Obj
+          [
+            ("naive", Json.Int r.naive_questions);
+            ("planned", Json.Int r.planned_questions);
+            ("ratio", Json.Float r.question_ratio);
+          ] );
+      ( "plan_cache",
+        Json.Obj
+          [
+            ("cold_misses", Json.Int r.cold_plan_misses);
+            ("cold_hits", Json.Int r.cold_plan_hits);
+            ("warm_misses", Json.Int r.warm_plan_misses);
+            ("warm_hits", Json.Int r.warm_plan_hits);
+            ("warm_new_questions", Json.Int r.warm_new_questions);
+          ] );
+      ("identical", Json.Bool r.r_identical);
+      ( "violations",
+        Json.List (List.map (fun s -> Json.String s) r.r_violations) );
+    ]
+
+let run_rql ?out ?requests () =
+  Format.printf "RQL planner benchmark (E29):@.";
+  let r = rql_workload ?requests () in
+  Format.printf
+    "  %d requests: naive asked %d questions, planned %d (%.2fx fewer)@."
+    r.r_requests r.naive_questions r.planned_questions r.question_ratio;
+  Format.printf
+    "  plan cache: cold %d misses / %d hits; warm re-serve %d misses / %d \
+     hits, %d new questions@."
+    r.cold_plan_misses r.cold_plan_hits r.warm_plan_misses r.warm_plan_hits
+    r.warm_new_questions;
+  Format.printf "  naive and planned byte-identical: %b@." r.r_identical;
+  List.iter (fun v -> Format.printf "  VIOLATION: %s@." v) r.r_violations;
+  (match out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Json.to_string (rql_to_json r));
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "  wrote %s@." path);
+  r

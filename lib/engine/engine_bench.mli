@@ -183,3 +183,41 @@ val run_obs : ?out:string -> ?requests:int -> ?trials:int -> unit -> obs_result
 (** Print the E28 tables; when [out] is given, also write the JSON
     there ([BENCH_obs.json]).  Returns the result so [recdb bench-obs]
     can exit nonzero on a violation. *)
+
+(** {2 E29: the RQL front-end and its cost-based planner} *)
+
+type rql_result = {
+  r_requests : int;
+  naive_questions : int;  (** Def. 3.9 questions, naive planner, cold *)
+  planned_questions : int;  (** same workload, cost-based planner, cold *)
+  question_ratio : float;  (** naive / planned (the planner's savings) *)
+  cold_plan_misses : int;  (** plans compiled during the cold pass *)
+  cold_plan_hits : int;  (** raw/normalized plan-cache hits, cold *)
+  warm_plan_misses : int;  (** must be 0: nothing re-parsed or re-planned *)
+  warm_plan_hits : int;  (** raw-text plan-cache hits on the warm pass *)
+  warm_new_questions : int;
+      (** must be 0: the warm pass (same texts, smaller member window)
+          is answered entirely from warm memos *)
+  r_identical : bool;  (** naive = planned byte-identity, cold and warm *)
+  r_violations : string list;  (** empty = all acceptance checks pass *)
+}
+
+val build_rql_batch :
+  ?cutoff:int -> planner:Request.planner -> int -> Request.t list
+(** A mixed RQL workload — transitive-closure fixpoints, an alpha/ws
+    variant sharing a normalized plan, dead bindings, shared [let]s,
+    duplicate fixpoints, sentences, plain queries and a tree — cycled
+    over five instances. *)
+
+val rql_workload : ?requests:int -> unit -> rql_result
+(** The E29 workload (default 120 requests): the batch evaluated cold
+    under both planners on fresh shared-memo engines (byte-identity and
+    the question ratio), then re-served warm with a one-smaller cutoff
+    (plan-cache hits, zero re-plans, zero new questions). *)
+
+val rql_to_json : rql_result -> Json.t
+
+val run_rql : ?out:string -> ?requests:int -> unit -> rql_result
+(** Print the E29 table; when [out] is given, also write the JSON there
+    ([BENCH_rql.json]).  Returns the result so [recdb bench-rql] can
+    exit nonzero on a violation. *)

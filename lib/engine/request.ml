@@ -1,11 +1,14 @@
 open Prelude
 
+type planner = Plan_naive | Plan_cost
+
 type payload =
   | Sentence of { instance : string; sentence : string }
   | Query of { instance : string; query : string; cutoff : int }
   | Classes of { db_type : int array; rank : int }
   | Tree of { instance : string; depth : int }
   | Program of { instance : string; program : string; fuel : int; cutoff : int }
+  | Rql of { instance : string; text : string; cutoff : int; planner : planner }
 
 type t = { id : int; payload : payload }
 
@@ -101,6 +104,12 @@ let validate_payload = function
           (Bad_request
              (Printf.sprintf "cutoff must be in 0..%d" Bounds.max_cutoff))
       else Ok ()
+  | Rql { cutoff; _ } ->
+      if cutoff < 0 || cutoff > Bounds.max_cutoff then
+        Error
+          (Bad_request
+             (Printf.sprintf "cutoff must be in 0..%d" Bounds.max_cutoff))
+      else Ok ()
 
 type response = {
   id : int;
@@ -111,62 +120,124 @@ type response = {
 (* ------------------------------------------------------------------ *)
 (* Decoding                                                            *)
 
-let field_string j key =
+(* Error messages name the op and the offending field, so a bad wire
+   line is diagnosable from the error response alone: the sender sees
+   [op "query": missing required field "instance"], not a bare
+   [missing field]. *)
+
+let known_ops = [ "sentence"; "query"; "classes"; "tree"; "program"; "rql" ]
+
+let in_op op msg =
+  match op with
+  | Some op -> Printf.sprintf "op %S: %s" op msg
+  | None -> msg
+
+let field_string ?op j key =
   match Json.member key j with
   | Some (Json.String s) -> Ok s
-  | Some _ -> Error (Bad_request (Printf.sprintf "field %S must be a string" key))
-  | None -> Error (Bad_request (Printf.sprintf "missing field %S" key))
+  | Some _ ->
+      Error
+        (Bad_request
+           (in_op op (Printf.sprintf "field %S must be a string" key)))
+  | None ->
+      Error
+        (Bad_request
+           (in_op op (Printf.sprintf "missing required field %S" key)))
 
-let field_int_default j key default =
+let field_int_default ?op j key default =
   match Json.member key j with
   | Some (Json.Int i) -> Ok i
   | Some _ ->
-      Error (Bad_request (Printf.sprintf "field %S must be an integer" key))
+      Error
+        (Bad_request
+           (in_op op (Printf.sprintf "field %S must be an integer" key)))
   | None -> Ok default
 
 let ( let* ) = Stdlib.Result.bind
 
 let of_json ?(default_id = 0) j =
   let* id = field_int_default j "id" default_id in
-  let* op = field_string j "op" in
+  let* op =
+    match Json.member "op" j with
+    | Some (Json.String s) -> Ok s
+    | Some _ -> Error (Bad_request "field \"op\" must be a string")
+    | None ->
+        Error
+          (Bad_request
+             (Printf.sprintf "missing required field \"op\" (one of %s)"
+                (String.concat ", "
+                   (List.map (Printf.sprintf "%S") known_ops))))
+  in
   let* payload =
     match op with
     | "sentence" ->
-        let* instance = field_string j "instance" in
-        let* sentence = field_string j "sentence" in
+        let* instance = field_string ~op j "instance" in
+        let* sentence = field_string ~op j "sentence" in
         Ok (Sentence { instance; sentence })
     | "query" ->
-        let* instance = field_string j "instance" in
-        let* query = field_string j "query" in
-        let* cutoff = field_int_default j "cutoff" 6 in
+        let* instance = field_string ~op j "instance" in
+        let* query = field_string ~op j "query" in
+        let* cutoff = field_int_default ~op j "cutoff" 6 in
         Ok (Query { instance; query; cutoff })
     | "classes" ->
-        let* rank = field_int_default j "rank" 2 in
+        let* rank = field_int_default ~op j "rank" 2 in
         let* db_type =
           match Json.member "type" j with
           | Some (Json.List xs) ->
               let ints = List.filter_map Json.to_int xs in
               if List.length ints <> List.length xs || ints = [] then
                 Error
-                  (Bad_request "field \"type\" must be a non-empty list of arities")
+                  (Bad_request
+                     (in_op (Some op)
+                        "field \"type\" must be a non-empty list of arities"))
               else Ok (Array.of_list ints)
           | Some _ | None ->
-              Error (Bad_request "missing field \"type\" (list of arities)")
+              Error
+                (Bad_request
+                   (in_op (Some op)
+                      "missing required field \"type\" (list of arities)"))
         in
         Ok (Classes { db_type; rank })
     | "tree" ->
-        let* instance = field_string j "instance" in
-        let* depth = field_int_default j "depth" 3 in
+        let* instance = field_string ~op j "instance" in
+        let* depth = field_int_default ~op j "depth" 3 in
         Ok (Tree { instance; depth })
     | "program" ->
-        let* instance = field_string j "instance" in
-        let* program = field_string j "program" in
-        let* fuel = field_int_default j "fuel" 10_000 in
-        let* cutoff = field_int_default j "cutoff" 6 in
+        let* instance = field_string ~op j "instance" in
+        let* program = field_string ~op j "program" in
+        let* fuel = field_int_default ~op j "fuel" 10_000 in
+        let* cutoff = field_int_default ~op j "cutoff" 6 in
         Ok (Program { instance; program; fuel; cutoff })
-    | other -> Error (Bad_request (Printf.sprintf "unknown op %S" other))
+    | "rql" ->
+        let* instance = field_string ~op j "instance" in
+        let* text = field_string ~op j "text" in
+        let* cutoff = field_int_default ~op j "cutoff" 6 in
+        let* planner =
+          match Json.member "planner" j with
+          | None -> Ok Plan_cost
+          | Some (Json.String "cost") -> Ok Plan_cost
+          | Some (Json.String "naive") -> Ok Plan_naive
+          | Some _ ->
+              Error
+                (Bad_request
+                   (in_op (Some op)
+                      "field \"planner\" must be \"cost\" or \"naive\""))
+        in
+        Ok (Rql { instance; text; cutoff; planner })
+    | other ->
+        Error
+          (Bad_request
+             (Printf.sprintf "unknown op %S (expected one of %s)" other
+                (String.concat ", "
+                   (List.map (Printf.sprintf "%S") known_ops))))
   in
-  let* () = validate_payload payload in
+  let* () =
+    Stdlib.Result.map_error
+      (function
+        | Bad_request m -> Bad_request (in_op (Some op) m)
+        | e -> e)
+      (validate_payload payload)
+  in
   Ok { id; payload }
 
 let of_line ?default_id line =
@@ -222,6 +293,17 @@ let to_json { id; payload } =
           ("program", Json.String program);
           ("fuel", Json.Int fuel);
           ("cutoff", Json.Int cutoff);
+        ]
+    | Rql { instance; text; cutoff; planner } ->
+        [
+          ("op", Json.String "rql");
+          ("instance", Json.String instance);
+          ("text", Json.String text);
+          ("cutoff", Json.Int cutoff);
+          ( "planner",
+            Json.String
+              (match planner with Plan_cost -> "cost" | Plan_naive -> "naive")
+          );
         ]
   in
   Json.Obj (("id", Json.Int id) :: fields)
@@ -312,6 +394,7 @@ let payload_instance = function
   | Sentence { instance; _ }
   | Query { instance; _ }
   | Tree { instance; _ }
-  | Program { instance; _ } ->
+  | Program { instance; _ }
+  | Rql { instance; _ } ->
       Some instance
   | Classes _ -> None

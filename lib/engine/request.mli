@@ -16,11 +16,18 @@
     {"id":3,"op":"classes","type":[2,1],"rank":2}
     {"id":4,"op":"tree","instance":"mod2","depth":2}
     {"id":5,"op":"program","instance":"triangles","program":"Y1 <- ~(Rel1 & E)","fuel":1000,"cutoff":4}
+    {"id":6,"op":"rql","instance":"paths3","text":"fix p(x,y) = R1(x,y) || exists z. (R1(x,z) && p(z,y)); query {(x,y) | p(x,y)}","cutoff":4,"planner":"cost"}
     v}
 
     Everything except the result's [stats] field is a deterministic
     function of the request — that is the {!Pool} byte-identity
     contract, checked by [to_json ~stats:false]. *)
+
+type planner =
+  | Plan_naive  (** literal compilation and evaluation *)
+  | Plan_cost
+      (** cost-based rewrites + question-saving evaluation — the
+          default; both planners return byte-identical outcomes *)
 
 type payload =
   | Sentence of { instance : string; sentence : string }
@@ -34,6 +41,11 @@ type payload =
       (** Levels T¹..T^depth of the characteristic tree. *)
   | Program of { instance : string; program : string; fuel : int; cutoff : int }
       (** Run a QL_hs program; report Y1. *)
+  | Rql of { instance : string; text : string; cutoff : int; planner : planner }
+      (** Evaluate an RQL query (see [lib/rql]): [let]/[fix] bindings
+          over FO formulas plus a sentence/query/tree target.  [cutoff]
+          bounds the member window of query targets (an inline
+          [cutoff N] in the text wins). *)
 
 type t = { id : int; payload : payload }
 

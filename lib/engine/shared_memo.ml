@@ -131,6 +131,7 @@ type plan =
   | Sentence_plan of (Rlogic.Ast.formula, string) result
   | Query_plan of (Rlogic.Ast.query, string) result
   | Program_plan of (Ql.Ql_ast.program, string) result
+  | Rql_plan of (Rql.Rql_plan.t, string) result
 
 type instance_memo = {
   children_tbl : int list Ttbl.t;
@@ -145,6 +146,7 @@ type t = {
   instances_lock : Mutex.t;
   plans : plan Stbl.t;
   results : result_value Stbl.t;
+  rql_defs : Tupleset.t Stbl.t;
 }
 
 let create () =
@@ -153,6 +155,7 @@ let create () =
     instances_lock = Mutex.create ();
     plans = Stbl.create ();
     results = Stbl.create ();
+    rql_defs = Stbl.create ();
   }
 
 let instance t ~name ~nrels =
@@ -188,6 +191,7 @@ let equiv m u v ~compute =
 let rel m i u ~compute = Ttbl.find_or_compute m.rel_tbls.(i) (Array.copy u) compute
 let plan t ~key ~compute = Stbl.find_or_compute t.plans key compute
 let result t ~key ~compute = Stbl.find_or_compute t.results key compute
+let rql_def t ~key ~compute = Stbl.find_or_compute t.rql_defs key compute
 
 (* Declared after the accessors above so the [t] record's field labels
    are not shadowed by these (deliberately same-named) stat labels. *)
@@ -197,6 +201,7 @@ type stats = {
   rels : table_stats;
   plans : table_stats;
   results : table_stats;
+  rql_defs : table_stats;
 }
 
 let stats t =
@@ -223,8 +228,10 @@ let stats t =
     rels;
     plans = Stbl.stats t.plans;
     results = Stbl.stats t.results;
+    rql_defs = Stbl.stats t.rql_defs;
   }
 
 let total_hits t =
   let s = stats t in
   s.children.hits + s.equiv.hits + s.rels.hits + s.plans.hits + s.results.hits
+  + s.rql_defs.hits

@@ -68,14 +68,30 @@ val equiv :
 val rel : instance_memo -> int -> Prelude.Tuple.t -> compute:(unit -> bool) -> bool
 (** [rel m i u ~compute] — membership of [u] in relation [i]. *)
 
-(** A compiled plan: the parse result for a sentence, query or QL
-    program ([Error msg] memoizes a deterministic parse failure). *)
+(** A compiled plan: the parse result for a sentence, query, QL program
+    or RQL query ([Error msg] memoizes a deterministic parse/compile
+    failure — never cached as a success).  RQL plans are stored twice
+    by {!Engine}: under the raw query text (a hit skips even lexing)
+    and under the normalized text (a hit shares the compiled plan
+    across whitespace/alpha-renaming variants). *)
 type plan =
   | Sentence_plan of (Rlogic.Ast.formula, string) result
   | Query_plan of (Rlogic.Ast.query, string) result
   | Program_plan of (Ql.Ql_ast.program, string) result
+  | Rql_plan of (Rql.Rql_plan.t, string) result
 
 val plan : t -> key:string -> compute:(unit -> plan) -> plan
+
+val rql_def :
+  t ->
+  key:string ->
+  compute:(unit -> Prelude.Tupleset.t) ->
+  Prelude.Tupleset.t
+(** Materialized RQL definitions (sets of T^rank representatives),
+    keyed by [(instance, self-contained definition key)] — see
+    {!Rql.Rql_plan.def}.  Because the key spells out the whole
+    definition with references substituted, equal keys denote equal
+    sets, so a hit is sound across requests, queries, and workers. *)
 
 type result_value = (Request.outcome, Request.error) Stdlib.result
 
@@ -93,6 +109,7 @@ type stats = {
   rels : table_stats;
   plans : table_stats;
   results : table_stats;
+  rql_defs : table_stats;
 }
 
 val stats : t -> stats

@@ -126,7 +126,25 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?domains ?(window = 64)
           g "pool_cache_misses" "per-worker LRU misses" cs.Oracle_cache.misses;
           g "pool_cache_evictions" "per-worker LRU evictions"
             cs.Oracle_cache.evictions;
-        ])
+        ]
+        @
+        (* Plan-cache and definition-memo gauges (the RQL front-end's
+           shared tables); absent when the pool was built unshared. *)
+        match Pool.shared_stats pool with
+        | None -> []
+        | Some ss ->
+            [
+              g "pool_plan_cache_hits"
+                "compiled-plan memo hits (raw text or normalized text)"
+                ss.Shared_memo.plans.Shared_memo.hits;
+              g "pool_plan_cache_misses" "compiled-plan memo misses"
+                ss.Shared_memo.plans.Shared_memo.misses;
+              g "pool_rql_def_hits"
+                "materialized RQL definitions reused across requests"
+                ss.Shared_memo.rql_defs.Shared_memo.hits;
+              g "pool_rql_def_misses" "RQL definitions materialized"
+                ss.Shared_memo.rql_defs.Shared_memo.misses;
+            ])
   in
   let expo =
     match metrics_port with

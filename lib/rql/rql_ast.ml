@@ -1,0 +1,146 @@
+type formula =
+  | True
+  | False
+  | Eq of string * string
+  | Atom of string * string array
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Implies of formula * formula
+  | Exists of string * formula
+  | Forall of string * formula
+
+type binding = {
+  b_fix : bool;
+  b_name : string;
+  b_params : string list;
+  b_body : formula;
+}
+
+type target =
+  | Sentence of formula
+  | Query of { q_vars : string list; q_body : formula; q_cutoff : int option }
+  | Tree of int
+
+type t = { bindings : binding list; target : target }
+
+let free_vars f =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let add bound x =
+    if (not (List.mem x bound)) && not (Hashtbl.mem seen x) then begin
+      Hashtbl.add seen x ();
+      out := x :: !out
+    end
+  in
+  let rec go bound = function
+    | True | False -> ()
+    | Eq (x, y) -> add bound x; add bound y
+    | Atom (_, vars) -> Array.iter (add bound) vars
+    | Not f -> go bound f
+    | And (f, g) | Or (f, g) | Implies (f, g) -> go bound f; go bound g
+    | Exists (x, f) | Forall (x, f) -> go (x :: bound) f
+  in
+  go [] f;
+  List.rev !out
+
+(* The canonical printer is deliberately dumb: every binary operator is
+   parenthesized, every token separated by one space.  Normalization in
+   Rql_plan is "alpha-rename then print", so printed equality must
+   coincide with AST equality. *)
+let rec pp_formula buf = function
+  | True -> Buffer.add_string buf "true"
+  | False -> Buffer.add_string buf "false"
+  | Eq (x, y) ->
+      Buffer.add_string buf x;
+      Buffer.add_string buf " = ";
+      Buffer.add_string buf y
+  | Atom (name, vars) ->
+      Buffer.add_string buf name;
+      Buffer.add_char buf '(';
+      Array.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf x)
+        vars;
+      Buffer.add_char buf ')'
+  | Not f ->
+      Buffer.add_string buf "!";
+      pp_atomic buf f
+  | And (f, g) -> pp_binop buf "&&" f g
+  | Or (f, g) -> pp_binop buf "||" f g
+  | Implies (f, g) -> pp_binop buf "->" f g
+  | Exists (x, f) ->
+      Buffer.add_string buf "exists ";
+      Buffer.add_string buf x;
+      Buffer.add_string buf ". ";
+      pp_atomic buf f
+  | Forall (x, f) ->
+      Buffer.add_string buf "forall ";
+      Buffer.add_string buf x;
+      Buffer.add_string buf ". ";
+      pp_atomic buf f
+
+and pp_binop buf op f g =
+  Buffer.add_char buf '(';
+  pp_formula buf f;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf op;
+  Buffer.add_char buf ' ';
+  pp_formula buf g;
+  Buffer.add_char buf ')'
+
+(* Operand of a unary operator: parenthesize anything that is not
+   already self-delimiting, so "!exists x. f" round-trips with the
+   far-right quantifier scope rule. *)
+and pp_atomic buf = function
+  | (True | False | Atom _ | Not _) as f -> pp_formula buf f
+  | f ->
+      Buffer.add_char buf '(';
+      pp_formula buf f;
+      Buffer.add_char buf ')'
+
+let formula_to_string f =
+  let buf = Buffer.create 64 in
+  pp_formula buf f;
+  Buffer.contents buf
+
+let pp_params buf params =
+  Buffer.add_char buf '(';
+  List.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf x)
+    params;
+  Buffer.add_char buf ')'
+
+let to_source { bindings; target } =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun b ->
+      Buffer.add_string buf (if b.b_fix then "fix " else "let ");
+      Buffer.add_string buf b.b_name;
+      pp_params buf b.b_params;
+      Buffer.add_string buf " = ";
+      pp_formula buf b.b_body;
+      Buffer.add_string buf "; ")
+    bindings;
+  (match target with
+  | Sentence f ->
+      Buffer.add_string buf "sentence ";
+      pp_formula buf f
+  | Query { q_vars; q_body; q_cutoff } ->
+      Buffer.add_string buf "query {";
+      pp_params buf q_vars;
+      Buffer.add_string buf " | ";
+      pp_formula buf q_body;
+      Buffer.add_char buf '}';
+      (match q_cutoff with
+      | None -> ()
+      | Some c ->
+          Buffer.add_string buf " cutoff ";
+          Buffer.add_string buf (string_of_int c))
+  | Tree d ->
+      Buffer.add_string buf "tree ";
+      Buffer.add_string buf (string_of_int d));
+  Buffer.contents buf

@@ -1,0 +1,55 @@
+(** Surface abstract syntax of RQL, the textual fixpoint query language.
+
+    An RQL query is a sequence of named definitions — plain ([let]) or
+    least-fixpoint ([fix]) — over first-order formulas, followed by one
+    target: a closed sentence, a set-builder query, or a characteristic
+    tree walk.  Atoms may mention base relations ([R1], [R2], …) or any
+    definition bound earlier in the sequence; a [fix] body may also
+    mention the definition itself, in positive positions only, and
+    denotes the least fixpoint of its body (the WITH-RECURSIVE idiom).
+
+    This module is pure data plus printers.  Name resolution, positivity
+    and arity checking live in {!Rql_plan}; evaluation in {!Rql_eval}. *)
+
+type formula =
+  | True
+  | False
+  | Eq of string * string  (** [x = y]; [x != y] parses to [Not (Eq _)] *)
+  | Atom of string * string array
+      (** [name(x, …)] — a base relation or a bound definition; which one
+          is decided at compile time, definitions shadowing relations. *)
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Implies of formula * formula
+  | Exists of string * formula
+  | Forall of string * formula
+
+type binding = {
+  b_fix : bool;  (** [true] for [fix] (least fixpoint), [false] for [let] *)
+  b_name : string;
+  b_params : string list;
+  b_body : formula;
+}
+
+type target =
+  | Sentence of formula  (** [sentence φ] — a closed formula, yes/no *)
+  | Query of { q_vars : string list; q_body : formula; q_cutoff : int option }
+      (** [query {(x, …) | φ} (cutoff N)?] — representatives plus all
+          members with entries below the cutoff (defaulting to the
+          request-level cutoff). *)
+  | Tree of int  (** [tree N] — the characteristic tree down to depth N *)
+
+type t = { bindings : binding list; target : target }
+
+val free_vars : formula -> string list
+(** Free variables in order of first occurrence. *)
+
+val formula_to_string : formula -> string
+(** Canonical rendering: fully parenthesized binary operators, single
+    spaces, [exists x. φ] binders.  Reparsing yields the same AST. *)
+
+val to_source : t -> string
+(** Canonical one-line rendering of a whole query; reparsing yields the
+    same AST.  Two ASTs are equal iff their renderings are equal, which
+    is what the normalized-text plan cache in {!Rql_plan} relies on. *)

@@ -1,0 +1,170 @@
+open Prelude
+
+type outcome =
+  | Bool of bool
+  | Rel of { rank : int; reps : Tuple.t list; members : Tuple.t list }
+  | Levels of Tuple.t list list
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+(* Compile-time checks in Rql_plan are instance-independent; base atoms
+   are checked against the actual instance type here, once per run, so
+   evaluation proper can assume well-formedness. *)
+let validate_atoms t (plan : Rql_plan.t) =
+  let ty = Hs.Hsdb.db_type t in
+  let width = Array.length ty in
+  let rec check = function
+    | Rlogic.Ast.Mem (i, args) when i < Rql_plan.def_base ->
+        if i >= width then
+          fail "the query mentions R%d but instance %S has only %d relation%s"
+            (i + 1) (Hs.Hsdb.name t) width
+            (if width = 1 then "" else "s")
+        else if Array.length args <> ty.(i) then
+          fail "R%d of instance %S has arity %d but is applied to %d argument%s"
+            (i + 1) (Hs.Hsdb.name t) ty.(i) (Array.length args)
+            (if Array.length args = 1 then "" else "s")
+    | Rlogic.Ast.True | Rlogic.Ast.False | Rlogic.Ast.Eq _ | Rlogic.Ast.Mem _
+      ->
+        ()
+    | Rlogic.Ast.Not f -> check f
+    | Rlogic.Ast.And (f, g) | Rlogic.Ast.Or (f, g) | Rlogic.Ast.Implies (f, g)
+      ->
+        check f;
+        check g
+    | Rlogic.Ast.Exists (_, f) | Rlogic.Ast.Forall (_, f) -> check f
+  in
+  Array.iter (fun (d : Rql_plan.def) -> check d.d_body) plan.defs;
+  match plan.target with
+  | Rql_plan.Sentence b | Rql_plan.Query { body = b; _ } -> check b
+  | Rql_plan.Tree _ -> ()
+
+(* u belongs to the derived set iff it is ≅_B-equivalent to some stored
+   representative.  Planned mode tries the free hash lookup first —
+   sound because ≅_B is reflexive — and only then scans with genuine
+   ≅_B questions. *)
+let mem_derived t mode value u =
+  match mode with
+  | Rql_plan.Planned ->
+      Tupleset.mem u value
+      || Tupleset.exists (fun w -> Hs.Hsdb.equiv t u w) value
+  | Rql_plan.Naive -> Tupleset.exists (fun w -> Hs.Hsdb.equiv t u w) value
+
+(* Fo_eval.eval extended with definition slots: environment maps
+   variables to positions in the current tree path; [vals] holds the
+   materialized (or, during a fixpoint, current) value of each slot. *)
+let rec eval t mode (vals : Tupleset.t array) path env = function
+  | Rlogic.Ast.True -> true
+  | Rlogic.Ast.False -> false
+  | Rlogic.Ast.Eq (x, y) ->
+      let px = List.assoc x env and py = List.assoc y env in
+      path.(px) = path.(py)
+  | Rlogic.Ast.Mem (i, vars) ->
+      let u = Array.map (fun x -> path.(List.assoc x env)) vars in
+      if i >= Rql_plan.def_base then
+        mem_derived t mode vals.(i - Rql_plan.def_base) u
+      else Rdb.Database.mem (Hs.Hsdb.db t) i u
+  | Rlogic.Ast.Not f -> not (eval t mode vals path env f)
+  | Rlogic.Ast.And (f, g) ->
+      eval t mode vals path env f && eval t mode vals path env g
+  | Rlogic.Ast.Or (f, g) ->
+      eval t mode vals path env f || eval t mode vals path env g
+  | Rlogic.Ast.Implies (f, g) ->
+      (not (eval t mode vals path env f)) || eval t mode vals path env g
+  | Rlogic.Ast.Exists (x, f) ->
+      let pos = Tuple.rank path in
+      List.exists
+        (fun a -> eval t mode vals (Tuple.append path a) ((x, pos) :: env) f)
+        (Hs.Hsdb.children t path)
+  | Rlogic.Ast.Forall (x, f) ->
+      let pos = Tuple.rank path in
+      List.for_all
+        (fun a -> eval t mode vals (Tuple.append path a) ((x, pos) :: env) f)
+        (Hs.Hsdb.children t path)
+
+let materialize t mode vals j (d : Rql_plan.def) =
+  let paths = Hs.Hsdb.paths t d.d_rank in
+  let env = List.mapi (fun i x -> (x, i)) (Array.to_list d.d_params) in
+  let holds p = eval t mode vals p env d.d_body in
+  if not d.d_recursive then Tupleset.of_list (List.filter holds paths)
+  else begin
+    (* Least fixpoint by Kleene iteration from ∅.  Positivity (checked
+       at compile time) makes the body monotone in the defined set, so
+       rounds only grow and at most |T^rank| + 1 of them are needed;
+       the cap below is purely defensive. *)
+    let npaths = List.length paths in
+    match mode with
+    | Rql_plan.Naive ->
+        (* synchronous rounds, each re-testing every path *)
+        let rec go cur round =
+          if round > npaths + 1 then
+            fail "fixpoint for %S did not converge" d.d_name;
+          vals.(j) <- cur;
+          let next = Tupleset.of_list (List.filter holds paths) in
+          if Tupleset.equal next cur then cur else go next (round + 1)
+        in
+        go Tupleset.empty 0
+    | Rql_plan.Planned ->
+        (* chaotic iteration: members never need retesting (monotone),
+           so each sweep only evaluates the body on tuples still out *)
+        let cur = ref Tupleset.empty in
+        let changed = ref true in
+        let rounds = ref 0 in
+        while !changed do
+          incr rounds;
+          if !rounds > npaths + 1 then
+            fail "fixpoint for %S did not converge" d.d_name;
+          changed := false;
+          List.iter
+            (fun p ->
+              if not (Tupleset.mem p !cur) then begin
+                vals.(j) <- !cur;
+                if holds p then begin
+                  cur := Tupleset.add p !cur;
+                  changed := true
+                end
+              end)
+            paths
+        done;
+        !cur
+  end
+
+let run ?memo ~cutoff t (plan : Rql_plan.t) =
+  validate_atoms t plan;
+  let mode = plan.mode in
+  let vals = Array.make (Array.length plan.defs) Tupleset.empty in
+  Array.iteri
+    (fun j (d : Rql_plan.def) ->
+      let v =
+        match memo with
+        | Some m -> m ~key:d.d_key ~compute:(fun () -> materialize t mode vals j d)
+        | None -> materialize t mode vals j d
+      in
+      vals.(j) <- v)
+    plan.defs;
+  match plan.target with
+  | Rql_plan.Sentence body -> Bool (eval t mode vals Tuple.empty [] body)
+  | Rql_plan.Tree d ->
+      Levels (List.init d (fun i -> Hs.Hsdb.paths t (i + 1)))
+  | Rql_plan.Query { rank; body; cutoff = qc } ->
+      let cutoff = match qc with Some c -> c | None -> cutoff in
+      let env = List.init rank (fun i -> (Printf.sprintf "x%d" i, i)) in
+      let reps =
+        Hs.Hsdb.paths t rank
+        |> List.filter (fun p -> eval t mode vals p env body)
+        |> Tupleset.of_list
+      in
+      let members =
+        Combinat.fold_cartesian
+          (fun acc u ->
+            if mem_derived t mode reps u then Tupleset.add (Array.copy u) acc
+            else acc)
+          Tupleset.empty ~width:rank ~bound:cutoff
+      in
+      Rel
+        {
+          rank;
+          reps = Tupleset.elements reps;
+          members = Tupleset.elements members;
+        }

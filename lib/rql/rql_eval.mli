@@ -1,0 +1,43 @@
+(** Plan interpretation against an hs-r-db representation.
+
+    Definitions are materialized in slot order as sets of T^rank
+    representatives (a least fixpoint for [fix], one pass for [let]);
+    derived membership for an arbitrary tuple [u] is [∃w ∈ reps. u ≅ w],
+    exactly the representation's own [rel_mem] discipline, so derived
+    predicates stay automorphism-closed and representative-based
+    evaluation is sound.
+
+    The {!Rql_plan.mode} stored in the plan selects the evaluation
+    strategy.  [Naive] re-evaluates the whole fixpoint body over all of
+    T^rank every round and answers derived membership by scanning
+    representatives with ≅_B questions.  [Planned] retests only tuples
+    not yet in the set (chaotic iteration — same least fixpoint, fewer
+    questions) and tries the free hash lookup [u ∈ reps] before any
+    ≅_B scan (sound by reflexivity).  Both strategies return identical
+    outcomes; only the Def. 3.9 question counts differ. *)
+
+type outcome =
+  | Bool of bool
+  | Rel of {
+      rank : int;
+      reps : Prelude.Tuple.t list;
+      members : Prelude.Tuple.t list;
+    }
+  | Levels of Prelude.Tuple.t list list
+
+exception Error of string
+(** Instance-dependent static errors (a relation the instance lacks, an
+    arity clash with the instance type) and the defensive fixpoint
+    round cap. *)
+
+val run :
+  ?memo:(key:string -> compute:(unit -> Prelude.Tupleset.t) -> Prelude.Tupleset.t) ->
+  cutoff:int ->
+  Hs.Hsdb.t ->
+  Rql_plan.t ->
+  outcome
+(** Evaluate a plan.  [cutoff] bounds the concrete-member window for
+    query targets without an inline [cutoff].  [memo], when provided
+    (the engine passes its [Shared_memo] hook for planned evaluation),
+    is consulted with each definition's self-contained {!Rql_plan.def}
+    key, sharing materializations across requests and queries. *)

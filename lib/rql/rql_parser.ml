@@ -1,0 +1,255 @@
+exception Error of { line : int; col : int; msg : string }
+
+let error_to_string ~line ~col ~msg =
+  Printf.sprintf "line %d, column %d: %s" line col msg
+
+type token =
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | SEMI
+  | PIPE
+  | AMPAMP
+  | PIPEPIPE
+  | BANG
+  | ARROW
+  | EQ
+  | NEQ
+  | DOT
+  | NUM of int
+  | IDENT of string
+  | EOF
+
+(* Each token remembers where it started so errors can point at it. *)
+type ptok = { tok : token; line : int; col : int }
+
+let fail line col msg = raise (Error { line; col; msg })
+
+let tokenize s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let line = ref 1 in
+  let bol = ref 0 in
+  let col () = !i - !bol + 1 in
+  let push ~line ~col t = tokens := { tok = t; line; col } :: !tokens in
+  let is_digit c = c >= '0' && c <= '9' in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || is_digit c || c = '_' || c = '\''
+  in
+  while !i < n do
+    let c = s.[!i] in
+    let tl = !line and tc = col () in
+    let push t = push ~line:tl ~col:tc t in
+    if c = '\n' then (incr i; incr line; bol := !i)
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && s.[!i + 1] = '-' then begin
+      (* comment to end of line *)
+      while !i < n && s.[!i] <> '\n' do incr i done
+    end
+    else if c = '{' then (push LBRACE; incr i)
+    else if c = '}' then (push RBRACE; incr i)
+    else if c = '(' then (push LPAREN; incr i)
+    else if c = ')' then (push RPAREN; incr i)
+    else if c = ',' then (push COMMA; incr i)
+    else if c = ';' then (push SEMI; incr i)
+    else if c = '.' then (push DOT; incr i)
+    else if c = '=' then (push EQ; incr i)
+    else if c = '&' then
+      if !i + 1 < n && s.[!i + 1] = '&' then (push AMPAMP; i := !i + 2)
+      else fail tl tc "expected '&&'"
+    else if c = '|' then
+      if !i + 1 < n && s.[!i + 1] = '|' then (push PIPEPIPE; i := !i + 2)
+      else (push PIPE; incr i)
+    else if c = '!' then
+      if !i + 1 < n && s.[!i + 1] = '=' then (push NEQ; i := !i + 2)
+      else (push BANG; incr i)
+    else if c = '-' then
+      if !i + 1 < n && s.[!i + 1] = '>' then (push ARROW; i := !i + 2)
+      else fail tl tc "expected '->' or a '--' comment"
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit s.[!i] do incr i done;
+      if !i < n && is_ident_char s.[!i] then
+        fail tl tc "identifiers may not start with a digit";
+      push (NUM (int_of_string (String.sub s start (!i - start))))
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do incr i done;
+      push (IDENT (String.sub s start (!i - start)))
+    end
+    else fail tl tc (Printf.sprintf "unexpected character %C" c)
+  done;
+  push ~line:!line ~col:(col ()) EOF;
+  Array.of_list (List.rev !tokens)
+
+type state = { toks : ptok array; mutable pos : int }
+
+let peek st = st.toks.(st.pos).tok
+let advance st = st.pos <- st.pos + 1
+
+let fail_here st msg =
+  let { line; col; _ } = st.toks.(st.pos) in
+  fail line col msg
+
+let expect st t msg = if peek st = t then advance st else fail_here st msg
+
+let ident st =
+  match peek st with
+  | IDENT x -> advance st; x
+  | _ -> fail_here st "expected an identifier"
+
+let num st =
+  match peek st with
+  | NUM k -> advance st; k
+  | _ -> fail_here st "expected a number"
+
+let keywords = [ "let"; "fix"; "sentence"; "query"; "tree"; "cutoff";
+                 "exists"; "forall"; "true"; "false" ]
+
+let name st =
+  let x = ident st in
+  if List.mem x keywords then begin
+    st.pos <- st.pos - 1;
+    fail_here st (Printf.sprintf "%S is a reserved word" x)
+  end;
+  x
+
+let rec parse_formula st =
+  let lhs = parse_or st in
+  if peek st = ARROW then begin
+    advance st;
+    Rql_ast.Implies (lhs, parse_formula st)
+  end
+  else lhs
+
+and parse_or st =
+  let rec loop acc =
+    if peek st = PIPEPIPE then begin
+      advance st;
+      loop (Rql_ast.Or (acc, parse_and st))
+    end
+    else acc
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let rec loop acc =
+    if peek st = AMPAMP then begin
+      advance st;
+      loop (Rql_ast.And (acc, parse_unary st))
+    end
+    else acc
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | BANG -> advance st; Rql_ast.Not (parse_unary st)
+  | IDENT "exists" ->
+      advance st;
+      let x = name st in
+      expect st DOT "expected '.' after quantified variable";
+      Rql_ast.Exists (x, parse_formula st)
+  | IDENT "forall" ->
+      advance st;
+      let x = name st in
+      expect st DOT "expected '.' after quantified variable";
+      Rql_ast.Forall (x, parse_formula st)
+  | IDENT "true" -> advance st; Rql_ast.True
+  | IDENT "false" -> advance st; Rql_ast.False
+  | LPAREN ->
+      advance st;
+      let f = parse_formula st in
+      expect st RPAREN "expected ')'";
+      f
+  | IDENT n when not (List.mem n keywords) -> begin
+      advance st;
+      match peek st with
+      | LPAREN ->
+          advance st;
+          let args = parse_args st in
+          Rql_ast.Atom (n, Array.of_list args)
+      | EQ -> advance st; Rql_ast.Eq (n, name st)
+      | NEQ -> advance st; Rql_ast.Not (Rql_ast.Eq (n, name st))
+      | _ -> fail_here st "expected '(', '=' or '!=' after identifier"
+    end
+  | _ -> fail_here st "expected a formula"
+
+(* arguments after an already-consumed '(' *)
+and parse_args st =
+  if peek st = RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec more acc =
+      if peek st = COMMA then begin
+        advance st;
+        more (name st :: acc)
+      end
+      else begin
+        expect st RPAREN "expected ')' closing the argument list";
+        List.rev acc
+      end
+    in
+    more [ name st ]
+  end
+
+let parse_params st =
+  expect st LPAREN "expected '(' opening the parameter list";
+  parse_args st
+
+let parse_binding st ~fix =
+  advance st;
+  let b_name = name st in
+  let b_params = parse_params st in
+  expect st EQ "expected '=' after the parameter list";
+  let b_body = parse_formula st in
+  expect st SEMI "expected ';' terminating the definition";
+  { Rql_ast.b_fix = fix; b_name; b_params; b_body }
+
+let parse_target st =
+  match peek st with
+  | IDENT "sentence" ->
+      advance st;
+      Rql_ast.Sentence (parse_formula st)
+  | IDENT "query" ->
+      advance st;
+      expect st LBRACE "expected '{' after 'query'";
+      let q_vars = parse_params st in
+      expect st PIPE "expected '|' after the variable list";
+      let q_body = parse_formula st in
+      expect st RBRACE "expected '}' closing the query";
+      let q_cutoff =
+        if peek st = IDENT "cutoff" then begin
+          advance st;
+          Some (num st)
+        end
+        else None
+      in
+      Rql_ast.Query { q_vars; q_body; q_cutoff }
+  | IDENT "tree" ->
+      advance st;
+      Rql_ast.Tree (num st)
+  | _ ->
+      fail_here st
+        "expected a target: 'sentence ...', 'query {...}' or 'tree N'"
+
+let query s =
+  let st = { toks = tokenize s; pos = 0 } in
+  let rec bindings acc =
+    match peek st with
+    | IDENT "let" -> bindings (parse_binding st ~fix:false :: acc)
+    | IDENT "fix" -> bindings (parse_binding st ~fix:true :: acc)
+    | _ -> List.rev acc
+  in
+  let bindings = bindings [] in
+  let target = parse_target st in
+  expect st EOF "trailing input after the target";
+  { Rql_ast.bindings; target }

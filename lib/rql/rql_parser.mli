@@ -1,0 +1,33 @@
+(** Concrete syntax for RQL.
+
+    Grammar (keywords in quotes; quantifier scope extends as far right
+    as possible, as in {!Rlogic.Parser}):
+    {v
+    rql      ::= binding* target
+    binding  ::= ("let" | "fix") name "(" params ")" "=" formula ";"
+    params   ::= ε | var ("," var)*
+    target   ::= "sentence" formula
+               | "query" "{" "(" params ")" "|" formula "}" ("cutoff" num)?
+               | "tree" num
+    formula  ::= or_f ("->" formula)?
+    or_f     ::= and_f ("||" and_f)*
+    and_f    ::= unary ("&&" unary)*
+    unary    ::= "!" unary
+               | ("exists" | "forall") var "." formula
+               | "true" | "false"
+               | "(" formula ")"
+               | name "(" params ")"
+               | var "=" var | var "!=" var
+    v}
+    Atoms are not resolved here: [name(…)] stays an {!Rql_ast.Atom}
+    whether [name] is a base relation or a bound definition.  Comments
+    run from ["--"] to end of line. *)
+
+exception Error of { line : int; col : int; msg : string }
+(** Syntax errors carry the 1-based line and column of the offending
+    token.  [error_to_string] renders ["line L, column C: msg"]. *)
+
+val error_to_string : line:int -> col:int -> msg:string -> string
+
+val query : string -> Rql_ast.t
+(** Parse a full RQL query.  @raise Error on syntax errors. *)

@@ -1,0 +1,771 @@
+type mode = Naive | Planned
+
+type def = {
+  d_name : string;
+  d_rank : int;
+  d_params : string array;
+  d_body : Rlogic.Ast.formula;
+  d_recursive : bool;
+  d_key : string;
+  d_est : float;
+}
+
+type target =
+  | Sentence of Rlogic.Ast.formula
+  | Query of { rank : int; body : Rlogic.Ast.formula; cutoff : int option }
+  | Tree of int
+
+type t = {
+  mode : mode;
+  defs : def array;
+  target : target;
+  normalized : string;
+  est_naive : float;
+  est_planned : float;
+}
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+let def_base = 1_000_000
+
+let parse s =
+  try Rql_parser.query s
+  with Rql_parser.Error { line; col; msg } ->
+    raise (Error (Rql_parser.error_to_string ~line ~col ~msg))
+
+(* ------------------------------------------------------------------ *)
+(* Normalization: rename definitions [p0, p1, …] in declaration order
+   and variables [v<depth>] by binder depth (parameters are depths
+   0..k-1), then print canonically.  Depth-based names cannot capture:
+   nesting strictly increases the depth. *)
+
+let normalize (ast : Rql_ast.t) =
+  let open Rql_ast in
+  let dmap = Hashtbl.create 8 in
+  List.iteri
+    (fun i b -> Hashtbl.replace dmap b.b_name (Printf.sprintf "p%d" i))
+    ast.bindings;
+  let ren_def n =
+    match Hashtbl.find_opt dmap n with Some n' -> n' | None -> n
+  in
+  let ren_var env x =
+    match List.assoc_opt x env with Some x' -> x' | None -> x
+  in
+  let rec ren env depth = function
+    | (True | False) as f -> f
+    | Eq (x, y) -> Eq (ren_var env x, ren_var env y)
+    | Atom (n, args) -> Atom (ren_def n, Array.map (ren_var env) args)
+    | Not f -> Not (ren env depth f)
+    | And (f, g) -> And (ren env depth f, ren env depth g)
+    | Or (f, g) -> Or (ren env depth f, ren env depth g)
+    | Implies (f, g) -> Implies (ren env depth f, ren env depth g)
+    | Exists (x, f) ->
+        let x' = Printf.sprintf "v%d" depth in
+        Exists (x', ren ((x, x') :: env) (depth + 1) f)
+    | Forall (x, f) ->
+        let x' = Printf.sprintf "v%d" depth in
+        Forall (x', ren ((x, x') :: env) (depth + 1) f)
+  in
+  let ren_headed params body =
+    let env = List.mapi (fun i x -> (x, Printf.sprintf "v%d" i)) params in
+    (List.map snd env, ren env (List.length params) body)
+  in
+  let bindings =
+    List.map
+      (fun b ->
+        let b_params, b_body = ren_headed b.b_params b.b_body in
+        { b with b_name = ren_def b.b_name; b_params; b_body })
+      ast.bindings
+  in
+  let target =
+    match ast.target with
+    | Sentence f -> Sentence (ren [] 0 f)
+    | Query { q_vars; q_body; q_cutoff } ->
+        let q_vars, q_body = ren_headed q_vars q_body in
+        Query { q_vars; q_body; q_cutoff }
+    | Tree d -> Tree d
+  in
+  to_source { bindings; target }
+
+(* ------------------------------------------------------------------ *)
+(* Name resolution and static checks. *)
+
+type scope_entry = { se_slot : int; se_arity : int }
+
+let resolve ~who ~scope ~let_self ~later ~bound body =
+  let check_var bound x =
+    if not (List.mem x bound) then fail "in %s: unbound variable %S" who x
+  in
+  let rec go bound = function
+    | Rql_ast.True -> Rlogic.Ast.True
+    | Rql_ast.False -> Rlogic.Ast.False
+    | Rql_ast.Eq (x, y) ->
+        check_var bound x;
+        check_var bound y;
+        Rlogic.Ast.Eq (x, y)
+    | Rql_ast.Atom (n, args) -> (
+        Array.iter (check_var bound) args;
+        match List.assoc_opt n scope with
+        | Some { se_slot; se_arity } ->
+            if Array.length args <> se_arity then
+              fail "in %s: %S takes %d argument%s but is applied to %d" who n
+                se_arity
+                (if se_arity = 1 then "" else "s")
+                (Array.length args);
+            Rlogic.Ast.Mem (def_base + se_slot, args)
+        | None -> (
+            match Rlogic.Parser.default_rels n with
+            | Some i -> Rlogic.Ast.Mem (i, args)
+            | None ->
+                if let_self = Some n then
+                  fail
+                    "in %s: a 'let' definition may not mention itself; use \
+                     'fix' for a least fixpoint"
+                    who
+                else if List.mem n later then
+                  fail
+                    "in %s: definition %S is not yet in scope here; only \
+                     earlier definitions may be referenced"
+                    who n
+                else fail "in %s: unknown relation or definition %S" who n))
+    | Rql_ast.Not f -> Rlogic.Ast.Not (go bound f)
+    | Rql_ast.And (f, g) -> Rlogic.Ast.And (go bound f, go bound g)
+    | Rql_ast.Or (f, g) -> Rlogic.Ast.Or (go bound f, go bound g)
+    | Rql_ast.Implies (f, g) -> Rlogic.Ast.Implies (go bound f, go bound g)
+    | Rql_ast.Exists (x, f) -> Rlogic.Ast.Exists (x, go (x :: bound) f)
+    | Rql_ast.Forall (x, f) -> Rlogic.Ast.Forall (x, go (x :: bound) f)
+  in
+  go bound body
+
+(* A fix body must mention its own slot only under an even number of
+   negations (Implies counts its left-hand side as negated) so the body
+   is monotone in the defined set and the least fixpoint exists. *)
+let check_positive ~who slot body =
+  let rec go pos = function
+    | Rlogic.Ast.Mem (i, _) when i = def_base + slot ->
+        if not pos then
+          fail
+            "in %s: the recursive reference must occur positively (not under \
+             '!' or on the left of '->')"
+            who
+    | Rlogic.Ast.True | Rlogic.Ast.False | Rlogic.Ast.Eq _ | Rlogic.Ast.Mem _
+      ->
+        ()
+    | Rlogic.Ast.Not f -> go (not pos) f
+    | Rlogic.Ast.And (f, g) | Rlogic.Ast.Or (f, g) ->
+        go pos f;
+        go pos g
+    | Rlogic.Ast.Implies (f, g) ->
+        go (not pos) f;
+        go pos g
+    | Rlogic.Ast.Exists (_, f) | Rlogic.Ast.Forall (_, f) -> go pos f
+  in
+  go true body
+
+(* ------------------------------------------------------------------ *)
+(* Working representation during rewriting. *)
+
+type wdef = {
+  w_name : string;
+  w_rank : int;
+  w_params : string array;  (* canonical: x0, x1, … *)
+  w_body : Rlogic.Ast.formula;
+  w_rec : bool;
+}
+
+(* Canonical variable names inside a resolved body: parameters x<i>,
+   quantified variables q<depth>.  Scope-aware, hence capture-free. *)
+let canon_body params body =
+  let cp = Array.of_list (List.mapi (fun i _ -> Printf.sprintf "x%d" i) params) in
+  let env0 = List.mapi (fun i x -> (x, cp.(i))) params in
+  let rv env x =
+    match List.assoc_opt x env with Some x' -> x' | None -> x
+  in
+  let rec go env depth = function
+    | (Rlogic.Ast.True | Rlogic.Ast.False) as f -> f
+    | Rlogic.Ast.Eq (x, y) -> Rlogic.Ast.Eq (rv env x, rv env y)
+    | Rlogic.Ast.Mem (i, args) -> Rlogic.Ast.Mem (i, Array.map (rv env) args)
+    | Rlogic.Ast.Not f -> Rlogic.Ast.Not (go env depth f)
+    | Rlogic.Ast.And (f, g) -> Rlogic.Ast.And (go env depth f, go env depth g)
+    | Rlogic.Ast.Or (f, g) -> Rlogic.Ast.Or (go env depth f, go env depth g)
+    | Rlogic.Ast.Implies (f, g) ->
+        Rlogic.Ast.Implies (go env depth f, go env depth g)
+    | Rlogic.Ast.Exists (x, f) ->
+        let x' = Printf.sprintf "q%d" depth in
+        Rlogic.Ast.Exists (x', go ((x, x') :: env) (depth + 1) f)
+    | Rlogic.Ast.Forall (x, f) ->
+        let x' = Printf.sprintf "q%d" depth in
+        Rlogic.Ast.Forall (x', go ((x, x') :: env) (depth + 1) f)
+  in
+  (cp, go env0 0 body)
+
+let iter_refs f body =
+  let rec go = function
+    | Rlogic.Ast.Mem (i, _) when i >= def_base -> f (i - def_base)
+    | Rlogic.Ast.True | Rlogic.Ast.False | Rlogic.Ast.Eq _ | Rlogic.Ast.Mem _
+      ->
+        ()
+    | Rlogic.Ast.Not g -> go g
+    | Rlogic.Ast.And (g, h) | Rlogic.Ast.Or (g, h) | Rlogic.Ast.Implies (g, h)
+      ->
+        go g;
+        go h
+    | Rlogic.Ast.Exists (_, g) | Rlogic.Ast.Forall (_, g) -> go g
+  in
+  go body
+
+let remap_refs subst body =
+  let rec go = function
+    | Rlogic.Ast.Mem (i, args) when i >= def_base ->
+        Rlogic.Ast.Mem (def_base + subst.(i - def_base), args)
+    | (Rlogic.Ast.True | Rlogic.Ast.False | Rlogic.Ast.Eq _ | Rlogic.Ast.Mem _)
+      as f ->
+        f
+    | Rlogic.Ast.Not f -> Rlogic.Ast.Not (go f)
+    | Rlogic.Ast.And (f, g) -> Rlogic.Ast.And (go f, go g)
+    | Rlogic.Ast.Or (f, g) -> Rlogic.Ast.Or (go f, go g)
+    | Rlogic.Ast.Implies (f, g) -> Rlogic.Ast.Implies (go f, go g)
+    | Rlogic.Ast.Exists (x, f) -> Rlogic.Ast.Exists (x, go f)
+    | Rlogic.Ast.Forall (x, f) -> Rlogic.Ast.Forall (x, go f)
+  in
+  go body
+
+(* ------------------------------------------------------------------ *)
+(* Self-contained definition keys.  A key spells out the whole
+   definition with every reference replaced by the referee's key and
+   the self-reference replaced by "self", so equal keys mean equal
+   denotations on every instance — safe for cross-request sharing. *)
+
+let key_print keys self body =
+  let buf = Buffer.create 128 in
+  let add = Buffer.add_string buf in
+  let rec go = function
+    | Rlogic.Ast.True -> add "T"
+    | Rlogic.Ast.False -> add "F"
+    | Rlogic.Ast.Eq (x, y) ->
+        add x;
+        add "=";
+        add y
+    | Rlogic.Ast.Mem (i, args) ->
+        (if i >= def_base then
+           let s = i - def_base in
+           if self = Some s then add "self"
+           else begin
+             add "[";
+             add keys.(s);
+             add "]"
+           end
+         else add (Printf.sprintf "R%d" (i + 1)));
+        add "(";
+        Array.iteri
+          (fun k x ->
+            if k > 0 then add ",";
+            add x)
+          args;
+        add ")"
+    | Rlogic.Ast.Not f ->
+        add "!(";
+        go f;
+        add ")"
+    | Rlogic.Ast.And (f, g) -> binop "&" f g
+    | Rlogic.Ast.Or (f, g) -> binop "|" f g
+    | Rlogic.Ast.Implies (f, g) -> binop ">" f g
+    | Rlogic.Ast.Exists (x, f) ->
+        add "E";
+        add x;
+        add ".(";
+        go f;
+        add ")"
+    | Rlogic.Ast.Forall (x, f) ->
+        add "A";
+        add x;
+        add ".(";
+        go f;
+        add ")"
+  and binop op f g =
+    add "(";
+    go f;
+    add op;
+    go g;
+    add ")"
+  in
+  go body;
+  Buffer.contents buf
+
+let compute_keys (defs : wdef array) =
+  let keys = Array.make (Array.length defs) "" in
+  Array.iteri
+    (fun j d ->
+      keys.(j) <-
+        Printf.sprintf "%s%d:%s"
+          (if d.w_rec then "fix" else "let")
+          d.w_rank
+          (key_print keys (Some j) d.w_body))
+    defs;
+  keys
+
+(* ------------------------------------------------------------------ *)
+(* Cost model: estimated genuine oracle questions (Def. 3.9) under an
+   assumed characteristic-tree branching factor.  The estimates only
+   steer the inline-vs-materialize choice and feed --explain / bench
+   reporting; correctness never depends on them. *)
+
+let branching = 3.0
+
+let walk_est rank =
+  (* T_B questions to enumerate T^rank: b + b² + … + b^rank *)
+  let rec go i acc =
+    if i > rank then acc else go (i + 1) (acc +. (branching ** float_of_int i))
+  in
+  go 1 0.
+
+let reps_est rank = branching ** float_of_int rank *. 0.5
+
+(* questions to decide the formula once at a fixed assignment *)
+let rec test_est mode ranks = function
+  | Rlogic.Ast.True | Rlogic.Ast.False | Rlogic.Ast.Eq _ -> 0.
+  | Rlogic.Ast.Mem (i, _) when i < def_base -> 1.
+  | Rlogic.Ast.Mem (i, _) -> (
+      let r = ranks.(i - def_base) in
+      (* membership in a derived set: scan its representatives asking
+         ≅_B; hash-first (Planned) usually settles without the scan *)
+      match mode with
+      | Planned -> 1. +. (reps_est r *. 0.25)
+      | Naive -> reps_est r)
+  | Rlogic.Ast.Not f -> test_est mode ranks f
+  | Rlogic.Ast.And (f, g) | Rlogic.Ast.Or (f, g) | Rlogic.Ast.Implies (f, g)
+    ->
+      test_est mode ranks f +. test_est mode ranks g
+  | Rlogic.Ast.Exists (_, f) | Rlogic.Ast.Forall (_, f) ->
+      branching *. test_est mode ranks f
+
+let def_est mode ranks d =
+  let body_c = test_est mode ranks d.w_body in
+  let size = branching ** float_of_int d.w_rank in
+  let rounds =
+    if not d.w_rec then 1.
+    else match mode with Naive -> 3. | Planned -> 1.5
+  in
+  walk_est d.w_rank +. (rounds *. size *. body_c)
+
+let estimate ~mode (defs : wdef array) tgt =
+  let ranks = Array.map (fun d -> d.w_rank) defs in
+  let dcosts = Array.map (def_est mode ranks) defs in
+  let tcost =
+    match tgt with
+    | `Sentence body -> test_est mode ranks body
+    | `Query (vars, body, cutoff) ->
+        let rank = List.length vars in
+        let c = float_of_int (match cutoff with Some c -> c | None -> 6) in
+        let memc =
+          match mode with
+          | Planned -> 1. +. (reps_est rank *. 0.25)
+          | Naive -> reps_est rank *. 0.5
+        in
+        walk_est rank
+        +. (branching ** float_of_int rank *. test_est mode ranks body)
+        +. ((c ** float_of_int rank) *. memc)
+    | `Tree d -> walk_est d
+  in
+  (dcosts, Array.fold_left ( +. ) tcost dcosts)
+
+(* ------------------------------------------------------------------ *)
+(* Rewrites.  Each preserves the denotation of every live definition
+   reference and of the target, hence byte-identical answers. *)
+
+(* R1: drop definitions unreachable from the target. *)
+let dce (defs : wdef array) tbodies =
+  let n = Array.length defs in
+  let live = Array.make n false in
+  let rec mark j =
+    if not live.(j) then begin
+      live.(j) <- true;
+      iter_refs mark defs.(j).w_body
+    end
+  in
+  List.iter (iter_refs mark) tbodies;
+  let subst = Array.make n (-1) in
+  let next = ref 0 in
+  Array.iteri
+    (fun j _ ->
+      if live.(j) then begin
+        subst.(j) <- !next;
+        incr next
+      end)
+    defs;
+  let kept = ref [] in
+  Array.iteri
+    (fun j d ->
+      if live.(j) then
+        kept := { d with w_body = remap_refs subst d.w_body } :: !kept)
+    defs;
+  (Array.of_list (List.rev !kept), List.map (remap_refs subst) tbodies)
+
+(* R2: definitions with equal keys denote the same set — keep the first,
+   redirect every reference to it. *)
+let unify (defs : wdef array) tbodies =
+  let n = Array.length defs in
+  let keys = compute_keys defs in
+  let subst = Array.make n (-1) in
+  let by_key = Hashtbl.create 8 in
+  let kept = ref [] in
+  let next = ref 0 in
+  Array.iteri
+    (fun j d ->
+      match Hashtbl.find_opt by_key keys.(j) with
+      | Some s -> subst.(j) <- s
+      | None ->
+          Hashtbl.add by_key keys.(j) !next;
+          subst.(j) <- !next;
+          incr next;
+          kept := d :: !kept)
+    defs;
+  let kept =
+    Array.of_list
+      (List.rev_map (fun d -> { d with w_body = remap_refs subst d.w_body })
+         !kept)
+  in
+  (kept, List.map (remap_refs subst) tbodies)
+
+(* R3: a non-recursive definition referenced exactly once is inlined at
+   its use site when the cost model says the T^rank materialization walk
+   would cost more than evaluating the body in place. *)
+
+let count_refs n bodies =
+  let c = Array.make n 0 in
+  List.iter (iter_refs (fun j -> c.(j) <- c.(j) + 1)) bodies;
+  c
+
+(* quantifier depth of the unique reference to [j] inside [body], if any *)
+let ref_depth j body =
+  let found = ref None in
+  let rec go depth = function
+    | Rlogic.Ast.Mem (i, _) when i = def_base + j ->
+        if !found = None then found := Some depth
+    | Rlogic.Ast.True | Rlogic.Ast.False | Rlogic.Ast.Eq _ | Rlogic.Ast.Mem _
+      ->
+        ()
+    | Rlogic.Ast.Not f -> go depth f
+    | Rlogic.Ast.And (f, g) | Rlogic.Ast.Or (f, g) | Rlogic.Ast.Implies (f, g)
+      ->
+        go depth f;
+        go depth g
+    | Rlogic.Ast.Exists (_, f) | Rlogic.Ast.Forall (_, f) -> go (depth + 1) f
+  in
+  go 0 body;
+  !found
+
+let substitute j (d : wdef) host =
+  let fresh = ref 0 in
+  let rv env x =
+    match List.assoc_opt x env with Some x' -> x' | None -> x
+  in
+  (* instantiate the body: parameters → argument variables, internal
+     binders freshened so they cannot capture host variables *)
+  let rec inst env = function
+    | (Rlogic.Ast.True | Rlogic.Ast.False) as f -> f
+    | Rlogic.Ast.Eq (x, y) -> Rlogic.Ast.Eq (rv env x, rv env y)
+    | Rlogic.Ast.Mem (i, args) -> Rlogic.Ast.Mem (i, Array.map (rv env) args)
+    | Rlogic.Ast.Not f -> Rlogic.Ast.Not (inst env f)
+    | Rlogic.Ast.And (f, g) -> Rlogic.Ast.And (inst env f, inst env g)
+    | Rlogic.Ast.Or (f, g) -> Rlogic.Ast.Or (inst env f, inst env g)
+    | Rlogic.Ast.Implies (f, g) ->
+        Rlogic.Ast.Implies (inst env f, inst env g)
+    | Rlogic.Ast.Exists (x, f) ->
+        incr fresh;
+        let x' = Printf.sprintf "%s'i%d" x !fresh in
+        Rlogic.Ast.Exists (x', inst ((x, x') :: env) f)
+    | Rlogic.Ast.Forall (x, f) ->
+        incr fresh;
+        let x' = Printf.sprintf "%s'i%d" x !fresh in
+        Rlogic.Ast.Forall (x', inst ((x, x') :: env) f)
+  in
+  let rec go = function
+    | Rlogic.Ast.Mem (i, args) when i = def_base + j ->
+        let env =
+          List.combine (Array.to_list d.w_params) (Array.to_list args)
+        in
+        inst env d.w_body
+    | (Rlogic.Ast.True | Rlogic.Ast.False | Rlogic.Ast.Eq _ | Rlogic.Ast.Mem _)
+      as f ->
+        f
+    | Rlogic.Ast.Not f -> Rlogic.Ast.Not (go f)
+    | Rlogic.Ast.And (f, g) -> Rlogic.Ast.And (go f, go g)
+    | Rlogic.Ast.Or (f, g) -> Rlogic.Ast.Or (go f, go g)
+    | Rlogic.Ast.Implies (f, g) -> Rlogic.Ast.Implies (go f, go g)
+    | Rlogic.Ast.Exists (x, f) -> Rlogic.Ast.Exists (x, go f)
+    | Rlogic.Ast.Forall (x, f) -> Rlogic.Ast.Forall (x, go f)
+  in
+  go host
+
+let inline_pass (defs : wdef array) tbodies tranks =
+  let n = Array.length defs in
+  let ranks = Array.map (fun d -> d.w_rank) defs in
+  let all_bodies () =
+    Array.to_list (Array.map (fun d -> d.w_body) defs) @ tbodies
+  in
+  let changed = ref false in
+  let defs = Array.copy defs in
+  let tbodies = ref tbodies in
+  let try_inline j =
+    let d = defs.(j) in
+    if d.w_rec then ()
+    else begin
+      let counts = count_refs n (all_bodies ()) in
+      if counts.(j) = 1 then begin
+        (* find the host: a def body or a target body *)
+        let host_rank = ref None in
+        Array.iteri
+          (fun h hd ->
+            if h <> j && !host_rank = None then
+              match ref_depth j hd.w_body with
+              | Some q -> host_rank := Some (`Def h, hd.w_rank, q)
+              | None -> ())
+          defs;
+        List.iteri
+          (fun k b ->
+            if !host_rank = None then
+              match ref_depth j b with
+              | Some q -> host_rank := Some (`Target k, List.nth tranks k, q)
+              | None -> ())
+          !tbodies;
+        match !host_rank with
+        | None -> ()
+        | Some (site, r_host, q) ->
+            let body_c = test_est Planned ranks d.w_body in
+            let inline_est =
+              branching ** float_of_int (r_host + q) *. body_c
+            in
+            let mat_est =
+              def_est Planned ranks d
+              +. (branching ** float_of_int (r_host + q) *. 1.)
+            in
+            if inline_est <= mat_est then begin
+              changed := true;
+              match site with
+              | `Def h ->
+                  defs.(h) <-
+                    { (defs.(h)) with
+                      w_body = substitute j d defs.(h).w_body
+                    }
+              | `Target k ->
+                  tbodies :=
+                    List.mapi
+                      (fun i b -> if i = k then substitute j d b else b)
+                      !tbodies
+            end
+      end
+    end
+  in
+  for j = n - 1 downto 0 do
+    try_inline j
+  done;
+  (defs, !tbodies, !changed)
+
+(* ------------------------------------------------------------------ *)
+
+let dup_check what names =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun x ->
+      if Hashtbl.mem tbl x then fail "duplicate %s %S" what x
+      else Hashtbl.add tbl x ())
+    names
+
+let compile ?(max_rank = 4) ?(max_cutoff = 32) ?(max_depth = 6) ~mode
+    (ast : Rql_ast.t) =
+  let normalized = normalize ast in
+  dup_check "definition name" (List.map (fun b -> b.Rql_ast.b_name) ast.bindings);
+  let all_names = List.map (fun b -> b.Rql_ast.b_name) ast.bindings in
+  (* resolve bindings in order; only earlier bindings (plus self for
+     fix) are in scope *)
+  let scope = ref [] in
+  let wdefs0 =
+    List.mapi
+      (fun j (b : Rql_ast.binding) ->
+        dup_check
+          (Printf.sprintf "parameter of definition %S" b.b_name)
+          b.b_params;
+        let rank = List.length b.b_params in
+        if rank > max_rank then
+          fail "definition %S has rank %d; the maximum supported rank is %d"
+            b.b_name rank max_rank;
+        let who = Printf.sprintf "definition %S" b.b_name in
+        let body_scope =
+          if b.b_fix then
+            (b.b_name, { se_slot = j; se_arity = rank }) :: !scope
+          else !scope
+        in
+        let body =
+          resolve ~who ~scope:body_scope
+            ~let_self:(if b.b_fix then None else Some b.b_name)
+            ~later:all_names ~bound:b.b_params b.b_body
+        in
+        if b.b_fix then check_positive ~who j body;
+        scope := (b.b_name, { se_slot = j; se_arity = rank }) :: !scope;
+        let w_params, w_body = canon_body b.b_params body in
+        { w_name = b.b_name; w_rank = rank; w_params; w_body; w_rec = b.b_fix })
+      ast.bindings
+    |> Array.of_list
+  in
+  let scope = !scope in
+  let tgt0 =
+    match ast.target with
+    | Rql_ast.Sentence f ->
+        let body =
+          resolve ~who:"the sentence target" ~scope ~let_self:None
+            ~later:all_names ~bound:[] f
+        in
+        let _, body = canon_body [] body in
+        `Sentence body
+    | Rql_ast.Query { q_vars; q_body; q_cutoff } ->
+        dup_check "query variable" q_vars;
+        if List.length q_vars > max_rank then
+          fail "the query target has rank %d; the maximum supported rank is %d"
+            (List.length q_vars) max_rank;
+        (match q_cutoff with
+        | Some c when c < 0 || c > max_cutoff ->
+            fail "cutoff %d out of range 0..%d" c max_cutoff
+        | _ -> ());
+        let body =
+          resolve ~who:"the query target" ~scope ~let_self:None
+            ~later:all_names ~bound:q_vars q_body
+        in
+        let vars, body = canon_body q_vars body in
+        `Query (Array.to_list vars, body, q_cutoff)
+    | Rql_ast.Tree d ->
+        if d < 1 || d > max_depth then
+          fail "tree depth %d out of range 1..%d" d max_depth;
+        `Tree d
+  in
+  let _, est_naive = estimate ~mode:Naive wdefs0 tgt0 in
+  let tbodies tgt =
+    match tgt with
+    | `Sentence b -> [ b ]
+    | `Query (_, b, _) -> [ b ]
+    | `Tree _ -> []
+  in
+  let tranks tgt =
+    match tgt with
+    | `Sentence _ -> [ 0 ]
+    | `Query (vars, _, _) -> [ List.length vars ]
+    | `Tree _ -> []
+  in
+  let rebuild tgt bodies =
+    match (tgt, bodies) with
+    | `Sentence _, [ b ] -> `Sentence b
+    | `Query (vars, _, c), [ b ] -> `Query (vars, b, c)
+    | `Tree d, [] -> `Tree d
+    | _ -> assert false
+  in
+  let wdefs, tgt =
+    match mode with
+    | Naive -> (wdefs0, tgt0)
+    | Planned ->
+        let defs, bodies = dce wdefs0 (tbodies tgt0) in
+        let tgt = rebuild tgt0 bodies in
+        let defs, bodies = unify defs (tbodies tgt) in
+        let tgt = rebuild tgt bodies in
+        let rec loop defs tgt n =
+          let defs, bodies, changed =
+            inline_pass defs (tbodies tgt) (tranks tgt)
+          in
+          let tgt = rebuild tgt bodies in
+          let defs, bodies = dce defs (tbodies tgt) in
+          let tgt = rebuild tgt bodies in
+          if changed && n > 0 then loop defs tgt (n - 1) else (defs, tgt)
+        in
+        let defs, tgt = loop defs tgt (Array.length defs) in
+        (* re-canonicalize: inlining introduced fresh binder names *)
+        let defs =
+          Array.map
+            (fun d ->
+              let w_params, w_body =
+                canon_body (Array.to_list d.w_params) d.w_body
+              in
+              { d with w_params; w_body })
+            defs
+        in
+        let bodies =
+          List.map (fun b -> snd (canon_body [] b)) (tbodies tgt)
+        in
+        (* target bodies' free vars are canonical already (x0, …) *)
+        (defs, rebuild tgt bodies)
+  in
+  let keys = compute_keys wdefs in
+  let dcosts, est_planned = estimate ~mode wdefs tgt in
+  let defs =
+    Array.mapi
+      (fun j d ->
+        {
+          d_name = d.w_name;
+          d_rank = d.w_rank;
+          d_params = d.w_params;
+          d_body = d.w_body;
+          d_recursive = d.w_rec;
+          d_key = keys.(j);
+          d_est = dcosts.(j);
+        })
+      wdefs
+  in
+  let target =
+    match tgt with
+    | `Sentence b -> Sentence b
+    | `Query (vars, b, c) ->
+        Query { rank = List.length vars; body = b; cutoff = c }
+    | `Tree d -> Tree d
+  in
+  { mode; defs; target; normalized; est_naive; est_planned }
+
+let plan_of_text ?max_rank ?max_cutoff ?max_depth ~mode s =
+  compile ?max_rank ?max_cutoff ?max_depth ~mode (parse s)
+
+(* ------------------------------------------------------------------ *)
+
+let surface_of_body defs body =
+  let rec go = function
+    | Rlogic.Ast.True -> Rql_ast.True
+    | Rlogic.Ast.False -> Rql_ast.False
+    | Rlogic.Ast.Eq (x, y) -> Rql_ast.Eq (x, y)
+    | Rlogic.Ast.Mem (i, args) ->
+        let n =
+          if i >= def_base then defs.(i - def_base).d_name
+          else Printf.sprintf "R%d" (i + 1)
+        in
+        Rql_ast.Atom (n, args)
+    | Rlogic.Ast.Not f -> Rql_ast.Not (go f)
+    | Rlogic.Ast.And (f, g) -> Rql_ast.And (go f, go g)
+    | Rlogic.Ast.Or (f, g) -> Rql_ast.Or (go f, go g)
+    | Rlogic.Ast.Implies (f, g) -> Rql_ast.Implies (go f, go g)
+    | Rlogic.Ast.Exists (x, f) -> Rql_ast.Exists (x, go f)
+    | Rlogic.Ast.Forall (x, f) -> Rql_ast.Forall (x, go f)
+  in
+  Rql_ast.formula_to_string (go body)
+
+let describe t =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "plan: mode=%s\n" (match t.mode with Naive -> "naive" | Planned -> "planned");
+  add "normalized: %s\n" t.normalized;
+  add "estimated questions: naive ~%.1f, this plan ~%.1f\n" t.est_naive
+    t.est_planned;
+  Array.iteri
+    (fun j d ->
+      add "  def %d %S (%s, rank %d, est ~%.1f, key#%s)\n    %s\n" j d.d_name
+        (if d.d_recursive then "fix" else "let")
+        d.d_rank d.d_est
+        (String.sub (Digest.to_hex (Digest.string d.d_key)) 0 8)
+        (surface_of_body t.defs d.d_body))
+    t.defs;
+  (match t.target with
+  | Sentence b -> add "  target: sentence %s\n" (surface_of_body t.defs b)
+  | Query { rank; body; cutoff } ->
+      add "  target: query (rank %d%s) %s\n" rank
+        (match cutoff with
+        | Some c -> Printf.sprintf ", cutoff %d" c
+        | None -> "")
+        (surface_of_body t.defs body)
+  | Tree d -> add "  target: tree depth %d\n" d);
+  Buffer.contents buf

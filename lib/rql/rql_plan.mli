@@ -1,0 +1,90 @@
+(** Compilation of RQL surface syntax into executable plans.
+
+    A plan is a topologically ordered array of definitions lowered to
+    {!Rlogic.Ast.formula} (atoms [Mem i] with [i < def_base] are base
+    relations, [i = def_base + j] is a reference to definition slot
+    [j]), plus one target.  {!Rql_eval} interprets plans against an
+    hs-r-db representation.
+
+    The compiler is cost-based.  Costs are estimated oracle questions
+    in the Def. 3.9 ledger model (raw memberships + T_B + ≅_B calls);
+    the planner may only apply rewrites that preserve byte-identical
+    answers — dead-definition elimination, common-fixpoint unification,
+    single-use inlining when the estimate says the materialization walk
+    costs more than in-place evaluation.  Question-*saving* evaluation
+    strategies (hash-first derived membership, incremental fixpoint
+    rounds, cross-request definition sharing) are enabled by the
+    {!Planned} mode flag and implemented in {!Rql_eval}. *)
+
+type mode =
+  | Naive  (** literal evaluation: every definition materialized as
+               written, full fixpoint re-evaluation each round,
+               ≅-scan membership *)
+  | Planned  (** cost-based rewrites + question-saving evaluation *)
+
+type def = {
+  d_name : string;  (** surface name, for diagnostics *)
+  d_rank : int;
+  d_params : string array;  (** canonical parameter names, [d_rank] long *)
+  d_body : Rlogic.Ast.formula;
+      (** alpha-normalized; free variables are exactly [d_params] *)
+  d_recursive : bool;  (** least fixpoint ([fix]) vs plain ([let]) *)
+  d_key : string;
+      (** self-contained identity: canonical body text with every
+          referenced definition's key substituted in.  Two definitions
+          with equal keys denote the same set on every instance, which
+          is what cross-request sharing in [Shared_memo] relies on. *)
+  d_est : float;  (** estimated questions to materialize this def *)
+}
+
+type target =
+  | Sentence of Rlogic.Ast.formula
+  | Query of {
+      rank : int;
+      body : Rlogic.Ast.formula;
+      cutoff : int option;  (** per-query override of the request cutoff *)
+    }
+  | Tree of int
+
+type t = {
+  mode : mode;
+  defs : def array;
+  target : target;
+  normalized : string;
+      (** canonical text: whitespace- and alpha-renaming-insensitive *)
+  est_naive : float;  (** estimated questions for the unrewritten plan *)
+  est_planned : float;  (** estimated questions for this plan *)
+}
+
+exception Error of string
+(** Parse errors (with line/column) and compile errors (unknown or
+    ill-used names, arity mismatches, non-positive recursion, rank
+    bounds), as one printable message. *)
+
+val def_base : int
+(** [Mem] indices at or above this are definition-slot references. *)
+
+val parse : string -> Rql_ast.t
+(** {!Rql_parser.query} with errors repackaged as {!Error}. *)
+
+val normalize : Rql_ast.t -> string
+(** Canonical text of a query: definitions renamed [p0, p1, …] in
+    order, variables renamed by binder depth, printed via
+    {!Rql_ast.to_source}.  Two texts differing only in whitespace,
+    comments or bound-name choices normalize identically. *)
+
+val compile :
+  ?max_rank:int -> ?max_cutoff:int -> ?max_depth:int -> mode:mode ->
+  Rql_ast.t -> t
+(** Resolve names, check scope/arity/positivity and the rank / cutoff /
+    tree-depth bounds (defaults 4 / 32 / 6; the engine passes its
+    request [Bounds]), then — in {!Planned} mode — rewrite.
+    @raise Error on any static error. *)
+
+val plan_of_text :
+  ?max_rank:int -> ?max_cutoff:int -> ?max_depth:int -> mode:mode ->
+  string -> t
+(** [parse] + [normalize] + [compile]. *)
+
+val describe : t -> string
+(** Multi-line human-readable plan dump for [recdb rql --explain]. *)

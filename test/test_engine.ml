@@ -293,6 +293,55 @@ let test_request_roundtrip () =
                 (Json.to_string (Request.to_json r'))))
     lines
 
+let test_request_malformed_lines () =
+  (* One malformed line per op: the error must name the op and the
+     offending/missing field, so a sender can diagnose from the error
+     response alone. *)
+  let contains ~needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i =
+      i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  let expect_bad line needles =
+    match Request.of_line line with
+    | Ok _ -> Alcotest.failf "accepted malformed line %s" line
+    | Error (Request.Bad_request m) ->
+        List.iter
+          (fun needle ->
+            if not (contains ~needle m) then
+              Alcotest.failf "error %S does not mention %S (line %s)" m needle
+                line)
+          needles
+    | Error e ->
+        Alcotest.failf "wrong error kind %s for %s"
+          (Request.error_to_string e) line
+  in
+  expect_bad {|{"id":1,"op":"sentence","sentence":"true"}|}
+    [ {|op "sentence"|}; {|missing required field "instance"|} ];
+  expect_bad {|{"id":2,"op":"query","instance":"rado","cutoff":4}|}
+    [ {|op "query"|}; {|missing required field "query"|} ];
+  expect_bad {|{"id":3,"op":"classes","rank":2}|}
+    [ {|op "classes"|}; {|"type"|} ];
+  expect_bad {|{"id":4,"op":"tree","instance":"mod2","depth":"two"}|}
+    [ {|op "tree"|}; {|field "depth" must be an integer|} ];
+  expect_bad {|{"id":5,"op":"program","instance":"triangles","fuel":10}|}
+    [ {|op "program"|}; {|missing required field "program"|} ];
+  expect_bad {|{"id":6,"op":"rql","instance":"paths3"}|}
+    [ {|op "rql"|}; {|missing required field "text"|} ];
+  expect_bad
+    {|{"id":7,"op":"rql","instance":"paths3","text":"sentence true","planner":"fast"}|}
+    [ {|op "rql"|}; {|"planner"|} ];
+  expect_bad {|{"id":8,"instance":"mod2","depth":2}|}
+    [ {|missing required field "op"|}; {|"rql"|} ];
+  expect_bad {|{"id":9,"op":"frobnicate"}|}
+    [ {|unknown op "frobnicate"|}; "expected one of" ];
+  (* Out-of-range scalar fields are also op-prefixed. *)
+  expect_bad
+    {|{"id":10,"op":"tree","instance":"mod2","depth":99}|}
+    [ {|op "tree"|} ]
+
 (* ------------------------------------------------------------------ *)
 (* Engine                                                              *)
 
@@ -558,6 +607,8 @@ let () =
             test_json_roundtrip;
           Alcotest.test_case "request wire format round-trip" `Quick
             test_request_roundtrip;
+          Alcotest.test_case "malformed lines name op and field" `Quick
+            test_request_malformed_lines;
         ] );
       ( "engine",
         [

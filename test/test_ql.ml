@@ -92,11 +92,41 @@ let gen_ql_term =
   in
   go 4
 
+(* Whole programs.  The parser right-associates [;] and the printer
+   flattens it, so the generator only ever nests [Seq] on the right —
+   on that (canonical) shape parse ∘ print is the identity on ASTs. *)
+let gen_ql_program =
+  let open QCheck2.Gen in
+  let rec seq_of = function
+    | [ s ] -> s
+    | s :: rest -> Ql_ast.Seq (s, seq_of rest)
+    | [] -> assert false
+  in
+  let gen_assign = map2 (fun i e -> Ql_ast.Assign (i, e)) (int_range 0 2) gen_ql_term in
+  let rec gen_stmt n =
+    if n = 0 then gen_assign
+    else
+      oneof
+        [
+          gen_assign;
+          map2 (fun i p -> Ql_ast.While_empty (i, p)) (int_range 0 2)
+            (gen_prog (n - 1));
+          map2 (fun i p -> Ql_ast.While_single (i, p)) (int_range 0 2)
+            (gen_prog (n - 1));
+          map2 (fun i p -> Ql_ast.While_finite (i, p)) (int_range 0 2)
+            (gen_prog (n - 1));
+        ]
+  and gen_prog n = map seq_of (list_size (int_range 1 3) (gen_stmt n)) in
+  gen_prog 2
+
 let qcheck_parser_tests =
   Test_support.to_alcotest
     [
       QCheck2.Test.make ~count:300 ~name:"term source roundtrip" gen_ql_term
         (fun e -> Ql_parser.term (Ql_parser.term_to_source e) = e);
+      QCheck2.Test.make ~count:300 ~name:"program source roundtrip"
+        gen_ql_program (fun p ->
+          Ql_parser.program (Ql_parser.program_to_source p) = p);
     ]
 
 (* -------------------------------------------------------------------- *)
