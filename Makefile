@@ -1,4 +1,4 @@
-.PHONY: all build test bench resilience-smoke parallel-smoke server-smoke obs-smoke rql-smoke check clean
+.PHONY: all build test bench resilience-smoke parallel-smoke server-smoke obs-smoke rql-smoke store-smoke check clean
 
 all: build
 
@@ -48,7 +48,17 @@ rql-smoke:
 	dune exec bin/recdb.exe -- bench-rql --requests 80 -o BENCH_rql_smoke.json
 	dune exec bin/recdb.exe -- rql-smoke
 
-check: build test bench resilience-smoke parallel-smoke server-smoke obs-smoke rql-smoke
+# The E30 smoke: bench-store (cold vs warm start + the fault matrix —
+# exits 1 unless warm responses are byte-identical with < 5% of the
+# cold questions and every damaged store recovers correct), then
+# store-smoke — a real served process kill -9'd mid-load and restarted
+# on the same store directory, checked for byte-identical answers, a
+# near-zero warm ledger and a clean final drain.
+store-smoke:
+	dune exec bin/recdb.exe -- bench-store --requests 120 -o BENCH_store.json
+	dune exec bin/recdb.exe -- store-smoke
+
+check: build test bench resilience-smoke parallel-smoke server-smoke obs-smoke rql-smoke store-smoke
 
 clean:
 	dune clean

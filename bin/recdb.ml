@@ -618,9 +618,35 @@ let cmd_serve =
              sampled span trees as JSON lines.  0 picks an ephemeral port \
              (printed to stderr).")
   in
+  let store_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Durable store directory: load any snapshot before serving \
+             (warm start), journal admitted requests, write write-behind \
+             snapshots, flush a final one on drain.")
+  in
+  let snapshot_interval =
+    Arg.(
+      value & opt float 30.0
+      & info [ "snapshot-interval" ] ~docv:"S"
+          ~doc:"Seconds between write-behind snapshots (with --store).")
+  in
+  let port_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:
+            "Write the bound serving port (line 1) and metrics port (line \
+             2, if any) to FILE once listening — how scripts find an \
+             ephemeral --port 0.")
+  in
   let run host port jobs window per_conn_window max_line no_stats
-      drain_timeout deadline_ms max_oracle_calls inject metrics_port trace
-      trace_sample =
+      drain_timeout deadline_ms max_oracle_calls inject metrics_port
+      store_dir snapshot_interval port_file trace trace_sample =
     if window < 1 || per_conn_window < 1 || max_line < 1 then begin
       Format.eprintf "window, per-conn-window and max-line must be >= 1@.";
       exit 1
@@ -630,7 +656,7 @@ let cmd_serve =
     let server =
       Server.start ~host ~port ?domains:jobs ~window ~per_conn_window
         ~max_line ~stats:(not no_stats) ?engine_config:config ?tracing
-        ?metrics_port ()
+        ?metrics_port ?store_dir ~snapshot_interval_s:snapshot_interval ()
     in
     Format.eprintf
       "recdb: listening on %s:%d (admission window %d, per-connection \
@@ -641,6 +667,21 @@ let cmd_serve =
     (match Server.metrics_port server with
     | Some mp -> Format.eprintf "recdb: metrics on %s:%d/metrics@." host mp
     | None -> ());
+    (match store_dir with
+    | Some dir -> Format.eprintf "recdb: durable store in %s@." dir
+    | None -> ());
+    (match port_file with
+    | None -> ()
+    | Some path ->
+        (* temp + rename so a poller never reads a partial file *)
+        let tmp = path ^ ".tmp" in
+        let oc = open_out tmp in
+        Printf.fprintf oc "%d\n" (Server.port server);
+        (match Server.metrics_port server with
+        | Some mp -> Printf.fprintf oc "%d\n" mp
+        | None -> ());
+        close_out oc;
+        Sys.rename tmp path);
     let stop = Atomic.make false in
     let on_signal _ = Atomic.set stop true in
     Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
@@ -666,7 +707,8 @@ let cmd_serve =
     Term.(
       const run $ host_arg $ port $ jobs $ window_arg $ per_conn_window_arg
       $ max_line $ no_stats $ drain_timeout $ deadline_ms $ max_oracle_calls
-      $ inject $ metrics_port $ trace_flag $ trace_sample_arg)
+      $ inject $ metrics_port $ store_dir $ snapshot_interval $ port_file
+      $ trace_flag $ trace_sample_arg)
 
 let cmd_loadgen =
   let doc =
@@ -1487,6 +1529,266 @@ let cmd_rql_smoke =
   Cmd.v (Cmd.info "rql-smoke" ~doc)
     Term.(const run $ requests_file $ expected_file $ update)
 
+let cmd_store_inspect =
+  let doc =
+    "Inspect a durable store directory (read-only, safe against a live \
+     server): snapshot format version and entry counts by kind, journal \
+     admitted/completed/pending counts, corrupt or torn records."
+  in
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Store directory (as passed to --store).")
+  in
+  let run dir =
+    if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+      Format.eprintf "store-inspect: no such directory: %s@." dir;
+      exit 1
+    end;
+    print_string (Store.inspect ~dir)
+  in
+  Cmd.v (Cmd.info "store-inspect" ~doc) Term.(const run $ dir)
+
+let cmd_bench_store =
+  let doc =
+    "Benchmark durability (E30): cold vs warm-start Def. 3.9 questions and \
+     time-to-first-response on the mixed workload, snapshot size, and \
+     fault-recovery rows (truncation, bit flip, future format version).  \
+     Exits 1 on any violation — warm must be byte-identical with < 5% of \
+     cold's questions, faults must recover to correct answers."
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Also write results as JSON.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 160
+      & info [ "requests" ] ~docv:"N" ~doc:"Workload size.")
+  in
+  let run out requests =
+    let r = Store_bench.run ?out ~requests () in
+    if r.Store_bench.b_violations <> [] then exit 1
+  in
+  Cmd.v (Cmd.info "bench-store" ~doc) Term.(const run $ out $ requests)
+
+let cmd_store_smoke =
+  let doc =
+    "CI crash-recovery smoke: serve the mixed workload through a durable \
+     child server, kill -9 it mid-load after a snapshot, restart on the \
+     same store, and verify the warm server's responses are byte-identical \
+     to a sequential reference while asking < 5% of the cold run's oracle \
+     questions.  Exits 1 on any violation."
+  in
+  let requests =
+    Arg.(
+      value & opt int 120
+      & info [ "requests" ] ~docv:"N" ~doc:"Workload size.")
+  in
+  let dir_arg =
+    Arg.(
+      value & opt string "_store_smoke"
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Scratch store directory.")
+  in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  (* Child management: the smoke forks real [recdb serve] processes so
+     kill -9 exercises genuine crash recovery, not an in-process fake. *)
+  let spawn_serve ~exe ~dir ~port_file ~log =
+    (try Sys.remove port_file with Sys_error _ -> ());
+    let log_fd =
+      Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+    in
+    let pid =
+      Unix.create_process exe
+        [|
+          exe; "serve"; "--port"; "0"; "-j"; "1"; "--no-stats";
+          "--metrics-port"; "0"; "--store"; dir;
+          "--snapshot-interval"; "0.4"; "--port-file"; port_file;
+        |]
+        Unix.stdin log_fd log_fd
+    in
+    Unix.close log_fd;
+    pid
+  in
+  let wait_port_file path =
+    let deadline = Unix.gettimeofday () +. 20. in
+    let rec go () =
+      if Sys.file_exists path then begin
+        let ic = open_in path in
+        let p = int_of_string (String.trim (input_line ic)) in
+        let mp =
+          match input_line ic with
+          | l -> Some (int_of_string (String.trim l))
+          | exception End_of_file -> None
+        in
+        close_in ic;
+        (p, mp)
+      end
+      else if Unix.gettimeofday () > deadline then begin
+        Format.eprintf "store-smoke: child never wrote %s@." path;
+        exit 1
+      end
+      else begin
+        Unix.sleepf 0.05;
+        go ()
+      end
+    in
+    go ()
+  in
+  let send_and_collect ~port lines =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    List.iter (fun line -> Frame.write_line fd line) lines;
+    Unix.shutdown fd Unix.SHUTDOWN_SEND;
+    let reader = Frame.reader fd in
+    let rec collect acc =
+      match Frame.read reader with
+      | Frame.Line line -> collect (line :: acc)
+      | Frame.Oversized _ | Frame.Truncated _ -> collect acc
+      | Frame.Eof -> List.rev acc
+    in
+    let responses = collect [] in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    responses
+  in
+  let scrape_gauge ~metrics_port name =
+    match Expo_server.get ~port:metrics_port ~path:"/metrics" () with
+    | Error e ->
+        Format.eprintf "store-smoke: metrics scrape failed: %s@." e;
+        None
+    | Ok body ->
+        let prefix = name ^ " " in
+        String.split_on_char '\n' body
+        |> List.find_map (fun line ->
+               if String.length line > String.length prefix
+                  && String.sub line 0 (String.length prefix) = prefix
+               then
+                 float_of_string_opt
+                   (String.sub line (String.length prefix)
+                      (String.length line - String.length prefix))
+               else None)
+  in
+  let id_of line =
+    match Json.parse line with
+    | Ok j -> ( match Json.member "id" j with Some (Json.Int i) -> i | _ -> -1)
+    | Error _ -> -1
+  in
+  let sort_by_id lines =
+    List.sort (fun a b -> compare (id_of a) (id_of b)) lines
+  in
+  let run requests dir =
+    let exe = Sys.executable_name in
+    rm_rf dir;
+    let port_file = dir ^ ".port" and log = dir ^ ".log" in
+    (try Sys.remove log with Sys_error _ -> ());
+    let batch =
+      Engine_bench.build_batch (max 1 (requests * 3 / 4))
+      @ Engine_bench.build_rql_batch ~planner:Request.Plan_cost
+          (max 1 (requests / 4))
+    in
+    let lines = List.map (fun r -> Json.to_string (Request.to_json r)) batch in
+    let reference =
+      sort_by_id
+        (List.map
+           (fun r -> Json.to_string (Request.response_to_json ~stats:false r))
+           (Engine.handle_all (Engine.create ()) batch))
+    in
+    let failures = ref [] in
+    let fail fmt = Format.kasprintf (fun s -> failures := s :: !failures) fmt in
+    (* --- phase 1: cold durable server ------------------------------ *)
+    let pid = spawn_serve ~exe ~dir ~port_file ~log in
+    let port, metrics = wait_port_file port_file in
+    let cold = sort_by_id (send_and_collect ~port lines) in
+    if cold <> reference then fail "cold responses differ from sequential";
+    let cold_questions =
+      match metrics with
+      | None -> None
+      | Some mp -> scrape_gauge ~metrics_port:mp "pool_oracle_questions"
+    in
+    (* wait for a write-behind snapshot to land, then kill -9 mid-load:
+       re-send the workload and shoot the server while it is answering *)
+    let deadline = Unix.gettimeofday () +. 10. in
+    let rec wait_snapshot () =
+      match metrics with
+      | None -> Unix.sleepf 1.0
+      | Some mp -> (
+          match scrape_gauge ~metrics_port:mp "store_snapshot_last_entries" with
+          | Some n when n > 0. -> ()
+          | _ ->
+              if Unix.gettimeofday () > deadline then
+                fail "no snapshot within 10s of serving"
+              else begin
+                Unix.sleepf 0.1;
+                wait_snapshot ()
+              end)
+    in
+    wait_snapshot ();
+    let killer =
+      Thread.create
+        (fun () ->
+          Unix.sleepf 0.05;
+          Unix.kill pid Sys.sigkill)
+        ()
+    in
+    (* the crash drops the connection mid-stream; whatever arrives
+       before EOF is noise — the contract is about the restart *)
+    (try ignore (send_and_collect ~port lines) with Unix.Unix_error _ -> ());
+    Thread.join killer;
+    ignore (Unix.waitpid [] pid);
+    (* --- phase 2: warm restart on the crashed store ---------------- *)
+    let pid2 = spawn_serve ~exe ~dir ~port_file ~log in
+    let port2, metrics2 = wait_port_file port_file in
+    let warm = sort_by_id (send_and_collect ~port:port2 lines) in
+    if warm <> reference then fail "warm responses differ from sequential";
+    (match (metrics2, cold_questions) with
+    | Some mp, Some coldq -> (
+        (match scrape_gauge ~metrics_port:mp "pool_oracle_questions" with
+        | Some warmq ->
+            if coldq > 0. && warmq >= 0.05 *. coldq then
+              fail "warm questions %.0f not < 5%%%% of cold %.0f" warmq coldq
+            else
+              Format.printf
+                "store-smoke: cold %.0f questions, warm %.0f (%.1f%%)@."
+                coldq warmq
+                (if coldq > 0. then 100. *. warmq /. coldq else 0.)
+        | None -> fail "pool_oracle_questions missing from warm /metrics");
+        match scrape_gauge ~metrics_port:mp "store_last_flush_age_seconds" with
+        | Some _ -> ()
+        | None -> fail "store_last_flush_age_seconds missing from /metrics")
+    | _ -> fail "metrics unavailable; cannot check the question ratio");
+    (* --- phase 3: clean SIGTERM drain flushes a final snapshot ----- *)
+    Unix.kill pid2 Sys.sigterm;
+    (match Unix.waitpid [] pid2 with
+    | _, Unix.WEXITED 0 -> ()
+    | _, _ -> fail "warm server did not exit cleanly on SIGTERM");
+    if not (Sys.file_exists (Filename.concat dir "snapshot.rdb")) then
+      fail "no snapshot after clean drain";
+    (match !failures with
+    | [] ->
+        Format.printf
+          "store-smoke: %d requests; crash mid-load recovered, responses \
+           byte-identical cold and warm, clean drain@."
+          (List.length lines);
+        rm_rf dir;
+        (try Sys.remove port_file with Sys_error _ -> ());
+        (try Sys.remove log with Sys_error _ -> ())
+    | fs ->
+        List.iter (Format.eprintf "store-smoke failure: %s@.") fs;
+        Format.eprintf "store-smoke: child log kept at %s@." log;
+        exit 1)
+  in
+  Cmd.v (Cmd.info "store-smoke" ~doc) Term.(const run $ requests $ dir_arg)
+
 let () =
   let doc = "query languages over recursive (infinite, computable) databases" in
   let info = Cmd.info "recdb" ~version:"1.0.0" ~doc in
@@ -1516,4 +1818,7 @@ let () =
             cmd_obs_smoke;
             cmd_bench_rql;
             cmd_rql_smoke;
+            cmd_store_inspect;
+            cmd_bench_store;
+            cmd_store_smoke;
           ]))

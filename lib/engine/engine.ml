@@ -398,6 +398,48 @@ let plan_rql shared ~mode text =
       | Shared_memo.Rql_plan r -> (r, level)
       | _ -> (compile_rql ~mode text, level))
 
+(* Recompile a plan-cache entry from its key — the import half of
+   lib/store's snapshot story.  Parsing and planning are deterministic
+   pure functions of the key text (no instance is touched), so this
+   asks zero oracle questions and reproduces the exact value the key
+   originally cached: errors recompile to the same errors, which is
+   what keeps "never persist a cached error as a success" true by
+   construction.  Unknown prefixes (a future format) return [None]. *)
+let plan_of_key key =
+  let strip prefix =
+    let n = String.length prefix in
+    if String.length key >= n && String.sub key 0 n = prefix then
+      Some (String.sub key n (String.length key - n))
+    else None
+  in
+  match strip "s:" with
+  | Some s -> Some (Shared_memo.Sentence_plan (parse_sentence None s))
+  | None -> (
+      match strip "q:" with
+      | Some s -> Some (Shared_memo.Query_plan (parse_query None s))
+      | None -> (
+          match strip "p:" with
+          | Some s -> Some (Shared_memo.Program_plan (parse_program None s))
+          | None ->
+              let rql mode text =
+                Some (Shared_memo.Rql_plan (compile_rql ~mode text))
+              in
+              (* "ra:" keys wrap raw query text; "rn:" keys wrap
+                 normalized text, which [Rql_plan.normalize] guarantees
+                 re-parses to an alpha-equal AST — both recompile with
+                 the same entry point. *)
+              let tagged prefix =
+                match strip (prefix ^ "n:") with
+                | Some text -> rql Rql.Rql_plan.Naive text
+                | None -> (
+                    match strip (prefix ^ "c:") with
+                    | Some text -> rql Rql.Rql_plan.Planned text
+                    | None -> None)
+              in
+              (match tagged "ra:" with
+              | Some _ as r -> r
+              | None -> tagged "rn:")))
+
 (* Tracing shims: one branch when no ctx is attached or the current
    request is not sampled. *)
 let span tr name ?(attrs = []) f =

@@ -294,8 +294,8 @@ let rec worker_main pool slot_idx () =
   Atomic.decr pool.alive
 
 let create ?domains ?cache_capacity ?engine_config ?crash_on
-    ?(max_respawns = 1000) ?(share = true) ?(tracing = Obs.Trace.Off)
-    ?(trace_capacity = 256) () =
+    ?(max_respawns = 1000) ?(share = true) ?shared
+    ?(tracing = Obs.Trace.Off) ?(trace_capacity = 256) () =
   let n =
     match domains with
     | Some n ->
@@ -323,7 +323,10 @@ let create ?domains ?cache_capacity ?engine_config ?crash_on
       deaths = Atomic.make 0;
       respawns_left = Atomic.make max_respawns;
       retired_questions = Atomic.make 0;
-      shared = (if share then Some (Shared_memo.create ()) else None);
+      shared =
+        (match shared with
+        | Some _ -> shared (* caller-owned, e.g. pre-seeded from a store *)
+        | None -> if share then Some (Shared_memo.create ()) else None);
       cache_capacity;
       engine_config;
       crash_on;
@@ -457,6 +460,7 @@ let oracle_questions pool =
     pool.slots
 
 let shared_stats pool = Option.map Shared_memo.stats pool.shared
+let shared_memo pool = pool.shared
 
 (* Aggregate LRU stats over the live workers' engines.  [slot.engine]
    is written once by each worker at startup; this read races only

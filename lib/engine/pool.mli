@@ -73,6 +73,7 @@ val create :
   ?crash_on:(Request.t -> bool) ->
   ?max_respawns:int ->
   ?share:bool ->
+  ?shared:Shared_memo.t ->
   ?tracing:Obs.Trace.sampling ->
   ?trace_capacity:int ->
   unit ->
@@ -87,7 +88,9 @@ val create :
     bounds replacement spawns so a deterministic crash-on-everything
     configuration cannot fork-bomb.  [share] (default [true]) gives all
     workers one {!Shared_memo.t}; pass [false] to measure or test fully
-    independent workers.
+    independent workers.  [shared] plugs in a caller-owned memo layer
+    instead (e.g. one pre-seeded from a [lib/store] snapshot) and takes
+    precedence over [share].
 
     [tracing] (default [Off]) gives every worker engine a private
     {!Obs.Trace} ctx with the given sampling; sampled requests produce
@@ -139,6 +142,10 @@ val oracle_questions : t -> int
 val shared_stats : t -> Shared_memo.stats option
 (** Hit/miss statistics of the pool's shared memo layer ([None] when
     created with [~share:false]). *)
+
+val shared_memo : t -> Shared_memo.t option
+(** The pool's shared memo layer itself ([None] when created with
+    [~share:false]) — what [lib/store] snapshots. *)
 
 val cache_stats : t -> Oracle_cache.stats
 (** Aggregate per-worker LRU statistics across the live worker engines

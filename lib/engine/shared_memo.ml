@@ -96,6 +96,35 @@ module Make_table (K : Hashtbl.HashedType) = struct
         Rw.write_unlock lock;
         v
 
+  (* Insert-if-absent without touching the hit/miss ledger: loading a
+     snapshot must not look like thousands of misses (the stats feed
+     plan-cache gauges and the E29/E30 assertions).  Same
+     first-insertion-wins rule as [find_or_compute]. *)
+  let seed t k v =
+    let lock, tbl = t.stripes.(K.hash k mod Array.length t.stripes) in
+    Rw.write_lock lock;
+    let inserted =
+      match H.find_opt tbl k with
+      | Some _ -> false
+      | None ->
+          H.add tbl k v;
+          true
+    in
+    Rw.write_unlock lock;
+    inserted
+
+  (* Snapshot iteration, one stripe's read lock at a time.  [f] runs
+     under that read lock and must only accumulate (never touch any
+     memo table), which is all the exporter does. *)
+  let fold t f init =
+    Array.fold_left
+      (fun acc (lock, tbl) ->
+        Rw.read_lock lock;
+        let acc = H.fold f tbl acc in
+        Rw.read_unlock lock;
+        acc)
+      init t.stripes
+
   let stats t =
     { hits = Atomic.get t.hits; misses = Atomic.get t.misses }
 end
@@ -136,7 +165,7 @@ type plan =
 type instance_memo = {
   children_tbl : int list Ttbl.t;
   equiv_tbl : bool Ptbl.t;
-  rel_tbls : bool Ttbl.t array;
+  mutable rel_tbls : bool Ttbl.t array;
 }
 
 type result_value = (Request.outcome, Request.error) Stdlib.result
@@ -162,7 +191,16 @@ let instance t ~name ~nrels =
   Mutex.lock t.instances_lock;
   let m =
     match Hashtbl.find_opt t.instances name with
-    | Some m -> m
+    | Some m ->
+        (* A seeded snapshot may have recorded fewer relations than the
+           live instance declares (or vice versa).  Grow in place under
+           the lock; existing tables keep their contents. *)
+        if Array.length m.rel_tbls < nrels then
+          m.rel_tbls <-
+            Array.init nrels (fun i ->
+                if i < Array.length m.rel_tbls then m.rel_tbls.(i)
+                else Ttbl.create ());
+        m
     | None ->
         let m =
           {
@@ -188,7 +226,14 @@ let children m u ~compute =
 let equiv m u v ~compute =
   Ptbl.find_or_compute m.equiv_tbl (Array.copy u, Array.copy v) compute
 
-let rel m i u ~compute = Ttbl.find_or_compute m.rel_tbls.(i) (Array.copy u) compute
+let rel m i u ~compute =
+  (* [rel_tbls] can be grown concurrently by [instance]; a reader that
+     still sees the shorter array just computes uncached — correct,
+     merely colder. *)
+  let tbls = m.rel_tbls in
+  if i < Array.length tbls then
+    Ttbl.find_or_compute tbls.(i) (Array.copy u) compute
+  else compute ()
 let plan t ~key ~compute = Stbl.find_or_compute t.plans key compute
 let result t ~key ~compute = Stbl.find_or_compute t.results key compute
 let rql_def t ~key ~compute = Stbl.find_or_compute t.rql_defs key compute
@@ -235,3 +280,103 @@ let total_hits t =
   let s = stats t in
   s.children.hits + s.equiv.hits + s.rels.hits + s.plans.hits + s.results.hits
   + s.rql_defs.hits
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot export / import.
+
+   Plans are exported as *keys only*: a plan value holds compiled ASTs
+   and closures whose serialization would be fragile, and recompiling
+   from the cache key asks zero oracle questions (parsing/compiling
+   never touches an instance).  The importer is handed a
+   [plan_of_key] recompiler for exactly this reason.  Everything else
+   round-trips by value. *)
+
+type dump_entry =
+  | D_instance of { name : string; nrels : int }
+  | D_children of { inst : string; key : Tuple.t; value : int list }
+  | D_equiv of { inst : string; u : Tuple.t; v : Tuple.t; value : bool }
+  | D_rel of { inst : string; index : int; key : Tuple.t; value : bool }
+  | D_plan of { key : string }
+  | D_result of { key : string; value : result_value }
+  | D_rql_def of { key : string; value : Tupleset.t }
+
+let export t =
+  Mutex.lock t.instances_lock;
+  let instances =
+    Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.instances []
+  in
+  Mutex.unlock t.instances_lock;
+  (* Instance declarations first, so the importer sizes rel_tbls before
+     any per-instance entry arrives. *)
+  let acc =
+    List.fold_left
+      (fun acc (name, m) ->
+        D_instance { name; nrels = Array.length m.rel_tbls } :: acc)
+      [] instances
+  in
+  let acc =
+    List.fold_left
+      (fun acc (name, m) ->
+        let acc =
+          Ttbl.fold m.children_tbl
+            (fun key value acc -> D_children { inst = name; key; value } :: acc)
+            acc
+        in
+        let acc =
+          Ptbl.fold m.equiv_tbl
+            (fun (u, v) value acc -> D_equiv { inst = name; u; v; value } :: acc)
+            acc
+        in
+        let tbls = m.rel_tbls in
+        let acc = ref acc in
+        Array.iteri
+          (fun index tbl ->
+            acc :=
+              Ttbl.fold tbl
+                (fun key value acc ->
+                  D_rel { inst = name; index; key; value } :: acc)
+                !acc)
+          tbls;
+        !acc)
+      acc instances
+  in
+  let acc = Stbl.fold t.plans (fun key _ acc -> D_plan { key } :: acc) acc in
+  let acc =
+    Stbl.fold t.results (fun key value acc -> D_result { key; value } :: acc) acc
+  in
+  let acc =
+    Stbl.fold t.rql_defs
+      (fun key value acc -> D_rql_def { key; value } :: acc)
+      acc
+  in
+  List.rev acc
+
+(* Returns [true] if the entry was inserted (or was an instance
+   declaration), [false] if it was skipped: already present, plan key
+   that no longer recompiles, or rel index the importer cannot place.
+   Seeding never updates hit/miss counters — a loaded answer is a
+   cache entry, not a question, and must not read as one. *)
+let seed t ~plan_of_key entry =
+  match entry with
+  | D_instance { name; nrels } ->
+      ignore (instance t ~name ~nrels);
+      true
+  | D_children { inst; key; value } ->
+      let m = instance t ~name:inst ~nrels:0 in
+      Ttbl.seed m.children_tbl key value
+  | D_equiv { inst; u; v; value } ->
+      let m = instance t ~name:inst ~nrels:0 in
+      Ptbl.seed m.equiv_tbl (u, v) value
+  | D_rel { inst; index; key; value } ->
+      if index < 0 then false
+      else
+        let m = instance t ~name:inst ~nrels:(index + 1) in
+        let tbls = m.rel_tbls in
+        if index < Array.length tbls then Ttbl.seed tbls.(index) key value
+        else false
+  | D_plan { key } -> (
+      match plan_of_key key with
+      | Some p -> Stbl.seed t.plans key p
+      | None -> false)
+  | D_result { key; value } -> Stbl.seed t.results key value
+  | D_rql_def { key; value } -> Stbl.seed t.rql_defs key value

@@ -114,3 +114,47 @@ type stats = {
 
 val stats : t -> stats
 val total_hits : t -> int
+
+(** {1 Snapshot export / import}
+
+    The bridge to [lib/store]'s durable snapshots.  Plans cross the
+    boundary as {e keys only} — a plan value holds compiled ASTs whose
+    on-disk encoding would be fragile, and recompiling from the cache
+    key is deterministic and asks zero Def. 3.9 oracle questions
+    (parsing and planning never touch an instance).  The importer is
+    therefore handed a [plan_of_key] recompiler
+    (see {!Engine.plan_of_key}). *)
+
+type dump_entry =
+  | D_instance of { name : string; nrels : int }
+      (** Declares an instance and its relation count; always exported
+          before any entry that references it. *)
+  | D_children of { inst : string; key : Prelude.Tuple.t; value : int list }
+  | D_equiv of {
+      inst : string;
+      u : Prelude.Tuple.t;
+      v : Prelude.Tuple.t;
+      value : bool;
+    }
+  | D_rel of {
+      inst : string;
+      index : int;
+      key : Prelude.Tuple.t;
+      value : bool;
+    }
+  | D_plan of { key : string }
+  | D_result of { key : string; value : result_value }
+  | D_rql_def of { key : string; value : Prelude.Tupleset.t }
+
+val export : t -> dump_entry list
+(** A consistent-enough snapshot: each stripe is read under its own
+    read lock (concurrent inserts may or may not appear — every entry
+    that does appear was genuinely computed and committed).  Instance
+    declarations precede the entries that reference them. *)
+
+val seed : t -> plan_of_key:(string -> plan option) -> dump_entry -> bool
+(** Insert one exported entry if absent.  Never updates hit/miss
+    counters: a loaded answer is a cache entry, not a question.
+    Returns [false] when skipped — key already present, plan key that
+    no longer recompiles ([plan_of_key] returned [None]), or a
+    malformed relation index. *)

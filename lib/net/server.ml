@@ -2,6 +2,9 @@ type t = {
   listen_fd : Unix.file_descr;
   bound_port : int;
   pool : Pool.t;
+  store : Store.t option;
+      (* owned: loaded before the pool existed, closed (final snapshot)
+         on drain after the pool has quiesced *)
   admission : Admission.t;
   conn_cfg : Conn.config;
   lock : Mutex.t;
@@ -68,11 +71,54 @@ let accept_loop t =
 let start ?(host = "127.0.0.1") ?(port = 0) ?domains ?(window = 64)
     ?(per_conn_window = 16) ?(max_line = Frame.default_max_line)
     ?(stats = true) ?cache_capacity ?engine_config ?tracing ?trace_capacity
-    ?metrics_port () =
+    ?metrics_port ?store_dir ?snapshot_interval_s () =
   Lazy.force ignore_sigpipe;
+  (* Durability, when asked for: the snapshot is loaded into a memo
+     layer *before* any worker exists, so the pool's first request
+     already hits warm tables, and the journal's pending requests are
+     re-executed before the listener opens (their original clients are
+     gone; re-execution warms the memo and completes the journal). *)
+  let store_opened =
+    Option.map
+      (fun dir ->
+        let memo = Shared_memo.create () in
+        let store, report =
+          Store.open_store ?snapshot_interval_s ~dir memo
+        in
+        (store, report, memo))
+      store_dir
+  in
   let pool =
+    let shared = Option.map (fun (_, _, memo) -> memo) store_opened in
     Pool.create ?domains ?cache_capacity ?engine_config ?tracing
-      ?trace_capacity ()
+      ?trace_capacity ?shared ()
+  in
+  let store =
+    match store_opened with
+    | None -> None
+    | Some (store, report, _) ->
+        (match report.Store.pending with
+        | [] -> ()
+        | pending ->
+            let requests, seqs =
+              List.fold_left
+                (fun (reqs, seqs) (seq, line) ->
+                  match Request.of_line line with
+                  | Ok req -> (req :: reqs, seq :: seqs)
+                  | Error _ ->
+                      (* journaled by us, so this should be impossible;
+                         drop rather than refuse to boot *)
+                      Store.journal_complete store seq;
+                      (reqs, seqs))
+                ([], []) pending
+            in
+            let requests = List.rev requests and seqs = List.rev seqs in
+            if requests <> [] then begin
+              ignore (Pool.run_batch pool requests);
+              List.iter (Store.journal_complete store) seqs;
+              Store.replayed store (List.length requests)
+            end);
+        Some store
   in
   let admission = Admission.create ~window in
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -170,20 +216,29 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?domains ?(window = 64)
           Pool.shutdown ~timeout_s:5.0 pool;
           raise e)
   in
+  (* [Conn] only calls submit for requests that passed admission, so
+     wrapping it journals exactly the admitted requests — a shed
+     touches neither the ledger nor the journal. *)
+  let submit =
+    match store with
+    | None -> Pool.submit pool
+    | Some store ->
+        fun req k ->
+          let line = Json.to_string (Request.to_json req) in
+          let seq = Store.journal_admit store ~line in
+          Pool.submit pool req (fun resp ->
+              Store.journal_complete store seq;
+              k resp)
+  in
   let t =
     {
       listen_fd;
       bound_port;
       pool;
+      store;
       admission;
       conn_cfg =
-        {
-          Conn.admission;
-          submit = Pool.submit pool;
-          stats;
-          max_line;
-          per_conn_window;
-        };
+        { Conn.admission; submit; stats; max_line; per_conn_window };
       lock = Mutex.create ();
       conns = [];
       accepted = 0;
@@ -201,6 +256,7 @@ let port t = t.bound_port
 let metrics_port t = Option.map Expo_server.port t.expo
 let admission t = t.admission
 let pool t = t.pool
+let store t = t.store
 
 let connections t =
   Mutex.lock t.lock;
@@ -254,5 +310,9 @@ let drain ?(timeout_s = 30.0) t =
     let outcome = wait () in
     List.iter Conn.join conns;
     Pool.shutdown ~timeout_s:5.0 t.pool;
+    (* 4. Final durability flush, after the pool has quiesced so the
+       snapshot sees every completed answer.  [Store.close] bounds the
+       flush so drain still terminates on a hung disk. *)
+    (match t.store with Some s -> Store.close s | None -> ());
     outcome
   end

@@ -32,6 +32,8 @@ val start :
   ?tracing:Obs.Trace.sampling ->
   ?trace_capacity:int ->
   ?metrics_port:int ->
+  ?store_dir:string ->
+  ?snapshot_interval_s:float ->
   unit ->
   t
 (** Bind [host] (default ["127.0.0.1"]) : [port] (default 0 — an
@@ -55,6 +57,15 @@ val start :
     admission/pool/cache gauges — and [/traces], recent traces as JSON
     lines.  Omitted (the default), no extra socket is opened.
 
+    [store_dir] makes the server durable: any snapshot there is loaded
+    into the shared memo {e before} the pool spawns (so the first
+    request already hits warm tables), journal-recovered in-flight
+    requests are re-executed before the listener opens, every admitted
+    request is journaled and its completion recorded, and snapshots are
+    written write-behind every [snapshot_interval_s] (default 30s) plus
+    a final one on {!drain}.  A loaded answer is a memo hit, not an
+    oracle question — the warm ledger only shrinks (see [lib/store]).
+
     Raises [Unix.Unix_error] if an address cannot be bound. *)
 
 val port : t -> int
@@ -69,6 +80,11 @@ val pool : t -> Pool.t
 (** Exposed for accounting assertions (E27, unit tests): the pool's
     {!Pool.oracle_questions} is the server's Def. 3.9 ledger. *)
 
+val store : t -> Store.t option
+(** The durability tier, when started with [store_dir] — exposed for
+    the crash-recovery smoke and tests ({!Store.inflight_count},
+    {!Store.last_flush_age_s}). *)
+
 val connections : t -> int
 (** Connections accepted so far. *)
 
@@ -78,5 +94,7 @@ val drain : ?timeout_s:float -> t -> [ `Clean | `Forced of int ]
     close sockets and shut the pool down.  [`Forced n] means [n]
     connections were still unfinished at [timeout_s] (default 30) and
     were aborted — their remaining responses dropped, like
-    {!Pool.shutdown}'s timeout.  Idempotent; [`Clean] after the
-    first call. *)
+    {!Pool.shutdown}'s timeout.  When started with [store_dir], a final
+    snapshot is flushed after the pool quiesces ({!Store.close}, whose
+    own bounded timeout keeps drain terminating on a hung disk).
+    Idempotent; [`Clean] after the first call. *)

@@ -1,0 +1,87 @@
+(** Binary record codec for the persistence tier.
+
+    Every store file is [magic | u32 LE format version | frame*], and
+    every frame is [u32 LE payload length | u32 LE CRC32 | payload].
+    The framing makes paranoid recovery cheap: a torn tail is a short
+    read, a flipped bit is a CRC mismatch, and both are detected before
+    a byte of payload is decoded.  The payload encodings (zigzag LEB128
+    varints, length-prefixed strings, IEEE-754 bit floats) are total on
+    the encode side and raise {!Decode_error} on any malformed input —
+    a decoder can be handed arbitrary bytes and must never return a
+    wrong value, only fail. *)
+
+exception Decode_error of string
+(** Raised by every [decode_*]/[r_*] on malformed input.  The store
+    catches it per record, counts the skip, and keeps going. *)
+
+val crc32 : string -> int
+(** IEEE CRC32 (poly 0xEDB88320) of the whole string. *)
+
+(** {1 Primitives} — exposed for the QCheck round-trip property. *)
+
+type reader
+
+val reader : string -> reader
+val at_end : reader -> bool
+val w_uint : Buffer.t -> int -> unit
+val r_uint : reader -> int
+val w_int : Buffer.t -> int -> unit
+val r_int : reader -> int
+val w_bool : Buffer.t -> bool -> unit
+val r_bool : reader -> bool
+val w_string : Buffer.t -> string -> unit
+val r_string : reader -> string
+val w_float : Buffer.t -> float -> unit
+val r_float : reader -> float
+
+(** {1 File headers} *)
+
+val format_version : int
+val snapshot_magic : string
+val journal_magic : string
+val header_len : int
+
+val header : string -> string
+(** [header magic] — the 8-byte file header for this format version. *)
+
+type header_check = Header_ok | Header_torn | Bad_magic | Future_version of int
+
+val read_exactly_header : in_channel -> string option
+(** Up to {!header_len} bytes from the channel ([None] on empty; a
+    short string on a torn header). *)
+
+val check_header : magic:string -> string -> header_check
+(** Classify the first {!header_len} bytes of a file.  A
+    [Future_version] file must be refused in toto (its record encodings
+    are unknowable); [Bad_magic] likewise. *)
+
+(** {1 Framing} *)
+
+val frame : string -> string
+(** [frame payload] — length + CRC32 header followed by the payload. *)
+
+type frame_result =
+  | Frame of string
+  | Frame_eof  (** clean end of stream *)
+  | Frame_torn  (** partial frame (or insane length) at the tail *)
+  | Frame_bad_crc  (** payload present but corrupt; stream still framed *)
+
+val read_frame : in_channel -> frame_result
+(** Read one frame.  [Frame_bad_crc] leaves the channel positioned at
+    the next frame (skip and continue); [Frame_torn] means framing is
+    lost — everything from here is unusable tail. *)
+
+(** {1 Records} *)
+
+val encode_entry : Shared_memo.dump_entry -> string
+val decode_entry : string -> Shared_memo.dump_entry
+
+(** One journal line: requests admitted and requests completed.
+    Replay treats [Admitted] without a matching [Completed] as
+    in-flight at crash time. *)
+type journal_record =
+  | Admitted of { seq : int; line : string }
+  | Completed of { seq : int }
+
+val encode_journal : journal_record -> string
+val decode_journal : string -> journal_record

@@ -1,0 +1,592 @@
+(* lib/store: the binary codec, snapshot round-trips, journal recovery,
+   and the fault-injection matrix — recovery may lose warmth but must
+   never load a wrong answer, and persistence must never turn a cached
+   error into a success or a nondeterministic abort into an answer. *)
+
+let check = Alcotest.check
+
+let t l : Prelude.Tuple.t = Array.of_list l
+
+let with_tmpdir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "store_test_%d_%d" (Unix.getpid ()) (Random.int 1_000_000))
+  in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun x -> rm_rf (Filename.concat path x)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let snapshot_path dir = Filename.concat dir "snapshot.rdb"
+let journal_path dir = Filename.concat dir "journal.rdb"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  close_in ic;
+  b
+
+let write_file path b =
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+(* Structural equality is wrong for Tupleset (AVL shape depends on
+   insertion order), so compare entries with set-aware equality. *)
+let entry_equal a b =
+  match (a, b) with
+  | Shared_memo.D_rql_def x, Shared_memo.D_rql_def y ->
+      x.key = y.key && Prelude.Tupleset.equal x.value y.value
+  | _ -> a = b
+
+(* ------------------------------------------------------------------ *)
+(* Codec: generators + round-trip property (QCheck)                    *)
+
+let gen_tuple =
+  QCheck2.Gen.(map Array.of_list (list_size (int_range 0 5) (int_range (-40) 40)))
+
+let gen_outcome =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map (fun b -> Request.Bool b) bool;
+      map (fun n -> Request.Count n) (int_range (-5) 1000);
+      map3
+        (fun rank reps members -> Request.Rel { rank; reps; members })
+        (int_range 0 4)
+        (list_size (int_range 0 4) gen_tuple)
+        (list_size (int_range 0 4) gen_tuple);
+      map (fun l -> Request.Levels l)
+        (list_size (int_range 0 3) (list_size (int_range 0 3) gen_tuple));
+      return Request.Undefined;
+    ]
+
+let gen_error =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map (fun s -> Request.Parse_error s) string_printable;
+      map (fun s -> Request.Unknown_instance s) string_printable;
+      map (fun l -> Request.Not_a_sentence l)
+        (list_size (int_range 0 3) string_printable);
+      map (fun n -> Request.Timeout n) (int_range 0 10000);
+      map (fun s -> Request.Ill_formed s) string_printable;
+      map (fun s -> Request.Bad_request s) string_printable;
+      map (fun limit -> Request.Budget_exceeded { limit }) (int_range 0 1000);
+      map
+        (fun deadline_s -> Request.Deadline_exceeded { deadline_s })
+        (float_bound_inclusive 100.);
+      map2
+        (fun oracle attempts -> Request.Oracle_unavailable { oracle; attempts })
+        string_printable (int_range 0 10);
+      map (fun s -> Request.Worker_crash s) string_printable;
+      map (fun limit -> Request.Overloaded { limit }) (int_range 0 1000);
+    ]
+
+let gen_entry =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map2
+        (fun name nrels -> Shared_memo.D_instance { name; nrels })
+        string_printable (int_range 0 6);
+      map3
+        (fun inst key value -> Shared_memo.D_children { inst; key; value })
+        string_printable gen_tuple
+        (list_size (int_range 0 6) (int_range 0 50));
+      map3
+        (fun inst (u, v) value -> Shared_memo.D_equiv { inst; u; v; value })
+        string_printable (pair gen_tuple gen_tuple) bool;
+      map3
+        (fun inst (index, key) value ->
+          Shared_memo.D_rel { inst; index; key; value })
+        string_printable
+        (pair (int_range 0 5) gen_tuple)
+        bool;
+      (* plan keys as the engine writes them, RQL prefixes included *)
+      map2
+        (fun prefix text -> Shared_memo.D_plan { key = prefix ^ text })
+        (oneofl [ "s:"; "q:"; "p:"; "ra:n:"; "ra:c:"; "rn:n:"; "rn:c:" ])
+        string_printable;
+      map2
+        (fun key value -> Shared_memo.D_result { key; value })
+        string_printable
+        (oneof [ map Result.ok gen_outcome; map Result.error gen_error ]);
+      map2
+        (fun key tuples ->
+          Shared_memo.D_rql_def
+            { key; value = Prelude.Tupleset.of_list tuples })
+        string_printable
+        (list_size (int_range 0 6) gen_tuple);
+    ]
+
+let qcheck_entry_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:500 ~name:"encode/decode dump_entry = id"
+       gen_entry (fun e ->
+         entry_equal e (Store_codec.decode_entry (Store_codec.encode_entry e))))
+
+let qcheck_journal_roundtrip =
+  let open QCheck2 in
+  QCheck_alcotest.to_alcotest
+    (Test.make ~count:200 ~name:"encode/decode journal_record = id"
+       Gen.(pair (int_range 0 1_000_000) (option string_printable))
+       (fun (seq, line) ->
+         let r =
+           match line with
+           | Some line -> Store_codec.Admitted { seq; line }
+           | None -> Store_codec.Completed { seq }
+         in
+         r = Store_codec.decode_journal (Store_codec.encode_journal r)))
+
+let qcheck_int_roundtrip =
+  let open QCheck2 in
+  QCheck_alcotest.to_alcotest
+    (Test.make ~count:500 ~name:"zigzag varint round-trips any int"
+       Gen.(oneof [ int; int_range (-1000) 1000 ])
+       (fun n ->
+         let buf = Buffer.create 10 in
+         Store_codec.w_int buf n;
+         let r = Store_codec.reader (Buffer.contents buf) in
+         let n' = Store_codec.r_int r in
+         n = n' && Store_codec.at_end r))
+
+let codec_rejects_garbage () =
+  (* arbitrary bytes must decode to an error, never to a value *)
+  List.iter
+    (fun s ->
+      match Store_codec.decode_entry s with
+      | exception Store_codec.Decode_error _ -> ()
+      | _ -> Alcotest.fail ("garbage decoded: " ^ String.escaped s))
+    [ ""; "\255"; "\007"; "\000"; "\001\004ab" ]
+
+(* ------------------------------------------------------------------ *)
+(* Export / seed                                                       *)
+
+let export_seed_roundtrip () =
+  let memo = Shared_memo.create () in
+  let m = Shared_memo.instance memo ~name:"i1" ~nrels:2 in
+  let _ = Shared_memo.children m (t [ 1; 2 ]) ~compute:(fun () -> [ 3; 4 ]) in
+  let _ = Shared_memo.equiv m (t [ 1 ]) (t [ 2 ]) ~compute:(fun () -> true) in
+  let _ = Shared_memo.rel m 1 (t [ 5 ]) ~compute:(fun () -> false) in
+  let _ =
+    Shared_memo.result memo ~key:"k" ~compute:(fun () -> Ok (Request.Count 7))
+  in
+  let _ =
+    Shared_memo.rql_def memo ~key:"d" ~compute:(fun () ->
+        Prelude.Tupleset.of_lists [ [ 1; 2 ]; [ 3; 4 ] ])
+  in
+  let entries = Shared_memo.export memo in
+  check Alcotest.int "six entries" 6 (List.length entries);
+  let memo2 = Shared_memo.create () in
+  List.iter
+    (fun e ->
+      ignore (Shared_memo.seed memo2 ~plan_of_key:Engine.plan_of_key e))
+    entries;
+  (* probes must hit the seeded values, and the ledger must read as
+     hits, not as questions *)
+  let m2 = Shared_memo.instance memo2 ~name:"i1" ~nrels:2 in
+  check (Alcotest.list Alcotest.int) "children seeded" [ 3; 4 ]
+    (Shared_memo.children m2 (t [ 1; 2 ]) ~compute:(fun () ->
+         Alcotest.fail "children recomputed"));
+  check Alcotest.bool "equiv seeded" true
+    (Shared_memo.equiv m2 (t [ 1 ]) (t [ 2 ]) ~compute:(fun () ->
+         Alcotest.fail "equiv recomputed"));
+  check Alcotest.bool "rel seeded" false
+    (Shared_memo.rel m2 1 (t [ 5 ]) ~compute:(fun () ->
+         Alcotest.fail "rel recomputed"));
+  (match
+     Shared_memo.result memo2 ~key:"k" ~compute:(fun () ->
+         Alcotest.fail "result recomputed")
+   with
+  | Ok (Request.Count 7) -> ()
+  | _ -> Alcotest.fail "result value wrong");
+  check Alcotest.bool "rql_def seeded" true
+    (Prelude.Tupleset.equal
+       (Prelude.Tupleset.of_lists [ [ 1; 2 ]; [ 3; 4 ] ])
+       (Shared_memo.rql_def memo2 ~key:"d" ~compute:(fun () ->
+            Alcotest.fail "rql_def recomputed")))
+
+let seed_does_not_count_as_questions () =
+  let memo = Shared_memo.create () in
+  ignore
+    (Shared_memo.seed memo ~plan_of_key:Engine.plan_of_key
+       (Shared_memo.D_result { key = "x"; value = Ok (Request.Count 1) }));
+  let s = Shared_memo.stats memo in
+  check Alcotest.int "no hits from seeding" 0 s.Shared_memo.results.Shared_memo.hits;
+  check Alcotest.int "no misses from seeding" 0
+    s.Shared_memo.results.Shared_memo.misses
+
+let aborted_compute_never_exported () =
+  let memo = Shared_memo.create () in
+  (* a budget/deadline abort raises through compute: nothing stored *)
+  (try
+     ignore
+       (Shared_memo.result memo ~key:"aborted" ~compute:(fun () -> raise Exit))
+   with Exit -> ());
+  check Alcotest.int "aborted insert left no entry" 0
+    (List.length (Shared_memo.export memo))
+
+(* ------------------------------------------------------------------ *)
+(* Plans persist as keys; errors stay errors                           *)
+
+let plan_error_stays_error () =
+  let memo = Shared_memo.create () in
+  let bad = "ra:c:let x = fix" in
+  (* cache a deterministic compile error the way the engine does *)
+  (match
+     Shared_memo.plan memo ~key:bad ~compute:(fun () ->
+         Shared_memo.Rql_plan (Error "compile error"))
+   with
+  | Shared_memo.Rql_plan (Error _) -> ()
+  | _ -> Alcotest.fail "setup");
+  let memo2 = Shared_memo.create () in
+  List.iter
+    (fun e -> ignore (Shared_memo.seed memo2 ~plan_of_key:Engine.plan_of_key e))
+    (Shared_memo.export memo);
+  (* the seeded plan must already be there (compute must not run), and
+     it must still be an error — recompilation cannot invent a success *)
+  match
+    Shared_memo.plan memo2 ~key:bad ~compute:(fun () ->
+        Alcotest.fail "plan recomputed after seed")
+  with
+  | Shared_memo.Rql_plan (Error _) -> ()
+  | Shared_memo.Rql_plan (Ok _) ->
+      Alcotest.fail "persisted plan error became a success"
+  | _ -> Alcotest.fail "wrong plan variant"
+
+let plan_of_key_unknown_prefix () =
+  check Alcotest.bool "unknown prefix refused" true
+    (Engine.plan_of_key "zz:whatever" = None);
+  check Alcotest.bool "sentence key recompiles" true
+    (match Engine.plan_of_key "s:R1(x,x)" with
+    | Some (Shared_memo.Sentence_plan _) -> true
+    | _ -> false)
+
+let nondet_errors_filtered_at_save () =
+  with_tmpdir (fun dir ->
+      let memo = Shared_memo.create () in
+      let _ =
+        Shared_memo.result memo ~key:"det" ~compute:(fun () ->
+            Error (Request.Parse_error "x"))
+      in
+      let _ =
+        Shared_memo.result memo ~key:"nondet" ~compute:(fun () ->
+            Error (Request.Budget_exceeded { limit = 7 }))
+      in
+      let store, _ = Store.open_store ~write_behind:false ~dir memo in
+      let snap = Store.snapshot_now store in
+      Store.close store;
+      check Alcotest.int "one nondeterministic error dropped" 1
+        snap.Store.errors_dropped;
+      let memo2 = Shared_memo.create () in
+      let store2, report = Store.open_store ~write_behind:false ~dir memo2 in
+      Store.close store2;
+      check Alcotest.int "only the deterministic entry loaded" 1
+        report.Store.entries_loaded;
+      (* deterministic parse error round-trips as an error *)
+      (match
+         Shared_memo.result memo2 ~key:"det" ~compute:(fun () ->
+             Alcotest.fail "deterministic error was not persisted")
+       with
+      | Error (Request.Parse_error _) -> ()
+      | _ -> Alcotest.fail "persisted error changed shape");
+      (* the nondeterministic one is gone: compute runs again *)
+      let ran = ref false in
+      ignore
+        (Shared_memo.result memo2 ~key:"nondet" ~compute:(fun () ->
+             ran := true;
+             Ok (Request.Count 0)));
+      check Alcotest.bool "nondet result not persisted" true !ran)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-system round-trip through a real engine                       *)
+
+let engine_roundtrip_zero_questions () =
+  with_tmpdir (fun dir ->
+      let batch =
+        Engine_bench.build_batch 30
+        @ Engine_bench.build_rql_batch ~planner:Request.Plan_cost 10
+      in
+      let render rs =
+        List.map
+          (fun r -> Json.to_string (Request.response_to_json ~stats:false r))
+          rs
+      in
+      let memo = Shared_memo.create () in
+      let store, _ = Store.open_store ~write_behind:false ~dir memo in
+      let eng = Engine.create ~shared:memo () in
+      let cold = render (Engine.handle_all eng batch) in
+      let cold_questions = Engine.question_count eng in
+      ignore (Store.snapshot_now store);
+      Store.close store;
+      check Alcotest.bool "cold run asked questions" true (cold_questions > 0);
+      let memo2 = Shared_memo.create () in
+      let store2, report = Store.open_store ~write_behind:false ~dir memo2 in
+      Store.close store2;
+      check Alcotest.bool "entries loaded" true (report.Store.entries_loaded > 0);
+      check Alcotest.bool "plans recompiled" true
+        (report.Store.plans_recompiled > 0);
+      let eng2 = Engine.create ~shared:memo2 () in
+      let warm = render (Engine.handle_all eng2 batch) in
+      check (Alcotest.list Alcotest.string) "warm byte-identical" cold warm;
+      check Alcotest.int "warm run asked zero questions" 0
+        (Engine.question_count eng2))
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+
+let build_store_with_data dir =
+  let memo = Shared_memo.create () in
+  let eng = Engine.create ~shared:memo () in
+  let batch = Engine_bench.build_batch 20 in
+  let reference =
+    List.map
+      (fun r -> Json.to_string (Request.response_to_json ~stats:false r))
+      (Engine.handle_all eng batch)
+  in
+  let store, _ = Store.open_store ~write_behind:false ~dir memo in
+  ignore (Store.snapshot_now store);
+  Store.close store;
+  (batch, reference)
+
+let serve_from dir batch =
+  let memo = Shared_memo.create () in
+  let store, report = Store.open_store ~write_behind:false ~dir memo in
+  Store.close store;
+  let eng = Engine.create ~shared:memo () in
+  let got =
+    List.map
+      (fun r -> Json.to_string (Request.response_to_json ~stats:false r))
+      (Engine.handle_all eng batch)
+  in
+  (report, got)
+
+let fault_truncated_snapshot () =
+  with_tmpdir (fun dir ->
+      let batch, reference = build_store_with_data dir in
+      let b = read_file (snapshot_path dir) in
+      write_file (snapshot_path dir)
+        (Bytes.sub b 0 (Bytes.length b - (Bytes.length b / 3)));
+      let report, got = serve_from dir batch in
+      check Alcotest.bool "torn tail detected" true report.Store.torn_tail;
+      check (Alcotest.list Alcotest.string)
+        "truncated store still answers correctly" reference got)
+
+let fault_bit_flip () =
+  with_tmpdir (fun dir ->
+      let batch, reference = build_store_with_data dir in
+      let b = read_file (snapshot_path dir) in
+      (* land the flip inside the first record's payload (past the file
+         header and the frame's own length+CRC header) so it reads as a
+         CRC failure, not lost framing *)
+      let off = Store_codec.header_len + 8 + 2 in
+      Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x40));
+      write_file (snapshot_path dir) b;
+      let report, got = serve_from dir batch in
+      check Alcotest.bool "at least one record skipped" true
+        (report.Store.entries_skipped >= 1);
+      check (Alcotest.list Alcotest.string)
+        "bit-flipped store still answers correctly" reference got)
+
+let fault_future_version () =
+  with_tmpdir (fun dir ->
+      let batch, reference = build_store_with_data dir in
+      let b = read_file (snapshot_path dir) in
+      Bytes.set b 4 (Char.chr (Char.code (Bytes.get b 4) + 1));
+      write_file (snapshot_path dir) b;
+      let report, got = serve_from dir batch in
+      check Alcotest.bool "future version refused" true
+        (report.Store.refused <> None);
+      check Alcotest.int "nothing loaded from a refused file" 0
+        report.Store.entries_loaded;
+      check (Alcotest.list Alcotest.string)
+        "refused store serves fully cold but correct" reference got)
+
+let fault_bad_magic () =
+  with_tmpdir (fun dir ->
+      let batch, reference = build_store_with_data dir in
+      let b = read_file (snapshot_path dir) in
+      Bytes.blit_string "NOPE" 0 b 0 4;
+      write_file (snapshot_path dir) b;
+      let report, got = serve_from dir batch in
+      check Alcotest.bool "bad magic refused" true (report.Store.refused <> None);
+      check (Alcotest.list Alcotest.string) "still correct" reference got)
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                             *)
+
+let journal_recovers_pending () =
+  with_tmpdir (fun dir ->
+      let memo = Shared_memo.create () in
+      (* fsync_every:1 so each append reaches the file — the reopen
+         below simulates a crash, which loses only buffered records *)
+      let store, report0 =
+        Store.open_store ~write_behind:false ~fsync_every:1 ~dir memo
+      in
+      check Alcotest.int "fresh journal empty" 0
+        (List.length report0.Store.pending);
+      let s1 = Store.journal_admit store ~line:"{\"id\":1}" in
+      let s2 = Store.journal_admit store ~line:"{\"id\":2}" in
+      let s3 = Store.journal_admit store ~line:"{\"id\":3}" in
+      check Alcotest.bool "seqs increase" true (s1 < s2 && s2 < s3);
+      Store.journal_complete store s2;
+      (* crash: no close, no snapshot — reopen sees the raw journal *)
+      let memo2 = Shared_memo.create () in
+      let store2, report = Store.open_store ~write_behind:false ~dir memo2 in
+      check
+        (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+        "pending = admitted minus completed"
+        [ (s1, "{\"id\":1}"); (s3, "{\"id\":3}") ]
+        report.Store.pending;
+      (* seq numbering continues past the recovered maximum *)
+      let s4 = Store.journal_admit store2 ~line:"{\"id\":4}" in
+      check Alcotest.bool "seq continues" true (s4 > s3);
+      Store.close store2;
+      Store.close store)
+
+let journal_torn_tail_truncated () =
+  with_tmpdir (fun dir ->
+      let memo = Shared_memo.create () in
+      let store, _ = Store.open_store ~write_behind:false ~dir memo in
+      let s1 = Store.journal_admit store ~line:"{\"id\":1}" in
+      ignore (Store.journal_admit store ~line:"{\"id\":2}");
+      Store.journal_complete store s1;
+      Store.close store;
+      (* torn last record: a frame header promising more than exists *)
+      let oc =
+        open_out_gen [ Open_binary; Open_append ] 0o644 (journal_path dir)
+      in
+      output_string oc "\100\000\000\000\042\042\042\042partial";
+      close_out oc;
+      let memo2 = Shared_memo.create () in
+      let store2, report = Store.open_store ~write_behind:false ~dir memo2 in
+      check Alcotest.bool "torn journal detected" true report.Store.journal_torn;
+      check Alcotest.int "uncompleted request recovered" 1
+        (List.length report.Store.pending);
+      (* the rotation rewrote a clean journal: reopening is quiet *)
+      Store.close store2;
+      let memo3 = Shared_memo.create () in
+      let store3, report3 = Store.open_store ~write_behind:false ~dir memo3 in
+      check Alcotest.bool "rotated journal is clean" false
+        report3.Store.journal_torn;
+      Store.close store3)
+
+let snapshot_rotates_journal () =
+  with_tmpdir (fun dir ->
+      let memo = Shared_memo.create () in
+      let store, _ = Store.open_store ~write_behind:false ~dir memo in
+      let s1 = Store.journal_admit store ~line:"{\"id\":1}" in
+      ignore (Store.journal_admit store ~line:"{\"id\":2}");
+      Store.journal_complete store s1;
+      check Alcotest.int "one inflight" 1 (Store.inflight_count store);
+      ignore (Store.snapshot_now store);
+      Store.close store;
+      let memo2 = Shared_memo.create () in
+      let store2, report = Store.open_store ~write_behind:false ~dir memo2 in
+      Store.close store2;
+      check Alcotest.int "rotation kept only the inflight admission" 1
+        (List.length report.Store.pending))
+
+(* ------------------------------------------------------------------ *)
+(* Gauges + flush age                                                  *)
+
+let flush_age_and_gauges () =
+  with_tmpdir (fun dir ->
+      let memo = Shared_memo.create () in
+      let store, _ = Store.open_store ~write_behind:false ~dir memo in
+      let rendered = Obs.Expo.render_all () in
+      let contains hay needle =
+        let lh = String.length hay and ln = String.length needle in
+        let rec go i =
+          i + ln <= lh && (String.sub hay i ln = needle || go (i + 1))
+        in
+        go 0
+      in
+      check Alcotest.bool "last-flush gauge exposed" true
+        (contains rendered "store_last_flush_age_seconds");
+      let before = Store.last_flush_age_s store in
+      Unix.sleepf 0.05;
+      check Alcotest.bool "age grows" true (Store.last_flush_age_s store > before);
+      ignore (Store.snapshot_now store);
+      check Alcotest.bool "snapshot resets the age" true
+        (Store.last_flush_age_s store < 0.05);
+      Store.close store;
+      check Alcotest.bool "gauges unregistered after close" false
+        (contains (Obs.Expo.render_all ()) "store_last_flush_age_seconds"))
+
+let close_is_idempotent () =
+  with_tmpdir (fun dir ->
+      let memo = Shared_memo.create () in
+      let store, _ = Store.open_store ~write_behind:false ~dir memo in
+      Store.close store;
+      Store.close store;
+      check Alcotest.bool "snapshot written by close" true
+        (Sys.file_exists (snapshot_path dir)))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "codec",
+        [
+          qcheck_entry_roundtrip;
+          qcheck_journal_roundtrip;
+          qcheck_int_roundtrip;
+          Alcotest.test_case "garbage never decodes" `Quick codec_rejects_garbage;
+        ] );
+      ( "export-seed",
+        [
+          Alcotest.test_case "round-trip via export/seed" `Quick
+            export_seed_roundtrip;
+          Alcotest.test_case "seeding is ledger-silent" `Quick
+            seed_does_not_count_as_questions;
+          Alcotest.test_case "aborted compute exports nothing" `Quick
+            aborted_compute_never_exported;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "plan errors persist as errors" `Quick
+            plan_error_stays_error;
+          Alcotest.test_case "plan_of_key prefix handling" `Quick
+            plan_of_key_unknown_prefix;
+          Alcotest.test_case "nondeterministic errors filtered at save" `Quick
+            nondet_errors_filtered_at_save;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "warm engine: identical bytes, zero questions"
+            `Quick engine_roundtrip_zero_questions;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "truncated snapshot" `Quick fault_truncated_snapshot;
+          Alcotest.test_case "bit-flipped record" `Quick fault_bit_flip;
+          Alcotest.test_case "future format version" `Quick fault_future_version;
+          Alcotest.test_case "bad magic" `Quick fault_bad_magic;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "pending = admitted - completed" `Quick
+            journal_recovers_pending;
+          Alcotest.test_case "torn tail truncated" `Quick
+            journal_torn_tail_truncated;
+          Alcotest.test_case "snapshot rotates the journal" `Quick
+            snapshot_rotates_journal;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "flush age + gauge registration" `Quick
+            flush_age_and_gauges;
+          Alcotest.test_case "close is idempotent" `Quick close_is_idempotent;
+        ] );
+    ]
