@@ -1,4 +1,4 @@
-.PHONY: all build test bench resilience-smoke parallel-smoke server-smoke obs-smoke rql-smoke store-smoke check clean
+.PHONY: all build test bench resilience-smoke parallel-smoke server-smoke obs-smoke rql-smoke store-smoke compile-smoke check clean
 
 all: build
 
@@ -58,7 +58,15 @@ store-smoke:
 	dune exec bin/recdb.exe -- bench-store --requests 120 -o BENCH_store.json
 	dune exec bin/recdb.exe -- store-smoke
 
-check: build test bench resilience-smoke parallel-smoke server-smoke obs-smoke rql-smoke store-smoke
+# The E31 smoke: bench-compile — exits 1 unless the interpretation-
+# bound hot loops (deep FO tree quantification, bounded Qf
+# enumeration) run >= 5x faster compiled, and a mixed batch served
+# with compilation off and on is byte-identical with an identical
+# Def. 3.9 question ledger on every request, pairwise.
+compile-smoke:
+	dune exec bin/recdb.exe -- bench-compile --requests 150 -o BENCH_compile_smoke.json
+
+check: build test bench resilience-smoke parallel-smoke server-smoke obs-smoke rql-smoke store-smoke compile-smoke
 
 clean:
 	dune clean

@@ -341,11 +341,26 @@ let sampling_of_flags ~trace ~trace_sample =
   | None, true -> Some Obs.Trace.All
   | None, false -> None
 
+(* Evaluation-mode flag shared by serve-batch and serve: compiled
+   closures (the default) and the tree-walk interpreters serve
+   byte-identical responses with identical ledgers (E31 asserts it) —
+   off exists as the benchmark baseline and an escape hatch. *)
+let compile_flag =
+  Arg.(
+    value
+    & opt (enum [ ("on", true); ("off", false) ]) true
+    & info [ "compile" ] ~docv:"on|off"
+        ~doc:
+          "Closure-compile sentences, queries, QL programs and RQL plans \
+           once per (instance, source text) before evaluation (default \
+           on).  off keeps the tree-walk interpreters; answers and \
+           per-request ledgers are byte-identical either way.")
+
 (* Resilience flags shared by serve-batch: None everywhere means "no
    guard installed" (the pre-resilience hot path, byte for byte). *)
-let engine_config_of_flags ~deadline_ms ~max_oracle_calls ~inject =
-  match (deadline_ms, max_oracle_calls, inject) with
-  | None, None, None -> None
+let engine_config_of_flags ~deadline_ms ~max_oracle_calls ~inject ~compile =
+  match (deadline_ms, max_oracle_calls, inject, compile) with
+  | None, None, None, true -> None
   | _ ->
       Some
         {
@@ -357,6 +372,7 @@ let engine_config_of_flags ~deadline_ms ~max_oracle_calls ~inject =
             };
           faults =
             Option.map (fun seed -> Faulty_oracle.config ~seed ()) inject;
+          compile;
         }
 
 let cmd_serve_batch =
@@ -420,14 +436,16 @@ let cmd_serve_batch =
              absorbed by bounded retry, surviving ones become \
              oracle_unavailable errors).")
   in
-  let run file jobs metrics no_stats deadline_ms max_oracle_calls inject trace
-      trace_sample =
+  let run file jobs metrics no_stats deadline_ms max_oracle_calls inject
+      compile trace trace_sample =
     if jobs < 1 then begin
       Format.eprintf "jobs must be >= 1@.";
       exit 1
     end;
     let ic = open_requests file in
-    let config = engine_config_of_flags ~deadline_ms ~max_oracle_calls ~inject in
+    let config =
+      engine_config_of_flags ~deadline_ms ~max_oracle_calls ~inject ~compile
+    in
     let sampling = sampling_of_flags ~trace ~trace_sample in
     (* One engine (or pool) for the whole run, created up front so
        caches stay warm across chunks exactly as they did across one
@@ -513,7 +531,8 @@ let cmd_serve_batch =
     (Cmd.info "serve-batch" ~doc)
     Term.(
       const run $ file $ jobs $ metrics $ no_stats $ deadline_ms
-      $ max_oracle_calls $ inject $ trace_flag $ trace_sample_arg)
+      $ max_oracle_calls $ inject $ compile_flag $ trace_flag
+      $ trace_sample_arg)
 
 (* ------------------------------------------------------------------ *)
 (* The TCP front-end                                                   *)
@@ -645,13 +664,15 @@ let cmd_serve =
              ephemeral --port 0.")
   in
   let run host port jobs window per_conn_window max_line no_stats
-      drain_timeout deadline_ms max_oracle_calls inject metrics_port
+      drain_timeout deadline_ms max_oracle_calls inject compile metrics_port
       store_dir snapshot_interval port_file trace trace_sample =
     if window < 1 || per_conn_window < 1 || max_line < 1 then begin
       Format.eprintf "window, per-conn-window and max-line must be >= 1@.";
       exit 1
     end;
-    let config = engine_config_of_flags ~deadline_ms ~max_oracle_calls ~inject in
+    let config =
+      engine_config_of_flags ~deadline_ms ~max_oracle_calls ~inject ~compile
+    in
     let tracing = sampling_of_flags ~trace ~trace_sample in
     let server =
       Server.start ~host ~port ?domains:jobs ~window ~per_conn_window
@@ -707,8 +728,8 @@ let cmd_serve =
     Term.(
       const run $ host_arg $ port $ jobs $ window_arg $ per_conn_window_arg
       $ max_line $ no_stats $ drain_timeout $ deadline_ms $ max_oracle_calls
-      $ inject $ metrics_port $ store_dir $ snapshot_interval $ port_file
-      $ trace_flag $ trace_sample_arg)
+      $ inject $ compile_flag $ metrics_port $ store_dir $ snapshot_interval
+      $ port_file $ trace_flag $ trace_sample_arg)
 
 let cmd_loadgen =
   let doc =
@@ -1113,6 +1134,8 @@ let check_exposition body =
   let required =
     [
       "engine_requests_total";
+      "engine_plans_compiled_total";
+      "engine_compile_ns_total";
       "engine_latency_seconds";
       "server_frames_dropped_oversized_total";
       "server_frames_parse_error_total";
@@ -1413,6 +1436,37 @@ let cmd_bench_rql =
     if r.Engine_bench.r_violations <> [] then exit 1
   in
   Cmd.v (Cmd.info "bench-rql" ~doc) Term.(const run $ out $ requests)
+
+let cmd_bench_compile =
+  let doc =
+    "Benchmark the compiled evaluation tier (E31): interpreter-vs-compiled \
+     hot loops (gated at --min-speedup), then a mixed batch served with \
+     compilation off and on, checking response bytes and the Def. 3.9 \
+     question ledger pairwise on every request.  Exits 1 on any violation."
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Also write results as JSON.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 200
+      & info [ "requests" ] ~docv:"N" ~doc:"Pairwise-checked batch size.")
+  in
+  let min_speedup =
+    Arg.(
+      value & opt float 5.0
+      & info [ "min-speedup" ] ~docv:"X"
+          ~doc:"Acceptance gate for the interpretation-bound hot loops.")
+  in
+  let run out requests min_speedup =
+    let k = Engine_bench.run_compile ?out ~requests ~min_speedup () in
+    if k.Engine_bench.k_violations <> [] then exit 1
+  in
+  Cmd.v (Cmd.info "bench-compile" ~doc)
+    Term.(const run $ out $ requests $ min_speedup)
 
 let cmd_rql_smoke =
   let doc =
@@ -1817,6 +1871,7 @@ let () =
             cmd_stats;
             cmd_obs_smoke;
             cmd_bench_rql;
+            cmd_bench_compile;
             cmd_rql_smoke;
             cmd_store_inspect;
             cmd_bench_store;

@@ -35,6 +35,7 @@ type config = {
   limits : Resilience.limits;
   retry : Resilience.retry;
   faults : Faulty_oracle.config option;
+  compile : bool;
 }
 
 let default_config =
@@ -42,7 +43,29 @@ let default_config =
     limits = Resilience.no_limits;
     retry = Resilience.default_retry;
     faults = None;
+    compile = true;
   }
+
+(* The per-worker compiled tier: closures specialized against this
+   entry's instrumented oracles, keyed by source text (RQL keys carry
+   the planner mode).  Plan ASTs stay in Shared_memo — instance-free,
+   shareable, persistable; the closures here are the per-entry
+   specialization of those ASTs and are rebuilt in nanoseconds-to-
+   microseconds on first use (counted by engine.plans_compiled /
+   engine.compile_ns), so a store-warmed plan cache hands out compiled
+   plans at first touch for free.  Plain hashtables: an engine is
+   single-threaded (see the mli), concurrency comes from Pool giving
+   each domain its own engine. *)
+type compiled_tier = {
+  c_sentences : (string, unit -> bool) Hashtbl.t;
+  c_queries : (string, Hs.Fo_compile.query) Hashtbl.t;
+  c_programs : (string, Ql.Ql_hs.value Ql.Ql_compile.t) Hashtbl.t;
+  c_rql : (string, Rql.Rql_compile.prepared) Hashtbl.t;
+  c_algebra : Ql.Ql_hs.value Ql.Ql_interp.algebra Lazy.t;
+      (* the QL_hs operation table, hoisted once per entry — building
+         it is pure closure allocation, so per-entry vs per-run makes
+         no ledger difference *)
+}
 
 type entry = {
   hs : Hs.Hsdb.t;  (* instance whose Rᵢ oracles go through the LRU *)
@@ -52,6 +75,7 @@ type entry = {
   ledger : Obs.Trace.ledger;
       (* read-only snapshot closure over exactly the counters [snapshot]
          reads, so traced span slices sum to the request's stats *)
+  compiled : compiled_tier;
 }
 
 type t = {
@@ -198,7 +222,16 @@ let make_entry ~cache_capacity ~guarded ~res ~faults ~shared name build () =
     in
     { Obs.Trace.labels; questions = nrels + 2; read }
   in
-  { hs; base; raw_db; caches; ledger }
+  let compiled =
+    {
+      c_sentences = Hashtbl.create 16;
+      c_queries = Hashtbl.create 16;
+      c_programs = Hashtbl.create 16;
+      c_rql = Hashtbl.create 16;
+      c_algebra = lazy (Ql.Ql_hs.algebra hs);
+    }
+  in
+  { hs; base; raw_db; caches; ledger; compiled }
 
 let create ?(cache_capacity = 4096) ?(config = default_config) ?shared ?trace
     () =
@@ -450,6 +483,29 @@ let span tr name ?(attrs = []) f =
           f ())
   | _ -> f ()
 
+(* The compiled tier's cost accounting: every specialization is counted
+   and timed (registry singletons, exposed on /metrics and `recdb
+   stats`), and runs under a "compile" span so first-request traces
+   show where the time went instead of folding it into evaluation. *)
+let m_plans_compiled = Metrics.counter "engine.plans_compiled"
+let m_compile_ns = Metrics.counter "engine.compile_ns"
+
+let compiled_of ~tr tbl key build =
+  match Hashtbl.find_opt tbl key with
+  | Some c -> c
+  | None ->
+      let c =
+        span tr "compile" (fun () ->
+            let t0 = Unix.gettimeofday () in
+            let c = build () in
+            Metrics.incr m_plans_compiled;
+            Metrics.incr m_compile_ns
+              ~by:(int_of_float ((Unix.gettimeofday () -. t0) *. 1e9));
+            c)
+      in
+      Hashtbl.add tbl key c;
+      c
+
 let payload_op : Request.payload -> string = function
   | Request.Sentence _ -> "sentence"
   | Request.Query _ -> "query"
@@ -471,7 +527,12 @@ let error_kind : Request.error -> string = function
   | Request.Worker_crash _ -> "worker_crash"
   | Request.Overloaded _ -> "overloaded"
 
-let eval_payload ~tr ~shared entry (payload : Request.payload) :
+(* [compile] selects the closure-compiled evaluators (config.compile,
+   default on; `recdb --compile off` keeps the tree-walk interpreters).
+   Both paths consult identical oracle entry points in identical order,
+   so responses and the Def. 3.9 ledger are byte-for-byte equal — E31
+   asserts it pairwise on every benched request. *)
+let eval_payload ~tr ~shared ~compile entry (payload : Request.payload) :
     (Request.outcome, Request.error) result =
   match payload with
   | Request.Classes { db_type; rank } -> eval_classes ~db_type ~rank
@@ -480,7 +541,15 @@ let eval_payload ~tr ~shared entry (payload : Request.payload) :
       | Error msg -> Error (Request.Parse_error msg)
       | Ok f -> (
           match Rlogic.Ast.free_vars f with
-          | [] -> Ok (Request.Bool (Hs.Fo_eval.eval_sentence entry.hs f))
+          | [] ->
+              let b =
+                if compile then
+                  (compiled_of ~tr entry.compiled.c_sentences sentence
+                     (fun () -> Hs.Fo_compile.sentence entry.hs f))
+                    ()
+                else Hs.Fo_eval.eval_sentence entry.hs f
+              in
+              Ok (Request.Bool b)
           | vars -> Error (Request.Not_a_sentence vars)))
   | Request.Query { query; cutoff; _ } -> (
       match span tr "parse" (fun () -> parse_query shared query) with
@@ -493,8 +562,18 @@ let eval_payload ~tr ~shared entry (payload : Request.payload) :
                  (Printf.sprintf "cutoff must be in 0..%d" max_cutoff))
           else
             let rank = List.length vars in
-            let reps = Hs.Fo_eval.eval_reps entry.hs q ~rank in
-            let members = Hs.Fo_eval.eval_upto entry.hs q ~cutoff in
+            let reps, members =
+              if compile then
+                let cq =
+                  compiled_of ~tr entry.compiled.c_queries query (fun () ->
+                      Hs.Fo_compile.compile_query entry.hs q)
+                in
+                ( Hs.Fo_compile.eval_reps cq ~rank,
+                  Hs.Fo_compile.eval_upto cq ~cutoff )
+              else
+                ( Hs.Fo_eval.eval_reps entry.hs q ~rank,
+                  Hs.Fo_eval.eval_upto entry.hs q ~cutoff )
+            in
             Ok
               (Request.Rel
                  {
@@ -526,7 +605,17 @@ let eval_payload ~tr ~shared entry (payload : Request.payload) :
               (Request.Bad_request
                  (Printf.sprintf "fuel must be in 1..%d" Request.Bounds.max_fuel))
           else (
-            match Ql.Ql_hs.run entry.hs ~fuel p with
+            match
+              if compile then
+                let cp =
+                  compiled_of ~tr entry.compiled.c_programs program (fun () ->
+                      Ql.Ql_compile.compile
+                        ~algebra:(Lazy.force entry.compiled.c_algebra)
+                        p)
+                in
+                Ql.Ql_compile.run cp ~fuel
+              else Ql.Ql_hs.run entry.hs ~fuel p
+            with
             | Ql.Ql_interp.Halted store ->
                 let v = store.(0) in
                 Ok
@@ -582,7 +671,23 @@ let eval_payload ~tr ~shared entry (payload : Request.payload) :
                         ~compute)
               | _ -> None
             in
-            match Rql.Rql_eval.run ?memo ~cutoff entry.hs plan with
+            match
+              if compile then
+                let mode_tag =
+                  match mode with
+                  | Rql.Rql_plan.Naive -> "n:"
+                  | Rql.Rql_plan.Planned -> "c:"
+                in
+                (* prepare validates like the interpreter's first run;
+                   a validation error raises here, is never cached, and
+                   maps to the same Ill_formed below *)
+                let pr =
+                  compiled_of ~tr entry.compiled.c_rql (mode_tag ^ text)
+                    (fun () -> Rql.Rql_compile.prepare entry.hs plan)
+                in
+                Rql.Rql_compile.run ?memo ~cutoff pr
+              else Rql.Rql_eval.run ?memo ~cutoff entry.hs plan
+            with
             | Rql.Rql_eval.Bool b -> Ok (Request.Bool b)
             | Rql.Rql_eval.Rel { rank; reps; members } ->
                 Ok (Request.Rel { rank; reps; members })
@@ -746,8 +851,8 @@ let handle ?queued_s t (req : Request.t) : Request.response =
               let eval () =
                 match t.shared with
                 | None ->
-                    eval_payload ~tr:t.trace ~shared:None entry
-                      req.Request.payload
+                    eval_payload ~tr:t.trace ~shared:None
+                      ~compile:t.config.compile entry req.Request.payload
                 | Some st ->
                     let key =
                       Json.to_string
@@ -755,8 +860,8 @@ let handle ?queued_s t (req : Request.t) : Request.response =
                            { Request.id = 0; payload = req.Request.payload })
                     in
                     Shared_memo.result st ~key ~compute:(fun () ->
-                        eval_payload ~tr:t.trace ~shared:t.shared entry
-                          req.Request.payload)
+                        eval_payload ~tr:t.trace ~shared:t.shared
+                          ~compile:t.config.compile entry req.Request.payload)
               in
               total_eval eval
           | None -> (

@@ -33,11 +33,23 @@ type t
     policy for transient oracle outages, and (optionally) deterministic
     fault injection.  With {!default_config} — no limits, no faults —
     the oracle hot path carries no guard at all; configuring either
-    installs a cheap per-question check (E25 measures its overhead). *)
+    installs a cheap per-question check (E25 measures its overhead).
+
+    [compile] (default [true]) routes evaluation through the
+    closure-compiled tier: sentences, queries, QL programs and RQL
+    plans are specialized once per (entry, source text) into closures
+    over pre-resolved frame slots and hoisted oracle handles, cached in
+    the entry, and reused by every later request.  Compiled and
+    interpreted evaluation consult identical oracle entry points in
+    identical order, so responses and the Def. 3.9 question ledger are
+    byte-identical either way (E31 asserts it pairwise); [false] keeps
+    the tree-walk interpreters (the E31 baseline, `recdb --compile
+    off`). *)
 type config = {
   limits : Resilience.limits;
   retry : Resilience.retry;
   faults : Faulty_oracle.config option;
+  compile : bool;
 }
 
 val default_config : config

@@ -221,3 +221,52 @@ val run_rql : ?out:string -> ?requests:int -> unit -> rql_result
 (** Print the E29 table; when [out] is given, also write the JSON there
     ([BENCH_rql.json]).  Returns the result so [recdb bench-rql] can
     exit nonzero on a violation. *)
+
+(** {2 E31: the closure-compiled hot path} *)
+
+type hot_run = {
+  h_name : string;
+      (** ["fo_deep"], ["qf_bounded"], ["rql_fixpoint"] or
+          ["ql_program"] *)
+  h_gated : bool;  (** counts toward the ≥ 5× acceptance gate *)
+  h_interp_s : float;  (** interpreter loop, best of trials *)
+  h_compiled_s : float;  (** compiled loop (compile hoisted out) *)
+  h_speedup : float;
+  h_identical : bool;  (** both evaluators returned the same outcome *)
+}
+
+type compile_result = {
+  k_requests : int;
+  k_min_speedup : float;  (** the gate (default 5.0) *)
+  k_hot : hot_run list;
+  k_engine_interp_s : float;  (** mixed batch, [compile = false] *)
+  k_engine_compiled_s : float;  (** same batch, [compile = true] *)
+  k_engine_speedup : float;
+      (** informational, ungated — engine requests are oracle-bound *)
+  k_checked : int;  (** responses compared pairwise *)
+  k_bytes_identical : bool;  (** [response_to_json ~stats:false] equal *)
+  k_ledger_identical : bool;
+      (** per request, (oracle_calls, tb_calls, equiv_calls,
+          cache_hits) equal *)
+  k_violations : string list;  (** empty = all acceptance checks pass *)
+}
+
+val compile_workload :
+  ?requests:int -> ?min_speedup:float -> ?trials:int -> unit -> compile_result
+(** The E31 workload: interpreter-vs-compiled hot loops — deep
+    Eq-heavy FO quantification and bounded-domain Qf enumeration
+    (interpretation-bound, gated at [min_speedup]) plus ungated RQL
+    and QL rows whose hot loops are memo/set traffic identical in
+    both modes — then a mixed batch
+    ([requests], default 200, FO + classes + QL + RQL) served by a
+    compile-off and a compile-on engine, fresh and memo-private,
+    checking byte- and Def. 3.9-ledger-identity pairwise on every
+    response. *)
+
+val compile_to_json : compile_result -> Json.t
+
+val run_compile :
+  ?out:string -> ?requests:int -> ?min_speedup:float -> unit -> compile_result
+(** Print the E31 table; when [out] is given, also write the JSON there
+    ([BENCH_compile.json]).  Returns the result so [recdb bench-compile]
+    can exit nonzero on a violation. *)

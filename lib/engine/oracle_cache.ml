@@ -1,10 +1,13 @@
 open Prelude
-module H = Tuple.Tbl
+module H = Hashtbl.Make (Tuple.Hashed)
 
 (* Intrusive doubly-linked list in recency order; [lru.head] is the
-   most recently used node, [lru.tail] the eviction candidate. *)
+   most recently used node, [lru.tail] the eviction candidate.  The
+   node key carries its FNV-1a hash, computed once per probe at
+   [lookup] entry: the stripe pick, the table probe and every later
+   recency touch or resize reuse it instead of rehashing the tuple. *)
 type node = {
-  key : Tuple.t;
+  key : Tuple.Hashed.t;
   answer : bool;
   mutable prev : node option;
   mutable next : node option;
@@ -53,7 +56,10 @@ let push_front lru node =
   lru.head <- Some node;
   if lru.tail = None then lru.tail <- Some node
 
-let stripe_of c u = c.stripes.(Tuple.hash u mod Array.length c.stripes)
+(* Same hash, same stripe assignment as before the precomputation —
+   recency order, eviction order and stats are unchanged (the
+   regression test asserts it). *)
+let stripe_of c hk = c.stripes.(Tuple.Hashed.hash hk mod Array.length c.stripes)
 
 let insert_locked s node =
   let evicted =
@@ -71,9 +77,10 @@ let insert_locked s node =
   evicted
 
 let lookup c u =
-  let s = stripe_of c u in
+  let hk = Tuple.Hashed.make u in
+  let s = stripe_of c hk in
   Mutex.lock s.m;
-  match H.find_opt s.lru.table u with
+  match H.find_opt s.lru.table hk with
   | Some node ->
       (* Hit: refresh recency, answer without consulting the oracle. *)
       unlink s.lru node;
@@ -92,7 +99,7 @@ let lookup c u =
       let answer = Rdb.Relation.mem c.base u in
       Atomic.incr c.misses;
       Mutex.lock s.m;
-      (match H.find_opt s.lru.table u with
+      (match H.find_opt s.lru.table hk with
       | Some node ->
           (* Raced with another domain's identical question: keep the
              existing node, just refresh its recency. *)
@@ -101,7 +108,9 @@ let lookup c u =
           Mutex.unlock s.m
       | None ->
           let node =
-            { key = Array.copy u; answer; prev = None; next = None }
+            (* own the key without rehashing: copy the tuple, keep the
+               hash computed at probe entry *)
+            { key = Tuple.Hashed.copy hk; answer; prev = None; next = None }
           in
           let evicted = insert_locked s node in
           Mutex.unlock s.m;

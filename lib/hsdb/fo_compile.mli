@@ -1,0 +1,44 @@
+(** Closure-compiled counterpart of {!Fo_eval} — Theorem 6.3's
+    tree-quantifier evaluation with the tree walk compiled to closures.
+
+    Compilation happens once per (instance, formula): every variable
+    resolves to a static position of the current tree path (quantifier
+    depth is static, so each binder owns a fixed slot of one mutable
+    path frame), every in-range relation handle is hoisted, and the
+    boolean connectives become directly-applied closures.  Evaluation
+    then writes one frame slot per candidate label instead of
+    allocating an extended tuple and a cons cell, and reads slots
+    instead of walking assoc lists.
+
+    The closures consult {e exactly} the oracles the interpreter
+    consults — the instance's [children]/[equiv] entry points and the
+    same instrumented relation handles — in the same order with the
+    same short-circuiting, and raise the interpreter's exact exceptions
+    at the same evaluation points.  Answers and the Def. 3.9 question
+    ledger are therefore identical by construction; compilation itself
+    asks no questions.
+
+    Compiled objects own reusable scratch buffers (fed to the oracles,
+    which never retain their arguments — every memo layer copies on
+    insert), so each is single-threaded, like the engine entry that
+    caches it. *)
+
+val sentence : Hsdb.t -> Rlogic.Ast.formula -> unit -> bool
+(** Compiled {!Fo_eval.eval_sentence}.  Raises [Invalid_argument] at
+    compile time if the formula has free variables — the interpreter
+    raises the same exception on its first evaluation. *)
+
+type query
+(** A query compiled against an instance; reusable across probes,
+    representative sweeps and cutoff windows. *)
+
+val compile_query : Hsdb.t -> Rlogic.Ast.query -> query
+
+val mem : query -> Prelude.Tuple.t -> bool option
+(** Compiled {!Fo_eval.mem}. *)
+
+val eval_reps : query -> rank:int -> Prelude.Tupleset.t
+(** Compiled {!Fo_eval.eval_reps}. *)
+
+val eval_upto : query -> cutoff:int -> Prelude.Tupleset.t
+(** Compiled {!Fo_eval.eval_upto}. *)

@@ -1,15 +1,17 @@
 open Prelude
 
-(* Environment: variable -> position in the current tree path. *)
+(* Environment: variable -> position in the current tree path.  Binding
+   resolution is Prelude.Env, shared with the compiled evaluator
+   (Fo_compile) so both paths have one shadowing semantics. *)
 let rec eval t path env = function
   | Rlogic.Ast.True -> true
   | Rlogic.Ast.False -> false
   | Rlogic.Ast.Eq (x, y) ->
-      let px = List.assoc x env and py = List.assoc y env in
+      let px = Env.lookup env x and py = Env.lookup env y in
       path.(px) = path.(py)
   | Rlogic.Ast.Mem (i, vars) ->
       Rdb.Database.mem (Hsdb.db t) i
-        (Array.map (fun x -> path.(List.assoc x env)) vars)
+        (Array.map (fun x -> path.(Env.lookup env x)) vars)
   | Rlogic.Ast.Not f -> not (eval t path env f)
   | Rlogic.Ast.And (f, g) -> eval t path env f && eval t path env g
   | Rlogic.Ast.Or (f, g) -> eval t path env f || eval t path env g
@@ -17,12 +19,12 @@ let rec eval t path env = function
   | Rlogic.Ast.Exists (x, f) ->
       let pos = Tuple.rank path in
       List.exists
-        (fun a -> eval t (Tuple.append path a) ((x, pos) :: env) f)
+        (fun a -> eval t (Tuple.append path a) (Env.bind x pos env) f)
         (Hsdb.children t path)
   | Rlogic.Ast.Forall (x, f) ->
       let pos = Tuple.rank path in
       List.for_all
-        (fun a -> eval t (Tuple.append path a) ((x, pos) :: env) f)
+        (fun a -> eval t (Tuple.append path a) (Env.bind x pos env) f)
         (Hsdb.children t path)
 
 let holds t ~path ~vars f =
@@ -30,7 +32,7 @@ let holds t ~path ~vars f =
     invalid_arg "Fo_eval.holds: variable/path length mismatch";
   if not (Hsdb.is_path t path) then
     invalid_arg "Fo_eval.holds: not a tree path";
-  eval t path (List.mapi (fun i x -> (x, i)) vars) f
+  eval t path (Env.of_vars vars) f
 
 let mem t q u =
   match q with

@@ -1,0 +1,37 @@
+(* The small-tuple fast path: widths below [small] index a flat table,
+   so the steady-state cost of [scratch] is one bounds check and one
+   array read.  Wider buffers (rare: rank is bounded by Request.Bounds
+   in practice) live in a hashtable. *)
+let small = 16
+
+type t = {
+  fast : int array array;  (* fast.(w) has length w; [||] = not yet made *)
+  wide : (int, int array) Hashtbl.t;
+}
+
+let create () = { fast = Array.make small [||]; wide = Hashtbl.create 8 }
+
+let scratch a w =
+  if w < 0 then invalid_arg "Arena.scratch: negative width"
+  else if w = 0 then [||]
+  else if w < small then begin
+    let b = a.fast.(w) in
+    if Array.length b = w then b
+    else begin
+      let b = Array.make w 0 in
+      a.fast.(w) <- b;
+      b
+    end
+  end
+  else
+    match Hashtbl.find_opt a.wide w with
+    | Some b -> b
+    | None ->
+        let b = Array.make w 0 in
+        Hashtbl.add a.wide w b;
+        b
+
+let fill_prefix a src k =
+  let b = scratch a k in
+  Array.blit src 0 b 0 k;
+  b

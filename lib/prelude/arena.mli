@@ -1,0 +1,35 @@
+(** Reusable tuple scratch buffers for compiled evaluators.
+
+    A compiled evaluator enumerates candidate tuples in its innermost
+    loops — quantifier prefixes handed to the T_B oracle, argument
+    vectors handed to relation oracles.  Allocating a fresh [int array]
+    per candidate is what makes the tree-walk interpreters slow, so an
+    arena hands out {e one} flat buffer per width, reused across
+    candidates and across AST nodes.
+
+    Sharing one buffer per width is sound for the evaluators' access
+    pattern: every node fills its buffer immediately before the oracle
+    call that consumes it, and no oracle retains its argument (every
+    memo layer — [Hsdb.children], [Oracle_cache], [Shared_memo] —
+    copies keys on insert; raw decision procedures are pure).  Callers
+    that hand a scratch buffer to code retaining it must copy first,
+    the same contract as {!Combinat.fold_cartesian}.
+
+    Widths up to a small bound are served from a flat table (the
+    small-tuple fast path); larger widths fall back to a hashtable.
+    Arenas are single-threaded, like the evaluators that own them. *)
+
+type t
+
+val create : unit -> t
+
+val scratch : t -> int -> int array
+(** [scratch a w] is the arena's buffer of width [w] — the same array
+    on every call with the same width.  Contents are unspecified until
+    the caller fills them.  [w] must be ≥ 0. *)
+
+val fill_prefix : t -> int array -> int -> int array
+(** [fill_prefix a src k] is [scratch a k] filled with the first [k]
+    components of [src] — the current tree path handed to a quantifier's
+    T_B question, without the per-candidate allocation of
+    [Tuple.prefix]. *)

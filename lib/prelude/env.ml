@@ -1,0 +1,8 @@
+type t = (string * int) list
+
+let empty = []
+let bind x v env = (x, v) :: env
+let of_vars vars = List.mapi (fun i x -> (x, i)) vars
+let of_list l = l
+let lookup_opt env x = List.assoc_opt x env
+let lookup env x = List.assoc x env

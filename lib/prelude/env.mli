@@ -1,0 +1,34 @@
+(** Variable-binding environments shared by every formula evaluator.
+
+    All three formula interpreters (Fo_eval over tree paths, Qf_eval
+    over domain elements, Rql_eval over tree paths with definition
+    slots) and their compiled counterparts resolve variables the same
+    way: an association list where later bindings shadow earlier ones.
+    Factoring the resolution here gives interpreter and compiler one
+    binding-resolution semantics — and one bug surface.
+
+    The payload is an [int] throughout: a position in the current tree
+    path (Fo_eval, Rql_eval), a domain element (Qf_eval), or a frame
+    slot (the compilers).  [lookup] has [List.assoc] semantics — it
+    raises [Not_found] — so callers with richer errors (Qf_eval's
+    [Unbound_variable]) go through {!lookup_opt}. *)
+
+type t
+
+val empty : t
+
+val bind : string -> int -> t -> t
+(** [bind x v env] shadows any earlier binding of [x]. *)
+
+val of_vars : string list -> t
+(** [of_vars [x0; ...; xn]] binds [xi] to [i] — the positional layout
+    every query entry point uses for its free tuple. *)
+
+val of_list : (string * int) list -> t
+(** Adopt an existing association list (innermost binding first). *)
+
+val lookup_opt : t -> string -> int option
+(** The innermost binding of the variable, if any. *)
+
+val lookup : t -> string -> int
+(** @raise Not_found when unbound (exactly [List.assoc]). *)

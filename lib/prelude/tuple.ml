@@ -102,4 +102,5 @@ module Hashed = struct
   let tuple h = h.tuple
   let equal a b = a.hash = b.hash && equal a.tuple b.tuple
   let hash h = h.hash
+  let copy h = { h with tuple = Array.copy h.tuple }
 end

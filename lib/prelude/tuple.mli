@@ -80,4 +80,10 @@ module Hashed : sig
   val tuple : t -> tuple
   val equal : t -> t -> bool
   val hash : t -> int
+
+  val copy : t -> t
+  (** A key safe to retain when the underlying tuple is a borrowed
+      scratch buffer: copies the tuple, reuses the already-computed
+      hash.  This is how a cache probes with a caller's buffer yet
+      inserts an owned key without rehashing. *)
 end

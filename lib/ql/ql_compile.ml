@@ -1,0 +1,91 @@
+type 'v t = {
+  nvars : int;
+  initial : 'v;
+  fuel : int ref;
+  prog : 'v array -> unit;
+}
+
+let compile ~algebra program =
+  let fuel = ref 0 in
+  let spend () =
+    decr fuel;
+    if !fuel < 0 then raise Ql_interp.Out_of_fuel
+  in
+  let rec cterm = function
+    | Ql_ast.E -> fun _ -> algebra.Ql_interp.e_const ()
+    | Ql_ast.Rel i -> fun _ -> algebra.Ql_interp.rel i
+    | Ql_ast.Var i ->
+        fun store ->
+          if i < Array.length store then store.(i)
+          else algebra.Ql_interp.initial
+    | Ql_ast.Inter (e, f) ->
+        let ce = cterm e and cf = cterm f in
+        fun store -> algebra.Ql_interp.inter (ce store) (cf store)
+    | Ql_ast.Comp e ->
+        let ce = cterm e in
+        fun store -> algebra.Ql_interp.comp (ce store)
+    | Ql_ast.Up e ->
+        let ce = cterm e in
+        fun store -> algebra.Ql_interp.up (ce store)
+    | Ql_ast.Down e ->
+        let ce = cterm e in
+        fun store -> algebra.Ql_interp.down (ce store)
+    | Ql_ast.Swap e ->
+        let ce = cterm e in
+        fun store -> algebra.Ql_interp.swap (ce store)
+  in
+  let rec cstmt = function
+    | Ql_ast.Assign (i, e) ->
+        let ce = cterm e in
+        fun store ->
+          spend ();
+          store.(i) <- ce store
+    | Ql_ast.Seq (p, q) ->
+        let cp = cstmt p and cq = cstmt q in
+        fun store ->
+          cp store;
+          cq store
+    | Ql_ast.While_empty (i, p) ->
+        let cp = cstmt p in
+        fun store ->
+          while algebra.Ql_interp.is_empty store.(i) do
+            spend ();
+            cp store
+          done
+    | Ql_ast.While_single (i, p) ->
+        let cp = cstmt p in
+        fun store ->
+          while algebra.Ql_interp.is_single store.(i) do
+            spend ();
+            cp store
+          done
+    | Ql_ast.While_finite (i, p) -> (
+        let cp = cstmt p in
+        match algebra.Ql_interp.is_finite with
+        | None ->
+            (* raised when the loop executes, as in the interpreter *)
+            fun _ ->
+              raise
+                (Ql_interp.Unsupported "the |Y| < ∞ test is not available here")
+        | Some is_finite ->
+            fun store ->
+              while is_finite store.(i) do
+                spend ();
+                cp store
+              done)
+  in
+  {
+    nvars = max 1 (Ql_ast.max_var program + 1);
+    initial = algebra.Ql_interp.initial;
+    fuel;
+    prog = cstmt program;
+  }
+
+let run t ~fuel =
+  let store = Array.make t.nvars t.initial in
+  t.fuel := fuel;
+  match t.prog store with
+  | () -> Ql_interp.Halted store
+  | exception Ql_interp.Out_of_fuel -> Ql_interp.Timeout
+  | exception Ql_interp.Rank_error msg -> Ql_interp.Ill_formed msg
+  | exception Ql_interp.Unsupported msg -> Ql_interp.Ill_formed msg

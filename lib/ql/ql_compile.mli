@@ -1,0 +1,29 @@
+(** Closure-compiled counterpart of {!Ql_interp.run}, generic in the
+    value algebra.
+
+    The interpreter re-matches every AST constructor on every loop
+    iteration — a [while] body of k statements costs k dispatches per
+    round.  Compilation converts the program to a closure tree once;
+    execution then calls closures directly.
+
+    The algebra operations themselves stay at their evaluation
+    positions: [rel]/[e_const] (whose oracle questions are part of the
+    Def. 3.9 ledger) are invoked each time the compiled node runs,
+    exactly as the interpreter invokes them — only the dispatch is
+    hoisted, never a question.  Fuel is spent at the interpreter's
+    exact points (one unit per assignment and per loop iteration), so
+    a compiled program times out at the same fuel count, and
+    [Rank_error]/[Unsupported] surface from the same evaluation
+    points.
+
+    A compiled program owns its fuel cell and is therefore
+    single-threaded; [run] may be called repeatedly (each run gets a
+    fresh store, like the interpreter's). *)
+
+type 'v t
+
+val compile : algebra:'v Ql_interp.algebra -> Ql_ast.program -> 'v t
+
+val run : 'v t -> fuel:int -> 'v Ql_interp.outcome
+(** Execute from the all-empty store — observationally identical to
+    [Ql_interp.run ~algebra ~fuel program]. *)

@@ -27,6 +27,16 @@ exception Rank_error of string
 (** Raised by algebra operations on ill-ranked applications (e.g. [↓] on
     rank 0, [∩] of different ranks). *)
 
+exception Out_of_fuel
+(** Raised internally when the fuel budget is spent; {!run} converts it
+    to [Timeout].  Exposed so the compiled runner ({!Ql_compile}) can
+    spend from the same exception discipline. *)
+
+exception Unsupported of string
+(** Raised when a program uses a test the algebra lacks (the [|Y| < ∞]
+    test with [is_finite = None]); {!run} converts it to
+    [Ill_formed]. *)
+
 type 'v outcome =
   | Halted of 'v array  (** final variable store *)
   | Timeout  (** fuel exhausted — models divergence *)

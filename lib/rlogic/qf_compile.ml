@@ -1,0 +1,156 @@
+open Prelude
+
+(* Frames: one mutable [int array] per compiled formula.  Slots
+   [0 .. n-1] hold the free tuple; each quantifier nesting depth owns
+   the fixed slot [n + depth] (shadowed variables simply resolve to the
+   inner slot, so no runtime environment exists at all).  Node
+   compilers return [int array -> bool] closures over the frame. *)
+
+(* Compile an atom under a slot environment.  [depth] is the frame size
+   in scope (initial vars + quantifier nesting), used only by callers
+   that extend the frame; atoms need just the environment.  Exceptions
+   are compiled into the closure so they fire when evaluation reaches
+   the node — never at compile time — matching the interpreter's lazy
+   connectives. *)
+let compile_atom db arena env = function
+  | Ast.True -> fun _ -> true
+  | Ast.False -> fun _ -> false
+  | Ast.Eq (x, y) -> (
+      match (Env.lookup_opt env x, Env.lookup_opt env y) with
+      | Some px, Some py -> fun frame -> frame.(px) = frame.(py)
+      | None, _ -> fun _ -> raise (Qf_eval.Unbound_variable x)
+      | _, None -> fun _ -> raise (Qf_eval.Unbound_variable y))
+  | Ast.Mem (i, xs) -> (
+      let n = Array.length xs in
+      let slots = Array.map (Env.lookup_opt env) xs in
+      let args = Arena.scratch arena n in
+      match
+        if i >= 0 && i < Rdb.Database.width db
+           && Array.for_all Option.is_some slots
+        then Some (Rdb.Database.relation db i)
+        else None
+      with
+      | Some rel ->
+          let sl = Array.map (function Some s -> s | None -> 0) slots in
+          fun frame ->
+            for k = 0 to n - 1 do
+              args.(k) <- frame.(sl.(k))
+            done;
+            Rdb.Relation.mem rel args
+      | None ->
+          (* Mirror the interpreter's order: arguments resolve first
+             (raising [Unbound_variable] at the first unbound, in
+             argument order), then the database is consulted (raising
+             [Invalid_argument] on an out-of-range index). *)
+          fun frame ->
+            Array.iteri
+              (fun k s ->
+                match s with
+                | Some p -> args.(k) <- frame.(p)
+                | None -> raise (Qf_eval.Unbound_variable xs.(k)))
+              slots;
+            Rdb.Database.mem db i args)
+  | Ast.Not _ | Ast.And _ | Ast.Or _ | Ast.Implies _ | Ast.Exists _
+  | Ast.Forall _ ->
+      invalid_arg "Qf_compile.compile_atom: not an atom"
+
+(* The quantifier-free compiler (counterpart of eval_formula). *)
+let rec compile_qf db arena env = function
+  | Ast.Not f ->
+      let cf = compile_qf db arena env f in
+      fun frame -> not (cf frame)
+  | Ast.And (f, g) ->
+      let cf = compile_qf db arena env f and cg = compile_qf db arena env g in
+      fun frame -> cf frame && cg frame
+  | Ast.Or (f, g) ->
+      let cf = compile_qf db arena env f and cg = compile_qf db arena env g in
+      fun frame -> cf frame || cg frame
+  | Ast.Implies (f, g) ->
+      let cf = compile_qf db arena env f and cg = compile_qf db arena env g in
+      fun frame -> (not (cf frame)) || cg frame
+  | Ast.Exists _ | Ast.Forall _ ->
+      fun _ -> invalid_arg "Qf_eval.eval_formula: quantifier in L- formula"
+  | (Ast.True | Ast.False | Ast.Eq _ | Ast.Mem _) as atom ->
+      compile_atom db arena env atom
+
+(* The bounded-domain compiler (counterpart of eval_bounded): each
+   quantifier owns frame slot [depth] and loops the cutoff window with
+   the interpreter's exact short-circuit recursions. *)
+let rec compile_bd db arena ~cutoff env depth = function
+  | Ast.Exists (x, f) ->
+      let cf = compile_bd db arena ~cutoff (Env.bind x depth env) (depth + 1) f in
+      fun frame ->
+        let rec try_from a =
+          a < cutoff
+          && ((frame.(depth) <- a;
+               cf frame)
+             || try_from (a + 1))
+        in
+        try_from 0
+  | Ast.Forall (x, f) ->
+      let cf = compile_bd db arena ~cutoff (Env.bind x depth env) (depth + 1) f in
+      fun frame ->
+        let rec all_from a =
+          a >= cutoff
+          || ((frame.(depth) <- a;
+               cf frame)
+             && all_from (a + 1))
+        in
+        all_from 0
+  | Ast.Not f ->
+      let cf = compile_bd db arena ~cutoff env depth f in
+      fun frame -> not (cf frame)
+  | Ast.And (f, g) ->
+      let cf = compile_bd db arena ~cutoff env depth f
+      and cg = compile_bd db arena ~cutoff env depth g in
+      fun frame -> cf frame && cg frame
+  | Ast.Or (f, g) ->
+      let cf = compile_bd db arena ~cutoff env depth f
+      and cg = compile_bd db arena ~cutoff env depth g in
+      fun frame -> cf frame || cg frame
+  | Ast.Implies (f, g) ->
+      let cf = compile_bd db arena ~cutoff env depth f
+      and cg = compile_bd db arena ~cutoff env depth g in
+      fun frame -> (not (cf frame)) || cg frame
+  | (Ast.True | Ast.False | Ast.Eq _ | Ast.Mem _) as atom ->
+      compile_atom db arena env atom
+
+let frame_for vars f =
+  Array.make (List.length vars + max 0 (Ast.quantifier_rank f)) 0
+
+let compile_formula db ~vars f =
+  let arena = Arena.create () in
+  let frame = frame_for vars f in
+  let n = List.length vars in
+  let cf = compile_qf db arena (Env.of_vars vars) f in
+  fun u ->
+    Array.blit u 0 frame 0 n;
+    cf frame
+
+let compile_bounded db ~cutoff ~vars f =
+  let arena = Arena.create () in
+  let frame = frame_for vars f in
+  let n = List.length vars in
+  let cf = compile_bd db arena ~cutoff (Env.of_vars vars) n f in
+  fun u ->
+    Array.blit u 0 frame 0 n;
+    cf frame
+
+let mem db q =
+  match q with
+  | Ast.Undefined -> fun _ -> None
+  | Ast.Query { vars; body } ->
+      let n = List.length vars in
+      let c = compile_formula db ~vars body in
+      fun u -> if Tuple.rank u <> n then Some false else Some (c u)
+
+let eval_upto db q ~cutoff =
+  match q with
+  | Ast.Undefined -> Tupleset.empty
+  | Ast.Query { vars; body } ->
+      let width = List.length vars in
+      let c = compile_formula db ~vars body in
+      Combinat.fold_cartesian
+        (fun acc u ->
+          if c u then Tupleset.add (Array.copy u) acc else acc)
+        Tupleset.empty ~width ~bound:cutoff

@@ -1,0 +1,46 @@
+(** Closure-compiled counterpart of {!Qf_eval}.
+
+    [compile_*] walks the AST {e once}, resolving every variable to a
+    slot of a mutable frame and hoisting every in-range relation handle,
+    and returns a closure tree: evaluation then reads array slots and
+    calls the hoisted oracles directly, with no per-candidate
+    allocation, no assoc-list walks and no constructor re-matching.
+
+    The compiled closures are {e observationally identical} to the
+    interpreter: they consult exactly the same oracles ([Relation.mem]
+    through the same instrumented handles) in the same order with the
+    same short-circuiting, and they raise the same exceptions at the
+    same evaluation points — an unbound variable or a quantifier in an
+    L⁻ position raises when (and only when) evaluation reaches it, just
+    as the interpreter's lazy connectives allow.  Answers, oracle-call
+    counts and error behaviour are therefore equal by construction;
+    E31 and the QCheck parity suite assert it.
+
+    Compiled closures own reusable scratch buffers, so each is
+    single-threaded — one compiled formula per evaluating worker. *)
+
+val compile_formula :
+  Rdb.Database.t -> vars:string list -> Ast.formula -> Prelude.Tuple.t -> bool
+(** [compile_formula db ~vars f] compiles the {e quantifier-free} [f];
+    the returned closure evaluates it with [vars] bound positionally to
+    its tuple argument (later list entries shadow earlier ones, as in
+    {!Qf_eval.eval_formula}).  The tuple must have rank
+    [List.length vars]. *)
+
+val compile_bounded :
+  Rdb.Database.t ->
+  cutoff:int ->
+  vars:string list ->
+  Ast.formula ->
+  Prelude.Tuple.t ->
+  bool
+(** Full FO with quantifiers over [{0, ..., cutoff-1}], compiled —
+    the closure mirrors {!Qf_eval.eval_bounded} call for call. *)
+
+val mem : Rdb.Database.t -> Ast.query -> Prelude.Tuple.t -> bool option
+(** Compiled {!Qf_eval.mem}: the body is compiled once at the first
+    partial application, then shared by every tuple probe. *)
+
+val eval_upto : Rdb.Database.t -> Ast.query -> cutoff:int -> Prelude.Tupleset.t
+(** Compiled {!Qf_eval.eval_upto}: one body compilation, then a
+    zero-allocation sweep of the cutoff window. *)

@@ -2,8 +2,10 @@ open Prelude
 
 exception Unbound_variable of string
 
+(* Binding resolution is shared with the compiled evaluator through
+   Prelude.Env: one shadowing semantics for both paths. *)
 let lookup env x =
-  match List.assoc_opt x env with
+  match Env.lookup_opt (Env.of_list env) x with
   | Some v -> v
   | None -> raise (Unbound_variable x)
 

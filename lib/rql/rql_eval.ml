@@ -54,14 +54,15 @@ let mem_derived t mode value u =
 (* Fo_eval.eval extended with definition slots: environment maps
    variables to positions in the current tree path; [vals] holds the
    materialized (or, during a fixpoint, current) value of each slot. *)
+(* Binding resolution is Prelude.Env, shared with Rql_compile. *)
 let rec eval t mode (vals : Tupleset.t array) path env = function
   | Rlogic.Ast.True -> true
   | Rlogic.Ast.False -> false
   | Rlogic.Ast.Eq (x, y) ->
-      let px = List.assoc x env and py = List.assoc y env in
+      let px = Env.lookup env x and py = Env.lookup env y in
       path.(px) = path.(py)
   | Rlogic.Ast.Mem (i, vars) ->
-      let u = Array.map (fun x -> path.(List.assoc x env)) vars in
+      let u = Array.map (fun x -> path.(Env.lookup env x)) vars in
       if i >= Rql_plan.def_base then
         mem_derived t mode vals.(i - Rql_plan.def_base) u
       else Rdb.Database.mem (Hs.Hsdb.db t) i u
@@ -75,17 +76,17 @@ let rec eval t mode (vals : Tupleset.t array) path env = function
   | Rlogic.Ast.Exists (x, f) ->
       let pos = Tuple.rank path in
       List.exists
-        (fun a -> eval t mode vals (Tuple.append path a) ((x, pos) :: env) f)
+        (fun a -> eval t mode vals (Tuple.append path a) (Env.bind x pos env) f)
         (Hs.Hsdb.children t path)
   | Rlogic.Ast.Forall (x, f) ->
       let pos = Tuple.rank path in
       List.for_all
-        (fun a -> eval t mode vals (Tuple.append path a) ((x, pos) :: env) f)
+        (fun a -> eval t mode vals (Tuple.append path a) (Env.bind x pos env) f)
         (Hs.Hsdb.children t path)
 
 let materialize t mode vals j (d : Rql_plan.def) =
   let paths = Hs.Hsdb.paths t d.d_rank in
-  let env = List.mapi (fun i x -> (x, i)) (Array.to_list d.d_params) in
+  let env = Env.of_vars (Array.to_list d.d_params) in
   let holds p = eval t mode vals p env d.d_body in
   if not d.d_recursive then Tupleset.of_list (List.filter holds paths)
   else begin
@@ -144,12 +145,14 @@ let run ?memo ~cutoff t (plan : Rql_plan.t) =
       vals.(j) <- v)
     plan.defs;
   match plan.target with
-  | Rql_plan.Sentence body -> Bool (eval t mode vals Tuple.empty [] body)
+  | Rql_plan.Sentence body -> Bool (eval t mode vals Tuple.empty Env.empty body)
   | Rql_plan.Tree d ->
       Levels (List.init d (fun i -> Hs.Hsdb.paths t (i + 1)))
   | Rql_plan.Query { rank; body; cutoff = qc } ->
       let cutoff = match qc with Some c -> c | None -> cutoff in
-      let env = List.init rank (fun i -> (Printf.sprintf "x%d" i, i)) in
+      let env =
+        Env.of_list (List.init rank (fun i -> (Printf.sprintf "x%d" i, i)))
+      in
       let reps =
         Hs.Hsdb.paths t rank
         |> List.filter (fun p -> eval t mode vals p env body)

@@ -30,6 +30,23 @@ exception Error of string
     arity clash with the instance type) and the defensive fixpoint
     round cap. *)
 
+val validate_atoms : Hs.Hsdb.t -> Rql_plan.t -> unit
+(** Instance-dependent static checks (relation index and arity against
+    the instance type); raises {!Error}.  Pure — asks no oracle
+    questions.  Shared with {!Rql_compile}, which runs it once at
+    preparation time (the interpreter re-runs it per evaluation; either
+    way it is ledger-invisible). *)
+
+val mem_derived :
+  Hs.Hsdb.t ->
+  Rql_plan.mode ->
+  Prelude.Tupleset.t ->
+  Prelude.Tuple.t ->
+  bool
+(** Derived-set membership through representatives — the mode-dependent
+    probe order documented above.  Shared with {!Rql_compile} so both
+    evaluators ask the identical ≅_B questions. *)
+
 val run :
   ?memo:(key:string -> compute:(unit -> Prelude.Tupleset.t) -> Prelude.Tupleset.t) ->
   cutoff:int ->
