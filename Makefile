@@ -1,4 +1,4 @@
-.PHONY: all build test bench resilience-smoke parallel-smoke server-smoke obs-smoke rql-smoke store-smoke compile-smoke check clean
+.PHONY: all build test bench resilience-smoke parallel-smoke server-smoke obs-smoke rql-smoke store-smoke compile-smoke cluster-smoke check clean
 
 all: build
 
@@ -66,7 +66,18 @@ store-smoke:
 compile-smoke:
 	dune exec bin/recdb.exe -- bench-compile --requests 150 -o BENCH_compile_smoke.json
 
-check: build test bench resilience-smoke parallel-smoke server-smoke obs-smoke rql-smoke store-smoke compile-smoke
+# The E32 smoke: bench-cluster — three real shard processes behind the
+# consistent-hash router.  Exits 1 unless routed answers are
+# byte-identical to the sequential reference, the merged cluster
+# ledger asks no more questions than one sequential engine, hedging
+# beats the plain router's p99 under a SIGSTOPped shard (with the
+# duplicate questions visible in the merge), and a kill -9'd shard is
+# respawned by the supervisor with zero lost requests and zero router
+# crashes.
+cluster-smoke:
+	dune exec bin/recdb.exe -- bench-cluster -o BENCH_cluster.json
+
+check: build test bench resilience-smoke parallel-smoke server-smoke obs-smoke rql-smoke store-smoke compile-smoke cluster-smoke
 
 clean:
 	dune clean

@@ -817,9 +817,11 @@ let cmd_bench_server =
 
 let cmd_server_smoke =
   let doc =
-    "CI smoke: start a server on an ephemeral loopback port, run the load \
-     generator against it, and verify every request is answered with zero \
-     errors, zero sheds, and a clean drain.  Exits 1 otherwise."
+    "CI smoke: fork a real recdb serve child on an ephemeral loopback port \
+     (--port 0, discovered through --port-file), run the load generator \
+     against it, and verify every request is answered with zero errors, \
+     zero sheds, a clean SIGTERM drain, and exit status 0.  Exits 1 \
+     otherwise."
   in
   let requests =
     Arg.(
@@ -832,12 +834,30 @@ let cmd_server_smoke =
       & info [ "c"; "connections" ] ~docv:"N" ~doc:"Concurrent connections.")
   in
   let run requests connections =
-    let server = Server.start ~window:256 ~per_conn_window:64 () in
-    let report =
-      Loadgen.run ~port:(Server.port server) ~connections ~requests
-        ~pipeline:4 ()
+    let exe = Sys.executable_name in
+    let dir = "_server_smoke" in
+    Proc.rm_rf dir;
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let port_file = Filename.concat dir "server.port" in
+    let log = Filename.concat dir "server.log" in
+    let pid =
+      Proc.spawn ~log
+        [|
+          exe; "serve"; "--port"; "0"; "--port-file"; port_file;
+          "--window"; "256"; "--per-conn-window"; "64";
+        |]
     in
-    let outcome = Server.drain ~timeout_s:30.0 server in
+    let port =
+      match Proc.wait_port_file port_file with
+      | Ok (port, _) -> port
+      | Error e ->
+          Format.eprintf "server-smoke: %s (child log: %s)@." e log;
+          Proc.kill_and_reap pid Sys.sigkill;
+          exit 1
+    in
+    let report = Loadgen.run ~port ~connections ~requests ~pipeline:4 () in
+    (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+    let status = snd (Unix.waitpid [] pid) in
     Format.printf "server-smoke: %a@." Loadgen.pp_report report;
     let failures =
       (if report.Loadgen.answered <> report.Loadgen.sent then
@@ -856,14 +876,17 @@ let cmd_server_smoke =
            [ Printf.sprintf "%d requests lost" report.Loadgen.lost ]
          else [])
       @
-      match outcome with
-      | `Clean -> []
-      | `Forced n -> [ Printf.sprintf "drain aborted %d connection(s)" n ]
+      match status with
+      | Unix.WEXITED 0 -> []
+      | _ -> [ "child did not drain cleanly on SIGTERM (nonzero exit)" ]
     in
     match failures with
-    | [] -> Format.printf "server-smoke: clean shutdown, zero errors@."
+    | [] ->
+        Format.printf "server-smoke: clean shutdown, zero errors@.";
+        Proc.rm_rf dir
     | fs ->
         List.iter (Format.eprintf "server-smoke failure: %s@.") fs;
+        Format.eprintf "server-smoke: child log kept at %s@." log;
         exit 1
   in
   Cmd.v (Cmd.info "server-smoke" ~doc) Term.(const run $ requests $ connections)
@@ -1102,27 +1125,90 @@ let cmd_stats =
     "One-shot scrape of a running server's metrics listener: fetch a path \
      (default /metrics, the Prometheus text exposition; /traces for recent \
      span trees) and print the body.  The server must be running with \
-     --metrics-port."
+     --metrics-port.  With --ledger, -p is the $(i,serving) port instead: \
+     send the stats wire op and print the node's cumulative Def. 3.9 \
+     question ledger — against a router, the merged cluster ledger plus \
+     the per-shard breakdown."
   in
   let port =
     Arg.(
       required
       & opt (some int) None
-      & info [ "p"; "port" ] ~docv:"PORT" ~doc:"The server's metrics port.")
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:
+            "The server's metrics port (or, with --ledger, its serving \
+             port).")
   in
   let path =
     Arg.(
       value & opt string "/metrics"
       & info [ "path" ] ~docv:"PATH" ~doc:"Route to fetch.")
   in
-  let run host port path =
-    match Expo_server.get ~host ~port ~path () with
-    | Ok body -> print_string body
-    | Error reason ->
-        Format.eprintf "stats: %s@." reason;
-        exit 1
+  let ledger =
+    Arg.(
+      value & flag
+      & info [ "ledger" ]
+          ~doc:
+            "Ask the serving port for its question ledger over the wire \
+             ABI instead of scraping the metrics listener.")
   in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ host_arg $ port $ path)
+  let print_ledger ~indent (l : Request.ledger) =
+    Format.printf
+      "%s%-24s %8d questions (raw %d, t_b %d, equiv %d)  cache hits %d%s%s@."
+      indent l.Request.l_node l.Request.l_questions l.Request.l_raw
+      l.Request.l_tb l.Request.l_equiv l.Request.l_cache_hits
+      (if l.Request.l_served > 0 then
+         Printf.sprintf "  served %d" l.Request.l_served
+       else "")
+      (if l.Request.l_hedges_fired > 0 || l.Request.l_sheds > 0 then
+         Printf.sprintf "  hedges %d (wins %d)  sheds %d"
+           l.Request.l_hedges_fired l.Request.l_hedge_wins l.Request.l_sheds
+       else "")
+  in
+  let run_ledger host port =
+    let fail fmt =
+      Format.kasprintf
+        (fun s ->
+          Format.eprintf "stats: %s@." s;
+          exit 1)
+        fmt
+    in
+    match Proc.send_and_collect ~host ~port [ {|{"id":0,"op":"stats"}|} ] with
+    | Error e -> fail "%s" e
+    | Ok [] -> fail "no response from %s:%d" host port
+    | Ok (line :: _) -> (
+        match Json.parse line with
+        | Error e -> fail "unparsable response: %s" e
+        | Ok j -> (
+            match Json.member "ok" j with
+            | None -> fail "error response: %s" line
+            | Some ok -> (
+                let cluster =
+                  Option.bind (Json.member "cluster" ok) Request.ledger_of_json
+                in
+                let shards =
+                  match Json.member "shards" ok with
+                  | Some (Json.List ls) ->
+                      List.filter_map Request.ledger_of_json ls
+                  | _ -> []
+                in
+                match cluster with
+                | None -> fail "response carried no ledger: %s" line
+                | Some l ->
+                    print_ledger ~indent:"" l;
+                    List.iter (print_ledger ~indent:"  ") shards)))
+  in
+  let run host port path ledger =
+    if ledger then run_ledger host port
+    else
+      match Expo_server.get ~host ~port ~path () with
+      | Ok body -> print_string body
+      | Error reason ->
+          Format.eprintf "stats: %s@." reason;
+          exit 1
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const run $ host_arg $ port $ path $ ledger)
 
 (* The exposition format checks obs-smoke runs against a scrape body:
    every family the serving stack is known to register must be present,
@@ -1389,6 +1475,7 @@ let cmd_rql =
             levels
       | Ok Request.Undefined -> Format.printf "undefined@."
       | Ok (Request.Count n) -> Format.printf "%d@." n
+      | Ok (Request.Ledger_report _) -> () (* rql never answers stats *)
       | Error e -> Format.printf "error: %s@." (Request.error_to_string e));
       Format.printf "-- %d oracle questions@."
         (Engine.question_count engine - before);
@@ -1470,10 +1557,11 @@ let cmd_bench_compile =
 
 let cmd_rql_smoke =
   let doc =
-    "CI smoke for the RQL front-end: start a server on an ephemeral \
-     loopback port, send the committed golden request file over a \
-     socket, and diff the responses (sorted by id, stats stripped) \
-     against the committed expected output.  Exits 1 on any difference."
+    "CI smoke for the RQL front-end: fork a real recdb serve child on an \
+     ephemeral loopback port (--port 0, discovered through --port-file), \
+     send the committed golden request file over a socket, and diff the \
+     responses (sorted by id, stats stripped) against the committed \
+     expected output.  Exits 1 on any difference."
   in
   let requests_file =
     Arg.(
@@ -1512,37 +1600,45 @@ let cmd_rql_smoke =
     end;
     (* stats vary with memo state; the golden contract is the
        deterministic part of each response only. *)
-    let server = Server.start ~window:64 ~per_conn_window:32 ~stats:false () in
-    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-    Unix.connect fd
-      (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server));
-    List.iter (fun line -> Frame.write_line fd line) requests;
-    Unix.shutdown fd Unix.SHUTDOWN_SEND;
-    let reader = Frame.reader fd in
-    let rec collect acc =
-      match Frame.read reader with
-      | Frame.Line line -> collect (line :: acc)
-      | Frame.Oversized _ | Frame.Truncated _ -> collect acc
-      | Frame.Eof -> List.rev acc
+    let exe = Sys.executable_name in
+    let dir = "_rql_smoke" in
+    Proc.rm_rf dir;
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let port_file = Filename.concat dir "server.port" in
+    let log = Filename.concat dir "server.log" in
+    let pid =
+      Proc.spawn ~log
+        [|
+          exe; "serve"; "--port"; "0"; "--port-file"; port_file; "--no-stats";
+          "--window"; "64"; "--per-conn-window"; "32";
+        |]
     in
-    let responses = collect [] in
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    (match Server.drain ~timeout_s:30.0 server with
-    | `Clean -> ()
-    | `Forced n ->
-        Format.eprintf "rql-smoke: drain aborted %d connection(s)@." n;
+    let port =
+      match Proc.wait_port_file port_file with
+      | Ok (port, _) -> port
+      | Error e ->
+          Format.eprintf "rql-smoke: %s (child log: %s)@." e log;
+          Proc.kill_and_reap pid Sys.sigkill;
+          exit 1
+    in
+    let responses =
+      match Proc.send_and_collect ~port requests with
+      | Ok responses -> responses
+      | Error e ->
+          Format.eprintf "rql-smoke: workload send failed: %s@." e;
+          Proc.kill_and_reap pid Sys.sigkill;
+          exit 1
+    in
+    (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+    (match Unix.waitpid [] pid with
+    | _, Unix.WEXITED 0 -> Proc.rm_rf dir
+    | _ ->
+        Format.eprintf
+          "rql-smoke: child did not drain cleanly on SIGTERM (log: %s)@." log;
         exit 1);
     (* The server may answer out of order across the pipeline; the
        golden file is committed sorted by id. *)
-    let id_of line =
-      match Json.parse line with
-      | Ok j -> (
-          match Json.member "id" j with Some (Json.Int i) -> i | _ -> -1)
-      | Error _ -> -1
-    in
-    let observed =
-      List.sort (fun a b -> compare (id_of a) (id_of b)) responses
-    in
+    let observed = Proc.sort_by_id responses in
     if update then begin
       let oc = open_out expected_file in
       List.iter
@@ -1843,6 +1939,300 @@ let cmd_store_smoke =
   in
   Cmd.v (Cmd.info "store-smoke" ~doc) Term.(const run $ requests $ dir_arg)
 
+let cmd_shard =
+  let doc =
+    "Run a supervised shard fleet: fork N recdb serve children (each a \
+     full engine + pool + net stack on an ephemeral port) and supervise \
+     them — a child that dies for any reason is respawned on the same \
+     port, so the endpoint list handed to a router stays valid across \
+     crashes.  SIGINT/SIGTERM stops supervising and drains every child."
+  in
+  let n =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"N" ~doc:"Number of shard children.")
+  in
+  let dir =
+    Arg.(
+      value & opt string "_shards"
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Directory for per-shard port files and logs.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains per shard.")
+  in
+  let no_stats =
+    Arg.(
+      value & flag
+      & info [ "no-stats" ]
+          ~doc:"Start every shard with --no-stats (deterministic bytes).")
+  in
+  let port_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:
+            "Write every shard's serving port, one per line, once all are \
+             bound — how scripts and routers discover the fleet.")
+  in
+  let run n dir jobs no_stats port_file =
+    if n < 1 then begin
+      Format.eprintf "shard: N must be >= 1@.";
+      exit 1
+    end;
+    let extra_args =
+      [ "-j"; string_of_int jobs ] @ if no_stats then [ "--no-stats" ] else []
+    in
+    match
+      Shard_sup.start ~dir ~extra_args ~exe:Sys.executable_name ~n ()
+    with
+    | Error e ->
+        Format.eprintf "shard: %s@." e;
+        exit 1
+    | Ok sup ->
+        let endpoints = Shard_sup.endpoints sup in
+        Format.eprintf "recdb: supervising %d shard(s): %s@." n
+          (String.concat ", "
+             (List.map (fun (h, p) -> Printf.sprintf "%s:%d" h p) endpoints));
+        (match port_file with
+        | None -> ()
+        | Some path ->
+            (* temp + rename so a poller never reads a partial file *)
+            let tmp = path ^ ".tmp" in
+            let oc = open_out tmp in
+            List.iter (fun (_, p) -> Printf.fprintf oc "%d\n" p) endpoints;
+            close_out oc;
+            Sys.rename tmp path);
+        let stop = Atomic.make false in
+        let on_signal _ = Atomic.set stop true in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+        while not (Atomic.get stop) do
+          Unix.sleepf 0.05
+        done;
+        Format.eprintf "recdb: stopping %d shard(s) (%d respawn(s) so far)@."
+          n (Shard_sup.respawns sup);
+        Shard_sup.stop sup
+  in
+  Cmd.v (Cmd.info "shard" ~doc)
+    Term.(const run $ n $ dir $ jobs $ no_stats $ port_file)
+
+let cmd_router =
+  let doc =
+    "Serve the JSON-lines ABI as a cluster front door: consistent-hash \
+     every request by its question scope (instance, else op) onto worker \
+     shards, with per-shard admission windows, failover to ring siblings \
+     on shard death, optional hedged retries on deadline miss, and the \
+     merged cluster question ledger behind the stats op.  The router \
+     never evaluates a payload, so it can never ask a Def. 3.9 question."
+  in
+  let port =
+    Arg.(
+      value & opt int 0
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"TCP port; 0 (default) picks an ephemeral port.")
+  in
+  let shard_args =
+    Arg.(
+      value & opt_all string []
+      & info [ "shard" ] ~docv:"HOST:PORT"
+          ~doc:"A shard endpoint (repeatable).")
+  in
+  let shards_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "shards-file" ] ~docv:"FILE"
+          ~doc:
+            "Read loopback shard ports, one per line — the file recdb \
+             shard --port-file writes.")
+  in
+  let hedge_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "hedge-ms" ] ~docv:"MS"
+          ~doc:
+            "Hedge a request to its ring sibling when unanswered after MS \
+             milliseconds; first response wins, the loser's bytes are \
+             dropped (its questions still count in its shard's ledger).")
+  in
+  let queue_timeout_ms =
+    Arg.(
+      value & opt float 250.0
+      & info [ "queue-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "How long a request may wait for a slot in its shard's \
+             admission window before being shed with a typed overloaded.")
+  in
+  let no_stats =
+    Arg.(
+      value & flag
+      & info [ "no-stats" ]
+          ~doc:
+            "Omit per-request stats from locally generated responses \
+             (sheds, parse errors, ledger reports).")
+  in
+  let metrics_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve the Prometheus exposition (cluster_shards_up, \
+             cluster_hedges_fired, cluster_hedge_wins, \
+             cluster_router_sheds, per-shard cluster_shard_up rows) on a \
+             second listener; 0 picks an ephemeral port.")
+  in
+  let max_line =
+    Arg.(
+      value & opt int Frame.default_max_line
+      & info [ "max-line" ] ~docv:"BYTES" ~doc:"Frame bound.")
+  in
+  let port_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:
+            "Write the bound routing port (line 1) and metrics port (line \
+             2, if any) to FILE once listening.")
+  in
+  let run host port window shard_args shards_file hedge_ms queue_timeout_ms
+      no_stats metrics_port max_line port_file =
+    let parse_endpoint s =
+      match String.rindex_opt s ':' with
+      | Some i -> (
+          let h = String.sub s 0 i in
+          match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+          | Some p when p > 0 -> Some (h, p)
+          | _ -> None)
+      | None -> None
+    in
+    let from_flags =
+      List.map
+        (fun s ->
+          match parse_endpoint s with
+          | Some e -> e
+          | None ->
+              Format.eprintf "router: bad --shard %s (want HOST:PORT)@." s;
+              exit 1)
+        shard_args
+    in
+    let from_file =
+      match shards_file with
+      | None -> []
+      | Some path ->
+          let ic =
+            try open_in path
+            with Sys_error e ->
+              Format.eprintf "router: %s@." e;
+              exit 1
+          in
+          let rec go acc =
+            match input_line ic with
+            | line -> (
+                match int_of_string_opt (String.trim line) with
+                | Some p when p > 0 -> go (("127.0.0.1", p) :: acc)
+                | _ -> go acc)
+            | exception End_of_file ->
+                close_in ic;
+                List.rev acc
+          in
+          go []
+    in
+    let shards = from_flags @ from_file in
+    if shards = [] then begin
+      Format.eprintf "router: no shards (give --shard or --shards-file)@.";
+      exit 1
+    end;
+    let router =
+      Router.start ~host ~port ~window
+        ?hedge_after_s:(Option.map (fun ms -> ms /. 1000.0) hedge_ms)
+        ~queue_timeout_s:(queue_timeout_ms /. 1000.0)
+        ~max_line ~stats:(not no_stats) ?metrics_port ~shards ()
+    in
+    Format.eprintf "recdb: routing on %s:%d over %d shard(s)%s@." host
+      (Router.port router) (List.length shards)
+      (match hedge_ms with
+      | Some ms -> Printf.sprintf ", hedging after %.0fms" ms
+      | None -> "");
+    (match Router.metrics_port router with
+    | Some mp -> Format.eprintf "recdb: metrics on %s:%d/metrics@." host mp
+    | None -> ());
+    (match port_file with
+    | None -> ()
+    | Some path ->
+        let tmp = path ^ ".tmp" in
+        let oc = open_out tmp in
+        Printf.fprintf oc "%d\n" (Router.port router);
+        (match Router.metrics_port router with
+        | Some mp -> Printf.fprintf oc "%d\n" mp
+        | None -> ());
+        close_out oc;
+        Sys.rename tmp path);
+    let stop = Atomic.make false in
+    let on_signal _ = Atomic.set stop true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    while not (Atomic.get stop) do
+      Unix.sleepf 0.05
+    done;
+    let c = Router.counters router in
+    Format.eprintf
+      "recdb: draining router (routed %d, hedges %d, wins %d, sheds %d)...@."
+      c.Router.routed c.Router.hedges_fired c.Router.hedge_wins c.Router.sheds;
+    match Router.drain ~timeout_s:30.0 router with
+    | `Clean -> Format.eprintf "recdb: router drained clean@."
+    | `Forced n ->
+        Format.eprintf "recdb: drain aborted %d client(s)@." n;
+        exit 1
+  in
+  Cmd.v (Cmd.info "router" ~doc)
+    Term.(
+      const run $ host_arg $ port $ window_arg $ shard_args $ shards_file
+      $ hedge_ms $ queue_timeout_ms $ no_stats $ metrics_port $ max_line
+      $ port_file)
+
+let cmd_bench_cluster =
+  let doc =
+    "Benchmark sharded cluster serving (E32): byte-identity and ledger \
+     containment of the mixed workload routed over real shard processes \
+     vs the sequential in-process reference, hedged tail latency under an \
+     injected slow shard (duplicate questions visibly counted), and \
+     kill -9 mid-load recovery through the supervisor.  Exits 1 on any \
+     violation — this is the cluster-smoke CI gate."
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Also write results as JSON.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 240
+      & info [ "requests" ] ~docv:"N" ~doc:"Workload size.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 3
+      & info [ "shards" ] ~docv:"N" ~doc:"Shard child processes.")
+  in
+  let run out requests shards =
+    let r =
+      Cluster_bench.run ?out ~requests ~shards ~exe:Sys.executable_name ()
+    in
+    if r.Cluster_bench.c_violations <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench-cluster" ~doc)
+    Term.(const run $ out $ requests $ shards)
+
 let () =
   let doc = "query languages over recursive (infinite, computable) databases" in
   let info = Cmd.info "recdb" ~version:"1.0.0" ~doc in
@@ -1876,4 +2266,7 @@ let () =
             cmd_store_inspect;
             cmd_bench_store;
             cmd_store_smoke;
+            cmd_shard;
+            cmd_router;
+            cmd_bench_cluster;
           ]))

@@ -1,0 +1,30 @@
+let zero node = Request.ledger ~node ~raw:0 ~tb:0 ~equiv:0 ~cache_hits:0 ()
+
+let add a b =
+  Request.ledger ~node:a.Request.l_node
+    ~raw:(a.Request.l_raw + b.Request.l_raw)
+    ~tb:(a.Request.l_tb + b.Request.l_tb)
+    ~equiv:(a.Request.l_equiv + b.Request.l_equiv)
+    ~cache_hits:(a.Request.l_cache_hits + b.Request.l_cache_hits)
+    ~served:(a.Request.l_served + b.Request.l_served)
+    ~hedges_fired:(a.Request.l_hedges_fired + b.Request.l_hedges_fired)
+    ~hedge_wins:(a.Request.l_hedge_wins + b.Request.l_hedge_wins)
+    ~sheds:(a.Request.l_sheds + b.Request.l_sheds)
+    ()
+
+let sum ~node ledgers = List.fold_left add (zero node) ledgers
+
+(* Decode one shard's answer to the [stats] op: a response line whose
+   ["ok"] is a kind:"stats" object.  The shard's own per-shard
+   breakdown (if it is itself a router) is ignored — the merge is over
+   direct children. *)
+let of_response_line line =
+  match Json.parse line with
+  | Error _ -> None
+  | Ok j -> (
+      match Json.member "ok" j with
+      | Some ok -> (
+          match Json.member "cluster" ok with
+          | Some l -> Request.ledger_of_json l
+          | None -> None)
+      | None -> None)

@@ -1,0 +1,24 @@
+(** The cross-process question-ledger merge.
+
+    Shards report cumulative {!Request.ledger}s through the [stats]
+    wire op; the router's merged cluster ledger is the plain
+    componentwise sum — no weighting, no estimation — because every
+    field is a count of discrete events (Def. 3.9 questions, cache
+    hits, admissions, hedges, sheds) and the shards' event sets are
+    disjoint: each genuine question is asked by exactly one process.
+    Hedged duplicates are {e not} deduplicated — the loser's questions
+    were really asked, which is why the E32 invariant is
+    [cluster ≤ sequential], not [=]. *)
+
+val zero : string -> Request.ledger
+(** The identity of {!add}, labeled [node]. *)
+
+val add : Request.ledger -> Request.ledger -> Request.ledger
+(** Componentwise sum; the node label of the left operand wins. *)
+
+val sum : node:string -> Request.ledger list -> Request.ledger
+(** [sum ~node ls = List.fold_left add (zero node) ls]. *)
+
+val of_response_line : string -> Request.ledger option
+(** Decode a shard's [stats] response line (the ["ok"] object's
+    ["cluster"] ledger); [None] on a non-stats or error line. *)

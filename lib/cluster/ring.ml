@@ -1,0 +1,108 @@
+(* FNV-1a, 64-bit.  Deterministic across runs and processes (unlike
+   Hashtbl.hash, which is perturbed by OCAML_HASH_SEED), which the
+   cluster needs: a router restarted tomorrow must send the instance
+   to the shard that memoized it yesterday. *)
+let fnv1a64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+(* FNV-1a avalanches its low bits well but not its high bits on short,
+   similar strings ("shard-2#17" vs "shard-2#18"), and ring position is
+   unsigned order — dominated by exactly those high bits.  Without a
+   finalizer the vnodes of one node clump together and a 3-node ring
+   can hand one shard two thirds of the space (caught by the QCheck
+   spread property).  murmur3's fmix64 restores full avalanche; it is
+   a fixed bijection, so positions stay deterministic across runs and
+   processes. *)
+let mix h =
+  let open Int64 in
+  let h = logxor h (shift_right_logical h 33) in
+  let h = mul h 0xff51afd7ed558ccdL in
+  let h = logxor h (shift_right_logical h 33) in
+  let h = mul h 0xc4ceb9fe1a85ec53L in
+  logxor h (shift_right_logical h 33)
+
+let position s = mix (fnv1a64 s)
+
+type t = {
+  nodes : string array;  (* distinct, in insertion order *)
+  points : (int64 * int) array;  (* (hash, node index), sorted by hash *)
+}
+
+let default_vnodes = 128
+
+let create ?(vnodes = default_vnodes) nodes =
+  if nodes = [] then invalid_arg "Ring.create: no nodes";
+  if vnodes < 1 then invalid_arg "Ring.create: vnodes < 1";
+  let distinct = List.sort_uniq compare nodes in
+  if List.length distinct <> List.length nodes then
+    invalid_arg "Ring.create: duplicate node";
+  let nodes = Array.of_list nodes in
+  let points =
+    Array.init
+      (Array.length nodes * vnodes)
+      (fun k ->
+        let n = k / vnodes and v = k mod vnodes in
+        (position (Printf.sprintf "%s#%d" nodes.(n) v), n))
+  in
+  (* unsigned order, to match the unsigned binary search in
+     [owner_point] — signed [compare] would fold the ring at the sign
+     bit and skew ownership *)
+  Array.sort
+    (fun (h1, n1) (h2, n2) ->
+      match Int64.unsigned_compare h1 h2 with 0 -> compare n1 n2 | c -> c)
+    points;
+  { nodes; points }
+
+let nodes t = Array.to_list t.nodes
+
+(* First point with hash >= h, wrapping — the classic successor walk.
+   Unsigned 64-bit order via unsigned_compare so the ring is uniform
+   over the whole hash space, not folded at the sign bit. *)
+let owner_point t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let ph, _ = t.points.(mid) in
+    if Int64.unsigned_compare ph h < 0 then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let node t key = snd t.points.(owner_point t (position key)) |> Array.get t.nodes
+
+(* The distinct nodes in ring order starting at [key]'s owner — element
+   0 is the owner, element 1 the hedge sibling, and so on.  At most
+   [Array.length t.nodes] elements. *)
+let successors t key =
+  let n = Array.length t.points in
+  let start = owner_point t (position key) in
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n && Hashtbl.length seen < Array.length t.nodes do
+    let _, node_i = t.points.((start + !i) mod n) in
+    if not (Hashtbl.mem seen node_i) then begin
+      Hashtbl.add seen node_i ();
+      out := t.nodes.(node_i) :: !out
+    end;
+    incr i
+  done;
+  List.rev !out
+
+let remove t node =
+  match List.filter (( <> ) node) (nodes t) with
+  | [] -> invalid_arg "Ring.remove: last node"
+  | rest ->
+      (* Rebuild from the surviving nodes: their vnode positions are a
+         function of their names alone, so every key owned by a
+         survivor keeps its owner — only the removed node's keys move.
+         The QCheck property test asserts exactly this. *)
+      let vnodes = Array.length t.points / Array.length t.nodes in
+      create ~vnodes rest

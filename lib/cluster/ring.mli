@@ -1,0 +1,45 @@
+(** A consistent-hash ring over named nodes (shard endpoints).
+
+    Each node contributes [vnodes] virtual points placed by a
+    deterministic 64-bit hash of ["name#i"] (FNV-1a finalized with
+    murmur3's fmix64 — FNV alone leaves the high bits, which dominate
+    ring order, poorly avalanched on short names); a key is owned by
+    the node of the first point clockwise from the key's own hash.
+    Two properties make this the right router primitive, and both are
+    QCheck-tested:
+
+    - {b spread}: with the default 128 vnodes, every node's share of a
+      large key population is within 2× of fair;
+    - {b stability}: removing one node remaps only that node's ~1/N of
+      the keys — the survivors' vnode positions depend on their names
+      alone, so no other key moves.
+
+    Determinism matters across processes and restarts: the hash is
+    seed-free, so a rebuilt router sends an instance to the shard that
+    memoized it before. *)
+
+type t
+
+val create : ?vnodes:int -> string list -> t
+(** Raises [Invalid_argument] on an empty or duplicate node list, or
+    [vnodes < 1].  Default 128 vnodes per node. *)
+
+val node : t -> string -> string
+(** The owner of a key. *)
+
+val successors : t -> string -> string list
+(** All distinct nodes in ring order from the key's owner: element 0
+    is {!node}, element 1 is the hedge/failover sibling, etc. *)
+
+val remove : t -> string -> t
+(** The ring without [node] (same vnode count).  Raises
+    [Invalid_argument] when removing the last node. *)
+
+val nodes : t -> string list
+(** In insertion order. *)
+
+val fnv1a64 : string -> int64
+(** The ring's base hash (before the fmix64 finalizer), exposed for
+    tests against the published FNV-1a vectors. *)
+
+val default_vnodes : int

@@ -1,0 +1,900 @@
+(* The cluster front door.  One process, no engine, no questions:
+   requests are consistent-hashed onto worker shards over the same
+   JSON-lines ABI the shards speak to everyone else, and responses
+   stream back byte-identical except for the id prefix.
+
+   Invariants this file lives by:
+
+   - {b The router cannot change the ledger.}  It never evaluates a
+     payload: every Def. 3.9 question is asked by a shard engine.
+     Routing decisions, hedges and sheds are question-free, so the
+     merged cluster ledger is exactly the sum of what the shards
+     honestly report.
+
+   - {b Byte identity by surgery, not re-serialization.}  A shard
+     response line always begins [{"id":<int>] (Request.response_to_json
+     puts the id first); the router substitutes the client's original
+     id back into that prefix and forwards the rest of the bytes
+     untouched.  Routed answers are byte-identical to direct answers
+     by construction, which E32 asserts.
+
+   - {b Colocation by question scope.}  The hash key is the request's
+     instance when it has one (questions are instance-scoped — spreading
+     one instance's ops over shards would re-ask T_B/≅_B questions once
+     per shard and inflate the cluster ledger), and the op name for
+     instance-less requests.
+
+   - {b A dead shard is a typed error, never a dead router.}  SIGPIPE
+     is ignored process-wide (Frame.ignore_sigpipe); a write or read
+     failure on a shard connection fails over to the ring sibling and,
+     when every shard has been tried, surfaces as a typed
+     [Oracle_unavailable] — while the supervisor respawns the shard on
+     its old port and the router's reconnect loop finds it again. *)
+
+type upstream = {
+  u_host : string;
+  u_port : int;
+  u_name : string;  (* "host:port": the ring node and the error label *)
+  u_admission : Admission.t;
+  u_wlock : Mutex.t;  (* serializes writes to u_fd *)
+  mutable u_fd : Unix.file_descr option;
+  mutable u_gen : int;  (* bumped per (re)connect; stamps pendings *)
+  mutable u_thread : Thread.t option;
+}
+
+type client = {
+  c_fd : Unix.file_descr;
+  c_lock : Mutex.t;
+  c_cond : Condition.t;
+  c_queue : string Queue.t;  (* raw response lines, ready to write *)
+  mutable c_outstanding : int;  (* flights not yet answered *)
+  mutable c_eof : bool;
+  mutable c_dead : bool;  (* writer hit EPIPE: drop, don't block *)
+  mutable c_writer : Thread.t option;
+  mutable c_reader : Thread.t option;
+}
+
+type flight = {
+  f_client : client;
+  f_orig_id : int;
+  f_payload : Request.payload;
+  f_key : string;
+  f_sent_at : float;
+  mutable f_done : bool;
+  mutable f_hedged : bool;
+  mutable f_attempts : int;  (* sends so far, hedges included *)
+  mutable f_tried : string list;  (* upstream names, newest first *)
+  mutable f_hedge_uid : int;  (* -1 until hedged *)
+}
+
+type pending = { p_flight : flight; p_up : upstream; p_gen : int }
+
+type t = {
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  host : string;
+  ring : Ring.t;
+  upstreams : (string * upstream) list;  (* name -> upstream *)
+  cfg_stats : bool;
+  max_line : int;
+  hedge_after_s : float option;
+  queue_timeout_s : float;
+  lock : Mutex.t;  (* guards pending, uid, counters, flight state *)
+  pending : (int, pending) Hashtbl.t;
+  mutable next_uid : int;
+  mutable routed : int;
+  mutable hedges_fired : int;
+  mutable hedge_wins : int;
+  mutable sheds : int;
+  mutable failovers : int;
+  mutable clients : client list;
+  mutable accepted : int;
+  mutable drained : bool;
+  mutable accept_thread : Thread.t option;
+  mutable hedge_thread : Thread.t option;
+  mutable expo : Expo_server.t option;
+  mutable expo_source : Obs.Expo.source option;
+}
+
+let op_name : Request.payload -> string = function
+  | Request.Sentence _ -> "sentence"
+  | Request.Query _ -> "query"
+  | Request.Classes _ -> "classes"
+  | Request.Tree _ -> "tree"
+  | Request.Program _ -> "program"
+  | Request.Rql _ -> "rql"
+  | Request.Stats -> "stats"
+
+(* The routing key: the (instance, op) pair collapsed to its question
+   scope — instance when there is one, op name otherwise. *)
+let key_of payload =
+  match Request.payload_instance payload with
+  | Some i -> "i:" ^ i
+  | None -> "o:" ^ op_name payload
+
+(* id-prefix surgery.  Shard responses begin {"id":<int> by
+   construction; anything else (defensive) passes through unchanged. *)
+let id_prefix = "{\"id\":"
+
+let rewrite_id line ~id =
+  let plen = String.length id_prefix in
+  let n = String.length line in
+  if n > plen && String.sub line 0 plen = id_prefix then begin
+    let i = ref plen in
+    if !i < n && line.[!i] = '-' then incr i;
+    let d0 = !i in
+    while !i < n && line.[!i] >= '0' && line.[!i] <= '9' do
+      incr i
+    done;
+    if !i = d0 then line
+    else id_prefix ^ string_of_int id ^ String.sub line !i (n - !i)
+  end
+  else line
+
+let uid_of_line line =
+  let plen = String.length id_prefix in
+  let n = String.length line in
+  if n > plen && String.sub line 0 plen = id_prefix then begin
+    let i = ref plen in
+    let v = ref 0 in
+    let any = ref false in
+    while !i < n && line.[!i] >= '0' && line.[!i] <= '9' do
+      v := (!v * 10) + (Char.code line.[!i] - Char.code '0');
+      any := true;
+      incr i
+    done;
+    if !any then Some !v else None
+  end
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Client writer: one thread per connection draining a queue of raw
+   lines.  Every response — forwarded or router-generated — goes
+   through here, so shard reader threads never block on a slow
+   client's socket. *)
+
+let enqueue client line =
+  Mutex.lock client.c_lock;
+  if not client.c_dead then begin
+    Queue.push line client.c_queue;
+    Condition.broadcast client.c_cond
+  end;
+  Mutex.unlock client.c_lock
+
+let client_writer client =
+  let rec loop () =
+    Mutex.lock client.c_lock;
+    while
+      Queue.is_empty client.c_queue
+      && (not client.c_dead)
+      && not (client.c_eof && client.c_outstanding = 0)
+    do
+      Condition.wait client.c_cond client.c_lock
+    done;
+    let next =
+      if Queue.is_empty client.c_queue then None
+      else Some (Queue.pop client.c_queue)
+    in
+    let dead = client.c_dead in
+    Mutex.unlock client.c_lock;
+    match next with
+    | Some line ->
+        if not dead then begin
+          try Frame.write_line client.c_fd line
+          with Unix.Unix_error _ | Sys_error _ ->
+            Mutex.lock client.c_lock;
+            client.c_dead <- true;
+            Condition.broadcast client.c_cond;
+            Mutex.unlock client.c_lock
+        end;
+        loop ()
+    | None -> if not (dead || client.c_eof) then loop ()
+  in
+  loop ();
+  try Unix.close client.c_fd with Unix.Unix_error _ -> ()
+
+(* A flight's answer has been produced (forwarded line or local typed
+   error): hand it to the writer exactly once — callers guarantee
+   exactly-once via [f_done] under the router lock. *)
+let finish_flight fl line =
+  let client = fl.f_client in
+  enqueue client line;
+  Mutex.lock client.c_lock;
+  client.c_outstanding <- client.c_outstanding - 1;
+  Condition.broadcast client.c_cond;
+  Mutex.unlock client.c_lock
+
+let local_response t ~id result =
+  Json.to_string
+    (Request.response_to_json ~stats:t.cfg_stats
+       { Request.id; result; stats = Request.zero_stats })
+
+(* ------------------------------------------------------------------ *)
+(* Sending: register a pending uid, serialize with the uid as id,
+   write under the upstream's write lock.  [`Down] means the upstream
+   had no live connection or the write failed — the caller fails
+   over.  The admission slot is the caller's to release on [`Down]. *)
+
+let try_send_on t fl (u : upstream) =
+  Mutex.lock t.lock;
+  let uid = t.next_uid in
+  t.next_uid <- uid + 1;
+  let conn = match u.u_fd with Some fd -> Some (fd, u.u_gen) | None -> None in
+  (match conn with
+  | Some (_, gen) ->
+      Hashtbl.replace t.pending uid { p_flight = fl; p_up = u; p_gen = gen };
+      fl.f_attempts <- fl.f_attempts + 1;
+      if not (List.mem u.u_name fl.f_tried) then
+        fl.f_tried <- u.u_name :: fl.f_tried
+  | None -> ());
+  Mutex.unlock t.lock;
+  match conn with
+  | None -> `Down
+  | Some (fd, _gen) ->
+      let line =
+        Json.to_string
+          (Request.to_json { Request.id = uid; payload = fl.f_payload })
+      in
+      Mutex.lock u.u_wlock;
+      let ok =
+        (* the fd may have been swapped by a reconnect while we were
+           serializing; writing to the wrong generation is caught by
+           the gen stamp when the stale response comes back *)
+        match u.u_fd with
+        | Some fd' when fd' == fd -> (
+            try
+              Frame.write_line fd line;
+              true
+            with Unix.Unix_error _ | Sys_error _ -> false)
+        | _ -> false
+      in
+      Mutex.unlock u.u_wlock;
+      if ok then `Sent uid
+      else begin
+        Mutex.lock t.lock;
+        Hashtbl.remove t.pending uid;
+        Mutex.unlock t.lock;
+        `Down
+      end
+
+(* Wait (bounded) for a slot in the shard's admission window — this is
+   the router's backpressure: the client's reader thread stalls, TCP
+   pushes back on the client, and only a sustained overflow becomes a
+   typed shed. *)
+let admit_within u ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if Admission.try_admit u.u_admission then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Unix.sleepf 0.0005;
+      go ()
+    end
+  in
+  go ()
+
+(* Route (or re-route, after a failure) a flight: first untried shard
+   in ring order from the key's owner.  Exhausting the ring yields the
+   typed error — the router stays up and says so. *)
+let rec dispatch t fl =
+  let candidates =
+    List.filter
+      (fun name -> not (List.mem name fl.f_tried))
+      (Ring.successors t.ring fl.f_key)
+  in
+  match candidates with
+  | [] ->
+      let oracle =
+        match fl.f_tried with name :: _ -> "shard-" ^ name | [] -> "shard"
+      in
+      finish_flight fl
+        (local_response t ~id:fl.f_orig_id
+           (Error
+              (Request.Oracle_unavailable
+                 { oracle; attempts = max 1 fl.f_attempts })))
+  | name :: _ -> (
+      let u = List.assoc name t.upstreams in
+      if not (admit_within u ~timeout_s:t.queue_timeout_s) then begin
+        Mutex.lock t.lock;
+        t.sheds <- t.sheds + 1;
+        Mutex.unlock t.lock;
+        finish_flight fl
+          (local_response t ~id:fl.f_orig_id
+             (Error
+                (Request.Overloaded { limit = Admission.window u.u_admission })))
+      end
+      else
+        match try_send_on t fl u with
+        | `Sent _ -> ()
+        | `Down ->
+            Admission.release u.u_admission;
+            Mutex.lock t.lock;
+            if not (List.mem name fl.f_tried) then
+              fl.f_tried <- name :: fl.f_tried;
+            t.failovers <- t.failovers + 1;
+            Mutex.unlock t.lock;
+            dispatch t fl)
+
+(* ------------------------------------------------------------------ *)
+(* Upstream manager: owns the connection to one shard — connect (with
+   retry while the supervisor respawns it), read responses, and on any
+   failure fail the outstanding uids over to siblings. *)
+
+let fail_outstanding t (u : upstream) ~gen =
+  let failed = ref [] in
+  Mutex.lock t.lock;
+  Hashtbl.iter
+    (fun uid p ->
+      if p.p_up == u && p.p_gen = gen then failed := (uid, p) :: !failed)
+    t.pending;
+  List.iter (fun (uid, _) -> Hashtbl.remove t.pending uid) !failed;
+  Mutex.unlock t.lock;
+  List.iter
+    (fun (_, p) ->
+      Admission.release u.u_admission;
+      let fl = p.p_flight in
+      let live =
+        Mutex.lock t.lock;
+        let live = not fl.f_done in
+        Mutex.unlock t.lock;
+        live
+      in
+      if live then dispatch t fl)
+    !failed
+
+let handle_response t line =
+  match uid_of_line line with
+  | None -> () (* unparsable response line: nothing to correlate *)
+  | Some uid -> (
+      Mutex.lock t.lock;
+      let p = Hashtbl.find_opt t.pending uid in
+      (match p with Some _ -> Hashtbl.remove t.pending uid | None -> ());
+      let deliver =
+        match p with
+        | None -> None (* hedge loser or stale generation: bytes dropped *)
+        | Some p ->
+            Admission.release p.p_up.u_admission;
+            if p.p_flight.f_done then None
+            else begin
+              p.p_flight.f_done <- true;
+              if p.p_flight.f_hedge_uid = uid then
+                t.hedge_wins <- t.hedge_wins + 1;
+              Some p.p_flight
+            end
+      in
+      Mutex.unlock t.lock;
+      match deliver with
+      | None -> ()
+      | Some fl -> finish_flight fl (rewrite_id line ~id:fl.f_orig_id))
+
+let upstream_manager t (u : upstream) =
+  let draining () =
+    Mutex.lock t.lock;
+    let d = t.drained in
+    Mutex.unlock t.lock;
+    d
+  in
+  let rec loop () =
+    if draining () then ()
+    else
+      match Proc.connect ~host:u.u_host ~port:u.u_port () with
+      | Error _ ->
+          Unix.sleepf 0.05;
+          loop ()
+      | Ok fd ->
+          let gen =
+            Mutex.lock t.lock;
+            u.u_gen <- u.u_gen + 1;
+            u.u_fd <- Some fd;
+            let g = u.u_gen in
+            Mutex.unlock t.lock;
+            g
+          in
+          let reader = Frame.reader ~max_line:t.max_line fd in
+          let rec read_loop () =
+            match Frame.read reader with
+            | Frame.Line line ->
+                handle_response t line;
+                read_loop ()
+            | Frame.Oversized _ -> read_loop ()
+            | Frame.Truncated _ | Frame.Eof -> ()
+          in
+          read_loop ();
+          (* the shard is gone (crash, kill -9, drain): detach the fd,
+             fail the outstanding flights over to siblings, reconnect *)
+          Mutex.lock t.lock;
+          if u.u_gen = gen then u.u_fd <- None;
+          Mutex.unlock t.lock;
+          Mutex.lock u.u_wlock;
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Mutex.unlock u.u_wlock;
+          fail_outstanding t u ~gen;
+          loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Hedging: a scanner wakes every hedge_after/4 and duplicates any
+   old-enough un-hedged flight to the ring sibling.  First response
+   wins; the loser's answer is dropped on arrival but its questions
+   were asked and stay in the shard's ledger — hedges trade duplicate
+   work for tail latency, and the merge protocol keeps the trade
+   visible. *)
+
+let hedge_scan t ~hedge_after_s =
+  let now = Unix.gettimeofday () in
+  let stale = ref [] in
+  Mutex.lock t.lock;
+  Hashtbl.iter
+    (fun _ p ->
+      let fl = p.p_flight in
+      if
+        (not fl.f_done)
+        && (not fl.f_hedged)
+        && now -. fl.f_sent_at > hedge_after_s
+        && not (List.memq fl !stale)
+      then stale := fl :: !stale)
+    t.pending;
+  (* claim under the lock so two scans never double-hedge a flight *)
+  List.iter (fun fl -> fl.f_hedged <- true) !stale;
+  Mutex.unlock t.lock;
+  List.iter
+    (fun fl ->
+      let sibling =
+        List.find_opt
+          (fun name -> not (List.mem name fl.f_tried))
+          (Ring.successors t.ring fl.f_key)
+      in
+      match sibling with
+      | None -> () (* nowhere to hedge to *)
+      | Some name ->
+          let u = List.assoc name t.upstreams in
+          (* never queue for a hedge: if the sibling's window is full,
+             duplicating work would only deepen the overload *)
+          if Admission.try_admit u.u_admission then begin
+            match try_send_on t fl u with
+            | `Sent uid ->
+                Mutex.lock t.lock;
+                fl.f_hedge_uid <- uid;
+                t.hedges_fired <- t.hedges_fired + 1;
+                Mutex.unlock t.lock
+            | `Down -> Admission.release u.u_admission
+          end)
+    !stale
+
+let hedge_loop t ~hedge_after_s =
+  let rec loop () =
+    Mutex.lock t.lock;
+    let d = t.drained in
+    Mutex.unlock t.lock;
+    if not d then begin
+      hedge_scan t ~hedge_after_s;
+      Unix.sleepf (Float.max 0.002 (hedge_after_s /. 4.));
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* The stats op: fan out to every shard on fresh one-shot connections,
+   merge with Ledger_merge, append the router's own question-free row.
+   Rare and synchronous on the asking client's reader thread. *)
+
+let router_ledger t =
+  Mutex.lock t.lock;
+  let l =
+    Request.ledger
+      ~node:(Printf.sprintf "router:%s:%d" t.host t.bound_port)
+      ~raw:0 ~tb:0 ~equiv:0 ~cache_hits:0 ~served:t.routed
+      ~hedges_fired:t.hedges_fired ~hedge_wins:t.hedge_wins ~sheds:t.sheds ()
+  in
+  Mutex.unlock t.lock;
+  l
+
+let stats_line =
+  Json.to_string (Request.to_json { Request.id = 0; payload = Request.Stats })
+
+let shard_ledgers t =
+  List.filter_map
+    (fun (_, u) ->
+      match
+        Proc.send_and_collect ~host:u.u_host ~port:u.u_port ~timeout_s:5.0
+          [ stats_line ]
+      with
+      | Ok (line :: _) -> Ledger_merge.of_response_line line
+      | Ok [] | Error _ -> None)
+    t.upstreams
+
+let merged_ledger t =
+  let shards = shard_ledgers t in
+  (Ledger_merge.sum ~node:"cluster" (router_ledger t :: shards), shards)
+
+let serve_stats t client ~id =
+  let cluster, shards = merged_ledger t in
+  enqueue client
+    (local_response t ~id (Ok (Request.Ledger_report { cluster; shards })))
+
+(* ------------------------------------------------------------------ *)
+(* Client side *)
+
+let handle_request t client line ~line_no =
+  match Request.decode_line ~default_id:line_no line with
+  | `Empty -> ()
+  | `Error resp ->
+      (* malformed lines are answered here — a broken client costs the
+         shards nothing *)
+      enqueue client
+        (Json.to_string (Request.response_to_json ~stats:t.cfg_stats resp))
+  | `Request req -> (
+      match req.Request.payload with
+      | Request.Stats -> serve_stats t client ~id:req.Request.id
+      | payload ->
+          let fl =
+            {
+              f_client = client;
+              f_orig_id = req.Request.id;
+              f_payload = payload;
+              f_key = key_of payload;
+              f_sent_at = Unix.gettimeofday ();
+              f_done = false;
+              f_hedged = false;
+              f_attempts = 0;
+              f_tried = [];
+              f_hedge_uid = -1;
+            }
+          in
+          Mutex.lock client.c_lock;
+          client.c_outstanding <- client.c_outstanding + 1;
+          Mutex.unlock client.c_lock;
+          Mutex.lock t.lock;
+          t.routed <- t.routed + 1;
+          Mutex.unlock t.lock;
+          dispatch t fl)
+
+let client_reader t client =
+  let reader = Frame.reader ~max_line:t.max_line client.c_fd in
+  let line_no = ref 0 in
+  let rec loop () =
+    match Frame.read reader with
+    | Frame.Line line ->
+        incr line_no;
+        handle_request t client line ~line_no:!line_no;
+        loop ()
+    | Frame.Oversized n ->
+        incr line_no;
+        enqueue client
+          (local_response t ~id:!line_no
+             (Error
+                (Request.Parse_error
+                   (Printf.sprintf "line of %d bytes exceeds max-line %d" n
+                      t.max_line))));
+        loop ()
+    | Frame.Truncated _ | Frame.Eof ->
+        Mutex.lock client.c_lock;
+        client.c_eof <- true;
+        Condition.broadcast client.c_cond;
+        Mutex.unlock client.c_lock
+  in
+  loop ()
+
+let accept_loop t =
+  let stopping () =
+    Mutex.lock t.lock;
+    let s = t.drained in
+    Mutex.unlock t.lock;
+    s
+  in
+  let rec loop () =
+    if stopping () then ()
+    else
+      match Unix.select [ t.listen_fd ] [] [] 0.05 with
+      | [], _, _ -> loop ()
+      | _ -> (
+          match Unix.accept t.listen_fd with
+          | fd, _addr ->
+              (try Unix.setsockopt fd Unix.TCP_NODELAY true
+               with Unix.Unix_error _ -> ());
+              let client =
+                {
+                  c_fd = fd;
+                  c_lock = Mutex.create ();
+                  c_cond = Condition.create ();
+                  c_queue = Queue.create ();
+                  c_outstanding = 0;
+                  c_eof = false;
+                  c_dead = false;
+                  c_writer = None;
+                  c_reader = None;
+                }
+              in
+              client.c_writer <- Some (Thread.create client_writer client);
+              client.c_reader <-
+                Some (Thread.create (fun () -> client_reader t client) ());
+              Mutex.lock t.lock;
+              t.accepted <- t.accepted + 1;
+              t.clients <- client :: t.clients;
+              Mutex.unlock t.lock;
+              loop ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error (_, _, _) -> ()
+  in
+  loop ()
+
+let register_expo t =
+  Obs.Expo.register "cluster_router" (fun () ->
+      Mutex.lock t.lock;
+      let up =
+        List.fold_left
+          (fun a (_, u) -> if u.u_fd <> None then a + 1 else a)
+          0 t.upstreams
+      in
+      let routed = t.routed
+      and hf = t.hedges_fired
+      and hw = t.hedge_wins
+      and sheds = t.sheds in
+      let rows =
+        List.concat_map
+          (fun (name, u) ->
+            [
+              Obs.Expo.Labeled_gauge
+                {
+                  name = "cluster_shard_up";
+                  help = "1 while the router holds a live shard connection";
+                  labels = [ ("shard", name) ];
+                  value = (if u.u_fd <> None then 1.0 else 0.0);
+                };
+              Obs.Expo.Labeled_gauge
+                {
+                  name = "cluster_shard_inflight";
+                  help = "requests in flight to the shard";
+                  labels = [ ("shard", name) ];
+                  value = float_of_int (Admission.inflight u.u_admission);
+                };
+            ])
+          t.upstreams
+      in
+      Mutex.unlock t.lock;
+      [
+        Obs.Expo.Gauge
+          {
+            name = "cluster_shards_up";
+            help = "shards the router is currently connected to";
+            value = float_of_int up;
+          };
+        Obs.Expo.Counter
+          {
+            name = "cluster_routed";
+            help = "requests forwarded to shards";
+            value = routed;
+          };
+        Obs.Expo.Counter
+          {
+            name = "cluster_hedges_fired";
+            help = "hedged duplicates sent to a sibling shard";
+            value = hf;
+          };
+        Obs.Expo.Counter
+          {
+            name = "cluster_hedge_wins";
+            help = "responses where the hedge beat the primary";
+            value = hw;
+          };
+        Obs.Expo.Counter
+          {
+            name = "cluster_router_sheds";
+            help = "requests shed because a shard window stayed full";
+            value = sheds;
+          };
+      ]
+      @ rows)
+
+(* ------------------------------------------------------------------ *)
+
+let start ?(host = "127.0.0.1") ?(port = 0) ?(window = 64) ?hedge_after_s
+    ?(queue_timeout_s = 0.25) ?(max_line = Frame.default_max_line)
+    ?(stats = true) ?metrics_port ~shards () =
+  if shards = [] then invalid_arg "Router.start: no shards";
+  Frame.ignore_sigpipe ();
+  let upstreams =
+    List.map
+      (fun (h, p) ->
+        let name = Printf.sprintf "%s:%d" h p in
+        ( name,
+          {
+            u_host = h;
+            u_port = p;
+            u_name = name;
+            u_admission = Admission.create ~window;
+            u_wlock = Mutex.create ();
+            u_fd = None;
+            u_gen = 0;
+            u_thread = None;
+          } ))
+      shards
+  in
+  let ring = Ring.create (List.map fst upstreams) in
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.listen listen_fd 128
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  let t =
+    {
+      listen_fd;
+      bound_port;
+      host;
+      ring;
+      upstreams;
+      cfg_stats = stats;
+      max_line;
+      hedge_after_s;
+      queue_timeout_s;
+      lock = Mutex.create ();
+      pending = Hashtbl.create 256;
+      next_uid = 1;
+      routed = 0;
+      hedges_fired = 0;
+      hedge_wins = 0;
+      sheds = 0;
+      failovers = 0;
+      clients = [];
+      accepted = 0;
+      drained = false;
+      accept_thread = None;
+      hedge_thread = None;
+      expo = None;
+      expo_source = None;
+    }
+  in
+  t.expo_source <- Some (register_expo t);
+  (match metrics_port with
+  | None -> ()
+  | Some mp ->
+      let metrics () = ("text/plain; version=0.0.4", Obs.Expo.render_all ()) in
+      t.expo <-
+        Some
+          (Expo_server.start ~host ~port:mp
+             ~routes:[ ("/metrics", metrics); ("/", metrics) ]
+             ()));
+  List.iter
+    (fun (_, u) ->
+      u.u_thread <- Some (Thread.create (fun () -> upstream_manager t u) ()))
+    t.upstreams;
+  (match hedge_after_s with
+  | Some h when h > 0.0 ->
+      t.hedge_thread <-
+        Some (Thread.create (fun () -> hedge_loop t ~hedge_after_s:h) ())
+  | _ -> ());
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t
+
+let port t = t.bound_port
+let metrics_port t = Option.map Expo_server.port t.expo
+
+type counters = {
+  routed : int;
+  hedges_fired : int;
+  hedge_wins : int;
+  sheds : int;
+  failovers : int;
+  shards_up : int;
+}
+
+let counters t =
+  Mutex.lock t.lock;
+  let c =
+    {
+      routed = t.routed;
+      hedges_fired = t.hedges_fired;
+      hedge_wins = t.hedge_wins;
+      sheds = t.sheds;
+      failovers = t.failovers;
+      shards_up =
+        List.fold_left
+          (fun a (_, u) -> if u.u_fd <> None then a + 1 else a)
+          0 t.upstreams;
+    }
+  in
+  Mutex.unlock t.lock;
+  c
+
+let drain ?(timeout_s = 30.0) t =
+  Mutex.lock t.lock;
+  let already = t.drained in
+  t.drained <- true;
+  Mutex.unlock t.lock;
+  if already then `Clean
+  else begin
+    (match t.expo with Some e -> Expo_server.stop e | None -> ());
+    (match t.expo_source with
+    | Some s ->
+        Obs.Expo.unregister s;
+        t.expo_source <- None
+    | None -> ());
+    (match t.accept_thread with
+    | Some th ->
+        Thread.join th;
+        t.accept_thread <- None
+    | None -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (match t.hedge_thread with
+    | Some th ->
+        Thread.join th;
+        t.hedge_thread <- None
+    | None -> ());
+    Mutex.lock t.lock;
+    let clients = t.clients in
+    t.clients <- [];
+    Mutex.unlock t.lock;
+    (* half-close every client: its reader sees EOF, its writer drains
+       the owed responses as the shards answer them *)
+    List.iter
+      (fun c ->
+        try Unix.shutdown c.c_fd Unix.SHUTDOWN_RECEIVE
+        with Unix.Unix_error _ -> ())
+      clients;
+    let finished c =
+      Mutex.lock c.c_lock;
+      let f =
+        c.c_dead
+        || (c.c_eof && c.c_outstanding = 0 && Queue.is_empty c.c_queue)
+      in
+      Mutex.unlock c.c_lock;
+      f
+    in
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    let rec wait () =
+      if List.for_all finished clients then `Clean
+      else if Unix.gettimeofday () > deadline then begin
+        let stuck = List.filter (fun c -> not (finished c)) clients in
+        List.iter
+          (fun c ->
+            Mutex.lock c.c_lock;
+            c.c_dead <- true;
+            Condition.broadcast c.c_cond;
+            Mutex.unlock c.c_lock)
+          stuck;
+        `Forced (List.length stuck)
+      end
+      else begin
+        Unix.sleepf 0.002;
+        wait ()
+      end
+    in
+    let outcome = wait () in
+    List.iter
+      (fun c ->
+        (match c.c_reader with Some th -> Thread.join th | None -> ());
+        match c.c_writer with Some th -> Thread.join th | None -> ())
+      clients;
+    (* upstream managers exit at their next poll; unblock the ones
+       parked in a read by shutting the sockets down *)
+    List.iter
+      (fun (_, u) ->
+        Mutex.lock t.lock;
+        let fd = u.u_fd in
+        Mutex.unlock t.lock;
+        match fd with
+        | Some fd -> (
+            try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        | None -> ())
+      t.upstreams;
+    List.iter
+      (fun (_, u) ->
+        match u.u_thread with
+        | Some th ->
+            Thread.join th;
+            u.u_thread <- None
+        | None -> ())
+      t.upstreams;
+    outcome
+  end

@@ -513,6 +513,7 @@ let payload_op : Request.payload -> string = function
   | Request.Tree _ -> "tree"
   | Request.Program _ -> "program"
   | Request.Rql _ -> "rql"
+  | Request.Stats -> "stats"
 
 let error_kind : Request.error -> string = function
   | Request.Parse_error _ -> "parse_error"
@@ -694,6 +695,11 @@ let eval_payload ~tr ~shared ~compile entry (payload : Request.payload) :
             | Rql.Rql_eval.Levels levels -> Ok (Request.Levels levels)
             | exception Rql.Rql_eval.Error msg ->
                 Error (Request.Ill_formed msg)))
+  | Request.Stats ->
+      (* Unreachable through [handle]: stats has no instance, so it is
+         answered at the door before evaluation.  Kept total so a direct
+         caller gets a typed error rather than a crash. *)
+      Error (Request.Bad_request "stats is answered by the serving tier")
 
 (* Def. 3.9 accounting reads the {e base} instance's counters, not the
    wrapper's: the wrapper's T_B/≅_B counters tick on every consult of
@@ -732,6 +738,22 @@ let trace_begin t (req : Request.t) ~instance entry_opt queued_s =
       | Some q when Obs.Trace.active c ->
           Obs.Trace.synthetic c "queue" ~start_s:(-.q) ~dur_s:q ~attrs:[]
       | _ -> ())
+
+(* The engine-wide Def. 3.9 ledger: per-oracle breakdown summed over
+   every instance constructed so far.  Unforced entries have asked
+   nothing, so skipping them keeps the sum exact. *)
+let ledger_counts t =
+  List.fold_left
+    (fun (raw, tb, eq, hits) (_, entry) ->
+      if Lazy.is_val entry then (
+        let e = Lazy.force entry in
+        let tb', eq' = Hs.Hsdb.oracle_calls e.base in
+        ( raw + Rdb.Database.oracle_calls e.raw_db,
+          tb + tb',
+          eq + eq',
+          hits + (Oracle_cache.total_stats e.caches).Oracle_cache.hits ))
+      else (raw, tb, eq, hits))
+    (0, 0, 0, 0) t.entries
 
 (* Every handle call is total: the budget/deadline guard turns unbounded
    evaluations into typed errors, transient oracle outages are retried
@@ -868,6 +890,20 @@ let handle ?queued_s t (req : Request.t) : Request.response =
               match req.Request.payload with
               | Request.Classes { db_type; rank } ->
                   total_eval (fun () -> eval_classes ~db_type ~rank)
+              | Request.Stats ->
+                  (* Answered at the door: reporting the ledger asks no
+                     questions, so it bypasses budgets, retries and the
+                     shared memo (the answer is not deterministic in the
+                     payload). *)
+                  let raw, tb, equiv, cache_hits = ledger_counts t in
+                  Ok
+                    (Request.Ledger_report
+                       {
+                         cluster =
+                           Request.ledger ~node:"engine" ~raw ~tb ~equiv
+                             ~cache_hits ();
+                         shards = [];
+                       })
               | _ ->
                   (* unreachable: instance payloads resolved above *)
                   Error (Request.Ill_formed "no instance resolved"))
@@ -881,14 +917,8 @@ let traces t =
   match t.trace with None -> [] | Some c -> Obs.Trace.traces c
 
 let question_count t =
-  List.fold_left
-    (fun acc (_, entry) ->
-      if Lazy.is_val entry then (
-        let e = Lazy.force entry in
-        let tb, eq = Hs.Hsdb.oracle_calls e.base in
-        acc + Rdb.Database.oracle_calls e.raw_db + tb + eq)
-      else acc)
-    0 t.entries
+  let raw, tb, eq, _ = ledger_counts t in
+  raw + tb + eq
 
 let shared_stats t = Option.map Shared_memo.stats t.shared
 

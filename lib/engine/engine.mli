@@ -113,6 +113,10 @@ val question_count : t -> int
     summed over every instance touched.  Memo hits — private or shared
     — are not questions and are not counted. *)
 
+val ledger_counts : t -> int * int * int * int
+(** The {!question_count} breakdown [(raw, tb, equiv, cache_hits)] —
+    what a [stats] request reports and the cluster router sums. *)
+
 val shared_stats : t -> Shared_memo.stats option
 (** Hit/miss statistics of the shared memo layer, when one was passed
     to {!create}.  The layer may be shared with other engines; the

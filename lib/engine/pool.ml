@@ -70,8 +70,14 @@ type t = {
   alive : int Atomic.t;
   deaths : int Atomic.t;
   respawns_left : int Atomic.t;
-  retired_questions : int Atomic.t;
-      (* Def. 3.9 questions asked by engines of dead workers *)
+  retired_raw : int Atomic.t;
+      (* Def. 3.9 breakdown of questions asked by engines of dead
+         workers: raw Rᵢ / T_B / ≅_B questions and cache hits, folded
+         in at death so the pool ledger never loses a crashed worker's
+         spending *)
+  retired_tb : int Atomic.t;
+  retired_equiv : int Atomic.t;
+  retired_hits : int Atomic.t;
   shared : Shared_memo.t option;
   cache_capacity : int option;
   engine_config : Engine.config option;
@@ -266,9 +272,11 @@ let rec worker_main pool slot_idx () =
      Metrics.incr pool.m_deaths;
      (match slot.engine with
      | Some engine ->
-         ignore
-           (Atomic.fetch_and_add pool.retired_questions
-              (Engine.question_count engine));
+         let raw, tb, eq, hits = Engine.ledger_counts engine in
+         ignore (Atomic.fetch_and_add pool.retired_raw raw);
+         ignore (Atomic.fetch_and_add pool.retired_tb tb);
+         ignore (Atomic.fetch_and_add pool.retired_equiv eq);
+         ignore (Atomic.fetch_and_add pool.retired_hits hits);
          slot.engine <- None
      | None -> ());
      (match slot.inflight with
@@ -322,7 +330,10 @@ let create ?domains ?cache_capacity ?engine_config ?crash_on
       alive = Atomic.make 0;
       deaths = Atomic.make 0;
       respawns_left = Atomic.make max_respawns;
-      retired_questions = Atomic.make 0;
+      retired_raw = Atomic.make 0;
+      retired_tb = Atomic.make 0;
+      retired_equiv = Atomic.make 0;
+      retired_hits = Atomic.make 0;
       shared =
         (match shared with
         | Some _ -> shared (* caller-owned, e.g. pre-seeded from a store *)
@@ -450,14 +461,23 @@ let submit pool request on_response =
   dispatch pool ~caller:"Pool.submit"
     [| { request; index = 0; owner; enqueued_at = stamp pool } |]
 
-let oracle_questions pool =
+let ledger_counts pool =
   Array.fold_left
-    (fun acc slot ->
+    (fun (raw, tb, eq, hits) slot ->
       match slot.engine with
-      | Some e -> acc + Engine.question_count e
-      | None -> acc)
-    (Atomic.get pool.retired_questions)
+      | Some e ->
+          let r, t, q, h = Engine.ledger_counts e in
+          (raw + r, tb + t, eq + q, hits + h)
+      | None -> (raw, tb, eq, hits))
+    ( Atomic.get pool.retired_raw,
+      Atomic.get pool.retired_tb,
+      Atomic.get pool.retired_equiv,
+      Atomic.get pool.retired_hits )
     pool.slots
+
+let oracle_questions pool =
+  let raw, tb, eq, _ = ledger_counts pool in
+  raw + tb + eq
 
 let shared_stats pool = Option.map Shared_memo.stats pool.shared
 let shared_memo pool = pool.shared

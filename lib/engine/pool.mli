@@ -139,6 +139,11 @@ val oracle_questions : t -> int
     otherwise.  With sharing on, this is the number the E26 bench
     compares against the sequential engine's {!Engine.question_count}. *)
 
+val ledger_counts : t -> int * int * int * int
+(** The {!oracle_questions} breakdown [(raw, tb, equiv, cache_hits)]
+    summed over live and retired worker engines — what a [stats]
+    request served by this pool reports. *)
+
 val shared_stats : t -> Shared_memo.stats option
 (** Hit/miss statistics of the pool's shared memo layer ([None] when
     created with [~share:false]). *)

@@ -9,8 +9,42 @@ type payload =
   | Tree of { instance : string; depth : int }
   | Program of { instance : string; program : string; fuel : int; cutoff : int }
   | Rql of { instance : string; text : string; cutoff : int; planner : planner }
+  | Stats
 
 type t = { id : int; payload : payload }
+
+(* The cumulative Def. 3.9 question ledger of one serving node — what
+   the [stats] op reports and what the cluster router sums.  Questions
+   are the paper's genuine oracle questions (raw Rᵢ + T_B + ≅_B); the
+   hedge/shed fields are router-side and identically zero on a shard,
+   which is what makes the merge a plain componentwise sum. *)
+type ledger = {
+  l_node : string;
+  l_questions : int;
+  l_raw : int;
+  l_tb : int;
+  l_equiv : int;
+  l_cache_hits : int;
+  l_served : int;
+  l_hedges_fired : int;
+  l_hedge_wins : int;
+  l_sheds : int;
+}
+
+let ledger ?(served = 0) ?(hedges_fired = 0) ?(hedge_wins = 0) ?(sheds = 0)
+    ~node ~raw ~tb ~equiv ~cache_hits () =
+  {
+    l_node = node;
+    l_questions = raw + tb + equiv;
+    l_raw = raw;
+    l_tb = tb;
+    l_equiv = equiv;
+    l_cache_hits = cache_hits;
+    l_served = served;
+    l_hedges_fired = hedges_fired;
+    l_hedge_wins = hedge_wins;
+    l_sheds = sheds;
+  }
 
 type outcome =
   | Bool of bool
@@ -18,6 +52,7 @@ type outcome =
   | Rel of { rank : int; reps : Tuple.t list; members : Tuple.t list }
   | Levels of Tuple.t list list
   | Undefined
+  | Ledger_report of { cluster : ledger; shards : ledger list }
 
 type error =
   | Parse_error of string
@@ -110,6 +145,7 @@ let validate_payload = function
           (Bad_request
              (Printf.sprintf "cutoff must be in 0..%d" Bounds.max_cutoff))
       else Ok ()
+  | Stats -> Ok ()
 
 type response = {
   id : int;
@@ -125,7 +161,8 @@ type response = {
    [op "query": missing required field "instance"], not a bare
    [missing field]. *)
 
-let known_ops = [ "sentence"; "query"; "classes"; "tree"; "program"; "rql" ]
+let known_ops =
+  [ "sentence"; "query"; "classes"; "tree"; "program"; "rql"; "stats" ]
 
 let in_op op msg =
   match op with
@@ -224,6 +261,7 @@ let of_json ?(default_id = 0) j =
                       "field \"planner\" must be \"cost\" or \"naive\""))
         in
         Ok (Rql { instance; text; cutoff; planner })
+    | "stats" -> Ok Stats
     | other ->
         Error
           (Bad_request
@@ -305,6 +343,7 @@ let to_json { id; payload } =
               (match planner with Plan_cost -> "cost" | Plan_naive -> "naive")
           );
         ]
+    | Stats -> [ ("op", Json.String "stats") ]
   in
   Json.Obj (("id", Json.Int id) :: fields)
 
@@ -312,6 +351,33 @@ let tuple_json u =
   Json.List (Array.to_list (Array.map (fun x -> Json.Int x) u))
 
 let tuples_json us = Json.List (List.map tuple_json us)
+
+let ledger_to_json l =
+  Json.Obj
+    [
+      ("node", Json.String l.l_node);
+      ("questions", Json.Int l.l_questions);
+      ("oracle_calls", Json.Int l.l_raw);
+      ("tb_calls", Json.Int l.l_tb);
+      ("equiv_calls", Json.Int l.l_equiv);
+      ("cache_hits", Json.Int l.l_cache_hits);
+      ("served", Json.Int l.l_served);
+      ("hedges_fired", Json.Int l.l_hedges_fired);
+      ("hedge_wins", Json.Int l.l_hedge_wins);
+      ("sheds", Json.Int l.l_sheds);
+    ]
+
+let ledger_of_json j =
+  let int k = match Json.member k j with Some (Json.Int i) -> Some i | _ -> None in
+  let int0 k = Option.value (int k) ~default:0 in
+  match (Json.member "node" j, int "oracle_calls") with
+  | Some (Json.String node), Some raw ->
+      Some
+        (ledger ~node ~raw ~tb:(int0 "tb_calls") ~equiv:(int0 "equiv_calls")
+           ~cache_hits:(int0 "cache_hits") ~served:(int0 "served")
+           ~hedges_fired:(int0 "hedges_fired") ~hedge_wins:(int0 "hedge_wins")
+           ~sheds:(int0 "sheds") ())
+  | _ -> None
 
 let outcome_to_json = function
   | Bool b -> Json.Obj [ ("kind", Json.String "bool"); ("value", Json.Bool b) ]
@@ -331,6 +397,13 @@ let outcome_to_json = function
           ("levels", Json.List (List.map tuples_json levels));
         ]
   | Undefined -> Json.Obj [ ("kind", Json.String "undefined") ]
+  | Ledger_report { cluster; shards } ->
+      Json.Obj
+        [
+          ("kind", Json.String "stats");
+          ("cluster", ledger_to_json cluster);
+          ("shards", Json.List (List.map ledger_to_json shards));
+        ]
 
 let error_to_string = function
   | Parse_error m -> Printf.sprintf "parse error: %s" m
@@ -397,4 +470,4 @@ let payload_instance = function
   | Program { instance; _ }
   | Rql { instance; _ } ->
       Some instance
-  | Classes _ -> None
+  | Classes _ | Stats -> None

@@ -46,8 +46,46 @@ type payload =
           over FO formulas plus a sentence/query/tree target.  [cutoff]
           bounds the member window of query targets (an inline
           [cutoff N] in the text wins). *)
+  | Stats
+      (** Report the serving node's cumulative question {!ledger}.
+          Answered by whichever tier receives it — an engine reports
+          its own counters, a server its pool-wide ledger, the cluster
+          router the componentwise sum over every shard — and asks
+          zero Def. 3.9 questions itself. *)
 
 type t = { id : int; payload : payload }
+
+(** The cumulative Def. 3.9 question ledger of one serving node, as
+    reported by the [stats] op and summed by the cluster router.
+    [l_questions = l_raw + l_tb + l_equiv] always; the hedge/shed
+    fields are zero except at a router, which is what makes
+    {!Ledger_merge.sum} in [lib/cluster] a plain componentwise sum. *)
+type ledger = {
+  l_node : string;  (** "engine", "host:port", or "cluster" *)
+  l_questions : int;  (** genuine questions: raw + T_B + ≅_B *)
+  l_raw : int;
+  l_tb : int;
+  l_equiv : int;
+  l_cache_hits : int;
+  l_served : int;  (** requests admitted past this node's door *)
+  l_hedges_fired : int;
+  l_hedge_wins : int;
+  l_sheds : int;
+}
+
+val ledger :
+  ?served:int ->
+  ?hedges_fired:int ->
+  ?hedge_wins:int ->
+  ?sheds:int ->
+  node:string ->
+  raw:int ->
+  tb:int ->
+  equiv:int ->
+  cache_hits:int ->
+  unit ->
+  ledger
+(** Smart constructor enforcing [l_questions = raw + tb + equiv]. *)
 
 type outcome =
   | Bool of bool
@@ -59,6 +97,10 @@ type outcome =
     }
   | Levels of Prelude.Tuple.t list list  (** T¹, T², ... *)
   | Undefined  (** the query/program denotes the undefined relation *)
+  | Ledger_report of { cluster : ledger; shards : ledger list }
+      (** Answer to {!Stats}: the answering node's own ledger in
+          [cluster], plus the per-shard breakdown when the answerer is
+          a router ([shards = []] on a single node). *)
 
 type error =
   | Parse_error of string
@@ -158,3 +200,9 @@ val response_to_json : ?stats:bool -> response -> Json.t
 val error_to_string : error -> string
 val payload_instance : payload -> string option
 (** The instance a request touches, if any. *)
+
+val ledger_to_json : ledger -> Json.t
+val ledger_of_json : Json.t -> ledger option
+(** Decode one ledger object as emitted by {!ledger_to_json}; [None]
+    when the ["node"]/["oracle_calls"] fields are missing or mistyped.
+    Missing optional fields default to zero, so older shards parse. *)

@@ -1,5 +1,17 @@
 let default_max_line = 1 lsl 20
 
+(* Any process writing to sockets it does not control the far end of —
+   server, router, load generator — must survive a peer that vanishes
+   mid-write; the default SIGPIPE disposition would kill the process
+   instead of surfacing EPIPE on the write. *)
+let ignore_sigpipe =
+  let armed =
+    lazy
+      (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+       with Invalid_argument _ | Sys_error _ -> ())
+  in
+  fun () -> Lazy.force armed
+
 type reader = {
   fd : Unix.file_descr;
   max_line : int;

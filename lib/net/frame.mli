@@ -40,3 +40,11 @@ val write_line : Unix.file_descr -> string -> unit
 (** Write [s] plus a newline, fully (one buffer, looped past short
     writes and EINTR).  Raises [Unix.Unix_error] — e.g. [EPIPE] — when
     the peer is gone; callers treat that as "client disconnected". *)
+
+val ignore_sigpipe : unit -> unit
+(** Set the process-wide SIGPIPE disposition to ignore (idempotent —
+    armed once per process).  Every long-lived writer of sockets it
+    does not own the far end of must call this before its first write:
+    a peer that dies mid-write then surfaces as [EPIPE] on the write
+    — a typed, per-connection failure — instead of killing the whole
+    process.  {!Server.start} and the cluster router both call it. *)

@@ -110,10 +110,19 @@ let receiver st =
   in
   loop ()
 
-let run ?(host = "127.0.0.1") ~port ?(connections = 4) ?(requests = 400)
-    ?(pipeline = 1) ?rate ?build () =
+let run ?(host = "127.0.0.1") ~port ?endpoints ?(connections = 4)
+    ?(requests = 400) ?(pipeline = 1) ?rate ?build () =
   if connections < 1 then invalid_arg "Loadgen.run: connections < 1";
   if pipeline < 1 then invalid_arg "Loadgen.run: pipeline < 1";
+  (* Multi-endpoint mode: connection [c] dials [endpoints.(c mod k)], so
+     a cluster run spreads its connections round-robin over the shards
+     (or routers) while every other knob stays identical — BENCH rows
+     stay comparable between single-server and cluster runs. *)
+  let endpoints =
+    match endpoints with
+    | Some [] | None -> [| (host, port) |]
+    | Some eps -> Array.of_list eps
+  in
   let build =
     match build with
     | Some f -> f
@@ -125,7 +134,10 @@ let run ?(host = "127.0.0.1") ~port ?(connections = 4) ?(requests = 400)
      so successive runs — the E27 rows — never pollute each other's
      quantiles; nothing leaks into the process-wide registry. *)
   let hist = Obs.Histogram.create () in
-  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let addr_of c =
+    let h, p = endpoints.(c mod Array.length endpoints) in
+    Unix.ADDR_INET (Unix.inet_addr_of_string h, p)
+  in
   let connections = max 1 (min connections requests) in
   let states =
     List.filter_map
@@ -138,7 +150,7 @@ let run ?(host = "127.0.0.1") ~port ?(connections = 4) ?(requests = 400)
         else begin
           let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
           (try
-             Unix.connect fd addr;
+             Unix.connect fd (addr_of c);
              Unix.setsockopt fd Unix.TCP_NODELAY true
            with e ->
              (try Unix.close fd with Unix.Unix_error _ -> ());

@@ -37,6 +37,7 @@ type report = {
 val run :
   ?host:string ->
   port:int ->
+  ?endpoints:(string * int) list ->
   ?connections:int ->
   ?requests:int ->
   ?pipeline:int ->
@@ -52,7 +53,13 @@ val run :
     globally); its [id] is overwritten with a per-connection unique id
     for correlation.  The default workload is the E17 mixed batch
     ({!Engine_bench.build_batch}).  Blocks until every connection has
-    drained or lost its socket. *)
+    drained or lost its socket.
+
+    [endpoints] (multi-endpoint mode) spreads the connections
+    round-robin over a list of [(host, port)] pairs — connection [c]
+    dials [endpoints.(c mod k)] — so one run can drive a whole cluster
+    (shards directly, or several router front doors); when given and
+    non-empty it supersedes [host]/[port]. *)
 
 val report_to_json : report -> Json.t
 val pp_report : Format.formatter -> report -> unit

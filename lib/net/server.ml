@@ -19,13 +19,6 @@ type t = {
          unregistered on drain (tests start many servers per process) *)
 }
 
-(* A server must survive clients that disappear mid-write; the default
-   SIGPIPE disposition would kill the process instead. *)
-let ignore_sigpipe =
-  lazy
-    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
-     with Invalid_argument _ | Sys_error _ -> ())
-
 (* The loop polls with a short select timeout rather than blocking in
    accept(2): on Linux, closing the listening socket from another
    thread does not wake a blocked accept, so drain could never join
@@ -72,7 +65,7 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?domains ?(window = 64)
     ?(per_conn_window = 16) ?(max_line = Frame.default_max_line)
     ?(stats = true) ?cache_capacity ?engine_config ?tracing ?trace_capacity
     ?metrics_port ?store_dir ?snapshot_interval_s () =
-  Lazy.force ignore_sigpipe;
+  Frame.ignore_sigpipe ();
   (* Durability, when asked for: the snapshot is loaded into a memo
      layer *before* any worker exists, so the pool's first request
      already hits warm tables, and the journal's pending requests are
@@ -220,15 +213,38 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?domains ?(window = 64)
      wrapping it journals exactly the admitted requests — a shed
      touches neither the ledger nor the journal. *)
   let submit =
-    match store with
-    | None -> Pool.submit pool
-    | Some store ->
-        fun req k ->
-          let line = Json.to_string (Request.to_json req) in
-          let seq = Store.journal_admit store ~line in
-          Pool.submit pool req (fun resp ->
-              Store.journal_complete store seq;
-              k resp)
+    let base =
+      match store with
+      | None -> Pool.submit pool
+      | Some store ->
+          fun req k ->
+            let line = Json.to_string (Request.to_json req) in
+            let seq = Store.journal_admit store ~line in
+            Pool.submit pool req (fun resp ->
+                Store.journal_complete store seq;
+                k resp)
+    in
+    let node = Printf.sprintf "%s:%d" host bound_port in
+    fun (req : Request.t) k ->
+      match req.Request.payload with
+      | Request.Stats ->
+          (* Answered at the serving door, not evaluated: the pool-wide
+             ledger asks zero questions, bypasses the journal (replaying
+             a stats report would be meaningless) and reflects this
+             whole process — exactly what the cluster router sums. *)
+          let raw, tb, equiv, cache_hits = Pool.ledger_counts pool in
+          let cluster =
+            Request.ledger ~node ~raw ~tb ~equiv ~cache_hits
+              ~served:(Admission.admitted admission)
+              ~sheds:(Admission.shed admission) ()
+          in
+          k
+            {
+              Request.id = req.Request.id;
+              result = Ok (Request.Ledger_report { cluster; shards = [] });
+              stats = Request.zero_stats;
+            }
+      | _ -> base req k
   in
   let t =
     {

@@ -500,6 +500,12 @@ module Expo = struct
   type metric =
     | Counter of { name : string; help : string; value : int }
     | Gauge of { name : string; help : string; value : float }
+    | Labeled_gauge of {
+        name : string;
+        help : string;
+        labels : (string * string) list;
+        value : float;
+      }
     | Histo of { name : string; help : string; h : Histogram.t }
 
   let sanitize name =
@@ -527,7 +533,17 @@ module Expo = struct
       Printf.sprintf "%.0f" v
     else Printf.sprintf "%.9g" v
 
-  let add_metric buf m =
+  (* HELP/TYPE lines are emitted once per family even when a family has
+     many labeled samples (e.g. one cluster_shard_up row per shard) —
+     the exposition format forbids repeating them. *)
+  let add_header seen buf name help kind =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+
+  let add_metric seen buf m =
     match m with
     | Counter { name; help; value } ->
         let name = sanitize name in
@@ -538,18 +554,26 @@ module Expo = struct
           then name
           else name ^ "_total"
         in
-        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
-        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);
+        add_header seen buf name help "counter";
         Buffer.add_string buf (Printf.sprintf "%s %d\n" name value)
     | Gauge { name; help; value } ->
         let name = sanitize name in
-        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
-        Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
+        add_header seen buf name help "gauge";
         Buffer.add_string buf (Printf.sprintf "%s %s\n" name (fmt_float value))
+    | Labeled_gauge { name; help; labels; value } ->
+        let name = sanitize name in
+        add_header seen buf name help "gauge";
+        let pairs =
+          String.concat ","
+            (List.map
+               (fun (k, v) -> Printf.sprintf "%s=%S" (sanitize k) v)
+               labels)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%s{%s} %s\n" name pairs (fmt_float value))
     | Histo { name; help; h } ->
         let name = sanitize name ^ "_seconds" in
-        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
-        Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+        add_header seen buf name help "histogram";
         List.iter
           (fun le ->
             Buffer.add_string buf
@@ -565,7 +589,8 @@ module Expo = struct
 
   let render metrics =
     let buf = Buffer.create 1024 in
-    List.iter (add_metric buf) metrics;
+    let seen = Hashtbl.create 16 in
+    List.iter (add_metric seen buf) metrics;
     Buffer.contents buf
 
   (* The source registry.  Sources render in registration order;

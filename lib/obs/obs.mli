@@ -186,6 +186,16 @@ module Expo : sig
   type metric =
     | Counter of { name : string; help : string; value : int }
     | Gauge of { name : string; help : string; value : float }
+    | Labeled_gauge of {
+        name : string;
+        help : string;
+        labels : (string * string) list;
+        value : float;
+      }
+        (** One sample of a multi-sample gauge family (e.g. a
+            [cluster_shard_up{shard="0"}] row per shard).  HELP/TYPE
+            are emitted once per family within a render, however many
+            labeled samples it has. *)
     | Histo of { name : string; help : string; h : Histogram.t }
 
   val render : metric list -> string

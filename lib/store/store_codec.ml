@@ -258,6 +258,23 @@ let w_result_value buf (v : Shared_memo.result_value) =
         w_uint buf 3;
         w_list (w_list w_tuple) buf lvls
     | Request.Undefined -> w_uint buf 4
+    | Request.Ledger_report { cluster; shards } ->
+        (* Never memoized (stats is answered at the serving door, not
+           evaluated), so this only round-trips defensively. *)
+        let w_ledger (l : Request.ledger) =
+          w_string buf l.Request.l_node;
+          w_int buf l.Request.l_raw;
+          w_int buf l.Request.l_tb;
+          w_int buf l.Request.l_equiv;
+          w_int buf l.Request.l_cache_hits;
+          w_int buf l.Request.l_served;
+          w_int buf l.Request.l_hedges_fired;
+          w_int buf l.Request.l_hedge_wins;
+          w_int buf l.Request.l_sheds
+        in
+        w_uint buf 5;
+        w_ledger cluster;
+        w_list (fun _ l -> w_ledger l) buf shards
   in
   let w_error (e : Request.error) =
     match e with
@@ -316,6 +333,23 @@ let r_result_value r : Shared_memo.result_value =
         Request.Rel { rank; reps; members }
     | 3 -> Request.Levels (r_list (r_list r_tuple) r)
     | 4 -> Request.Undefined
+    | 5 ->
+        let r_ledger () =
+          let node = r_string r in
+          let raw = r_int r in
+          let tb = r_int r in
+          let equiv = r_int r in
+          let cache_hits = r_int r in
+          let served = r_int r in
+          let hedges_fired = r_int r in
+          let hedge_wins = r_int r in
+          let sheds = r_int r in
+          Request.ledger ~node ~raw ~tb ~equiv ~cache_hits ~served
+            ~hedges_fired ~hedge_wins ~sheds ()
+        in
+        let cluster = r_ledger () in
+        let shards = r_list (fun _ -> r_ledger ()) r in
+        Request.Ledger_report { cluster; shards }
     | n -> fail "bad outcome tag %d" n
   in
   let r_error () : Request.error =
