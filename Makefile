@@ -1,4 +1,4 @@
-.PHONY: all build test bench resilience-smoke parallel-smoke server-smoke obs-smoke rql-smoke store-smoke compile-smoke cluster-smoke check clean
+.PHONY: all build test bench resilience-smoke parallel-smoke server-smoke obs-smoke rql-smoke store-smoke compile-smoke cluster-smoke incomplete-smoke check clean
 
 all: build
 
@@ -77,7 +77,16 @@ compile-smoke:
 cluster-smoke:
 	dune exec bin/recdb.exe -- bench-cluster -o BENCH_cluster.json
 
-check: build test bench resilience-smoke parallel-smoke server-smoke obs-smoke rql-smoke store-smoke compile-smoke cluster-smoke
+# The E33 smoke: bench-incomplete (certain ⊆ exact ⊆ possible on the
+# demo open-world declarations, closed-world byte-identity, approximate
+# convergence, zero ledger overhead), then incomplete-smoke -- the same
+# claims exercised over a real socket, including the typo'd-field
+# counter and --default-mode.
+incomplete-smoke:
+	dune exec bin/recdb.exe -- bench-incomplete --requests 60 -o BENCH_incomplete.json
+	dune exec bin/recdb.exe -- incomplete-smoke
+
+check: build test bench resilience-smoke parallel-smoke server-smoke obs-smoke rql-smoke store-smoke compile-smoke cluster-smoke incomplete-smoke
 
 clean:
 	dune clean

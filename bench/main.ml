@@ -909,6 +909,7 @@ let bench_tests () =
             instance = "triangles";
             sentence = "exists x. exists y. R1(x, y)";
           };
+      mode = None;
     }
   in
   ignore (Engine.handle engine engine_req);

@@ -356,11 +356,86 @@ let compile_flag =
            on).  off keeps the tree-walk interpreters; answers and \
            per-request ledgers are byte-identical either way.")
 
+(* Completeness flags shared by serve-batch, serve and rql: which
+   stored relations are merely partial views (open), and which answer
+   mode a request gets when it doesn't say. *)
+let default_mode_flag =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("exact", Request.M_exact);
+             ("certain", Request.M_certain);
+             ("possible", Request.M_possible);
+             ( "approximate",
+               Request.M_approximate { budget = Request.default_budget } );
+           ])
+        Request.M_exact
+    & info [ "default-mode" ] ~docv:"MODE"
+        ~doc:
+          "Answer mode for requests that don't carry one: exact, certain, \
+           possible or approximate.  A mode on the wire (or an RQL 'mode' \
+           prefix) always wins.")
+
+let open_world_flag =
+  Arg.(
+    value & flag
+    & info [ "open-world" ]
+        ~doc:
+          "Apply the built-in demo completeness declarations (rado, mod3, \
+           unary012 and colored get open relations); an explicit --decl \
+           for the same instance overrides its demo entry.")
+
+let decl_flags =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "decl" ] ~docv:"INST=SPEC"
+        ~doc:
+          "Declare an instance's per-relation completeness, e.g. \
+           --decl 'mod3=R1 open known if R1(x1, x2)'.  Repeatable; \
+           relations left undeclared are total.")
+
+let decls_of_flags ~open_world ~decls =
+  let parse_one spec =
+    match String.index_opt spec '=' with
+    | None ->
+        Format.eprintf "--decl %S: expected INST=SPEC@." spec;
+        exit 1
+    | Some i -> (
+        let inst = String.trim (String.sub spec 0 i) in
+        let body = String.sub spec (i + 1) (String.length spec - i - 1) in
+        match Incomplete.Decl.parse body with
+        | Ok d -> (inst, d)
+        | Error msg ->
+            Format.eprintf "--decl %s: %s@." inst msg;
+            exit 1)
+  in
+  let explicit = List.map parse_one decls in
+  let demo =
+    if open_world then
+      List.filter_map
+        (fun (name, spec) ->
+          if List.mem_assoc name explicit then None
+          else
+            match Incomplete.Decl.parse spec with
+            | Ok d -> Some (name, d)
+            | Error msg ->
+                Format.eprintf "demo declaration %s: %s@." name msg;
+                exit 1)
+        Incomplete.Decl.demo
+    else []
+  in
+  explicit @ demo
+
 (* Resilience flags shared by serve-batch: None everywhere means "no
    guard installed" (the pre-resilience hot path, byte for byte). *)
-let engine_config_of_flags ~deadline_ms ~max_oracle_calls ~inject ~compile =
-  match (deadline_ms, max_oracle_calls, inject, compile) with
-  | None, None, None, true -> None
+let engine_config_of_flags ~deadline_ms ~max_oracle_calls ~inject ~compile
+    ?(decls = []) ?(default_mode = Request.M_exact) () =
+  match (deadline_ms, max_oracle_calls, inject, compile, decls, default_mode)
+  with
+  | None, None, None, true, [], Request.M_exact -> None
   | _ ->
       Some
         {
@@ -373,6 +448,8 @@ let engine_config_of_flags ~deadline_ms ~max_oracle_calls ~inject ~compile =
           faults =
             Option.map (fun seed -> Faulty_oracle.config ~seed ()) inject;
           compile;
+          decls;
+          default_mode;
         }
 
 let cmd_serve_batch =
@@ -437,7 +514,7 @@ let cmd_serve_batch =
              oracle_unavailable errors).")
   in
   let run file jobs metrics no_stats deadline_ms max_oracle_calls inject
-      compile trace trace_sample =
+      compile default_mode open_world decls trace trace_sample =
     if jobs < 1 then begin
       Format.eprintf "jobs must be >= 1@.";
       exit 1
@@ -445,6 +522,8 @@ let cmd_serve_batch =
     let ic = open_requests file in
     let config =
       engine_config_of_flags ~deadline_ms ~max_oracle_calls ~inject ~compile
+        ~decls:(decls_of_flags ~open_world ~decls)
+        ~default_mode ()
     in
     let sampling = sampling_of_flags ~trace ~trace_sample in
     (* One engine (or pool) for the whole run, created up front so
@@ -489,7 +568,14 @@ let cmd_serve_batch =
         match input_line ic with
         | line -> (
             let line_no = line_no + 1 in
-            match Request.decode_line ~default_id:line_no line with
+            match
+              Request.decode_line ~default_id:line_no
+                ~on_unknown:(fun field ->
+                  Format.eprintf
+                    "warning: line %d: unknown request field %S ignored@."
+                    line_no field)
+                line
+            with
             | `Empty -> fill acc n line_no
             | `Error resp -> fill (Either.Left resp :: acc) (n + 1) line_no
             | `Request req -> fill (Either.Right req :: acc) (n + 1) line_no)
@@ -531,8 +617,8 @@ let cmd_serve_batch =
     (Cmd.info "serve-batch" ~doc)
     Term.(
       const run $ file $ jobs $ metrics $ no_stats $ deadline_ms
-      $ max_oracle_calls $ inject $ compile_flag $ trace_flag
-      $ trace_sample_arg)
+      $ max_oracle_calls $ inject $ compile_flag $ default_mode_flag
+      $ open_world_flag $ decl_flags $ trace_flag $ trace_sample_arg)
 
 (* ------------------------------------------------------------------ *)
 (* The TCP front-end                                                   *)
@@ -664,14 +750,17 @@ let cmd_serve =
              ephemeral --port 0.")
   in
   let run host port jobs window per_conn_window max_line no_stats
-      drain_timeout deadline_ms max_oracle_calls inject compile metrics_port
-      store_dir snapshot_interval port_file trace trace_sample =
+      drain_timeout deadline_ms max_oracle_calls inject compile default_mode
+      open_world decls metrics_port store_dir snapshot_interval port_file
+      trace trace_sample =
     if window < 1 || per_conn_window < 1 || max_line < 1 then begin
       Format.eprintf "window, per-conn-window and max-line must be >= 1@.";
       exit 1
     end;
     let config =
       engine_config_of_flags ~deadline_ms ~max_oracle_calls ~inject ~compile
+        ~decls:(decls_of_flags ~open_world ~decls)
+        ~default_mode ()
     in
     let tracing = sampling_of_flags ~trace ~trace_sample in
     let server =
@@ -728,7 +817,8 @@ let cmd_serve =
     Term.(
       const run $ host_arg $ port $ jobs $ window_arg $ per_conn_window_arg
       $ max_line $ no_stats $ drain_timeout $ deadline_ms $ max_oracle_calls
-      $ inject $ compile_flag $ metrics_port $ store_dir $ snapshot_interval
+      $ inject $ compile_flag $ default_mode_flag $ open_world_flag
+      $ decl_flags $ metrics_port $ store_dir $ snapshot_interval
       $ port_file $ trace_flag $ trace_sample_arg)
 
 let cmd_loadgen =
@@ -740,9 +830,10 @@ let cmd_loadgen =
   in
   let port =
     Arg.(
-      required
+      value
       & opt (some int) None
-      & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"Server port (required unless --endpoints is given).")
   in
   let connections =
     Arg.(
@@ -767,15 +858,61 @@ let cmd_loadgen =
       & info [ "rate" ] ~docv:"RPS"
           ~doc:"Open loop: requests/second per connection.")
   in
-  let run host port connections requests pipeline rate =
+  let endpoints =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "endpoints" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Dial these addresses round-robin per connection instead of \
+             --host/--port — e.g. shard listeners directly, bypassing the \
+             router.  Repeatable.")
+  in
+  let run host port connections requests pipeline rate endpoints =
+    let endpoints =
+      match endpoints with
+      | [] -> None
+      | specs ->
+          Some
+            (List.map
+               (fun spec ->
+                 match String.rindex_opt spec ':' with
+                 | None ->
+                     Format.eprintf "--endpoints %S: expected HOST:PORT@."
+                       spec;
+                     exit 1
+                 | Some i -> (
+                     let h = String.sub spec 0 i in
+                     let p =
+                       String.sub spec (i + 1) (String.length spec - i - 1)
+                     in
+                     match int_of_string_opt p with
+                     | Some p -> (h, p)
+                     | None ->
+                         Format.eprintf "--endpoints %S: bad port %S@." spec
+                           p;
+                         exit 1))
+               specs)
+    in
+    let port =
+      match (port, endpoints) with
+      | Some p, _ -> p
+      | None, Some _ -> 0 (* every connection dials an endpoint *)
+      | None, None ->
+          Format.eprintf "loadgen: --port or --endpoints is required@.";
+          exit 1
+    in
     let report =
-      Loadgen.run ~host ~port ~connections ~requests ~pipeline ?rate ()
+      Loadgen.run ~host ~port ~connections ~requests ~pipeline ?rate
+        ?endpoints ()
     in
     Format.printf "%a@." Loadgen.pp_report report;
     if report.Loadgen.lost > 0 then exit 1
   in
   Cmd.v (Cmd.info "loadgen" ~doc)
-    Term.(const run $ host_arg $ port $ connections $ requests $ pipeline $ rate)
+    Term.(
+      const run $ host_arg $ port $ connections $ requests $ pipeline $ rate
+      $ endpoints)
 
 let cmd_bench_server =
   let doc =
@@ -1431,16 +1568,22 @@ let cmd_rql =
              query {(x,y) | p(x,y)}'.  Omit to enter a REPL (one query \
              per line, blank line or EOF to quit).")
   in
-  let run inst cutoff naive explain query =
+  let run inst cutoff naive explain open_world decls query =
     if not (List.mem inst (Engine.instance_names ())) then begin
       Format.eprintf "unknown instance %S; try `recdb instances'@." inst;
       exit 1
     end;
     let planner = if naive then Request.Plan_naive else Request.Plan_cost in
     let mode = if naive then Rql.Rql_plan.Naive else Rql.Rql_plan.Planned in
+    let config =
+      engine_config_of_flags ~deadline_ms:None ~max_oracle_calls:None
+        ~inject:None ~compile:true
+        ~decls:(decls_of_flags ~open_world ~decls)
+        ()
+    in
     (* One engine for the whole run: in the REPL, later queries reuse
        earlier plans and materialized definitions. *)
-    let engine = Engine.create () in
+    let engine = Engine.create ?config () in
     let next_id = ref 0 in
     let pp_tuples ppf ts =
       Format.fprintf ppf "{%s}"
@@ -1456,10 +1599,8 @@ let cmd_rql =
       let before = Engine.question_count engine in
       let r =
         Engine.handle engine
-          {
-            Request.id = !next_id;
-            payload = Request.Rql { instance = inst; text; cutoff; planner };
-          }
+          (Request.make ~id:!next_id
+             (Request.Rql { instance = inst; text; cutoff; planner }))
       in
       (match r.Request.result with
       | Ok (Request.Bool b) -> Format.printf "%b@." b
@@ -1477,6 +1618,11 @@ let cmd_rql =
       | Ok (Request.Count n) -> Format.printf "%d@." n
       | Ok (Request.Ledger_report _) -> () (* rql never answers stats *)
       | Error e -> Format.printf "error: %s@." (Request.error_to_string e));
+      (match r.Request.cert with
+      | Request.Cert_exact -> ()
+      | c ->
+          Format.printf "-- certificate: %s@."
+            (Json.to_string (Request.certificate_to_json c)));
       Format.printf "-- %d oracle questions@."
         (Engine.question_count engine - before);
       Result.is_ok r.Request.result
@@ -1498,7 +1644,9 @@ let cmd_rql =
         if not (loop true) then exit 1
   in
   Cmd.v (Cmd.info "rql" ~doc)
-    Term.(const run $ inst $ cutoff $ naive $ explain $ query)
+    Term.(
+      const run $ inst $ cutoff $ naive $ explain $ open_world_flag
+      $ decl_flags $ query)
 
 let cmd_bench_rql =
   let doc =
@@ -2233,6 +2381,220 @@ let cmd_bench_cluster =
     (Cmd.info "bench-cluster" ~doc)
     Term.(const run $ out $ requests $ shards)
 
+let cmd_bench_incomplete =
+  let doc =
+    "Benchmark incompleteness-aware answering (E33): per-request mode \
+     containment certain \xe2\x8a\x86 exact \xe2\x8a\x86 possible on the \
+     demo open-world declarations, closed-world byte-identity across all \
+     four modes, approximate-mode convergence to the certain answer as \
+     the consult budget grows, and zero question-ledger overhead for the \
+     certificate machinery.  Exits 1 on any violation."
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Also write results as JSON.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 120
+      & info [ "requests" ] ~docv:"N" ~doc:"Workload size.")
+  in
+  let run out requests =
+    let r = Incomplete_bench.run ?out ~requests () in
+    if Incomplete_bench.violations r <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench-incomplete" ~doc)
+    Term.(const run $ out $ requests)
+
+let cmd_incomplete_smoke =
+  let doc =
+    "CI smoke for incompleteness-aware answering over the wire: start a \
+     server with the demo open-world declarations, send mode-carrying \
+     requests (wire field and RQL text prefix), and check the \
+     certain/exact/possible containment, the typed certificates, that an \
+     exact response carries no cert field, that a closed-world instance \
+     answers identically in every mode, that an unknown top-level field \
+     (a \"mod\" typo) is warn-and-count (scraped from /metrics), and \
+     that --default-mode applies to modeless requests.  Exits 1 on any \
+     failure."
+  in
+  let run () =
+    let failures = ref [] in
+    let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+    let decls = decls_of_flags ~open_world:true ~decls:[] in
+    (* Server 1: demo declarations, default mode exact. *)
+    let server =
+      Server.start ~window:64 ~per_conn_window:16 ~metrics_port:0
+        ~engine_config:{ Engine.default_config with decls }
+        ()
+    in
+    let port = Server.port server in
+    let mport =
+      match Server.metrics_port server with
+      | Some p -> p
+      | None ->
+          Format.eprintf "incomplete-smoke: no metrics listener came up@.";
+          exit 1
+    in
+    let rado_sentence mode_fields id =
+      Printf.sprintf
+        {|{"id":%d,"op":"sentence","instance":"rado","sentence":"exists x. exists y. R1(x, y)"%s}|}
+        id mode_fields
+    in
+    let tri_sentence mode_fields id =
+      Printf.sprintf
+        {|{"id":%d,"op":"sentence","instance":"triangles","sentence":"exists x. exists y. R1(x, y)"%s}|}
+        id mode_fields
+    in
+    let lines =
+      [
+        rado_sentence {|,"mode":"certain"|} 1;
+        rado_sentence "" 2;
+        rado_sentence {|,"mode":"possible"|} 3;
+        rado_sentence {|,"mode":"approximate","budget":1|} 4;
+        tri_sentence {|,"mode":"certain"|} 5;
+        tri_sentence "" 6;
+        (* "mod" is a typo'd "mode": warn-and-count, served exact *)
+        tri_sentence {|,"mod":"possible"|} 7;
+        {|{"id":8,"op":"rql","instance":"mod3","text":"mode possible query {(x, y) | R1(x, y)} cutoff 3","cutoff":3}|};
+      ]
+    in
+    let parse_responses raw =
+      List.filter_map
+        (fun l ->
+          match Json.parse l with Ok j -> Some j | Error _ -> None)
+        (Proc.sort_by_id raw)
+    in
+    let field name j = Json.member name j in
+    let cert_kind j =
+      match field "cert" j with
+      | Some c -> (
+          match Json.member "kind" c with
+          | Some (Json.String k) -> Some (k, c)
+          | _ -> None)
+      | None -> None
+    in
+    let ok_bool j =
+      match field "ok" j with
+      | Some ok -> (
+          match Json.member "value" ok with
+          | Some (Json.Bool b) -> Some b
+          | _ -> None)
+      | None -> None
+    in
+    (match Proc.send_and_collect ~port lines with
+    | Error e -> fail "exchange failed: %s" e
+    | Ok raw -> (
+        match parse_responses raw with
+        | [ r1; r2; r3; r4; r5; r6; r7; r8 ] ->
+            (* open world: certain false ⊆ exact true ⊆ possible true *)
+            if ok_bool r1 <> Some false then
+              fail "rado certain: expected false (unknown served as lower)";
+            if ok_bool r2 <> Some true then fail "rado exact: expected true";
+            if ok_bool r3 <> Some true then
+              fail "rado possible: expected true (unknown served as upper)";
+            (match cert_kind r1 with
+            | Some ("certain_lower_bound", _) -> ()
+            | _ -> fail "rado certain: expected a certain_lower_bound cert");
+            if cert_kind r2 <> None then
+              fail "rado exact: response must carry no cert field";
+            (match cert_kind r3 with
+            | Some ("possible_upper_bound", _) -> ()
+            | _ -> fail "rado possible: expected a possible_upper_bound cert");
+            (match cert_kind r4 with
+            | Some ("approximate", c) -> (
+                match Json.member "budget_spent" c with
+                | Some (Json.Int n) when n <= 1 -> ()
+                | _ -> fail "rado approximate: budget_spent exceeds budget 1")
+            | _ -> fail "rado approximate at budget 1: expected to trip");
+            (* closed world: every mode = exact bytes, no certs *)
+            List.iter
+              (fun (name, r) ->
+                if ok_bool r <> ok_bool r6 then
+                  fail "triangles %s: differs from exact" name;
+                if cert_kind r <> None then
+                  fail "triangles %s: unexpected cert on a total instance"
+                    name)
+              [ ("certain", r5); ("typo'd-mode", r7) ];
+            if cert_kind r6 <> None then
+              fail "triangles exact: unexpected cert field";
+            (* RQL text prefix: mode travels in the query text *)
+            (match cert_kind r8 with
+            | Some ("possible_upper_bound", _) -> ()
+            | _ ->
+                fail
+                  "rql 'mode possible' prefix: expected a \
+                   possible_upper_bound cert")
+        | rs -> fail "expected 8 responses, got %d" (List.length rs)));
+    (* the typo'd field must be scrapeable *)
+    (match Expo_server.get ~port:mport ~path:"/metrics" () with
+    | Error reason -> fail "/metrics scrape failed: %s" reason
+    | Ok body ->
+        let counter_at_least name n =
+          List.exists
+            (fun l ->
+              match String.index_opt l ' ' with
+              | Some i when String.sub l 0 i = name ->
+                  (match
+                     int_of_string_opt
+                       (String.trim
+                          (String.sub l (i + 1) (String.length l - i - 1)))
+                   with
+                  | Some v -> v >= n
+                  | None -> false)
+              | _ -> false)
+            (String.split_on_char '\n' body)
+        in
+        if not (counter_at_least "server_frames_unknown_field_total" 1) then
+          fail "metrics: server_frames_unknown_field_total did not count";
+        if not (counter_at_least "engine_mode_certain_total" 1) then
+          fail "metrics: engine_mode_certain_total did not count");
+    (match Server.drain ~timeout_s:30.0 server with
+    | `Clean -> ()
+    | `Forced n -> fail "drain aborted %d connection(s)" n);
+    (* Server 2: --default-mode certain applies to modeless requests. *)
+    let server2 =
+      Server.start ~window:64 ~per_conn_window:16
+        ~engine_config:
+          {
+            Engine.default_config with
+            decls;
+            default_mode = Request.M_certain;
+          }
+        ()
+    in
+    (match
+       Proc.send_and_collect ~port:(Server.port server2) [ rado_sentence "" 1 ]
+     with
+    | Error e -> fail "default-mode exchange failed: %s" e
+    | Ok raw -> (
+        match parse_responses raw with
+        | [ r ] -> (
+            if ok_bool r <> Some false then
+              fail "default-mode certain: expected false";
+            match cert_kind r with
+            | Some ("certain_lower_bound", _) -> ()
+            | _ ->
+                fail "default-mode certain: expected a certain_lower_bound \
+                      cert")
+        | rs -> fail "default-mode: expected 1 response, got %d" (List.length rs)));
+    (match Server.drain ~timeout_s:30.0 server2 with
+    | `Clean -> ()
+    | `Forced n -> fail "drain (server 2) aborted %d connection(s)" n);
+    match List.rev !failures with
+    | [] ->
+        Format.printf
+          "incomplete-smoke: modes, certificates, closed-world identity, \
+           unknown-field counter and --default-mode all check out@."
+    | fs ->
+        List.iter (Format.eprintf "incomplete-smoke failure: %s@.") fs;
+        exit 1
+  in
+  Cmd.v (Cmd.info "incomplete-smoke" ~doc) Term.(const run $ const ())
+
 let () =
   let doc = "query languages over recursive (infinite, computable) databases" in
   let info = Cmd.info "recdb" ~version:"1.0.0" ~doc in
@@ -2269,4 +2631,6 @@ let () =
             cmd_shard;
             cmd_router;
             cmd_bench_cluster;
+            cmd_bench_incomplete;
+            cmd_incomplete_smoke;
           ]))

@@ -1,6 +1,6 @@
 (* E32: sharded serving behind the consistent-hash router.
 
-   Four claims, each a row:
+   Five claims, each a row:
 
    - {b routed}: a 200+-request mixed workload answered through the
      router is byte-identical (modulo response order, normalized by
@@ -8,6 +8,12 @@
      cluster ledger's genuine questions are <= the sequential
      baseline's — the E26 containment invariant surviving process
      boundaries.
+
+   - {b direct}: the identical loadgen workload driven router-less
+     (multi-endpoint mode, one connection per shard slot) completes
+     with zero lost/zero errors; the routed-vs-direct p50 and
+     throughput deltas isolate the router's own hop as a reported
+     overhead percentage.
 
    - {b hedge}: with one shard SIGSTOPped mid-run, a hedging router
      beats a non-hedging router's p99 on the same injection, hedges
@@ -178,19 +184,82 @@ let run ?out ?(requests = 240) ?(shards = 3) ~exe () =
             Json.List
               (List.map (fun l -> Json.Int (total l)) shard_ledgers0) );
         ];
-      (* --- row 2: hedged tail latency under a SIGSTOPped shard ------ *)
+      (* --- row 2: router overhead, isolated --------------------------
+         The same loadgen workload driven twice with identical knobs:
+         once through the router's front door, once router-less with
+         the generator's multi-endpoint mode dialing the shards
+         directly (connection [c] -> shard [c mod n]).  Shards are
+         complete engines, so any shard answers any request — the ring
+         buys memo locality, not correctness — which makes the direct
+         drive a legal baseline and the throughput/latency gap the
+         router's own hop.  Lost or error responses on the direct path
+         are violations; the overhead itself is reported, not judged. *)
+      Format.eprintf "bench-cluster: row direct...@.";
+      let n = List.length lines in
+      let routed_load =
+        Loadgen.run ~port:(Router.port router) ~connections:4 ~requests:n
+          ~pipeline:4 ()
+      in
+      let direct_load =
+        Loadgen.run ~port:(Router.port router) ~endpoints ~connections:4
+          ~requests:n ~pipeline:4 ()
+      in
+      if direct_load.Loadgen.lost > 0 then
+        violation "direct drive lost %d requests" direct_load.Loadgen.lost;
+      if direct_load.Loadgen.errors > 0 then
+        violation "direct drive got %d error responses"
+          direct_load.Loadgen.errors;
+      let overhead_pct =
+        if direct_load.Loadgen.p50_s > 0.0 then
+          (routed_load.Loadgen.p50_s -. direct_load.Loadgen.p50_s)
+          /. direct_load.Loadgen.p50_s *. 100.0
+        else 0.0
+      in
+      row "direct"
+        (routed_load.Loadgen.sent + direct_load.Loadgen.sent)
+        (routed_load.Loadgen.wall_s +. direct_load.Loadgen.wall_s)
+        [
+          ("routed_p50_s", Json.Float routed_load.Loadgen.p50_s);
+          ("direct_p50_s", Json.Float direct_load.Loadgen.p50_s);
+          ( "routed_throughput_rps",
+            Json.Float routed_load.Loadgen.throughput );
+          ( "direct_throughput_rps",
+            Json.Float direct_load.Loadgen.throughput );
+          ("router_overhead_pct", Json.Float overhead_pct);
+          ("direct_lost", Json.Int direct_load.Loadgen.lost);
+          ("direct_errors", Json.Int direct_load.Loadgen.errors);
+        ];
+      (* --- row 3: hedged tail latency under a SIGSTOPped shard ------ *)
+      let slow_shard =
+        (* stall the shard that owns the most workload keys.  Ring
+           nodes are named host:port over ephemeral ports, so which
+           shard owns which instance varies run to run — a fixed
+           index can land on a shard that owns nothing, and a stopped
+           idle shard stalls no request and fires no hedge.  The
+           routed row's per-shard ledgers are collected in upstream
+           order, which is supervisor index order, so the argmax is
+           the right index to stop. *)
+        let _, _, best =
+          List.fold_left
+            (fun (i, best_q, best_i) l ->
+              let q = total l in
+              if q > best_q then (i + 1, q, i) else (i + 1, best_q, best_i))
+            (0, -1, 0) shard_ledgers0
+        in
+        best
+      in
       let stall_run port =
         (* stop the shard BEFORE the load: a warm cluster answers the
            whole run in milliseconds, so a delayed stop would land
            after the last response.  Stopped up front, every request
-           owned by shard 0 stalls until SIGCONT — the plain router
-           waits the full 0.6s, the hedger escapes after 50ms *)
-        Shard_sup.kill sup 0 Sys.sigstop;
+           owned by the busiest shard stalls until SIGCONT — the plain
+           router waits the full 0.6s, the hedger escapes after 50ms *)
+        Shard_sup.kill sup slow_shard Sys.sigstop;
         let resume =
           Thread.create
             (fun () ->
               Unix.sleepf 0.6;
-              Shard_sup.kill sup 0 Sys.sigcont)
+              Shard_sup.kill sup slow_shard Sys.sigcont)
             ()
         in
         let report =
@@ -233,7 +302,7 @@ let run ?out ?(requests = 240) ?(shards = 3) ~exe () =
           ("hedge_wins", Json.Int hcounters.Router.hedge_wins);
           ("duplicate_questions", Json.Int duplicates);
         ];
-      (* --- row 3: kill -9 mid-load, supervisor respawn, failover ---- *)
+      (* --- row 4: kill -9 mid-load, supervisor respawn, failover ---- *)
       Format.eprintf "bench-cluster: row crash...@.";
       let respawns_before = Shard_sup.respawns sup in
       (* kill synchronously, before the load: a warm cluster answers
@@ -286,7 +355,7 @@ let run ?out ?(requests = 240) ?(shards = 3) ~exe () =
           ("recovered", Json.Bool recovered);
           ("post_recovery_identical", Json.Bool (after_crash = reference));
         ];
-      (* --- row 4: the stats op through the front door --------------- *)
+      (* --- row 5: the stats op through the front door --------------- *)
       Format.eprintf "bench-cluster: row stats...@.";
       let stats_ok =
         match

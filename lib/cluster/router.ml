@@ -58,6 +58,10 @@ type flight = {
   f_client : client;
   f_orig_id : int;
   f_payload : Request.payload;
+  f_mode : Request.mode option;
+      (* the client's answering mode travels with the flight so the
+         re-encoded upstream line carries the byte the client sent —
+         the shard, not the router, resolves and answers it *)
   f_key : string;
   f_sent_at : float;
   mutable f_done : bool;
@@ -207,7 +211,12 @@ let finish_flight fl line =
 let local_response t ~id result =
   Json.to_string
     (Request.response_to_json ~stats:t.cfg_stats
-       { Request.id; result; stats = Request.zero_stats })
+       {
+         Request.id;
+         result;
+         cert = Request.Cert_exact;
+         stats = Request.zero_stats;
+       })
 
 (* ------------------------------------------------------------------ *)
 (* Sending: register a pending uid, serialize with the uid as id,
@@ -233,7 +242,7 @@ let try_send_on t fl (u : upstream) =
   | Some (fd, _gen) ->
       let line =
         Json.to_string
-          (Request.to_json { Request.id = uid; payload = fl.f_payload })
+          (Request.to_json (Request.make ?mode:fl.f_mode ~id:uid fl.f_payload))
       in
       Mutex.lock u.u_wlock;
       let ok =
@@ -492,7 +501,7 @@ let router_ledger t =
   l
 
 let stats_line =
-  Json.to_string (Request.to_json { Request.id = 0; payload = Request.Stats })
+  Json.to_string (Request.to_json (Request.make ~id:0 Request.Stats))
 
 let shard_ledgers t =
   List.filter_map
@@ -534,6 +543,7 @@ let handle_request t client line ~line_no =
               f_client = client;
               f_orig_id = req.Request.id;
               f_payload = payload;
+              f_mode = req.Request.mode;
               f_key = key_of payload;
               f_sent_at = Unix.gettimeofday ();
               f_done = false;

@@ -36,6 +36,11 @@ type config = {
   retry : Resilience.retry;
   faults : Faulty_oracle.config option;
   compile : bool;
+  decls : (string * Incomplete.Decl.t) list;
+      (* per-instance completeness declarations; instances without one
+         are fully total and always answer exactly *)
+  default_mode : Request.mode;
+      (* applied to requests that carry no mode of their own *)
 }
 
 let default_config =
@@ -44,6 +49,8 @@ let default_config =
     retry = Resilience.default_retry;
     faults = None;
     compile = true;
+    decls = [];
+    default_mode = Request.M_exact;
   }
 
 (* The per-worker compiled tier: closures specialized against this
@@ -76,6 +83,8 @@ type entry = {
       (* read-only snapshot closure over exactly the counters [snapshot]
          reads, so traced span slices sum to the request's stats *)
   compiled : compiled_tier;
+  decl : Incomplete.Decl.t option;
+      (* completeness declaration, validated at construction *)
 }
 
 type t = {
@@ -94,6 +103,15 @@ type t = {
   m_budget_hits : Metrics.counter;
   m_deadline_hits : Metrics.counter;
   m_fault_failures : Metrics.counter;
+  (* per-mode and per-certificate-kind serving counters (exact-mode
+     requests are m_requests minus the three mode counters) *)
+  m_mode_certain : Metrics.counter;
+  m_mode_possible : Metrics.counter;
+  m_mode_approximate : Metrics.counter;
+  m_cert_exact : Metrics.counter;
+  m_cert_lower : Metrics.counter;
+  m_cert_upper : Metrics.counter;
+  m_cert_approx : Metrics.counter;
 }
 
 (* The oracle chain, innermost first: the raw instance (whose
@@ -104,9 +122,21 @@ type t = {
    a question that will actually be asked), and the per-worker striped
    LRU on top.  Without [shared] and without a guard this is PR 1's
    hot path, byte for byte. *)
-let make_entry ~cache_capacity ~guarded ~res ~faults ~shared name build () =
+let make_entry ~cache_capacity ~guarded ~res ~faults ~shared ~decl name build
+    () =
   let base = build () in
   let raw_db = Hs.Hsdb.db base in
+  (* A bad declaration is a construction failure, same as a bad builder:
+     every request naming this instance gets the typed construction
+     error rather than a silently-total instance. *)
+  (match decl with
+  | None -> ()
+  | Some d -> (
+      match Incomplete.Decl.validate d ~db_type:(Hs.Hsdb.db_type base) with
+      | Ok () -> ()
+      | Error msg ->
+          failwith
+            (Printf.sprintf "completeness declaration for %S: %s" name msg)));
   let pre oracle =
     Resilience.tick res;
     match faults with
@@ -231,7 +261,7 @@ let make_entry ~cache_capacity ~guarded ~res ~faults ~shared name build () =
       c_algebra = lazy (Ql.Ql_hs.algebra hs);
     }
   in
-  { hs; base; raw_db; caches; ledger; compiled }
+  { hs; base; raw_db; caches; ledger; compiled; decl }
 
 let create ?(cache_capacity = 4096) ?(config = default_config) ?shared ?trace
     () =
@@ -249,8 +279,9 @@ let create ?(cache_capacity = 4096) ?(config = default_config) ?shared ?trace
         (fun (name, build) ->
           ( name,
             Lazy.from_fun
-              (make_entry ~cache_capacity ~guarded ~res ~faults ~shared name
-                 build) ))
+              (make_entry ~cache_capacity ~guarded ~res ~faults ~shared
+                 ~decl:(List.assoc_opt name config.decls)
+                 name build) ))
         builders;
     config;
     shared;
@@ -266,6 +297,13 @@ let create ?(cache_capacity = 4096) ?(config = default_config) ?shared ?trace
     m_budget_hits = Metrics.counter "engine.budget_hits";
     m_deadline_hits = Metrics.counter "engine.deadline_hits";
     m_fault_failures = Metrics.counter "engine.fault_failures";
+    m_mode_certain = Metrics.counter "engine.mode_certain";
+    m_mode_possible = Metrics.counter "engine.mode_possible";
+    m_mode_approximate = Metrics.counter "engine.mode_approximate";
+    m_cert_exact = Metrics.counter "engine.cert_exact";
+    m_cert_lower = Metrics.counter "engine.cert_certain_lower";
+    m_cert_upper = Metrics.counter "engine.cert_possible_upper";
+    m_cert_approx = Metrics.counter "engine.cert_approximate";
   }
 
 let cache_stats t =
@@ -631,6 +669,15 @@ let eval_payload ~tr ~shared ~compile entry (payload : Request.payload) :
             | Ql.Ql_interp.Timeout -> Error (Request.Timeout fuel)
             | Ql.Ql_interp.Ill_formed msg -> Error (Request.Ill_formed msg)))
   | Request.Rql { instance; text; cutoff; planner } -> (
+      (* The [mode <word>] prefix is serving-tier syntax, consumed by
+         [Engine.handle]'s mode resolution before evaluation.  Strip it
+         here too so every plan cache — raw, normalized, compiled — is
+         keyed by the bare query and shared across modes. *)
+      let text =
+        match Incomplete.Scan.split_mode text with
+        | Some (_, rest) -> rest
+        | None -> text
+      in
       let mode = rql_mode planner in
       let planned =
         span tr "plan" (fun () ->
@@ -701,6 +748,295 @@ let eval_payload ~tr ~shared ~compile entry (payload : Request.payload) :
          caller gets a typed error rather than a crash. *)
       Error (Request.Bad_request "stats is answered by the serving tier")
 
+(* ------------------------------------------------------------------ *)
+(* Incompleteness-aware evaluation (certain / possible / approximate)  *)
+
+(* Non-exact evaluation: three-valued Kleene for FO payloads, interval
+   (lo, hi) for RQL.  The outcome {e and} its certificate are a
+   deterministic function of (mode, payload) — the approximation budget
+   is consult-denominated, so even its trip point ignores cache warmth
+   — which is what lets the pair live in [Shared_memo] and in store
+   snapshots under the mode-prefixed key. *)
+let eval_incomplete ~tr ~shared ~compile entry ~(mode : Request.mode)
+    (payload : Request.payload) : Shared_memo.result_value =
+  let decl =
+    (* unreachable None: [effective_mode] downgrades undeclared
+       instances to exact before this is called *)
+    match entry.decl with Some d -> d | None -> Incomplete.Decl.make [||]
+  in
+  let budget =
+    match mode with
+    | Request.M_approximate { budget } -> Incomplete.Budget.limited budget
+    | _ -> Incomplete.Budget.unlimited ()
+  in
+  let ctx = Incomplete.Ctx.make ~hs:entry.hs ~decl ~budget in
+  let exact value = { Shared_memo.value; cert = Request.Cert_exact } in
+  (* certain and approximate serve the lower bound, possible the upper *)
+  let lower = mode <> Request.M_possible in
+  let undetermined_cert rels =
+    match mode with
+    | Request.M_possible -> Request.Cert_possible_upper
+    | Request.M_approximate _ when Incomplete.Budget.tripped budget ->
+        Request.Cert_approximate
+          {
+            budget_spent = Incomplete.Budget.spent budget;
+            open_rels = Incomplete.Decl.open_names decl rels;
+          }
+    | _ -> Request.Cert_certain_lower
+  in
+  match payload with
+  | Request.Sentence { sentence; _ } -> (
+      match span tr "parse" (fun () -> parse_sentence shared sentence) with
+      | Error msg -> exact (Error (Request.Parse_error msg))
+      | Ok f -> (
+          match Rlogic.Ast.free_vars f with
+          | [] -> (
+              match
+                span tr "eval3" (fun () ->
+                    Incomplete.Kleene.eval_sentence ctx f)
+              with
+              | Incomplete.Tri.True, _ -> exact (Ok (Request.Bool true))
+              | Incomplete.Tri.False, _ -> exact (Ok (Request.Bool false))
+              | Incomplete.Tri.Unknown, _ ->
+                  (* undetermined: certain answers "no completion is
+                     guaranteed", possible answers "some completion
+                     could" *)
+                  {
+                    Shared_memo.value = Ok (Request.Bool (not lower));
+                    cert = undetermined_cert (Incomplete.Scan.formula_rels f);
+                  })
+          | vars -> exact (Error (Request.Not_a_sentence vars))))
+  | Request.Query { query; cutoff; _ } -> (
+      match span tr "parse" (fun () -> parse_query shared query) with
+      | Error msg -> exact (Error (Request.Parse_error msg))
+      | Ok Rlogic.Ast.Undefined -> exact (Ok Request.Undefined)
+      | Ok (Rlogic.Ast.Query { vars; _ } as q) ->
+          if cutoff < 0 || cutoff > max_cutoff then
+            exact
+              (Error
+                 (Request.Bad_request
+                    (Printf.sprintf "cutoff must be in 0..%d" max_cutoff)))
+          else (
+            let rank = List.length vars in
+            match
+              span tr "eval3" (fun () ->
+                  Incomplete.Kleene.eval_query ctx q ~rank ~cutoff)
+            with
+            | None -> exact (Ok Request.Undefined)
+            | Some b ->
+                let {
+                  Incomplete.Kleene.reps_lo;
+                  reps_hi;
+                  members_lo;
+                  members_hi;
+                  tripped;
+                  _;
+                } =
+                  b
+                in
+                let determined =
+                  (not tripped)
+                  && Prelude.Tupleset.equal reps_lo reps_hi
+                  && Prelude.Tupleset.equal members_lo members_hi
+                in
+                let reps, members =
+                  if lower then (reps_lo, members_lo)
+                  else (reps_hi, members_hi)
+                in
+                let outcome =
+                  Request.Rel
+                    {
+                      rank;
+                      reps = Prelude.Tupleset.elements reps;
+                      members = Prelude.Tupleset.elements members;
+                    }
+                in
+                if determined then exact (Ok outcome)
+                else
+                  {
+                    Shared_memo.value = Ok outcome;
+                    cert = undetermined_cert (Incomplete.Scan.query_rels q);
+                  }))
+  | Request.Program _ ->
+      (* QL has complementation, which is not monotone in the open
+         relations — a two-fixpoint interval story is unsound for it.
+         [effective_mode] lets programs that avoid every open relation
+         through on the exact path; the rest get a typed refusal. *)
+      exact
+        (Error
+           (Request.Bad_request
+              "op \"program\" is exact-only: QL complementation has no \
+               sound certain/possible reading over open relations"))
+  | Request.Rql { text; cutoff; planner; _ } -> (
+      let text =
+        match Incomplete.Scan.split_mode text with
+        | Some (_, rest) -> rest
+        | None -> text
+      in
+      let pmode = rql_mode planner in
+      let planned =
+        span tr "plan" (fun () ->
+            let r, level = plan_rql shared ~mode:pmode text in
+            (match tr with
+            | Some c when Obs.Trace.active c ->
+                Obs.Trace.annotate c [ ("plan_cache", level) ]
+            | _ -> ());
+            r)
+      in
+      match planned with
+      | Error msg -> exact (Error (Request.Parse_error msg))
+      | Ok plan ->
+          if cutoff < 0 || cutoff > max_cutoff then
+            exact
+              (Error
+                 (Request.Bad_request
+                    (Printf.sprintf "cutoff must be in 0..%d" max_cutoff)))
+          else (
+            match
+              span tr "eval3" (fun () ->
+                  Incomplete.Interval.run ctx ~cutoff plan)
+            with
+            | exception Incomplete.Interval.Error msg ->
+                exact (Error (Request.Ill_formed msg))
+            | outcome, tripped -> (
+                (* Certificate relations come from the {e surface} AST,
+                   not the plan, so planner rewrites cannot change the
+                   certificate. *)
+                let rels () =
+                  match Rql.Rql_plan.parse text with
+                  | ast -> Incomplete.Scan.rql_ast_rels ast
+                  | exception Rql.Rql_plan.Error _ -> []
+                in
+                match outcome with
+                | Incomplete.Interval.Bool { lo; hi } ->
+                    let b = if lower then lo else hi in
+                    if (not tripped) && lo = hi then
+                      exact (Ok (Request.Bool b))
+                    else
+                      {
+                        Shared_memo.value = Ok (Request.Bool b);
+                        cert = undetermined_cert (rels ());
+                      }
+                | Incomplete.Interval.Rel
+                    { rank; reps_lo; reps_hi; members_lo; members_hi } ->
+                    let determined =
+                      (not tripped) && reps_lo = reps_hi
+                      && members_lo = members_hi
+                    in
+                    let reps, members =
+                      if lower then (reps_lo, members_lo)
+                      else (reps_hi, members_hi)
+                    in
+                    let outcome = Request.Rel { rank; reps; members } in
+                    if determined then exact (Ok outcome)
+                    else
+                      {
+                        Shared_memo.value = Ok outcome;
+                        cert = undetermined_cert (rels ());
+                      }
+                | Incomplete.Interval.Levels levels ->
+                    if tripped then
+                      {
+                        Shared_memo.value = Ok (Request.Levels levels);
+                        cert = undetermined_cert (rels ());
+                      }
+                    else exact (Ok (Request.Levels levels)))))
+  | Request.Classes _ | Request.Tree _ | Request.Stats ->
+      (* never touch a relation: [effective_mode] routes these to the
+         exact path; kept total for direct callers *)
+      exact (eval_payload ~tr ~shared ~compile entry payload)
+
+(* Mode resolution, most-specific wins: the RQL [mode <word>] text
+   prefix, then the request's wire mode, then the server default.  An
+   approximate prefix with no budget of its own inherits the wire
+   budget when the wire mode is approximate too. *)
+let requested_mode t (req : Request.t) =
+  let wire () =
+    match req.Request.mode with
+    | Some m -> m
+    | None -> t.config.default_mode
+  in
+  match req.Request.payload with
+  | Request.Rql { text; _ } -> (
+      match Incomplete.Scan.split_mode text with
+      | None -> Ok (wire ())
+      | Some (word, _) -> (
+          match word with
+          | "exact" -> Ok Request.M_exact
+          | "certain" -> Ok Request.M_certain
+          | "possible" -> Ok Request.M_possible
+          | "approximate" ->
+              let budget =
+                match req.Request.mode with
+                | Some (Request.M_approximate { budget }) -> budget
+                | _ -> Request.default_budget
+              in
+              Ok (Request.M_approximate { budget })
+          | w ->
+              Error
+                (Request.Parse_error
+                   (Printf.sprintf
+                      "unknown mode %S (expected exact, certain, possible \
+                       or approximate)"
+                      w))))
+  | _ -> Ok (wire ())
+
+(* Downgrade a non-exact requested mode to exact when the payload
+   cannot touch an open relation: no declaration, an all-total
+   declaration, or a relation-mention set (scanned on the surface
+   syntax, before any planner rewrite) disjoint from the open set.
+   Downgraded requests take the exact path — unprefixed memo key,
+   identical bytes, [exact] certificate for free.  Only non-exact
+   requests pay the scan, so exact-path plan-cache metrics are
+   untouched.  A payload that fails to parse scans as mentioning
+   nothing and downgrades: the exact path reports the same parse error
+   it always did, with an [exact] certificate. *)
+let effective_mode t entry (req : Request.t) mode =
+  match mode with
+  | Request.M_exact -> Request.M_exact
+  | _ -> (
+      match entry.decl with
+      | None -> Request.M_exact
+      | Some decl when Incomplete.Decl.all_total decl -> Request.M_exact
+      | Some decl ->
+          let rels =
+            match req.Request.payload with
+            | Request.Sentence { sentence; _ } -> (
+                match parse_sentence t.shared sentence with
+                | Ok f -> Incomplete.Scan.formula_rels f
+                | Error _ -> [])
+            | Request.Query { query; _ } -> (
+                match parse_query t.shared query with
+                | Ok q -> Incomplete.Scan.query_rels q
+                | Error _ -> [])
+            | Request.Program { program; _ } -> (
+                match parse_program t.shared program with
+                | Ok p -> Incomplete.Scan.program_rels p
+                | Error _ -> [])
+            | Request.Rql { text; _ } -> (
+                let text =
+                  match Incomplete.Scan.split_mode text with
+                  | Some (_, rest) -> rest
+                  | None -> text
+                in
+                match Rql.Rql_plan.parse text with
+                | ast -> Incomplete.Scan.rql_ast_rels ast
+                | exception Rql.Rql_plan.Error _ -> [])
+            | Request.Classes _ | Request.Tree _ | Request.Stats -> []
+          in
+          if Incomplete.Scan.touches_open decl rels then mode
+          else Request.M_exact)
+
+(* Non-exact modes get their own whole-request memo keyspace; exact
+   keeps the historical unprefixed key, so pre-incompleteness store
+   snapshots stay valid and every mode shares one copy of an exact
+   answer. *)
+let mode_key_prefix = function
+  | Request.M_exact -> ""
+  | Request.M_certain -> "m:c:"
+  | Request.M_possible -> "m:p:"
+  | Request.M_approximate { budget } -> Printf.sprintf "m:a:%d:" budget
+
 (* Def. 3.9 accounting reads the {e base} instance's counters, not the
    wrapper's: the wrapper's T_B/≅_B counters tick on every consult of
    the memo chain, while the base's tick only when a question actually
@@ -719,7 +1055,7 @@ let snapshot entry =
    synthetic child for the pool queue wait that preceded this call —
    rendered at a negative offset, because it happened before the engine
    saw the request. *)
-let trace_begin t (req : Request.t) ~instance entry_opt queued_s =
+let trace_begin t (req : Request.t) ~instance ?mode entry_opt queued_s =
   match t.trace with
   | None -> ()
   | Some c -> (
@@ -731,8 +1067,8 @@ let trace_begin t (req : Request.t) ~instance entry_opt queued_s =
       Obs.Trace.begin_request c ~req_id:req.Request.id
         ~attrs:
           (("op", payload_op req.Request.payload)
-          ::
-          (match instance with Some i -> [ ("instance", i) ] | None -> []))
+          :: ((match instance with Some i -> [ ("instance", i) ] | None -> [])
+             @ match mode with Some m -> [ ("mode", m) ] | None -> []))
         ledger;
       match queued_s with
       | Some q when Obs.Trace.active c ->
@@ -763,7 +1099,7 @@ let ledger_counts t =
 let handle ?queued_s t (req : Request.t) : Request.response =
   let t0 = Unix.gettimeofday () in
   let retries = ref 0 in
-  let finish result entry_opt pre =
+  let finish ?(cert = Request.Cert_exact) result entry_opt pre =
     let wall_s = Unix.gettimeofday () -. t0 in
     let stats =
       match (entry_opt, pre) with
@@ -795,20 +1131,31 @@ let handle ?queued_s t (req : Request.t) : Request.response =
     if Result.is_error result then Metrics.incr t.m_errors;
     Metrics.incr ~by:stats.Request.oracle_calls t.m_oracle_calls;
     Metrics.incr ~by:stats.Request.cache_hits t.m_cache_hits;
+    (match cert with
+    | Request.Cert_exact -> Metrics.incr t.m_cert_exact
+    | Request.Cert_certain_lower -> Metrics.incr t.m_cert_lower
+    | Request.Cert_possible_upper -> Metrics.incr t.m_cert_upper
+    | Request.Cert_approximate _ -> Metrics.incr t.m_cert_approx);
     Metrics.observe t.m_latency wall_s;
-    { Request.id = req.Request.id; result; stats }
+    { Request.id = req.Request.id; result; cert; stats }
   in
-  let total_eval eval =
+  (* Typed-error outcomes of the guard are exact facts about the
+     serving attempt, not about the instance's completions, so they
+     always carry the [exact] certificate. *)
+  let total_eval (eval : unit -> Shared_memo.result_value) =
     Resilience.arm t.res t.config.limits;
+    let err e =
+      { Shared_memo.value = Error e; cert = Request.Cert_exact }
+    in
     let rec attempt n =
       match span t.trace "attempt" ~attrs:[ ("n", string_of_int n) ] eval with
       | result -> result
       | exception Resilience.Budget_hit { limit } ->
           Metrics.incr t.m_budget_hits;
-          Error (Request.Budget_exceeded { limit })
+          err (Request.Budget_exceeded { limit })
       | exception Resilience.Deadline_hit { deadline_s; _ } ->
           Metrics.incr t.m_deadline_hits;
-          Error (Request.Deadline_exceeded { deadline_s })
+          err (Request.Deadline_exceeded { deadline_s })
       | exception Faulty_oracle.Oracle_unavailable _
         when n < t.config.retry.max_retries -> (
           incr retries;
@@ -822,11 +1169,11 @@ let handle ?queued_s t (req : Request.t) : Request.response =
           | () -> attempt (n + 1)
           | exception Resilience.Deadline_hit { deadline_s; _ } ->
               Metrics.incr t.m_deadline_hits;
-              Error (Request.Deadline_exceeded { deadline_s }))
+              err (Request.Deadline_exceeded { deadline_s }))
       | exception Faulty_oracle.Oracle_unavailable { oracle; _ } ->
           Metrics.incr t.m_fault_failures;
-          Error (Request.Oracle_unavailable { oracle; attempts = n + 1 })
-      | exception e -> Error (Request.Ill_formed (Printexc.to_string e))
+          err (Request.Oracle_unavailable { oracle; attempts = n + 1 })
+      | exception e -> err (Request.Ill_formed (Printexc.to_string e))
     in
     let result = attempt 0 in
     Resilience.disarm t.res;
@@ -854,61 +1201,107 @@ let handle ?queued_s t (req : Request.t) : Request.response =
           None None
       end
       else begin
+        (* Mode resolution happens before the trace opens so the root
+           span can carry the effective mode; the scans it may run ask
+           no Def. 3.9 questions (parsing never touches an instance). *)
+        let mode_r =
+          match entry_opt with
+          | None -> Ok Request.M_exact
+          | Some entry -> (
+              match requested_mode t req with
+              | Error _ as e -> e
+              | Ok m -> Ok (effective_mode t entry req m))
+        in
+        let mode_attr =
+          match mode_r with
+          | Ok Request.M_exact | Error _ -> None
+          | Ok m -> Some (Request.mode_to_string m)
+        in
         (* The trace opens after the lazy entry is forced, mirroring the
            [pre] snapshot below: construction-time oracle activity is
            charged to neither the stats nor the root span, so the two
            stay equal. *)
-        trace_begin t req ~instance entry_opt queued_s;
+        trace_begin t req ~instance ?mode:mode_attr entry_opt queued_s;
         let pre = Option.map snapshot entry_opt in
-        let result =
-          match entry_opt with
-          | Some entry ->
+        let rv =
+          match (entry_opt, mode_r) with
+          | _, Error e ->
+              { Shared_memo.value = Error e; cert = Request.Cert_exact }
+          | Some entry, Ok mode ->
+              (match mode with
+              | Request.M_exact -> ()
+              | Request.M_certain -> Metrics.incr t.m_mode_certain
+              | Request.M_possible -> Metrics.incr t.m_mode_possible
+              | Request.M_approximate _ -> Metrics.incr t.m_mode_approximate);
               (* Whole-request memo: everything but [stats] is a
-                 deterministic function of the payload (the Request
+                 deterministic function of (mode, payload) (the Request
                  wire-format contract), so a completed result can be
                  replayed for any worker.  Budget/deadline/fault aborts
                  raise {e through} the compute closure and are caught
                  by [total_eval] outside it — nondeterministic outcomes
                  are never stored. *)
+              let compute () =
+                match mode with
+                | Request.M_exact ->
+                    {
+                      Shared_memo.value =
+                        eval_payload ~tr:t.trace ~shared:t.shared
+                          ~compile:t.config.compile entry req.Request.payload;
+                      cert = Request.Cert_exact;
+                    }
+                | _ ->
+                    eval_incomplete ~tr:t.trace ~shared:t.shared
+                      ~compile:t.config.compile entry ~mode
+                      req.Request.payload
+              in
               let eval () =
                 match t.shared with
-                | None ->
-                    eval_payload ~tr:t.trace ~shared:None
-                      ~compile:t.config.compile entry req.Request.payload
+                | None -> compute ()
                 | Some st ->
                     let key =
-                      Json.to_string
-                        (Request.to_json
-                           { Request.id = 0; payload = req.Request.payload })
+                      mode_key_prefix mode
+                      ^ Json.to_string
+                          (Request.to_json
+                             (Request.make ~id:0 req.Request.payload))
                     in
-                    Shared_memo.result st ~key ~compute:(fun () ->
-                        eval_payload ~tr:t.trace ~shared:t.shared
-                          ~compile:t.config.compile entry req.Request.payload)
+                    Shared_memo.result st ~key ~compute
               in
               total_eval eval
-          | None -> (
+          | None, Ok _ -> (
               match req.Request.payload with
               | Request.Classes { db_type; rank } ->
-                  total_eval (fun () -> eval_classes ~db_type ~rank)
+                  total_eval (fun () ->
+                      {
+                        Shared_memo.value = eval_classes ~db_type ~rank;
+                        cert = Request.Cert_exact;
+                      })
               | Request.Stats ->
                   (* Answered at the door: reporting the ledger asks no
                      questions, so it bypasses budgets, retries and the
                      shared memo (the answer is not deterministic in the
                      payload). *)
                   let raw, tb, equiv, cache_hits = ledger_counts t in
-                  Ok
-                    (Request.Ledger_report
-                       {
-                         cluster =
-                           Request.ledger ~node:"engine" ~raw ~tb ~equiv
-                             ~cache_hits ();
-                         shards = [];
-                       })
+                  {
+                    Shared_memo.value =
+                      Ok
+                        (Request.Ledger_report
+                           {
+                             cluster =
+                               Request.ledger ~node:"engine" ~raw ~tb ~equiv
+                                 ~cache_hits ();
+                             shards = [];
+                           });
+                    cert = Request.Cert_exact;
+                  }
               | _ ->
                   (* unreachable: instance payloads resolved above *)
-                  Error (Request.Ill_formed "no instance resolved"))
+                  {
+                    Shared_memo.value =
+                      Error (Request.Ill_formed "no instance resolved");
+                    cert = Request.Cert_exact;
+                  })
         in
-        finish result entry_opt pre
+        finish ~cert:rv.Shared_memo.cert rv.Shared_memo.value entry_opt pre
       end
 
 let handle_all t reqs = List.map (handle t) reqs

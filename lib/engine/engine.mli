@@ -44,12 +44,27 @@ type t
     identical order, so responses and the Def. 3.9 question ledger are
     byte-identical either way (E31 asserts it pairwise); [false] keeps
     the tree-walk interpreters (the E31 baseline, `recdb --compile
-    off`). *)
+    off`).
+
+    [decls] attaches a completeness declaration ({!Incomplete.Decl}) to
+    named instances: relations marked [open] make the instance stand
+    for the set of its completions, and requests may then ask for
+    [certain] / [possible] / [approximate] answers instead of exact
+    ones (see {!Request.mode}).  Declarations are validated against the
+    instance type when the instance is first constructed; an invalid
+    declaration makes construction fail, like a broken builder.
+    Instances without a declaration — and all of them by default — are
+    fully total: every answer is exact, whatever mode is requested.
+
+    [default_mode] (default [M_exact]) applies to requests that carry
+    no mode of their own (`recdb serve --default-mode`). *)
 type config = {
   limits : Resilience.limits;
   retry : Resilience.retry;
   faults : Faulty_oracle.config option;
   compile : bool;
+  decls : (string * Incomplete.Decl.t) list;
+  default_mode : Request.mode;
 }
 
 val default_config : config

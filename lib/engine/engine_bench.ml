@@ -52,10 +52,8 @@ let cache_workload ?(repeats = 25) () =
       (fun _ ->
         List.map
           (fun sentence ->
-            {
-              Request.id = 0;
-              payload = Request.Sentence { instance = "triangles"; sentence };
-            })
+            Request.make ~id:0
+              (Request.Sentence { instance = "triangles"; sentence }))
           e17_sentences)
       (Prelude.Ints.range 0 repeats)
   in
@@ -124,7 +122,7 @@ let build_batch n =
             let query = List.nth batch_queries (i / ninst mod nquer) in
             Request.Query { instance; query; cutoff = 10 }
       in
-      { Request.id = i + 1; payload })
+      Request.make ~id:(i + 1) payload)
     (Prelude.Ints.range 0 n)
 
 let results_fingerprint responses =
@@ -246,7 +244,7 @@ let overhead_workload ?(o_requests = 2000) ?(trials = 3) () =
    evaluation, where budgets and deadlines catch it; this request is
    the probe that shows they do. *)
 let pathological_request =
-  { Request.id = 0; payload = Request.Tree { instance = "paths3"; depth = 6 } }
+  Request.make ~id:0 (Request.Tree { instance = "paths3"; depth = 6 })
 
 let questions (s : Request.stats) =
   s.Request.oracle_calls + s.Request.tb_calls + s.Request.equiv_calls
@@ -936,8 +934,8 @@ let build_rql_batch ?(cutoff = 4) ~planner n =
     (fun i ->
       let instance = List.nth rql_instances (i mod ninst) in
       let text = List.nth rql_texts (i / ninst mod ntext) in
-      { Request.id = i + 1;
-        payload = Request.Rql { instance; text; cutoff; planner } })
+      Request.make ~id:(i + 1)
+        (Request.Rql { instance; text; cutoff; planner }))
     (Prelude.Ints.range 0 n)
 
 type rql_result = {

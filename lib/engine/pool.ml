@@ -115,6 +115,7 @@ let crash_response (request : Request.t) msg =
   {
     Request.id = request.Request.id;
     result = Error (Request.Worker_crash msg);
+    cert = Request.Cert_exact;
     stats = Request.zero_stats;
   }
 

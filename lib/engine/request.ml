@@ -11,7 +11,40 @@ type payload =
   | Rql of { instance : string; text : string; cutoff : int; planner : planner }
   | Stats
 
-type t = { id : int; payload : payload }
+(* Incompleteness-aware answering (lib/incomplete): which semantics the
+   answer is computed under.  [None] on the wire means "server
+   default" ([recdb serve --default-mode], exact unless overridden).
+   The budget of [M_approximate] is consult-denominated — see
+   [Incomplete.Budget] — so approximate answers are deterministic and
+   memoizable. *)
+type mode =
+  | M_exact
+  | M_certain
+  | M_possible
+  | M_approximate of { budget : int }
+
+let default_budget = 10_000
+
+let mode_to_string = function
+  | M_exact -> "exact"
+  | M_certain -> "certain"
+  | M_possible -> "possible"
+  | M_approximate _ -> "approximate"
+
+type t = { id : int; payload : payload; mode : mode option }
+
+let make ?mode ~id payload = { id; payload; mode }
+
+(* The completeness certificate attached to every response.  [exact]
+   certificates are mode-independent (the answer is the same in every
+   completion of the instance) and are omitted from the wire encoding,
+   which keeps responses byte-identical to the pre-incompleteness ABI
+   whenever nothing open is involved. *)
+type certificate =
+  | Cert_exact
+  | Cert_certain_lower
+  | Cert_possible_upper
+  | Cert_approximate of { budget_spent : int; open_rels : string list }
 
 (* The cumulative Def. 3.9 question ledger of one serving node — what
    the [stats] op reports and what the cluster router sums.  Questions
@@ -150,6 +183,7 @@ let validate_payload = function
 type response = {
   id : int;
   result : (outcome, error) Stdlib.result;
+  cert : certificate;
   stats : stats;
 }
 
@@ -192,7 +226,22 @@ let field_int_default ?op j key default =
 
 let ( let* ) = Stdlib.Result.bind
 
-let of_json ?(default_id = 0) j =
+(* The closed field vocabulary per op, for unknown-field detection: a
+   typo'd field (say "mod" for "mode") must not silently serve the
+   wrong semantics. *)
+let allowed_fields op =
+  let common = [ "id"; "op"; "mode"; "budget" ] in
+  common
+  @ (match op with
+    | "sentence" -> [ "instance"; "sentence" ]
+    | "query" -> [ "instance"; "query"; "cutoff" ]
+    | "classes" -> [ "type"; "rank" ]
+    | "tree" -> [ "instance"; "depth" ]
+    | "program" -> [ "instance"; "program"; "fuel"; "cutoff" ]
+    | "rql" -> [ "instance"; "text"; "cutoff"; "planner" ]
+    | _ -> [])
+
+let of_json ?(default_id = 0) ?on_unknown j =
   let* id = field_int_default j "id" default_id in
   let* op =
     match Json.member "op" j with
@@ -205,6 +254,15 @@ let of_json ?(default_id = 0) j =
                 (String.concat ", "
                    (List.map (Printf.sprintf "%S") known_ops))))
   in
+  (* Warn on unknown top-level fields as soon as the op is known, so
+     the warning fires even when a later field fails validation. *)
+  (match (on_unknown, j) with
+  | Some warn, Json.Obj fields ->
+      let allowed = allowed_fields op in
+      List.iter
+        (fun (k, _) -> if not (List.mem k allowed) then warn k)
+        fields
+  | _ -> ());
   let* payload =
     match op with
     | "sentence" ->
@@ -269,6 +327,50 @@ let of_json ?(default_id = 0) j =
                 (String.concat ", "
                    (List.map (Printf.sprintf "%S") known_ops))))
   in
+  let* mode =
+    let* budget =
+      match Json.member "budget" j with
+      | None -> Ok None
+      | Some (Json.Int b) ->
+          if b < 1 then
+            Error (Bad_request (in_op (Some op) "field \"budget\" must be >= 1"))
+          else Ok (Some b)
+      | Some _ ->
+          Error
+            (Bad_request (in_op (Some op) "field \"budget\" must be an integer"))
+    in
+    match Json.member "mode" j with
+    | None ->
+        if budget <> None then
+          Error
+            (Bad_request
+               (in_op (Some op)
+                  "field \"budget\" requires \"mode\":\"approximate\""))
+        else Ok None
+    | Some (Json.String s) -> (
+        match (s, budget) with
+        | "exact", None -> Ok (Some M_exact)
+        | "certain", None -> Ok (Some M_certain)
+        | "possible", None -> Ok (Some M_possible)
+        | "approximate", _ ->
+            Ok
+              (Some
+                 (M_approximate
+                    { budget = Option.value budget ~default:default_budget }))
+        | ("exact" | "certain" | "possible"), Some _ ->
+            Error
+              (Bad_request
+                 (in_op (Some op)
+                    "field \"budget\" requires \"mode\":\"approximate\""))
+        | _ ->
+            Error
+              (Bad_request
+                 (in_op (Some op)
+                    "field \"mode\" must be \"exact\", \"certain\", \
+                     \"possible\" or \"approximate\"")))
+    | Some _ ->
+        Error (Bad_request (in_op (Some op) "field \"mode\" must be a string"))
+  in
   let* () =
     Stdlib.Result.map_error
       (function
@@ -276,25 +378,31 @@ let of_json ?(default_id = 0) j =
         | e -> e)
       (validate_payload payload)
   in
-  Ok { id; payload }
+  Ok { id; payload; mode }
 
-let of_line ?default_id line =
+let of_line ?default_id ?on_unknown line =
   match Json.parse line with
   | Error e -> Error (Parse_error (Printf.sprintf "bad JSON: %s" e))
-  | Ok j -> of_json ?default_id j
+  | Ok j -> of_json ?default_id ?on_unknown j
 
-let decode_line ~default_id line =
+let decode_line ?on_unknown ~default_id line =
   if String.trim line = "" then `Empty
   else
-    match of_line ~default_id line with
+    match of_line ~default_id ?on_unknown line with
     | Ok req -> `Request req
     | Error err ->
-        `Error { id = default_id; result = Error err; stats = zero_stats }
+        `Error
+          {
+            id = default_id;
+            result = Error err;
+            cert = Cert_exact;
+            stats = zero_stats;
+          }
 
 (* ------------------------------------------------------------------ *)
 (* Encoding                                                            *)
 
-let to_json { id; payload } =
+let to_json { id; payload; mode } =
   let fields =
     match payload with
     | Sentence { instance; sentence } ->
@@ -345,7 +453,19 @@ let to_json { id; payload } =
         ]
     | Stats -> [ ("op", Json.String "stats") ]
   in
-  Json.Obj (("id", Json.Int id) :: fields)
+  (* Mode at the end, and only when explicitly set: a request without
+     one encodes byte-identically to the pre-incompleteness ABI (the
+     memo key, the journal and every golden file depend on that). *)
+  let mode_fields =
+    match mode with
+    | None -> []
+    | Some M_exact -> [ ("mode", Json.String "exact") ]
+    | Some M_certain -> [ ("mode", Json.String "certain") ]
+    | Some M_possible -> [ ("mode", Json.String "possible") ]
+    | Some (M_approximate { budget }) ->
+        [ ("mode", Json.String "approximate"); ("budget", Json.Int budget) ]
+  in
+  Json.Obj ((("id", Json.Int id) :: fields) @ mode_fields)
 
 let tuple_json u =
   Json.List (Array.to_list (Array.map (fun x -> Json.Int x) u))
@@ -454,13 +574,55 @@ let stats_to_json s =
       ("wall_s", Json.Float s.wall_s);
     ]
 
+let certificate_to_json = function
+  | Cert_exact -> Json.Obj [ ("kind", Json.String "exact") ]
+  | Cert_certain_lower ->
+      Json.Obj [ ("kind", Json.String "certain_lower_bound") ]
+  | Cert_possible_upper ->
+      Json.Obj [ ("kind", Json.String "possible_upper_bound") ]
+  | Cert_approximate { budget_spent; open_rels } ->
+      Json.Obj
+        [
+          ("kind", Json.String "approximate");
+          ("budget_spent", Json.Int budget_spent);
+          ( "open_relations_touched",
+            Json.List (List.map (fun s -> Json.String s) open_rels) );
+        ]
+
+let certificate_of_json j =
+  match Json.member "kind" j with
+  | Some (Json.String "exact") -> Some Cert_exact
+  | Some (Json.String "certain_lower_bound") -> Some Cert_certain_lower
+  | Some (Json.String "possible_upper_bound") -> Some Cert_possible_upper
+  | Some (Json.String "approximate") ->
+      let budget_spent =
+        match Json.member "budget_spent" j with
+        | Some (Json.Int n) -> n
+        | _ -> 0
+      in
+      let open_rels =
+        match Json.member "open_relations_touched" j with
+        | Some (Json.List xs) -> List.filter_map Json.to_string_opt xs
+        | _ -> []
+      in
+      Some (Cert_approximate { budget_spent; open_rels })
+  | _ -> None
+
 let response_to_json ?(stats = true) r =
   let result_field =
     match r.result with
     | Ok o -> ("ok", outcome_to_json o)
     | Error e -> ("error", error_to_json e)
   in
-  let base = [ ("id", Json.Int r.id); result_field ] in
+  (* [exact] certificates are implicit — omitting them keeps every
+     response that never touched an open relation byte-identical to
+     the pre-incompleteness ABI. *)
+  let cert_fields =
+    match r.cert with
+    | Cert_exact -> []
+    | c -> [ ("cert", certificate_to_json c) ]
+  in
+  let base = [ ("id", Json.Int r.id); result_field ] @ cert_fields in
   Json.Obj (if stats then base @ [ ("stats", stats_to_json r.stats) ] else base)
 
 let payload_instance = function

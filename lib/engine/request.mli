@@ -53,7 +53,56 @@ type payload =
           router the componentwise sum over every shard — and asks
           zero Def. 3.9 questions itself. *)
 
-type t = { id : int; payload : payload }
+(** Which incompleteness semantics the answer is computed under (see
+    [lib/incomplete]).  Wire encoding: an optional ["mode"] string
+    field — ["exact"], ["certain"], ["possible"] or ["approximate"] —
+    plus an optional ["budget"] integer legal only with
+    ["approximate"].  A request without a mode uses the serving node's
+    default ([recdb serve --default-mode], exact out of the box). *)
+type mode =
+  | M_exact  (** today's semantics: the stored instance is complete *)
+  | M_certain  (** true in {e every} completion of the declared instance *)
+  | M_possible  (** true in {e some} completion *)
+  | M_approximate of { budget : int }
+      (** certain-mode evaluation under a consult-denominated budget —
+          deterministic, hence memoizable (see [Incomplete.Budget]) *)
+
+val default_budget : int
+(** The ["budget"] default when ["mode":"approximate"] is sent without
+    one (10,000 consults). *)
+
+val mode_to_string : mode -> string
+(** The wire keyword: ["exact"], ["certain"], ["possible"],
+    ["approximate"] (the budget is not included). *)
+
+type t = { id : int; payload : payload; mode : mode option }
+
+val make : ?mode:mode -> id:int -> payload -> t
+(** [mode] defaults to [None] — "use the server default". *)
+
+(** The typed completeness certificate attached to every response.
+    [Cert_exact] means the answer is the same in every completion —
+    every answer that never touched an open relation, whatever mode
+    was requested — and is omitted from the wire encoding, keeping
+    such responses byte-identical to the pre-incompleteness ABI.
+    Certificates are part of the deterministic response (they are
+    persisted in store snapshots and shared via [Shared_memo]) but
+    never change the Def. 3.9 ledger: certificate computation is
+    structural, over the already-parsed payload, and asks no oracle
+    questions. *)
+type certificate =
+  | Cert_exact
+  | Cert_certain_lower
+      (** sound lower bound: everything reported holds in every
+          completion, but more may hold in some *)
+  | Cert_possible_upper
+      (** sound upper bound: everything that holds in some completion
+          is reported, plus possibly more *)
+  | Cert_approximate of { budget_spent : int; open_rels : string list }
+      (** the approximation budget tripped after [budget_spent]
+          consults; the answer is the certain lower bound established
+          before the trip.  [open_rels] names the open relations the
+          payload mentions (["R1"], …). *)
 
 (** The cumulative Def. 3.9 question ledger of one serving node, as
     reported by the [stats] op and summed by the cluster router.
@@ -164,22 +213,33 @@ val validate_payload : payload -> (unit, error) Stdlib.result
 type response = {
   id : int;
   result : (outcome, error) Stdlib.result;
+  cert : certificate;
   stats : stats;
 }
 
-val of_json : ?default_id:int -> Json.t -> (t, error) Stdlib.result
+val of_json :
+  ?default_id:int -> ?on_unknown:(string -> unit) -> Json.t ->
+  (t, error) Stdlib.result
 (** Decode one request object.  A missing ["id"] falls back to
     [default_id] (callers pass the 1-based line number, keeping ids
     deterministic).  Structural problems and out-of-range fields are
     [Bad_request]; the decoded payload has passed
-    {!validate_payload}. *)
+    {!validate_payload}.  [on_unknown] is called once per top-level
+    field outside the op's vocabulary — unknown fields stay accepted
+    (a typo'd field must not break an otherwise-valid request mid-
+    deploy) but the server counts and logs them, because a typo'd
+    ["mode"] silently serving the wrong semantics is worse than a
+    warning. *)
 
-val of_line : ?default_id:int -> string -> (t, error) Stdlib.result
+val of_line :
+  ?default_id:int -> ?on_unknown:(string -> unit) -> string ->
+  (t, error) Stdlib.result
 (** Parse + decode one JSON line.  Malformed JSON is [Parse_error];
     either way the caller gets a typed error it can turn into a
     per-line error response instead of aborting a batch. *)
 
 val decode_line :
+  ?on_unknown:(string -> unit) ->
   default_id:int ->
   string ->
   [ `Empty | `Request of t | `Error of response ]
@@ -195,7 +255,13 @@ val to_json : t -> Json.t
 
 val response_to_json : ?stats:bool -> response -> Json.t
 (** [~stats:false] omits the stats field — the deterministic part used
-    for byte-identity comparison. *)
+    for byte-identity comparison.  The certificate {e is} part of the
+    deterministic response; [Cert_exact] is encoded by omission. *)
+
+val certificate_to_json : certificate -> Json.t
+val certificate_of_json : Json.t -> certificate option
+(** Decode a certificate object as emitted by {!certificate_to_json};
+    [None] on an unknown kind. *)
 
 val error_to_string : error -> string
 val payload_instance : payload -> string option

@@ -168,7 +168,10 @@ type instance_memo = {
   mutable rel_tbls : bool Ttbl.t array;
 }
 
-type result_value = (Request.outcome, Request.error) Stdlib.result
+type result_value = {
+  value : (Request.outcome, Request.error) Stdlib.result;
+  cert : Request.certificate;
+}
 
 type t = {
   instances : (string, instance_memo) Hashtbl.t;

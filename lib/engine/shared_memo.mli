@@ -93,7 +93,16 @@ val rql_def :
     definition with references substituted, equal keys denote equal
     sets, so a hit is sound across requests, queries, and workers. *)
 
-type result_value = (Request.outcome, Request.error) Stdlib.result
+(** A memoized whole-request result: the outcome (or typed error) plus
+    its completeness certificate.  The certificate is deterministic
+    for the key — non-exact modes prefix their keys (see
+    [Engine.handle]) so a certain-mode answer can never be served for
+    a possible-mode request or vice versa, while exact answers keep
+    the unprefixed key and are shared by every mode. *)
+type result_value = {
+  value : (Request.outcome, Request.error) Stdlib.result;
+  cert : Request.certificate;
+}
 
 val result : t -> key:string -> compute:(unit -> result_value) -> result_value
 (** Whole-request result memo.  Callers must only route payloads whose

@@ -1,0 +1,24 @@
+type t = {
+  limit : int option;
+  mutable spent : int;
+  mutable tripped : bool;
+}
+
+exception Trip
+
+let unlimited () = { limit = None; spent = 0; tripped = false }
+
+let limited n =
+  if n < 1 then invalid_arg "Budget.limited: limit must be >= 1";
+  { limit = Some n; spent = 0; tripped = false }
+
+let tick t =
+  (match t.limit with
+  | Some limit when t.spent >= limit ->
+      t.tripped <- true;
+      raise Trip
+  | _ -> ());
+  t.spent <- t.spent + 1
+
+let spent t = t.spent
+let tripped t = t.tripped

@@ -1,0 +1,29 @@
+(** The approximation budget for [approximate] mode.
+
+    Unlike the Resilience question budget (which charges only genuine
+    Def. 3.9 oracle questions, so cache warmth moves the trip point),
+    this budget is {e consult-denominated}: every representation consult
+    made by the three-valued / interval evaluators ticks it, cached or
+    not.  That makes the trip point — and therefore the approximate
+    answer — a deterministic function of the request alone, which is
+    what lets approximate results live in [Shared_memo] and in store
+    snapshots without ever serving two different answers for one key. *)
+
+type t
+
+exception Trip
+(** Raised by {!tick} on the consult that would exceed the limit.  The
+    evaluators in {!Kleene} and {!Interval} catch it internally and
+    report a tripped partial answer; it never escapes their public
+    entry points. *)
+
+val unlimited : unit -> t
+val limited : int -> t
+(** [limited n] trips on the [n+1]-th consult.  [n] must be >= 1. *)
+
+val tick : t -> unit
+(** Count one consult.  Checks before counting, so {!spent} never
+    exceeds the limit. *)
+
+val spent : t -> int
+val tripped : t -> bool

@@ -1,0 +1,45 @@
+type t = { hs : Hs.Hsdb.t; decl : Decl.t; budget : Budget.t }
+
+let make ~hs ~decl ~budget = { hs; decl; budget }
+let hs t = t.hs
+let decl t = t.decl
+let budget t = t.budget
+
+let oracle_vars a = List.init a (fun j -> Printf.sprintf "x%d" (j + 1))
+
+(* Exact evaluation of a declaration oracle at a tuple.  Fo_eval.mem
+   maps the tuple to its representative itself, so [u] need not be a
+   path.  The query is well-formed by Decl.validate, so [mem] only
+   returns [None] for Undefined — unreachable here. *)
+let oracle_holds t f u =
+  let vars = oracle_vars (Array.length u) in
+  match Hs.Fo_eval.mem t.hs (Rlogic.Ast.Query { vars; body = f }) u with
+  | Some b -> b
+  | None -> false
+
+let rel3 t i u =
+  Budget.tick t.budget;
+  let stored = Rdb.Database.mem (Hs.Hsdb.db t.hs) i u in
+  match Decl.status t.decl i with
+  | Decl.Total -> Tri.of_bool stored
+  | Decl.Open { known_if; poss_if } ->
+      if stored then
+        match known_if with
+        | Some f when oracle_holds t f u -> Tri.True
+        | Some _ | None -> Tri.Unknown
+      else (
+        match poss_if with
+        | Some f when not (oracle_holds t f u) -> Tri.False
+        | Some _ | None -> Tri.Unknown)
+
+let children t path =
+  Budget.tick t.budget;
+  Hs.Hsdb.children t.hs path
+
+let equiv t u v =
+  Budget.tick t.budget;
+  Hs.Hsdb.equiv t.hs u v
+
+let representative t u =
+  Budget.tick t.budget;
+  Hs.Hsdb.representative t.hs u

@@ -1,0 +1,34 @@
+(** Evaluation context for the non-exact modes: an hs-r-db
+    representation, its completeness declaration, and the approximation
+    budget.
+
+    Every representation consult — a three-valued relation membership,
+    a [T_B] children question, a [≅_B] question, a representative
+    lookup — ticks the budget before answering, cached or not, so the
+    trip point of [approximate] mode is a deterministic function of the
+    request (see {!Budget}).  Oracle formulas ([known_if] / [poss_if])
+    are evaluated exactly through {!Hs.Fo_eval} against the stored
+    representation; the questions they ask are ordinary ledgered
+    questions but do not tick the approximation budget — they are part
+    of answering one membership consult, not extra consults. *)
+
+type t
+
+val make : hs:Hs.Hsdb.t -> decl:Decl.t -> budget:Budget.t -> t
+
+val hs : t -> Hs.Hsdb.t
+val decl : t -> Decl.t
+val budget : t -> Budget.t
+
+val rel3 : t -> int -> Prelude.Tuple.t -> Tri.v
+(** Three-valued membership of a tuple in relation [i]:
+    [True] iff the tuple is in the known subset (member of every
+    completion), [False] iff outside the possible superset (member of
+    none), [Unknown] otherwise.  Total relations answer two-valued. *)
+
+val children : t -> Prelude.Tuple.t -> int list
+(** The [T_B] oracle; completions share the tree, so this is
+    two-valued. *)
+
+val equiv : t -> Prelude.Tuple.t -> Prelude.Tuple.t -> bool
+val representative : t -> Prelude.Tuple.t -> Prelude.Tuple.t

@@ -1,0 +1,235 @@
+type status =
+  | Total
+  | Open of {
+      known_if : Rlogic.Ast.formula option;
+      poss_if : Rlogic.Ast.formula option;
+    }
+
+type t = { statuses : status array }
+
+let make statuses = { statuses }
+let width t = Array.length t.statuses
+
+let status t i =
+  if i >= 0 && i < Array.length t.statuses then t.statuses.(i) else Total
+
+let is_open t i = match status t i with Total -> false | Open _ -> true
+
+let all_total t =
+  Array.for_all (function Total -> true | Open _ -> false) t.statuses
+
+let open_rels t =
+  let out = ref [] in
+  Array.iteri (fun i s -> match s with Open _ -> out := i :: !out | Total -> ()) t.statuses;
+  List.rev !out
+
+let rel_name i = Printf.sprintf "R%d" (i + 1)
+
+let open_names t rels =
+  List.filter_map
+    (fun i -> if is_open t i then Some (rel_name i) else None)
+    (List.sort_uniq compare rels)
+
+(* ---- surface syntax ------------------------------------------------ *)
+
+let rel_index name =
+  let n = String.length name in
+  if n >= 2 && name.[0] = 'R' then
+    match int_of_string_opt (String.sub name 1 (n - 1)) with
+    | Some i when i >= 1 -> Some (i - 1)
+    | _ -> None
+  else None
+
+let find_sub s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go from
+
+let strip_prefix s p =
+  let n = String.length s and m = String.length p in
+  if n >= m && String.sub s 0 m = p then Some (String.trim (String.sub s m (n - m)))
+  else None
+
+let parse_formula i txt =
+  let txt = String.trim txt in
+  if txt = "" then Error (Printf.sprintf "%s: empty oracle formula" (rel_name i))
+  else
+    match Rlogic.Parser.formula txt with
+    | f -> Ok f
+    | exception Rlogic.Parser.Error msg ->
+        Error (Printf.sprintf "%s: oracle formula: %s" (rel_name i) msg)
+
+(* Everything after "open": optional "known if F" then optional
+   "poss if F".  The split point is the literal marker " poss if " — an
+   oracle formula therefore cannot contain a free variable named
+   [poss], which the x1..xa convention rules out anyway. *)
+let parse_oracles i rest =
+  let ( let* ) = Result.bind in
+  let rest = String.trim rest in
+  if rest = "" then Ok (None, None)
+  else
+    match strip_prefix rest "poss if" with
+    | Some ptxt ->
+        let* p = parse_formula i ptxt in
+        Ok (None, Some p)
+    | None -> (
+        match strip_prefix rest "known if" with
+        | None ->
+            Error
+              (Printf.sprintf
+                 "%s: expected \"known if\" or \"poss if\" after \"open\", got %S"
+                 (rel_name i) rest)
+        | Some ktxt -> (
+            match find_sub ktxt " poss if " 0 with
+            | None ->
+                let* k = parse_formula i ktxt in
+                Ok (Some k, None)
+            | Some at ->
+                let* k = parse_formula i (String.sub ktxt 0 at) in
+                let* p =
+                  parse_formula i
+                    (String.sub ktxt (at + 9) (String.length ktxt - at - 9))
+                in
+                Ok (Some k, Some p)))
+
+let parse_clause clause =
+  let ( let* ) = Result.bind in
+  let clause = String.trim clause in
+  let name, rest =
+    match String.index_opt clause ' ' with
+    | None -> (clause, "")
+    | Some sp ->
+        ( String.sub clause 0 sp,
+          String.trim (String.sub clause (sp + 1) (String.length clause - sp - 1)) )
+  in
+  match rel_index name with
+  | None ->
+      Error (Printf.sprintf "expected a relation name like R1, got %S" name)
+  | Some i -> (
+      match rest with
+      | "total" -> Ok (i, Total)
+      | _ -> (
+          match strip_prefix rest "open" with
+          | None ->
+              Error
+                (Printf.sprintf "%s: expected \"total\" or \"open\", got %S"
+                   (rel_name i) rest)
+          | Some rest ->
+              let* known_if, poss_if = parse_oracles i rest in
+              Ok (i, Open { known_if; poss_if })))
+
+let parse text =
+  let ( let* ) = Result.bind in
+  let clauses =
+    String.split_on_char ';' text
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if clauses = [] then Error "empty completeness declaration"
+  else
+    let* pairs =
+      List.fold_left
+        (fun acc clause ->
+          let* acc = acc in
+          let* pair = parse_clause clause in
+          Ok (pair :: acc))
+        (Ok []) clauses
+    in
+    let pairs = List.rev pairs in
+    let* () =
+      let seen = Hashtbl.create 4 in
+      List.fold_left
+        (fun acc (i, _) ->
+          let* () = acc in
+          if Hashtbl.mem seen i then
+            Error (Printf.sprintf "%s: declared twice" (rel_name i))
+          else (
+            Hashtbl.add seen i ();
+            Ok ()))
+        (Ok ()) pairs
+    in
+    let w = 1 + List.fold_left (fun m (i, _) -> max m i) 0 pairs in
+    let statuses = Array.make w Total in
+    List.iter (fun (i, s) -> statuses.(i) <- s) pairs;
+    Ok { statuses }
+
+(* ---- validation ---------------------------------------------------- *)
+
+let oracle_vars a = List.init a (fun j -> Printf.sprintf "x%d" (j + 1))
+
+let validate t ~db_type =
+  let ( let* ) = Result.bind in
+  if width t > Array.length db_type then
+    Error
+      (Printf.sprintf "declaration names %s but the instance has only %d relation(s)"
+         (rel_name (width t - 1))
+         (Array.length db_type))
+  else
+    let check_oracle i which = function
+      | None -> Ok ()
+      | Some f ->
+          let arity = db_type.(i) in
+          let vars = oracle_vars arity in
+          let bad =
+            List.filter (fun x -> not (List.mem x vars)) (Rlogic.Ast.free_vars f)
+          in
+          if bad <> [] then
+            Error
+              (Printf.sprintf "%s: %s oracle uses %s outside x1..x%d" (rel_name i)
+                 which
+                 (String.concat ", " bad)
+                 arity)
+          else if not (Rlogic.Ast.well_formed ~db_type (Rlogic.Ast.Query { vars; body = f }))
+          then Error (Printf.sprintf "%s: %s oracle is ill-formed for this instance type" (rel_name i) which)
+          else Ok ()
+    in
+    let rec go i =
+      if i >= width t then Ok ()
+      else
+        match status t i with
+        | Total -> go (i + 1)
+        | Open { known_if; poss_if } ->
+            let* () = check_oracle i "known-if" known_if in
+            let* () = check_oracle i "poss-if" poss_if in
+            go (i + 1)
+    in
+    go 0
+
+let status_to_string i = function
+  | Total -> Printf.sprintf "%s total" (rel_name i)
+  | Open { known_if; poss_if } ->
+      let b = Buffer.create 32 in
+      Buffer.add_string b (rel_name i);
+      Buffer.add_string b " open";
+      (match known_if with
+      | Some f ->
+          Buffer.add_string b " known if ";
+          Buffer.add_string b (Rlogic.Ast.formula_to_string f)
+      | None -> ());
+      (match poss_if with
+      | Some f ->
+          Buffer.add_string b " poss if ";
+          Buffer.add_string b (Rlogic.Ast.formula_to_string f)
+      | None -> ());
+      Buffer.contents b
+
+let to_string t =
+  String.concat "; "
+    (List.init (width t) (fun i -> status_to_string i (status t i)))
+
+(* One declaration per oracle shape: rado has no oracles (everything
+   unknown), mod3 pins the stored edges as known (only absences are
+   open), unary012 bounds the possible tuples by the stored set (only
+   presences are open), colored leaves the colouring total and opens
+   the edge relation. *)
+let demo =
+  [
+    ("rado", "R1 open");
+    ("mod3", "R1 open known if R1(x1, x2)");
+    ("unary012", "R1 open poss if R1(x1)");
+    ("colored", "R1 total; R2 open");
+  ]

@@ -1,0 +1,191 @@
+open Prelude
+
+type outcome =
+  | Bool of { lo : bool; hi : bool }
+  | Rel of {
+      rank : int;
+      reps_lo : Tuple.t list;
+      reps_hi : Tuple.t list;
+      members_lo : Tuple.t list;
+      members_hi : Tuple.t list;
+    }
+  | Levels of Tuple.t list list
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+(* Same per-run instance-type check as Rql_eval.validate_atoms — the
+   error messages match so a mode switch never changes a diagnostic. *)
+let validate_atoms ctx (plan : Rql.Rql_plan.t) =
+  let t = Ctx.hs ctx in
+  let ty = Hs.Hsdb.db_type t in
+  let width = Array.length ty in
+  let rec check = function
+    | Rlogic.Ast.Mem (i, args) when i < Rql.Rql_plan.def_base ->
+        if i >= width then
+          fail "the query mentions R%d but instance %S has only %d relation%s"
+            (i + 1) (Hs.Hsdb.name t) width
+            (if width = 1 then "" else "s")
+        else if Array.length args <> ty.(i) then
+          fail "R%d of instance %S has arity %d but is applied to %d argument%s"
+            (i + 1) (Hs.Hsdb.name t) ty.(i) (Array.length args)
+            (if Array.length args = 1 then "" else "s")
+    | Rlogic.Ast.True | Rlogic.Ast.False | Rlogic.Ast.Eq _ | Rlogic.Ast.Mem _
+      ->
+        ()
+    | Rlogic.Ast.Not f -> check f
+    | Rlogic.Ast.And (f, g) | Rlogic.Ast.Or (f, g) | Rlogic.Ast.Implies (f, g)
+      ->
+        check f;
+        check g
+    | Rlogic.Ast.Exists (_, f) | Rlogic.Ast.Forall (_, f) -> check f
+  in
+  Array.iter (fun (d : Rql.Rql_plan.def) -> check d.d_body) plan.defs;
+  match plan.target with
+  | Rql.Rql_plan.Sentence b | Rql.Rql_plan.Query { body = b; _ } -> check b
+  | Rql.Rql_plan.Tree _ -> ()
+
+(* Hash-first is sound at either polarity (≅_B is reflexive), so both
+   bounds get the free shortcut regardless of the plan's mode flag. *)
+let mem_derived ctx value u =
+  Tupleset.mem u value
+  || Tupleset.exists (fun w -> Ctx.equiv ctx u w) value
+
+let side ~hi (lo_v, hi_v) = if hi then hi_v else lo_v
+
+(* Polarity-directed evaluation: [~hi:false] computes "true in every
+   completion" for this formula, [~hi:true] "true in some completion".
+   Negation swaps polarity; everything two-valued (Eq, the tree) is
+   polarity-blind.  Note the bounds computed this way can be coarser
+   than the true certain/possible answers (interval semantics loses
+   correlations between occurrences of one atom), but they are always
+   sound, and they coincide with the Kleene verdicts on
+   definition-free formulas. *)
+let rec eval ctx (vals : (Tupleset.t * Tupleset.t) array) ~hi path env =
+  function
+  | Rlogic.Ast.True -> true
+  | Rlogic.Ast.False -> false
+  | Rlogic.Ast.Eq (x, y) ->
+      let px = Env.lookup env x and py = Env.lookup env y in
+      path.(px) = path.(py)
+  | Rlogic.Ast.Mem (i, vars) ->
+      let u = Array.map (fun x -> path.(Env.lookup env x)) vars in
+      if i >= Rql.Rql_plan.def_base then
+        mem_derived ctx (side ~hi vals.(i - Rql.Rql_plan.def_base)) u
+      else (
+        match Ctx.rel3 ctx i u with
+        | Tri.True -> true
+        | Tri.False -> false
+        | Tri.Unknown -> hi)
+  | Rlogic.Ast.Not f -> not (eval ctx vals ~hi:(not hi) path env f)
+  | Rlogic.Ast.And (f, g) ->
+      eval ctx vals ~hi path env f && eval ctx vals ~hi path env g
+  | Rlogic.Ast.Or (f, g) ->
+      eval ctx vals ~hi path env f || eval ctx vals ~hi path env g
+  | Rlogic.Ast.Implies (f, g) ->
+      (not (eval ctx vals ~hi:(not hi) path env f))
+      || eval ctx vals ~hi path env g
+  | Rlogic.Ast.Exists (x, f) ->
+      let pos = Tuple.rank path in
+      List.exists
+        (fun a -> eval ctx vals ~hi (Tuple.append path a) (Env.bind x pos env) f)
+        (Ctx.children ctx path)
+  | Rlogic.Ast.Forall (x, f) ->
+      let pos = Tuple.rank path in
+      List.for_all
+        (fun a -> eval ctx vals ~hi (Tuple.append path a) (Env.bind x pos env) f)
+        (Ctx.children ctx path)
+
+(* Two independent least fixpoints from ∅, lo first.  Positivity means
+   a recursive body only reads its own slot at the fixpoint's own
+   polarity, so updating one side of the pair while the other is stale
+   is safe; references to earlier definitions read their final pair. *)
+let materialize ctx vals j (d : Rql.Rql_plan.def) =
+  let paths = Hs.Hsdb.paths (Ctx.hs ctx) d.d_rank in
+  let env = Env.of_vars (Array.to_list d.d_params) in
+  let fix ~hi =
+    let holds p = eval ctx vals ~hi p env d.d_body in
+    if not d.d_recursive then Tupleset.of_list (List.filter holds paths)
+    else begin
+      let npaths = List.length paths in
+      let rec go cur round =
+        if round > npaths + 1 then
+          fail "fixpoint for %S did not converge" d.d_name;
+        let lo_v, hi_v = vals.(j) in
+        vals.(j) <- (if hi then (lo_v, cur) else (cur, hi_v));
+        let next = Tupleset.of_list (List.filter holds paths) in
+        if Tupleset.equal next cur then cur else go next (round + 1)
+      in
+      go Tupleset.empty 0
+    end
+  in
+  let lo_v = fix ~hi:false in
+  let hi_v = fix ~hi:true in
+  vals.(j) <- (lo_v, hi_v)
+
+(* Weakest sound lower bound, served when the budget trips mid-plan;
+   the hi side of a tripped outcome is never served. *)
+let tripped_fallback = function
+  | Rql.Rql_plan.Sentence _ -> Bool { lo = false; hi = true }
+  | Rql.Rql_plan.Tree _ -> Levels []
+  | Rql.Rql_plan.Query { rank; _ } ->
+      Rel
+        { rank; reps_lo = []; reps_hi = []; members_lo = []; members_hi = [] }
+
+let run ctx ~cutoff (plan : Rql.Rql_plan.t) =
+  validate_atoms ctx plan;
+  let vals =
+    Array.make (Array.length plan.defs) (Tupleset.empty, Tupleset.empty)
+  in
+  try
+    Array.iteri (fun j d -> materialize ctx vals j d) plan.defs;
+    let outcome =
+      match plan.target with
+      | Rql.Rql_plan.Sentence body ->
+          let lo = eval ctx vals ~hi:false Tuple.empty Env.empty body in
+          let hi =
+            if lo then true
+            else eval ctx vals ~hi:true Tuple.empty Env.empty body
+          in
+          Bool { lo; hi }
+      | Rql.Rql_plan.Tree d ->
+          Levels (List.init d (fun i -> Hs.Hsdb.paths (Ctx.hs ctx) (i + 1)))
+      | Rql.Rql_plan.Query { rank; body; cutoff = qc } ->
+          let cutoff = match qc with Some c -> c | None -> cutoff in
+          let env =
+            Env.of_list (List.init rank (fun i -> (Printf.sprintf "x%d" i, i)))
+          in
+          let reps_lo = ref Tupleset.empty and reps_hi = ref Tupleset.empty in
+          List.iter
+            (fun p ->
+              if eval ctx vals ~hi:false p env body then begin
+                reps_lo := Tupleset.add p !reps_lo;
+                reps_hi := Tupleset.add p !reps_hi
+              end
+              else if eval ctx vals ~hi:true p env body then
+                reps_hi := Tupleset.add p !reps_hi)
+            (Hs.Hsdb.paths (Ctx.hs ctx) rank);
+          let members set =
+            Combinat.fold_cartesian
+              (fun acc u ->
+                if mem_derived ctx set u then Tupleset.add (Array.copy u) acc
+                else acc)
+              Tupleset.empty ~width:rank ~bound:cutoff
+          in
+          let members_lo = members !reps_lo in
+          let members_hi =
+            if Tupleset.equal !reps_lo !reps_hi then members_lo
+            else members !reps_hi
+          in
+          Rel
+            {
+              rank;
+              reps_lo = Tupleset.elements !reps_lo;
+              reps_hi = Tupleset.elements !reps_hi;
+              members_lo = Tupleset.elements members_lo;
+              members_hi = Tupleset.elements members_hi;
+            }
+    in
+    (outcome, false)
+  with Budget.Trip -> (tripped_fallback plan.target, true)

@@ -1,0 +1,40 @@
+(** Interval evaluation of RQL plans — {!Rql.Rql_eval} lifted to
+    (lo, hi) bounds over the completions of a declared instance.
+
+    Every definition is materialized as a pair of tuple sets:
+    [lo] (paths derivable in every completion) and [hi] (paths
+    derivable in some completion), both least fixpoints from ∅.
+    Formula evaluation is polarity-directed: at polarity [lo] an open
+    membership atom answers its known lower bound, at polarity [hi] its
+    possible upper bound, and negation swaps polarity — so
+    [lo(¬f) = ¬hi(f)], the classic interval (pair-of-extremes)
+    semantics.  Positivity of recursive definitions (checked at compile
+    time) guarantees a definition never reads its own slot at the
+    opposite polarity, which is what makes the two independent
+    fixpoints sound.
+
+    When [lo = hi] everywhere the target looks, the answer is the same
+    in every completion and the certificate upgrades to [exact]. *)
+
+type outcome =
+  | Bool of { lo : bool; hi : bool }
+  | Rel of {
+      rank : int;
+      reps_lo : Prelude.Tuple.t list;
+      reps_hi : Prelude.Tuple.t list;
+      members_lo : Prelude.Tuple.t list;
+      members_hi : Prelude.Tuple.t list;
+    }
+  | Levels of Prelude.Tuple.t list list
+      (** tree targets never touch a relation: always exact *)
+
+exception Error of string
+(** Instance-type violations, mirroring {!Rql.Rql_eval.Error}. *)
+
+val run : Ctx.t -> cutoff:int -> Rql.Rql_plan.t -> outcome * bool
+(** Evaluate a plan to an outcome and a [tripped] flag.  On a budget
+    trip the outcome degrades to the weakest sound lower bound ([lo]
+    empty/false) and the flag is set; the [hi] side of a tripped
+    outcome is not an upper bound and must not be served —
+    [approximate] mode only serves [lo].  {!Budget.Trip} never
+    escapes. *)

@@ -1,0 +1,108 @@
+open Prelude
+
+(* The recursion mirrors Fo_eval.eval: variables are bound to positions
+   in the current tree path, quantifiers extend the path by one child
+   label.  Connectives short-circuit on their absorbing element, which
+   keeps the consult order — and hence the approximate trip point —
+   deterministic. *)
+let rec eval ctx path env = function
+  | Rlogic.Ast.True -> Tri.True
+  | Rlogic.Ast.False -> Tri.False
+  | Rlogic.Ast.Eq (x, y) ->
+      Tri.of_bool (path.(Env.lookup env x) = path.(Env.lookup env y))
+  | Rlogic.Ast.Mem (i, vars) ->
+      Ctx.rel3 ctx i (Array.map (fun x -> path.(Env.lookup env x)) vars)
+  | Rlogic.Ast.Not f -> Tri.not_ (eval ctx path env f)
+  | Rlogic.Ast.And (f, g) -> (
+      match eval ctx path env f with
+      | Tri.False -> Tri.False
+      | vf -> Tri.and_ vf (eval ctx path env g))
+  | Rlogic.Ast.Or (f, g) -> (
+      match eval ctx path env f with
+      | Tri.True -> Tri.True
+      | vf -> Tri.or_ vf (eval ctx path env g))
+  | Rlogic.Ast.Implies (f, g) -> (
+      match eval ctx path env f with
+      | Tri.False -> Tri.True
+      | vf -> Tri.or_ (Tri.not_ vf) (eval ctx path env g))
+  | Rlogic.Ast.Exists (x, f) ->
+      let pos = Tuple.rank path in
+      List.fold_left
+        (fun acc a ->
+          match acc with
+          | Tri.True -> acc
+          | _ -> Tri.or_ acc (eval ctx (Tuple.append path a) (Env.bind x pos env) f))
+        Tri.False (Ctx.children ctx path)
+  | Rlogic.Ast.Forall (x, f) ->
+      let pos = Tuple.rank path in
+      List.fold_left
+        (fun acc a ->
+          match acc with
+          | Tri.False -> acc
+          | _ -> Tri.and_ acc (eval ctx (Tuple.append path a) (Env.bind x pos env) f))
+        Tri.True (Ctx.children ctx path)
+
+let holds ctx ~path ~vars f =
+  if Tuple.rank path <> List.length vars then
+    invalid_arg "Kleene.holds: path rank does not match the variable list";
+  eval ctx path (Env.of_vars vars) f
+
+let eval_sentence ctx f =
+  (match Rlogic.Ast.free_vars f with
+  | [] -> ()
+  | vars ->
+      invalid_arg
+        (Printf.sprintf "Kleene.eval_sentence: free variables %s"
+           (String.concat ", " vars)));
+  match holds ctx ~path:Tuple.empty ~vars:[] f with
+  | v -> (v, false)
+  | exception Budget.Trip -> (Tri.Unknown, true)
+
+type bounds = {
+  rank : int;
+  reps_lo : Tupleset.t;
+  reps_hi : Tupleset.t;
+  members_lo : Tupleset.t;
+  members_hi : Tupleset.t;
+  tripped : bool;
+}
+
+let eval_query ctx q ~rank ~cutoff =
+  match q with
+  | Rlogic.Ast.Undefined -> None
+  | Rlogic.Ast.Query { vars; body } ->
+      if List.length vars <> rank then
+        invalid_arg "Kleene.eval_query: rank does not match the query";
+      let reps_lo = ref Tupleset.empty and reps_hi = ref Tupleset.empty in
+      let members_lo = ref Tupleset.empty and members_hi = ref Tupleset.empty in
+      let tripped = ref false in
+      (try
+         List.iter
+           (fun p ->
+             match holds ctx ~path:p ~vars body with
+             | Tri.True ->
+                 reps_lo := Tupleset.add p !reps_lo;
+                 reps_hi := Tupleset.add p !reps_hi
+             | Tri.Unknown -> reps_hi := Tupleset.add p !reps_hi
+             | Tri.False -> ())
+           (Hs.Hsdb.paths (Ctx.hs ctx) rank);
+         (* Members mirror Fo_eval.eval_upto exactly: the tuples over
+            the cutoff window that are ≅-equivalent to a kept
+            representative (and nothing else, so a fully-determined
+            bound is byte-identical to the exact answer). *)
+         Combinat.fold_cartesian
+           (fun () u ->
+             let in_set set = Tupleset.exists (fun p -> Ctx.equiv ctx u p) set in
+             if in_set !reps_lo then members_lo := Tupleset.add (Array.copy u) !members_lo;
+             if in_set !reps_hi then members_hi := Tupleset.add (Array.copy u) !members_hi)
+           () ~width:rank ~bound:cutoff
+       with Budget.Trip -> tripped := true);
+      Some
+        {
+          rank;
+          reps_lo = !reps_lo;
+          reps_hi = !reps_hi;
+          members_lo = !members_lo;
+          members_hi = !members_hi;
+          tripped = !tripped;
+        }

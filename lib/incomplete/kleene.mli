@@ -1,0 +1,36 @@
+(** Three-valued FO evaluation over tree paths — {!Hs.Fo_eval} lifted
+    to Kleene logic over the completions of a declared instance.
+
+    Equality and the quantifier domains (tree children) are two-valued
+    — completions share [T_B] and [≅_B] — so the only source of
+    [Unknown] is a membership atom on an open relation.  A determined
+    verdict therefore holds in {e every} completion, including the
+    stored one: it upgrades the response certificate to [exact].
+
+    All entry points catch {!Budget.Trip} internally and report partial
+    results with a [tripped] flag; on a trip the [lo] side is still a
+    sound lower bound (everything it contains was fully certified
+    before the budget ran out) but the [hi] side is not an upper
+    bound — [approximate] mode only serves the [lo] side. *)
+
+val eval_sentence : Ctx.t -> Rlogic.Ast.formula -> Tri.v * bool
+(** Verdict and whether the budget tripped (in which case the verdict
+    is [Unknown]).  Raises [Invalid_argument] on free variables — the
+    engine checks first, as it does for exact evaluation. *)
+
+type bounds = {
+  rank : int;
+  reps_lo : Prelude.Tupleset.t;  (** paths satisfying the query in every completion *)
+  reps_hi : Prelude.Tupleset.t;  (** paths satisfying it in some completion *)
+  members_lo : Prelude.Tupleset.t;
+  members_hi : Prelude.Tupleset.t;
+  tripped : bool;
+}
+
+val eval_query :
+  Ctx.t -> Rlogic.Ast.query -> rank:int -> cutoff:int -> bounds option
+(** [None] for [Undefined].  Mirrors [Fo_eval.eval_reps] /
+    [eval_upto]: representatives are the rank-[rank] tree paths with a
+    [True] ([lo]) or non-[False] ([hi]) verdict; members enumerate
+    tuples over [0..cutoff-1] and keep those ≅-equivalent to a kept
+    representative. *)

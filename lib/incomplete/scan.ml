@@ -1,0 +1,100 @@
+let add i acc = if List.mem i acc then acc else i :: acc
+
+let rec formula_acc acc = function
+  | Rlogic.Ast.True | Rlogic.Ast.False | Rlogic.Ast.Eq _ -> acc
+  | Rlogic.Ast.Mem (i, _) -> add i acc
+  | Rlogic.Ast.Not f
+  | Rlogic.Ast.Exists (_, f)
+  | Rlogic.Ast.Forall (_, f) ->
+      formula_acc acc f
+  | Rlogic.Ast.And (f, g)
+  | Rlogic.Ast.Or (f, g)
+  | Rlogic.Ast.Implies (f, g) ->
+      formula_acc (formula_acc acc f) g
+
+let formula_rels f = List.sort compare (formula_acc [] f)
+
+let query_rels = function
+  | Rlogic.Ast.Undefined -> []
+  | Rlogic.Ast.Query { body; _ } -> formula_rels body
+
+let rec term_acc acc = function
+  | Ql.Ql_ast.E | Ql.Ql_ast.Var _ -> acc
+  | Ql.Ql_ast.Rel i -> add i acc
+  | Ql.Ql_ast.Inter (e, f) -> term_acc (term_acc acc e) f
+  | Ql.Ql_ast.Comp e | Ql.Ql_ast.Up e | Ql.Ql_ast.Down e | Ql.Ql_ast.Swap e ->
+      term_acc acc e
+
+let rec program_acc acc = function
+  | Ql.Ql_ast.Assign (_, e) -> term_acc acc e
+  | Ql.Ql_ast.Seq (p, q) -> program_acc (program_acc acc p) q
+  | Ql.Ql_ast.While_empty (_, p)
+  | Ql.Ql_ast.While_single (_, p)
+  | Ql.Ql_ast.While_finite (_, p) ->
+      program_acc acc p
+
+let program_rels p = List.sort compare (program_acc [] p)
+
+(* Surface-AST scan: an atom named R<i> is a base relation unless some
+   binding shadows the name (the compiler rejects such shadowing today,
+   but the scan must stay sound if that ever loosens). *)
+let rql_rel_index name =
+  let n = String.length name in
+  if n >= 2 && name.[0] = 'R' then
+    match int_of_string_opt (String.sub name 1 (n - 1)) with
+    | Some i when i >= 1 -> Some (i - 1)
+    | _ -> None
+  else None
+
+let rql_ast_rels (q : Rql.Rql_ast.t) =
+  let bound = List.map (fun (b : Rql.Rql_ast.binding) -> b.b_name) q.bindings in
+  let rec go acc = function
+    | Rql.Rql_ast.True | Rql.Rql_ast.False | Rql.Rql_ast.Eq _ -> acc
+    | Rql.Rql_ast.Atom (name, _) ->
+        if List.mem name bound then acc
+        else (match rql_rel_index name with Some i -> add i acc | None -> acc)
+    | Rql.Rql_ast.Not f
+    | Rql.Rql_ast.Exists (_, f)
+    | Rql.Rql_ast.Forall (_, f) ->
+        go acc f
+    | Rql.Rql_ast.And (f, g)
+    | Rql.Rql_ast.Or (f, g)
+    | Rql.Rql_ast.Implies (f, g) ->
+        go (go acc f) g
+  in
+  let acc =
+    List.fold_left
+      (fun acc (b : Rql.Rql_ast.binding) -> go acc b.b_body)
+      [] q.bindings
+  in
+  let acc =
+    match q.target with
+    | Rql.Rql_ast.Sentence f -> go acc f
+    | Rql.Rql_ast.Query { q_body; _ } -> go acc q_body
+    | Rql.Rql_ast.Tree _ -> acc
+  in
+  List.sort compare acc
+
+let touches_open decl rels = List.exists (Decl.is_open decl) rels
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_'
+
+let split_mode text =
+  let n = String.length text in
+  let rec skip_ws i = if i < n && (text.[i] = ' ' || text.[i] = '\t' || text.[i] = '\n') then skip_ws (i + 1) else i in
+  let word_end i =
+    let rec go j = if j < n && is_word_char text.[j] then go (j + 1) else j in
+    go i
+  in
+  let i = skip_ws 0 in
+  let j = word_end i in
+  if j - i = 4 && String.sub text i 4 = "mode" && j < n && not (is_word_char text.[j])
+  then begin
+    let k = skip_ws j in
+    let l = word_end k in
+    if l > k then Some (String.sub text k (l - k), String.sub text l (n - l))
+    else None
+  end
+  else None

@@ -1,0 +1,31 @@
+(** Structural scans that decide, before any evaluation, whether a
+    payload can touch an open relation.
+
+    A payload whose relation-mention set is disjoint from the open
+    relations answers identically in every completion, so the engine
+    downgrades its effective mode to exact — same memo key, same
+    bytes, [exact] certificate for free.  Scans work on the surface
+    syntax (for RQL, the parsed AST before planning), so the verdict —
+    and with it the certificate — is independent of planner rewrites
+    by construction. *)
+
+val formula_rels : Rlogic.Ast.formula -> int list
+(** Relation indices mentioned, ascending, deduplicated. *)
+
+val query_rels : Rlogic.Ast.query -> int list
+val program_rels : Ql.Ql_ast.program -> int list
+
+val rql_ast_rels : Rql.Rql_ast.t -> int list
+(** Base relations mentioned anywhere in the surface query: atoms named
+    [R<i>] that are not shadowed by a [let]/[fix] binding. *)
+
+val touches_open : Decl.t -> int list -> bool
+
+val split_mode : string -> (string * string) option
+(** [split_mode text] is [Some (word, rest)] when [text] starts with
+    the token [mode] followed by a word — the RQL
+    [mode certain query ...] surface syntax.  The word is not
+    validated here; the engine maps it to a mode or rejects it.  No
+    RQL query begins with a bare [mode] token (relation atoms are
+    [R<i>], keywords are [let]/[fix]/[tree]), so the prefix is
+    unambiguous. *)

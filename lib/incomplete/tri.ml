@@ -1,0 +1,25 @@
+type v = True | False | Unknown
+
+let of_bool b = if b then True else False
+let not_ = function True -> False | False -> True | Unknown -> Unknown
+
+let and_ a b =
+  match (a, b) with
+  | False, _ | _, False -> False
+  | True, True -> True
+  | _ -> Unknown
+
+let or_ a b =
+  match (a, b) with
+  | True, _ | _, True -> True
+  | False, False -> False
+  | _ -> Unknown
+
+let is_determined = function True | False -> true | Unknown -> false
+let lower = function True -> true | False | Unknown -> false
+let upper = function False -> false | True | Unknown -> true
+
+let to_string = function
+  | True -> "true"
+  | False -> "false"
+  | Unknown -> "unknown"

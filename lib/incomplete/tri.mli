@@ -1,0 +1,26 @@
+(** Kleene's strong three-valued logic.
+
+    [Unknown] means "true in some completions of the instance, false in
+    others — or not yet resolved within the approximation budget".  The
+    connectives are Kleene's strong ones, which are exactly the
+    pointwise lub/glb over the set of completions: if a formula
+    evaluates to [True] here it is true in {e every} completion, and to
+    [False] only if it is false in every completion. *)
+
+type v = True | False | Unknown
+
+val of_bool : bool -> v
+val not_ : v -> v
+val and_ : v -> v -> v
+val or_ : v -> v -> v
+
+val is_determined : v -> bool
+(** [True] or [False] — the same verdict in every completion. *)
+
+val lower : v -> bool
+(** The certain (lower-bound) reading: [True ↦ true], else [false]. *)
+
+val upper : v -> bool
+(** The possible (upper-bound) reading: [False ↦ false], else [true]. *)
+
+val to_string : v -> string

@@ -27,12 +27,17 @@ type t = {
      scrape can tell an oversized flood from garbage JSON. *)
   m_frames_oversized : Metrics.counter;
   m_frames_parse : Metrics.counter;
+  (* Unknown top-level request fields are warn-and-count, never reject:
+     a newer client talking to an older server degrades to a scrapeable
+     counter instead of a hard error (the mode/budget rollout story). *)
+  m_frames_unknown_field : Metrics.counter;
 }
 
 let parse_error_response id msg =
   {
     Request.id;
     result = Error (Request.Parse_error msg);
+    cert = Request.Cert_exact;
     stats = Request.zero_stats;
   }
 
@@ -96,7 +101,12 @@ let reader_loop t =
                   n t.cfg.max_line));
           loop line_no
       | Frame.Line line ->
-          (match Request.decode_line ~default_id:line_no line with
+          (match
+             Request.decode_line ~default_id:line_no
+               ~on_unknown:(fun _field ->
+                 Metrics.incr t.m_frames_unknown_field)
+               line
+           with
           | `Empty -> ()
           | `Error resp ->
               Metrics.incr t.m_frames_parse;
@@ -119,6 +129,7 @@ let reader_loop t =
                       Error
                         (Request.Overloaded
                            { limit = Admission.window t.cfg.admission });
+                    cert = Request.Cert_exact;
                     stats = Request.zero_stats;
                   });
           loop line_no
@@ -195,6 +206,7 @@ let serve cfg fd =
       m_bad_frames = Metrics.counter "server.bad_frames";
       m_frames_oversized = Metrics.counter "server.frames_dropped_oversized";
       m_frames_parse = Metrics.counter "server.frames_parse_error";
+      m_frames_unknown_field = Metrics.counter "server.frames_unknown_field";
     }
   in
   t.reader_thread <- Some (Thread.create reader_loop t);

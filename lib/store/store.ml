@@ -136,10 +136,14 @@ let deterministic_entry = function
   | Shared_memo.D_result
       {
         value =
-          Error
-            ( Request.Budget_exceeded _ | Request.Deadline_exceeded _
-            | Request.Oracle_unavailable _ | Request.Worker_crash _
-            | Request.Overloaded _ );
+          {
+            Shared_memo.value =
+              Error
+                ( Request.Budget_exceeded _ | Request.Deadline_exceeded _
+                | Request.Oracle_unavailable _ | Request.Worker_crash _
+                | Request.Overloaded _ );
+            _;
+          };
         _;
       } ->
       false

@@ -155,7 +155,12 @@ let r_tuple r : Prelude.Tuple.t =
 (* ------------------------------------------------------------------ *)
 (* File headers. *)
 
-let format_version = 1
+(* v2 appended the completeness certificate to result records.  A v1
+   snapshot read by v2 code passes the header check (only future
+   versions are refused) but every result frame fails the trailing-
+   bytes check in [decode_entry] and is skipped — the store degrades
+   to colder, never to wrong. *)
+let format_version = 2
 let snapshot_magic = "RDBS"
 let journal_magic = "RDBJ"
 let header_len = 8
@@ -313,13 +318,24 @@ let w_result_value buf (v : Shared_memo.result_value) =
         w_uint buf 10;
         w_int buf limit
   in
-  match v with
+  let w_certificate (c : Request.certificate) =
+    match c with
+    | Request.Cert_exact -> w_uint buf 0
+    | Request.Cert_certain_lower -> w_uint buf 1
+    | Request.Cert_possible_upper -> w_uint buf 2
+    | Request.Cert_approximate { budget_spent; open_rels } ->
+        w_uint buf 3;
+        w_int buf budget_spent;
+        w_list w_string buf open_rels
+  in
+  (match v.Shared_memo.value with
   | Ok o ->
       w_uint buf 0;
       w_outcome o
   | Error e ->
       w_uint buf 1;
-      w_error e
+      w_error e);
+  w_certificate v.Shared_memo.cert
 
 let r_result_value r : Shared_memo.result_value =
   let r_outcome () : Request.outcome =
@@ -370,10 +386,25 @@ let r_result_value r : Shared_memo.result_value =
     | 10 -> Request.Overloaded { limit = r_int r }
     | n -> fail "bad error tag %d" n
   in
-  match r_uint r with
-  | 0 -> Ok (r_outcome ())
-  | 1 -> Error (r_error ())
-  | n -> fail "bad result tag %d" n
+  let r_certificate () : Request.certificate =
+    match r_uint r with
+    | 0 -> Request.Cert_exact
+    | 1 -> Request.Cert_certain_lower
+    | 2 -> Request.Cert_possible_upper
+    | 3 ->
+        let budget_spent = r_int r in
+        let open_rels = r_list r_string r in
+        Request.Cert_approximate { budget_spent; open_rels }
+    | n -> fail "bad certificate tag %d" n
+  in
+  let value =
+    match r_uint r with
+    | 0 -> Ok (r_outcome ())
+    | 1 -> Error (r_error ())
+    | n -> fail "bad result tag %d" n
+  in
+  let cert = r_certificate () in
+  { Shared_memo.value; cert }
 
 let encode_entry (e : Shared_memo.dump_entry) =
   let buf = Buffer.create 64 in

@@ -137,6 +137,7 @@ let test_ledger_merge () =
          {
            Request.id = 0;
            result = Ok (Request.Ledger_report { cluster = a; shards = [] });
+           cert = Request.Cert_exact;
            stats = Request.zero_stats;
          })
   in

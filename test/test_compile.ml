@@ -464,16 +464,14 @@ let check_pairwise name interp compiled =
 
 let trip_requests =
   [
-    { Request.id = 1;
-      payload = Request.Tree { instance = "paths3"; depth = 6 } };
-    { Request.id = 2;
-      payload =
-        Request.Query
-          {
-            instance = "triangles";
-            query = "{(x, y) | exists z. R1(x, z) && R1(z, y)}";
-            cutoff = 10;
-          } };
+    Request.make ~id:1 (Request.Tree { instance = "paths3"; depth = 6 });
+    Request.make ~id:2
+      (Request.Query
+         {
+           instance = "triangles";
+           query = "{(x, y) | exists z. R1(x, z) && R1(z, y)}";
+           cutoff = 10;
+         });
   ]
 
 let test_engine_budget_trip_parity () =
@@ -510,33 +508,25 @@ let mixed_requests =
   List.concat_map
     (fun (i, instance) ->
       [
-        { Request.id = (10 * i) + 1;
-          payload =
-            Request.Sentence
-              {
-                instance;
-                sentence = "exists x. forall y. y != x -> R1(x, y)";
-              } };
-        { Request.id = (10 * i) + 2;
-          payload =
-            Request.Program
-              {
-                instance;
-                program = "Y1 <- ~(Rel1 & E)";
-                fuel = 1000;
-                cutoff = 4;
-              } };
-        { Request.id = (10 * i) + 3;
-          payload =
-            Request.Rql
-              {
-                instance;
-                text =
-                  "fix p(x, y) = R1(x, y) || exists z. (R1(x, z) && p(z, \
-                   y)); query {(x, y) | p(x, y)}";
-                cutoff = 4;
-                planner = Request.Plan_cost;
-              } };
+        Request.make
+          ~id:((10 * i) + 1)
+          (Request.Sentence
+             { instance; sentence = "exists x. forall y. y != x -> R1(x, y)" });
+        Request.make
+          ~id:((10 * i) + 2)
+          (Request.Program
+             { instance; program = "Y1 <- ~(Rel1 & E)"; fuel = 1000; cutoff = 4 });
+        Request.make
+          ~id:((10 * i) + 3)
+          (Request.Rql
+             {
+               instance;
+               text =
+                 "fix p(x, y) = R1(x, y) || exists z. (R1(x, z) && p(z, \
+                  y)); query {(x, y) | p(x, y)}";
+               cutoff = 4;
+               planner = Request.Plan_cost;
+             });
       ])
     [ (1, "triangles"); (2, "mod2") ]
 
@@ -557,13 +547,12 @@ let test_engine_compile_counters () =
   (* a fresh text compiles once, then the cached closure serves *)
   let engine = mk_engine true in
   let req =
-    { Request.id = 1;
-      payload =
-        Request.Sentence
-          {
-            instance = "triangles";
-            sentence = "exists x. exists y. R1(x, y) && x != y";
-          } }
+    Request.make ~id:1
+      (Request.Sentence
+         {
+           instance = "triangles";
+           sentence = "exists x. exists y. R1(x, y) && x != y";
+         })
   in
   ignore (Engine.handle_all engine [ req; req; req ]);
   let after = Metrics.counter_value c in

@@ -346,7 +346,7 @@ let test_request_malformed_lines () =
 (* Engine                                                              *)
 
 let sentence_req id instance sentence =
-  { Request.id; payload = Request.Sentence { instance; sentence } }
+  Request.make ~id (Request.Sentence { instance; sentence })
 
 let test_engine_outcomes () =
   let e = Engine.create () in
@@ -359,8 +359,7 @@ let test_engine_outcomes () =
    | _ -> Alcotest.fail "expected Bool");
   (let r =
      Engine.handle e
-       { Request.id = 2;
-         payload = Request.Classes { db_type = [| 2; 1 |]; rank = 2 } }
+       (Request.make ~id:2 (Request.Classes { db_type = [| 2; 1 |]; rank = 2 }))
    in
    match r.result with
    | Ok (Request.Count n) ->
@@ -387,8 +386,7 @@ let test_engine_errors () =
     (sentence_req 3 "triangles" "R1(x, y)")
     (function Request.Not_a_sentence _ -> true | _ -> false);
   expect_error "guard rail on rank"
-    { Request.id = 4;
-      payload = Request.Classes { db_type = [| 2; 1 |]; rank = 99 } }
+    (Request.make ~id:4 (Request.Classes { db_type = [| 2; 1 |]; rank = 99 }))
     (function Request.Bad_request _ -> true | _ -> false)
 
 let test_engine_cache_reduces_questions () =
@@ -422,7 +420,7 @@ let mixed_batch n =
               { instance; query = "{(x,y) | R1(x,y) && x != y}"; cutoff = 6 }
         | _ -> Request.Classes { db_type = [| 2 |]; rank = 2 }
       in
-      { Request.id = i + 1; payload })
+      Request.make ~id:(i + 1) payload)
     (Ints.range 0 n)
 
 let fingerprint responses =

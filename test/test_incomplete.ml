@@ -1,0 +1,542 @@
+(* The incompleteness tier: completeness declarations, the structural
+   scans, the mode/certificate wire format, and the engine's
+   certain / possible / approximate serving — including the QCheck
+   soundness property (certain ⇒ exact ⇒ possible on random sentences,
+   all three collapsing when every relation is total). *)
+
+let check = Alcotest.check
+
+let decl_of s =
+  match Incomplete.Decl.parse s with
+  | Ok d -> d
+  | Error m -> Alcotest.fail ("decl parse: " ^ m)
+
+let response_bytes r =
+  Json.to_string (Request.response_to_json ~stats:false { r with Request.id = 0 })
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+
+let test_decl_parse_roundtrip () =
+  List.iter
+    (fun s ->
+      let d = decl_of s in
+      let printed = Incomplete.Decl.to_string d in
+      check Alcotest.string "to_string/parse fixed point" printed
+        (Incomplete.Decl.to_string (decl_of printed)))
+    [
+      "R1 open";
+      "R1 total";
+      "R1 open known if R1(x1, x2)";
+      "R1 open poss if R1(x1)";
+      "R1 total; R2 open";
+      "R2 open known if R2(x1, x2) poss if x1 = x2";
+    ]
+
+let test_decl_parse_errors () =
+  List.iter
+    (fun s ->
+      match Incomplete.Decl.parse s with
+      | Ok _ -> Alcotest.failf "parse %S should have failed" s
+      | Error _ -> ())
+    [ ""; "R0 open"; "Rx open"; "R1 ajar"; "R1 open known if" ]
+
+let test_decl_validate () =
+  let db_type = [| 2 |] in
+  let ok d = Incomplete.Decl.validate (decl_of d) ~db_type in
+  (match ok "R1 open known if R1(x1, x2)" with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (match ok "R2 open" with
+  | Ok () -> Alcotest.fail "R2 on a width-1 type should not validate"
+  | Error _ -> ());
+  match ok "R1 open known if R1(x1, x3)" with
+  | Ok () -> Alcotest.fail "oracle over x3 at arity 2 should not validate"
+  | Error _ -> ()
+
+let test_demo_decls_validate () =
+  List.iter
+    (fun (name, spec) ->
+      match Engine.build_instance name with
+      | None -> Alcotest.failf "demo instance %s not registered" name
+      | Some inst -> (
+          match
+            Incomplete.Decl.validate (decl_of spec)
+              ~db_type:(Hs.Hsdb.db_type inst)
+          with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "demo decl %s: %s" name m))
+    Incomplete.Decl.demo
+
+let test_open_names () =
+  let d = decl_of "R1 total; R2 open; R3 open" in
+  check
+    Alcotest.(list string)
+    "names of touched open rels" [ "R2" ]
+    (Incomplete.Decl.open_names d [ 0; 1 ]);
+  check
+    Alcotest.(list string)
+    "all touched" [ "R2"; "R3" ]
+    (Incomplete.Decl.open_names d [ 0; 1; 2 ])
+
+(* ------------------------------------------------------------------ *)
+(* Scans                                                               *)
+
+let test_scan_touches_open () =
+  let d = decl_of "R1 total; R2 open" in
+  let rels s = Incomplete.Scan.formula_rels (Rlogic.Parser.formula s) in
+  Alcotest.(check bool)
+    "R1-only formula stays exact" false
+    (Incomplete.Scan.touches_open d (rels "exists x. R1(x, x)"));
+  Alcotest.(check bool)
+    "R2 mention goes through" true
+    (Incomplete.Scan.touches_open d (rels "exists x. R1(x, x) && R2(x)"))
+
+let test_scan_split_mode () =
+  (match Incomplete.Scan.split_mode "mode certain query {(x) | R1(x)}" with
+  | Some ("certain", rest) ->
+      check Alcotest.string "rest" "query {(x) | R1(x)}" (String.trim rest)
+  | _ -> Alcotest.fail "prefix not split");
+  check Alcotest.bool "no prefix" true
+    (Incomplete.Scan.split_mode "query {(x) | R1(x)}" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Wire format: mode, budget, certificates, unknown fields             *)
+
+let sentence_json extra =
+  Printf.sprintf
+    {|{"id":1,"op":"sentence","instance":"triangles","sentence":"exists x. exists y. R1(x, y)"%s}|}
+    extra
+
+let decode extra =
+  match Json.parse (sentence_json extra) with
+  | Error e -> Alcotest.fail e
+  | Ok j -> Request.of_json j
+
+let test_mode_json_roundtrip () =
+  List.iter
+    (fun (extra, expect) ->
+      match decode extra with
+      | Error e ->
+          Alcotest.failf "decode%s: %s" extra (Request.error_to_string e)
+      | Ok req ->
+          check Alcotest.bool "mode decoded" true (req.Request.mode = expect);
+          (* and back through to_json *)
+          let again =
+            match Request.of_json (Request.to_json req) with
+            | Ok r -> r.Request.mode
+            | Error e -> Alcotest.fail (Request.error_to_string e)
+          in
+          check Alcotest.bool "round-trips" true (again = expect))
+    [
+      ("", None);
+      ({|,"mode":"exact"|}, Some Request.M_exact);
+      ({|,"mode":"certain"|}, Some Request.M_certain);
+      ({|,"mode":"possible"|}, Some Request.M_possible);
+      ( {|,"mode":"approximate","budget":7|},
+        Some (Request.M_approximate { budget = 7 }) );
+      ( {|,"mode":"approximate"|},
+        Some (Request.M_approximate { budget = Request.default_budget }) );
+    ]
+
+let test_mode_json_rejects () =
+  List.iter
+    (fun extra ->
+      match decode extra with
+      | Ok _ -> Alcotest.failf "decode%s should have failed" extra
+      | Error (Request.Bad_request _) -> ()
+      | Error e ->
+          Alcotest.failf "decode%s: wrong error %s" extra
+            (Request.error_to_string e))
+    [
+      {|,"mode":"fuzzy"|};
+      {|,"budget":7|};
+      {|,"mode":"certain","budget":7|};
+      {|,"mode":"approximate","budget":0|};
+      {|,"mode":"approximate","budget":"lots"|};
+    ]
+
+let test_cert_json_roundtrip () =
+  List.iter
+    (fun c ->
+      match Request.certificate_of_json (Request.certificate_to_json c) with
+      | Some c' -> check Alcotest.bool "round-trips" true (c = c')
+      | None -> Alcotest.fail "certificate did not round-trip")
+    [
+      Request.Cert_exact;
+      Request.Cert_certain_lower;
+      Request.Cert_possible_upper;
+      Request.Cert_approximate { budget_spent = 42; open_rels = [ "R1"; "R3" ] };
+    ]
+
+let test_cert_omitted_when_exact () =
+  let resp cert =
+    {
+      Request.id = 1;
+      result = Ok (Request.Bool true);
+      cert;
+      stats = Request.zero_stats;
+    }
+  in
+  let has_cert c =
+    match Json.member "cert" (Request.response_to_json ~stats:false (resp c)) with
+    | Some _ -> true
+    | None -> false
+  in
+  check Alcotest.bool "exact is implicit" false (has_cert Request.Cert_exact);
+  check Alcotest.bool "lower bound is explicit" true
+    (has_cert Request.Cert_certain_lower)
+
+let test_unknown_field_counted () =
+  let seen = ref [] in
+  (match
+     Json.parse (sentence_json {|,"mod":"possible","xyzzy":1|})
+   with
+  | Error e -> Alcotest.fail e
+  | Ok j -> (
+      match Request.of_json ~on_unknown:(fun f -> seen := f :: !seen) j with
+      | Error e -> Alcotest.fail (Request.error_to_string e)
+      | Ok req ->
+          check Alcotest.bool "typo'd mode is not a mode" true
+            (req.Request.mode = None)));
+  check
+    Alcotest.(list string)
+    "both unknown fields reported" [ "mod"; "xyzzy" ]
+    (List.sort compare !seen);
+  (* a fully-known request must not fire the callback *)
+  let fired = ref false in
+  (match
+     Json.parse (sentence_json {|,"mode":"certain"|})
+   with
+  | Error e -> Alcotest.fail e
+  | Ok j ->
+      ignore (Request.of_json ~on_unknown:(fun _ -> fired := true) j));
+  check Alcotest.bool "known fields stay silent" false !fired
+
+(* ------------------------------------------------------------------ *)
+(* Engine serving: modes, memo separation, RQL prefix, planner         *)
+
+let engine_with decls =
+  Engine.create ~config:{ Engine.default_config with decls } ()
+
+let rado_exists = "exists x. exists y. R1(x, y)"
+
+let serve engine ?mode payload =
+  Engine.handle engine (Request.make ?mode ~id:1 payload)
+
+let sentence inst s = Request.Sentence { instance = inst; sentence = s }
+
+let result_bool r =
+  match r.Request.result with
+  | Ok (Request.Bool b) -> b
+  | Ok _ -> Alcotest.fail "expected a Bool outcome"
+  | Error e -> Alcotest.fail (Request.error_to_string e)
+
+let test_engine_modes_and_memo_separation () =
+  let engine = engine_with [ ("rado", decl_of "R1 open") ] in
+  let p = sentence "rado" rado_exists in
+  let e1 = serve engine p in
+  let c1 = serve engine ~mode:Request.M_certain p in
+  let p1 = serve engine ~mode:Request.M_possible p in
+  check Alcotest.bool "exact true" true (result_bool e1);
+  check Alcotest.bool "certain lower false" false (result_bool c1);
+  check Alcotest.bool "possible upper true" true (result_bool p1);
+  check Alcotest.bool "exact cert implicit" true
+    (e1.Request.cert = Request.Cert_exact);
+  check Alcotest.bool "certain cert" true
+    (c1.Request.cert = Request.Cert_certain_lower);
+  check Alcotest.bool "possible cert" true
+    (p1.Request.cert = Request.Cert_possible_upper);
+  (* memo keys separate by mode: replays are stable, not clobbered *)
+  check Alcotest.string "exact replay" (response_bytes e1)
+    (response_bytes (serve engine p));
+  check Alcotest.string "certain replay" (response_bytes c1)
+    (response_bytes (serve engine ~mode:Request.M_certain p))
+
+let test_engine_approximate_budget () =
+  let engine = engine_with [ ("rado", decl_of "R1 open") ] in
+  let p = sentence "rado" rado_exists in
+  let r = serve engine ~mode:(Request.M_approximate { budget = 1 }) p in
+  (match r.Request.cert with
+  | Request.Cert_approximate { budget_spent; open_rels } ->
+      check Alcotest.bool "spent within budget" true (budget_spent <= 1);
+      check Alcotest.(list string) "open rels named" [ "R1" ] open_rels
+  | _ -> Alcotest.fail "budget 1 on rado should trip");
+  (* a generous budget converges to the certain answer, byte for byte *)
+  let big = serve engine ~mode:(Request.M_approximate { budget = 100_000 }) p in
+  let certain = serve engine ~mode:Request.M_certain p in
+  check Alcotest.string "converged" (response_bytes certain)
+    (response_bytes big)
+
+let test_engine_exact_for_free () =
+  (* colored: R1 (colour) total, R2 (edges) open — a query over R1
+     only must certify exact even in certain mode *)
+  let engine = engine_with [ ("colored", decl_of "R1 total; R2 open") ] in
+  let r =
+    serve engine ~mode:Request.M_certain (sentence "colored" "exists x. R1(x)")
+  in
+  check Alcotest.bool "exact cert for total-only sentence" true
+    (r.Request.cert = Request.Cert_exact);
+  let r2 =
+    serve engine ~mode:Request.M_certain
+      (sentence "colored" "exists x. exists y. R2(x, y)")
+  in
+  check Alcotest.bool "open sentence certifies lower" true
+    (r2.Request.cert = Request.Cert_certain_lower)
+
+let test_engine_program_is_exact_only () =
+  let engine = engine_with [ ("mod3", decl_of "R1 open") ] in
+  let r =
+    serve engine ~mode:Request.M_certain
+      (Request.Program
+         { instance = "mod3"; program = "Y1 <- Rel1"; fuel = 100; cutoff = 3 })
+  in
+  (match r.Request.result with
+  | Error (Request.Bad_request _) -> ()
+  | _ -> Alcotest.fail "QL program in certain mode must be a typed error");
+  check Alcotest.bool "typed errors cert exact" true
+    (r.Request.cert = Request.Cert_exact)
+
+let rql_query inst ?(planner = Request.Plan_cost) text =
+  Request.Rql { instance = inst; text; cutoff = 3; planner }
+
+let test_engine_rql_mode_prefix () =
+  let engine = engine_with [ ("mod3", decl_of "R1 open") ] in
+  let prefixed =
+    serve engine (rql_query "mod3" "mode possible query {(x, y) | R1(x, y)}")
+  in
+  let wired =
+    serve engine ~mode:Request.M_possible
+      (rql_query "mod3" "query {(x, y) | R1(x, y)}")
+  in
+  check Alcotest.string "text prefix = wire mode" (response_bytes wired)
+    (response_bytes prefixed);
+  check Alcotest.bool "cert travels" true
+    (prefixed.Request.cert = Request.Cert_possible_upper);
+  (* the prefix wins over the wire mode *)
+  let both =
+    serve engine ~mode:Request.M_certain
+      (rql_query "mod3" "mode possible query {(x, y) | R1(x, y)}")
+  in
+  check Alcotest.string "prefix wins" (response_bytes prefixed)
+    (response_bytes both);
+  (* an unknown mode word is a typed parse error *)
+  let bad = serve engine (rql_query "mod3" "mode fuzzy query {(x) | R1(x, x)}") in
+  match bad.Request.result with
+  | Error (Request.Parse_error _) -> ()
+  | _ -> Alcotest.fail "unknown mode word must be a parse error"
+
+let test_engine_cert_planner_independent () =
+  let engine = engine_with [ ("mod3", decl_of "R1 open") ] in
+  let text =
+    "fix p(x, y) = R1(x, y) || exists z. (R1(x, z) && p(z, y)); query {(x, y) \
+     | p(x, y)}"
+  in
+  let planned =
+    serve engine ~mode:Request.M_certain (rql_query "mod3" text)
+  in
+  let naive =
+    serve engine ~mode:Request.M_certain
+      (rql_query "mod3" ~planner:Request.Plan_naive text)
+  in
+  check Alcotest.string "bytes planner-independent" (response_bytes planned)
+    (response_bytes naive);
+  check Alcotest.bool "certs planner-independent" true
+    (planned.Request.cert = naive.Request.cert)
+
+let test_engine_default_mode () =
+  let engine =
+    Engine.create
+      ~config:
+        {
+          Engine.default_config with
+          decls = [ ("rado", decl_of "R1 open") ];
+          default_mode = Request.M_certain;
+        }
+      ()
+  in
+  let r = serve engine (sentence "rado" rado_exists) in
+  check Alcotest.bool "modeless request served certain" true
+    (r.Request.cert = Request.Cert_certain_lower);
+  check Alcotest.bool "lower bound" false (result_bool r);
+  (* an explicit wire mode still wins *)
+  let e = serve engine ~mode:Request.M_exact (sentence "rado" rado_exists) in
+  check Alcotest.bool "wire exact wins" true (result_bool e)
+
+let test_engine_query_containment () =
+  let engine = engine_with [ ("mod3", decl_of "R1 open known if R1(x1, x2)") ] in
+  let q =
+    Request.Query
+      { instance = "mod3"; query = "{(x, y) | R1(x, y)}"; cutoff = 3 }
+  in
+  let members r =
+    match r.Request.result with
+    | Ok (Request.Rel { members; _ }) -> members
+    | _ -> Alcotest.fail "expected a Rel outcome"
+  in
+  let subset small big =
+    List.for_all (fun t -> List.exists (Prelude.Tuple.equal t) big) small
+  in
+  let mc = members (serve engine ~mode:Request.M_certain q) in
+  let me = members (serve engine q) in
+  let mp = members (serve engine ~mode:Request.M_possible q) in
+  check Alcotest.bool "certain ⊆ exact" true (subset mc me);
+  check Alcotest.bool "exact ⊆ possible" true (subset me mp);
+  (* the known-subset oracle pins stored edges: certain = exact here *)
+  check Alcotest.bool "known oracle makes members certain" true (subset me mc)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: certain ⇒ exact ⇒ possible on random sentences              *)
+
+(* Closed random sentences over one binary relation, printed through
+   the rlogic AST so both the exact and Kleene paths parse the same
+   surface text. *)
+let gen_sentence =
+  let open QCheck2.Gen in
+  let var = oneofl [ "x"; "y"; "z" ] in
+  let atom =
+    oneof
+      [
+        pure Rlogic.Ast.True;
+        pure Rlogic.Ast.False;
+        map2 (fun a b -> Rlogic.Ast.Eq (a, b)) var var;
+        map2 (fun a b -> Rlogic.Ast.Mem (0, [| a; b |])) var var;
+      ]
+  in
+  let rec go n =
+    if n = 0 then atom
+    else
+      oneof
+        [
+          atom;
+          map (fun f -> Rlogic.Ast.Not f) (go (n - 1));
+          map2 (fun f g -> Rlogic.Ast.And (f, g)) (go (n - 1)) (go (n - 1));
+          map2 (fun f g -> Rlogic.Ast.Or (f, g)) (go (n - 1)) (go (n - 1));
+          map2 (fun v f -> Rlogic.Ast.Exists (v, f)) var (go (n - 1));
+          map2 (fun v f -> Rlogic.Ast.Forall (v, f)) var (go (n - 1));
+        ]
+  in
+  map
+    (fun f ->
+      Rlogic.Ast.formula_to_string
+        (Rlogic.Ast.Exists
+           ("x", Rlogic.Ast.Exists ("y", Rlogic.Ast.Exists ("z", f)))))
+    (go 3)
+
+let decl_pool =
+  [
+    "R1 open";
+    "R1 open known if R1(x1, x2)";
+    "R1 open poss if R1(x1, x2)";
+    "R1 total";
+  ]
+
+let property_instances = [ "triangles"; "mod2"; "bipartite" ]
+
+(* One engine per declaration shape (plus the plain exact reference),
+   shared across all samples: memoization keeps 100 random sentences
+   cheap, and cross-sample interference would itself be a bug worth
+   catching. *)
+let exact_engine = lazy (Engine.create ())
+
+let declared_engines =
+  lazy
+    (List.map
+       (fun spec ->
+         let d = decl_of spec in
+         (spec, engine_with (List.map (fun i -> (i, d)) property_instances)))
+       decl_pool)
+
+let qcheck_soundness =
+  let open QCheck2 in
+  let gen =
+    Gen.triple (Gen.oneofl property_instances) (Gen.oneofl decl_pool)
+      gen_sentence
+  in
+  Test.make ~count:100 ~name:"certain ⇒ exact ⇒ possible (and total collapses)"
+    gen (fun (inst, spec, text) ->
+      let p = sentence inst text in
+      let exact = serve (Lazy.force exact_engine) p in
+      let engine = List.assoc spec (Lazy.force declared_engines) in
+      let certain = serve engine ~mode:Request.M_certain p in
+      let possible = serve engine ~mode:Request.M_possible p in
+      let approx =
+        serve engine ~mode:(Request.M_approximate { budget = 10 }) p
+      in
+      let e = result_bool exact in
+      let c = result_bool certain in
+      let pb = result_bool possible in
+      let a = result_bool approx in
+      let chain = ((not c) || e) && ((not e) || pb) && ((not a) || e) in
+      let certs_legal =
+        (match certain.Request.cert with
+        | Request.Cert_exact | Request.Cert_certain_lower -> true
+        | _ -> false)
+        && (match possible.Request.cert with
+           | Request.Cert_exact | Request.Cert_possible_upper -> true
+           | _ -> false)
+        &&
+        match approx.Request.cert with
+        | Request.Cert_exact | Request.Cert_certain_lower -> true
+        | Request.Cert_approximate { budget_spent; _ } -> budget_spent <= 10
+        | Request.Cert_possible_upper -> false
+      in
+      let collapses =
+        spec <> "R1 total"
+        || c = e && pb = e && a = e
+           && certain.Request.cert = Request.Cert_exact
+           && possible.Request.cert = Request.Cert_exact
+           && approx.Request.cert = Request.Cert_exact
+      in
+      chain && certs_legal && collapses)
+
+let qcheck_tests = Test_support.to_alcotest [ qcheck_soundness ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "incomplete"
+    [
+      ( "decl",
+        [
+          Alcotest.test_case "parse roundtrip" `Quick test_decl_parse_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_decl_parse_errors;
+          Alcotest.test_case "validate" `Quick test_decl_validate;
+          Alcotest.test_case "demo decls validate" `Quick
+            test_demo_decls_validate;
+          Alcotest.test_case "open names" `Quick test_open_names;
+        ] );
+      ( "scan",
+        [
+          Alcotest.test_case "touches open" `Quick test_scan_touches_open;
+          Alcotest.test_case "split mode" `Quick test_scan_split_mode;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "mode roundtrip" `Quick test_mode_json_roundtrip;
+          Alcotest.test_case "mode rejects" `Quick test_mode_json_rejects;
+          Alcotest.test_case "cert roundtrip" `Quick test_cert_json_roundtrip;
+          Alcotest.test_case "cert omitted when exact" `Quick
+            test_cert_omitted_when_exact;
+          Alcotest.test_case "unknown fields counted" `Quick
+            test_unknown_field_counted;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "modes + memo separation" `Quick
+            test_engine_modes_and_memo_separation;
+          Alcotest.test_case "approximate budget" `Quick
+            test_engine_approximate_budget;
+          Alcotest.test_case "exact for free" `Quick test_engine_exact_for_free;
+          Alcotest.test_case "program exact-only" `Quick
+            test_engine_program_is_exact_only;
+          Alcotest.test_case "rql mode prefix" `Quick
+            test_engine_rql_mode_prefix;
+          Alcotest.test_case "cert planner-independent" `Quick
+            test_engine_cert_planner_independent;
+          Alcotest.test_case "default mode" `Quick test_engine_default_mode;
+          Alcotest.test_case "query containment" `Quick
+            test_engine_query_containment;
+        ] );
+      ("soundness", qcheck_tests);
+    ]

@@ -317,26 +317,18 @@ let test_engine_trace_matches_stats () =
   let engine = Engine.create ~trace () in
   let requests =
     [
-      {
-        Request.id = 1;
-        payload =
-          Request.Sentence
+      (Request.make ~id:1
+         (Request.Sentence
             {
               instance = "triangles";
               sentence = "exists x. exists y. R1(x, y)";
-            };
-      };
-      {
-        Request.id = 2;
-        payload =
-          Request.Query
-            { instance = "mod2"; query = "{(x,y) | R1(x,y)}"; cutoff = 4 };
-      };
-      { Request.id = 3; payload = Request.Classes { db_type = [| 2 |]; rank = 2 } };
-      {
-        Request.id = 4;
-        payload = Request.Sentence { instance = "nonesuch"; sentence = "x" };
-      };
+            }));
+      Request.make ~id:2
+        (Request.Query
+           { instance = "mod2"; query = "{(x,y) | R1(x,y)}"; cutoff = 4 });
+      Request.make ~id:3 (Request.Classes { db_type = [| 2 |]; rank = 2 });
+      Request.make ~id:4
+        (Request.Sentence { instance = "nonesuch"; sentence = "x" });
     ]
   in
   let responses = Engine.handle_all engine requests in

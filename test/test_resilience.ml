@@ -15,7 +15,7 @@
 let check = Alcotest.check
 
 let heavy depth =
-  { Request.id = 1; payload = Request.Tree { instance = "paths3"; depth } }
+  Request.make ~id:1 (Request.Tree { instance = "paths3"; depth })
 
 let questions (s : Request.stats) =
   s.Request.oracle_calls + s.Request.tb_calls + s.Request.equiv_calls
@@ -117,12 +117,9 @@ let test_handle_is_total () =
   let e = Engine.create () in
   let r =
     Engine.handle e
-      {
-        Request.id = 7;
-        payload =
-          Request.Program
-            { instance = "mod2"; program = "Y1 <- Rel1"; fuel = 0; cutoff = 4 };
-      }
+      (Request.make ~id:7
+         (Request.Program
+            { instance = "mod2"; program = "Y1 <- Rel1"; fuel = 0; cutoff = 4 }))
   in
   (match r.Request.result with
   | Error (Request.Bad_request _) -> ()

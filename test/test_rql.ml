@@ -180,7 +180,7 @@ let test_estimates_and_describe () =
 
 let rql_req ?(id = 1) ?(instance = "paths3") ?(cutoff = 4)
     ?(planner = Request.Plan_cost) text =
-  { Request.id; payload = Request.Rql { instance; text; cutoff; planner } }
+  Request.make ~id (Request.Rql { instance; text; cutoff; planner })
 
 let expect_ok name (r : Request.response) =
   match r.result with
@@ -209,12 +209,9 @@ let test_rql_matches_plain_query () =
   in
   let plain =
     Engine.handle e
-      {
-        Request.id = 7;
-        payload =
-          Request.Query
-            { instance = "paths3"; query = "{(x,y) | R1(x,y)}"; cutoff = 3 };
-      }
+      (Request.make ~id:7
+         (Request.Query
+            { instance = "paths3"; query = "{(x,y) | R1(x,y)}"; cutoff = 3 }))
   in
   check Alcotest.string "rql query = plain query"
     (Json.to_string (Request.response_to_json ~stats:false plain))
@@ -225,7 +222,7 @@ let test_rql_matches_plain_tree () =
   let rql = Engine.handle e (rql_req ~id:8 ~instance:"mod2" "tree 2") in
   let plain =
     Engine.handle e
-      { Request.id = 8; payload = Request.Tree { instance = "mod2"; depth = 2 } }
+      (Request.make ~id:8 (Request.Tree { instance = "mod2"; depth = 2 }))
   in
   check Alcotest.string "rql tree = plain tree"
     (Json.to_string (Request.response_to_json ~stats:false plain))

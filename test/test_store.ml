@@ -91,6 +91,20 @@ let gen_error =
       map (fun limit -> Request.Overloaded { limit }) (int_range 0 1000);
     ]
 
+let gen_cert =
+  let open QCheck2.Gen in
+  oneof
+    [
+      return Request.Cert_exact;
+      return Request.Cert_certain_lower;
+      return Request.Cert_possible_upper;
+      map2
+        (fun budget_spent open_rels ->
+          Request.Cert_approximate { budget_spent; open_rels })
+        (int_range 0 100_000)
+        (list_size (int_range 0 4) string_printable);
+    ]
+
 let gen_entry =
   let open QCheck2.Gen in
   oneof
@@ -119,7 +133,10 @@ let gen_entry =
       map2
         (fun key value -> Shared_memo.D_result { key; value })
         string_printable
-        (oneof [ map Result.ok gen_outcome; map Result.error gen_error ]);
+        (map2
+           (fun value cert -> { Shared_memo.value; cert })
+           (oneof [ map Result.ok gen_outcome; map Result.error gen_error ])
+           gen_cert);
       map2
         (fun key tuples ->
           Shared_memo.D_rql_def
@@ -178,7 +195,8 @@ let export_seed_roundtrip () =
   let _ = Shared_memo.equiv m (t [ 1 ]) (t [ 2 ]) ~compute:(fun () -> true) in
   let _ = Shared_memo.rel m 1 (t [ 5 ]) ~compute:(fun () -> false) in
   let _ =
-    Shared_memo.result memo ~key:"k" ~compute:(fun () -> Ok (Request.Count 7))
+    Shared_memo.result memo ~key:"k" ~compute:(fun () ->
+        { Shared_memo.value = Ok (Request.Count 7); cert = Request.Cert_exact })
   in
   let _ =
     Shared_memo.rql_def memo ~key:"d" ~compute:(fun () ->
@@ -207,7 +225,8 @@ let export_seed_roundtrip () =
      Shared_memo.result memo2 ~key:"k" ~compute:(fun () ->
          Alcotest.fail "result recomputed")
    with
-  | Ok (Request.Count 7) -> ()
+  | { Shared_memo.value = Ok (Request.Count 7); cert = Request.Cert_exact } ->
+      ()
   | _ -> Alcotest.fail "result value wrong");
   check Alcotest.bool "rql_def seeded" true
     (Prelude.Tupleset.equal
@@ -219,7 +238,15 @@ let seed_does_not_count_as_questions () =
   let memo = Shared_memo.create () in
   ignore
     (Shared_memo.seed memo ~plan_of_key:Engine.plan_of_key
-       (Shared_memo.D_result { key = "x"; value = Ok (Request.Count 1) }));
+       (Shared_memo.D_result
+          {
+            key = "x";
+            value =
+              {
+                Shared_memo.value = Ok (Request.Count 1);
+                cert = Request.Cert_exact;
+              };
+          }));
   let s = Shared_memo.stats memo in
   check Alcotest.int "no hits from seeding" 0 s.Shared_memo.results.Shared_memo.hits;
   check Alcotest.int "no misses from seeding" 0
@@ -276,11 +303,17 @@ let nondet_errors_filtered_at_save () =
       let memo = Shared_memo.create () in
       let _ =
         Shared_memo.result memo ~key:"det" ~compute:(fun () ->
-            Error (Request.Parse_error "x"))
+            {
+              Shared_memo.value = Error (Request.Parse_error "x");
+              cert = Request.Cert_exact;
+            })
       in
       let _ =
         Shared_memo.result memo ~key:"nondet" ~compute:(fun () ->
-            Error (Request.Budget_exceeded { limit = 7 }))
+            {
+              Shared_memo.value = Error (Request.Budget_exceeded { limit = 7 });
+              cert = Request.Cert_exact;
+            })
       in
       let store, _ = Store.open_store ~write_behind:false ~dir memo in
       let snap = Store.snapshot_now store in
@@ -297,14 +330,17 @@ let nondet_errors_filtered_at_save () =
          Shared_memo.result memo2 ~key:"det" ~compute:(fun () ->
              Alcotest.fail "deterministic error was not persisted")
        with
-      | Error (Request.Parse_error _) -> ()
+      | { Shared_memo.value = Error (Request.Parse_error _); _ } -> ()
       | _ -> Alcotest.fail "persisted error changed shape");
       (* the nondeterministic one is gone: compute runs again *)
       let ran = ref false in
       ignore
         (Shared_memo.result memo2 ~key:"nondet" ~compute:(fun () ->
              ran := true;
-             Ok (Request.Count 0)));
+             {
+               Shared_memo.value = Ok (Request.Count 0);
+               cert = Request.Cert_exact;
+             }));
       check Alcotest.bool "nondet result not persisted" true !ran)
 
 (* ------------------------------------------------------------------ *)
